@@ -1,0 +1,105 @@
+/// \file bench_e10_postings.cc
+/// E10 (extension) — postings compression in the main-memory IR index:
+/// delta+varbyte postings size vs raw arrays, and the search-latency cost
+/// of on-the-fly decompression. The relevant trade-off for ref [1]'s
+/// "database approach": smaller postings mean larger collections fit in
+/// memory at a modest CPU cost.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+
+#include "bench_util.h"
+#include "text/compressed_index.h"
+#include "text/corpus.h"
+#include "text/inverted_index.h"
+
+namespace {
+
+using namespace cobra;  // NOLINT
+
+std::unique_ptr<text::InvertedIndex> BuildIndex(size_t docs) {
+  text::CorpusConfig config;
+  config.num_docs = docs;
+  config.vocabulary_size = 8000;
+  config.seed = 21;
+  auto corpus = text::SyntheticCorpus::Generate(config).TakeValue();
+  auto index = std::make_unique<text::InvertedIndex>();
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    (void)index->AddText(static_cast<int64_t>(d), corpus.document(d));
+  }
+  (void)index->Finalize();
+  return index;
+}
+
+void RunTable() {
+  bench::PrintHeader("E10", "postings compression: size and latency");
+  std::printf("%-10s %12s %14s %14s %8s %12s %12s\n", "docs", "postings",
+              "raw_bytes", "packed_bytes", "ratio", "raw_ms", "packed_ms");
+  text::CorpusConfig query_config;
+  query_config.vocabulary_size = 8000;
+  auto query_corpus = text::SyntheticCorpus::Generate(query_config).TakeValue();
+
+  for (size_t docs : {1000, 4000, 16000, 32000}) {
+    auto index = BuildIndex(docs);
+    auto compressed =
+        text::CompressedInvertedIndex::FromIndex(*index).TakeValue();
+    double raw_ms = 0, packed_ms = 0;
+    const int kQueries = 10;
+    for (int q = 0; q < kQueries; ++q) {
+      std::string query =
+          text::VocabularyWord(1) + " " +
+          query_corpus.MakeQuery(3, static_cast<uint64_t>(q));
+      auto t0 = std::chrono::steady_clock::now();
+      auto a = index->SearchExhaustive(query, 10);
+      auto t1 = std::chrono::steady_clock::now();
+      auto b = compressed.Search(query, 10);
+      auto t2 = std::chrono::steady_clock::now();
+      raw_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+      packed_ms += std::chrono::duration<double, std::milli>(t2 - t1).count();
+    }
+    std::printf("%-10zu %12lld %14zu %14zu %7.2fx %12.3f %12.3f\n", docs,
+                static_cast<long long>(index->TotalPostings()),
+                compressed.UncompressedBytes(), compressed.PostingsBytes(),
+                static_cast<double>(compressed.UncompressedBytes()) /
+                    static_cast<double>(compressed.PostingsBytes()),
+                raw_ms / kQueries, packed_ms / kQueries);
+  }
+  bench::PrintRule();
+}
+
+void BM_SearchBackend(benchmark::State& state) {
+  static auto index = BuildIndex(16000);
+  static auto compressed =
+      text::CompressedInvertedIndex::FromIndex(*index).TakeValue();
+  text::CorpusConfig config;
+  config.vocabulary_size = 8000;
+  static auto corpus = text::SyntheticCorpus::Generate(config).TakeValue();
+  std::string query = text::VocabularyWord(1) + " " + corpus.MakeQuery(3, 4);
+  const bool packed = state.range(0) == 1;
+  for (auto _ : state) {
+    auto hits = packed ? compressed.Search(query, 10)
+                       : index->SearchExhaustive(query, 10);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_SearchBackend)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_CompressIndex(benchmark::State& state) {
+  static auto index = BuildIndex(4000);
+  for (auto _ : state) {
+    auto compressed = text::CompressedInvertedIndex::FromIndex(*index);
+    benchmark::DoNotOptimize(compressed);
+  }
+}
+BENCHMARK(BM_CompressIndex)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,120 @@
+/// \file bench_e11_audio.cc
+/// E11 (extension) — audio fragment indexing: the tournament site also
+/// carries "audio files of interviews" (paper §2). Tables: 3-class
+/// classification of pure clips, and sample-level segmentation accuracy on
+/// interview-style composites (speech/silence alternation + applause tail).
+
+#include <benchmark/benchmark.h>
+
+#include "audio/features.h"
+#include "audio/synthesizer.h"
+#include "bench_util.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace cobra;  // NOLINT
+
+void RunTables() {
+  bench::PrintHeader("E11", "audio classification and segmentation");
+
+  // --- pure-clip classification ---
+  audio::AudioAnalyzer analyzer;
+  const char* class_names[] = {audio::kClassSpeech, audio::kClassMusic,
+                               audio::kClassApplause};
+  ConfusionMatrix cm(3);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    audio::AudioSynthConfig config;
+    config.seed = seed;
+    audio::AudioSynthesizer synth(config);
+    audio::AudioSignal clips[3] = {synth.Speech(4.0), synth.Music(4.0),
+                                   synth.Applause(4.0)};
+    for (int truth = 0; truth < 3; ++truth) {
+      auto segments = analyzer.Segment(clips[truth]).TakeValue();
+      // Majority non-silence label.
+      double best_fraction = -1.0;
+      int predicted = truth;
+      for (int candidate = 0; candidate < 3; ++candidate) {
+        double fraction =
+            audio::LabeledFraction(segments, class_names[candidate],
+                                   clips[truth].num_samples())
+                .TakeValue();
+        if (fraction > best_fraction) {
+          best_fraction = fraction;
+          predicted = candidate;
+        }
+      }
+      cm.Add(static_cast<size_t>(truth), static_cast<size_t>(predicted));
+    }
+  }
+  std::printf("pure 4s clips, 10 seeds per class:\n%s\n",
+              cm.ToString({"speech", "music", "applause"}).c_str());
+  std::printf("accuracy: %.3f\n", cm.Accuracy());
+
+  // --- interview segmentation ---
+  std::printf("\ninterview segmentation (sample-level agreement):\n");
+  std::printf("%-8s %10s %12s\n", "seed", "agree", "speech_frac");
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    audio::AudioSynthConfig config;
+    config.seed = seed * 100;
+    audio::AudioSynthesizer synth(config);
+    auto interview = synth.Interview(12.0, /*applause_tail=*/true);
+    auto segments = analyzer.Segment(interview.signal).TakeValue();
+    auto label_at = [](const std::vector<audio::AudioSegment>& segs,
+                       int64_t sample) -> std::string {
+      for (const auto& s : segs) {
+        if (s.range.Contains(sample)) return s.label;
+      }
+      return std::string();
+    };
+    int64_t agree = 0, total = 0;
+    for (int64_t s = 0; s < interview.signal.num_samples(); s += 800) {
+      std::string truth = label_at(interview.segments, s);
+      std::string detected = label_at(segments, s);
+      if (truth.empty() || detected.empty()) continue;
+      if (truth == audio::kClassSpeech && detected == audio::kClassSilence) {
+        continue;  // intra-speech pauses legitimately read as silence
+      }
+      ++total;
+      if (truth == detected) ++agree;
+    }
+    double speech_fraction =
+        audio::LabeledFraction(segments, audio::kClassSpeech,
+                               interview.signal.num_samples())
+            .TakeValue();
+    std::printf("%-8llu %9.1f%% %12.2f\n", static_cast<unsigned long long>(seed),
+                100.0 * agree / std::max<int64_t>(total, 1), speech_fraction);
+  }
+  bench::PrintRule();
+}
+
+void BM_AnalyzeSecond(benchmark::State& state) {
+  audio::AudioSynthesizer synth;
+  audio::AudioSignal speech = synth.Speech(1.0);
+  audio::AudioAnalyzer analyzer;
+  for (auto _ : state) {
+    auto features = analyzer.Analyze(speech);
+    benchmark::DoNotOptimize(features);
+  }
+}
+BENCHMARK(BM_AnalyzeSecond)->Unit(benchmark::kMillisecond);
+
+void BM_SegmentInterview(benchmark::State& state) {
+  audio::AudioSynthesizer synth;
+  auto interview = synth.Interview(10.0, true);
+  audio::AudioAnalyzer analyzer;
+  for (auto _ : state) {
+    auto segments = analyzer.Segment(interview.signal);
+    benchmark::DoNotOptimize(segments);
+  }
+}
+BENCHMARK(BM_SegmentInterview)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

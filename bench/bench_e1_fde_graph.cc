@@ -1,0 +1,86 @@
+/// \file bench_e1_fde_graph.cc
+/// E1 — paper Figure 1: the tennis FDE detector dependency graph.
+///
+/// Regenerates the figure as (a) the node/edge listing, (b) the topological
+/// detector execution order the FDE derives from it, (c) Graphviz dot, and
+/// (d) one FDE population run with per-detector annotation counts and
+/// timings. The google-benchmark part times a full FDE run.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/tennis_fde.h"
+#include "grammar/feature_grammar.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace cobra;  // NOLINT
+
+void PrintFigureOne() {
+  bench::PrintHeader("E1", "tennis FDE detector dependencies (paper Fig. 1)");
+  auto grammar =
+      grammar::FeatureGrammar::Parse(core::TennisGrammarText()).TakeValue();
+
+  std::printf("symbols (%zu):\n", grammar.Symbols().size());
+  for (const auto& rule : grammar.rules()) {
+    std::printf("  %-14s <- %s\n", rule.symbol.c_str(),
+                JoinStrings(rule.dependencies, ", ").c_str());
+  }
+  std::printf("\ndetector execution order (topological):\n  ");
+  std::printf("%s\n", JoinStrings(grammar.ExecutionOrder(), " -> ").c_str());
+
+  std::printf("\ngraphviz dot:\n%s", grammar.ToDot().c_str());
+
+  // One FDE population run over a synthetic broadcast.
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(bench::DefaultBroadcast()).Synthesize()
+          .TakeValue();
+  auto indexer = core::TennisVideoIndexer::Create().TakeValue();
+  auto desc = indexer->Index(*broadcast.video, 1, "bench").TakeValue();
+  std::printf("\nFDE population run over %lld frames:\n%s",
+              static_cast<long long>(broadcast.video->num_frames()),
+              indexer->last_report()->ToString().c_str());
+  std::printf("COBRA layers: raw=%zu feature=%zu object=%zu event=%zu\n",
+              desc.Layer(core::CobraLayer::kRawData).size(),
+              desc.Layer(core::CobraLayer::kFeature).size(),
+              desc.Layer(core::CobraLayer::kObject).size(),
+              desc.Layer(core::CobraLayer::kEvent).size());
+  bench::PrintRule();
+}
+
+void BM_GrammarParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto grammar = grammar::FeatureGrammar::Parse(core::TennisGrammarText());
+    benchmark::DoNotOptimize(grammar);
+  }
+}
+BENCHMARK(BM_GrammarParse);
+
+void BM_FdeFullRun(benchmark::State& state) {
+  auto config = bench::DefaultBroadcast();
+  config.num_points = 2;
+  config.min_court_frames = 80;
+  config.max_court_frames = 100;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  auto indexer = core::TennisVideoIndexer::Create().TakeValue();
+  for (auto _ : state) {
+    auto desc = indexer->Index(*broadcast.video, 1, "bench");
+    if (!desc.ok()) state.SkipWithError(desc.status().ToString().c_str());
+  }
+  state.counters["frames/s"] = benchmark::Counter(
+      static_cast<double>(broadcast.video->num_frames()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FdeFullRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigureOne();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,124 @@
+/// \file bench_e2_shot_boundary.cc
+/// E2 — segment detector quality (paper §3): shot-boundary precision /
+/// recall / F1 for a fixed-threshold sweep under three histogram distances
+/// and several noise levels, plus the adaptive-threshold detector
+/// (the configuration the demo ran). Expected shape (DESIGN.md §4): a broad
+/// high-F1 plateau that narrows as sensor noise grows; the adaptive
+/// threshold stays at the plateau without tuning.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "detectors/shot_boundary.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace cobra;  // NOLINT
+
+void RunSweep() {
+  bench::PrintHeader("E2", "shot boundary detection quality");
+  const double kNoiseLevels[] = {0.0, 4.0, 8.0, 12.0};
+  const vision::HistogramDistance kMetrics[] = {
+      vision::HistogramDistance::kL1, vision::HistogramDistance::kChiSquare,
+      vision::HistogramDistance::kIntersection};
+  const double kThresholds[] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9, 1.2};
+
+  for (double noise : kNoiseLevels) {
+    auto broadcast = media::TennisBroadcastSynthesizer(
+                         bench::DefaultBroadcast(42, noise))
+                         .Synthesize()
+                         .TakeValue();
+    auto cuts = broadcast.truth.CutPositions();
+    std::printf("\nnoise sigma = %.0f (%zu true cuts, %lld frames)\n", noise,
+                cuts.size(),
+                static_cast<long long>(broadcast.video->num_frames()));
+    std::printf("%-14s %-10s %8s %8s %8s\n", "metric", "threshold", "P", "R",
+                "F1");
+    for (auto metric : kMetrics) {
+      detectors::ShotBoundaryConfig config;
+      config.metric = metric;
+      config.mode = detectors::ThresholdMode::kFixed;
+      detectors::ShotBoundaryDetector detector(config);
+      auto distances = detector.ComputeDistances(*broadcast.video).TakeValue();
+      for (double threshold : kThresholds) {
+        detectors::ShotBoundaryConfig sweep_config = config;
+        sweep_config.fixed_threshold = threshold;
+        detectors::ShotBoundaryDetector sweep(sweep_config);
+        auto found = sweep.ThresholdSignal(distances);
+        PrecisionRecall pr = MatchWithTolerance(cuts, found, 2);
+        std::printf("%-14s %-10.2f %8.3f %8.3f %8.3f\n",
+                    vision::HistogramDistanceToString(metric), threshold,
+                    pr.Precision(), pr.Recall(), pr.F1());
+      }
+      // Adaptive row (the demo's default).
+      detectors::ShotBoundaryConfig adaptive_config;
+      adaptive_config.metric = metric;
+      adaptive_config.mode = detectors::ThresholdMode::kAdaptive;
+      detectors::ShotBoundaryDetector adaptive(adaptive_config);
+      auto found = adaptive.ThresholdSignal(distances);
+      PrecisionRecall pr = MatchWithTolerance(cuts, found, 2);
+      std::printf("%-14s %-10s %8.3f %8.3f %8.3f\n",
+                  vision::HistogramDistanceToString(metric), "adaptive",
+                  pr.Precision(), pr.Recall(), pr.F1());
+    }
+  }
+
+  // --- gradual transitions (dissolves): naive vs twin comparison ---
+  std::printf("\ngradual transitions (50%% of cuts are 12-frame dissolves):\n");
+  std::printf("%-26s %8s %8s %8s\n", "method", "P", "R", "F1");
+  auto dissolve_config = bench::DefaultBroadcast(11);
+  dissolve_config.dissolve_prob = 0.5;
+  auto dissolved = media::TennisBroadcastSynthesizer(dissolve_config)
+                       .Synthesize()
+                       .TakeValue();
+  auto all_cuts = dissolved.truth.CutPositions();
+  {
+    detectors::ShotBoundaryDetector naive;
+    auto result = naive.Detect(*dissolved.video).TakeValue();
+    PrecisionRecall pr = MatchWithTolerance(all_cuts, result.boundaries, 4);
+    std::printf("%-26s %8.3f %8.3f %8.3f\n", "hard-cut only", pr.Precision(),
+                pr.Recall(), pr.F1());
+  }
+  {
+    detectors::ShotBoundaryConfig config;
+    config.detect_gradual = true;
+    detectors::ShotBoundaryDetector twin(config);
+    auto result = twin.Detect(*dissolved.video).TakeValue();
+    std::vector<int64_t> combined = result.boundaries;
+    for (const auto& t : result.gradual) combined.push_back(t.begin);
+    PrecisionRecall pr = MatchWithTolerance(all_cuts, combined, 4);
+    std::printf("%-26s %8.3f %8.3f %8.3f\n", "twin comparison (+gradual)",
+                pr.Precision(), pr.Recall(), pr.F1());
+  }
+  bench::PrintRule();
+}
+
+void BM_DistanceSignal(benchmark::State& state) {
+  auto config = bench::DefaultBroadcast();
+  config.num_points = 2;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  detectors::ShotBoundaryConfig boundary_config;
+  boundary_config.metric =
+      static_cast<vision::HistogramDistance>(state.range(0));
+  detectors::ShotBoundaryDetector detector(boundary_config);
+  for (auto _ : state) {
+    auto distances = detector.ComputeDistances(*broadcast.video);
+    benchmark::DoNotOptimize(distances);
+  }
+  state.counters["frames/s"] = benchmark::Counter(
+      static_cast<double>(broadcast.video->num_frames()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DistanceSignal)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+/// \file bench_e3_shot_classify.cc
+/// E3 — shot classification quality (paper §3): confusion matrix and
+/// per-class precision/recall of the tennis / close-up / audience / other
+/// classifier over 200+ ground-truth shots from several broadcasts.
+/// Expected shape: court and close-up near-perfect (dominant color and skin
+/// ratio are strong cues); residual confusion lands in "other".
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "detectors/shot_classifier.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace cobra;  // NOLINT
+
+void RunClassification() {
+  bench::PrintHeader("E3", "shot classification (4 classes)");
+  detectors::ShotClassifier classifier;
+  ConfusionMatrix cm(media::kNumShotCategories);
+  int shots_total = 0;
+  for (uint64_t seed : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    auto config = bench::DefaultBroadcast(seed);
+    config.num_points = 4;
+    auto broadcast =
+        media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+    for (const auto& shot : broadcast.truth.shots) {
+      auto classified = classifier.Classify(*broadcast.video, shot.range);
+      if (!classified.ok()) continue;
+      cm.Add(static_cast<size_t>(shot.category),
+             static_cast<size_t>(classified->category));
+      ++shots_total;
+    }
+  }
+  std::printf("shots classified: %d\n\n%s\n", shots_total,
+              cm.ToString({"tennis", "close-up", "audience", "other"}).c_str());
+  std::printf("%-10s %10s %10s\n", "class", "precision", "recall");
+  const char* names[] = {"tennis", "close-up", "audience", "other"};
+  for (size_t c = 0; c < 4; ++c) {
+    std::printf("%-10s %10.3f %10.3f\n", names[c], cm.ClassPrecision(c),
+                cm.ClassRecall(c));
+  }
+  std::printf("overall accuracy: %.3f\n", cm.Accuracy());
+  bench::PrintRule();
+}
+
+void BM_ClassifyShot(benchmark::State& state) {
+  auto config = bench::DefaultBroadcast();
+  config.num_points = 1;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  detectors::ShotClassifier classifier;
+  const FrameInterval shot = broadcast.truth.shots.front().range;
+  for (auto _ : state) {
+    auto classified = classifier.Classify(*broadcast.video, shot);
+    benchmark::DoNotOptimize(classified);
+  }
+}
+BENCHMARK(BM_ClassifyShot)->Unit(benchmark::kMicrosecond);
+
+void BM_ComputeShotFeatures(benchmark::State& state) {
+  auto config = bench::DefaultBroadcast();
+  config.num_points = 1;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  detectors::ShotClassifierConfig classifier_config;
+  classifier_config.frames_per_shot = static_cast<int>(state.range(0));
+  detectors::ShotClassifier classifier(classifier_config);
+  const FrameInterval shot = broadcast.truth.shots.front().range;
+  for (auto _ : state) {
+    auto features = classifier.ComputeFeatures(*broadcast.video, shot);
+    benchmark::DoNotOptimize(features);
+  }
+}
+BENCHMARK(BM_ComputeShotFeatures)->Arg(1)->Arg(5)->Arg(15)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunClassification();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+/// \file bench_e4_tracking.cc
+/// E4 — player segmentation & tracking quality (paper §3 "tennis
+/// detector"): mean center error against scripted ground truth, track
+/// continuity (fraction of frames backed by an observed region), and the
+/// search-window ablation from DESIGN.md §5 (larger predictive windows cost
+/// more per frame but survive faster rallies).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "detectors/player_tracker.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace cobra;  // NOLINT
+
+struct TrackQuality {
+  RunningStats center_error;
+  RunningStats observed_fraction;
+  int shots = 0;
+  int failures = 0;
+};
+
+void Evaluate(const detectors::PlayerTrackerConfig& config, uint64_t seed,
+              TrackQuality* quality) {
+  auto synth_config = bench::DefaultBroadcast(seed);
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(synth_config).Synthesize().TakeValue();
+  detectors::PlayerTracker tracker(config);
+  for (const auto& shot : broadcast.truth.shots) {
+    if (shot.category != media::ShotCategory::kTennis) continue;
+    ++quality->shots;
+    auto result = tracker.Track(*broadcast.video, shot.range);
+    if (!result.ok()) {
+      ++quality->failures;
+      continue;
+    }
+    for (const auto& track : result->tracks) {
+      quality->observed_fraction.Add(track.ObservedFraction());
+      for (const auto& point : track.points) {
+        if (point.predicted_only) continue;
+        const auto& truth =
+            broadcast.truth.players_by_frame[static_cast<size_t>(point.frame)];
+        if (truth.size() != 2) continue;
+        quality->center_error.Add(point.center.DistanceTo(
+            truth[static_cast<size_t>(track.player_id)].center));
+      }
+    }
+  }
+}
+
+void RunQualityTable() {
+  bench::PrintHeader("E4", "player segmentation and tracking");
+  std::printf("%-14s %12s %12s %10s %8s %8s\n", "search_margin", "mean_err_px",
+              "max_err_px", "observed", "shots", "failures");
+  for (int margin : {4, 8, 12, 20, 32}) {
+    detectors::PlayerTrackerConfig config;
+    config.search_margin = margin;
+    TrackQuality total;
+    for (uint64_t seed : {11, 22, 33}) Evaluate(config, seed, &total);
+    std::printf("%-14d %12.2f %12.2f %10.3f %8d %8d\n", margin,
+                total.center_error.mean(), total.center_error.max(),
+                total.observed_fraction.mean(), total.shots, total.failures);
+  }
+  bench::PrintRule();
+}
+
+void BM_TrackShot(benchmark::State& state) {
+  auto config = bench::DefaultBroadcast();
+  config.num_points = 1;
+  config.include_cutaways = false;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  detectors::PlayerTrackerConfig tracker_config;
+  tracker_config.search_margin = static_cast<int>(state.range(0));
+  detectors::PlayerTracker tracker(tracker_config);
+  const FrameInterval shot = broadcast.truth.shots.front().range;
+  for (auto _ : state) {
+    auto result = tracker.Track(*broadcast.video, shot);
+    if (!result.ok()) state.SkipWithError("tracking failed");
+  }
+  state.counters["frames/s"] = benchmark::Counter(
+      static_cast<double>(shot.Length()) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TrackShot)->Arg(8)->Arg(12)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_CourtModelEstimate(benchmark::State& state) {
+  auto config = bench::DefaultBroadcast();
+  config.num_points = 1;
+  config.include_cutaways = false;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  media::Frame frame = broadcast.video->GetFrame(0).TakeValue();
+  for (auto _ : state) {
+    auto model = detectors::EstimateCourtModel(frame);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_CourtModelEstimate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunQualityTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

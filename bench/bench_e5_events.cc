@@ -1,0 +1,260 @@
+/// \file bench_e5_events.cc
+/// E5 — event detection (paper §3 + companion paper [2]): precision and
+/// recall of net_play / baseline_play / serve / rally, comparing the
+/// rule-based (white-box) event grammar against the stochastic HMM
+/// recognizer. The HMM is trained on broadcasts disjoint from the
+/// evaluation set. A trajectory-jitter sweep probes the robustness claim of
+/// ref [2] (the stochastic recognizer degrades more gracefully).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+#include "core/tennis_fde.h"
+#include "detectors/event_rules.h"
+#include "detectors/hmm_events.h"
+#include "media/tennis_synthesizer.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace cobra;  // NOLINT
+
+struct EvalData {
+  media::Broadcast broadcast;
+  std::vector<core::TennisVideoIndexer::TrackedShot> tracked;
+};
+
+EvalData Prepare(uint64_t seed) {
+  EvalData data{media::TennisBroadcastSynthesizer(bench::DefaultBroadcast(seed))
+                    .Synthesize()
+                    .TakeValue(),
+                {}};
+  auto indexer = core::TennisVideoIndexer::Create().TakeValue();
+  auto desc = indexer->Index(*data.broadcast.video, 1, "e5").TakeValue();
+  (void)desc;
+  data.tracked = indexer->tracked_shots();
+  return data;
+}
+
+/// Adds Gaussian jitter to track centers (simulates noisier segmentation).
+void JitterTracks(std::vector<core::TennisVideoIndexer::TrackedShot>* shots,
+                  double sigma, Rng* rng) {
+  for (auto& ts : *shots) {
+    for (auto& track : ts.tracking.tracks) {
+      for (auto& point : track.points) {
+        point.center.x += rng->NextGaussian() * sigma;
+        point.center.y += rng->NextGaussian() * sigma;
+      }
+    }
+    // Rebuild trajectories from the jittered tracks.
+    ts.trajectories.clear();
+    for (const auto& track : ts.tracking.tracks) {
+      ts.trajectories.push_back(
+          core::BuildTrajectory(track, ts.tracking.court, ts.shot).TakeValue());
+    }
+  }
+}
+
+std::vector<detectors::NamedInterval> TruthEvents(
+    const media::GroundTruth& truth) {
+  std::vector<detectors::NamedInterval> out;
+  for (const auto& e : truth.events) out.push_back({e.name, e.player_id, e.range});
+  return out;
+}
+
+/// Merges per-player serve detections within one shot into a single
+/// court-level serve (the indexer does the same: a serve is both players
+/// holding still).
+void MergeServes(std::vector<detectors::NamedInterval>* per_player,
+                 std::vector<detectors::NamedInterval>* out) {
+  FrameInterval merged;
+  bool first = true;
+  for (auto& e : *per_player) {
+    if (e.name != media::kEventServe) {
+      out->push_back(std::move(e));
+      continue;
+    }
+    merged = first ? e.range : merged.Intersect(e.range);
+    first = false;
+  }
+  if (!first && !merged.Empty()) {
+    out->push_back({media::kEventServe, -1, merged});
+  }
+}
+
+/// Runs the event grammar rules over tracked shots.
+std::vector<detectors::NamedInterval> RuleEvents(
+    const std::vector<core::TennisVideoIndexer::TrackedShot>& shots) {
+  auto grammar = core::EventGrammar::Parse(core::TennisEventRulesText()).TakeValue();
+  std::vector<detectors::NamedInterval> out;
+  for (const auto& ts : shots) {
+    std::vector<detectors::NamedInterval> shot_events;
+    for (size_t i = 0; i < ts.trajectories.size(); ++i) {
+      auto events =
+          grammar.Infer(ts.trajectories[i], ts.tracking.tracks[i].player_id)
+              .TakeValue();
+      for (const auto& a : events) {
+        shot_events.push_back({a.symbol, static_cast<int>(a.IntOr("player", -1)),
+                               a.range});
+      }
+    }
+    MergeServes(&shot_events, &out);
+  }
+  return out;
+}
+
+/// Trains the HMM on disjoint seeds, runs it over tracked shots.
+std::vector<detectors::NamedInterval> HmmEvents(
+    const std::vector<core::TennisVideoIndexer::TrackedShot>& shots) {
+  static const detectors::HmmEventRecognizer* recognizer = [] {
+    auto* rec = new detectors::HmmEventRecognizer();
+    std::vector<std::vector<int>> states, symbols;
+    for (uint64_t seed : {900, 901, 902, 903}) {
+      EvalData train = Prepare(seed);
+      for (const auto& ts : train.tracked) {
+        for (size_t i = 0; i < ts.tracking.tracks.size(); ++i) {
+          states.push_back(detectors::BuildTruthStateSequence(
+              train.broadcast.truth, ts.tracking.tracks[i].player_id, ts.shot));
+          symbols.push_back(detectors::EncodeTrackSymbols(
+              ts.tracking.tracks[i], ts.tracking.court, ts.shot));
+        }
+      }
+    }
+    auto status = rec->Train(states, symbols);
+    if (!status.ok()) std::printf("HMM training failed: %s\n", status.ToString().c_str());
+    return rec;
+  }();
+
+  std::vector<detectors::NamedInterval> out;
+  for (const auto& ts : shots) {
+    std::vector<detectors::NamedInterval> shot_events;
+    for (const auto& track : ts.tracking.tracks) {
+      auto events = recognizer->Recognize(track, ts.tracking.court, ts.shot);
+      if (!events.ok()) continue;
+      for (const auto& e : *events) {
+        shot_events.push_back({e.name, e.player_id, e.range});
+      }
+    }
+    MergeServes(&shot_events, &out);
+  }
+  return out;
+}
+
+void PrintPerEvent(const char* method,
+                   const std::vector<detectors::NamedInterval>& truth,
+                   const std::vector<detectors::NamedInterval>& detected) {
+  for (const char* name :
+       {media::kEventServe, media::kEventNetPlay, media::kEventBaselinePlay}) {
+    std::vector<detectors::NamedInterval> t, d;
+    for (const auto& e : truth) {
+      if (e.name == name) t.push_back(e);
+    }
+    for (const auto& e : detected) {
+      if (e.name == name) d.push_back(e);
+    }
+    PrecisionRecall pr = detectors::MatchEvents(t, d, 0.3);
+    std::printf("%-8s %-14s %8.3f %8.3f %8.3f %6zu %6zu\n", method, name,
+                pr.Precision(), pr.Recall(), pr.F1(), t.size(), d.size());
+  }
+}
+
+void RunComparison() {
+  bench::PrintHeader("E5", "event detection: rules (white-box) vs HMM");
+  std::printf("%-8s %-14s %8s %8s %8s %6s %6s\n", "method", "event", "P", "R",
+              "F1", "truth", "det");
+  std::vector<detectors::NamedInterval> truth_all, rules_all, hmm_all;
+  for (uint64_t seed : {42, 43, 44}) {
+    EvalData data = Prepare(seed);
+    auto truth = TruthEvents(data.broadcast.truth);
+    auto rules = RuleEvents(data.tracked);
+    auto hmm = HmmEvents(data.tracked);
+    truth_all.insert(truth_all.end(), truth.begin(), truth.end());
+    rules_all.insert(rules_all.end(), rules.begin(), rules.end());
+    hmm_all.insert(hmm_all.end(), hmm.begin(), hmm.end());
+  }
+  PrintPerEvent("rules", truth_all, rules_all);
+  PrintPerEvent("hmm", truth_all, hmm_all);
+
+  std::printf("\nrobustness to trajectory jitter (net_play F1):\n");
+  std::printf("%-12s %10s %10s\n", "jitter_px", "rules", "hmm");
+  for (double sigma : {0.0, 1.0, 2.0, 4.0, 6.0}) {
+    double f1_rules = 0.0, f1_hmm = 0.0;
+    int n = 0;
+    for (uint64_t seed : {42, 43}) {
+      EvalData data = Prepare(seed);
+      Rng rng(seed * 31 + static_cast<uint64_t>(sigma * 10));
+      JitterTracks(&data.tracked, sigma, &rng);
+      auto truth = TruthEvents(data.broadcast.truth);
+      std::vector<detectors::NamedInterval> truth_net;
+      for (const auto& e : truth) {
+        if (e.name == media::kEventNetPlay) truth_net.push_back(e);
+      }
+      auto filter_net = [](const std::vector<detectors::NamedInterval>& all) {
+        std::vector<detectors::NamedInterval> out;
+        for (const auto& e : all) {
+          if (e.name == media::kEventNetPlay) out.push_back(e);
+        }
+        return out;
+      };
+      f1_rules += detectors::MatchEvents(truth_net, filter_net(RuleEvents(data.tracked)), 0.3).F1();
+      f1_hmm += detectors::MatchEvents(truth_net, filter_net(HmmEvents(data.tracked)), 0.3).F1();
+      ++n;
+    }
+    std::printf("%-12.1f %10.3f %10.3f\n", sigma, f1_rules / n, f1_hmm / n);
+  }
+  bench::PrintRule();
+}
+
+void BM_RuleInference(benchmark::State& state) {
+  EvalData data = Prepare(42);
+  auto grammar = core::EventGrammar::Parse(core::TennisEventRulesText()).TakeValue();
+  for (auto _ : state) {
+    for (const auto& ts : data.tracked) {
+      for (size_t i = 0; i < ts.trajectories.size(); ++i) {
+        auto events =
+            grammar.Infer(ts.trajectories[i], ts.tracking.tracks[i].player_id);
+        benchmark::DoNotOptimize(events);
+      }
+    }
+  }
+}
+BENCHMARK(BM_RuleInference)->Unit(benchmark::kMicrosecond);
+
+void BM_HmmViterbiDecode(benchmark::State& state) {
+  EvalData data = Prepare(42);
+  detectors::HmmEventRecognizer recognizer;
+  std::vector<std::vector<int>> states, symbols;
+  for (const auto& ts : data.tracked) {
+    for (size_t i = 0; i < ts.tracking.tracks.size(); ++i) {
+      states.push_back(detectors::BuildTruthStateSequence(
+          data.broadcast.truth, ts.tracking.tracks[i].player_id, ts.shot));
+      symbols.push_back(detectors::EncodeTrackSymbols(
+          ts.tracking.tracks[i], ts.tracking.court, ts.shot));
+    }
+  }
+  if (!recognizer.Train(states, symbols).ok()) {
+    state.SkipWithError("training failed");
+    return;
+  }
+  for (auto _ : state) {
+    for (const auto& ts : data.tracked) {
+      for (const auto& track : ts.tracking.tracks) {
+        auto decoded = recognizer.DecodeStates(track, ts.tracking.court, ts.shot);
+        benchmark::DoNotOptimize(decoded);
+      }
+    }
+  }
+}
+BENCHMARK(BM_HmmViterbiDecode)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,132 @@
+/// \file bench_e6_topn_text.cc
+/// E6 — full-text top-N retrieval (ref [1], Blok et al.): exhaustive vs
+/// top-N-optimized evaluation. Reproduced shape: the optimized evaluator
+/// scans fewer postings and is faster for small N, and its advantage grows
+/// with collection size; results are identical to the baseline's top N
+/// (safe optimization).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+
+#include "bench_util.h"
+#include "text/corpus.h"
+#include "text/inverted_index.h"
+
+namespace {
+
+using namespace cobra;  // NOLINT
+
+std::unique_ptr<text::InvertedIndex> BuildIndex(size_t num_docs, uint64_t seed) {
+  text::CorpusConfig config;
+  config.num_docs = num_docs;
+  config.vocabulary_size = 8000;
+  config.seed = seed;
+  auto corpus = text::SyntheticCorpus::Generate(config).TakeValue();
+  auto index = std::make_unique<text::InvertedIndex>();
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    (void)index->AddText(static_cast<int64_t>(d), corpus.document(d));
+  }
+  (void)index->Finalize();
+  return index;
+}
+
+std::string BenchQuery(uint64_t salt) {
+  // One frequent head word plus three mid-frequency words: long postings to
+  // prune, rare terms to rank by.
+  text::CorpusConfig config;
+  config.vocabulary_size = 8000;
+  text::SyntheticCorpus corpus =
+      text::SyntheticCorpus::Generate(config).TakeValue();
+  return text::VocabularyWord(1 + salt % 3) + " " + corpus.MakeQuery(3, salt);
+}
+
+void RunTable() {
+  bench::PrintHeader("E6", "top-N text retrieval: exhaustive vs optimized");
+  std::printf("%-10s %-6s %14s %14s %9s %14s %14s %9s\n", "docs", "N",
+              "exh_ms", "topn_ms", "speedup", "exh_postings", "topn_postings",
+              "identical");
+  for (size_t docs : {1000, 4000, 16000, 32000}) {
+    auto index = BuildIndex(docs, 7);
+    for (size_t n : {10, 20, 50, 100}) {
+      double exhaustive_ms = 0, topn_ms = 0;
+      int64_t exhaustive_postings = 0, topn_postings = 0;
+      bool identical = true;
+      const int kQueries = 12;
+      for (int q = 0; q < kQueries; ++q) {
+        std::string query = BenchQuery(static_cast<uint64_t>(q));
+        text::SearchStats stats;
+        auto t0 = std::chrono::steady_clock::now();
+        auto exhaustive = index->SearchExhaustive(query, n, &stats).TakeValue();
+        auto t1 = std::chrono::steady_clock::now();
+        exhaustive_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+        exhaustive_postings += stats.postings_scanned;
+
+        t0 = std::chrono::steady_clock::now();
+        auto topn = index->SearchTopN(query, n, &stats).TakeValue();
+        t1 = std::chrono::steady_clock::now();
+        topn_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+        topn_postings += stats.postings_scanned;
+
+        if (topn.size() != exhaustive.size()) identical = false;
+        for (size_t i = 0; identical && i < topn.size(); ++i) {
+          if (topn[i].doc_id != exhaustive[i].doc_id) identical = false;
+        }
+      }
+      std::printf("%-10zu %-6zu %14.3f %14.3f %8.2fx %14lld %14lld %9s\n",
+                  docs, n, exhaustive_ms / kQueries, topn_ms / kQueries,
+                  exhaustive_ms / std::max(topn_ms, 1e-9),
+                  static_cast<long long>(exhaustive_postings / kQueries),
+                  static_cast<long long>(topn_postings / kQueries),
+                  identical ? "yes" : "NO");
+    }
+  }
+  bench::PrintRule();
+}
+
+void BM_Search(benchmark::State& state) {
+  static auto index = BuildIndex(16000, 7);
+  const bool optimized = state.range(0) == 1;
+  const size_t n = static_cast<size_t>(state.range(1));
+  std::string query = BenchQuery(3);
+  for (auto _ : state) {
+    auto hits = optimized ? index->SearchTopN(query, n)
+                          : index->SearchExhaustive(query, n);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_Search)
+    ->Args({0, 10})
+    ->Args({1, 10})
+    ->Args({0, 100})
+    ->Args({1, 100})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IndexBuild(benchmark::State& state) {
+  text::CorpusConfig config;
+  config.num_docs = static_cast<size_t>(state.range(0));
+  config.vocabulary_size = 8000;
+  auto corpus = text::SyntheticCorpus::Generate(config).TakeValue();
+  for (auto _ : state) {
+    text::InvertedIndex index;
+    for (size_t d = 0; d < corpus.size(); ++d) {
+      (void)index.AddText(static_cast<int64_t>(d), corpus.document(d));
+    }
+    (void)index.Finalize();
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["docs/s"] = benchmark::Counter(
+      static_cast<double>(config.num_docs) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,195 @@
+/// \file bench_e7_combined_query.cc
+/// E7 — the motivating query of paper §2: "video scenes of left-handed
+/// female players who have won the Australian Open in the past, in which
+/// they approach the net". Compares the conceptual (webspace + COBRA)
+/// engine against the keyword-only baseline on player precision/recall,
+/// and reports the engine's latency breakdown. Expected shape: conceptual
+/// query precision 1.0 (exact semantics); keyword search poisoned by the
+/// hidden-semantics trap.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <set>
+
+#include "bench_util.h"
+#include "core/tennis_fde.h"
+#include "engine/digital_library.h"
+#include "engine/query_language.h"
+#include "media/tennis_synthesizer.h"
+#include "util/stats.h"
+#include "webspace/site_synthesizer.h"
+
+namespace {
+
+using namespace cobra;  // NOLINT
+
+struct Library {
+  std::unique_ptr<engine::DigitalLibrary> library;
+  std::vector<int64_t> answer;     ///< left-handed female champions
+  std::vector<int64_t> champions;
+  size_t num_players = 0;
+};
+
+const Library& SharedLibrary() {
+  static const Library* lib = [] {
+    webspace::SiteConfig site_config;
+    site_config.num_players = 24;
+    site_config.num_past_years = 6;
+    site_config.videos_per_year = 1;
+    site_config.seed = 2002;
+    site_config.ensure_answer = true;
+    auto site = webspace::SiteSynthesizer::Generate(site_config).TakeValue();
+    auto* out = new Library();
+    out->answer = site.left_handed_female_champions;
+    out->champions = site.champions;
+    out->num_players = site.player_oids.size();
+    auto interview_texts = site.interview_texts;
+    auto video_seeds = site.video_seeds;
+    out->library =
+        engine::DigitalLibrary::Create(std::move(site.store)).TakeValue();
+    for (const auto& [oid, text] : interview_texts) {
+      (void)out->library->AddInterview(oid, text);
+    }
+    (void)out->library->FinalizeText();
+    auto indexer = core::TennisVideoIndexer::Create().TakeValue();
+    for (const auto& [video_oid, seed] : video_seeds) {
+      media::TennisSynthConfig config;
+      config.width = 128;
+      config.height = 96;
+      config.num_points = 2;
+      config.min_court_frames = 100;
+      config.max_court_frames = 130;
+      config.min_cutaway_frames = 12;
+      config.max_cutaway_frames = 18;
+      config.noise_sigma = 3.0;
+      config.net_approach_prob = 1.0;
+      config.seed = seed;
+      auto broadcast =
+          media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+      auto desc = indexer->Index(*broadcast.video, video_oid, "match");
+      if (desc.ok()) (void)out->library->AddVideoDescription(*desc);
+    }
+    return out;
+  }();
+  return *lib;
+}
+
+PrecisionRecall ScorePlayers(const std::vector<int64_t>& truth,
+                             const std::set<int64_t>& found) {
+  PrecisionRecall pr;
+  std::set<int64_t> truth_set(truth.begin(), truth.end());
+  for (int64_t p : found) {
+    if (truth_set.count(p)) {
+      pr.true_positives++;
+    } else {
+      pr.false_positives++;
+    }
+  }
+  for (int64_t p : truth) {
+    if (!found.count(p)) pr.false_negatives++;
+  }
+  return pr;
+}
+
+void RunComparison() {
+  bench::PrintHeader("E7", "combined concept+content query vs keyword search");
+  const Library& lib = SharedLibrary();
+  std::printf("site: %zu players, %zu champions, truth answer size %zu\n\n",
+              lib.num_players, lib.champions.size(), lib.answer.size());
+
+  // --- conceptual combined query (typed in the demo query language) ---
+  auto query = engine::ParseQuery(
+                   "player.hand = left AND player.gender = female AND "
+                   "won = any AND event = net_play")
+                   .TakeValue();
+  auto t0 = std::chrono::steady_clock::now();
+  auto hits = lib.library->Search(query).TakeValue();
+  auto t1 = std::chrono::steady_clock::now();
+  std::set<int64_t> concept_players;
+  for (const auto& hit : hits) concept_players.insert(hit.player_oid);
+  PrecisionRecall concept_pr = ScorePlayers(lib.answer, concept_players);
+
+  // --- keyword baselines at several cutoffs ---
+  std::printf("%-34s %8s %8s %8s %8s\n", "method", "P", "R", "F1", "scenes");
+  std::printf("%-34s %8.3f %8.3f %8.3f %8zu\n",
+              "conceptual (webspace+COBRA)", concept_pr.Precision(),
+              concept_pr.Recall(), concept_pr.F1(), hits.size());
+  for (size_t k : {5, 10, 20}) {
+    auto keyword = lib.library
+                       ->SearchKeywordOnly(
+                           "left handed female champion won title "
+                           "approaching the net",
+                           k)
+                       .TakeValue();
+    std::set<int64_t> keyword_players;
+    for (const auto& hit : keyword) keyword_players.insert(hit.player_oid);
+    PrecisionRecall pr = ScorePlayers(lib.answer, keyword_players);
+    std::printf("keyword top-%-22zu %8.3f %8.3f %8.3f %8s\n", k, pr.Precision(),
+                pr.Recall(), pr.F1(), "-");
+  }
+
+  double query_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::printf("\ncombined query latency: %.3f ms (over pre-built indexes)\n",
+              query_ms);
+  std::printf("answer scenes:\n");
+  for (const auto& hit : hits) {
+    std::printf("  %-24s video %lld frames %s\n", hit.player_name.c_str(),
+                static_cast<long long>(hit.video_oid),
+                hit.range.ToString().c_str());
+  }
+  bench::PrintRule();
+}
+
+void BM_CombinedQuery(benchmark::State& state) {
+  const Library& lib = SharedLibrary();
+  auto query = engine::ParseQuery(
+                   "player.hand = left AND player.gender = female AND "
+                   "won = any AND event = net_play")
+                   .TakeValue();
+  for (auto _ : state) {
+    auto hits = lib.library->Search(query);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_CombinedQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_ConceptOnlyQuery(benchmark::State& state) {
+  const Library& lib = SharedLibrary();
+  auto query =
+      engine::ParseQuery("player.hand = left AND won = any").TakeValue();
+  for (auto _ : state) {
+    auto hits = lib.library->Search(query);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_ConceptOnlyQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_KeywordBaseline(benchmark::State& state) {
+  const Library& lib = SharedLibrary();
+  for (auto _ : state) {
+    auto hits = lib.library->SearchKeywordOnly("champion title net", 10);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_KeywordBaseline)->Unit(benchmark::kMicrosecond);
+
+void BM_QueryParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto query = engine::ParseQuery(
+        "player.hand = left AND player.gender = female AND won = any AND "
+        "event = net_play AND text ~ \"approaching the net\"");
+    benchmark::DoNotOptimize(query);
+  }
+}
+BENCHMARK(BM_QueryParse)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

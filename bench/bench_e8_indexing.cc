@@ -1,0 +1,114 @@
+/// \file bench_e8_indexing.cc
+/// E8 — meta-index population throughput (paper §3): per-stage cost of one
+/// FDE run (frames/s per detector), end-to-end indexing rate, and the
+/// incremental-reindex experiment that motivates Acoi: after replacing one
+/// event detector, only the dirty suffix of the dependency graph re-runs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/tennis_fde.h"
+#include "grammar/fde.h"
+#include "media/tennis_synthesizer.h"
+
+namespace {
+
+using namespace cobra;  // NOLINT
+
+void RunThroughputTable() {
+  bench::PrintHeader("E8", "FDE meta-index population throughput");
+  auto config = bench::DefaultBroadcast();
+  config.num_points = 8;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  const double frames = static_cast<double>(broadcast.video->num_frames());
+
+  auto indexer = core::TennisVideoIndexer::Create().TakeValue();
+  auto desc = indexer->Index(*broadcast.video, 1, "e8").TakeValue();
+  (void)desc;
+  const auto& report = *indexer->last_report();
+
+  std::printf("video: %.0f frames (%dx%d)\n\n", frames,
+              broadcast.video->width(), broadcast.video->height());
+  std::printf("%-16s %10s %12s %12s\n", "detector", "annotations", "ms",
+              "frames/s");
+  for (const auto& d : report.detectors) {
+    std::printf("%-16s %10lld %12.2f %12.0f\n", d.symbol.c_str(),
+                static_cast<long long>(d.annotations_out), d.millis,
+                d.millis > 0 ? frames / (d.millis / 1000.0) : 0.0);
+  }
+  std::printf("%-16s %10lld %12.2f %12.0f\n", "TOTAL",
+              static_cast<long long>(report.TotalAnnotations()),
+              report.total_millis, frames / (report.total_millis / 1000.0));
+
+  // --- incremental re-index after changing one event detector ---
+  std::printf("\nincremental re-index (replace 'net_play' detector):\n");
+  auto& fde = indexer->fde();
+  (void)fde.ReplaceDetector(
+      "net_play",
+      [](const grammar::DetectionContext&) -> Result<std::vector<grammar::Annotation>> {
+        return std::vector<grammar::Annotation>{};
+      });
+  auto incremental = fde.RunIncremental(*broadcast.video).TakeValue();
+  int cached = 0, rerun = 0;
+  for (const auto& d : incremental.detectors) {
+    if (d.from_cache) {
+      ++cached;
+    } else {
+      ++rerun;
+    }
+  }
+  std::printf("  full run:        %10.2f ms (10 detectors)\n",
+              report.total_millis);
+  std::printf("  incremental run: %10.2f ms (%d cached, %d re-run)\n",
+              incremental.total_millis, cached, rerun);
+  std::printf("  speedup:         %10.1fx\n",
+              report.total_millis / std::max(incremental.total_millis, 1e-9));
+  bench::PrintRule();
+}
+
+void BM_SynthesizeBroadcast(benchmark::State& state) {
+  auto config = bench::DefaultBroadcast();
+  config.num_points = static_cast<int>(state.range(0));
+  int64_t frames = 0;
+  for (auto _ : state) {
+    auto broadcast = media::TennisBroadcastSynthesizer(config).Synthesize();
+    frames = broadcast->video->num_frames();
+    benchmark::DoNotOptimize(broadcast);
+  }
+  state.counters["frames/s"] = benchmark::Counter(
+      static_cast<double>(frames) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SynthesizeBroadcast)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalReindex(benchmark::State& state) {
+  auto config = bench::DefaultBroadcast();
+  config.num_points = 3;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  auto indexer = core::TennisVideoIndexer::Create().TakeValue();
+  (void)indexer->Index(*broadcast.video, 1, "bm").TakeValue();
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)indexer->fde().ReplaceDetector(
+        "net_play",
+        [](const grammar::DetectionContext&)
+            -> Result<std::vector<grammar::Annotation>> {
+          return std::vector<grammar::Annotation>{};
+        });
+    state.ResumeTiming();
+    auto report = indexer->fde().RunIncremental(*broadcast.video);
+    if (!report.ok()) state.SkipWithError(report.status().ToString().c_str());
+  }
+}
+BENCHMARK(BM_IncrementalReindex)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunThroughputTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

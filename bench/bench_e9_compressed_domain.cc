@@ -1,0 +1,148 @@
+/// \file bench_e9_compressed_domain.cc
+/// E9 (extension) — compressed-domain vs pixel-domain shot detection.
+/// The demo's raw layer is MPEG video; an encoder's macroblock statistics
+/// (intra-coded ratio) give shot boundaries for free, without decoding
+/// pixels or computing histograms. The table compares detection quality and
+/// cost, plus the codec's rate/distortion behaviour.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_util.h"
+#include "detectors/compressed_shot_boundary.h"
+#include "detectors/shot_boundary.h"
+#include "media/block_codec.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace cobra;  // NOLINT
+
+void RunComparison() {
+  bench::PrintHeader("E9", "compressed-domain vs pixel-domain shot detection");
+  std::printf("%-8s %-22s %8s %8s %8s %12s\n", "noise", "method", "P", "R",
+              "F1", "ms");
+  for (double noise : {0.0, 4.0, 8.0}) {
+    auto broadcast = media::TennisBroadcastSynthesizer(
+                         bench::DefaultBroadcast(42, noise))
+                         .Synthesize()
+                         .TakeValue();
+    auto cuts = broadcast.truth.CutPositions();
+    auto encoded =
+        media::BlockVideoEncoder::Encode(*broadcast.video).TakeValue();
+
+    // Pixel domain: decode + histogram differencing.
+    media::CodedVideoSource decoded(encoded);
+    detectors::ShotBoundaryDetector pixel_detector;
+    auto t0 = std::chrono::steady_clock::now();
+    auto pixel = pixel_detector.Detect(decoded).TakeValue();
+    auto t1 = std::chrono::steady_clock::now();
+    double pixel_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    PrecisionRecall pixel_pr = MatchWithTolerance(cuts, pixel.boundaries, 2);
+
+    // Compressed domain: threshold the encoder statistics.
+    detectors::CompressedShotBoundaryDetector compressed_detector;
+    t0 = std::chrono::steady_clock::now();
+    auto compressed = compressed_detector.Detect(encoded);
+    t1 = std::chrono::steady_clock::now();
+    double compressed_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    PrecisionRecall compressed_pr = MatchWithTolerance(cuts, compressed, 2);
+
+    std::printf("%-8.0f %-22s %8.3f %8.3f %8.3f %12.3f\n", noise,
+                "pixel (decode+hist)", pixel_pr.Precision(), pixel_pr.Recall(),
+                pixel_pr.F1(), pixel_ms);
+    std::printf("%-8.0f %-22s %8.3f %8.3f %8.3f %12.3f\n", noise,
+                "compressed (MB stats)", compressed_pr.Precision(),
+                compressed_pr.Recall(), compressed_pr.F1(), compressed_ms);
+  }
+
+  // --- rate / distortion of the codec itself ---
+  std::printf("\ncodec rate/distortion (%d frames):\n",
+              static_cast<int>(bench::DefaultBroadcast().num_points));
+  std::printf("%-10s %14s %12s %12s\n", "quality", "bytes/frame", "ratio",
+              "mean PSNR");
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(bench::DefaultBroadcast()).Synthesize()
+          .TakeValue();
+  for (int quality : {30, 50, 75, 90}) {
+    media::CodecConfig config;
+    config.quality = quality;
+    auto encoded =
+        media::BlockVideoEncoder::Encode(*broadcast.video, config).TakeValue();
+    double ratio = encoded.CompressionRatio();
+    double bytes_per_frame = static_cast<double>(encoded.TotalBytes()) /
+                             static_cast<double>(encoded.num_frames());
+    media::CodedVideoSource decoded(std::move(encoded));
+    RunningStats psnr;
+    for (int64_t f = 0; f < decoded.num_frames(); f += 25) {
+      psnr.Add(media::ComputePsnr(broadcast.video->GetFrame(f).TakeValue(),
+                                  decoded.GetFrame(f).TakeValue())
+                   .TakeValue());
+    }
+    std::printf("%-10d %14.0f %11.1fx %12.2f\n", quality, bytes_per_frame,
+                ratio, psnr.mean());
+  }
+  bench::PrintRule();
+}
+
+void BM_Encode(benchmark::State& state) {
+  auto config = bench::DefaultBroadcast();
+  config.num_points = 1;
+  config.include_cutaways = false;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  for (auto _ : state) {
+    auto encoded = media::BlockVideoEncoder::Encode(*broadcast.video);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.counters["frames/s"] = benchmark::Counter(
+      static_cast<double>(broadcast.video->num_frames()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Encode)->Unit(benchmark::kMillisecond);
+
+void BM_DecodeSequential(benchmark::State& state) {
+  auto config = bench::DefaultBroadcast();
+  config.num_points = 1;
+  config.include_cutaways = false;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  auto encoded = media::BlockVideoEncoder::Encode(*broadcast.video).TakeValue();
+  media::CodedVideoSource decoded(std::move(encoded));
+  for (auto _ : state) {
+    for (int64_t f = 0; f < decoded.num_frames(); ++f) {
+      auto frame = decoded.GetFrame(f);
+      benchmark::DoNotOptimize(frame);
+    }
+  }
+  state.counters["frames/s"] = benchmark::Counter(
+      static_cast<double>(decoded.num_frames()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeSequential)->Unit(benchmark::kMillisecond);
+
+void BM_CompressedDetect(benchmark::State& state) {
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(bench::DefaultBroadcast()).Synthesize()
+          .TakeValue();
+  auto encoded = media::BlockVideoEncoder::Encode(*broadcast.video).TakeValue();
+  detectors::CompressedShotBoundaryDetector detector;
+  for (auto _ : state) {
+    auto cuts = detector.Detect(encoded);
+    benchmark::DoNotOptimize(cuts);
+  }
+}
+BENCHMARK(BM_CompressedDetect)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

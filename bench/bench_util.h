@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file bench_util.h
+/// Shared helpers for the experiment harness (one binary per experiment,
+/// see DESIGN.md §4). Each binary prints its paper-style table(s) first and
+/// then runs its google-benchmark timings.
+
+#include <cstdio>
+#include <string>
+
+#include "media/tennis_synthesizer.h"
+
+namespace cobra::bench {
+
+/// The default broadcast for detector experiments: ~1.3k frames, 5 points.
+inline media::TennisSynthConfig DefaultBroadcast(uint64_t seed = 42,
+                                                 double noise_sigma = 4.0) {
+  media::TennisSynthConfig config;
+  config.width = 160;
+  config.height = 120;
+  config.num_points = 5;
+  config.min_court_frames = 100;
+  config.max_court_frames = 160;
+  config.min_cutaway_frames = 16;
+  config.max_cutaway_frames = 32;
+  config.noise_sigma = noise_sigma;
+  config.net_approach_prob = 1.0;
+  config.seed = seed;
+  return config;
+}
+
+inline void PrintHeader(const char* experiment, const char* title) {
+  std::printf("\n==== %s: %s ====\n", experiment, title);
+}
+
+inline void PrintRule() {
+  std::printf("-------------------------------------------------------------\n");
+}
+
+}  // namespace cobra::bench

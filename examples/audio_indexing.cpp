@@ -1,0 +1,52 @@
+/// \file audio_indexing.cpp
+/// Indexing the site's audio fragments: synthesize an interview recording
+/// (speech with pauses, applause at the end), segment it, and print the
+/// detected timeline next to the truth.
+///
+///   ./build/examples/audio_indexing
+
+#include <cstdio>
+
+#include "audio/features.h"
+#include "audio/synthesizer.h"
+
+using namespace cobra;  // NOLINT
+
+int main() {
+  audio::AudioSynthConfig config;
+  config.seed = 2002;
+  audio::AudioSynthesizer synth(config);
+  auto interview = synth.Interview(15.0, /*applause_tail=*/true);
+  const double sr = interview.signal.sample_rate();
+  std::printf("interview recording: %.1f s at %d Hz, %zu true segments\n\n",
+              interview.signal.DurationSeconds(),
+              interview.signal.sample_rate(), interview.segments.size());
+
+  std::printf("truth timeline:\n");
+  for (const auto& segment : interview.segments) {
+    std::printf("  %6.2fs - %6.2fs  %s\n", segment.range.begin / sr,
+                segment.range.end / sr, segment.label.c_str());
+  }
+
+  audio::AudioAnalyzer analyzer;
+  auto segments = analyzer.Segment(interview.signal);
+  if (!segments.ok()) {
+    std::fprintf(stderr, "%s\n", segments.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ndetected timeline:\n");
+  for (const auto& segment : *segments) {
+    std::printf("  %6.2fs - %6.2fs  %s\n", segment.range.begin / sr,
+                segment.range.end / sr, segment.label.c_str());
+  }
+
+  for (const char* label : {audio::kClassSpeech, audio::kClassSilence,
+                            audio::kClassApplause, audio::kClassMusic}) {
+    double fraction =
+        audio::LabeledFraction(*segments, label,
+                               interview.signal.num_samples())
+            .TakeValue();
+    std::printf("%-10s %5.1f%%\n", label, 100.0 * fraction);
+  }
+  return 0;
+}

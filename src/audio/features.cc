@@ -1,0 +1,141 @@
+#include "audio/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "audio/fft.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace cobra::audio {
+
+AudioAnalyzer::AudioAnalyzer(AudioAnalyzerConfig config) : config_(config) {}
+
+namespace {
+
+double Harmonicity(const std::vector<float>& frame, int sample_rate,
+                   double min_hz, double max_hz) {
+  // Normalized autocorrelation peak in the pitch lag range.
+  const int n = static_cast<int>(frame.size());
+  int min_lag = std::max(1, static_cast<int>(sample_rate / max_hz));
+  int max_lag = std::min(n - 1, static_cast<int>(sample_rate / min_hz));
+  if (max_lag <= min_lag) return 0.0;
+  double energy = 1e-12;
+  for (float s : frame) energy += static_cast<double>(s) * s;
+  double best = 0.0;
+  for (int lag = min_lag; lag <= max_lag; ++lag) {
+    double acc = 0.0;
+    for (int i = 0; i + lag < n; ++i) {
+      acc += static_cast<double>(frame[static_cast<size_t>(i)]) *
+             frame[static_cast<size_t>(i + lag)];
+    }
+    best = std::max(best, acc / energy);
+  }
+  return std::clamp(best, 0.0, 1.0);
+}
+
+}  // namespace
+
+Result<std::vector<AudioFrameFeatures>> AudioAnalyzer::Analyze(
+    const AudioSignal& signal) const {
+  if (config_.frame_samples < 64 || config_.hop_samples < 1) {
+    return Status::InvalidArgument("bad analyzer frame/hop");
+  }
+  std::vector<AudioFrameFeatures> out;
+  const int64_t n = signal.num_samples();
+  for (int64_t start = 0; start + config_.frame_samples <= n;
+       start += config_.hop_samples) {
+    std::vector<float> frame(
+        signal.samples().begin() + static_cast<size_t>(start),
+        signal.samples().begin() +
+            static_cast<size_t>(start + config_.frame_samples));
+    AudioFrameFeatures features;
+    features.rms = signal.Rms(start, config_.frame_samples);
+    int crossings = 0;
+    for (size_t i = 1; i < frame.size(); ++i) {
+      if ((frame[i - 1] >= 0) != (frame[i] >= 0)) ++crossings;
+    }
+    features.zero_crossing_rate =
+        static_cast<double>(crossings) / static_cast<double>(frame.size());
+    COBRA_ASSIGN_OR_RETURN(std::vector<double> spectrum,
+                           MagnitudeSpectrum(frame));
+    features.spectral_centroid_hz =
+        SpectralCentroidHz(spectrum, signal.sample_rate());
+    features.spectral_flatness = SpectralFlatness(spectrum);
+    features.harmonicity = Harmonicity(frame, signal.sample_rate(),
+                                       config_.min_pitch_hz, config_.max_pitch_hz);
+    out.push_back(features);
+  }
+  return out;
+}
+
+std::string AudioAnalyzer::ClassifyRun(
+    const std::vector<AudioFrameFeatures>& features, size_t begin_frame,
+    size_t end_frame) const {
+  RunningStats rms, flatness, harmonicity;
+  for (size_t f = begin_frame; f < end_frame; ++f) {
+    rms.Add(features[f].rms);
+    flatness.Add(features[f].spectral_flatness);
+    harmonicity.Add(features[f].harmonicity);
+  }
+  // Noise (applause): flat spectrum, no pitch.
+  if (flatness.mean() > 0.5 || harmonicity.mean() < 0.2) {
+    return kClassApplause;
+  }
+  // Tonal content: syllabic energy modulation separates speech (per-run
+  // coefficient of variation ~0.35-0.45, driven by the syllable envelopes)
+  // from sustained music (~0.2).
+  double modulation = rms.mean() > 0 ? rms.stddev() / rms.mean() : 0.0;
+  return modulation > 0.28 ? kClassSpeech : kClassMusic;
+}
+
+Result<std::vector<AudioSegment>> AudioAnalyzer::Segment(
+    const AudioSignal& signal) const {
+  COBRA_ASSIGN_OR_RETURN(std::vector<AudioFrameFeatures> features,
+                         Analyze(signal));
+  std::vector<AudioSegment> out;
+  if (features.empty()) return out;
+
+  auto frame_begin = [&](size_t f) {
+    return static_cast<int64_t>(f) * config_.hop_samples;
+  };
+  auto emit = [&](size_t begin_frame, size_t end_frame, bool silent) {
+    AudioSegment segment;
+    segment.range.begin = frame_begin(begin_frame);
+    segment.range.end =
+        end_frame == features.size()
+            ? signal.num_samples() - 1
+            : frame_begin(end_frame) - 1;
+    segment.label = silent ? kClassSilence
+                           : ClassifyRun(features, begin_frame, end_frame);
+    out.push_back(std::move(segment));
+  };
+
+  size_t run_start = 0;
+  bool run_silent = features[0].rms < config_.silence_rms;
+  for (size_t f = 1; f <= features.size(); ++f) {
+    bool silent =
+        f < features.size() ? features[f].rms < config_.silence_rms : !run_silent;
+    if (silent != run_silent || f == features.size()) {
+      emit(run_start, f, run_silent);
+      run_start = f;
+      run_silent = silent;
+    }
+  }
+  return out;
+}
+
+Result<double> LabeledFraction(const std::vector<AudioSegment>& segments,
+                               const std::string& label,
+                               int64_t total_samples) {
+  if (total_samples <= 0) {
+    return Status::InvalidArgument("total_samples must be positive");
+  }
+  int64_t covered = 0;
+  for (const AudioSegment& segment : segments) {
+    if (segment.label == label) covered += segment.range.Length();
+  }
+  return static_cast<double>(covered) / static_cast<double>(total_samples);
+}
+
+}  // namespace cobra::audio

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file features.h
+/// Frame-based audio features and the rule-based segmenter/classifier for
+/// the site's audio fragments: silence detection, then
+/// speech / music / applause discrimination from energy dynamics,
+/// harmonicity and spectral flatness.
+
+#include <string>
+#include <vector>
+
+#include "audio/signal.h"
+#include "util/status.h"
+
+namespace cobra::audio {
+
+struct AudioFrameFeatures {
+  double rms = 0.0;                ///< short-time energy
+  double zero_crossing_rate = 0.0; ///< crossings per sample, [0, 1]
+  double spectral_centroid_hz = 0.0;
+  double spectral_flatness = 0.0;  ///< ~1 noise, ~0 tonal
+  double harmonicity = 0.0;        ///< normalized autocorrelation peak, [0, 1]
+};
+
+struct AudioAnalyzerConfig {
+  int frame_samples = 512;
+  int hop_samples = 256;
+  /// Frames with RMS below this are silent.
+  double silence_rms = 0.01;
+  /// Pitch search range for the harmonicity feature.
+  double min_pitch_hz = 80.0;
+  double max_pitch_hz = 400.0;
+};
+
+/// Per-frame feature extraction.
+class AudioAnalyzer {
+ public:
+  explicit AudioAnalyzer(AudioAnalyzerConfig config = {});
+
+  /// Features of every analysis frame (hop-spaced).
+  Result<std::vector<AudioFrameFeatures>> Analyze(const AudioSignal& signal) const;
+
+  /// Splits the timeline into maximal silent / non-silent runs, then labels
+  /// each non-silent run speech / music / applause by aggregate features:
+  ///   applause: high spectral flatness (noise);
+  ///   music: tonal (high harmonicity) with low energy variation;
+  ///   speech: tonal with strong syllabic energy modulation.
+  Result<std::vector<AudioSegment>> Segment(const AudioSignal& signal) const;
+
+  const AudioAnalyzerConfig& config() const { return config_; }
+
+ private:
+  std::string ClassifyRun(const std::vector<AudioFrameFeatures>& features,
+                          size_t begin_frame, size_t end_frame) const;
+
+  AudioAnalyzerConfig config_;
+};
+
+/// Fraction of `signal`'s duration labeled `label` by the analyzer.
+Result<double> LabeledFraction(const std::vector<AudioSegment>& segments,
+                               const std::string& label, int64_t total_samples);
+
+}  // namespace cobra::audio

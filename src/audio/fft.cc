@@ -1,0 +1,96 @@
+#include "audio/fft.h"
+
+#include <cmath>
+
+namespace cobra::audio {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+bool IsPowerOfTwo(size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+Status Fft(std::vector<std::complex<double>>* data, bool inverse) {
+  const size_t n = data->size();
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument("FFT size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap((*data)[i], (*data)[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = 2.0 * kPi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        std::complex<double> u = (*data)[i + k];
+        std::complex<double> v = (*data)[i + k + len / 2] * w;
+        (*data)[i + k] = u + v;
+        (*data)[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : *data) x /= static_cast<double>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> MagnitudeSpectrum(const std::vector<float>& frame) {
+  if (frame.empty()) {
+    return Status::InvalidArgument("empty analysis frame");
+  }
+  const size_t n = NextPowerOfTwo(frame.size());
+  std::vector<std::complex<double>> data(n, {0.0, 0.0});
+  for (size_t i = 0; i < frame.size(); ++i) {
+    double window =
+        0.5 - 0.5 * std::cos(2.0 * kPi * static_cast<double>(i) /
+                             static_cast<double>(frame.size() - 1));
+    data[i] = std::complex<double>(frame[i] * window, 0.0);
+  }
+  COBRA_RETURN_NOT_OK(Fft(&data));
+  std::vector<double> magnitudes(n / 2 + 1);
+  for (size_t i = 0; i <= n / 2; ++i) magnitudes[i] = std::abs(data[i]);
+  return magnitudes;
+}
+
+double SpectralCentroidHz(const std::vector<double>& magnitudes,
+                          int sample_rate) {
+  if (magnitudes.size() < 2) return 0.0;
+  const double bin_hz = static_cast<double>(sample_rate) /
+                        (2.0 * static_cast<double>(magnitudes.size() - 1));
+  double weighted = 0.0, total = 0.0;
+  for (size_t i = 0; i < magnitudes.size(); ++i) {
+    weighted += static_cast<double>(i) * bin_hz * magnitudes[i];
+    total += magnitudes[i];
+  }
+  return total > 0 ? weighted / total : 0.0;
+}
+
+double SpectralFlatness(const std::vector<double>& magnitudes) {
+  if (magnitudes.empty()) return 0.0;
+  double log_sum = 0.0, sum = 0.0;
+  const double epsilon = 1e-12;
+  for (double m : magnitudes) {
+    double p = m * m + epsilon;
+    log_sum += std::log(p);
+    sum += p;
+  }
+  double geometric = std::exp(log_sum / static_cast<double>(magnitudes.size()));
+  double arithmetic = sum / static_cast<double>(magnitudes.size());
+  return arithmetic > 0 ? geometric / arithmetic : 0.0;
+}
+
+}  // namespace cobra::audio

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file fft.h
+/// Radix-2 FFT and spectral helpers for the audio feature extractor.
+
+#include <complex>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cobra::audio {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. data.size() must be a
+/// power of two.
+Status Fft(std::vector<std::complex<double>>* data, bool inverse = false);
+
+/// Magnitude spectrum of a real frame (Hann-windowed, zero-padded to the
+/// next power of two). Returns n/2+1 magnitudes.
+Result<std::vector<double>> MagnitudeSpectrum(const std::vector<float>& frame);
+
+/// Spectral centroid in Hz for a magnitude spectrum with the given
+/// underlying FFT size and sample rate.
+double SpectralCentroidHz(const std::vector<double>& magnitudes,
+                          int sample_rate);
+
+/// Spectral flatness (geometric mean / arithmetic mean) in [0, 1]; white
+/// noise -> 1, a pure tone -> ~0.
+double SpectralFlatness(const std::vector<double>& magnitudes);
+
+}  // namespace cobra::audio

@@ -1,0 +1,29 @@
+#include "audio/signal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cobra::audio {
+
+double AudioSignal::Rms(int64_t begin, int64_t len) const {
+  int64_t from = std::max<int64_t>(0, begin);
+  int64_t to = std::min<int64_t>(num_samples(), begin + len);
+  if (to <= from) return 0.0;
+  double acc = 0.0;
+  for (int64_t i = from; i < to; ++i) {
+    acc += static_cast<double>(samples_[static_cast<size_t>(i)]) *
+           samples_[static_cast<size_t>(i)];
+  }
+  return std::sqrt(acc / static_cast<double>(to - from));
+}
+
+Status AudioSignal::Append(const AudioSignal& other) {
+  if (other.sample_rate_ != sample_rate_ && num_samples() > 0) {
+    return Status::InvalidArgument("sample rates differ");
+  }
+  if (num_samples() == 0) sample_rate_ = other.sample_rate_;
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  return Status::OK();
+}
+
+}  // namespace cobra::audio

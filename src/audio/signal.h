@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file signal.h
+/// Mono PCM audio buffers — the raw layer for the audio fragments the
+/// tournament site carries ("audio files of interviews", paper §2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/geometry.h"
+#include "util/status.h"
+
+namespace cobra::audio {
+
+/// A mono float PCM signal in [-1, 1].
+class AudioSignal {
+ public:
+  AudioSignal() = default;
+  AudioSignal(std::vector<float> samples, int sample_rate)
+      : samples_(std::move(samples)), sample_rate_(sample_rate) {}
+
+  int sample_rate() const { return sample_rate_; }
+  int64_t num_samples() const { return static_cast<int64_t>(samples_.size()); }
+  double DurationSeconds() const {
+    return sample_rate_ > 0
+               ? static_cast<double>(num_samples()) / sample_rate_
+               : 0.0;
+  }
+
+  float At(int64_t i) const { return samples_[static_cast<size_t>(i)]; }
+  const std::vector<float>& samples() const { return samples_; }
+  std::vector<float>* mutable_samples() { return &samples_; }
+
+  /// Root-mean-square level over [begin, begin+len) (clipped to bounds).
+  double Rms(int64_t begin, int64_t len) const;
+
+  /// Appends another signal (sample rates must match).
+  Status Append(const AudioSignal& other);
+
+ private:
+  std::vector<float> samples_;
+  int sample_rate_ = 16000;
+};
+
+/// Canonical class labels for audio content.
+inline constexpr const char* kClassSpeech = "speech";
+inline constexpr const char* kClassMusic = "music";
+inline constexpr const char* kClassApplause = "applause";
+inline constexpr const char* kClassSilence = "silence";
+
+/// A labeled segment of an audio timeline (sample indices, inclusive).
+struct AudioSegment {
+  FrameInterval range;       ///< in samples
+  std::string label;         ///< "speech", "music", "applause", "silence"
+};
+
+}  // namespace cobra::audio

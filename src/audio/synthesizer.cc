@@ -1,0 +1,135 @@
+#include "audio/synthesizer.h"
+
+#include <cmath>
+
+namespace cobra::audio {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+AudioSynthesizer::AudioSynthesizer(AudioSynthConfig config)
+    : config_(config), rng_(config.seed) {}
+
+AudioSignal AudioSynthesizer::Tone(double seconds, double base_hz,
+                                   int harmonics, double vibrato_hz,
+                                   double jitter) {
+  const int sr = config_.sample_rate;
+  const int64_t n = static_cast<int64_t>(seconds * sr);
+  std::vector<float> samples(static_cast<size_t>(n), 0.0f);
+  double phase = rng_.NextDouble(0.0, 2.0 * kPi);
+  for (int64_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i) / sr;
+    double vibrato =
+        vibrato_hz > 0 ? 1.0 + 0.02 * std::sin(2.0 * kPi * vibrato_hz * t) : 1.0;
+    double hz = base_hz * vibrato * (1.0 + jitter * rng_.NextGaussian() * 0.002);
+    phase += 2.0 * kPi * hz / sr;
+    double v = 0.0;
+    for (int h = 1; h <= harmonics; ++h) {
+      v += std::sin(phase * h) / h;
+    }
+    samples[static_cast<size_t>(i)] =
+        static_cast<float>(config_.amplitude * v / 1.5);
+  }
+  return AudioSignal(std::move(samples), sr);
+}
+
+AudioSignal AudioSynthesizer::Speech(double seconds) {
+  const int sr = config_.sample_rate;
+  const int64_t n = static_cast<int64_t>(seconds * sr);
+  std::vector<float> samples(static_cast<size_t>(n), 0.0f);
+  int64_t pos = 0;
+  while (pos < n) {
+    // A syllable: voiced harmonics at a jittered pitch, 120-260 ms.
+    double pitch = rng_.NextDouble(110.0, 240.0);
+    int64_t syllable = static_cast<int64_t>(rng_.NextDouble(0.12, 0.26) * sr);
+    AudioSignal voiced = Tone(static_cast<double>(syllable) / sr, pitch, 6,
+                              5.0, 1.0);
+    for (int64_t i = 0; i < voiced.num_samples() && pos + i < n; ++i) {
+      // Attack/decay envelope per syllable.
+      double f = static_cast<double>(i) / voiced.num_samples();
+      double envelope = std::sin(kPi * f);
+      samples[static_cast<size_t>(pos + i)] =
+          static_cast<float>(voiced.At(i) * envelope);
+    }
+    pos += voiced.num_samples();
+    // Inter-syllable gap; occasionally a longer inter-phrase pause.
+    double gap_s = rng_.NextBernoulli(0.2) ? rng_.NextDouble(0.25, 0.5)
+                                           : rng_.NextDouble(0.02, 0.08);
+    pos += static_cast<int64_t>(gap_s * sr);
+  }
+  return AudioSignal(std::move(samples), sr);
+}
+
+AudioSignal AudioSynthesizer::Music(double seconds) {
+  const int sr = config_.sample_rate;
+  const int64_t n = static_cast<int64_t>(seconds * sr);
+  std::vector<float> samples(static_cast<size_t>(n), 0.0f);
+  // Triad of steady tones with slow amplitude envelopes.
+  static const double kChord[] = {220.0, 277.2, 329.6};
+  for (double hz : kChord) {
+    AudioSignal tone = Tone(seconds, hz, 4, 0.0, 0.0);
+    double env_hz = rng_.NextDouble(0.2, 0.5);
+    for (int64_t i = 0; i < n && i < tone.num_samples(); ++i) {
+      double t = static_cast<double>(i) / sr;
+      double envelope = 0.75 + 0.25 * std::sin(2.0 * kPi * env_hz * t);
+      samples[static_cast<size_t>(i)] +=
+          static_cast<float>(tone.At(i) * envelope / 3.0);
+    }
+  }
+  return AudioSignal(std::move(samples), sr);
+}
+
+AudioSignal AudioSynthesizer::Applause(double seconds) {
+  const int sr = config_.sample_rate;
+  const int64_t n = static_cast<int64_t>(seconds * sr);
+  std::vector<float> samples(static_cast<size_t>(n));
+  double envelope = 0.8;
+  for (int64_t i = 0; i < n; ++i) {
+    if (i % (sr / 20) == 0) {
+      envelope = 0.5 + 0.5 * rng_.NextDouble();  // clap density fluctuation
+    }
+    samples[static_cast<size_t>(i)] = static_cast<float>(
+        config_.amplitude * envelope * rng_.NextGaussian() * 0.5);
+  }
+  return AudioSignal(std::move(samples), sr);
+}
+
+AudioSignal AudioSynthesizer::Silence(double seconds) {
+  const int sr = config_.sample_rate;
+  const int64_t n = static_cast<int64_t>(seconds * sr);
+  std::vector<float> samples(static_cast<size_t>(n));
+  for (auto& s : samples) {
+    s = static_cast<float>(rng_.NextGaussian() * 1e-4);  // noise floor
+  }
+  return AudioSignal(std::move(samples), sr);
+}
+
+AudioSynthesizer::LabeledAudio AudioSynthesizer::Interview(
+    double seconds, bool applause_tail) {
+  LabeledAudio out;
+  out.signal = AudioSignal({}, config_.sample_rate);
+  double remaining = seconds - (applause_tail ? 2.0 : 0.0);
+  bool speaking = true;
+  while (remaining > 0.3) {
+    double span = speaking ? rng_.NextDouble(2.0, 4.0) : rng_.NextDouble(0.5, 1.0);
+    span = std::min(span, remaining);
+    int64_t begin = out.signal.num_samples();
+    AudioSignal part = speaking ? Speech(span) : Silence(span);
+    (void)out.signal.Append(part);
+    out.segments.push_back(AudioSegment{
+        FrameInterval{begin, out.signal.num_samples() - 1},
+        speaking ? kClassSpeech : kClassSilence});
+    remaining -= span;
+    speaking = !speaking;
+  }
+  if (applause_tail) {
+    int64_t begin = out.signal.num_samples();
+    (void)out.signal.Append(Applause(2.0));
+    out.segments.push_back(AudioSegment{
+        FrameInterval{begin, out.signal.num_samples() - 1}, kClassApplause});
+  }
+  return out;
+}
+
+}  // namespace cobra::audio

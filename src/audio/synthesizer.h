@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file synthesizer.h
+/// Synthetic audio generator: speech-like, music-like and applause-like
+/// signals with ground-truth segment labels. Substitutes for the site's
+/// real interview recordings (DESIGN.md §2) — the classifier consumes only
+/// the statistical cues the synthesizer reproduces (harmonicity, pause
+/// structure, spectral flatness).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audio/signal.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cobra::audio {
+
+struct AudioSynthConfig {
+  int sample_rate = 16000;
+  uint64_t seed = 7;
+  double amplitude = 0.3;
+};
+
+/// Generates class-pure clips and interview-style composites.
+class AudioSynthesizer {
+ public:
+  explicit AudioSynthesizer(AudioSynthConfig config = {});
+
+  /// Voiced syllable bursts (jittered pitch harmonics, ~4 Hz syllable
+  /// rhythm) separated by short pauses.
+  AudioSignal Speech(double seconds);
+
+  /// Sustained chord tones with slow envelopes, no pauses.
+  AudioSignal Music(double seconds);
+
+  /// Broadband noise bursts (crowd/applause).
+  AudioSignal Applause(double seconds);
+
+  /// Near-silence (tiny noise floor).
+  AudioSignal Silence(double seconds);
+
+  /// An interview-style composite: alternating speech and silence, with an
+  /// optional applause tail; returns the signal and its true segments.
+  struct LabeledAudio {
+    AudioSignal signal;
+    std::vector<AudioSegment> segments;
+  };
+  LabeledAudio Interview(double seconds, bool applause_tail = false);
+
+  const AudioSynthConfig& config() const { return config_; }
+
+ private:
+  AudioSignal Tone(double seconds, double base_hz, int harmonics,
+                   double vibrato_hz, double jitter);
+
+  AudioSynthConfig config_;
+  Rng rng_;
+};
+
+}  // namespace cobra::audio

@@ -1,0 +1,86 @@
+#include "core/event_composition.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace cobra::core {
+
+Status EventComposer::AddRule(CompositeEventRule rule) {
+  if (rule.name.empty() || rule.a_symbol.empty() || rule.b_symbol.empty() ||
+      rule.relations.empty()) {
+    return Status::InvalidArgument("malformed composite rule");
+  }
+  for (const CompositeEventRule& existing : rules_) {
+    if (existing.name == rule.name) {
+      return Status::AlreadyExists(
+          StringFormat("composite rule '%s' already added", rule.name.c_str()));
+    }
+  }
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+std::vector<grammar::Annotation> EventComposer::Compose(
+    const std::vector<grammar::Annotation>& events) const {
+  std::vector<grammar::Annotation> out;
+  for (const CompositeEventRule& rule : rules_) {
+    std::vector<const grammar::Annotation*> as, bs;
+    for (const grammar::Annotation& e : events) {
+      if (e.symbol == rule.a_symbol) as.push_back(&e);
+      if (e.symbol == rule.b_symbol) bs.push_back(&e);
+    }
+    std::vector<FrameInterval> emitted;
+    for (const grammar::Annotation* a : as) {
+      for (const grammar::Annotation* b : bs) {
+        if (a == b) continue;
+        if (rule.distinct_players &&
+            a->IntOr("player", -1) == b->IntOr("player", -1)) {
+          continue;
+        }
+        if (a->range.Empty() || b->range.Empty()) continue;
+        AllenRelation rel = ClassifyAllen(a->range, b->range);
+        if (!rule.relations.count(rel)) continue;
+        FrameInterval span =
+            rule.emit_intersection
+                ? a->range.Intersect(b->range)
+                : FrameInterval{std::min(a->range.begin, b->range.begin),
+                                std::max(a->range.end, b->range.end)};
+        if (span.Empty()) continue;
+        // Suppress symmetric duplicates (a,b) / (b,a).
+        bool duplicate = false;
+        for (const FrameInterval& prev : emitted) {
+          if (prev == span) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        emitted.push_back(span);
+        grammar::Annotation composite(rule.name, span);
+        composite.Set("player", int64_t{-1});
+        composite.Set("a_player", a->IntOr("player", -1));
+        composite.Set("b_player", b->IntOr("player", -1));
+        out.push_back(std::move(composite));
+      }
+    }
+  }
+  return out;
+}
+
+CompositeEventRule NetDuelRule() {
+  CompositeEventRule rule;
+  rule.name = "net_duel";
+  rule.a_symbol = "net_play";
+  rule.b_symbol = "net_play";
+  rule.relations = {AllenRelation::kOverlaps, AllenRelation::kOverlappedBy,
+                    AllenRelation::kDuring, AllenRelation::kContains,
+                    AllenRelation::kStarts, AllenRelation::kStartedBy,
+                    AllenRelation::kFinishes, AllenRelation::kFinishedBy,
+                    AllenRelation::kEquals};
+  rule.distinct_players = true;
+  rule.emit_intersection = true;
+  return rule;
+}
+
+}  // namespace cobra::core

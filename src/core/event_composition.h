@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file event_composition.h
+/// Composite events: new event-layer entities derived from temporal
+/// (Allen) relations between already-detected events — the
+/// "spatio-temporal reasoning" half of the COBRA event grammar that relates
+/// events to each other rather than to raw trajectories. Example: a
+/// "net_duel" is a net_play of one player that OVERLAPS a net_play of the
+/// other.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "grammar/annotation.h"
+#include "util/geometry.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// `name := a <relations> b`, emitting one event per (a, b) pair whose
+/// Allen relation is in the set.
+struct CompositeEventRule {
+  std::string name;
+  std::string a_symbol;
+  std::string b_symbol;
+  std::set<AllenRelation> relations;
+  /// Require distinct actors (attrs "player" differ) — e.g. a duel needs
+  /// both players, not one player's two net trips.
+  bool distinct_players = false;
+  /// Emitted interval: intersection (true) or union span (false).
+  bool emit_intersection = true;
+};
+
+/// Applies composite rules over an event list.
+class EventComposer {
+ public:
+  Status AddRule(CompositeEventRule rule);
+
+  const std::vector<CompositeEventRule>& rules() const { return rules_; }
+
+  /// Derives composite events. Each unordered (a, b) pair is considered
+  /// once (a from rule.a_symbol, b from rule.b_symbol); duplicates with
+  /// identical spans are suppressed.
+  std::vector<grammar::Annotation> Compose(
+      const std::vector<grammar::Annotation>& events) const;
+
+ private:
+  std::vector<CompositeEventRule> rules_;
+};
+
+/// The default tennis composite: net_duel = overlapping net plays of the
+/// two players.
+CompositeEventRule NetDuelRule();
+
+}  // namespace cobra::core

@@ -1,0 +1,171 @@
+#include "core/event_grammar.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace cobra::core {
+
+Status Trajectory::AddChannel(const std::string& name,
+                              std::vector<double> values) {
+  if (static_cast<int64_t>(values.size()) != Length()) {
+    return Status::InvalidArgument(
+        StringFormat("channel '%s' has %zu values for %lld frames", name.c_str(),
+                     values.size(), static_cast<long long>(Length())));
+  }
+  if (!channels_.emplace(name, std::move(values)).second) {
+    return Status::AlreadyExists(
+        StringFormat("channel '%s' already present", name.c_str()));
+  }
+  return Status::OK();
+}
+
+const std::vector<double>& Trajectory::Channel(const std::string& name) const {
+  static const std::vector<double> kEmpty;
+  auto it = channels_.find(name);
+  return it == channels_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> Trajectory::ChannelNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, values] : channels_) out.push_back(name);
+  return out;
+}
+
+Result<EventGrammar> EventGrammar::Parse(const std::string& text) {
+  std::vector<EventRule> rules;
+  int line_no = 0;
+  for (const std::string& raw : SplitString(text, '\n')) {
+    ++line_no;
+    std::string line{StripWhitespace(raw)};
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = std::string(StripWhitespace(line.substr(0, hash)));
+    }
+    if (line.empty()) continue;
+    if (line.back() != ';') {
+      return Status::ParseError(
+          StringFormat("line %d: rule must end with ';'", line_no));
+    }
+    line.pop_back();
+    std::vector<std::string> tokens = SplitWhitespace(line);
+    // event <name> : <cond> (and <cond>)* for <N> [at_start]
+    if (tokens.size() < 7 || tokens[0] != "event" || tokens[2] != ":") {
+      return Status::ParseError(StringFormat(
+          "line %d: expected 'event <name> : <conds> for <N> [at_start] ;'",
+          line_no));
+    }
+    EventRule rule;
+    rule.name = tokens[1];
+    size_t i = 3;
+    while (i < tokens.size() && tokens[i] != "for") {
+      if (!rule.conditions.empty()) {
+        if (tokens[i] != "and") {
+          return Status::ParseError(
+              StringFormat("line %d: expected 'and' between conditions", line_no));
+        }
+        ++i;
+      }
+      if (i + 2 >= tokens.size()) {
+        return Status::ParseError(
+            StringFormat("line %d: truncated condition", line_no));
+      }
+      EventCondition cond;
+      cond.channel = tokens[i];
+      if (tokens[i + 1] == "<") {
+        cond.less_than = true;
+      } else if (tokens[i + 1] == ">") {
+        cond.less_than = false;
+      } else {
+        return Status::ParseError(StringFormat(
+            "line %d: expected '<' or '>', got '%s'", line_no,
+            tokens[i + 1].c_str()));
+      }
+      char* end = nullptr;
+      cond.threshold = std::strtod(tokens[i + 2].c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError(StringFormat("line %d: bad threshold '%s'",
+                                               line_no, tokens[i + 2].c_str()));
+      }
+      rule.conditions.push_back(cond);
+      i += 3;
+    }
+    if (i >= tokens.size() || tokens[i] != "for" || i + 1 >= tokens.size()) {
+      return Status::ParseError(
+          StringFormat("line %d: missing 'for <N>'", line_no));
+    }
+    rule.min_frames = std::atoll(tokens[i + 1].c_str());
+    if (rule.min_frames < 1) {
+      return Status::ParseError(
+          StringFormat("line %d: 'for' count must be >= 1", line_no));
+    }
+    i += 2;
+    if (i < tokens.size()) {
+      if (tokens[i] != "at_start" || i + 1 != tokens.size()) {
+        return Status::ParseError(
+            StringFormat("line %d: unexpected trailing tokens", line_no));
+      }
+      rule.at_start = true;
+    }
+    if (rule.conditions.empty()) {
+      return Status::ParseError(
+          StringFormat("line %d: rule has no conditions", line_no));
+    }
+    rules.push_back(std::move(rule));
+  }
+  return FromRules(std::move(rules));
+}
+
+Result<EventGrammar> EventGrammar::FromRules(std::vector<EventRule> rules) {
+  for (const EventRule& rule : rules) {
+    if (rule.name.empty() || rule.conditions.empty() || rule.min_frames < 1) {
+      return Status::InvalidArgument("malformed event rule");
+    }
+  }
+  EventGrammar g;
+  g.rules_ = std::move(rules);
+  return g;
+}
+
+Result<std::vector<grammar::Annotation>> EventGrammar::Infer(
+    const Trajectory& trajectory, int64_t object_id) const {
+  std::vector<grammar::Annotation> out;
+  const int64_t len = trajectory.Length();
+  for (const EventRule& rule : rules_) {
+    for (const EventCondition& cond : rule.conditions) {
+      if (!trajectory.HasChannel(cond.channel)) {
+        return Status::InvalidArgument(
+            StringFormat("rule '%s' needs channel '%s'", rule.name.c_str(),
+                         cond.channel.c_str()));
+      }
+    }
+    int64_t run_start = -1;
+    for (int64_t t = 0; t <= len; ++t) {
+      bool holds = t < len;
+      if (holds) {
+        for (const EventCondition& cond : rule.conditions) {
+          double v = trajectory.Channel(cond.channel)[static_cast<size_t>(t)];
+          if (cond.less_than ? !(v < cond.threshold) : !(v > cond.threshold)) {
+            holds = false;
+            break;
+          }
+        }
+      }
+      if (holds && run_start < 0) run_start = t;
+      if (!holds && run_start >= 0) {
+        bool anchored_ok = !rule.at_start || run_start == 0;
+        if (t - run_start >= rule.min_frames && anchored_ok) {
+          grammar::Annotation a(
+              rule.name, FrameInterval{trajectory.range().begin + run_start,
+                                       trajectory.range().begin + t - 1});
+          a.Set("player", object_id);
+          out.push_back(std::move(a));
+        }
+        run_start = -1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file event_grammar.h
+/// COBRA object/event grammars (paper §3): formal rule descriptions of
+/// high-level concepts, evaluated by spatio-temporal reasoning over object
+/// trajectories. These are the "white-box" event detectors; the rules are
+/// data, not code, so a domain expert can retarget the system without
+/// recompiling (the flexibility claim of the COBRA model).
+///
+/// Rule syntax (one per line, `#` comments):
+///
+///     event serve         : speed < 1.6 for 5 at_start ;
+///     event net_play      : net_distance < 0.17 for 8 ;
+///     event baseline_play : net_distance > 0.60 for 25 ;
+///
+/// Each condition tests one trajectory channel against a threshold; `and`
+/// conjoins conditions; `for N` is the minimum run length in frames;
+/// `at_start` anchors the rule to the beginning of the trajectory.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "grammar/annotation.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// Per-object time series of named scalar channels over a frame interval.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(FrameInterval range) : range_(range) {}
+
+  const FrameInterval& range() const { return range_; }
+  int64_t Length() const { return range_.Length(); }
+
+  /// Declares a channel; values.size() must equal Length().
+  Status AddChannel(const std::string& name, std::vector<double> values);
+
+  bool HasChannel(const std::string& name) const {
+    return channels_.count(name) > 0;
+  }
+  /// Channel values (local timeline). Requires HasChannel.
+  const std::vector<double>& Channel(const std::string& name) const;
+
+  std::vector<std::string> ChannelNames() const;
+
+ private:
+  FrameInterval range_;
+  std::map<std::string, std::vector<double>> channels_;
+};
+
+/// One `attr < threshold` / `attr > threshold` test.
+struct EventCondition {
+  std::string channel;
+  bool less_than = true;
+  double threshold = 0.0;
+};
+
+/// One event rule.
+struct EventRule {
+  std::string name;
+  std::vector<EventCondition> conditions;  ///< conjunction, per frame
+  int64_t min_frames = 1;
+  bool at_start = false;  ///< only a run beginning at the first frame counts
+};
+
+/// A parsed set of event rules plus the inference engine over trajectories.
+class EventGrammar {
+ public:
+  /// Parses the rule DSL.
+  static Result<EventGrammar> Parse(const std::string& text);
+
+  static Result<EventGrammar> FromRules(std::vector<EventRule> rules);
+
+  const std::vector<EventRule>& rules() const { return rules_; }
+
+  /// Applies every rule to `trajectory`: each maximal run of frames where a
+  /// rule's conditions all hold, of at least min_frames, yields one event
+  /// annotation (symbol = rule name, attrs: "player" = object_id).
+  ///
+  /// Fails if a rule references a channel the trajectory lacks.
+  Result<std::vector<grammar::Annotation>> Infer(const Trajectory& trajectory,
+                                                 int64_t object_id) const;
+
+ private:
+  std::vector<EventRule> rules_;
+};
+
+}  // namespace cobra::core

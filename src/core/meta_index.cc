@@ -1,0 +1,104 @@
+#include "core/meta_index.h"
+
+namespace cobra::core {
+
+using storage::CompareOp;
+using storage::DataType;
+using storage::Predicate;
+using storage::Table;
+using storage::Value;
+
+Result<MetaIndex> MetaIndex::Create() {
+  COBRA_ASSIGN_OR_RETURN(
+      Table shots, Table::Create({{"video_id", DataType::kInt64},
+                                  {"begin", DataType::kInt64},
+                                  {"end", DataType::kInt64},
+                                  {"category", DataType::kString},
+                                  {"dominant_ratio", DataType::kDouble},
+                                  {"skin_ratio", DataType::kDouble},
+                                  {"entropy", DataType::kDouble}}));
+  COBRA_ASSIGN_OR_RETURN(
+      Table objects, Table::Create({{"video_id", DataType::kInt64},
+                                    {"begin", DataType::kInt64},
+                                    {"end", DataType::kInt64},
+                                    {"player", DataType::kInt64},
+                                    {"observed_fraction", DataType::kDouble},
+                                    {"mean_area", DataType::kDouble},
+                                    {"mean_eccentricity", DataType::kDouble}}));
+  COBRA_ASSIGN_OR_RETURN(Table events,
+                         Table::Create({{"video_id", DataType::kInt64},
+                                        {"name", DataType::kString},
+                                        {"player", DataType::kInt64},
+                                        {"begin", DataType::kInt64},
+                                        {"end", DataType::kInt64}}));
+  return MetaIndex(std::move(shots), std::move(objects), std::move(events));
+}
+
+Status MetaIndex::AddVideo(const VideoDescription& desc) {
+  const int64_t vid = desc.video_id();
+  for (const grammar::Annotation& a : desc.Layer(CobraLayer::kFeature)) {
+    if (a.symbol != "segment") continue;
+    COBRA_RETURN_NOT_OK(shots_.AppendRow(
+        {vid, a.range.begin, a.range.end, a.StringOr("category", "other"),
+         a.DoubleOr("dominant_ratio", 0.0), a.DoubleOr("skin_ratio", 0.0),
+         a.DoubleOr("entropy", 0.0)}));
+  }
+  for (const grammar::Annotation& a : desc.Layer(CobraLayer::kObject)) {
+    if (a.symbol != "features") continue;
+    COBRA_RETURN_NOT_OK(objects_.AppendRow(
+        {vid, a.range.begin, a.range.end, a.IntOr("player", -1),
+         a.DoubleOr("observed_fraction", 0.0), a.DoubleOr("mean_area", 0.0),
+         a.DoubleOr("mean_eccentricity", 0.0)}));
+  }
+  for (const grammar::Annotation& a : desc.Layer(CobraLayer::kEvent)) {
+    COBRA_RETURN_NOT_OK(events_.AppendRow(
+        {vid, a.symbol, a.IntOr("player", -1), a.range.begin, a.range.end}));
+  }
+  ++num_videos_;
+  return Status::OK();
+}
+
+Result<std::vector<Scene>> MetaIndex::FindScenes(const std::string& event_name,
+                                                 int64_t video_id,
+                                                 int64_t player) const {
+  std::vector<Predicate> preds = {
+      Predicate{"name", CompareOp::kEq, event_name}};
+  if (video_id >= 0) {
+    preds.push_back(Predicate{"video_id", CompareOp::kEq, video_id});
+  }
+  if (player >= 0) {
+    preds.push_back(Predicate{"player", CompareOp::kEq, player});
+  }
+  COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> rows,
+                         storage::SelectAll(events_, preds));
+  std::vector<Scene> out;
+  for (int64_t r : rows) {
+    Scene scene;
+    COBRA_ASSIGN_OR_RETURN(scene.video_id, events_.GetInt(r, 0));
+    COBRA_ASSIGN_OR_RETURN(scene.event, events_.GetString(r, 1));
+    COBRA_ASSIGN_OR_RETURN(scene.player, events_.GetInt(r, 2));
+    COBRA_ASSIGN_OR_RETURN(scene.range.begin, events_.GetInt(r, 3));
+    COBRA_ASSIGN_OR_RETURN(scene.range.end, events_.GetInt(r, 4));
+    out.push_back(std::move(scene));
+  }
+  return out;
+}
+
+Result<std::vector<FrameInterval>> MetaIndex::FindShots(
+    const std::string& category, int64_t video_id) const {
+  COBRA_ASSIGN_OR_RETURN(
+      std::vector<int64_t> rows,
+      storage::SelectAll(
+          shots_, {Predicate{"category", CompareOp::kEq, category},
+                   Predicate{"video_id", CompareOp::kEq, video_id}}));
+  std::vector<FrameInterval> out;
+  for (int64_t r : rows) {
+    FrameInterval range;
+    COBRA_ASSIGN_OR_RETURN(range.begin, shots_.GetInt(r, 1));
+    COBRA_ASSIGN_OR_RETURN(range.end, shots_.GetInt(r, 2));
+    out.push_back(range);
+  }
+  return out;
+}
+
+}  // namespace cobra::core

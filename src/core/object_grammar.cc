@@ -1,0 +1,103 @@
+#include "core/object_grammar.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace cobra::core {
+
+Result<ObjectGrammar> ObjectGrammar::Parse(const std::string& text) {
+  std::vector<ObjectRule> rules;
+  int line_no = 0;
+  for (const std::string& raw : SplitString(text, '\n')) {
+    ++line_no;
+    std::string line{StripWhitespace(raw)};
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = std::string(StripWhitespace(line.substr(0, hash)));
+    }
+    if (line.empty()) continue;
+    if (line.back() != ';') {
+      return Status::ParseError(
+          StringFormat("line %d: rule must end with ';'", line_no));
+    }
+    line.pop_back();
+    std::vector<std::string> tokens = SplitWhitespace(line);
+    // object <name> : <cond> (and <cond>)*
+    if (tokens.size() < 6 || tokens[0] != "object" || tokens[2] != ":") {
+      return Status::ParseError(StringFormat(
+          "line %d: expected 'object <name> : <conds> ;'", line_no));
+    }
+    ObjectRule rule;
+    rule.name = tokens[1];
+    size_t i = 3;
+    while (i < tokens.size()) {
+      if (!rule.conditions.empty()) {
+        if (tokens[i] != "and") {
+          return Status::ParseError(
+              StringFormat("line %d: expected 'and'", line_no));
+        }
+        ++i;
+      }
+      if (i + 3 > tokens.size()) {
+        return Status::ParseError(
+            StringFormat("line %d: truncated condition", line_no));
+      }
+      ObjectCondition cond;
+      cond.feature = tokens[i];
+      if (tokens[i + 1] == "<") {
+        cond.less_than = true;
+      } else if (tokens[i + 1] == ">") {
+        cond.less_than = false;
+      } else {
+        return Status::ParseError(StringFormat("line %d: expected '<' or '>'",
+                                               line_no));
+      }
+      char* end = nullptr;
+      cond.threshold = std::strtod(tokens[i + 2].c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError(StringFormat("line %d: bad threshold '%s'",
+                                               line_no, tokens[i + 2].c_str()));
+      }
+      rule.conditions.push_back(cond);
+      i += 3;
+    }
+    rules.push_back(std::move(rule));
+  }
+  return FromRules(std::move(rules));
+}
+
+Result<ObjectGrammar> ObjectGrammar::FromRules(std::vector<ObjectRule> rules) {
+  for (const ObjectRule& rule : rules) {
+    if (rule.name.empty() || rule.conditions.empty()) {
+      return Status::InvalidArgument("malformed object rule");
+    }
+  }
+  ObjectGrammar g;
+  g.rules_ = std::move(rules);
+  return g;
+}
+
+Result<std::optional<std::string>> ObjectGrammar::Classify(
+    const FeatureRecord& record) const {
+  for (const ObjectRule& rule : rules_) {
+    bool all = true;
+    for (const ObjectCondition& cond : rule.conditions) {
+      auto it = record.find(cond.feature);
+      if (it == record.end()) {
+        return Status::InvalidArgument(
+            StringFormat("rule '%s' needs feature '%s'", rule.name.c_str(),
+                         cond.feature.c_str()));
+      }
+      double v = it->second;
+      if (cond.less_than ? !(v < cond.threshold) : !(v > cond.threshold)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return std::optional<std::string>(rule.name);
+  }
+  return std::optional<std::string>();
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file object_grammar.h
+/// COBRA object grammars: rules that classify segmented regions into object
+/// classes from their aggregate (spatial) features — the object-layer
+/// counterpart of the event grammar. "The object and event layers consist
+/// of entities characterized by prominent spatial and temporal dimensions
+/// respectively" (paper §3).
+///
+/// Rule syntax (one per line, `#` comments):
+///
+///     object player : area > 25 and eccentricity > 0.3 ;
+///     object ball   : area < 6 and eccentricity < 0.4 ;
+///
+/// A region is classified as the FIRST rule whose conditions all hold
+/// (declaration order is priority), or left unclassified.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// Scalar feature record of one candidate region.
+using FeatureRecord = std::map<std::string, double>;
+
+struct ObjectCondition {
+  std::string feature;
+  bool less_than = true;
+  double threshold = 0.0;
+};
+
+struct ObjectRule {
+  std::string name;
+  std::vector<ObjectCondition> conditions;  ///< conjunction
+};
+
+class ObjectGrammar {
+ public:
+  /// Parses the rule DSL (same condition syntax as the event grammar, but
+  /// `object` heads and no temporal clause).
+  static Result<ObjectGrammar> Parse(const std::string& text);
+
+  static Result<ObjectGrammar> FromRules(std::vector<ObjectRule> rules);
+
+  const std::vector<ObjectRule>& rules() const { return rules_; }
+
+  /// First matching rule's name, or nullopt. Fails if a rule references a
+  /// feature the record lacks.
+  Result<std::optional<std::string>> Classify(const FeatureRecord& record) const;
+
+ private:
+  std::vector<ObjectRule> rules_;
+};
+
+}  // namespace cobra::core

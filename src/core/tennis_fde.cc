@@ -1,0 +1,387 @@
+#include "core/tennis_fde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "media/ground_truth.h"
+#include "util/strings.h"
+
+namespace cobra::core {
+
+const char* TennisGrammarText() {
+  return R"(
+# Tennis feature grammar (paper Figure 1).
+start video ;
+segment       : video ;
+tennis        : segment ;
+closeup       : segment ;
+audience      : segment ;
+player        : tennis ;
+features      : player ;
+serve         : features ;
+rally         : features ;
+net_play      : features ;
+baseline_play : features ;
+)";
+}
+
+const char* TennisEventRulesText() {
+  return R"(
+# COBRA tennis event rules: spatio-temporal predicates over trajectories.
+event serve         : speed < 1.6 for 5 at_start ;
+event net_play      : net_distance < 0.17 for 8 ;
+event baseline_play : net_distance > 0.30 for 25 ;
+)";
+}
+
+Result<Trajectory> BuildTrajectory(const detectors::PlayerTrack& track,
+                                   const detectors::CourtModel& court,
+                                   const FrameInterval& shot) {
+  if (shot.Empty()) return Status::InvalidArgument("empty shot");
+  if (!court.Valid()) return Status::InvalidArgument("invalid court model");
+  const int64_t len = shot.Length();
+  const double height = static_cast<double>(court.court_bbox.height);
+
+  std::vector<double> net_distance(static_cast<size_t>(len), -1.0);
+  std::vector<double> speed(static_cast<size_t>(len), 0.0);
+  std::vector<double> xs(static_cast<size_t>(len), -1.0);
+  std::vector<double> ys(static_cast<size_t>(len), -1.0);
+
+  PointD prev;
+  bool have_prev = false;
+  for (const detectors::TrackPoint& p : track.points) {
+    int64_t t = p.frame - shot.begin;
+    if (t < 0 || t >= len) continue;
+    net_distance[static_cast<size_t>(t)] =
+        std::fabs(p.center.y - court.net_y) / height;
+    xs[static_cast<size_t>(t)] = p.center.x;
+    ys[static_cast<size_t>(t)] = p.center.y;
+    speed[static_cast<size_t>(t)] = have_prev ? p.center.DistanceTo(prev) : 0.0;
+    prev = p.center;
+    have_prev = true;
+  }
+  // Fill gaps by repeating neighbors (forward, then backward for a leading
+  // gap).
+  auto fill = [len](std::vector<double>* v, double fallback) {
+    double last = -1.0;
+    for (int64_t t = 0; t < len; ++t) {
+      if ((*v)[static_cast<size_t>(t)] >= 0) {
+        last = (*v)[static_cast<size_t>(t)];
+      } else if (last >= 0) {
+        (*v)[static_cast<size_t>(t)] = last;
+      }
+    }
+    for (int64_t t = len - 1; t >= 0; --t) {
+      if ((*v)[static_cast<size_t>(t)] >= 0) {
+        last = (*v)[static_cast<size_t>(t)];
+      } else {
+        (*v)[static_cast<size_t>(t)] = last >= 0 ? last : fallback;
+      }
+    }
+  };
+  fill(&net_distance, 1.0);
+  fill(&xs, 0.0);
+  fill(&ys, 0.0);
+
+  Trajectory trajectory(shot);
+  COBRA_RETURN_NOT_OK(trajectory.AddChannel("net_distance", std::move(net_distance)));
+  COBRA_RETURN_NOT_OK(trajectory.AddChannel("speed", std::move(speed)));
+  COBRA_RETURN_NOT_OK(trajectory.AddChannel("x", std::move(xs)));
+  COBRA_RETURN_NOT_OK(trajectory.AddChannel("y", std::move(ys)));
+  return trajectory;
+}
+
+Result<std::unique_ptr<TennisVideoIndexer>> TennisVideoIndexer::Create(
+    TennisIndexerConfig config) {
+  std::unique_ptr<TennisVideoIndexer> indexer(new TennisVideoIndexer());
+  indexer->config_ = std::move(config);
+  const std::string rules_text = indexer->config_.event_rules.empty()
+                                     ? TennisEventRulesText()
+                                     : indexer->config_.event_rules;
+  COBRA_ASSIGN_OR_RETURN(indexer->event_grammar_, EventGrammar::Parse(rules_text));
+  COBRA_RETURN_NOT_OK(indexer->BuildEngine());
+  return indexer;
+}
+
+Status TennisVideoIndexer::BuildEngine() {
+  auto grammar_result = grammar::FeatureGrammar::Parse(TennisGrammarText());
+  COBRA_RETURN_NOT_OK(grammar_result.status());
+  fde_ = std::make_unique<grammar::FeatureDetectorEngine>(
+      std::move(grammar_result).TakeValue());
+
+  // --- segment: shot boundaries + classification (black-box) ---
+  COBRA_RETURN_NOT_OK(fde_->RegisterDetector(
+      "segment",
+      [this](const grammar::DetectionContext& ctx)
+          -> Result<std::vector<grammar::Annotation>> {
+        detectors::ShotBoundaryDetector boundary(config_.boundary);
+        COBRA_ASSIGN_OR_RETURN(detectors::ShotBoundaryResult cuts,
+                               boundary.Detect(ctx.video()));
+        detectors::ShotClassifier classifier(config_.classifier);
+        std::vector<grammar::Annotation> out;
+        for (const FrameInterval& shot :
+             cuts.ToShots(ctx.video().num_frames())) {
+          COBRA_ASSIGN_OR_RETURN(detectors::ClassifiedShot classified,
+                                 classifier.Classify(ctx.video(), shot));
+          grammar::Annotation a("", shot);
+          a.Set("category",
+                std::string(media::ShotCategoryToString(classified.category)));
+          a.Set("dominant_ratio", classified.features.dominant_ratio);
+          a.Set("dominant_hue", classified.features.dominant_hue);
+          a.Set("skin_ratio", classified.features.skin_ratio);
+          a.Set("entropy", classified.features.entropy);
+          a.Set("luma_mean", classified.features.luma_mean);
+          a.Set("luma_variance", classified.features.luma_variance);
+          out.push_back(std::move(a));
+        }
+        return out;
+      }));
+
+  // --- tennis / closeup / audience: category filters over segment ---
+  for (const char* category : {"tennis", "closeup", "audience"}) {
+    const std::string want =
+        category == std::string("closeup") ? "close-up" : category;
+    COBRA_RETURN_NOT_OK(fde_->RegisterDetector(
+        category,
+        [want](const grammar::DetectionContext& ctx)
+            -> Result<std::vector<grammar::Annotation>> {
+          std::vector<grammar::Annotation> out;
+          for (const grammar::Annotation& shot : ctx.Of("segment")) {
+            if (shot.StringOr("category", "") == want) {
+              grammar::Annotation a = shot;
+              a.symbol.clear();
+              out.push_back(std::move(a));
+            }
+          }
+          return out;
+        }));
+  }
+
+  // --- player: segmentation + tracking per tennis shot (black-box) ---
+  COBRA_RETURN_NOT_OK(fde_->RegisterDetector(
+      "player",
+      [this](const grammar::DetectionContext& ctx)
+          -> Result<std::vector<grammar::Annotation>> {
+        tracked_shots_.clear();
+        detectors::PlayerTracker tracker(config_.tracker);
+        std::vector<grammar::Annotation> out;
+        for (const grammar::Annotation& shot : ctx.Of("tennis")) {
+          auto tracking = tracker.Track(ctx.video(), shot.range);
+          if (!tracking.ok()) {
+            // A tennis-classified shot with no recognizable court is a
+            // classifier false positive; skip it rather than fail the run.
+            continue;
+          }
+          TrackedShot ts;
+          ts.shot = shot.range;
+          ts.tracking = std::move(tracking).TakeValue();
+          for (const detectors::PlayerTrack& track : ts.tracking.tracks) {
+            grammar::Annotation a("", shot.range);
+            a.Set("player", static_cast<int64_t>(track.player_id));
+            a.Set("observed_fraction", track.ObservedFraction());
+            if (!track.points.empty()) {
+              a.Set("start_x", track.points.front().center.x);
+              a.Set("start_y", track.points.front().center.y);
+            }
+            out.push_back(std::move(a));
+          }
+          tracked_shots_.push_back(std::move(ts));
+        }
+        return out;
+      }));
+
+  // --- features: trajectories + aggregate shape features ---
+  COBRA_RETURN_NOT_OK(fde_->RegisterDetector(
+      "features",
+      [this](const grammar::DetectionContext&)
+          -> Result<std::vector<grammar::Annotation>> {
+        std::vector<grammar::Annotation> out;
+        for (TrackedShot& ts : tracked_shots_) {
+          ts.trajectories.clear();
+          for (const detectors::PlayerTrack& track : ts.tracking.tracks) {
+            COBRA_ASSIGN_OR_RETURN(
+                Trajectory trajectory,
+                BuildTrajectory(track, ts.tracking.court, ts.shot));
+            ts.trajectories.push_back(std::move(trajectory));
+
+            // Aggregate shape features over observed points.
+            double area = 0, ecc = 0, orientation = 0;
+            int64_t n = 0;
+            for (const detectors::TrackPoint& p : track.points) {
+              if (p.predicted_only) continue;
+              area += p.features.area;
+              ecc += p.features.eccentricity;
+              orientation += p.features.orientation;
+              ++n;
+            }
+            grammar::Annotation a("", ts.shot);
+            a.Set("player", static_cast<int64_t>(track.player_id));
+            if (n > 0) {
+              a.Set("mean_area", area / static_cast<double>(n));
+              a.Set("mean_eccentricity", ecc / static_cast<double>(n));
+              a.Set("mean_orientation", orientation / static_cast<double>(n));
+            }
+            out.push_back(std::move(a));
+          }
+        }
+        return out;
+      }));
+
+  // --- event symbols: white-box event grammar (or the HMM once enabled) ---
+  for (const char* symbol : {"serve", "net_play", "baseline_play", "rally"}) {
+    std::string sym = symbol;
+    COBRA_RETURN_NOT_OK(fde_->RegisterDetector(
+        sym, [this, sym](const grammar::DetectionContext& ctx) {
+          return RunEventSymbol(sym, ctx);
+        }));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<grammar::Annotation>> TennisVideoIndexer::RunEventSymbol(
+    const std::string& symbol, const grammar::DetectionContext& ctx) {
+  (void)ctx;
+  std::vector<grammar::Annotation> out;
+
+  for (const TrackedShot& ts : tracked_shots_) {
+    // --- rally: black-box rule (paper: "white- and blackbox detectors").
+    if (symbol == media::kEventRally) {
+      // Rally = post-serve play while the players keep moving.
+      int64_t serve_end_local = 0;
+      double mean_speed = 0.0;
+      int64_t n = 0;
+      for (size_t i = 0; i < ts.trajectories.size(); ++i) {
+        const std::vector<double>& speed = ts.trajectories[i].Channel("speed");
+        int64_t still = 0;
+        while (still < static_cast<int64_t>(speed.size()) &&
+               speed[static_cast<size_t>(still)] < 1.6) {
+          ++still;
+        }
+        serve_end_local = std::max(serve_end_local, still == static_cast<int64_t>(speed.size()) ? 0 : still);
+        for (double s : speed) {
+          mean_speed += s;
+          ++n;
+        }
+      }
+      if (n > 0) mean_speed /= static_cast<double>(n);
+      if (mean_speed >= config_.rally_min_mean_speed &&
+          serve_end_local < ts.shot.Length()) {
+        grammar::Annotation a("", FrameInterval{ts.shot.begin + serve_end_local,
+                                                ts.shot.end});
+        a.Set("player", int64_t{-1});
+        out.push_back(std::move(a));
+      }
+      continue;
+    }
+
+    if (hmm_) {
+      // Stochastic path: decode every player track with the HMM.
+      for (size_t i = 0; i < ts.tracking.tracks.size(); ++i) {
+        const detectors::PlayerTrack& track = ts.tracking.tracks[i];
+        COBRA_ASSIGN_OR_RETURN(
+            std::vector<detectors::DetectedEvent> events,
+            hmm_->Recognize(track, ts.tracking.court, ts.shot));
+        for (const detectors::DetectedEvent& e : events) {
+          if (e.name != symbol) continue;
+          grammar::Annotation a("", e.range);
+          a.Set("player", static_cast<int64_t>(e.player_id));
+          out.push_back(std::move(a));
+        }
+      }
+      continue;
+    }
+
+    // White-box path: the event grammar over trajectories.
+    std::vector<grammar::Annotation> per_player;
+    for (size_t i = 0; i < ts.tracking.tracks.size(); ++i) {
+      COBRA_ASSIGN_OR_RETURN(
+          std::vector<grammar::Annotation> inferred,
+          event_grammar_.Infer(ts.trajectories[i],
+                               ts.tracking.tracks[i].player_id));
+      for (grammar::Annotation& a : inferred) {
+        if (a.symbol == symbol) per_player.push_back(std::move(a));
+      }
+    }
+    if (symbol == media::kEventServe) {
+      // A serve is court-level: both players hold still; merge the
+      // per-player serve runs into one annotation.
+      FrameInterval merged;
+      bool first = true;
+      for (const grammar::Annotation& a : per_player) {
+        merged = first ? a.range : merged.Intersect(a.range);
+        first = false;
+      }
+      if (!first && !merged.Empty()) {
+        grammar::Annotation a("", merged);
+        a.Set("player", int64_t{-1});
+        out.push_back(std::move(a));
+      }
+    } else {
+      for (grammar::Annotation& a : per_player) {
+        a.symbol.clear();
+        out.push_back(std::move(a));
+      }
+    }
+  }
+  return out;
+}
+
+Status TennisVideoIndexer::UseHmmRecognizer(
+    detectors::HmmEventRecognizer recognizer) {
+  if (!recognizer.trained()) {
+    return Status::FailedPrecondition("HMM recognizer is not trained");
+  }
+  hmm_ = std::move(recognizer);
+  // Mark the event symbols dirty so an incremental FDE run re-derives only
+  // the event layer.
+  for (const char* symbol : {"serve", "net_play", "baseline_play"}) {
+    std::string sym = symbol;
+    COBRA_RETURN_NOT_OK(fde_->ReplaceDetector(
+        sym, [this, sym](const grammar::DetectionContext& ctx) {
+          return RunEventSymbol(sym, ctx);
+        }));
+  }
+  return Status::OK();
+}
+
+Result<VideoDescription> TennisVideoIndexer::Index(
+    const media::VideoSource& video, int64_t video_id,
+    const std::string& title) {
+  COBRA_ASSIGN_OR_RETURN(grammar::FdeRunReport report, fde_->Run(video));
+  last_report_ = std::move(report);
+
+  VideoDescription desc(video_id, title, video.fps(), video.num_frames());
+  grammar::Annotation raw("video", FrameInterval{0, video.num_frames() - 1});
+  raw.Set("width", static_cast<int64_t>(video.width()));
+  raw.Set("height", static_cast<int64_t>(video.height()));
+  desc.Add(CobraLayer::kRawData, std::move(raw));
+
+  for (const grammar::Annotation& a : fde_->AnnotationsOf("segment")) {
+    desc.Add(CobraLayer::kFeature, a);
+  }
+  for (const char* sym : {"player", "features"}) {
+    for (const grammar::Annotation& a : fde_->AnnotationsOf(sym)) {
+      desc.Add(CobraLayer::kObject, a);
+    }
+  }
+  for (const char* sym : {"serve", "rally", "net_play", "baseline_play"}) {
+    for (const grammar::Annotation& a : fde_->AnnotationsOf(sym)) {
+      desc.Add(CobraLayer::kEvent, a);
+    }
+  }
+
+  // Composite events derived from Allen relations between detected events.
+  if (!config_.composite_rules.empty()) {
+    EventComposer composer;
+    for (const CompositeEventRule& rule : config_.composite_rules) {
+      COBRA_RETURN_NOT_OK(composer.AddRule(rule));
+    }
+    for (grammar::Annotation& composite :
+         composer.Compose(desc.Layer(CobraLayer::kEvent))) {
+      desc.Add(CobraLayer::kEvent, std::move(composite));
+    }
+  }
+  return desc;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file tennis_fde.h
+/// The tennis instantiation of the COBRA framework (paper §3, Figure 1):
+/// a feature grammar whose detectors are the concrete algorithms of
+/// src/detectors, assembled into a Feature Detector Engine that indexes a
+/// broadcast into a four-layer VideoDescription.
+///
+/// Detector dependency graph (paper Figure 1):
+///
+///     video -> segment -> {tennis, closeup, audience}
+///     tennis -> player -> features -> {serve, rally, net_play, baseline_play}
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/event_composition.h"
+#include "core/event_grammar.h"
+#include "core/video_description.h"
+#include "detectors/hmm_events.h"
+#include "detectors/player_tracker.h"
+#include "detectors/shot_boundary.h"
+#include "detectors/shot_classifier.h"
+#include "grammar/fde.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// The Figure-1 grammar in the feature-grammar DSL.
+const char* TennisGrammarText();
+
+/// The default COBRA event rules for tennis, in the event-grammar DSL.
+/// net_distance is |y - net| normalized by court height; speed is px/frame.
+const char* TennisEventRulesText();
+
+struct TennisIndexerConfig {
+  detectors::ShotBoundaryConfig boundary;
+  detectors::ShotClassifierConfig classifier;
+  detectors::PlayerTrackerConfig tracker;
+  /// Event grammar DSL; replace to retarget the event layer.
+  std::string event_rules;  // empty -> TennisEventRulesText()
+  /// Rally detection: minimum mean player speed after the serve.
+  double rally_min_mean_speed = 0.4;
+  /// Composite (Allen-relation) event rules applied over the detected
+  /// events; their products join the event layer and the meta-index.
+  std::vector<CompositeEventRule> composite_rules;
+};
+
+/// Indexes tennis broadcasts through the FDE.
+///
+/// Not thread-safe: one indexer indexes one video at a time (the FDE
+/// blackboard and the trajectory side-store are per-run state).
+class TennisVideoIndexer {
+ public:
+  /// Builds the grammar, the event rules and the detector bindings.
+  static Result<std::unique_ptr<TennisVideoIndexer>> Create(
+      TennisIndexerConfig config = {});
+
+  /// Runs the full FDE over `video` and assembles the layered description.
+  Result<VideoDescription> Index(const media::VideoSource& video,
+                                 int64_t video_id, const std::string& title);
+
+  /// Switches the event layer to the trained stochastic recognizer
+  /// (ref [2]); subsequent Index calls decode events with the HMM instead
+  /// of the event grammar rules. Fails if the recognizer is untrained.
+  Status UseHmmRecognizer(detectors::HmmEventRecognizer recognizer);
+
+  /// FDE access (dependency graph, run reports, incremental re-runs).
+  grammar::FeatureDetectorEngine& fde() { return *fde_; }
+  const grammar::FeatureDetectorEngine& fde() const { return *fde_; }
+
+  /// The report of the most recent Index run.
+  const std::optional<grammar::FdeRunReport>& last_report() const {
+    return last_report_;
+  }
+
+  /// Trajectories of the most recent Index run, keyed by
+  /// (shot begin frame, player id) — exposed for the HMM training loop and
+  /// the benches.
+  struct TrackedShot {
+    FrameInterval shot;
+    detectors::TrackingResult tracking;
+    std::vector<Trajectory> trajectories;  ///< parallel to tracking.tracks
+  };
+  const std::vector<TrackedShot>& tracked_shots() const { return tracked_shots_; }
+
+ private:
+  TennisVideoIndexer() = default;
+
+  Status BuildEngine();
+  Result<std::vector<grammar::Annotation>> RunEventSymbol(
+      const std::string& symbol, const grammar::DetectionContext& ctx);
+
+  TennisIndexerConfig config_;
+  EventGrammar event_grammar_;
+  std::unique_ptr<grammar::FeatureDetectorEngine> fde_;
+  std::optional<detectors::HmmEventRecognizer> hmm_;
+  std::optional<grammar::FdeRunReport> last_report_;
+  std::vector<TrackedShot> tracked_shots_;
+};
+
+/// Builds the per-player trajectory channels ("net_distance", "speed", "x",
+/// "y") from a track and the estimated court model, over the shot's local
+/// timeline. Gaps are filled by repeating the nearest observation.
+Result<Trajectory> BuildTrajectory(const detectors::PlayerTrack& track,
+                                   const detectors::CourtModel& court,
+                                   const FrameInterval& shot);
+
+}  // namespace cobra::core

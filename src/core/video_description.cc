@@ -1,0 +1,64 @@
+#include "core/video_description.h"
+
+namespace cobra::core {
+
+const char* CobraLayerToString(CobraLayer layer) {
+  switch (layer) {
+    case CobraLayer::kRawData:
+      return "raw-data";
+    case CobraLayer::kFeature:
+      return "feature";
+    case CobraLayer::kObject:
+      return "object";
+    case CobraLayer::kEvent:
+      return "event";
+  }
+  return "unknown";
+}
+
+void VideoDescription::Add(CobraLayer layer, grammar::Annotation annotation) {
+  layers_[static_cast<int>(layer)].push_back(std::move(annotation));
+}
+
+const std::vector<grammar::Annotation>& VideoDescription::Layer(
+    CobraLayer layer) const {
+  return layers_[static_cast<int>(layer)];
+}
+
+std::vector<grammar::Annotation> VideoDescription::Named(
+    CobraLayer layer, const std::string& symbol) const {
+  std::vector<grammar::Annotation> out;
+  for (const grammar::Annotation& a : Layer(layer)) {
+    if (a.symbol == symbol) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<grammar::Annotation> VideoDescription::In(
+    CobraLayer layer, const FrameInterval& range) const {
+  std::vector<grammar::Annotation> out;
+  for (const grammar::Annotation& a : Layer(layer)) {
+    if (a.range.Overlaps(range)) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<grammar::Annotation> VideoDescription::EventsRelated(
+    AllenRelation relation, const FrameInterval& reference) const {
+  std::vector<grammar::Annotation> out;
+  for (const grammar::Annotation& a : Layer(CobraLayer::kEvent)) {
+    if (!a.range.Empty() && !reference.Empty() &&
+        ClassifyAllen(a.range, reference) == relation) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+int64_t VideoDescription::TotalEntities() const {
+  int64_t n = 0;
+  for (const auto& layer : layers_) n += static_cast<int64_t>(layer.size());
+  return n;
+}
+
+}  // namespace cobra::core

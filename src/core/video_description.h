@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file video_description.h
+/// The COBRA video data model (paper §3, ref [2]): a four-layer description
+/// of one video — raw data, feature, object, event — aligned with MPEG-7's
+/// layering. Objects carry prominent spatial extent, events prominent
+/// temporal extent.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grammar/annotation.h"
+#include "util/geometry.h"
+
+namespace cobra::core {
+
+/// The four COBRA content layers.
+enum class CobraLayer : int {
+  kRawData = 0,  ///< the pixel stream itself
+  kFeature = 1,  ///< visual features: shots, histograms, shapes
+  kObject = 2,   ///< spatial entities: players, the court
+  kEvent = 3,    ///< temporal entities: serve, rally, net play
+};
+
+const char* CobraLayerToString(CobraLayer layer);
+
+/// The complete layered description of one indexed video. Entities are
+/// grammar annotations (symbol + temporal extent + attributes); the layer
+/// is the COBRA classification of the entity's symbol.
+class VideoDescription {
+ public:
+  VideoDescription() = default;
+  VideoDescription(int64_t video_id, std::string title, double fps,
+                   int64_t num_frames)
+      : video_id_(video_id),
+        title_(std::move(title)),
+        fps_(fps),
+        num_frames_(num_frames) {}
+
+  int64_t video_id() const { return video_id_; }
+  const std::string& title() const { return title_; }
+  double fps() const { return fps_; }
+  int64_t num_frames() const { return num_frames_; }
+
+  void Add(CobraLayer layer, grammar::Annotation annotation);
+
+  const std::vector<grammar::Annotation>& Layer(CobraLayer layer) const;
+
+  /// Entities of a layer whose symbol matches `symbol`.
+  std::vector<grammar::Annotation> Named(CobraLayer layer,
+                                         const std::string& symbol) const;
+
+  /// Entities of a layer overlapping `range`.
+  std::vector<grammar::Annotation> In(CobraLayer layer,
+                                      const FrameInterval& range) const;
+
+  /// Events whose interval stands in `relation` to `reference` — the
+  /// spatio-temporal reasoning hook of the COBRA event grammar.
+  std::vector<grammar::Annotation> EventsRelated(
+      AllenRelation relation, const FrameInterval& reference) const;
+
+  /// Seconds corresponding to a frame index on this video's timeline.
+  double FrameToSeconds(int64_t frame) const {
+    return fps_ > 0 ? static_cast<double>(frame) / fps_ : 0.0;
+  }
+
+  int64_t TotalEntities() const;
+
+ private:
+  int64_t video_id_ = 0;
+  std::string title_;
+  double fps_ = 25.0;
+  int64_t num_frames_ = 0;
+  std::vector<grammar::Annotation> layers_[4];
+};
+
+}  // namespace cobra::core

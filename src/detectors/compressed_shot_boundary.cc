@@ -1,0 +1,37 @@
+#include "detectors/compressed_shot_boundary.h"
+
+namespace cobra::detectors {
+
+CompressedShotBoundaryDetector::CompressedShotBoundaryDetector(
+    CompressedShotBoundaryConfig config)
+    : config_(config) {}
+
+std::vector<double> CompressedShotBoundaryDetector::Signal(
+    const media::EncodedVideo& encoded) {
+  std::vector<double> signal;
+  signal.reserve(static_cast<size_t>(encoded.num_frames()));
+  for (int64_t f = 0; f < encoded.num_frames(); ++f) {
+    signal.push_back(encoded.Stats(f).intra_block_ratio);
+  }
+  return signal;
+}
+
+std::vector<int64_t> CompressedShotBoundaryDetector::Detect(
+    const media::EncodedVideo& encoded) const {
+  std::vector<double> signal = Signal(encoded);
+  std::vector<int64_t> cuts;
+  for (int64_t f = 1; f < static_cast<int64_t>(signal.size()); ++f) {
+    if (signal[static_cast<size_t>(f)] < config_.intra_ratio_threshold) continue;
+    if (!cuts.empty() && f - cuts.back() < config_.min_shot_frames) {
+      if (signal[static_cast<size_t>(f)] >
+          signal[static_cast<size_t>(cuts.back())]) {
+        cuts.back() = f;
+      }
+      continue;
+    }
+    cuts.push_back(f);
+  }
+  return cuts;
+}
+
+}  // namespace cobra::detectors

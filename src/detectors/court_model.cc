@@ -1,0 +1,145 @@
+#include "detectors/court_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/strings.h"
+#include "vision/mask.h"
+
+namespace cobra::detectors {
+
+Result<CourtModel> EstimateCourtModel(const media::Frame& frame,
+                                      const CourtModelConfig& config) {
+  if (frame.Empty()) return Status::InvalidArgument("empty frame");
+  const int w = frame.width();
+  const int h = frame.height();
+
+  // Estimate the field color statistics (paper §3) robustly: scatter small
+  // candidate patches over the central frame region, keep the homogeneous
+  // ones (this drops patches on court lines, the net, players), and model
+  // the court from the largest cluster of color-consistent patches.
+  CourtModel model;
+  const int p = config.seed_patch;
+  struct Patch {
+    vision::GaussianColorModel stats;
+    bool homogeneous = false;
+  };
+  std::vector<Patch> patches;
+  for (int gy = 0; gy < 6; ++gy) {
+    for (int gx = 0; gx < 6; ++gx) {
+      int cx = static_cast<int>(w * (0.25 + 0.5 * gx / 5.0));
+      int cy = static_cast<int>(h * (0.25 + 0.55 * gy / 5.0));
+      Patch patch;
+      for (int y = cy - p; y <= cy + p; ++y) {
+        for (int x = cx - p; x <= cx + p; ++x) {
+          if (x >= 0 && x < w && y >= 0 && y < h) patch.stats.Add(frame.At(x, y));
+        }
+      }
+      double stddev = (std::sqrt(patch.stats.var_r()) +
+                       std::sqrt(patch.stats.var_g()) +
+                       std::sqrt(patch.stats.var_b())) /
+                      3.0;
+      patch.homogeneous = stddev <= config.max_seed_stddev;
+      patches.push_back(patch);
+    }
+  }
+
+  // Largest cluster of homogeneous patches with similar means.
+  auto mean_dist = [](const vision::GaussianColorModel& a,
+                      const vision::GaussianColorModel& b) {
+    double dr = a.mean_r() - b.mean_r();
+    double dg = a.mean_g() - b.mean_g();
+    double db = a.mean_b() - b.mean_b();
+    return std::sqrt(dr * dr + dg * dg + db * db);
+  };
+  size_t best_center = patches.size();
+  int best_count = 0;
+  for (size_t i = 0; i < patches.size(); ++i) {
+    if (!patches[i].homogeneous) continue;
+    int count = 0;
+    for (const Patch& other : patches) {
+      if (other.homogeneous && mean_dist(patches[i].stats, other.stats) < 30.0) {
+        ++count;
+      }
+    }
+    if (count > best_count) {
+      best_count = count;
+      best_center = i;
+    }
+  }
+  if (best_center >= patches.size() || best_count < 4) {
+    return Status::DetectorError(
+        StringFormat("no homogeneous surface cluster (best %d patches)",
+                     best_count));
+  }
+  // Pixels of the cluster's patches feed the court color model.
+  for (int gy = 0; gy < 6; ++gy) {
+    for (int gx = 0; gx < 6; ++gx) {
+      const Patch& patch = patches[static_cast<size_t>(gy) * 6 + gx];
+      if (!patch.homogeneous ||
+          mean_dist(patches[best_center].stats, patch.stats) >= 30.0) {
+        continue;
+      }
+      int cx = static_cast<int>(w * (0.25 + 0.5 * gx / 5.0));
+      int cy = static_cast<int>(h * (0.25 + 0.55 * gy / 5.0));
+      for (int y = cy - p; y <= cy + p; ++y) {
+        for (int x = cx - p; x <= cx + p; ++x) {
+          if (x >= 0 && x < w && y >= 0 && y < h) {
+            model.court_color.Add(frame.At(x, y));
+          }
+        }
+      }
+    }
+  }
+
+  // The surface must be colored and lit (rejects graphics backgrounds).
+  media::Hsv seed_hsv = media::RgbToHsv(media::Rgb{
+      static_cast<uint8_t>(model.court_color.mean_r()),
+      static_cast<uint8_t>(model.court_color.mean_g()),
+      static_cast<uint8_t>(model.court_color.mean_b())});
+  if (seed_hsv.s < config.min_seed_saturation ||
+      seed_hsv.v < config.min_seed_value) {
+    return Status::DetectorError(
+        StringFormat("seed color not a lit surface (s=%.2f v=%.2f)", seed_hsv.s,
+                     seed_hsv.v));
+  }
+
+  // Surround (out-of-court) statistics from the four frame corners.
+  for (int corner = 0; corner < 4; ++corner) {
+    int sx = (corner % 2 == 0) ? p : w - 1 - 2 * p;
+    int sy = (corner / 2 == 0) ? p : h - 1 - 2 * p;
+    for (int y = sy; y <= sy + p && y < h; ++y) {
+      for (int x = sx; x <= sx + p && x < w; ++x) {
+        if (x >= 0 && y >= 0) model.surround_color.Add(frame.At(x, y));
+      }
+    }
+  }
+
+  // Classify court pixels and take the bounding box of the biggest region.
+  vision::BinaryMask court_mask = vision::BinaryMask::FromPredicate(
+      frame, [&](const media::Rgb& px) {
+        return model.court_color.Matches(px, config.match_k);
+      });
+  int64_t matched = court_mask.Count();
+  if (static_cast<double>(matched) <
+      config.min_court_fraction * static_cast<double>(frame.PixelCount())) {
+    return Status::DetectorError(
+        StringFormat("court color covers only %lld of %lld pixels",
+                     static_cast<long long>(matched),
+                     static_cast<long long>(frame.PixelCount())));
+  }
+  // Dilate once to bridge the white lines that slice the surface into bands,
+  // then keep the dominant component.
+  auto components = vision::LabelComponents(court_mask.Dilate(), matched / 4);
+  if (components.empty()) {
+    return Status::DetectorError("no coherent court region");
+  }
+  model.court_bbox = components.front().bbox;
+  model.net_y = model.court_bbox.y + model.court_bbox.height / 2;
+  model.baseline_near_y = model.court_bbox.Bottom() - 1;
+  model.baseline_far_y = model.court_bbox.y;
+  return model;
+}
+
+}  // namespace cobra::detectors

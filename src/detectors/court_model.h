@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file court_model.h
+/// Estimation of the court geometry and court-color statistics from pixels
+/// — the "estimated statistics of the tennis field color" that seed the
+/// player segmentation (paper §3). Detectors never see the synthesizer's
+/// geometry; they recover it from the frame.
+
+#include "media/frame.h"
+#include "util/status.h"
+#include "vision/color_model.h"
+
+namespace cobra::detectors {
+
+/// Court geometry and color statistics estimated from one court frame.
+struct CourtModel {
+  vision::GaussianColorModel court_color;  ///< playing-surface color stats
+  vision::GaussianColorModel surround_color;  ///< out-of-court background stats
+  RectI court_bbox;                        ///< bounding box of court pixels
+  int net_y = 0;                           ///< estimated net row
+  int baseline_near_y = 0;
+  int baseline_far_y = 0;
+
+  bool Valid() const { return !court_bbox.Empty(); }
+};
+
+struct CourtModelConfig {
+  /// Seed sampling: court color is estimated from small patches around the
+  /// two service-box centers (±quarter height from frame center), which lie
+  /// on the surface for any broadcast court framing.
+  int seed_patch = 6;  ///< half-size of each seed patch, pixels
+  /// Pixels within k sigma of the seed model count as court surface.
+  double match_k = 3.5;
+  /// Minimum fraction of frame pixels that must match for a valid court.
+  double min_court_fraction = 0.2;
+  /// Homogeneity gate: mean per-channel stddev of the seed patches must be
+  /// below this (a surface is flat up to texture + sensor noise).
+  double max_seed_stddev = 18.0;
+  /// The surface must be colored and lit (rejects graphics backgrounds).
+  double min_seed_saturation = 0.2;
+  double min_seed_value = 0.3;
+};
+
+/// Estimates the court model from a single (court) frame.
+///
+/// Fails with DetectorError if the frame does not contain a plausible court
+/// (too few pixels matching the seed color model).
+Result<CourtModel> EstimateCourtModel(const media::Frame& frame,
+                                      const CourtModelConfig& config = {});
+
+}  // namespace cobra::detectors

@@ -1,0 +1,148 @@
+#include "detectors/event_rules.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "media/ground_truth.h"
+
+namespace cobra::detectors {
+
+EventRuleEngine::EventRuleEngine(EventRuleConfig config) : config_(config) {}
+
+namespace {
+
+/// Emits one event per maximal run of `true` in `flags`, offset to video time.
+void EmitRuns(const std::vector<bool>& flags, const char* name, int player_id,
+              int64_t min_len, int64_t frame0,
+              std::vector<DetectedEvent>* out) {
+  int64_t run_start = -1;
+  const int64_t n = static_cast<int64_t>(flags.size());
+  for (int64_t t = 0; t <= n; ++t) {
+    bool on = t < n && flags[static_cast<size_t>(t)];
+    if (on && run_start < 0) run_start = t;
+    if (!on && run_start >= 0) {
+      if (t - run_start >= min_len) {
+        out->push_back(DetectedEvent{
+            name, player_id, FrameInterval{frame0 + run_start, frame0 + t - 1}});
+      }
+      run_start = -1;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<DetectedEvent> EventRuleEngine::Detect(
+    const TrackingResult& tracking, const FrameInterval& shot) const {
+  std::vector<DetectedEvent> events;
+  if (!tracking.court.Valid() || shot.Empty()) return events;
+
+  const CourtModel& court = tracking.court;
+  const double half_height = court.court_bbox.height / 2.0;
+  const double net_zone = config_.net_zone_fraction * court.court_bbox.height;
+  const double baseline_zone = config_.baseline_zone_fraction * half_height;
+  const int64_t len = shot.Length();
+
+  // Per-player zone/speed flags on the shot's local timeline.
+  std::vector<std::vector<double>> speeds;
+  std::vector<bool> both_still(static_cast<size_t>(len), true);
+  std::vector<double> mean_speed_accum(static_cast<size_t>(len), 0.0);
+  std::vector<int> speed_counts(static_cast<size_t>(len), 0);
+
+  for (const PlayerTrack& track : tracking.tracks) {
+    std::vector<bool> at_net(static_cast<size_t>(len), false);
+    std::vector<bool> at_baseline(static_cast<size_t>(len), false);
+    PointD prev;
+    bool have_prev = false;
+    for (const TrackPoint& p : track.points) {
+      int64_t t = p.frame - shot.begin;
+      if (t < 0 || t >= len) continue;
+      double dist_net = std::fabs(p.center.y - court.net_y);
+      at_net[static_cast<size_t>(t)] = dist_net < net_zone;
+      at_baseline[static_cast<size_t>(t)] = dist_net > baseline_zone;
+      double speed = 0.0;
+      if (have_prev) speed = p.center.DistanceTo(prev);
+      prev = p.center;
+      have_prev = true;
+      if (speed > config_.serve_speed_eps) both_still[static_cast<size_t>(t)] = false;
+      mean_speed_accum[static_cast<size_t>(t)] += speed;
+      speed_counts[static_cast<size_t>(t)]++;
+    }
+    EmitRuns(at_net, media::kEventNetPlay, track.player_id,
+             config_.min_net_play_frames, shot.begin, &events);
+    EmitRuns(at_baseline, media::kEventBaselinePlay, track.player_id,
+             config_.min_baseline_frames, shot.begin, &events);
+  }
+
+  // Serve: the initial run where every tracked player is (nearly) still.
+  int64_t serve_end = 0;  // exclusive, local time
+  while (serve_end < len && both_still[static_cast<size_t>(serve_end)]) {
+    ++serve_end;
+  }
+  if (serve_end >= config_.min_serve_frames) {
+    events.push_back(DetectedEvent{
+        media::kEventServe, -1, FrameInterval{shot.begin, shot.begin + serve_end - 1}});
+  }
+
+  // Rally: the rest of the shot, if the players actually move.
+  if (serve_end < len) {
+    double total_speed = 0.0;
+    int64_t n = 0;
+    for (int64_t t = serve_end; t < len; ++t) {
+      if (speed_counts[static_cast<size_t>(t)] > 0) {
+        total_speed += mean_speed_accum[static_cast<size_t>(t)] /
+                       speed_counts[static_cast<size_t>(t)];
+        ++n;
+      }
+    }
+    if (n > 0 && total_speed / static_cast<double>(n) >= config_.rally_min_mean_speed) {
+      events.push_back(DetectedEvent{
+          media::kEventRally, -1, FrameInterval{shot.begin + serve_end, shot.end}});
+    }
+  }
+  return events;
+}
+
+double IntervalIou(const FrameInterval& a, const FrameInterval& b) {
+  FrameInterval inter = a.Intersect(b);
+  int64_t inter_len = inter.Length();
+  int64_t union_len = a.Length() + b.Length() - inter_len;
+  return union_len > 0
+             ? static_cast<double>(inter_len) / static_cast<double>(union_len)
+             : 0.0;
+}
+
+PrecisionRecall MatchEvents(const std::vector<NamedInterval>& truth,
+                            const std::vector<NamedInterval>& detected,
+                            double min_iou) {
+  std::vector<bool> used(truth.size(), false);
+  PrecisionRecall pr;
+  for (const NamedInterval& det : detected) {
+    double best_iou = min_iou;
+    size_t best = truth.size();
+    for (size_t i = 0; i < truth.size(); ++i) {
+      if (used[i] || truth[i].name != det.name) continue;
+      if (truth[i].player_id >= 0 && det.player_id >= 0 &&
+          truth[i].player_id != det.player_id) {
+        continue;
+      }
+      double iou = IntervalIou(truth[i].range, det.range);
+      if (iou >= best_iou) {
+        best_iou = iou;
+        best = i;
+      }
+    }
+    if (best < truth.size()) {
+      used[best] = true;
+      pr.true_positives++;
+    } else {
+      pr.false_positives++;
+    }
+  }
+  for (bool u : used) {
+    if (!u) pr.false_negatives++;
+  }
+  return pr;
+}
+
+}  // namespace cobra::detectors

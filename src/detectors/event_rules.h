@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file event_rules.h
+/// Rule-based event detection: "players' positions and their transitions
+/// over time are related to particular events (net-playing, rally, etc.)
+/// using rules ... implemented as white- and black-box detectors within the
+/// FDE" (paper §3). The rules are spatio-temporal predicates over the
+/// tracked trajectories and the estimated court geometry.
+
+#include <string>
+#include <vector>
+
+#include "detectors/player_tracker.h"
+#include "util/stats.h"
+
+namespace cobra::detectors {
+
+/// An event instance inferred from the meta-data.
+struct DetectedEvent {
+  std::string name;    ///< media::kEvent* constant
+  int player_id = -1;  ///< acting player, -1 = court-level
+  FrameInterval range;
+};
+
+struct EventRuleConfig {
+  /// Net zone: |y - net_y| below this fraction of the court height.
+  double net_zone_fraction = 0.17;
+  /// Baseline zone: distance from the net above this fraction of the
+  /// half-court height.
+  double baseline_zone_fraction = 0.60;
+  int64_t min_net_play_frames = 8;
+  int64_t min_baseline_frames = 20;
+  /// Serve: both players slower than this (px/frame) from the shot start.
+  double serve_speed_eps = 1.6;
+  int64_t min_serve_frames = 5;
+  /// Rally: mean lateral speed of the tracked players above this.
+  double rally_min_mean_speed = 0.4;
+};
+
+/// Evaluates the spatio-temporal event rules over one shot's tracks.
+class EventRuleEngine {
+ public:
+  explicit EventRuleEngine(EventRuleConfig config = {});
+
+  /// Detects serve / rally / net_play / baseline_play in a tracked court
+  /// shot. `shot` is the shot's frame interval in video time.
+  std::vector<DetectedEvent> Detect(const TrackingResult& tracking,
+                                    const FrameInterval& shot) const;
+
+  const EventRuleConfig& config() const { return config_; }
+
+ private:
+  EventRuleConfig config_;
+};
+
+/// Interval-based event scoring: a detected event matches an unmatched truth
+/// event with the same name (and player, unless either side is -1) whose
+/// interval IoU is at least `min_iou`.
+struct NamedInterval {
+  std::string name;
+  int player_id = -1;
+  FrameInterval range;
+};
+
+PrecisionRecall MatchEvents(const std::vector<NamedInterval>& truth,
+                            const std::vector<NamedInterval>& detected,
+                            double min_iou = 0.3);
+
+/// Temporal IoU of two frame intervals.
+double IntervalIou(const FrameInterval& a, const FrameInterval& b);
+
+}  // namespace cobra::detectors

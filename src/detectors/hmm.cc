@@ -1,0 +1,278 @@
+#include "detectors/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace cobra::detectors {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+double SafeLog(double p) { return p > 0 ? std::log(p) : kNegInf; }
+}  // namespace
+
+DiscreteHmm::DiscreteHmm(int num_states, int num_symbols)
+    : num_states_(num_states),
+      num_symbols_(num_symbols),
+      initial_(num_states, 1.0 / num_states),
+      trans_(static_cast<size_t>(num_states) * num_states, 1.0 / num_states),
+      emit_(static_cast<size_t>(num_states) * num_symbols, 1.0 / num_symbols) {}
+
+DiscreteHmm DiscreteHmm::Random(int num_states, int num_symbols, Rng* rng) {
+  DiscreteHmm hmm(num_states, num_symbols);
+  auto perturb = [rng](std::vector<double>* row, size_t begin, size_t len) {
+    double sum = 0.0;
+    for (size_t i = begin; i < begin + len; ++i) {
+      (*row)[i] *= rng->NextDouble(0.5, 1.5);
+      sum += (*row)[i];
+    }
+    for (size_t i = begin; i < begin + len; ++i) (*row)[i] /= sum;
+  };
+  perturb(&hmm.initial_, 0, static_cast<size_t>(num_states));
+  for (int s = 0; s < num_states; ++s) {
+    perturb(&hmm.trans_, static_cast<size_t>(s) * num_states,
+            static_cast<size_t>(num_states));
+    perturb(&hmm.emit_, static_cast<size_t>(s) * num_symbols,
+            static_cast<size_t>(num_symbols));
+  }
+  return hmm;
+}
+
+Status DiscreteHmm::CheckSymbols(const std::vector<int>& observations) const {
+  for (int o : observations) {
+    if (o < 0 || o >= num_symbols_) {
+      return Status::InvalidArgument(
+          StringFormat("observation symbol %d out of [0, %d)", o, num_symbols_));
+    }
+  }
+  return Status::OK();
+}
+
+Result<DiscreteHmm> DiscreteHmm::FromLabeledSequences(
+    const std::vector<std::vector<int>>& states,
+    const std::vector<std::vector<int>>& symbols, int num_states,
+    int num_symbols, double smoothing) {
+  if (states.size() != symbols.size()) {
+    return Status::InvalidArgument("states/symbols sequence counts differ");
+  }
+  if (num_states < 1 || num_symbols < 1) {
+    return Status::InvalidArgument("model dimensions must be positive");
+  }
+  DiscreteHmm hmm(num_states, num_symbols);
+  std::vector<double> init_counts(num_states, smoothing);
+  std::vector<double> trans_counts(
+      static_cast<size_t>(num_states) * num_states, smoothing);
+  std::vector<double> emit_counts(
+      static_cast<size_t>(num_states) * num_symbols, smoothing);
+
+  for (size_t seq = 0; seq < states.size(); ++seq) {
+    const auto& st = states[seq];
+    const auto& sy = symbols[seq];
+    if (st.size() != sy.size()) {
+      return Status::InvalidArgument(
+          StringFormat("sequence %zu: state/symbol lengths differ", seq));
+    }
+    for (size_t t = 0; t < st.size(); ++t) {
+      if (st[t] < 0 || st[t] >= num_states) {
+        return Status::InvalidArgument("state label out of range");
+      }
+      if (sy[t] < 0 || sy[t] >= num_symbols) {
+        return Status::InvalidArgument("symbol out of range");
+      }
+      emit_counts[static_cast<size_t>(st[t]) * num_symbols + sy[t]] += 1.0;
+      if (t == 0) {
+        init_counts[st[0]] += 1.0;
+      } else {
+        trans_counts[static_cast<size_t>(st[t - 1]) * num_states + st[t]] += 1.0;
+      }
+    }
+  }
+
+  auto normalize_rows = [](std::vector<double>* m, int rows, int cols) {
+    for (int r = 0; r < rows; ++r) {
+      double sum = 0.0;
+      for (int c = 0; c < cols; ++c) sum += (*m)[static_cast<size_t>(r) * cols + c];
+      if (sum > 0) {
+        for (int c = 0; c < cols; ++c) (*m)[static_cast<size_t>(r) * cols + c] /= sum;
+      }
+    }
+  };
+  double init_sum = 0.0;
+  for (double c : init_counts) init_sum += c;
+  for (int s = 0; s < num_states; ++s) hmm.initial_[s] = init_counts[s] / init_sum;
+  normalize_rows(&trans_counts, num_states, num_states);
+  normalize_rows(&emit_counts, num_states, num_symbols);
+  hmm.trans_ = std::move(trans_counts);
+  hmm.emit_ = std::move(emit_counts);
+  return hmm;
+}
+
+Result<std::vector<int>> DiscreteHmm::Viterbi(
+    const std::vector<int>& observations) const {
+  COBRA_RETURN_NOT_OK(CheckSymbols(observations));
+  const size_t T = observations.size();
+  if (T == 0) return std::vector<int>{};
+  const int S = num_states_;
+
+  std::vector<double> delta(static_cast<size_t>(S), 0.0);
+  std::vector<double> delta_next(static_cast<size_t>(S), 0.0);
+  std::vector<int> backptr(T * static_cast<size_t>(S), 0);
+
+  for (int s = 0; s < S; ++s) {
+    delta[s] = SafeLog(initial_[s]) + SafeLog(emission(s, observations[0]));
+  }
+  for (size_t t = 1; t < T; ++t) {
+    for (int to = 0; to < S; ++to) {
+      double best = kNegInf;
+      int best_from = 0;
+      for (int from = 0; from < S; ++from) {
+        double cand = delta[from] + SafeLog(transition(from, to));
+        if (cand > best) {
+          best = cand;
+          best_from = from;
+        }
+      }
+      delta_next[to] = best + SafeLog(emission(to, observations[t]));
+      backptr[t * S + to] = best_from;
+    }
+    std::swap(delta, delta_next);
+  }
+
+  std::vector<int> path(T);
+  int last = static_cast<int>(
+      std::max_element(delta.begin(), delta.end()) - delta.begin());
+  path[T - 1] = last;
+  for (size_t t = T - 1; t > 0; --t) {
+    last = backptr[t * S + last];
+    path[t - 1] = last;
+  }
+  return path;
+}
+
+Result<double> DiscreteHmm::LogLikelihood(
+    const std::vector<int>& observations) const {
+  COBRA_RETURN_NOT_OK(CheckSymbols(observations));
+  const size_t T = observations.size();
+  if (T == 0) return 0.0;
+  const int S = num_states_;
+  std::vector<double> alpha(static_cast<size_t>(S));
+  double log_like = 0.0;
+  for (int s = 0; s < S; ++s) alpha[s] = initial_[s] * emission(s, observations[0]);
+  for (size_t t = 0;; ++t) {
+    double scale = 0.0;
+    for (double a : alpha) scale += a;
+    if (scale <= 0) return Status::Internal("forward pass underflow (zero mass)");
+    for (double& a : alpha) a /= scale;
+    log_like += std::log(scale);
+    if (t + 1 >= T) break;
+    std::vector<double> next(static_cast<size_t>(S), 0.0);
+    for (int to = 0; to < S; ++to) {
+      double acc = 0.0;
+      for (int from = 0; from < S; ++from) {
+        acc += alpha[from] * transition(from, to);
+      }
+      next[to] = acc * emission(to, observations[t + 1]);
+    }
+    alpha = std::move(next);
+  }
+  return log_like;
+}
+
+Result<double> DiscreteHmm::BaumWelch(
+    const std::vector<std::vector<int>>& observations, int iterations) {
+  for (const auto& seq : observations) COBRA_RETURN_NOT_OK(CheckSymbols(seq));
+  const int S = num_states_;
+  const int V = num_symbols_;
+  double total_ll = 0.0;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::vector<double> init_acc(S, 1e-6);
+    std::vector<double> trans_acc(static_cast<size_t>(S) * S, 1e-6);
+    std::vector<double> emit_acc(static_cast<size_t>(S) * V, 1e-6);
+    total_ll = 0.0;
+
+    for (const auto& seq : observations) {
+      const size_t T = seq.size();
+      if (T == 0) continue;
+      // Scaled forward.
+      std::vector<double> alpha(T * static_cast<size_t>(S));
+      std::vector<double> scale(T);
+      for (int s = 0; s < S; ++s) alpha[s] = initial_[s] * emission(s, seq[0]);
+      for (size_t t = 0; t < T; ++t) {
+        if (t > 0) {
+          for (int to = 0; to < S; ++to) {
+            double acc = 0.0;
+            for (int from = 0; from < S; ++from) {
+              acc += alpha[(t - 1) * S + from] * transition(from, to);
+            }
+            alpha[t * S + to] = acc * emission(to, seq[t]);
+          }
+        }
+        double sc = 0.0;
+        for (int s = 0; s < S; ++s) sc += alpha[t * S + s];
+        if (sc <= 0) return Status::Internal("Baum-Welch underflow");
+        scale[t] = sc;
+        for (int s = 0; s < S; ++s) alpha[t * S + s] /= sc;
+        total_ll += std::log(sc);
+      }
+      // Scaled backward.
+      std::vector<double> beta(T * static_cast<size_t>(S), 1.0);
+      for (size_t t = T - 1; t > 0; --t) {
+        for (int from = 0; from < S; ++from) {
+          double acc = 0.0;
+          for (int to = 0; to < S; ++to) {
+            acc += transition(from, to) * emission(to, seq[t]) * beta[t * S + to];
+          }
+          beta[(t - 1) * S + from] = acc / scale[t];
+        }
+      }
+      // Accumulate expected counts.
+      for (int s = 0; s < S; ++s) {
+        init_acc[s] += alpha[s] * beta[s];
+      }
+      for (size_t t = 0; t < T; ++t) {
+        for (int s = 0; s < S; ++s) {
+          double gamma = alpha[t * S + s] * beta[t * S + s];
+          emit_acc[static_cast<size_t>(s) * V + seq[t]] += gamma;
+        }
+        if (t + 1 < T) {
+          for (int from = 0; from < S; ++from) {
+            for (int to = 0; to < S; ++to) {
+              double xi = alpha[t * S + from] * transition(from, to) *
+                          emission(to, seq[t + 1]) * beta[(t + 1) * S + to] /
+                          scale[t + 1];
+              trans_acc[static_cast<size_t>(from) * S + to] += xi;
+            }
+          }
+        }
+      }
+    }
+
+    // Re-normalize.
+    double init_sum = 0.0;
+    for (double v : init_acc) init_sum += v;
+    for (int s = 0; s < S; ++s) initial_[s] = init_acc[s] / init_sum;
+    for (int from = 0; from < S; ++from) {
+      double row = 0.0;
+      for (int to = 0; to < S; ++to) row += trans_acc[static_cast<size_t>(from) * S + to];
+      for (int to = 0; to < S; ++to) {
+        trans_[static_cast<size_t>(from) * S + to] =
+            trans_acc[static_cast<size_t>(from) * S + to] / row;
+      }
+    }
+    for (int s = 0; s < S; ++s) {
+      double row = 0.0;
+      for (int v = 0; v < V; ++v) row += emit_acc[static_cast<size_t>(s) * V + v];
+      for (int v = 0; v < V; ++v) {
+        emit_[static_cast<size_t>(s) * V + v] =
+            emit_acc[static_cast<size_t>(s) * V + v] / row;
+      }
+    }
+  }
+  return total_ll;
+}
+
+}  // namespace cobra::detectors

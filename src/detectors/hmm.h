@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file hmm.h
+/// Discrete hidden Markov model — the stochastic event recognizer of the
+/// COBRA companion paper (ref [2]), offered as the alternative to the
+/// rule-based detectors and compared against them in experiment E5.
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cobra::detectors {
+
+/// A discrete-observation HMM with dense parameter matrices.
+///
+/// Probabilities are stored linearly; decoding runs in log space, the
+/// forward likelihood uses per-step scaling, so long sequences do not
+/// underflow.
+class DiscreteHmm {
+ public:
+  /// Uniformly-initialized model.
+  DiscreteHmm(int num_states, int num_symbols);
+
+  /// Randomly-perturbed model. Exactly uniform parameters are a fixed point
+  /// of Baum-Welch (every state is identical), so unsupervised training
+  /// must start from a perturbed initialization.
+  static DiscreteHmm Random(int num_states, int num_symbols, Rng* rng);
+
+  int num_states() const { return num_states_; }
+  int num_symbols() const { return num_symbols_; }
+
+  double initial(int s) const { return initial_[s]; }
+  double transition(int from, int to) const {
+    return trans_[static_cast<size_t>(from) * num_states_ + to];
+  }
+  double emission(int state, int symbol) const {
+    return emit_[static_cast<size_t>(state) * num_symbols_ + symbol];
+  }
+
+  /// Supervised maximum-likelihood estimation from aligned state/symbol
+  /// sequences, with add-`smoothing` Laplace smoothing.
+  ///
+  /// Each states[i] and symbols[i] pair must have equal length.
+  static Result<DiscreteHmm> FromLabeledSequences(
+      const std::vector<std::vector<int>>& states,
+      const std::vector<std::vector<int>>& symbols, int num_states,
+      int num_symbols, double smoothing = 1.0);
+
+  /// Most likely state sequence for `observations` (Viterbi).
+  Result<std::vector<int>> Viterbi(const std::vector<int>& observations) const;
+
+  /// Log-likelihood of `observations` (scaled forward algorithm).
+  Result<double> LogLikelihood(const std::vector<int>& observations) const;
+
+  /// Unsupervised refinement with `iterations` of Baum-Welch over the given
+  /// observation sequences. Returns the final total log-likelihood.
+  Result<double> BaumWelch(const std::vector<std::vector<int>>& observations,
+                           int iterations);
+
+ private:
+  Status CheckSymbols(const std::vector<int>& observations) const;
+
+  int num_states_;
+  int num_symbols_;
+  std::vector<double> initial_;
+  std::vector<double> trans_;
+  std::vector<double> emit_;
+};
+
+}  // namespace cobra::detectors

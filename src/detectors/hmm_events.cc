@@ -1,0 +1,145 @@
+#include "detectors/hmm_events.h"
+
+#include <cmath>
+#include <optional>
+
+namespace cobra::detectors {
+
+std::vector<int> EncodeTrackSymbols(const PlayerTrack& track,
+                                    const CourtModel& court,
+                                    const FrameInterval& shot,
+                                    const HmmEncoderConfig& config) {
+  const int64_t len = shot.Length();
+  std::vector<int> symbols(static_cast<size_t>(len), -1);
+  const double net_zone = config.net_zone_fraction * court.court_bbox.height;
+  const double baseline_zone =
+      config.baseline_zone_fraction * (court.court_bbox.height / 2.0);
+
+  PointD prev;
+  bool have_prev = false;
+  for (const TrackPoint& p : track.points) {
+    int64_t t = p.frame - shot.begin;
+    if (t < 0 || t >= len) continue;
+    double dist_net = std::fabs(p.center.y - court.net_y);
+    int zone = dist_net < net_zone ? 2 : (dist_net > baseline_zone ? 0 : 1);
+    double speed = have_prev ? p.center.DistanceTo(prev) : 0.0;
+    prev = p.center;
+    have_prev = true;
+    int moving = speed > config.moving_speed ? 1 : 0;
+    symbols[static_cast<size_t>(t)] = zone * 2 + moving;
+  }
+  // Fill gaps by repeating the neighbors.
+  int last = -1;
+  for (int64_t t = 0; t < len; ++t) {
+    if (symbols[static_cast<size_t>(t)] >= 0) {
+      last = symbols[static_cast<size_t>(t)];
+    } else if (last >= 0) {
+      symbols[static_cast<size_t>(t)] = last;
+    }
+  }
+  for (int64_t t = len - 1; t >= 0; --t) {
+    if (symbols[static_cast<size_t>(t)] >= 0) {
+      last = symbols[static_cast<size_t>(t)];
+    } else if (last >= 0) {
+      symbols[static_cast<size_t>(t)] = last;
+    } else {
+      symbols[static_cast<size_t>(t)] = 0;
+    }
+  }
+  return symbols;
+}
+
+std::vector<int> BuildTruthStateSequence(const media::GroundTruth& truth,
+                                         int player_id,
+                                         const FrameInterval& shot) {
+  const int64_t len = shot.Length();
+  std::vector<int> states(static_cast<size_t>(len), kStateApproach);
+  auto mark = [&](const FrameInterval& range, int state) {
+    FrameInterval local = range.Intersect(shot);
+    for (int64_t f = local.begin; f <= local.end; ++f) {
+      states[static_cast<size_t>(f - shot.begin)] = state;
+    }
+  };
+  // Baseline first, then net (stronger), then serve (initial, strongest).
+  for (const media::EventTruth& e : truth.events) {
+    if (e.name == media::kEventBaselinePlay && e.player_id == player_id) {
+      mark(e.range, kStateBaseline);
+    }
+  }
+  for (const media::EventTruth& e : truth.events) {
+    if (e.name == media::kEventNetPlay && e.player_id == player_id) {
+      mark(e.range, kStateNet);
+    }
+  }
+  for (const media::EventTruth& e : truth.events) {
+    if (e.name == media::kEventServe) mark(e.range, kStateServe);
+  }
+  return states;
+}
+
+HmmEventRecognizer::HmmEventRecognizer(HmmEncoderConfig config)
+    : config_(config) {}
+
+Status HmmEventRecognizer::Train(
+    const std::vector<std::vector<int>>& state_sequences,
+    const std::vector<std::vector<int>>& symbol_sequences, double smoothing) {
+  auto result = DiscreteHmm::FromLabeledSequences(
+      state_sequences, symbol_sequences, kNumHmmStates, kNumHmmSymbols,
+      smoothing);
+  COBRA_RETURN_NOT_OK(result.status());
+  hmm_ = std::move(result).TakeValue();
+  return Status::OK();
+}
+
+Status HmmEventRecognizer::Refine(
+    const std::vector<std::vector<int>>& symbol_sequences, int iterations) {
+  if (!hmm_) return Status::FailedPrecondition("recognizer is not trained");
+  return hmm_->BaumWelch(symbol_sequences, iterations).status();
+}
+
+Result<std::vector<int>> HmmEventRecognizer::DecodeStates(
+    const PlayerTrack& track, const CourtModel& court,
+    const FrameInterval& shot) const {
+  if (!hmm_) return Status::FailedPrecondition("recognizer is not trained");
+  std::vector<int> symbols = EncodeTrackSymbols(track, court, shot, config_);
+  return hmm_->Viterbi(symbols);
+}
+
+Result<std::vector<DetectedEvent>> HmmEventRecognizer::Recognize(
+    const PlayerTrack& track, const CourtModel& court,
+    const FrameInterval& shot) const {
+  COBRA_ASSIGN_OR_RETURN(std::vector<int> states,
+                         DecodeStates(track, court, shot));
+  std::vector<DetectedEvent> events;
+  const int64_t len = static_cast<int64_t>(states.size());
+  auto emit_state_runs = [&](int state, const char* name, int player_id,
+                             int64_t min_len) {
+    int64_t run_start = -1;
+    for (int64_t t = 0; t <= len; ++t) {
+      bool on = t < len && states[static_cast<size_t>(t)] == state;
+      if (on && run_start < 0) run_start = t;
+      if (!on && run_start >= 0) {
+        if (t - run_start >= min_len) {
+          events.push_back(DetectedEvent{
+              name, player_id,
+              FrameInterval{shot.begin + run_start, shot.begin + t - 1}});
+        }
+        run_start = -1;
+      }
+    }
+  };
+  emit_state_runs(kStateNet, media::kEventNetPlay, track.player_id, 6);
+  emit_state_runs(kStateBaseline, media::kEventBaselinePlay, track.player_id, 15);
+  // Serve: only an initial serve-state run counts.
+  if (!states.empty() && states[0] == kStateServe) {
+    int64_t t = 0;
+    while (t < len && states[static_cast<size_t>(t)] == kStateServe) ++t;
+    if (t >= 4) {
+      events.push_back(DetectedEvent{media::kEventServe, -1,
+                                     FrameInterval{shot.begin, shot.begin + t - 1}});
+    }
+  }
+  return events;
+}
+
+}  // namespace cobra::detectors

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file hmm_events.h
+/// Stochastic event recognition: quantizes tracked player state into
+/// discrete observation symbols and decodes event states with an HMM —
+/// COBRA's "stochastic recognition of events" (ref [2]), the black-box
+/// counterpart of the white-box rules in event_rules.h.
+
+#include <optional>
+#include <vector>
+
+#include "detectors/event_rules.h"
+#include "detectors/hmm.h"
+#include "detectors/player_tracker.h"
+#include "media/ground_truth.h"
+#include "util/status.h"
+
+namespace cobra::detectors {
+
+/// Hidden states of the tennis-point HMM.
+enum HmmEventState : int {
+  kStateServe = 0,
+  kStateBaseline = 1,
+  kStateApproach = 2,
+  kStateNet = 3,
+};
+constexpr int kNumHmmStates = 4;
+
+/// Observation symbols: court zone (baseline / mid / net) x motion
+/// (still / moving) = 6 symbols.
+constexpr int kNumHmmSymbols = 6;
+
+struct HmmEncoderConfig {
+  /// Net zone: distance to net below this fraction of court height.
+  double net_zone_fraction = 0.17;
+  /// Baseline zone: distance to net above this fraction of half height.
+  double baseline_zone_fraction = 0.60;
+  /// Moving if per-frame displacement exceeds this (px).
+  double moving_speed = 1.2;
+};
+
+/// Encodes one player's track into per-frame observation symbols over the
+/// local timeline of `shot`. Frames without an observation repeat the last
+/// symbol (or the first available one at the start).
+std::vector<int> EncodeTrackSymbols(const PlayerTrack& track,
+                                    const CourtModel& court,
+                                    const FrameInterval& shot,
+                                    const HmmEncoderConfig& config = {});
+
+/// Builds the ground-truth state labels for `player_id` on the local
+/// timeline of `shot` from synthesizer truth (training data for the
+/// supervised HMM estimate).
+std::vector<int> BuildTruthStateSequence(const media::GroundTruth& truth,
+                                         int player_id,
+                                         const FrameInterval& shot);
+
+/// HMM-based per-player event recognizer.
+class HmmEventRecognizer {
+ public:
+  explicit HmmEventRecognizer(HmmEncoderConfig config = {});
+
+  /// Supervised training from aligned (states, symbols) sequences.
+  Status Train(const std::vector<std::vector<int>>& state_sequences,
+               const std::vector<std::vector<int>>& symbol_sequences,
+               double smoothing = 1.0);
+
+  /// Optional unsupervised refinement (Baum-Welch) on unlabeled symbols.
+  Status Refine(const std::vector<std::vector<int>>& symbol_sequences,
+                int iterations);
+
+  bool trained() const { return hmm_.has_value(); }
+  const DiscreteHmm& hmm() const { return *hmm_; }
+
+  /// Decodes the most likely state path for one track.
+  Result<std::vector<int>> DecodeStates(const PlayerTrack& track,
+                                        const CourtModel& court,
+                                        const FrameInterval& shot) const;
+
+  /// Full recognition: decode states, convert state runs to events
+  /// (net_play / baseline_play per player; serve from the initial serve
+  /// run).
+  Result<std::vector<DetectedEvent>> Recognize(const PlayerTrack& track,
+                                               const CourtModel& court,
+                                               const FrameInterval& shot) const;
+
+  const HmmEncoderConfig& config() const { return config_; }
+
+ private:
+  HmmEncoderConfig config_;
+  std::optional<DiscreteHmm> hmm_;
+};
+
+}  // namespace cobra::detectors

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file player_tracker.h
+/// Player segmentation and predictive tracking — the paper's "tennis
+/// detector" (§3): initial segmentation of the first frame of a court shot
+/// using court-color statistics, then prediction of the player position and
+/// a search for a similar region in the neighborhood of the prediction.
+
+#include <cstdint>
+#include <vector>
+
+#include "detectors/court_model.h"
+#include "media/video.h"
+#include "util/status.h"
+#include "vision/moments.h"
+
+namespace cobra::detectors {
+
+/// One observation of a tracked player.
+struct TrackPoint {
+  int64_t frame = 0;
+  PointD center;
+  RectI bbox;
+  vision::ShapeFeatures features;
+  /// True when no region was found and the point is the motion prediction.
+  bool predicted_only = false;
+};
+
+/// The trajectory of one player across a shot.
+struct PlayerTrack {
+  int player_id = 0;  ///< 0 = near (bottom half), 1 = far (top half)
+  std::vector<TrackPoint> points;
+
+  /// Fraction of points backed by an observed region (not predicted).
+  double ObservedFraction() const;
+
+  /// Center at a given frame (linear scan; tracks are short).
+  /// Returns false if the frame is not covered.
+  bool CenterAt(int64_t frame, PointD* out) const;
+};
+
+struct PlayerTrackerConfig {
+  CourtModelConfig court;
+
+  /// Foreground predicate: pixel matches neither court nor surround within
+  /// this many sigmas, and is not line-white.
+  double foreground_k = 3.0;
+  /// Minimum area (pixels) of a player region.
+  int64_t min_player_area = 10;
+  /// Extra pixels around the predicted bbox searched in the next frame.
+  int search_margin = 12;
+  /// ROI expansion around the court bbox (players overrun baselines).
+  int court_margin = 10;
+  /// Smaller expansion above the far baseline: the crowd sits right behind
+  /// it and must stay out of the segmentation ROI.
+  int court_margin_top = 4;
+  /// After this many consecutive missed frames, re-segment the full ROI.
+  int max_lost_frames = 8;
+};
+
+/// Tracking output for one court shot.
+struct TrackingResult {
+  CourtModel court;
+  std::vector<PlayerTrack> tracks;  ///< up to 2 entries (near, far)
+  int64_t frames_processed = 0;
+};
+
+/// Segments and tracks the two players through a court shot.
+class PlayerTracker {
+ public:
+  explicit PlayerTracker(PlayerTrackerConfig config = {});
+
+  /// Runs segmentation + tracking over `shot` frames of `video`.
+  /// Fails if the first frame has no recognizable court.
+  Result<TrackingResult> Track(const media::VideoSource& video,
+                               const FrameInterval& shot) const;
+
+  const PlayerTrackerConfig& config() const { return config_; }
+
+ private:
+  PlayerTrackerConfig config_;
+};
+
+}  // namespace cobra::detectors

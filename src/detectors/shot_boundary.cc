@@ -1,0 +1,214 @@
+#include "detectors/shot_boundary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/strings.h"
+
+namespace cobra::detectors {
+
+ShotBoundaryDetector::ShotBoundaryDetector(ShotBoundaryConfig config)
+    : config_(config) {}
+
+std::vector<FrameInterval> ShotBoundaryResult::ToShots(
+    int64_t num_frames) const {
+  std::vector<FrameInterval> shots;
+  if (num_frames <= 0) return shots;
+  int64_t start = 0;
+  for (int64_t b : boundaries) {
+    if (b > start) shots.push_back(FrameInterval{start, b - 1});
+    start = b;
+  }
+  shots.push_back(FrameInterval{start, num_frames - 1});
+  return shots;
+}
+
+Result<std::vector<double>> ShotBoundaryDetector::ComputeDistances(
+    const media::VideoSource& video) const {
+  const int64_t n = video.num_frames();
+  std::vector<double> distances;
+  if (n < 2) return distances;
+  distances.reserve(static_cast<size_t>(n - 1));
+
+  auto histogram_of = [&](int64_t idx) -> Result<vision::ColorHistogram> {
+    COBRA_ASSIGN_OR_RETURN(media::Frame frame, video.GetFrame(idx));
+    if (config_.downsample > 1) {
+      COBRA_ASSIGN_OR_RETURN(frame, frame.Downsample(config_.downsample));
+    }
+    return vision::ColorHistogram::FromFrame(frame, config_.bins_per_channel);
+  };
+
+  COBRA_ASSIGN_OR_RETURN(vision::ColorHistogram prev, histogram_of(0));
+  for (int64_t i = 1; i < n; ++i) {
+    COBRA_ASSIGN_OR_RETURN(vision::ColorHistogram cur, histogram_of(i));
+    distances.push_back(vision::Distance(prev, cur, config_.metric));
+    prev = std::move(cur);
+  }
+  return distances;
+}
+
+std::vector<int64_t> ShotBoundaryDetector::ThresholdSignal(
+    const std::vector<double>& distances) const {
+  std::vector<int64_t> raw;
+  if (config_.mode == ThresholdMode::kFixed) {
+    for (size_t i = 0; i < distances.size(); ++i) {
+      if (distances[i] > config_.fixed_threshold) {
+        raw.push_back(static_cast<int64_t>(i) + 1);
+      }
+    }
+  } else {
+    // Trailing-window statistics; the window excludes the sample under test
+    // so a cut does not inflate its own threshold.
+    std::deque<double> window;
+    double sum = 0.0, sum2 = 0.0;
+    for (size_t i = 0; i < distances.size(); ++i) {
+      double d = distances[i];
+      bool fire = false;
+      if (window.size() >= 4) {
+        double mean = sum / static_cast<double>(window.size());
+        double var = std::max(
+            0.0, sum2 / static_cast<double>(window.size()) - mean * mean);
+        double threshold =
+            std::max(config_.adaptive_floor, mean + config_.adaptive_k * std::sqrt(var));
+        fire = d > threshold;
+      } else {
+        fire = d > std::max(config_.adaptive_floor, config_.fixed_threshold);
+      }
+      if (fire) {
+        raw.push_back(static_cast<int64_t>(i) + 1);
+      } else {
+        // Only non-cut samples feed the background statistics.
+        window.push_back(d);
+        sum += d;
+        sum2 += d * d;
+        if (static_cast<int>(window.size()) > config_.adaptive_window) {
+          double old = window.front();
+          window.pop_front();
+          sum -= old;
+          sum2 -= old * old;
+        }
+      }
+    }
+  }
+
+  // Merge boundaries closer than min_shot_frames, keeping the stronger cut.
+  std::vector<int64_t> merged;
+  for (int64_t b : raw) {
+    if (!merged.empty() && b - merged.back() < config_.min_shot_frames) {
+      double prev_strength = distances[static_cast<size_t>(merged.back() - 1)];
+      double cur_strength = distances[static_cast<size_t>(b - 1)];
+      if (cur_strength > prev_strength) merged.back() = b;
+    } else {
+      merged.push_back(b);
+    }
+  }
+  return merged;
+}
+
+std::vector<FrameInterval> ShotBoundaryDetector::DetectGradual(
+    const std::vector<double>& distances,
+    const std::vector<int64_t>& hard_cuts) const {
+  std::vector<FrameInterval> out;
+  std::vector<bool> is_cut_frame(distances.size() + 2, false);
+  for (int64_t cut : hard_cuts) {
+    if (cut >= 1 && cut <= static_cast<int64_t>(distances.size())) {
+      is_cut_frame[static_cast<size_t>(cut)] = true;
+    }
+  }
+  // A run tolerates one below-threshold sample (dissolves between shots of
+  // similar palettes dip mid-way).
+  const int64_t n = static_cast<int64_t>(distances.size());
+  int64_t run_start = -1;
+  int64_t last_above = -1;
+  double accumulated = 0.0;
+  double run_max = 0.0;
+  bool contains_cut = false;
+  int gap = 0;
+  auto flush = [&]() {
+    if (run_start >= 0) {
+      int64_t run_len = last_above - run_start + 1;
+      bool spread = accumulated > 0 &&
+                    run_max / accumulated <= config_.gradual_max_spike_share;
+      if (!contains_cut && spread && run_len >= config_.gradual_min_frames &&
+          accumulated >= config_.gradual_accumulated) {
+        // distances[t] compares frames t and t+1; the blend covers frames
+        // run_start+1 .. last_above+1.
+        out.push_back(FrameInterval{run_start + 1, last_above + 1});
+      }
+    }
+    run_start = -1;
+    gap = 0;
+  };
+  for (int64_t i = 0; i <= n; ++i) {
+    bool above = i < n && distances[static_cast<size_t>(i)] >= config_.gradual_low;
+    if (above) {
+      if (run_start < 0) {
+        run_start = i;
+        accumulated = 0.0;
+        run_max = 0.0;
+        contains_cut = false;
+      }
+      gap = 0;
+      last_above = i;
+      accumulated += distances[static_cast<size_t>(i)];
+      run_max = std::max(run_max, distances[static_cast<size_t>(i)]);
+      if (is_cut_frame[static_cast<size_t>(i + 1)]) contains_cut = true;
+    } else if (run_start >= 0 && i < n && gap == 0) {
+      gap = 1;  // bridge a single dip, without counting its mass
+    } else {
+      flush();
+    }
+  }
+  return out;
+}
+
+Result<ShotBoundaryResult> ShotBoundaryDetector::Detect(
+    const media::VideoSource& video) const {
+  ShotBoundaryResult result;
+  COBRA_ASSIGN_OR_RETURN(result.distances, ComputeDistances(video));
+  result.boundaries = ThresholdSignal(result.distances);
+  if (!config_.detect_gradual) return result;
+
+  // Twin comparison finds candidate runs; each is then verified by the
+  // endpoint test — the frames straddling a real dissolve belong to
+  // different scenes, so their direct histogram distance is cut-sized,
+  // while in-shot motion runs have near-identical endpoints.
+  std::vector<FrameInterval> candidates = DetectGradual(result.distances, {});
+  auto histogram_of = [&](int64_t idx) -> Result<vision::ColorHistogram> {
+    COBRA_ASSIGN_OR_RETURN(media::Frame frame, video.GetFrame(idx));
+    if (config_.downsample > 1) {
+      COBRA_ASSIGN_OR_RETURN(frame, frame.Downsample(config_.downsample));
+    }
+    return vision::ColorHistogram::FromFrame(frame, config_.bins_per_channel);
+  };
+  for (const FrameInterval& candidate : candidates) {
+    int64_t before = std::max<int64_t>(0, candidate.begin - 1);
+    int64_t after = std::min<int64_t>(video.num_frames() - 1, candidate.end + 1);
+    COBRA_ASSIGN_OR_RETURN(vision::ColorHistogram ha, histogram_of(before));
+    COBRA_ASSIGN_OR_RETURN(vision::ColorHistogram hb, histogram_of(after));
+    if (vision::Distance(ha, hb, config_.metric) <
+        std::max(config_.adaptive_floor, config_.fixed_threshold)) {
+      continue;  // endpoints look alike: in-shot motion, not a transition
+    }
+    result.gradual.push_back(candidate);
+  }
+
+  // A dissolve steep enough to trip the hard-cut threshold was classified
+  // twice; the gradual interpretation wins.
+  std::vector<int64_t> hard;
+  for (int64_t boundary : result.boundaries) {
+    bool inside_gradual = false;
+    for (const FrameInterval& t : result.gradual) {
+      if (boundary >= t.begin - 1 && boundary <= t.end + 1) {
+        inside_gradual = true;
+        break;
+      }
+    }
+    if (!inside_gradual) hard.push_back(boundary);
+  }
+  result.boundaries = std::move(hard);
+  return result;
+}
+
+}  // namespace cobra::detectors

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file shot_boundary.h
+/// Shot boundary detection from color-histogram differences of neighboring
+/// frames — the paper's externally-implemented "segment detector", first
+/// stage of the tennis FDE (§3).
+
+#include <cstdint>
+#include <vector>
+
+#include "media/video.h"
+#include "util/geometry.h"
+#include "util/status.h"
+#include "vision/histogram.h"
+
+namespace cobra::detectors {
+
+/// Thresholding strategy for the frame-difference signal.
+enum class ThresholdMode {
+  kFixed,     ///< boundary where distance > fixed_threshold
+  kAdaptive,  ///< boundary where distance > mean + k*stddev of a sliding window
+};
+
+struct ShotBoundaryConfig {
+  int bins_per_channel = 8;
+  vision::HistogramDistance metric = vision::HistogramDistance::kL1;
+  ThresholdMode mode = ThresholdMode::kAdaptive;
+
+  /// Used in kFixed mode; reasonable L1 cuts are > 0.4 at default bins.
+  double fixed_threshold = 0.5;
+
+  /// kAdaptive: fire where d > max(adaptive_floor, mean + k * stddev) over a
+  /// trailing window. The floor suppresses firing in near-static stretches
+  /// where stddev is tiny.
+  int adaptive_window = 24;
+  double adaptive_k = 6.0;
+  double adaptive_floor = 0.25;
+
+  /// Two boundaries closer than this are merged (keeps the stronger one).
+  int64_t min_shot_frames = 8;
+
+  /// Analysis downsampling: histogram every pixel (1) or every k-th (speed).
+  int downsample = 1;
+
+  /// Gradual-transition (dissolve) detection by twin comparison: a run of
+  /// consecutive inter-frame distances each above `gradual_low` whose sum
+  /// exceeds `gradual_accumulated` is a dissolve. Off by default (the
+  /// paper's segment detector handles hard cuts).
+  bool detect_gradual = false;
+  double gradual_low = 0.07;
+  double gradual_accumulated = 1.2;
+  int64_t gradual_min_frames = 5;
+  /// A run where one sample carries more than this share of the
+  /// accumulated mass is a hard cut with shoulders, not a dissolve
+  /// (dissolves spread their mass evenly).
+  double gradual_max_spike_share = 0.5;
+};
+
+/// Detection output: cut positions plus the raw signal for diagnostics.
+struct ShotBoundaryResult {
+  /// Frame indices where a new shot begins (first frame of the new shot).
+  std::vector<int64_t> boundaries;
+  /// distances[i] = histogram distance between frame i and frame i+1.
+  std::vector<double> distances;
+  /// Detected gradual transitions (when config.detect_gradual): the blended
+  /// frame ranges, starting at the new shot's first frame.
+  std::vector<FrameInterval> gradual;
+
+  /// Shot intervals implied by the boundaries over `num_frames` frames.
+  std::vector<FrameInterval> ToShots(int64_t num_frames) const;
+};
+
+/// Detects hard cuts in a video.
+class ShotBoundaryDetector {
+ public:
+  explicit ShotBoundaryDetector(ShotBoundaryConfig config = {});
+
+  /// Runs detection over the whole video.
+  Result<ShotBoundaryResult> Detect(const media::VideoSource& video) const;
+
+  /// Computes only the distance signal (for threshold sweeps: one signal,
+  /// many thresholds).
+  Result<std::vector<double>> ComputeDistances(
+      const media::VideoSource& video) const;
+
+  /// Applies this detector's thresholding to a precomputed signal.
+  std::vector<int64_t> ThresholdSignal(const std::vector<double>& distances) const;
+
+  /// Twin-comparison pass over the signal: returns dissolve ranges,
+  /// excluding runs that contain a detected hard cut.
+  std::vector<FrameInterval> DetectGradual(
+      const std::vector<double>& distances,
+      const std::vector<int64_t>& hard_cuts) const;
+
+  const ShotBoundaryConfig& config() const { return config_; }
+
+ private:
+  ShotBoundaryConfig config_;
+};
+
+}  // namespace cobra::detectors

@@ -1,0 +1,105 @@
+#include "detectors/shot_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+#include "vision/gray_stats.h"
+#include "vision/histogram.h"
+
+namespace cobra::detectors {
+
+ShotClassifier::ShotClassifier(ShotClassifierConfig config) : config_(config) {}
+
+Result<ShotFeatures> ShotClassifier::ComputeFeatures(
+    const media::VideoSource& video, const FrameInterval& range) const {
+  if (range.Empty() || range.begin < 0 || range.end >= video.num_frames()) {
+    return Status::InvalidArgument(
+        StringFormat("shot range %s out of video bounds", range.ToString().c_str()));
+  }
+  const int samples =
+      static_cast<int>(std::min<int64_t>(config_.frames_per_shot, range.Length()));
+  ShotFeatures acc;
+  double dom_hue_x = 0.0, dom_hue_y = 0.0;  // circular mean of hue
+  for (int s = 0; s < samples; ++s) {
+    int64_t frame_idx =
+        range.begin + (range.Length() - 1) * s / std::max(1, samples - 1);
+    if (samples == 1) frame_idx = range.begin + range.Length() / 2;
+    COBRA_ASSIGN_OR_RETURN(media::Frame frame, video.GetFrame(frame_idx));
+
+    COBRA_ASSIGN_OR_RETURN(
+        vision::ColorHistogram hist,
+        vision::ColorHistogram::FromFrame(frame, config_.bins_per_channel));
+    acc.dominant_ratio += hist.DominantRatio();
+    media::Hsv modal = media::RgbToHsv(hist.BinCenter(hist.ModalBin()));
+    double rad = modal.h * 3.14159265358979 / 180.0;
+    dom_hue_x += std::cos(rad);
+    dom_hue_y += std::sin(rad);
+    acc.dominant_saturation += modal.s;
+    acc.dominant_value += modal.v;
+
+    acc.skin_ratio += vision::SkinPixelRatio(frame);
+
+    vision::GrayStats gs = vision::ComputeGrayStats(frame);
+    acc.entropy += gs.entropy;
+    acc.luma_mean += gs.mean;
+    acc.luma_variance += gs.variance;
+  }
+  const double n = static_cast<double>(samples);
+  acc.dominant_ratio /= n;
+  acc.dominant_saturation /= n;
+  acc.dominant_value /= n;
+  acc.skin_ratio /= n;
+  acc.entropy /= n;
+  acc.luma_mean /= n;
+  acc.luma_variance /= n;
+  double hue = std::atan2(dom_hue_y, dom_hue_x) * 180.0 / 3.14159265358979;
+  acc.dominant_hue = hue < 0 ? hue + 360.0 : hue;
+  return acc;
+}
+
+media::ShotCategory ShotClassifier::ClassifyFeatures(
+    const ShotFeatures& f) const {
+  // Rule order: court first (the dominant-color cue, as in the paper), then
+  // the entropy cue (a crowd mosaic contains plenty of incidental skin
+  // tones, so entropy must fire before the skin rule), then skin for
+  // close-ups, and a catch-all.
+  const bool court_hue = f.dominant_hue >= config_.court_hue_min &&
+                         f.dominant_hue <= config_.court_hue_max;
+  if (f.dominant_ratio >= config_.court_dominant_ratio && court_hue &&
+      f.dominant_saturation >= config_.court_min_saturation &&
+      f.dominant_value >= config_.court_min_value) {
+    return media::ShotCategory::kTennis;
+  }
+  if (f.entropy >= config_.audience_entropy) {
+    return media::ShotCategory::kAudience;
+  }
+  if (f.skin_ratio >= config_.closeup_skin_ratio) {
+    return media::ShotCategory::kCloseUp;
+  }
+  return media::ShotCategory::kOther;
+}
+
+Result<ClassifiedShot> ShotClassifier::Classify(const media::VideoSource& video,
+                                                const FrameInterval& range) const {
+  COBRA_ASSIGN_OR_RETURN(ShotFeatures features, ComputeFeatures(video, range));
+  ClassifiedShot shot;
+  shot.range = range;
+  shot.features = features;
+  shot.category = ClassifyFeatures(features);
+  return shot;
+}
+
+Result<std::vector<ClassifiedShot>> ShotClassifier::ClassifyAll(
+    const media::VideoSource& video,
+    const std::vector<FrameInterval>& shots) const {
+  std::vector<ClassifiedShot> out;
+  out.reserve(shots.size());
+  for (const FrameInterval& range : shots) {
+    COBRA_ASSIGN_OR_RETURN(ClassifiedShot shot, Classify(video, range));
+    out.push_back(std::move(shot));
+  }
+  return out;
+}
+
+}  // namespace cobra::detectors

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file shot_classifier.h
+/// Shot classification into tennis / close-up / audience / other using the
+/// cues the paper names (§3): dominant (court) color for court shots, skin
+/// pixel ratio for close-ups, and entropy / mean / variance characteristics
+/// for the rest.
+
+#include <vector>
+
+#include "media/ground_truth.h"
+#include "media/video.h"
+#include "util/status.h"
+
+namespace cobra::detectors {
+
+/// Per-shot features computed from sampled frames — also the record that
+/// ends up in the COBRA feature layer / the meta-index.
+struct ShotFeatures {
+  double dominant_ratio = 0.0;    ///< modal histogram bin mass, averaged
+  double dominant_hue = 0.0;      ///< hue of the modal color, degrees
+  double dominant_saturation = 0.0;
+  double dominant_value = 0.0;    ///< brightness of the modal color
+  double skin_ratio = 0.0;        ///< fraction of skin-colored pixels
+  double entropy = 0.0;           ///< luma entropy, bits
+  double luma_mean = 0.0;
+  double luma_variance = 0.0;
+};
+
+struct ShotClassifierConfig {
+  /// Frames sampled per shot (evenly spaced).
+  int frames_per_shot = 5;
+  int bins_per_channel = 8;
+
+  /// Court cue: dominant-color mass above this AND hue inside the court hue
+  /// band. The Australian Open court is blue; clay/grass tournaments
+  /// retarget via the band.
+  double court_dominant_ratio = 0.30;
+  double court_hue_min = 180.0;
+  double court_hue_max = 260.0;
+  double court_min_saturation = 0.25;
+  /// Courts are brightly lit; dark dominant colors (studio graphics) fail.
+  double court_min_value = 0.40;
+
+  /// Close-up cue: skin-pixel fraction above this.
+  double closeup_skin_ratio = 0.10;
+
+  /// Audience cue: luma entropy above this (crowd mosaics are near-maximal).
+  double audience_entropy = 6.6;
+};
+
+/// A classified shot.
+struct ClassifiedShot {
+  FrameInterval range;
+  media::ShotCategory category = media::ShotCategory::kOther;
+  ShotFeatures features;
+};
+
+/// Rule-based 4-way shot classifier.
+class ShotClassifier {
+ public:
+  explicit ShotClassifier(ShotClassifierConfig config = {});
+
+  /// Computes the per-shot features by sampling frames of `range`.
+  Result<ShotFeatures> ComputeFeatures(const media::VideoSource& video,
+                                       const FrameInterval& range) const;
+
+  /// Applies the classification rules to precomputed features.
+  media::ShotCategory ClassifyFeatures(const ShotFeatures& features) const;
+
+  /// Convenience: features + rules for one shot.
+  Result<ClassifiedShot> Classify(const media::VideoSource& video,
+                                  const FrameInterval& range) const;
+
+  /// Classifies every shot in `shots`.
+  Result<std::vector<ClassifiedShot>> ClassifyAll(
+      const media::VideoSource& video,
+      const std::vector<FrameInterval>& shots) const;
+
+  const ShotClassifierConfig& config() const { return config_; }
+
+ private:
+  ShotClassifierConfig config_;
+};
+
+}  // namespace cobra::detectors

@@ -1,0 +1,200 @@
+#include "engine/digital_library.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace cobra::engine {
+
+DigitalLibrary::DigitalLibrary(webspace::WebspaceStore store)
+    : store_(std::move(store)),
+      meta_index_(core::MetaIndex::Create().TakeValue()) {}
+
+Result<std::unique_ptr<DigitalLibrary>> DigitalLibrary::Create(
+    webspace::WebspaceStore store) {
+  for (const char* cls : {"Player", "Tournament", "Interview", "Video"}) {
+    if (!store.schema().HasClass(cls)) {
+      return Status::InvalidArgument(
+          StringFormat("store lacks tournament class '%s'", cls));
+    }
+  }
+  return std::unique_ptr<DigitalLibrary>(new DigitalLibrary(std::move(store)));
+}
+
+Status DigitalLibrary::AddInterview(int64_t interview_oid,
+                                    const std::string& text) {
+  return interviews_.AddText(interview_oid, text);
+}
+
+Status DigitalLibrary::FinalizeText() { return interviews_.Finalize(); }
+
+Status DigitalLibrary::AddVideoDescription(const core::VideoDescription& desc) {
+  COBRA_RETURN_NOT_OK(meta_index_.AddVideo(desc));
+  indexed_videos_.push_back(desc.video_id());
+  return Status::OK();
+}
+
+Result<std::vector<int64_t>> DigitalLibrary::ConceptPlayers(
+    const CombinedQuery& query) const {
+  webspace::ClassSelection selection{"Player", query.player_predicates};
+  COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> players,
+                         webspace::SelectObjects(store_, selection));
+  if (!query.require_champion && query.won_year < 0) return players;
+
+  webspace::ClassSelection tournaments{"Tournament", {}};
+  if (query.won_year >= 0) {
+    tournaments.predicates.push_back(
+        {"year", storage::CompareOp::kEq, query.won_year});
+  }
+  COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> tournament_oids,
+                         webspace::SelectObjects(store_, tournaments));
+  COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> champions,
+                         store_.TraverseReverse("won", tournament_oids));
+  std::set<int64_t> champion_set(champions.begin(), champions.end());
+  std::vector<int64_t> out;
+  for (int64_t p : players) {
+    if (champion_set.count(p)) out.push_back(p);
+  }
+  return out;
+}
+
+Result<std::map<int64_t, double>> DigitalLibrary::TextPlayers(
+    const std::string& text, size_t top_k) const {
+  COBRA_ASSIGN_OR_RETURN(std::vector<text::SearchHit> hits,
+                         interviews_.SearchTopN(text, top_k));
+  std::map<int64_t, double> player_scores;
+  for (const text::SearchHit& hit : hits) {
+    COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> players,
+                           store_.TraverseReverse("interviewed_in", {hit.doc_id}));
+    for (int64_t p : players) {
+      auto [it, inserted] = player_scores.emplace(p, hit.score);
+      if (!inserted) it->second = std::max(it->second, hit.score);
+    }
+  }
+  return player_scores;
+}
+
+Result<std::vector<SceneHit>> DigitalLibrary::Search(
+    const CombinedQuery& query) const {
+  COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> players, ConceptPlayers(query));
+
+  std::map<int64_t, double> text_scores;
+  if (!query.text.empty()) {
+    COBRA_ASSIGN_OR_RETURN(text_scores, TextPlayers(query.text, query.text_top_k));
+    std::vector<int64_t> filtered;
+    for (int64_t p : players) {
+      if (text_scores.count(p)) filtered.push_back(p);
+    }
+    players = std::move(filtered);
+  }
+
+  std::vector<SceneHit> out;
+  std::set<int64_t> indexed(indexed_videos_.begin(), indexed_videos_.end());
+  for (int64_t player : players) {
+    COBRA_ASSIGN_OR_RETURN(storage::Value name_value,
+                           store_.GetAttribute("Player", player, "name"));
+    std::string name = std::get<std::string>(name_value);
+    double text_score =
+        text_scores.count(player) ? text_scores.at(player) : 0.0;
+
+    if (query.event.empty()) {
+      SceneHit hit;
+      hit.player_oid = player;
+      hit.player_name = name;
+      hit.text_score = text_score;
+      out.push_back(std::move(hit));
+      continue;
+    }
+
+    COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> videos,
+                           store_.Traverse("plays_in", {player}));
+    for (int64_t video : videos) {
+      if (!indexed.count(video)) continue;
+      COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> roles,
+                             store_.Roles("plays_in", player, video));
+      std::set<int64_t> role_set(roles.begin(), roles.end());
+      COBRA_ASSIGN_OR_RETURN(std::vector<core::Scene> scenes,
+                             meta_index_.FindScenes(query.event, video));
+      for (const core::Scene& scene : scenes) {
+        // A scene matches if it shows the player's court side, or if it is
+        // court-level (player < 0: serves, rallies involve both players).
+        if (scene.player >= 0 && !role_set.count(scene.player)) continue;
+        SceneHit hit;
+        hit.player_oid = player;
+        hit.player_name = name;
+        hit.video_oid = video;
+        hit.range = scene.range;
+        hit.event = scene.event;
+        hit.text_score = text_score;
+        out.push_back(std::move(hit));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SceneHit& a, const SceneHit& b) {
+    if (a.player_oid != b.player_oid) return a.player_oid < b.player_oid;
+    if (a.video_oid != b.video_oid) return a.video_oid < b.video_oid;
+    return a.range.begin < b.range.begin;
+  });
+  return out;
+}
+
+Result<std::vector<SceneHit>> DigitalLibrary::SearchKeywordOnly(
+    const std::string& text, size_t top_k) const {
+  COBRA_ASSIGN_OR_RETURN(auto player_scores, TextPlayers(text, top_k));
+  std::vector<SceneHit> out;
+  for (const auto& [player, score] : player_scores) {
+    SceneHit hit;
+    hit.player_oid = player;
+    COBRA_ASSIGN_OR_RETURN(storage::Value name,
+                           store_.GetAttribute("Player", player, "name"));
+    hit.player_name = std::get<std::string>(name);
+    hit.text_score = score;
+    out.push_back(std::move(hit));
+  }
+  std::sort(out.begin(), out.end(), [](const SceneHit& a, const SceneHit& b) {
+    if (a.text_score != b.text_score) return a.text_score > b.text_score;
+    return a.player_oid < b.player_oid;
+  });
+  return out;
+}
+
+Result<std::vector<storage::GroupRow>> DigitalLibrary::EventStatistics() const {
+  return storage::GroupBy(meta_index_.events(), "name",
+                          storage::AggregateOp::kCount);
+}
+
+Result<std::vector<std::pair<std::string, int64_t>>>
+DigitalLibrary::ScenesPerPlayer(const std::string& event) const {
+  COBRA_ASSIGN_OR_RETURN(const storage::Table* players,
+                         store_.ClassTable("Player"));
+  std::vector<std::pair<std::string, int64_t>> out;
+  std::set<int64_t> indexed(indexed_videos_.begin(), indexed_videos_.end());
+  for (int64_t row = 0; row < players->num_rows(); ++row) {
+    COBRA_ASSIGN_OR_RETURN(int64_t oid, players->GetInt(row, 0));
+    COBRA_ASSIGN_OR_RETURN(size_t name_col, players->ColumnIndex("name"));
+    COBRA_ASSIGN_OR_RETURN(std::string name, players->GetString(row, name_col));
+    int64_t scenes = 0;
+    COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> videos,
+                           store_.Traverse("plays_in", {oid}));
+    for (int64_t video : videos) {
+      if (!indexed.count(video)) continue;
+      COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> roles,
+                             store_.Roles("plays_in", oid, video));
+      std::set<int64_t> role_set(roles.begin(), roles.end());
+      COBRA_ASSIGN_OR_RETURN(std::vector<core::Scene> found,
+                             meta_index_.FindScenes(event, video));
+      for (const core::Scene& scene : found) {
+        if (scene.player < 0 || role_set.count(scene.player)) ++scenes;
+      }
+    }
+    if (scenes > 0) out.emplace_back(std::move(name), scenes);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace cobra::engine

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file digital_library.h
+/// The digital library search engine of the demo: one façade over the three
+/// retrieval components —
+///   * the webspace concept store (who won, who is left-handed, ...),
+///   * the full-text index over interviews (ref [1]),
+///   * the COBRA meta-index over videos (which scenes show a net play),
+/// answering combined queries such as the paper's §2 example: "video scenes
+/// of left-handed female players who have won the Australian Open in the
+/// past, in which they approach the net."
+///
+/// The engine binds to the tournament schema of
+/// webspace::SiteSynthesizer::TournamentSchema().
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/meta_index.h"
+#include "core/video_description.h"
+#include "text/inverted_index.h"
+#include "webspace/query.h"
+#include "webspace/store.h"
+
+namespace cobra::engine {
+
+/// One answer scene (or player-only answer when no event was asked for).
+struct SceneHit {
+  int64_t player_oid = 0;
+  std::string player_name;
+  int64_t video_oid = -1;      ///< -1 when the query had no content part
+  FrameInterval range;         ///< empty when the query had no content part
+  std::string event;
+  double text_score = 0.0;     ///< best interview score when text was queried
+};
+
+/// The combined concept + content + text query.
+struct CombinedQuery {
+  /// Attribute predicates on the Player class (hand, gender, country,
+  /// ranking...).
+  std::vector<storage::Predicate> player_predicates;
+  /// Require the player to have won a tournament; restrict to a year when
+  /// won_year >= 0.
+  bool require_champion = false;
+  int64_t won_year = -1;
+  /// Full-text condition on the player's interviews (empty = none).
+  std::string text;
+  size_t text_top_k = 10;
+  /// Content-based condition: only scenes showing this event (empty = none).
+  std::string event;
+};
+
+class DigitalLibrary {
+ public:
+  /// Takes ownership of a store conforming to the tournament schema.
+  static Result<std::unique_ptr<DigitalLibrary>> Create(
+      webspace::WebspaceStore store);
+
+  const webspace::WebspaceStore& store() const { return store_; }
+  const core::MetaIndex& meta_index() const { return meta_index_; }
+
+  /// Indexes an interview's text under its oid.
+  Status AddInterview(int64_t interview_oid, const std::string& text);
+  /// Freezes the text index; required before Search with a text condition.
+  Status FinalizeText();
+
+  /// Adds an indexed video. desc.video_id() must equal the Video object's
+  /// oid in the webspace store.
+  Status AddVideoDescription(const core::VideoDescription& desc);
+
+  /// The combined query. Results are ordered by (player_oid, video_oid,
+  /// scene begin); text_score carries the interview relevance when a text
+  /// condition was present.
+  Result<std::vector<SceneHit>> Search(const CombinedQuery& query) const;
+
+  /// Keyword-only baseline (what a flat web search engine sees, paper §2):
+  /// ranks players by their best interview's tf-idf score for `text`.
+  Result<std::vector<SceneHit>> SearchKeywordOnly(const std::string& text,
+                                                  size_t top_k) const;
+
+  /// Library statistics: event counts by name across all indexed videos
+  /// (a group-by over the meta-index events table).
+  Result<std::vector<storage::GroupRow>> EventStatistics() const;
+
+  /// Scenes of `event` per player name, descending by count (players with
+  /// zero scenes omitted).
+  Result<std::vector<std::pair<std::string, int64_t>>> ScenesPerPlayer(
+      const std::string& event) const;
+
+ private:
+  explicit DigitalLibrary(webspace::WebspaceStore store);
+
+  Result<std::vector<int64_t>> ConceptPlayers(const CombinedQuery& query) const;
+  Result<std::map<int64_t, double>> TextPlayers(const std::string& text,
+                                                size_t top_k) const;
+
+  webspace::WebspaceStore store_;
+  text::InvertedIndex interviews_;
+  core::MetaIndex meta_index_;
+  std::vector<int64_t> indexed_videos_;
+};
+
+}  // namespace cobra::engine

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file query_language.h
+/// The demo's query front-end: a small textual language for combined
+/// concept + content + text queries, so the paper's §2 example can be typed
+/// as one line:
+///
+///   player.hand = left AND player.gender = female AND won = any
+///     AND event = net_play AND text ~ "approaching the net"
+///
+/// Conditions (joined by AND, case-insensitive keyword):
+///   player.<attr> <op> <value>   attribute predicate; op in = != < <= > >=
+///                                (numeric literals -> int predicates)
+///   won = any                    the player won some tournament
+///   won.year = <N>               the player won the tournament of year N
+///   event = <name>               content condition on the video meta-index
+///   text ~ "<words>" | <word>    interview full-text condition
+
+#include <string>
+
+#include "engine/digital_library.h"
+#include "util/status.h"
+
+namespace cobra::engine {
+
+/// Parses the query language into a CombinedQuery.
+Result<CombinedQuery> ParseQuery(const std::string& input);
+
+/// Renders a CombinedQuery back to the query language (diagnostics).
+std::string FormatQuery(const CombinedQuery& query);
+
+}  // namespace cobra::engine

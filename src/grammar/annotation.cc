@@ -1,0 +1,68 @@
+#include "grammar/annotation.h"
+
+#include "util/strings.h"
+
+namespace cobra::grammar {
+
+std::string MetaValueToString(const MetaValue& value) {
+  if (const auto* i = std::get_if<int64_t>(&value)) {
+    return StringFormat("%lld", static_cast<long long>(*i));
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    return StringFormat("%.6g", *d);
+  }
+  return std::get<std::string>(value);
+}
+
+bool Annotation::GetInt(const std::string& key, int64_t* out) const {
+  auto it = attrs.find(key);
+  if (it == attrs.end()) return false;
+  if (const auto* v = std::get_if<int64_t>(&it->second)) {
+    *out = *v;
+    return true;
+  }
+  return false;
+}
+
+bool Annotation::GetDouble(const std::string& key, double* out) const {
+  auto it = attrs.find(key);
+  if (it == attrs.end()) return false;
+  if (const auto* v = std::get_if<double>(&it->second)) {
+    *out = *v;
+    return true;
+  }
+  // Ints promote to double.
+  if (const auto* v = std::get_if<int64_t>(&it->second)) {
+    *out = static_cast<double>(*v);
+    return true;
+  }
+  return false;
+}
+
+bool Annotation::GetString(const std::string& key, std::string* out) const {
+  auto it = attrs.find(key);
+  if (it == attrs.end()) return false;
+  if (const auto* v = std::get_if<std::string>(&it->second)) {
+    *out = *v;
+    return true;
+  }
+  return false;
+}
+
+int64_t Annotation::IntOr(const std::string& key, int64_t fallback) const {
+  int64_t out;
+  return GetInt(key, &out) ? out : fallback;
+}
+
+double Annotation::DoubleOr(const std::string& key, double fallback) const {
+  double out;
+  return GetDouble(key, &out) ? out : fallback;
+}
+
+std::string Annotation::StringOr(const std::string& key,
+                                 std::string fallback) const {
+  std::string out;
+  return GetString(key, &out) ? out : fallback;
+}
+
+}  // namespace cobra::grammar

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file annotation.h
+/// The meta-data tokens that flow through the Feature Detector Engine.
+///
+/// In Acoi terms these are the (non-)terminals a detector emits while the
+/// FDE "parses" a multimedia object: each annotation binds a grammar symbol
+/// to a temporal extent of the video and carries named attributes.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/geometry.h"
+#include "util/status.h"
+
+namespace cobra::grammar {
+
+/// Attribute value: the scalar types the meta-index stores.
+using MetaValue = std::variant<int64_t, double, std::string>;
+
+/// Renders a MetaValue for reports and the meta-index loader.
+std::string MetaValueToString(const MetaValue& value);
+
+/// One token of video meta-data produced by a detector.
+struct Annotation {
+  std::string symbol;            ///< grammar symbol this annotation instantiates
+  FrameInterval range;           ///< temporal extent in video frames
+  std::map<std::string, MetaValue> attrs;
+
+  Annotation() = default;
+  Annotation(std::string sym, FrameInterval r)
+      : symbol(std::move(sym)), range(r) {}
+
+  /// Typed attribute accessors; return false / default when missing or of
+  /// the wrong type.
+  bool GetInt(const std::string& key, int64_t* out) const;
+  bool GetDouble(const std::string& key, double* out) const;
+  bool GetString(const std::string& key, std::string* out) const;
+
+  int64_t IntOr(const std::string& key, int64_t fallback) const;
+  double DoubleOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key, std::string fallback) const;
+
+  Annotation& Set(const std::string& key, MetaValue value) {
+    attrs[key] = std::move(value);
+    return *this;
+  }
+};
+
+}  // namespace cobra::grammar

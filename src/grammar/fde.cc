@@ -1,0 +1,219 @@
+#include "grammar/fde.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace cobra::grammar {
+
+const std::vector<Annotation>& DetectionContext::Of(
+    const std::string& symbol) const {
+  static const std::vector<Annotation> kEmpty;
+  auto it = blackboard_->find(symbol);
+  return it == blackboard_->end() ? kEmpty : it->second;
+}
+
+int64_t FdeRunReport::TotalAnnotations() const {
+  int64_t n = 0;
+  for (const DetectorRunStats& d : detectors) n += d.annotations_out;
+  return n;
+}
+
+std::string FdeRunReport::ToString() const {
+  std::string out = "FDE run:\n";
+  for (const DetectorRunStats& d : detectors) {
+    out += StringFormat("  %-16s %6lld annotations %8.2f ms%s\n",
+                        d.symbol.c_str(),
+                        static_cast<long long>(d.annotations_out), d.millis,
+                        d.from_cache ? " (cached)" : "");
+  }
+  out += StringFormat("  total %.2f ms, %lld annotations\n", total_millis,
+                      static_cast<long long>(TotalAnnotations()));
+  return out;
+}
+
+FeatureDetectorEngine::FeatureDetectorEngine(FeatureGrammar grammar)
+    : grammar_(std::move(grammar)) {}
+
+Status FeatureDetectorEngine::RegisterCommon(const std::string& symbol) {
+  if (!grammar_.HasSymbol(symbol)) {
+    return Status::NotFound(
+        StringFormat("symbol '%s' not in grammar", symbol.c_str()));
+  }
+  if (symbol == grammar_.start_symbol()) {
+    return Status::InvalidArgument(
+        StringFormat("start symbol '%s' cannot have a detector", symbol.c_str()));
+  }
+  if (detectors_.count(symbol) || whitebox_rules_.count(symbol)) {
+    return Status::AlreadyExists(
+        StringFormat("symbol '%s' already has a detector", symbol.c_str()));
+  }
+  return Status::OK();
+}
+
+Status FeatureDetectorEngine::RegisterDetector(const std::string& symbol,
+                                               DetectorFn detector) {
+  COBRA_RETURN_NOT_OK(RegisterCommon(symbol));
+  detectors_[symbol] = std::move(detector);
+  return Status::OK();
+}
+
+Status FeatureDetectorEngine::RegisterWhitebox(const std::string& symbol,
+                                               WhiteboxRule rule) {
+  COBRA_RETURN_NOT_OK(RegisterCommon(symbol));
+  if (!grammar_.HasSymbol(rule.source)) {
+    return Status::NotFound(
+        StringFormat("white-box source '%s' not in grammar", rule.source.c_str()));
+  }
+  // The source must be a declared dependency, otherwise the execution order
+  // gives no guarantee the source has run.
+  const auto& deps = grammar_.DependenciesOf(symbol);
+  if (std::find(deps.begin(), deps.end(), rule.source) == deps.end()) {
+    return Status::InvalidArgument(StringFormat(
+        "white-box source '%s' is not a grammar dependency of '%s'",
+        rule.source.c_str(), symbol.c_str()));
+  }
+  whitebox_rules_[symbol] = std::move(rule);
+  return Status::OK();
+}
+
+Status FeatureDetectorEngine::ReplaceDetector(const std::string& symbol,
+                                              DetectorFn detector) {
+  if (!grammar_.HasSymbol(symbol) || symbol == grammar_.start_symbol()) {
+    return Status::NotFound(
+        StringFormat("symbol '%s' not replaceable", symbol.c_str()));
+  }
+  whitebox_rules_.erase(symbol);
+  detectors_[symbol] = std::move(detector);
+  dirty_.push_back(symbol);
+  return Status::OK();
+}
+
+Status FeatureDetectorEngine::CheckComplete() const {
+  for (const std::string& symbol : grammar_.ExecutionOrder()) {
+    if (!detectors_.count(symbol) && !whitebox_rules_.count(symbol)) {
+      return Status::FailedPrecondition(
+          StringFormat("no detector registered for symbol '%s'", symbol.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Annotation>> FeatureDetectorEngine::RunWhitebox(
+    const WhiteboxRule& rule, const DetectionContext& ctx) const {
+  std::vector<Annotation> out;
+  for (const Annotation& src : ctx.Of(rule.source)) {
+    double value;
+    if (!src.GetDouble(rule.attribute, &value)) continue;
+    bool pass = rule.op == WhiteboxRule::Op::kLess ? value < rule.threshold
+                                                   : value > rule.threshold;
+    if (pass && src.range.Length() >= rule.min_length) {
+      Annotation a = src;
+      a.symbol.clear();  // filled by the caller with the rule's own symbol
+      out.push_back(std::move(a));
+    }
+  }
+  return out;
+}
+
+Result<FdeRunReport> FeatureDetectorEngine::Run(const media::VideoSource& video) {
+  COBRA_RETURN_NOT_OK(CheckComplete());
+  blackboard_.clear();
+  dirty_.clear();
+  has_run_ = false;
+
+  FdeRunReport report;
+  DetectionContext ctx(video, &blackboard_);
+  auto run_start = std::chrono::steady_clock::now();
+  for (const std::string& symbol : grammar_.ExecutionOrder()) {
+    auto t0 = std::chrono::steady_clock::now();
+    Result<std::vector<Annotation>> produced =
+        detectors_.count(symbol)
+            ? detectors_[symbol](ctx)
+            : RunWhitebox(whitebox_rules_[symbol], ctx);
+    if (!produced.ok()) {
+      return Status::DetectorError(StringFormat(
+          "detector '%s' failed: %s", symbol.c_str(),
+          produced.status().ToString().c_str()));
+    }
+    std::vector<Annotation> annotations = std::move(produced).TakeValue();
+    for (Annotation& a : annotations) a.symbol = symbol;
+    auto t1 = std::chrono::steady_clock::now();
+
+    DetectorRunStats stats;
+    stats.symbol = symbol;
+    stats.annotations_out = static_cast<int64_t>(annotations.size());
+    stats.millis = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    report.detectors.push_back(stats);
+    blackboard_[symbol] = std::move(annotations);
+  }
+  auto run_end = std::chrono::steady_clock::now();
+  report.total_millis =
+      std::chrono::duration<double, std::milli>(run_end - run_start).count();
+  has_run_ = true;
+  return report;
+}
+
+Result<FdeRunReport> FeatureDetectorEngine::RunIncremental(
+    const media::VideoSource& video) {
+  if (!has_run_) {
+    return Status::FailedPrecondition(
+        "RunIncremental requires a completed Run first");
+  }
+  COBRA_RETURN_NOT_OK(CheckComplete());
+
+  // Dirty set: explicitly replaced detectors plus everything downstream.
+  std::set<std::string> dirty(dirty_.begin(), dirty_.end());
+  for (const std::string& symbol : dirty_) {
+    for (const std::string& down : grammar_.Downstream(symbol)) {
+      dirty.insert(down);
+    }
+  }
+
+  FdeRunReport report;
+  DetectionContext ctx(video, &blackboard_);
+  auto run_start = std::chrono::steady_clock::now();
+  for (const std::string& symbol : grammar_.ExecutionOrder()) {
+    DetectorRunStats stats;
+    stats.symbol = symbol;
+    if (!dirty.count(symbol)) {
+      stats.from_cache = true;
+      stats.annotations_out =
+          static_cast<int64_t>(blackboard_[symbol].size());
+      report.detectors.push_back(stats);
+      continue;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    Result<std::vector<Annotation>> produced =
+        detectors_.count(symbol)
+            ? detectors_[symbol](ctx)
+            : RunWhitebox(whitebox_rules_[symbol], ctx);
+    if (!produced.ok()) {
+      return Status::DetectorError(StringFormat(
+          "detector '%s' failed: %s", symbol.c_str(),
+          produced.status().ToString().c_str()));
+    }
+    std::vector<Annotation> annotations = std::move(produced).TakeValue();
+    for (Annotation& a : annotations) a.symbol = symbol;
+    auto t1 = std::chrono::steady_clock::now();
+    stats.annotations_out = static_cast<int64_t>(annotations.size());
+    stats.millis = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    report.detectors.push_back(stats);
+    blackboard_[symbol] = std::move(annotations);
+  }
+  auto run_end = std::chrono::steady_clock::now();
+  report.total_millis =
+      std::chrono::duration<double, std::milli>(run_end - run_start).count();
+  dirty_.clear();
+  return report;
+}
+
+const std::vector<Annotation>& FeatureDetectorEngine::AnnotationsOf(
+    const std::string& symbol) const {
+  static const std::vector<Annotation> kEmpty;
+  auto it = blackboard_.find(symbol);
+  return it == blackboard_.end() ? kEmpty : it->second;
+}
+
+}  // namespace cobra::grammar

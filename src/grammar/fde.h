@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file fde.h
+/// The Feature Detector Engine: the parser "generated" from a feature
+/// grammar (paper §3). The FDE walks the grammar's dependency DAG and
+/// triggers the execution of the associated detectors, accumulating the
+/// video meta-data that later populates the meta-index.
+///
+/// Detectors come in two flavors, as in the paper:
+///   * black-box: an arbitrary callable registered by name (e.g. the
+///     segment detector wrapping histogram differencing);
+///   * white-box: a declarative spatio-temporal predicate over existing
+///     annotations, interpreted by the engine itself (see WhiteboxRule).
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grammar/annotation.h"
+#include "grammar/feature_grammar.h"
+#include "media/video.h"
+#include "util/status.h"
+
+namespace cobra::grammar {
+
+/// What a detector sees while running: the video plus every annotation
+/// produced by detectors earlier in the topological order.
+class DetectionContext {
+ public:
+  DetectionContext(const media::VideoSource& video,
+                   const std::map<std::string, std::vector<Annotation>>* blackboard)
+      : video_(video), blackboard_(blackboard) {}
+
+  const media::VideoSource& video() const { return video_; }
+
+  /// Annotations of a dependency symbol (empty if none were produced).
+  const std::vector<Annotation>& Of(const std::string& symbol) const;
+
+ private:
+  const media::VideoSource& video_;
+  const std::map<std::string, std::vector<Annotation>>* blackboard_;
+};
+
+/// A black-box detector: consumes the context, emits annotations for its
+/// own symbol.
+using DetectorFn =
+    std::function<Result<std::vector<Annotation>>(const DetectionContext&)>;
+
+/// A white-box detector rule, interpreted by the FDE itself: selects
+/// annotations of `source` whose numeric attribute satisfies a comparison,
+/// and re-emits them under the rule's own symbol.
+///
+/// This models the paper's "rules, which use spatio-temporal relations ...
+/// implemented as white- ... box detectors within the FDE": the attribute
+/// is typically a spatial quantity (distance to net) and the run-length
+/// constraint is the temporal part.
+struct WhiteboxRule {
+  std::string source;        ///< symbol whose annotations are filtered
+  std::string attribute;     ///< numeric attribute to test
+  enum class Op { kLess, kGreater } op = Op::kLess;
+  double threshold = 0.0;
+  /// Only emit matches whose interval is at least this long.
+  int64_t min_length = 1;
+};
+
+/// Per-detector execution record.
+struct DetectorRunStats {
+  std::string symbol;
+  int64_t annotations_out = 0;
+  double millis = 0.0;
+  bool from_cache = false;  ///< reused from the previous run (incremental)
+};
+
+/// Result of one FDE run over a video.
+struct FdeRunReport {
+  std::vector<DetectorRunStats> detectors;  ///< in execution order
+  double total_millis = 0.0;
+
+  int64_t TotalAnnotations() const;
+  std::string ToString() const;
+};
+
+/// The engine. Construct with a grammar, register one detector per grammar
+/// symbol (black-box or white-box), then Run.
+class FeatureDetectorEngine {
+ public:
+  explicit FeatureDetectorEngine(FeatureGrammar grammar);
+
+  const FeatureGrammar& grammar() const { return grammar_; }
+
+  /// Registers a black-box detector for `symbol`. Fails if the symbol is
+  /// unknown, is the start symbol, or already has a detector.
+  Status RegisterDetector(const std::string& symbol, DetectorFn detector);
+
+  /// Registers a white-box rule for `symbol` (same constraints).
+  Status RegisterWhitebox(const std::string& symbol, WhiteboxRule rule);
+
+  /// Replaces the detector for `symbol` and marks it dirty, so the next
+  /// RunIncremental re-runs it and everything downstream.
+  Status ReplaceDetector(const std::string& symbol, DetectorFn detector);
+
+  /// True if every non-start symbol has a detector.
+  Status CheckComplete() const;
+
+  /// Runs all detectors in grammar execution order over `video`, populating
+  /// the annotation blackboard from scratch.
+  Result<FdeRunReport> Run(const media::VideoSource& video);
+
+  /// Incremental run: reuses the previous run's annotations for symbols
+  /// that are not dirty (dirty = ReplaceDetector'd since the last run, or
+  /// downstream of one). Requires a previous Run on the same video.
+  Result<FdeRunReport> RunIncremental(const media::VideoSource& video);
+
+  /// Annotations of `symbol` from the last run.
+  const std::vector<Annotation>& AnnotationsOf(const std::string& symbol) const;
+
+  /// The whole blackboard from the last run.
+  const std::map<std::string, std::vector<Annotation>>& blackboard() const {
+    return blackboard_;
+  }
+
+ private:
+  Status RegisterCommon(const std::string& symbol);
+  Result<std::vector<Annotation>> RunWhitebox(const WhiteboxRule& rule,
+                                              const DetectionContext& ctx) const;
+
+  FeatureGrammar grammar_;
+  std::map<std::string, DetectorFn> detectors_;
+  std::map<std::string, WhiteboxRule> whitebox_rules_;
+  std::map<std::string, std::vector<Annotation>> blackboard_;
+  std::vector<std::string> dirty_;
+  bool has_run_ = false;
+};
+
+}  // namespace cobra::grammar

@@ -1,0 +1,212 @@
+#include "grammar/feature_grammar.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <set>
+
+#include "util/strings.h"
+
+namespace cobra::grammar {
+
+namespace {
+
+bool IsIdentifier(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) return false;
+  }
+  return !std::isdigit(static_cast<unsigned char>(s[0]));
+}
+
+}  // namespace
+
+Result<FeatureGrammar> FeatureGrammar::Parse(const std::string& text) {
+  std::string start;
+  std::vector<GrammarRule> rules;
+  int line_no = 0;
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    ++line_no;
+    std::string line{StripWhitespace(raw_line)};
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = std::string(StripWhitespace(line.substr(0, hash)));
+    if (line.empty()) continue;
+    if (line.back() != ';') {
+      return Status::ParseError(
+          StringFormat("line %d: declaration must end with ';'", line_no));
+    }
+    line.pop_back();
+    std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens.empty()) {
+      return Status::ParseError(StringFormat("line %d: empty declaration", line_no));
+    }
+    if (tokens[0] == "start") {
+      if (tokens.size() != 2) {
+        return Status::ParseError(
+            StringFormat("line %d: expected 'start <symbol> ;'", line_no));
+      }
+      if (!start.empty()) {
+        return Status::ParseError(
+            StringFormat("line %d: duplicate start declaration", line_no));
+      }
+      if (!IsIdentifier(tokens[1])) {
+        return Status::ParseError(
+            StringFormat("line %d: '%s' is not an identifier", line_no,
+                         tokens[1].c_str()));
+      }
+      start = tokens[1];
+      continue;
+    }
+    // `symbol : dep dep ... ;`
+    if (tokens.size() < 3 || tokens[1] != ":") {
+      return Status::ParseError(StringFormat(
+          "line %d: expected '<symbol> : <dep>... ;'", line_no));
+    }
+    GrammarRule rule;
+    rule.symbol = tokens[0];
+    if (!IsIdentifier(rule.symbol)) {
+      return Status::ParseError(StringFormat("line %d: '%s' is not an identifier",
+                                             line_no, rule.symbol.c_str()));
+    }
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      if (!IsIdentifier(tokens[i])) {
+        return Status::ParseError(StringFormat(
+            "line %d: '%s' is not an identifier", line_no, tokens[i].c_str()));
+      }
+      rule.dependencies.push_back(tokens[i]);
+    }
+    rules.push_back(std::move(rule));
+  }
+  if (start.empty()) {
+    return Status::ParseError("grammar has no 'start' declaration");
+  }
+  return FromRules(std::move(start), std::move(rules));
+}
+
+Result<FeatureGrammar> FeatureGrammar::FromRules(std::string start_symbol,
+                                                 std::vector<GrammarRule> rules) {
+  FeatureGrammar g;
+  g.start_symbol_ = std::move(start_symbol);
+  g.rules_ = std::move(rules);
+  COBRA_RETURN_NOT_OK(g.Validate());
+  return g;
+}
+
+Status FeatureGrammar::Validate() {
+  rule_index_.clear();
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const GrammarRule& rule = rules_[i];
+    if (rule.symbol == start_symbol_) {
+      return Status::InvalidArgument(
+          StringFormat("start symbol '%s' must not have a rule",
+                       start_symbol_.c_str()));
+    }
+    if (!rule_index_.emplace(rule.symbol, i).second) {
+      return Status::InvalidArgument(
+          StringFormat("duplicate rule for symbol '%s'", rule.symbol.c_str()));
+    }
+    if (rule.dependencies.empty()) {
+      return Status::InvalidArgument(
+          StringFormat("symbol '%s' has no dependencies", rule.symbol.c_str()));
+    }
+  }
+  for (const GrammarRule& rule : rules_) {
+    std::set<std::string> seen;
+    for (const std::string& dep : rule.dependencies) {
+      if (dep != start_symbol_ && !rule_index_.count(dep)) {
+        return Status::InvalidArgument(
+            StringFormat("symbol '%s' depends on undeclared '%s'",
+                         rule.symbol.c_str(), dep.c_str()));
+      }
+      if (!seen.insert(dep).second) {
+        return Status::InvalidArgument(
+            StringFormat("symbol '%s' lists dependency '%s' twice",
+                         rule.symbol.c_str(), dep.c_str()));
+      }
+    }
+  }
+
+  // Kahn's algorithm, keeping declaration order among ready symbols.
+  execution_order_.clear();
+  std::map<std::string, int> in_degree;
+  for (const GrammarRule& rule : rules_) {
+    int degree = 0;
+    for (const std::string& dep : rule.dependencies) {
+      if (dep != start_symbol_) ++degree;
+    }
+    in_degree[rule.symbol] = degree;
+  }
+  std::vector<bool> emitted(rules_.size(), false);
+  for (size_t emitted_count = 0; emitted_count < rules_.size();) {
+    bool progressed = false;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      if (emitted[i] || in_degree[rules_[i].symbol] != 0) continue;
+      emitted[i] = true;
+      ++emitted_count;
+      progressed = true;
+      execution_order_.push_back(rules_[i].symbol);
+      for (const GrammarRule& other : rules_) {
+        for (const std::string& dep : other.dependencies) {
+          if (dep == rules_[i].symbol) in_degree[other.symbol]--;
+        }
+      }
+    }
+    if (!progressed) {
+      return Status::InvalidArgument("grammar contains a dependency cycle");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> FeatureGrammar::Symbols() const {
+  std::vector<std::string> out = {start_symbol_};
+  for (const GrammarRule& rule : rules_) out.push_back(rule.symbol);
+  return out;
+}
+
+bool FeatureGrammar::HasSymbol(const std::string& symbol) const {
+  return symbol == start_symbol_ || rule_index_.count(symbol) > 0;
+}
+
+const std::vector<std::string>& FeatureGrammar::DependenciesOf(
+    const std::string& symbol) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = rule_index_.find(symbol);
+  return it == rule_index_.end() ? kEmpty : rules_[it->second].dependencies;
+}
+
+std::vector<std::string> FeatureGrammar::Downstream(
+    const std::string& symbol) const {
+  std::set<std::string> dirty = {symbol};
+  std::vector<std::string> out;
+  // Execution order is topological, so one forward sweep suffices.
+  for (const std::string& sym : execution_order_) {
+    if (dirty.count(sym)) continue;
+    for (const std::string& dep : DependenciesOf(sym)) {
+      if (dirty.count(dep)) {
+        dirty.insert(sym);
+        out.push_back(sym);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string FeatureGrammar::ToDot() const {
+  std::string out = "digraph feature_grammar {\n  rankdir=TB;\n";
+  out += StringFormat("  \"%s\" [shape=box];\n", start_symbol_.c_str());
+  for (const GrammarRule& rule : rules_) {
+    out += StringFormat("  \"%s\" [shape=ellipse];\n", rule.symbol.c_str());
+  }
+  for (const GrammarRule& rule : rules_) {
+    for (const std::string& dep : rule.dependencies) {
+      out += StringFormat("  \"%s\" -> \"%s\";\n", dep.c_str(),
+                          rule.symbol.c_str());
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cobra::grammar

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file feature_grammar.h
+/// The Acoi feature grammar (ref [3]): grammar rules describing the
+/// relationships between meta-data symbols and the detectors that produce
+/// them. The grammar is the single place where the execution order of and
+/// dependencies between extraction algorithms are declared (paper Figure 1);
+/// the FDE is generated from it.
+///
+/// Text syntax (one declaration per line, `#` comments):
+///
+///     start video ;
+///     segment  : video ;            # segment depends on the raw video
+///     tennis   : segment ;
+///     player   : tennis ;
+///     net_play : player segment ;   # multiple dependencies allowed
+///
+/// The start symbol is the input object and has no detector; every other
+/// symbol is produced by a detector of the same name.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cobra::grammar {
+
+/// One grammar rule: `symbol : dependencies... ;`
+struct GrammarRule {
+  std::string symbol;
+  std::vector<std::string> dependencies;
+};
+
+/// A parsed, validated feature grammar.
+class FeatureGrammar {
+ public:
+  /// Parses the text syntax. Fails with ParseError on syntax problems and
+  /// with InvalidArgument on semantic ones (duplicate rules, unknown
+  /// dependencies, cycles, missing/with-rule start symbol).
+  static Result<FeatureGrammar> Parse(const std::string& text);
+
+  /// Programmatic construction (used by tests and generated grammars).
+  static Result<FeatureGrammar> FromRules(std::string start_symbol,
+                                          std::vector<GrammarRule> rules);
+
+  const std::string& start_symbol() const { return start_symbol_; }
+  const std::vector<GrammarRule>& rules() const { return rules_; }
+
+  /// All symbols: the start symbol plus one per rule, in declaration order.
+  std::vector<std::string> Symbols() const;
+
+  /// True if the grammar declares `symbol` (as start or rule head).
+  bool HasSymbol(const std::string& symbol) const;
+
+  /// Dependencies of `symbol` (empty for the start symbol).
+  const std::vector<std::string>& DependenciesOf(const std::string& symbol) const;
+
+  /// Detector execution order: a topological order of the dependency DAG
+  /// (dependencies first). Deterministic: declaration order among ready
+  /// symbols. Does not include the start symbol.
+  const std::vector<std::string>& ExecutionOrder() const {
+    return execution_order_;
+  }
+
+  /// Symbols that (transitively) depend on `symbol`, excluding it.
+  /// Used for incremental re-indexing: these are the detectors to re-run
+  /// when `symbol`'s detector or output changes.
+  std::vector<std::string> Downstream(const std::string& symbol) const;
+
+  /// The dependency graph in Graphviz dot format (paper Figure 1).
+  std::string ToDot() const;
+
+ private:
+  Status Validate();
+
+  std::string start_symbol_;
+  std::vector<GrammarRule> rules_;
+  std::map<std::string, size_t> rule_index_;
+  std::vector<std::string> execution_order_;
+};
+
+}  // namespace cobra::grammar

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file block_codec.h
+/// A block-based hybrid video codec (8x8 DCT + quantization + zigzag/RLE
+/// entropy coding, 16x16-macroblock motion compensation, I/P GOP
+/// structure) in the style of MPEG-1.
+///
+/// In the original demo an external MPEG decoder sits below the segment
+/// detector; this codec plays that role AND exposes the encoder-side
+/// statistics (bytes per frame, motion magnitude, intra-block ratio) that
+/// compressed-domain indexing techniques exploit (extension experiment E9).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "media/frame.h"
+#include "media/video.h"
+#include "util/status.h"
+
+namespace cobra::media {
+
+struct CodecConfig {
+  int gop_size = 12;           ///< one I-frame every gop_size frames
+  int quality = 75;            ///< quantizer quality, 1..100
+  int motion_search_range = 7; ///< full-pel search window (+-range)
+  /// A P-frame macroblock whose motion-compensated SAD per pixel is below
+  /// this is coded as SKIP (copy from reference).
+  double skip_sad = 1.5;
+  /// A macroblock is coded intra inside a P-frame when even the best
+  /// motion-compensated SAD per pixel exceeds this. 16 gives clean
+  /// separation between in-shot prediction (SAD ~ sensor noise) and
+  /// across-cut prediction (SAD ~ scene difference), which the
+  /// compressed-domain shot detector relies on.
+  double intra_sad = 16.0;
+};
+
+/// Encoder-side per-frame statistics (the compressed-domain signal).
+struct CodedFrameStats {
+  bool intra_frame = false;       ///< I frame
+  size_t bytes = 0;               ///< bitstream size
+  double mean_motion = 0.0;       ///< mean |mv| over inter macroblocks
+  /// Fraction of macroblocks whose best motion match is poor. Computed by
+  /// the encoder's mode decision for every frame (also I frames, where it
+  /// is analysis-only) — this is what the compressed-domain shot detector
+  /// thresholds.
+  double intra_block_ratio = 0.0;
+};
+
+/// An encoded video: per-frame bitstreams + stats.
+class EncodedVideo {
+ public:
+  int width() const { return width_; }
+  int height() const { return height_; }
+  double fps() const { return fps_; }
+  const CodecConfig& config() const { return config_; }
+  int64_t num_frames() const { return static_cast<int64_t>(frames_.size()); }
+
+  const std::vector<uint8_t>& FrameBits(int64_t i) const {
+    return frames_[static_cast<size_t>(i)];
+  }
+  const CodedFrameStats& Stats(int64_t i) const {
+    return stats_[static_cast<size_t>(i)];
+  }
+  const std::vector<CodedFrameStats>& AllStats() const { return stats_; }
+
+  int64_t TotalBytes() const;
+  /// Raw RGB24 size / coded size.
+  double CompressionRatio() const;
+
+  /// Serializes the whole coded video (header + per-frame streams) to a
+  /// byte buffer, and back. Deserialize validates the header and per-frame
+  /// framing; corrupted payloads surface later as ParseError from the
+  /// decoder, never as undefined behaviour.
+  std::vector<uint8_t> Serialize() const;
+  static Result<EncodedVideo> Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  friend class BlockVideoEncoder;
+  int width_ = 0;
+  int height_ = 0;
+  double fps_ = 25.0;
+  CodecConfig config_;
+  std::vector<std::vector<uint8_t>> frames_;
+  std::vector<CodedFrameStats> stats_;
+};
+
+/// Encodes a VideoSource into an EncodedVideo.
+class BlockVideoEncoder {
+ public:
+  static Result<EncodedVideo> Encode(const VideoSource& video,
+                                     const CodecConfig& config = {});
+};
+
+/// Decodes an EncodedVideo; random access decodes forward from the
+/// preceding I-frame (sequential access is O(1) amortized via a cache).
+class CodedVideoSource : public VideoSource {
+ public:
+  explicit CodedVideoSource(EncodedVideo encoded);
+  ~CodedVideoSource() override;
+
+  int64_t num_frames() const override { return encoded_.num_frames(); }
+  int width() const override { return encoded_.width(); }
+  int height() const override { return encoded_.height(); }
+  double fps() const override { return encoded_.fps(); }
+
+  Result<Frame> GetFrame(int64_t index) const override;
+
+  const EncodedVideo& encoded() const { return encoded_; }
+
+ private:
+  struct DecoderState;
+  Result<Frame> DecodeAt(int64_t index) const;
+
+  EncodedVideo encoded_;
+  mutable std::unique_ptr<DecoderState> state_;
+};
+
+/// PSNR (dB) between two same-size frames over all RGB channels.
+Result<double> ComputePsnr(const Frame& a, const Frame& b);
+
+}  // namespace cobra::media

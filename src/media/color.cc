@@ -1,0 +1,66 @@
+#include "media/color.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cobra::media {
+
+Hsv RgbToHsv(const Rgb& rgb) {
+  const double r = rgb.r / 255.0;
+  const double g = rgb.g / 255.0;
+  const double b = rgb.b / 255.0;
+  const double mx = std::max({r, g, b});
+  const double mn = std::min({r, g, b});
+  const double delta = mx - mn;
+
+  Hsv out;
+  out.v = mx;
+  out.s = mx > 0.0 ? delta / mx : 0.0;
+  if (delta <= 0.0) {
+    out.h = 0.0;
+  } else if (mx == r) {
+    out.h = 60.0 * std::fmod((g - b) / delta, 6.0);
+  } else if (mx == g) {
+    out.h = 60.0 * ((b - r) / delta + 2.0);
+  } else {
+    out.h = 60.0 * ((r - g) / delta + 4.0);
+  }
+  if (out.h < 0.0) out.h += 360.0;
+  return out;
+}
+
+Rgb HsvToRgb(const Hsv& hsv) {
+  const double c = hsv.v * hsv.s;
+  const double hp = hsv.h / 60.0;
+  const double x = c * (1.0 - std::fabs(std::fmod(hp, 2.0) - 1.0));
+  double r = 0, g = 0, b = 0;
+  if (hp < 1) {
+    r = c; g = x;
+  } else if (hp < 2) {
+    r = x; g = c;
+  } else if (hp < 3) {
+    g = c; b = x;
+  } else if (hp < 4) {
+    g = x; b = c;
+  } else if (hp < 5) {
+    r = x; b = c;
+  } else {
+    r = c; b = x;
+  }
+  const double m = hsv.v - c;
+  auto to8 = [m](double ch) {
+    return static_cast<uint8_t>(std::clamp((ch + m) * 255.0 + 0.5, 0.0, 255.0));
+  };
+  return Rgb{to8(r), to8(g), to8(b)};
+}
+
+bool IsSkinColor(const Rgb& rgb) {
+  // Combined heuristic: classic RGB rules (Peer et al.) plus an HSV hue band.
+  if (rgb.r <= 80 || rgb.r <= rgb.g || rgb.g <= rgb.b) return false;
+  if (static_cast<int>(rgb.r) - static_cast<int>(rgb.b) < 15) return false;
+  Hsv hsv = RgbToHsv(rgb);
+  return (hsv.h < 50.0 || hsv.h > 340.0) && hsv.s > 0.1 && hsv.s < 0.75 &&
+         hsv.v > 0.3;
+}
+
+}  // namespace cobra::media

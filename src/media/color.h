@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file color.h
+/// Pixel color types and RGB <-> HSV conversion.
+///
+/// The shot classifier works in HSV because the paper's cues — court
+/// dominant color and skin tone — are hue/saturation phenomena that are
+/// robust to the illumination drift the synthesizer injects.
+
+#include <cstdint>
+
+namespace cobra::media {
+
+/// 8-bit RGB pixel.
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  constexpr Rgb() = default;
+  constexpr Rgb(uint8_t rr, uint8_t gg, uint8_t bb) : r(rr), g(gg), b(bb) {}
+
+  bool operator==(const Rgb& o) const { return r == o.r && g == o.g && b == o.b; }
+
+  /// ITU-R BT.601 luma in [0, 255].
+  double Luma() const { return 0.299 * r + 0.587 * g + 0.114 * b; }
+};
+
+/// HSV color: h in [0, 360), s and v in [0, 1].
+struct Hsv {
+  double h = 0.0;
+  double s = 0.0;
+  double v = 0.0;
+};
+
+Hsv RgbToHsv(const Rgb& rgb);
+Rgb HsvToRgb(const Hsv& hsv);
+
+/// True if the pixel falls inside the skin-tone region used by the
+/// close-up classifier (hue in the orange band, moderate saturation,
+/// sufficient brightness). Matches the synthesizer's skin palette and the
+/// usual RGB-ratio skin heuristics.
+bool IsSkinColor(const Rgb& rgb);
+
+}  // namespace cobra::media

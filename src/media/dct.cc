@@ -1,0 +1,118 @@
+#include "media/dct.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cobra::media {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// DCT basis matrix C[k][n] = s(k) cos((2n+1) k pi / 16).
+struct DctTables {
+  double basis[8][8];
+  DctTables() {
+    for (int k = 0; k < 8; ++k) {
+      double s = k == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int n = 0; n < 8; ++n) {
+        basis[k][n] = s * std::cos((2 * n + 1) * k * kPi / 16.0);
+      }
+    }
+  }
+};
+const DctTables kTables;
+
+// JPEG Annex K quantization tables.
+constexpr int kLumaQuant[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+constexpr int kChromaQuant[64] = {
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99, 47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99};
+
+int ScaledQuant(int base, int quality) {
+  quality = std::clamp(quality, 1, 100);
+  int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  int q = (base * scale + 50) / 100;
+  return std::clamp(q, 1, 255);
+}
+
+}  // namespace
+
+const std::array<uint8_t, 64> kZigzagOrder = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+void ForwardDct(const PixelBlock& in, DctBlock* out) {
+  // Separable: rows then columns.
+  double tmp[64];
+  for (int y = 0; y < 8; ++y) {
+    for (int k = 0; k < 8; ++k) {
+      double acc = 0.0;
+      for (int n = 0; n < 8; ++n) acc += kTables.basis[k][n] * in[y * 8 + n];
+      tmp[y * 8 + k] = acc;
+    }
+  }
+  for (int x = 0; x < 8; ++x) {
+    for (int k = 0; k < 8; ++k) {
+      double acc = 0.0;
+      for (int n = 0; n < 8; ++n) acc += kTables.basis[k][n] * tmp[n * 8 + x];
+      (*out)[k * 8 + x] = acc;
+    }
+  }
+}
+
+void InverseDct(const DctBlock& in, PixelBlock* out) {
+  double tmp[64];
+  for (int x = 0; x < 8; ++x) {
+    for (int n = 0; n < 8; ++n) {
+      double acc = 0.0;
+      for (int k = 0; k < 8; ++k) acc += kTables.basis[k][n] * in[k * 8 + x];
+      tmp[n * 8 + x] = acc;
+    }
+  }
+  for (int y = 0; y < 8; ++y) {
+    for (int n = 0; n < 8; ++n) {
+      double acc = 0.0;
+      for (int k = 0; k < 8; ++k) acc += kTables.basis[k][n] * tmp[y * 8 + k];
+      (*out)[y * 8 + n] = static_cast<int16_t>(std::lround(acc));
+    }
+  }
+}
+
+void Quantize(const DctBlock& in, int quality, bool chroma,
+              std::array<int16_t, 64>* out) {
+  const int* table = chroma ? kChromaQuant : kLumaQuant;
+  for (int i = 0; i < 64; ++i) {
+    int q = ScaledQuant(table[i], quality);
+    (*out)[i] = static_cast<int16_t>(std::lround(in[i] / q));
+  }
+}
+
+void Dequantize(const std::array<int16_t, 64>& in, int quality, bool chroma,
+                DctBlock* out) {
+  const int* table = chroma ? kChromaQuant : kLumaQuant;
+  for (int i = 0; i < 64; ++i) {
+    int q = ScaledQuant(table[i], quality);
+    (*out)[i] = static_cast<double>(in[i]) * q;
+  }
+}
+
+void ZigzagScan(const std::array<int16_t, 64>& in,
+                std::array<int16_t, 64>* out) {
+  for (int i = 0; i < 64; ++i) (*out)[i] = in[kZigzagOrder[i]];
+}
+
+void ZigzagUnscan(const std::array<int16_t, 64>& in,
+                  std::array<int16_t, 64>* out) {
+  for (int i = 0; i < 64; ++i) (*out)[kZigzagOrder[i]] = in[i];
+}
+
+}  // namespace cobra::media

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file dct.h
+/// 8x8 block DCT, quantization and zigzag scan — the transform layer of the
+/// block video codec (media/block_codec.h) that stands in for the demo's
+/// external MPEG decoder.
+
+#include <array>
+#include <cstdint>
+
+namespace cobra::media {
+
+constexpr int kDctBlockSize = 8;
+using DctBlock = std::array<double, 64>;   ///< row-major 8x8 coefficients
+using PixelBlock = std::array<int16_t, 64>;  ///< row-major 8x8 samples
+
+/// Forward 8x8 DCT-II (orthonormal).
+void ForwardDct(const PixelBlock& in, DctBlock* out);
+
+/// Inverse 8x8 DCT (matches ForwardDct up to rounding).
+void InverseDct(const DctBlock& in, PixelBlock* out);
+
+/// Quantizes coefficients with the table scaled for `quality` in [1, 100]
+/// (JPEG-style scaling: 50 = table as-is, higher = finer).
+/// `chroma` selects the chroma table.
+void Quantize(const DctBlock& in, int quality, bool chroma,
+              std::array<int16_t, 64>* out);
+
+/// Dequantizes back to coefficient space.
+void Dequantize(const std::array<int16_t, 64>& in, int quality, bool chroma,
+                DctBlock* out);
+
+/// Zigzag order: index i of the scan -> position in the 8x8 block.
+extern const std::array<uint8_t, 64> kZigzagOrder;
+
+/// Reorders a quantized block into zigzag scan order.
+void ZigzagScan(const std::array<int16_t, 64>& in, std::array<int16_t, 64>* out);
+void ZigzagUnscan(const std::array<int16_t, 64>& in, std::array<int16_t, 64>* out);
+
+}  // namespace cobra::media

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file ground_truth.h
+/// Frame-accurate ground truth emitted by the broadcast synthesizer.
+///
+/// The original demo indexed real Australian Open footage for which no
+/// machine-readable truth exists; the synthesizer records what it rendered
+/// so every detector in the pipeline can be scored (see DESIGN.md §2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace cobra::media {
+
+/// The four shot categories of the paper's segment detector (§3).
+enum class ShotCategory : int {
+  kTennis = 0,   ///< court shot: whole playing field visible
+  kCloseUp = 1,  ///< player close-up: significant skin-colored area
+  kAudience = 2, ///< crowd shot: high entropy, no dominant color
+  kOther = 3,    ///< anything else (graphics, studio, ...)
+};
+
+constexpr int kNumShotCategories = 4;
+
+const char* ShotCategoryToString(ShotCategory c);
+
+/// Canonical event names shared by the synthesizer, the rule-based event
+/// detectors and the HMM recognizer.
+inline constexpr const char* kEventServe = "serve";
+inline constexpr const char* kEventRally = "rally";
+inline constexpr const char* kEventNetPlay = "net_play";
+inline constexpr const char* kEventBaselinePlay = "baseline_play";
+
+/// A contiguous run of frames from one camera take.
+struct ShotTruth {
+  FrameInterval range;
+  ShotCategory category = ShotCategory::kOther;
+};
+
+/// Where a player really is in one frame of a court shot.
+struct PlayerTruth {
+  int player_id = 0;  ///< 0 = near (bottom) player, 1 = far (top) player
+  PointD center;      ///< body centroid in pixels
+  RectI bbox;         ///< tight body bounding box
+};
+
+/// A semantic event the synthesizer scripted.
+struct EventTruth {
+  std::string name;      ///< one of the kEvent* constants
+  int player_id = -1;    ///< acting player; -1 = whole court
+  FrameInterval range;
+};
+
+/// Everything the synthesizer knows about the broadcast it rendered.
+class GroundTruth {
+ public:
+  std::vector<ShotTruth> shots;
+  /// players_by_frame[f] lists the players visible in frame f (empty for
+  /// non-court shots).
+  std::vector<std::vector<PlayerTruth>> players_by_frame;
+  std::vector<EventTruth> events;
+  /// Gradual (dissolve) transitions: the blended frame ranges. Each begins
+  /// at the corresponding shot's first frame.
+  std::vector<FrameInterval> gradual_transitions;
+
+  /// True if the cut at `position` (a shot's first frame) is gradual.
+  bool IsGradual(int64_t position) const {
+    for (const FrameInterval& t : gradual_transitions) {
+      if (t.begin == position) return true;
+    }
+    return false;
+  }
+
+  /// Cut positions of hard cuts only.
+  std::vector<int64_t> HardCutPositions() const {
+    std::vector<int64_t> cuts;
+    for (size_t i = 1; i < shots.size(); ++i) {
+      if (!IsGradual(shots[i].range.begin)) cuts.push_back(shots[i].range.begin);
+    }
+    return cuts;
+  }
+
+  /// First frames of every shot except the first — the cut positions a shot
+  /// boundary detector must find.
+  std::vector<int64_t> CutPositions() const {
+    std::vector<int64_t> cuts;
+    for (size_t i = 1; i < shots.size(); ++i) cuts.push_back(shots[i].range.begin);
+    return cuts;
+  }
+
+  /// Category of the shot containing `frame`; kOther if out of range.
+  ShotCategory CategoryAt(int64_t frame) const {
+    for (const auto& s : shots) {
+      if (s.range.Contains(frame)) return s.category;
+    }
+    return ShotCategory::kOther;
+  }
+
+  /// Events with the given name.
+  std::vector<EventTruth> EventsNamed(const std::string& name) const {
+    std::vector<EventTruth> out;
+    for (const auto& e : events) {
+      if (e.name == name) out.push_back(e);
+    }
+    return out;
+  }
+};
+
+}  // namespace cobra::media

@@ -1,0 +1,56 @@
+#include "media/ppm.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace cobra::media {
+
+Status WritePpm(const Frame& frame, const std::string& path) {
+  if (frame.Empty()) return Status::InvalidArgument("cannot write empty frame");
+  std::unique_ptr<FILE, int (*)(FILE*)> f(std::fopen(path.c_str(), "wb"),
+                                          &std::fclose);
+  if (!f) return Status::Internal(StringFormat("cannot open %s", path.c_str()));
+  std::fprintf(f.get(), "P6\n%d %d\n255\n", frame.width(), frame.height());
+  std::vector<uint8_t> row(static_cast<size_t>(frame.width()) * 3);
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      const Rgb& p = frame.At(x, y);
+      row[3 * x] = p.r;
+      row[3 * x + 1] = p.g;
+      row[3 * x + 2] = p.b;
+    }
+    if (std::fwrite(row.data(), 1, row.size(), f.get()) != row.size()) {
+      return Status::Internal(StringFormat("short write to %s", path.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Frame> ReadPpm(const std::string& path) {
+  std::unique_ptr<FILE, int (*)(FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                          &std::fclose);
+  if (!f) return Status::NotFound(StringFormat("cannot open %s", path.c_str()));
+  char magic[3] = {};
+  int width = 0, height = 0, maxval = 0;
+  if (std::fscanf(f.get(), "%2s %d %d %d", magic, &width, &height, &maxval) != 4 ||
+      std::string(magic) != "P6" || maxval != 255 || width <= 0 || height <= 0) {
+    return Status::ParseError(StringFormat("bad PPM header in %s", path.c_str()));
+  }
+  std::fgetc(f.get());  // single whitespace after maxval
+  Frame frame(width, height);
+  std::vector<uint8_t> row(static_cast<size_t>(width) * 3);
+  for (int y = 0; y < height; ++y) {
+    if (std::fread(row.data(), 1, row.size(), f.get()) != row.size()) {
+      return Status::ParseError(StringFormat("truncated PPM %s", path.c_str()));
+    }
+    for (int x = 0; x < width; ++x) {
+      frame.At(x, y) = Rgb{row[3 * x], row[3 * x + 1], row[3 * x + 2]};
+    }
+  }
+  return frame;
+}
+
+}  // namespace cobra::media

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file ppm.h
+/// Binary PPM (P6) export, so examples can dump frames for visual
+/// inspection without an image library dependency.
+
+#include <string>
+
+#include "media/frame.h"
+#include "util/status.h"
+
+namespace cobra::media {
+
+/// Writes `frame` as a binary PPM file at `path`.
+Status WritePpm(const Frame& frame, const std::string& path);
+
+/// Reads a binary PPM (P6, maxval 255) file.
+Result<Frame> ReadPpm(const std::string& path);
+
+}  // namespace cobra::media

@@ -1,0 +1,564 @@
+#include "media/tennis_synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace cobra::media {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Palette. The court is Australian Open "Plexicushion" blue; the surround is
+// green; players wear saturated shirts distinct from both court and skin.
+// Values sit at the centers of 32-wide quantization bins so that the
+// +-4% illumination drift never marches a whole uniform surface across a
+// histogram bin boundary at once (real surfaces are textured; see
+// ApplyNoiseAndDrift, which adds the static texture that carries the same
+// guarantee for off-center colors).
+constexpr Rgb kCourtBlue{48, 80, 176};
+constexpr Rgb kSurroundGreen{48, 112, 80};
+constexpr Rgb kLineWhite{240, 240, 240};
+constexpr Rgb kSkin{208, 144, 112};
+constexpr Rgb kHair{48, 48, 48};
+constexpr Rgb kDarkLegs{48, 48, 80};
+constexpr Rgb kNearShirt{208, 48, 48};
+constexpr Rgb kFarShirt{240, 208, 48};
+
+uint8_t ClampU8(double v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+}  // namespace
+
+CourtGeometry CourtGeometry::ForFrame(int width, int height) {
+  // Broadcast framing: the court fills just over half the frame, a crowd
+  // strip runs along the top, green surround elsewhere.
+  CourtGeometry g;
+  int cx = static_cast<int>(width * 0.14);
+  int cy = static_cast<int>(height * 0.20);
+  g.court = RectI{cx, cy, static_cast<int>(width * 0.72),
+                  static_cast<int>(height * 0.75)};
+  g.net_y = g.court.y + g.court.height / 2;
+  g.baseline_near_y = g.court.Bottom() - 4;
+  g.baseline_far_y = g.court.y + 4;
+  return g;
+}
+
+/// Per-player simulation state for one point.
+struct TennisBroadcastSynthesizer::PlayerSim {
+  int id = 0;
+  double base_x = 0.0;
+  double amp = 0.0;     ///< lateral oscillation amplitude
+  double omega = 0.0;   ///< lateral oscillation angular frequency
+  double phase = 0.0;
+  double baseline_y = 0.0;
+  double body_w = 12.0;
+  double body_h = 22.0;
+  Rgb shirt;
+
+  // Net approach script: move during [a0,a1), hold at net [a1,a2),
+  // retreat [a2,a3). a0 < 0 disables.
+  int64_t a0 = -1, a1 = -1, a2 = -1, a3 = -1;
+  double net_hold_y = 0.0;
+
+  // Serve script: stand still at serve_x until serve_end.
+  int64_t serve_end = 0;
+  double serve_x = 0.0;
+
+  PointD PositionAt(int64_t t, double jitter_x, double jitter_y) const {
+    // Frames over which a player accelerates out of the serve stance into
+    // the rally trajectory (players do not teleport).
+    constexpr int64_t kServeBlendFrames = 15;
+    double x, y;
+    if (t < serve_end) {
+      x = serve_x;
+      y = baseline_y;
+    } else {
+      x = base_x + amp * std::sin(omega * static_cast<double>(t) + phase) +
+          jitter_x;
+      y = baseline_y + 2.0 * std::sin(0.13 * static_cast<double>(t) + phase) +
+          jitter_y;
+      if (t < serve_end + kServeBlendFrames) {
+        double f = static_cast<double>(t - serve_end) /
+                   static_cast<double>(kServeBlendFrames);
+        x = serve_x + f * (x - serve_x);
+        y = baseline_y + f * (y - baseline_y);
+      }
+      if (a0 >= 0) {
+        if (t >= a0 && t < a1) {
+          double f = static_cast<double>(t - a0) / static_cast<double>(a1 - a0);
+          y = baseline_y + f * (net_hold_y - baseline_y);
+        } else if (t >= a1 && t < a2) {
+          y = net_hold_y + jitter_y;
+        } else if (t >= a2 && t < a3) {
+          double f = static_cast<double>(t - a2) / static_cast<double>(a3 - a2);
+          y = net_hold_y + f * (baseline_y - net_hold_y);
+        }
+      }
+    }
+    return PointD{x, y};
+  }
+
+  RectI BboxAt(const PointD& center) const {
+    return RectI{static_cast<int>(std::lround(center.x - body_w / 2)),
+                 static_cast<int>(std::lround(center.y - body_h / 2)),
+                 static_cast<int>(body_w), static_cast<int>(body_h)};
+  }
+};
+
+TennisBroadcastSynthesizer::TennisBroadcastSynthesizer(TennisSynthConfig config)
+    : config_(config),
+      geom_(CourtGeometry::ForFrame(config.width, config.height)),
+      rng_(config.seed) {
+  noise_table_.resize(16384);
+  for (double& v : noise_table_) v = rng_.NextGaussian();
+}
+
+Status TennisBroadcastSynthesizer::Validate() const {
+  if (config_.width < 48 || config_.height < 36) {
+    return Status::InvalidArgument("frame size must be at least 48x36");
+  }
+  if (config_.num_points < 1) {
+    return Status::InvalidArgument("num_points must be >= 1");
+  }
+  if (config_.min_court_frames > config_.max_court_frames ||
+      config_.min_court_frames < 40) {
+    return Status::InvalidArgument("court frame range invalid (min >= 40)");
+  }
+  if (config_.min_cutaway_frames > config_.max_cutaway_frames ||
+      config_.min_cutaway_frames < 2) {
+    return Status::InvalidArgument("cutaway frame range invalid");
+  }
+  if (config_.noise_sigma < 0) {
+    return Status::InvalidArgument("noise_sigma must be non-negative");
+  }
+  return Status::OK();
+}
+
+Result<Broadcast> TennisBroadcastSynthesizer::Synthesize() {
+  COBRA_RETURN_NOT_OK(Validate());
+  Broadcast out;
+  out.video = std::make_shared<MemoryVideo>(std::vector<Frame>{}, config_.fps);
+  int64_t frame_index = 0;
+  for (int point = 0; point < config_.num_points; ++point) {
+    frame_index += SynthesizePoint(out.video.get(), &out.truth, frame_index);
+    if (config_.include_cutaways) {
+      int num_cutaways = 1 + static_cast<int>(rng_.NextBounded(2));
+      for (int c = 0; c < num_cutaways; ++c) {
+        static const std::vector<double> kWeights = {0.45, 0.35, 0.20};
+        size_t pick = rng_.NextCategorical(kWeights);
+        ShotCategory cat = pick == 0   ? ShotCategory::kCloseUp
+                           : pick == 1 ? ShotCategory::kAudience
+                                       : ShotCategory::kOther;
+        frame_index +=
+            SynthesizeCutaway(out.video.get(), &out.truth, frame_index, cat);
+      }
+    }
+  }
+
+  // Dissolve pass: turn a random subset of transitions into cross-fades —
+  // the outgoing shot's last frame fades into the incoming shot over the
+  // first dissolve_frames of the new shot.
+  if (config_.dissolve_prob > 0.0) {
+    for (size_t s = 1; s < out.truth.shots.size(); ++s) {
+      if (!rng_.NextBernoulli(config_.dissolve_prob)) continue;
+      const int64_t boundary = out.truth.shots[s].range.begin;
+      const int64_t len = std::min<int64_t>(config_.dissolve_frames,
+                                            out.truth.shots[s].range.Length());
+      if (len < 2) continue;
+      Frame outgoing = *out.video->MutableFrame(boundary - 1);
+      for (int64_t i = 0; i < len; ++i) {
+        Frame* incoming = out.video->MutableFrame(boundary + i);
+        const double alpha =
+            static_cast<double>(i + 1) / static_cast<double>(len + 1);
+        for (int y = 0; y < incoming->height(); ++y) {
+          for (int x = 0; x < incoming->width(); ++x) {
+            const Rgb& from = outgoing.At(x, y);
+            Rgb& to = incoming->At(x, y);
+            to = Rgb{ClampU8((1.0 - alpha) * from.r + alpha * to.r),
+                     ClampU8((1.0 - alpha) * from.g + alpha * to.g),
+                     ClampU8((1.0 - alpha) * from.b + alpha * to.b)};
+          }
+        }
+      }
+      out.truth.gradual_transitions.push_back(
+          FrameInterval{boundary, boundary + len - 1});
+    }
+  }
+  return out;
+}
+
+int64_t TennisBroadcastSynthesizer::SynthesizePoint(MemoryVideo* video,
+                                                    GroundTruth* truth,
+                                                    int64_t start_frame) {
+  const int64_t shot_len =
+      rng_.NextInt(config_.min_court_frames, config_.max_court_frames);
+  const int64_t serve_len = rng_.NextInt(10, 20);
+  const int server = static_cast<int>(rng_.NextBounded(2));
+
+  const double court_cx = geom_.court.Center().x;
+  const double lateral_span = geom_.court.width * 0.28;
+
+  PlayerSim near_p;
+  near_p.id = 0;
+  near_p.baseline_y = geom_.baseline_near_y - 6.0;
+  near_p.body_w = std::max(6.0, config_.width * 0.065);
+  near_p.body_h = std::max(10.0, config_.height * 0.16);
+  near_p.shirt = kNearShirt;
+
+  PlayerSim far_p;
+  far_p.id = 1;
+  far_p.baseline_y = geom_.baseline_far_y + 5.0;
+  far_p.body_w = std::max(4.0, config_.width * 0.045);
+  far_p.body_h = std::max(7.0, config_.height * 0.11);
+  far_p.shirt = kFarShirt;
+
+  for (PlayerSim* p : {&near_p, &far_p}) {
+    p->base_x = court_cx + rng_.NextDouble(-0.15, 0.15) * geom_.court.width;
+    p->amp = rng_.NextDouble(0.45, 1.0) * lateral_span;
+    p->omega = 2.0 * kPi / rng_.NextDouble(45.0, 90.0);
+    p->phase = rng_.NextDouble(0.0, 2.0 * kPi);
+    p->serve_end = serve_len;
+    p->serve_x = court_cx +
+                 (rng_.NextBernoulli(0.5) ? 1.0 : -1.0) *
+                     rng_.NextDouble(0.2, 0.3) * geom_.court.width;
+  }
+
+  // Optional net approach by one player, after the serve settles.
+  if (rng_.NextBernoulli(config_.net_approach_prob) && shot_len > serve_len + 70) {
+    PlayerSim* who = rng_.NextBernoulli(0.65) ? &near_p : &far_p;
+    int64_t latest_start = shot_len - 55;
+    who->a0 = rng_.NextInt(serve_len + 10, std::max(serve_len + 10, latest_start));
+    who->a1 = who->a0 + rng_.NextInt(16, 24);
+    who->a2 = who->a1 + rng_.NextInt(14, 26);
+    who->a3 = std::min<int64_t>(shot_len, who->a2 + rng_.NextInt(12, 20));
+    double offset = std::max(8.0, geom_.court.height * 0.12);
+    who->net_hold_y =
+        who->id == 0 ? geom_.net_y + offset : geom_.net_y - offset;
+  }
+
+  // Render and record truth.
+  const double net_dist_thresh = geom_.court.height * 0.17;
+  std::vector<std::vector<bool>> at_net(2, std::vector<bool>(shot_len, false));
+  std::vector<std::vector<bool>> at_baseline(2,
+                                             std::vector<bool>(shot_len, false));
+  for (int64_t t = 0; t < shot_len; ++t) {
+    double jx0 = rng_.NextGaussian() * 0.8, jy0 = rng_.NextGaussian() * 0.5;
+    double jx1 = rng_.NextGaussian() * 0.6, jy1 = rng_.NextGaussian() * 0.4;
+    PointD pos0 = near_p.PositionAt(t, jx0, jy0);
+    PointD pos1 = far_p.PositionAt(t, jx1, jy1);
+    // Clamp into the court laterally.
+    auto clamp_x = [&](double x) {
+      return std::clamp(x, static_cast<double>(geom_.court.x + 4),
+                        static_cast<double>(geom_.court.Right() - 4));
+    };
+    pos0.x = clamp_x(pos0.x);
+    pos1.x = clamp_x(pos1.x);
+
+    PlayerSim near_now = near_p;  // carries sizes/colors for the renderer
+    PlayerSim far_now = far_p;
+
+    Frame frame(config_.width, config_.height);
+    // Positions are communicated via base_x/baseline_y trick-free: render
+    // takes explicit positions below.
+    RenderCourtFrame(&frame, near_now, far_now);
+    // RenderCourtFrame draws static court; players drawn here with pos:
+    // torso
+    auto draw_player = [&](const PlayerSim& p, const PointD& pos) {
+      double w = p.body_w, h = p.body_h;
+      // legs
+      frame.FillRect(RectI{static_cast<int>(pos.x - w * 0.3),
+                           static_cast<int>(pos.y + h * 0.1),
+                           std::max(1, static_cast<int>(w * 0.25)),
+                           std::max(1, static_cast<int>(h * 0.4))},
+                     kDarkLegs);
+      frame.FillRect(RectI{static_cast<int>(pos.x + w * 0.05),
+                           static_cast<int>(pos.y + h * 0.1),
+                           std::max(1, static_cast<int>(w * 0.25)),
+                           std::max(1, static_cast<int>(h * 0.4))},
+                     kDarkLegs);
+      // torso
+      frame.FillEllipse(pos.x, pos.y - h * 0.05, w * 0.5, h * 0.32, p.shirt);
+      // head
+      frame.FillEllipse(pos.x, pos.y - h * 0.42, w * 0.22, h * 0.13, kSkin);
+    };
+    draw_player(near_now, pos0);
+    draw_player(far_now, pos1);
+    ApplyNoiseAndDrift(&frame, t, shot_len);
+    (void)video->Append(std::move(frame));
+
+    std::vector<PlayerTruth> players(2);
+    players[0] = PlayerTruth{0, pos0, near_p.BboxAt(pos0)};
+    players[1] = PlayerTruth{1, pos1, far_p.BboxAt(pos1)};
+    truth->players_by_frame.push_back(std::move(players));
+
+    at_net[0][t] = std::fabs(pos0.y - geom_.net_y) < net_dist_thresh;
+    at_net[1][t] = std::fabs(pos1.y - geom_.net_y) < net_dist_thresh;
+    at_baseline[0][t] = std::fabs(pos0.y - near_p.baseline_y) < 6.0;
+    at_baseline[1][t] = std::fabs(pos1.y - far_p.baseline_y) < 6.0;
+  }
+
+  // Shot + event truth.
+  FrameInterval shot_range{start_frame, start_frame + shot_len - 1};
+  truth->shots.push_back(ShotTruth{shot_range, ShotCategory::kTennis});
+  truth->events.push_back(EventTruth{
+      kEventServe, server, FrameInterval{start_frame, start_frame + serve_len - 1}});
+  truth->events.push_back(EventTruth{
+      kEventRally, -1, FrameInterval{start_frame + serve_len, shot_range.end}});
+
+  auto emit_runs = [&](const std::vector<bool>& flags, const char* name,
+                       int player_id, int64_t min_len) {
+    int64_t run_start = -1;
+    for (int64_t t = 0; t <= shot_len; ++t) {
+      bool on = t < shot_len && flags[t];
+      if (on && run_start < 0) run_start = t;
+      if (!on && run_start >= 0) {
+        if (t - run_start >= min_len) {
+          truth->events.push_back(EventTruth{
+              name, player_id,
+              FrameInterval{start_frame + run_start, start_frame + t - 1}});
+        }
+        run_start = -1;
+      }
+    }
+  };
+  emit_runs(at_net[0], kEventNetPlay, 0, 10);
+  emit_runs(at_net[1], kEventNetPlay, 1, 10);
+  emit_runs(at_baseline[0], kEventBaselinePlay, 0, 25);
+  emit_runs(at_baseline[1], kEventBaselinePlay, 1, 25);
+
+  return shot_len;
+}
+
+int64_t TennisBroadcastSynthesizer::SynthesizeCutaway(MemoryVideo* video,
+                                                      GroundTruth* truth,
+                                                      int64_t start_frame,
+                                                      ShotCategory category) {
+  const int64_t shot_len =
+      rng_.NextInt(config_.min_cutaway_frames, config_.max_cutaway_frames);
+  const uint64_t variant = rng_.NextU64();
+  for (int64_t t = 0; t < shot_len; ++t) {
+    Frame frame(config_.width, config_.height);
+    switch (category) {
+      case ShotCategory::kCloseUp:
+        RenderCloseUpFrame(&frame, t, variant);
+        break;
+      case ShotCategory::kAudience:
+        RenderAudienceFrame(&frame, t, variant);
+        break;
+      default:
+        RenderOtherFrame(&frame, t, variant);
+        break;
+    }
+    ApplyNoiseAndDrift(&frame, t, shot_len);
+    (void)video->Append(std::move(frame));
+    truth->players_by_frame.emplace_back();
+  }
+  truth->shots.push_back(
+      ShotTruth{FrameInterval{start_frame, start_frame + shot_len - 1}, category});
+  return shot_len;
+}
+
+void TennisBroadcastSynthesizer::RenderCourtFrame(Frame* frame,
+                                                  const PlayerSim& /*near_p*/,
+                                                  const PlayerSim& /*far_p*/) {
+  frame->FillRect(RectI{0, 0, config_.width, config_.height}, kSurroundGreen);
+  // Static crowd strip along the top of the stadium (same mosaic in every
+  // court frame: it is the same stadium).
+  const int strip_h = std::max(3, config_.height / 8);
+  const int block = std::max(3, config_.width / 48);
+  for (int by = 0; by * block < strip_h; ++by) {
+    for (int bx = 0; bx * block < config_.width; ++bx) {
+      uint64_t hc = MixHash(0xC0447ULL ^ (static_cast<uint64_t>(by) << 32) ^
+                            static_cast<uint64_t>(bx));
+      Hsv hsv{static_cast<double>(hc % 360), 0.2 + (hc >> 9) % 35 / 100.0,
+              0.2 + (hc >> 17) % 45 / 100.0};
+      RectI r{bx * block, by * block, block, std::min(block, strip_h - by * block)};
+      frame->FillRect(r, HsvToRgb(hsv));
+    }
+  }
+  frame->FillRect(geom_.court, kCourtBlue);
+  // Court outline.
+  const RectI& c = geom_.court;
+  frame->DrawLine(c.x, c.y, c.Right() - 1, c.y, kLineWhite);
+  frame->DrawLine(c.x, c.Bottom() - 1, c.Right() - 1, c.Bottom() - 1, kLineWhite);
+  frame->DrawLine(c.x, c.y, c.x, c.Bottom() - 1, kLineWhite);
+  frame->DrawLine(c.Right() - 1, c.y, c.Right() - 1, c.Bottom() - 1, kLineWhite);
+  // Singles sidelines.
+  int inset = c.width / 8;
+  frame->DrawLine(c.x + inset, c.y, c.x + inset, c.Bottom() - 1, kLineWhite);
+  frame->DrawLine(c.Right() - 1 - inset, c.y, c.Right() - 1 - inset,
+                  c.Bottom() - 1, kLineWhite);
+  // Service lines and center line.
+  int service_off = c.height / 4;
+  frame->DrawLine(c.x + inset, geom_.net_y - service_off, c.Right() - 1 - inset,
+                  geom_.net_y - service_off, kLineWhite);
+  frame->DrawLine(c.x + inset, geom_.net_y + service_off, c.Right() - 1 - inset,
+                  geom_.net_y + service_off, kLineWhite);
+  int center_x = c.x + c.width / 2;
+  frame->DrawLine(center_x, geom_.net_y - service_off, center_x,
+                  geom_.net_y + service_off, kLineWhite);
+  // Net: a 2-px darker band across the full width.
+  frame->FillRect(RectI{0, geom_.net_y - 1, config_.width, 2}, Rgb{30, 30, 34});
+}
+
+void TennisBroadcastSynthesizer::RenderCloseUpFrame(Frame* frame,
+                                                    int64_t frame_in_shot,
+                                                    uint64_t variant) {
+  // Soft two-tone background whose hue depends on the variant.
+  double bg_hue = static_cast<double>(MixHash(variant) % 360);
+  Rgb bg_top = HsvToRgb(Hsv{bg_hue, 0.35, 0.45});
+  Rgb bg_bottom = HsvToRgb(Hsv{bg_hue, 0.40, 0.30});
+  for (int y = 0; y < config_.height; ++y) {
+    double f = static_cast<double>(y) / config_.height;
+    Rgb c{ClampU8(bg_top.r + f * (bg_bottom.r - bg_top.r)),
+          ClampU8(bg_top.g + f * (bg_bottom.g - bg_top.g)),
+          ClampU8(bg_top.b + f * (bg_bottom.b - bg_top.b))};
+    for (int x = 0; x < config_.width; ++x) frame->At(x, y) = c;
+  }
+  // Head: large skin ellipse covering ~20-25% of the frame, gently bobbing.
+  double cx = config_.width * 0.5 +
+              3.0 * std::sin(0.11 * static_cast<double>(frame_in_shot));
+  double cy = config_.height * 0.46 +
+              2.0 * std::sin(0.07 * static_cast<double>(frame_in_shot) + 1.0);
+  double rx = config_.width * 0.21;
+  double ry = config_.height * 0.33;
+  frame->FillEllipse(cx, cy, rx, ry, kSkin);
+  // Hair cap.
+  frame->FillEllipse(cx, cy - ry * 0.72, rx * 0.95, ry * 0.38, kHair);
+  // Shoulders / shirt along the bottom.
+  Rgb shirt = HsvToRgb(Hsv{static_cast<double>(MixHash(variant ^ 7) % 360), 0.7, 0.6});
+  frame->FillEllipse(cx, config_.height * 1.05, config_.width * 0.42,
+                     config_.height * 0.3, shirt);
+}
+
+void TennisBroadcastSynthesizer::RenderAudienceFrame(Frame* frame,
+                                                     int64_t frame_in_shot,
+                                                     uint64_t variant) {
+  // Mosaic of small blocks with pseudo-random muted colors -> high entropy,
+  // no dominant color. A small fraction of blocks flickers over time
+  // (spectator motion), not enough to look like a cut.
+  const int block = std::max(3, config_.width / 48);
+  for (int by = 0; by * block < config_.height; ++by) {
+    for (int bx = 0; bx * block < config_.width; ++bx) {
+      uint64_t h = MixHash(variant ^ (static_cast<uint64_t>(by) << 32) ^
+                           static_cast<uint64_t>(bx));
+      bool flickers = (h % 100) < 12;
+      uint64_t time_salt =
+          flickers ? static_cast<uint64_t>(frame_in_shot / 6) : 0;
+      uint64_t hc = MixHash(h ^ (time_salt << 17));
+      Hsv hsv{static_cast<double>(hc % 360), 0.25 + (hc >> 9) % 40 / 100.0,
+              0.25 + (hc >> 17) % 55 / 100.0};
+      frame->FillRect(RectI{bx * block, by * block, block, block}, HsvToRgb(hsv));
+    }
+  }
+}
+
+void TennisBroadcastSynthesizer::RenderOtherFrame(Frame* frame,
+                                                  int64_t frame_in_shot,
+                                                  uint64_t variant) {
+  // Studio/graphics shot: near-uniform dark background, one saturated logo
+  // band and a few white caption strips -> low entropy, dominant color far
+  // from both court blue and skin.
+  uint64_t h = MixHash(variant);
+  Rgb bg{static_cast<uint8_t>(40 + h % 30), static_cast<uint8_t>(40 + (h >> 8) % 30),
+         static_cast<uint8_t>(46 + (h >> 16) % 30)};
+  frame->FillRect(RectI{0, 0, config_.width, config_.height}, bg);
+  Rgb band = HsvToRgb(
+      Hsv{static_cast<double>(MixHash(variant ^ 3) % 360), 0.85, 0.75});
+  int band_y = config_.height / 5 +
+               static_cast<int>(2 * std::sin(0.05 * static_cast<double>(frame_in_shot)));
+  frame->FillRect(RectI{0, band_y, config_.width, config_.height / 7}, band);
+  // Caption strips.
+  for (int i = 0; i < 3; ++i) {
+    int y = config_.height * (3 + i) / 7;
+    frame->FillRect(RectI{config_.width / 8, y, config_.width * 3 / 4,
+                          std::max(2, config_.height / 36)},
+                    Rgb{210, 210, 210});
+  }
+}
+
+void TennisBroadcastSynthesizer::ApplyNoiseAndDrift(Frame* frame,
+                                                    int64_t frame_in_shot,
+                                                    int64_t shot_len) {
+  const double drift =
+      1.0 + config_.illumination_drift *
+                std::sin(2.0 * kPi * static_cast<double>(frame_in_shot) /
+                         std::max<int64_t>(1, shot_len));
+  const bool noisy = config_.noise_sigma > 0.0;
+  const double sigma = config_.noise_sigma;
+  const size_t mask = noise_table_.size() - 1;  // table size is a power of two
+  for (int y = 0; y < frame->height(); ++y) {
+    for (int x = 0; x < frame->width(); ++x) {
+      Rgb& p = frame->At(x, y);
+      // Static per-pixel surface texture in [-6, +6] per channel: real
+      // surfaces are never flat, and without it a uniform region drifts
+      // across a quantization boundary all at once, which reads as a cut.
+      uint64_t tex = MixHash((static_cast<uint64_t>(y) << 20) ^
+                             static_cast<uint64_t>(x));
+      double tr = static_cast<double>(tex % 13) - 6.0;
+      double tg = static_cast<double>((tex >> 8) % 13) - 6.0;
+      double tb = static_cast<double>((tex >> 16) % 13) - 6.0;
+      double r = (p.r + tr) * drift;
+      double g = (p.g + tg) * drift;
+      double b = (p.b + tb) * drift;
+      if (noisy) {
+        uint64_t bits = rng_.NextU64();
+        r += sigma * noise_table_[bits & mask];
+        g += sigma * noise_table_[(bits >> 16) & mask];
+        b += sigma * noise_table_[(bits >> 32) & mask];
+      }
+      p = Rgb{ClampU8(r), ClampU8(g), ClampU8(b)};
+    }
+  }
+}
+
+Frame TennisBroadcastSynthesizer::RenderStandalone(ShotCategory category,
+                                                   uint64_t variant) {
+  Frame frame(config_.width, config_.height);
+  switch (category) {
+    case ShotCategory::kTennis: {
+      PlayerSim near_p, far_p;
+      near_p.body_w = std::max(6.0, config_.width * 0.065);
+      near_p.body_h = std::max(10.0, config_.height * 0.16);
+      far_p.body_w = std::max(4.0, config_.width * 0.045);
+      far_p.body_h = std::max(7.0, config_.height * 0.11);
+      RenderCourtFrame(&frame, near_p, far_p);
+      double off = static_cast<double>(MixHash(variant) % 41) - 20.0;
+      frame.FillEllipse(geom_.court.Center().x + off, geom_.baseline_near_y - 8,
+                        near_p.body_w * 0.5, near_p.body_h * 0.32, kNearShirt);
+      frame.FillEllipse(geom_.court.Center().x - off, geom_.baseline_far_y + 6,
+                        far_p.body_w * 0.5, far_p.body_h * 0.32, kFarShirt);
+      break;
+    }
+    case ShotCategory::kCloseUp:
+      RenderCloseUpFrame(&frame, static_cast<int64_t>(variant % 30), variant);
+      break;
+    case ShotCategory::kAudience:
+      RenderAudienceFrame(&frame, static_cast<int64_t>(variant % 30), variant);
+      break;
+    case ShotCategory::kOther:
+      RenderOtherFrame(&frame, static_cast<int64_t>(variant % 30), variant);
+      break;
+  }
+  return frame;
+}
+
+const char* ShotCategoryToString(ShotCategory c) {
+  switch (c) {
+    case ShotCategory::kTennis:
+      return "tennis";
+    case ShotCategory::kCloseUp:
+      return "close-up";
+    case ShotCategory::kAudience:
+      return "audience";
+    case ShotCategory::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+}  // namespace cobra::media

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file tennis_synthesizer.h
+/// Procedural tennis-broadcast generator.
+///
+/// Substitutes for the Australian Open footage of the original demo (see
+/// DESIGN.md §2). It reproduces exactly the statistical properties the
+/// paper's detectors exploit:
+///   * hard cuts between shots -> color histogram discontinuities;
+///   * a dominant court color in tennis shots;
+///   * large skin-colored regions in close-ups;
+///   * high spatial entropy in audience shots;
+///   * two player blobs that move according to scripted rallies, serves and
+///     net approaches -> trackable regions and detectable events;
+/// and it emits frame-accurate ground truth for all of them.
+
+#include <cstdint>
+#include <memory>
+
+#include "media/frame.h"
+#include "media/ground_truth.h"
+#include "media/video.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cobra::media {
+
+/// Static geometry of the rendered court, in pixels, derived from the frame
+/// size. Exposed so tests can assert against it; detectors must *estimate*
+/// their own court model from pixels (as the paper's tennis detector does).
+struct CourtGeometry {
+  RectI court;   ///< playing field rectangle
+  int net_y = 0; ///< y of the net line
+  int baseline_near_y = 0;
+  int baseline_far_y = 0;
+
+  static CourtGeometry ForFrame(int width, int height);
+};
+
+/// Knobs of the synthesizer. Defaults give a ~2400-frame broadcast with
+/// 8 points and interleaved cutaways at QCIF-ish resolution.
+struct TennisSynthConfig {
+  int width = 192;
+  int height = 144;
+  double fps = 25.0;
+  uint64_t seed = 42;
+
+  int num_points = 8;           ///< number of court (play) shots
+  int min_court_frames = 90;
+  int max_court_frames = 200;
+  int min_cutaway_frames = 24;
+  int max_cutaway_frames = 60;
+
+  /// Std-dev of additive Gaussian pixel noise (0 disables).
+  double noise_sigma = 4.0;
+  /// Peak relative luma drift within a shot (simulated auto-exposure), which
+  /// makes naive frame-differencing fire inside shots.
+  double illumination_drift = 0.04;
+
+  /// Probability that a point contains a net approach by some player.
+  double net_approach_prob = 0.5;
+  /// Insert close-up / audience / other shots between points.
+  bool include_cutaways = true;
+
+  /// Probability that a shot transition is a dissolve instead of a hard
+  /// cut: the outgoing frame cross-fades into the incoming shot over
+  /// `dissolve_frames`. Dissolves defeat naive frame differencing and are
+  /// the target of the twin-comparison detector extension.
+  double dissolve_prob = 0.0;
+  int dissolve_frames = 12;
+};
+
+/// A rendered broadcast plus its ground truth.
+struct Broadcast {
+  std::shared_ptr<MemoryVideo> video;
+  GroundTruth truth;
+};
+
+/// Renders a complete broadcast according to the config.
+///
+/// Deterministic: the same config (including seed) yields the identical
+/// pixel stream and truth.
+class TennisBroadcastSynthesizer {
+ public:
+  explicit TennisBroadcastSynthesizer(TennisSynthConfig config);
+
+  /// Renders the broadcast. Fails on degenerate configs (non-positive
+  /// sizes, inverted frame-count ranges).
+  Result<Broadcast> Synthesize();
+
+  const TennisSynthConfig& config() const { return config_; }
+
+  /// Renders a single standalone frame of the given category (used by the
+  /// classifier tests); player positions for tennis frames are scripted at
+  /// mid-rally. `variant` varies non-essential appearance.
+  Frame RenderStandalone(ShotCategory category, uint64_t variant);
+
+ private:
+  struct PlayerSim;
+
+  Status Validate() const;
+
+  void RenderCourtFrame(Frame* frame, const PlayerSim& near_p,
+                        const PlayerSim& far_p);
+  void RenderCloseUpFrame(Frame* frame, int64_t frame_in_shot, uint64_t variant);
+  void RenderAudienceFrame(Frame* frame, int64_t frame_in_shot, uint64_t variant);
+  void RenderOtherFrame(Frame* frame, int64_t frame_in_shot, uint64_t variant);
+  void ApplyNoiseAndDrift(Frame* frame, int64_t frame_in_shot,
+                          int64_t shot_len);
+
+  /// Simulates one point and appends frames + truth. Returns frames added.
+  int64_t SynthesizePoint(MemoryVideo* video, GroundTruth* truth,
+                          int64_t start_frame);
+  int64_t SynthesizeCutaway(MemoryVideo* video, GroundTruth* truth,
+                            int64_t start_frame, ShotCategory category);
+
+  TennisSynthConfig config_;
+  CourtGeometry geom_;
+  Rng rng_;
+  std::vector<double> noise_table_;
+};
+
+}  // namespace cobra::media

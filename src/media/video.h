@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file video.h
+/// `VideoSource`: the abstract decoded-video interface consumed by every
+/// detector, plus an in-memory implementation.
+///
+/// The paper's segment detector sits behind an external MPEG decoder; here
+/// any frame producer (the tennis synthesizer, a test pattern, a recorded
+/// buffer) plugs in behind the same interface.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "media/frame.h"
+#include "util/status.h"
+
+namespace cobra::media {
+
+/// Random-access source of decoded frames.
+class VideoSource {
+ public:
+  virtual ~VideoSource() = default;
+
+  virtual int64_t num_frames() const = 0;
+  virtual int width() const = 0;
+  virtual int height() const = 0;
+  /// Frames per second of the nominal timeline (used to convert event frame
+  /// intervals to seconds in query results).
+  virtual double fps() const = 0;
+
+  /// Decodes frame `index` in [0, num_frames()).
+  virtual Result<Frame> GetFrame(int64_t index) const = 0;
+};
+
+/// A video fully materialized in memory.
+class MemoryVideo : public VideoSource {
+ public:
+  MemoryVideo(std::vector<Frame> frames, double fps);
+
+  int64_t num_frames() const override {
+    return static_cast<int64_t>(frames_.size());
+  }
+  int width() const override { return width_; }
+  int height() const override { return height_; }
+  double fps() const override { return fps_; }
+
+  Result<Frame> GetFrame(int64_t index) const override;
+
+  /// Appends a frame; must match the dimensions of the first frame.
+  Status Append(Frame frame);
+
+  /// Mutable access for post-processing passes (e.g. the synthesizer's
+  /// dissolve rendering). Requires index in range.
+  Frame* MutableFrame(int64_t index) {
+    return &frames_[static_cast<size_t>(index)];
+  }
+
+ private:
+  std::vector<Frame> frames_;
+  int width_ = 0;
+  int height_ = 0;
+  double fps_ = 25.0;
+};
+
+}  // namespace cobra::media

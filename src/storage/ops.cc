@@ -1,0 +1,324 @@
+#include "storage/ops.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace cobra::storage {
+
+namespace {
+
+bool EvalCompare(int cmp, CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+    case CompareOp::kContains:
+      return false;  // handled separately
+  }
+  return false;
+}
+
+Status CheckPredicate(const Table& table, const Predicate& pred, size_t* col) {
+  COBRA_ASSIGN_OR_RETURN(*col, table.ColumnIndex(pred.column));
+  DataType col_type = table.schema()[*col].type;
+  if (pred.op == CompareOp::kContains) {
+    if (col_type != DataType::kString ||
+        TypeOf(pred.literal) != DataType::kString) {
+      return Status::InvalidArgument("kContains requires string column/literal");
+    }
+    return Status::OK();
+  }
+  if (TypeOf(pred.literal) != col_type) {
+    return Status::InvalidArgument(StringFormat(
+        "predicate literal type mismatch on column '%s'", pred.column.c_str()));
+  }
+  return Status::OK();
+}
+
+/// Applies `pred` to row `row` of a pre-resolved column.
+template <typename Getter>
+bool RowMatches(const Predicate& pred, const Getter& get, int64_t row) {
+  return EvalCompare(CompareValues(get(row), pred.literal), pred.op);
+}
+
+}  // namespace
+
+Result<std::vector<int64_t>> Select(const Table& table, const Predicate& pred) {
+  size_t col;
+  COBRA_RETURN_NOT_OK(CheckPredicate(table, pred, &col));
+  std::vector<int64_t> out;
+  const int64_t n = table.num_rows();
+  const DataType type = table.schema()[col].type;
+
+  if (pred.op == CompareOp::kContains) {
+    const auto& data = table.StringColumn(col);
+    const std::string& needle = std::get<std::string>(pred.literal);
+    for (int64_t r = 0; r < n; ++r) {
+      if (data[static_cast<size_t>(r)].find(needle) != std::string::npos) {
+        out.push_back(r);
+      }
+    }
+    return out;
+  }
+  switch (type) {
+    case DataType::kInt64: {
+      const auto& data = table.IntColumn(col);
+      int64_t lit = std::get<int64_t>(pred.literal);
+      for (int64_t r = 0; r < n; ++r) {
+        int64_t v = data[static_cast<size_t>(r)];
+        int cmp = v < lit ? -1 : (v > lit ? 1 : 0);
+        if (EvalCompare(cmp, pred.op)) out.push_back(r);
+      }
+      break;
+    }
+    case DataType::kDouble: {
+      const auto& data = table.DoubleColumn(col);
+      double lit = std::get<double>(pred.literal);
+      for (int64_t r = 0; r < n; ++r) {
+        double v = data[static_cast<size_t>(r)];
+        int cmp = v < lit ? -1 : (v > lit ? 1 : 0);
+        if (EvalCompare(cmp, pred.op)) out.push_back(r);
+      }
+      break;
+    }
+    case DataType::kString: {
+      const auto& data = table.StringColumn(col);
+      const std::string& lit = std::get<std::string>(pred.literal);
+      for (int64_t r = 0; r < n; ++r) {
+        int cmp = data[static_cast<size_t>(r)].compare(lit);
+        cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+        if (EvalCompare(cmp, pred.op)) out.push_back(r);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> Refine(const Table& table, const Predicate& pred,
+                                    const std::vector<int64_t>& candidates) {
+  size_t col;
+  COBRA_RETURN_NOT_OK(CheckPredicate(table, pred, &col));
+  std::vector<int64_t> out;
+  for (int64_t r : candidates) {
+    if (r < 0 || r >= table.num_rows()) {
+      return Status::OutOfRange("candidate row out of range");
+    }
+    bool keep;
+    if (pred.op == CompareOp::kContains) {
+      keep = table.StringColumn(col)[static_cast<size_t>(r)].find(
+                 std::get<std::string>(pred.literal)) != std::string::npos;
+    } else {
+      COBRA_ASSIGN_OR_RETURN(Value v, table.GetValue(r, col));
+      keep = EvalCompare(CompareValues(v, pred.literal), pred.op);
+    }
+    if (keep) out.push_back(r);
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> SelectAll(const Table& table,
+                                       const std::vector<Predicate>& preds) {
+  if (preds.empty()) {
+    std::vector<int64_t> all(static_cast<size_t>(table.num_rows()));
+    for (int64_t r = 0; r < table.num_rows(); ++r) all[static_cast<size_t>(r)] = r;
+    return all;
+  }
+  COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> rows, Select(table, preds[0]));
+  for (size_t i = 1; i < preds.size() && !rows.empty(); ++i) {
+    COBRA_ASSIGN_OR_RETURN(rows, Refine(table, preds[i], rows));
+  }
+  return rows;
+}
+
+Result<Table> Materialize(const Table& table, const std::vector<int64_t>& rows,
+                          const std::vector<std::string>& columns) {
+  std::vector<size_t> col_ids;
+  std::vector<ColumnDef> schema;
+  if (columns.empty()) {
+    for (size_t i = 0; i < table.num_columns(); ++i) {
+      col_ids.push_back(i);
+      schema.push_back(table.schema()[i]);
+    }
+  } else {
+    for (const std::string& name : columns) {
+      COBRA_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(name));
+      col_ids.push_back(idx);
+      schema.push_back(table.schema()[idx]);
+    }
+  }
+  COBRA_ASSIGN_OR_RETURN(Table out, Table::Create(std::move(schema)));
+  for (int64_t r : rows) {
+    std::vector<Value> row;
+    row.reserve(col_ids.size());
+    for (size_t c : col_ids) {
+      COBRA_ASSIGN_OR_RETURN(Value v, table.GetValue(r, c));
+      row.push_back(std::move(v));
+    }
+    COBRA_RETURN_NOT_OK(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_col,
+                       const std::string& right_col) {
+  COBRA_ASSIGN_OR_RETURN(size_t lcol, left.ColumnIndex(left_col));
+  COBRA_ASSIGN_OR_RETURN(size_t rcol, right.ColumnIndex(right_col));
+  if (left.schema()[lcol].type != right.schema()[rcol].type) {
+    return Status::InvalidArgument("join key types differ");
+  }
+
+  // Output schema: left then right, prefixing collisions.
+  std::vector<ColumnDef> schema = left.schema();
+  for (const ColumnDef& def : right.schema()) {
+    ColumnDef out_def = def;
+    for (const ColumnDef& l : left.schema()) {
+      if (l.name == def.name) {
+        out_def.name = "right_" + def.name;
+        break;
+      }
+    }
+    schema.push_back(out_def);
+  }
+  COBRA_ASSIGN_OR_RETURN(Table out, Table::Create(std::move(schema)));
+
+  // Build on the right side, probe with the left (keeps left order).
+  std::unordered_map<std::string, std::vector<int64_t>> build;
+  for (int64_t r = 0; r < right.num_rows(); ++r) {
+    COBRA_ASSIGN_OR_RETURN(Value v, right.GetValue(r, rcol));
+    build[ValueToString(v)].push_back(r);
+  }
+  for (int64_t l = 0; l < left.num_rows(); ++l) {
+    COBRA_ASSIGN_OR_RETURN(Value v, left.GetValue(l, lcol));
+    auto it = build.find(ValueToString(v));
+    if (it == build.end()) continue;
+    for (int64_t r : it->second) {
+      std::vector<Value> row;
+      row.reserve(out.num_columns());
+      for (size_t c = 0; c < left.num_columns(); ++c) {
+        COBRA_ASSIGN_OR_RETURN(Value lv, left.GetValue(l, c));
+        row.push_back(std::move(lv));
+      }
+      for (size_t c = 0; c < right.num_columns(); ++c) {
+        COBRA_ASSIGN_OR_RETURN(Value rv, right.GetValue(r, c));
+        row.push_back(std::move(rv));
+      }
+      COBRA_RETURN_NOT_OK(out.AppendRow(std::move(row)));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> OrderBy(const Table& table,
+                                     const std::string& column, bool desc,
+                                     size_t limit) {
+  COBRA_ASSIGN_OR_RETURN(size_t col, table.ColumnIndex(column));
+  std::vector<int64_t> rows(static_cast<size_t>(table.num_rows()));
+  for (int64_t r = 0; r < table.num_rows(); ++r) rows[static_cast<size_t>(r)] = r;
+  std::vector<Value> keys;
+  keys.reserve(rows.size());
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    COBRA_ASSIGN_OR_RETURN(Value v, table.GetValue(r, col));
+    keys.push_back(std::move(v));
+  }
+  std::stable_sort(rows.begin(), rows.end(), [&](int64_t a, int64_t b) {
+    int cmp = CompareValues(keys[static_cast<size_t>(a)],
+                            keys[static_cast<size_t>(b)]);
+    if (cmp == 0) return a < b;
+    return desc ? cmp > 0 : cmp < 0;
+  });
+  if (limit > 0 && rows.size() > limit) rows.resize(limit);
+  return rows;
+}
+
+Result<std::vector<GroupRow>> GroupBy(const Table& table,
+                                      const std::string& key_column,
+                                      AggregateOp op,
+                                      const std::string& value_column) {
+  COBRA_ASSIGN_OR_RETURN(size_t key_col, table.ColumnIndex(key_column));
+  size_t value_col = 0;
+  bool need_value = op != AggregateOp::kCount;
+  if (need_value) {
+    COBRA_ASSIGN_OR_RETURN(value_col, table.ColumnIndex(value_column));
+    DataType t = table.schema()[value_col].type;
+    if (t != DataType::kInt64 && t != DataType::kDouble) {
+      return Status::InvalidArgument("aggregate value column must be numeric");
+    }
+  }
+
+  struct Accumulator {
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    int64_t count = 0;
+  };
+  std::map<std::string, std::pair<Value, Accumulator>> groups;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    COBRA_ASSIGN_OR_RETURN(Value key, table.GetValue(r, key_col));
+    double v = 0.0;
+    if (need_value) {
+      COBRA_ASSIGN_OR_RETURN(Value raw, table.GetValue(r, value_col));
+      v = std::holds_alternative<int64_t>(raw)
+              ? static_cast<double>(std::get<int64_t>(raw))
+              : std::get<double>(raw);
+    }
+    auto [it, inserted] =
+        groups.try_emplace(ValueToString(key), key, Accumulator{});
+    Accumulator& acc = it->second.second;
+    if (acc.count == 0) {
+      acc.min = acc.max = v;
+    } else {
+      acc.min = std::min(acc.min, v);
+      acc.max = std::max(acc.max, v);
+    }
+    acc.sum += v;
+    acc.count++;
+  }
+
+  std::vector<GroupRow> out;
+  out.reserve(groups.size());
+  for (auto& [text_key, entry] : groups) {
+    GroupRow row;
+    row.key = std::move(entry.first);
+    row.count = entry.second.count;
+    switch (op) {
+      case AggregateOp::kCount:
+        row.aggregate = static_cast<double>(entry.second.count);
+        break;
+      case AggregateOp::kSum:
+        row.aggregate = entry.second.sum;
+        break;
+      case AggregateOp::kMin:
+        row.aggregate = entry.second.min;
+        break;
+      case AggregateOp::kMax:
+        row.aggregate = entry.second.max;
+        break;
+      case AggregateOp::kAvg:
+        row.aggregate = entry.second.count
+                            ? entry.second.sum / entry.second.count
+                            : 0.0;
+        break;
+    }
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const GroupRow& a, const GroupRow& b) {
+    return CompareValues(a.key, b.key) < 0;
+  });
+  return out;
+}
+
+}  // namespace cobra::storage

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file ops.h
+/// Column-at-a-time relational operators over `Table`: selection vectors,
+/// refinement, materialization, hash join, order-by/limit. Enough algebra
+/// to run the meta-index and webspace query plans.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace cobra::storage {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+/// `column op literal`. kContains applies to string columns only
+/// (substring match, the webspace "about" predicate).
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+};
+
+/// Full-column selection: row ids (ascending) satisfying the predicate.
+Result<std::vector<int64_t>> Select(const Table& table, const Predicate& pred);
+
+/// Refines an existing selection vector (logical AND), column-at-a-time.
+Result<std::vector<int64_t>> Refine(const Table& table, const Predicate& pred,
+                                    const std::vector<int64_t>& candidates);
+
+/// Applies a conjunction of predicates.
+Result<std::vector<int64_t>> SelectAll(const Table& table,
+                                       const std::vector<Predicate>& preds);
+
+/// Materializes `rows` of `table` into a new table, optionally projecting
+/// to `columns` (all columns when empty).
+Result<Table> Materialize(const Table& table, const std::vector<int64_t>& rows,
+                          const std::vector<std::string>& columns = {});
+
+/// Equi-join on `left_col` = `right_col` (hash join, build on the smaller
+/// side). Output schema: left columns then right columns; a right column
+/// whose name collides gets a "right_" prefix.
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_col,
+                       const std::string& right_col);
+
+/// Row ids of `table` ordered by `column` (descending when `desc`),
+/// truncated to `limit` (no truncation when limit == 0). Ties break by
+/// row id, ascending.
+Result<std::vector<int64_t>> OrderBy(const Table& table,
+                                     const std::string& column, bool desc,
+                                     size_t limit = 0);
+
+/// Aggregate function over a numeric (or, for kCount, any) column.
+enum class AggregateOp { kCount, kSum, kMin, kMax, kAvg };
+
+/// One group of a GroupBy result.
+struct GroupRow {
+  Value key;
+  double aggregate = 0.0;
+  int64_t count = 0;
+};
+
+/// Groups `table` rows by `key_column` and aggregates `value_column`
+/// (ignored and may be empty for kCount). Numeric aggregates require an
+/// int64 or double value column. Groups are returned in ascending key
+/// order.
+Result<std::vector<GroupRow>> GroupBy(const Table& table,
+                                      const std::string& key_column,
+                                      AggregateOp op,
+                                      const std::string& value_column = "");
+
+}  // namespace cobra::storage

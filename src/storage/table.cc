@@ -1,0 +1,185 @@
+#include "storage/table.h"
+
+#include <set>
+
+#include "util/strings.h"
+
+namespace cobra::storage {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+DataType TypeOf(const Value& value) {
+  if (std::holds_alternative<int64_t>(value)) return DataType::kInt64;
+  if (std::holds_alternative<double>(value)) return DataType::kDouble;
+  return DataType::kString;
+}
+
+std::string ValueToString(const Value& value) {
+  if (const auto* i = std::get_if<int64_t>(&value)) {
+    return StringFormat("%lld", static_cast<long long>(*i));
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    return StringFormat("%.6g", *d);
+  }
+  return std::get<std::string>(value);
+}
+
+int CompareValues(const Value& a, const Value& b) {
+  if (const auto* ia = std::get_if<int64_t>(&a)) {
+    int64_t ib = std::get<int64_t>(b);
+    return (*ia < ib) ? -1 : (*ia > ib ? 1 : 0);
+  }
+  if (const auto* da = std::get_if<double>(&a)) {
+    double db = std::get<double>(b);
+    return (*da < db) ? -1 : (*da > db ? 1 : 0);
+  }
+  const std::string& sa = std::get<std::string>(a);
+  const std::string& sb = std::get<std::string>(b);
+  return sa.compare(sb) < 0 ? -1 : (sa == sb ? 0 : 1);
+}
+
+Result<Table> Table::Create(std::vector<ColumnDef> schema) {
+  std::set<std::string> names;
+  for (const ColumnDef& def : schema) {
+    if (def.name.empty()) {
+      return Status::InvalidArgument("column names must be non-empty");
+    }
+    if (!names.insert(def.name).second) {
+      return Status::InvalidArgument(
+          StringFormat("duplicate column '%s'", def.name.c_str()));
+    }
+  }
+  Table t;
+  t.schema_ = std::move(schema);
+  for (const ColumnDef& def : t.schema_) {
+    switch (def.type) {
+      case DataType::kInt64:
+        t.columns_.emplace_back(std::vector<int64_t>{});
+        break;
+      case DataType::kDouble:
+        t.columns_.emplace_back(std::vector<double>{});
+        break;
+      case DataType::kString:
+        t.columns_.emplace_back(std::vector<std::string>{});
+        break;
+    }
+  }
+  return t;
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == name) return i;
+  }
+  return Status::NotFound(StringFormat("no column '%s'", name.c_str()));
+}
+
+Status Table::AppendRow(std::vector<Value> values) {
+  if (values.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        StringFormat("row arity %zu != schema arity %zu", values.size(),
+                     schema_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (TypeOf(values[i]) != schema_[i].type) {
+      return Status::InvalidArgument(StringFormat(
+          "column '%s' expects %s, got %s", schema_[i].name.c_str(),
+          DataTypeToString(schema_[i].type),
+          DataTypeToString(TypeOf(values[i]))));
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    switch (schema_[i].type) {
+      case DataType::kInt64:
+        std::get<std::vector<int64_t>>(columns_[i])
+            .push_back(std::get<int64_t>(values[i]));
+        break;
+      case DataType::kDouble:
+        std::get<std::vector<double>>(columns_[i])
+            .push_back(std::get<double>(values[i]));
+        break;
+      case DataType::kString:
+        std::get<std::vector<std::string>>(columns_[i])
+            .push_back(std::move(std::get<std::string>(values[i])));
+        break;
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+namespace {
+Status CheckCell(const Table& t, int64_t row, size_t col, DataType expected) {
+  if (col >= t.num_columns()) {
+    return Status::OutOfRange(StringFormat("column %zu out of range", col));
+  }
+  if (row < 0 || row >= t.num_rows()) {
+    return Status::OutOfRange(
+        StringFormat("row %lld out of range", static_cast<long long>(row)));
+  }
+  if (t.schema()[col].type != expected) {
+    return Status::InvalidArgument(
+        StringFormat("column '%s' is %s", t.schema()[col].name.c_str(),
+                     DataTypeToString(t.schema()[col].type)));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<int64_t> Table::GetInt(int64_t row, size_t col) const {
+  COBRA_RETURN_NOT_OK(CheckCell(*this, row, col, DataType::kInt64));
+  return std::get<std::vector<int64_t>>(columns_[col])[static_cast<size_t>(row)];
+}
+
+Result<double> Table::GetDouble(int64_t row, size_t col) const {
+  COBRA_RETURN_NOT_OK(CheckCell(*this, row, col, DataType::kDouble));
+  return std::get<std::vector<double>>(columns_[col])[static_cast<size_t>(row)];
+}
+
+Result<std::string> Table::GetString(int64_t row, size_t col) const {
+  COBRA_RETURN_NOT_OK(CheckCell(*this, row, col, DataType::kString));
+  return std::get<std::vector<std::string>>(columns_[col])[static_cast<size_t>(row)];
+}
+
+Result<Value> Table::GetValue(int64_t row, size_t col) const {
+  if (col >= num_columns()) {
+    return Status::OutOfRange(StringFormat("column %zu out of range", col));
+  }
+  switch (schema_[col].type) {
+    case DataType::kInt64: {
+      COBRA_ASSIGN_OR_RETURN(int64_t v, GetInt(row, col));
+      return Value{v};
+    }
+    case DataType::kDouble: {
+      COBRA_ASSIGN_OR_RETURN(double v, GetDouble(row, col));
+      return Value{v};
+    }
+    case DataType::kString: {
+      COBRA_ASSIGN_OR_RETURN(std::string v, GetString(row, col));
+      return Value{std::move(v)};
+    }
+  }
+  return Status::Internal("corrupt schema");
+}
+
+const std::vector<int64_t>& Table::IntColumn(size_t col) const {
+  return std::get<std::vector<int64_t>>(columns_[col]);
+}
+const std::vector<double>& Table::DoubleColumn(size_t col) const {
+  return std::get<std::vector<double>>(columns_[col]);
+}
+const std::vector<std::string>& Table::StringColumn(size_t col) const {
+  return std::get<std::vector<std::string>>(columns_[col]);
+}
+
+}  // namespace cobra::storage

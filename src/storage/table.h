@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file table.h
+/// A small in-process column store: the meta-index backing store.
+///
+/// Ref [1] runs IR inside a main-memory column DBMS (Monet); this module is
+/// the minimal column-at-a-time substrate needed to express the same plan
+/// shapes: typed columns, selection vectors, hash joins, order-by/limit.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cobra::storage {
+
+enum class DataType { kInt64, kDouble, kString };
+
+const char* DataTypeToString(DataType type);
+
+/// A single cell value.
+using Value = std::variant<int64_t, double, std::string>;
+
+DataType TypeOf(const Value& value);
+std::string ValueToString(const Value& value);
+
+/// Total order within a type: -1 / 0 / +1. Comparing across types is a
+/// caller bug (checked by the operators that use it).
+int CompareValues(const Value& a, const Value& b);
+
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+/// An append-only typed table with columnar storage.
+class Table {
+ public:
+  /// Creates an empty table. Column names must be unique and non-empty.
+  static Result<Table> Create(std::vector<ColumnDef> schema);
+
+  const std::vector<ColumnDef>& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return schema_.size(); }
+
+  /// Index of a named column.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Appends one row; values must match the schema arity and types.
+  Status AppendRow(std::vector<Value> values);
+
+  /// Cell accessors. Row/column must be in range; type must match.
+  Result<int64_t> GetInt(int64_t row, size_t col) const;
+  Result<double> GetDouble(int64_t row, size_t col) const;
+  Result<std::string> GetString(int64_t row, size_t col) const;
+  Result<Value> GetValue(int64_t row, size_t col) const;
+
+  /// Raw typed column access for column-at-a-time operators.
+  const std::vector<int64_t>& IntColumn(size_t col) const;
+  const std::vector<double>& DoubleColumn(size_t col) const;
+  const std::vector<std::string>& StringColumn(size_t col) const;
+
+ private:
+  using ColumnData = std::variant<std::vector<int64_t>, std::vector<double>,
+                                  std::vector<std::string>>;
+
+  std::vector<ColumnDef> schema_;
+  std::vector<ColumnData> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace cobra::storage

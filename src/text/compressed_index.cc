@@ -1,0 +1,70 @@
+#include "text/compressed_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace cobra::text {
+
+Result<CompressedInvertedIndex> CompressedInvertedIndex::FromIndex(
+    const InvertedIndex& index) {
+  COBRA_ASSIGN_OR_RETURN(auto snapshots, index.ExportTerms());
+  CompressedInvertedIndex out;
+  for (auto& snapshot : snapshots) {
+    std::vector<DecodedPosting> postings;
+    postings.reserve(snapshot.postings.size());
+    for (const SearchHit& hit : snapshot.postings) {
+      postings.push_back(DecodedPosting{hit.doc_id, hit.score});
+    }
+    COBRA_ASSIGN_OR_RETURN(CompressedPostings compressed,
+                           CompressedPostings::Encode(postings));
+    out.total_postings_ += postings.size();
+    out.terms_.emplace(std::move(snapshot.term),
+                       TermEntry{snapshot.idf, std::move(compressed)});
+  }
+  return out;
+}
+
+size_t CompressedInvertedIndex::PostingsBytes() const {
+  size_t total = 0;
+  for (const auto& [term, entry] : terms_) total += entry.postings.SizeBytes();
+  return total;
+}
+
+size_t CompressedInvertedIndex::UncompressedBytes() const {
+  return total_postings_ * (sizeof(int64_t) + sizeof(double));
+}
+
+Result<std::vector<SearchHit>> CompressedInvertedIndex::Search(
+    const std::string& query, size_t n, SearchStats* stats) const {
+  std::vector<std::string> terms = Analyze(query);
+  if (terms.empty()) {
+    return Status::InvalidArgument("query has no indexable terms");
+  }
+  SearchStats local;
+  std::unordered_map<int64_t, double> acc;
+  for (const std::string& term : terms) {
+    auto it = terms_.find(term);
+    if (it == terms_.end()) continue;
+    ++local.terms_evaluated;
+    CompressedPostings::Cursor cursor(it->second.postings);
+    DecodedPosting posting;
+    while (cursor.Next(&posting)) {
+      acc[posting.doc_id] += it->second.idf * posting.weight;
+      ++local.postings_scanned;
+    }
+  }
+  std::vector<SearchHit> hits;
+  hits.reserve(acc.size());
+  for (const auto& [doc_id, score] : acc) hits.push_back(SearchHit{doc_id, score});
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  if (hits.size() > n) hits.resize(n);
+  if (stats) *stats = local;
+  return hits;
+}
+
+}  // namespace cobra::text

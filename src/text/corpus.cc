@@ -1,0 +1,67 @@
+#include "text/corpus.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace cobra::text {
+
+std::string VocabularyWord(size_t rank) {
+  // Bijective base-k numeration over CV syllables: every rank maps to a
+  // unique syllable string and no stemming collision can merge two ranks
+  // (the stemmer only strips English suffixes; a trailing "zu" guard
+  // syllable keeps generated words outside its patterns).
+  static const char* kSyllables[] = {
+      "ba", "ce", "di", "fo", "gu", "ha", "je", "ki", "lo", "mu",
+      "na", "pe", "qi", "ro", "su", "ta", "ve", "wi", "xo", "zu"};
+  constexpr size_t kBase = 20;
+  std::string word;
+  size_t n = rank;
+  while (n > 0) {
+    size_t digit = (n - 1) % kBase;
+    word = std::string(kSyllables[digit]) + word;
+    n = (n - 1) / kBase;
+  }
+  return word + "zu";
+}
+
+Result<SyntheticCorpus> SyntheticCorpus::Generate(const CorpusConfig& config) {
+  if (config.num_docs == 0 || config.vocabulary_size == 0) {
+    return Status::InvalidArgument("corpus dimensions must be positive");
+  }
+  if (config.min_words > config.max_words || config.min_words == 0) {
+    return Status::InvalidArgument("invalid document length range");
+  }
+  SyntheticCorpus corpus;
+  corpus.config_ = config;
+  Rng rng(config.seed);
+  ZipfSampler zipf(config.vocabulary_size, config.zipf_s);
+  corpus.documents_.reserve(config.num_docs);
+  for (size_t d = 0; d < config.num_docs; ++d) {
+    size_t len = static_cast<size_t>(rng.NextInt(
+        static_cast<int64_t>(config.min_words),
+        static_cast<int64_t>(config.max_words)));
+    std::string doc;
+    for (size_t w = 0; w < len; ++w) {
+      if (w) doc += ' ';
+      doc += VocabularyWord(zipf.Sample(&rng));
+    }
+    corpus.documents_.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+std::string SyntheticCorpus::MakeQuery(int num_terms, uint64_t salt) const {
+  // Mid-frequency band: ranks in [vocab/50, vocab/5].
+  const size_t lo = std::max<size_t>(1, config_.vocabulary_size / 50);
+  const size_t hi = std::max<size_t>(lo + 1, config_.vocabulary_size / 5);
+  std::string query;
+  for (int t = 0; t < num_terms; ++t) {
+    size_t rank = lo + MixHash(salt ^ static_cast<uint64_t>(t)) % (hi - lo);
+    if (t) query += ' ';
+    query += VocabularyWord(rank);
+  }
+  return query;
+}
+
+}  // namespace cobra::text

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file corpus.h
+/// Synthetic text corpus with Zipf-distributed vocabulary — the document
+/// collection for the full-text scalability experiments (E6) and the raw
+/// material for the generated tournament web site (interviews, match
+/// reports).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cobra::text {
+
+struct CorpusConfig {
+  size_t num_docs = 1000;
+  size_t vocabulary_size = 5000;
+  double zipf_s = 1.1;       ///< term-frequency skew
+  size_t min_words = 40;
+  size_t max_words = 160;
+  uint64_t seed = 1234;
+};
+
+/// Deterministic pronounceable word for a vocabulary rank (1-based):
+/// bijective CV-syllable encoding, so distinct ranks give distinct words.
+std::string VocabularyWord(size_t rank);
+
+/// A generated collection of documents.
+class SyntheticCorpus {
+ public:
+  /// Generates `config.num_docs` documents of Zipf-sampled words.
+  static Result<SyntheticCorpus> Generate(const CorpusConfig& config);
+
+  size_t size() const { return documents_.size(); }
+  const std::string& document(size_t i) const { return documents_[i]; }
+  const std::vector<std::string>& documents() const { return documents_; }
+
+  /// A deterministic query of `num_terms` mid-frequency vocabulary words
+  /// (frequent enough to have long postings, rare enough to discriminate).
+  std::string MakeQuery(int num_terms, uint64_t salt) const;
+
+  const CorpusConfig& config() const { return config_; }
+
+ private:
+  CorpusConfig config_;
+  std::vector<std::string> documents_;
+};
+
+}  // namespace cobra::text

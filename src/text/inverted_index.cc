@@ -1,0 +1,220 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+#include "util/strings.h"
+
+namespace cobra::text {
+
+namespace {
+
+/// Sorts hits by score descending, doc id ascending (deterministic ties).
+void SortHits(std::vector<SearchHit>* hits) {
+  std::sort(hits->begin(), hits->end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc_id < b.doc_id;
+            });
+}
+
+}  // namespace
+
+Status InvertedIndex::AddDocument(int64_t doc_id,
+                                  const std::vector<std::string>& tokens) {
+  if (finalized_) {
+    return Status::FailedPrecondition("index is finalized");
+  }
+  if (doc_id < 0) {
+    return Status::InvalidArgument("doc ids must be non-negative");
+  }
+  if (doc_norm_.count(doc_id)) {
+    return Status::AlreadyExists(
+        StringFormat("doc %lld already indexed", static_cast<long long>(doc_id)));
+  }
+  std::unordered_map<std::string, int64_t> tf;
+  for (const std::string& token : tokens) tf[token]++;
+  // Stash raw tf in `weight`; Finalize() converts to normalized weights.
+  for (const auto& [term, count] : tf) {
+    postings_[term].postings.push_back(
+        Posting{doc_id, static_cast<double>(count)});
+  }
+  doc_norm_[doc_id] =
+      tokens.empty() ? 1.0 : 1.0 / std::sqrt(static_cast<double>(tokens.size()));
+  return Status::OK();
+}
+
+Status InvertedIndex::AddText(int64_t doc_id, const std::string& text) {
+  return AddDocument(doc_id, Analyze(text));
+}
+
+Status InvertedIndex::Finalize() {
+  if (finalized_) return Status::FailedPrecondition("already finalized");
+  const double num_docs = static_cast<double>(doc_norm_.size());
+  for (auto& [term, info] : postings_) {
+    info.idf =
+        std::log(1.0 + num_docs / static_cast<double>(info.postings.size()));
+    info.max_weight = 0.0;
+    for (Posting& p : info.postings) {
+      // Log-scaled tf, length-normalized.
+      p.weight = (1.0 + std::log(p.weight)) * doc_norm_[p.doc_id];
+      info.max_weight = std::max(info.max_weight, p.weight);
+    }
+    // Postings sorted by doc id: scans are cache-friendly and results
+    // deterministic.
+    std::sort(info.postings.begin(), info.postings.end(),
+              [](const Posting& a, const Posting& b) {
+                return a.doc_id < b.doc_id;
+              });
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+int64_t InvertedIndex::TotalPostings() const {
+  int64_t n = 0;
+  for (const auto& [term, info] : postings_) {
+    n += static_cast<int64_t>(info.postings.size());
+  }
+  return n;
+}
+
+int64_t InvertedIndex::DocumentFrequency(const std::string& term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end()
+             ? 0
+             : static_cast<int64_t>(it->second.postings.size());
+}
+
+Result<std::vector<InvertedIndex::TermSnapshot>> InvertedIndex::ExportTerms()
+    const {
+  if (!finalized_) {
+    return Status::FailedPrecondition("index is not finalized");
+  }
+  std::vector<TermSnapshot> out;
+  out.reserve(postings_.size());
+  for (const auto& [term, info] : postings_) {
+    TermSnapshot snapshot;
+    snapshot.term = term;
+    snapshot.idf = info.idf;
+    snapshot.postings.reserve(info.postings.size());
+    for (const Posting& p : info.postings) {
+      snapshot.postings.push_back(SearchHit{p.doc_id, p.weight});
+    }
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> InvertedIndex::AnalyzeQuery(
+    const std::string& query) const {
+  if (!finalized_) {
+    return Status::FailedPrecondition("index is not finalized");
+  }
+  std::vector<std::string> terms = Analyze(query);
+  if (terms.empty()) {
+    return Status::InvalidArgument("query has no indexable terms");
+  }
+  return terms;
+}
+
+Result<std::vector<SearchHit>> InvertedIndex::SearchExhaustive(
+    const std::string& query, size_t n, SearchStats* stats) const {
+  COBRA_ASSIGN_OR_RETURN(std::vector<std::string> terms, AnalyzeQuery(query));
+  SearchStats local;
+  std::unordered_map<int64_t, double> acc;
+  for (const std::string& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    ++local.terms_evaluated;
+    for (const Posting& p : it->second.postings) {
+      acc[p.doc_id] += it->second.idf * p.weight;
+      ++local.postings_scanned;
+    }
+  }
+  std::vector<SearchHit> hits;
+  hits.reserve(acc.size());
+  for (const auto& [doc_id, score] : acc) hits.push_back(SearchHit{doc_id, score});
+  SortHits(&hits);
+  if (hits.size() > n) hits.resize(n);
+  if (stats) *stats = local;
+  return hits;
+}
+
+Result<std::vector<SearchHit>> InvertedIndex::SearchTopN(
+    const std::string& query, size_t n, SearchStats* stats) const {
+  COBRA_ASSIGN_OR_RETURN(std::vector<std::string> terms, AnalyzeQuery(query));
+  if (n == 0) return std::vector<SearchHit>{};
+  SearchStats local;
+
+  // Deduplicate query terms into (term info, query tf), then order by
+  // maximum possible score contribution, highest first.
+  struct QueryTerm {
+    const TermInfo* info;
+    double qtf;
+    double max_contribution;
+  };
+  std::map<std::string, double> qtf;
+  for (const std::string& term : terms) qtf[term] += 1.0;
+  std::vector<QueryTerm> query_terms;
+  for (const auto& [term, count] : qtf) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    query_terms.push_back(QueryTerm{
+        &it->second, count, count * it->second.idf * it->second.max_weight});
+  }
+  std::sort(query_terms.begin(), query_terms.end(),
+            [](const QueryTerm& a, const QueryTerm& b) {
+              return a.max_contribution > b.max_contribution;
+            });
+
+  std::unordered_map<int64_t, double> acc;
+  bool restricted = false;  // true once new docs can no longer reach top N
+  for (size_t i = 0; i < query_terms.size(); ++i) {
+    const QueryTerm& qt = query_terms[i];
+    ++local.terms_evaluated;
+    for (const Posting& p : qt.info->postings) {
+      if (restricted) {
+        auto it = acc.find(p.doc_id);
+        if (it == acc.end()) continue;  // semijoin against candidate set
+        it->second += qt.qtf * qt.info->idf * p.weight;
+      } else {
+        acc[p.doc_id] += qt.qtf * qt.info->idf * p.weight;
+      }
+      ++local.postings_scanned;
+    }
+    if (!restricted && acc.size() >= n) {
+      // Maximum score any document outside the candidate set could still
+      // collect from the remaining terms.
+      double remaining_max = 0.0;
+      for (size_t j = i + 1; j < query_terms.size(); ++j) {
+        remaining_max += query_terms[j].max_contribution;
+      }
+      // N-th best current partial score.
+      std::vector<double> scores;
+      scores.reserve(acc.size());
+      for (const auto& [doc, score] : acc) scores.push_back(score);
+      std::nth_element(scores.begin(), scores.begin() + (n - 1), scores.end(),
+                       std::greater<double>());
+      double nth = scores[n - 1];
+      if (nth >= remaining_max) {
+        // Candidates keep accumulating (their final scores must be exact),
+        // but no new document can enter the top N anymore.
+        restricted = true;
+        local.early_terminated = true;
+      }
+    }
+  }
+
+  std::vector<SearchHit> hits;
+  hits.reserve(acc.size());
+  for (const auto& [doc_id, score] : acc) hits.push_back(SearchHit{doc_id, score});
+  SortHits(&hits);
+  if (hits.size() > n) hits.resize(n);
+  if (stats) *stats = local;
+  return hits;
+}
+
+}  // namespace cobra::text

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file inverted_index.h
+/// In-memory inverted index with tf-idf ranking and the top-N query
+/// optimization of ref [1] (Blok et al., "IR top-N optimization in a main
+/// memory DBMS"): terms are evaluated in decreasing-impact order and
+/// evaluation stops as soon as the remaining terms cannot lift any document
+/// into the top N. The exhaustive evaluator is kept as the baseline the
+/// paper compares against.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cobra::text {
+
+/// One ranked search result.
+struct SearchHit {
+  int64_t doc_id = 0;
+  double score = 0.0;
+};
+
+/// Work counters used by the E6 benchmark to show *why* top-N wins.
+struct SearchStats {
+  int64_t terms_evaluated = 0;
+  int64_t postings_scanned = 0;
+  bool early_terminated = false;
+};
+
+/// Document-frequency postings index over analyzed token streams.
+///
+/// Usage: AddDocument() repeatedly, Finalize() once, then Search*().
+class InvertedIndex {
+ public:
+  /// Adds a document's analyzed tokens. Doc ids must be unique and
+  /// non-negative. Fails after Finalize().
+  Status AddDocument(int64_t doc_id, const std::vector<std::string>& tokens);
+
+  /// Convenience: analyzes raw text (tokenize + stop + stem) and adds it.
+  Status AddText(int64_t doc_id, const std::string& text);
+
+  /// Freezes the index: computes idf weights, document norms, and the
+  /// per-term maximum score contribution used for pruning.
+  Status Finalize();
+
+  bool finalized() const { return finalized_; }
+  int64_t num_documents() const { return static_cast<int64_t>(doc_norm_.size()); }
+  int64_t num_terms() const { return static_cast<int64_t>(postings_.size()); }
+  int64_t TotalPostings() const;
+
+  /// Documents containing `term` (post-analysis form), for diagnostics.
+  int64_t DocumentFrequency(const std::string& term) const;
+
+  /// Baseline: scores every document containing any query term, then sorts.
+  /// Query text is analyzed with the same chain as documents.
+  Result<std::vector<SearchHit>> SearchExhaustive(const std::string& query,
+                                                  size_t n,
+                                                  SearchStats* stats = nullptr) const;
+
+  /// Snapshot of one term's postings for export (doc ids ascending;
+  /// SearchHit.score carries the normalized tf weight, idf excluded).
+  struct TermSnapshot {
+    std::string term;
+    double idf = 0.0;
+    std::vector<SearchHit> postings;
+  };
+
+  /// Exports every term (requires a finalized index). Used by the
+  /// compressed index builder and by diagnostics.
+  Result<std::vector<TermSnapshot>> ExportTerms() const;
+
+  /// Top-N optimized evaluation: terms in decreasing max-contribution
+  /// order; stops when the best still-unseen contribution cannot beat the
+  /// current N-th score. Returns the same ranking as SearchExhaustive for
+  /// the returned prefix.
+  Result<std::vector<SearchHit>> SearchTopN(const std::string& query, size_t n,
+                                            SearchStats* stats = nullptr) const;
+
+ private:
+  struct Posting {
+    int64_t doc_id;
+    double weight;  ///< normalized tf weight; final score adds idf * weight
+  };
+  struct TermInfo {
+    std::vector<Posting> postings;
+    double idf = 0.0;
+    double max_weight = 0.0;  ///< max normalized tf among postings
+  };
+
+  Result<std::vector<std::string>> AnalyzeQuery(const std::string& query) const;
+
+  std::map<std::string, TermInfo> postings_;
+  std::map<int64_t, double> doc_norm_;  ///< doc id -> 1/sqrt(len)
+  bool finalized_ = false;
+};
+
+}  // namespace cobra::text

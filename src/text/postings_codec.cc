@@ -1,0 +1,84 @@
+#include "text/postings_codec.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace cobra::text {
+
+namespace {
+
+constexpr double kWeightScale = 1024.0;
+
+void PutVarint(uint64_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+bool GetVarint(const std::vector<uint8_t>& in, size_t* pos, uint64_t* value) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < in.size() && shift <= 63) {
+    uint8_t byte = in[(*pos)++];
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) {
+      *value = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<CompressedPostings> CompressedPostings::Encode(
+    const std::vector<DecodedPosting>& postings) {
+  CompressedPostings out;
+  int64_t last = -1;
+  for (const DecodedPosting& p : postings) {
+    if (p.doc_id <= last) {
+      return Status::InvalidArgument(
+          "postings must have strictly increasing doc ids");
+    }
+    if (p.weight < 0) {
+      return Status::InvalidArgument("weights must be non-negative");
+    }
+    uint64_t delta = static_cast<uint64_t>(p.doc_id - last);
+    PutVarint(delta, &out.bytes_);
+    PutVarint(static_cast<uint64_t>(std::llround(p.weight * kWeightScale)),
+              &out.bytes_);
+    last = p.doc_id;
+  }
+  out.count_ = postings.size();
+  return out;
+}
+
+std::vector<DecodedPosting> CompressedPostings::Decode() const {
+  std::vector<DecodedPosting> out;
+  out.reserve(count_);
+  Cursor cursor(*this);
+  DecodedPosting posting;
+  while (cursor.Next(&posting)) out.push_back(posting);
+  return out;
+}
+
+bool CompressedPostings::Cursor::Next(DecodedPosting* out) {
+  // Mirrors the encoder's `last = -1` origin so doc id 0 round-trips.
+  if (remaining_ == 0) return false;
+  uint64_t delta, weight;
+  if (!GetVarint(*bytes_, &pos_, &delta) || !GetVarint(*bytes_, &pos_, &weight)) {
+    remaining_ = 0;
+    return false;
+  }
+  last_doc_ += static_cast<int64_t>(delta);
+  out->doc_id = last_doc_;
+  out->weight = static_cast<double>(weight) / kWeightScale;
+  --remaining_;
+  return true;
+}
+
+}  // namespace cobra::text

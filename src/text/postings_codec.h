@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file postings_codec.h
+/// Compressed postings lists: delta-encoded doc ids (varbyte) plus
+/// fixed-point tf weights. Ref [1] runs IR inside a main-memory DBMS where
+/// postings size directly bounds the collections that fit; E10 measures the
+/// size/latency trade-off against the uncompressed index.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cobra::text {
+
+/// One decoded posting.
+struct DecodedPosting {
+  int64_t doc_id = 0;
+  double weight = 0.0;
+};
+
+/// Compressed, immutable postings list.
+///
+/// Layout: per posting, varbyte(doc id delta) then varbyte(weight scaled to
+/// 1/1024 fixed point). Doc ids must be strictly increasing.
+class CompressedPostings {
+ public:
+  /// Encodes postings (must be sorted by strictly increasing doc_id,
+  /// weights non-negative).
+  static Result<CompressedPostings> Encode(
+      const std::vector<DecodedPosting>& postings);
+
+  size_t SizeBytes() const { return bytes_.size(); }
+  size_t count() const { return count_; }
+
+  /// Decodes the full list.
+  std::vector<DecodedPosting> Decode() const;
+
+  /// Streaming cursor over the compressed bytes (no materialization).
+  class Cursor {
+   public:
+    explicit Cursor(const CompressedPostings& postings)
+        : bytes_(&postings.bytes_), remaining_(postings.count_) {}
+
+    bool Next(DecodedPosting* out);
+
+   private:
+    const std::vector<uint8_t>* bytes_;
+    size_t pos_ = 0;
+    size_t remaining_;
+    int64_t last_doc_ = -1;  ///< matches the encoder's delta origin
+  };
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t count_ = 0;
+};
+
+}  // namespace cobra::text

@@ -1,0 +1,69 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <set>
+
+namespace cobra::text {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      if (current.size() >= 2) out.push_back(current);
+      current.clear();
+    }
+  }
+  if (current.size() >= 2) out.push_back(current);
+  return out;
+}
+
+bool IsStopWord(std::string_view token) {
+  static const std::set<std::string, std::less<>> kStopWords = {
+      "the", "of",   "and",  "to",   "in",   "is",   "it",  "that", "was",
+      "for", "on",   "are",  "as",   "with", "at",   "be",  "by",   "this",
+      "had", "not",  "but",  "from", "or",   "have", "an",  "they", "which",
+      "she", "he",   "we",   "his",  "her",  "you",  "were", "been", "has",
+      "their", "its", "will", "would", "there", "what", "all", "when"};
+  return kStopWords.count(token) > 0;
+}
+
+std::string Stem(std::string_view token) {
+  std::string t(token);
+  auto ends = [&](std::string_view suffix) {
+    return t.size() > suffix.size() + 2 &&
+           t.compare(t.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  if (ends("sses")) {
+    t.resize(t.size() - 2);  // sses -> ss
+  } else if (ends("ies")) {
+    t.resize(t.size() - 3);
+    t += 'y';  // ies -> y
+  } else if (ends("ing")) {
+    t.resize(t.size() - 3);
+  } else if (ends("edly")) {
+    t.resize(t.size() - 4);
+  } else if (ends("ed")) {
+    t.resize(t.size() - 2);
+  } else if (ends("ly")) {
+    t.resize(t.size() - 2);
+  } else if (ends("es")) {
+    t.resize(t.size() - 2);
+  } else if (t.size() > 3 && t.back() == 's' && t[t.size() - 2] != 's') {
+    t.pop_back();
+  }
+  return t;
+}
+
+std::vector<std::string> Analyze(std::string_view text) {
+  std::vector<std::string> out;
+  for (std::string& token : Tokenize(text)) {
+    if (IsStopWord(token)) continue;
+    out.push_back(Stem(token));
+  }
+  return out;
+}
+
+}  // namespace cobra::text

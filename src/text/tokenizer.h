@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file tokenizer.h
+/// Text analysis for the full-text component (ref [1]): tokenization,
+/// stop-word removal and a light suffix stemmer.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cobra::text {
+
+/// Splits `text` into lowercase alphanumeric tokens. Punctuation and other
+/// separators are dropped; tokens shorter than 2 characters are dropped.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// True for the ~40 highest-frequency English function words.
+bool IsStopWord(std::string_view token);
+
+/// Light suffix stemmer (Porter step-1 flavor): strips plural and common
+/// verbal suffixes. Idempotent on its own output for the suffixes handled.
+std::string Stem(std::string_view token);
+
+/// Full analysis chain: tokenize, drop stop words, stem.
+std::vector<std::string> Analyze(std::string_view text);
+
+}  // namespace cobra::text

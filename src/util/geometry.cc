@@ -1,0 +1,72 @@
+#include "util/geometry.h"
+
+#include <cstdio>
+
+namespace cobra {
+
+std::string RectI::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%d,%d %dx%d]", x, y, width, height);
+  return buf;
+}
+
+std::string FrameInterval::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "[%lld..%lld]", static_cast<long long>(begin),
+                static_cast<long long>(end));
+  return buf;
+}
+
+AllenRelation ClassifyAllen(const FrameInterval& a, const FrameInterval& b) {
+  // Discrete (inclusive) intervals: "meets" means exactly adjacent.
+  if (a.begin == b.begin && a.end == b.end) return AllenRelation::kEquals;
+  if (a.end + 1 < b.begin) return AllenRelation::kBefore;
+  if (a.end + 1 == b.begin) return AllenRelation::kMeets;
+  if (b.end + 1 == a.begin) return AllenRelation::kMetBy;
+  if (b.end + 1 < a.begin) return AllenRelation::kAfter;
+  if (a.begin == b.begin) {
+    return a.end < b.end ? AllenRelation::kStarts : AllenRelation::kStartedBy;
+  }
+  if (a.end == b.end) {
+    return a.begin > b.begin ? AllenRelation::kFinishes
+                             : AllenRelation::kFinishedBy;
+  }
+  if (a.begin > b.begin && a.end < b.end) return AllenRelation::kDuring;
+  if (a.begin < b.begin && a.end > b.end) return AllenRelation::kContains;
+  return a.begin < b.begin ? AllenRelation::kOverlaps
+                           : AllenRelation::kOverlappedBy;
+}
+
+const char* AllenRelationToString(AllenRelation rel) {
+  switch (rel) {
+    case AllenRelation::kBefore:
+      return "before";
+    case AllenRelation::kAfter:
+      return "after";
+    case AllenRelation::kMeets:
+      return "meets";
+    case AllenRelation::kMetBy:
+      return "met-by";
+    case AllenRelation::kOverlaps:
+      return "overlaps";
+    case AllenRelation::kOverlappedBy:
+      return "overlapped-by";
+    case AllenRelation::kStarts:
+      return "starts";
+    case AllenRelation::kStartedBy:
+      return "started-by";
+    case AllenRelation::kDuring:
+      return "during";
+    case AllenRelation::kContains:
+      return "contains";
+    case AllenRelation::kFinishes:
+      return "finishes";
+    case AllenRelation::kFinishedBy:
+      return "finished-by";
+    case AllenRelation::kEquals:
+      return "equals";
+  }
+  return "unknown";
+}
+
+}  // namespace cobra

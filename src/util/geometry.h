@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file geometry.h
+/// Small geometric value types shared by the vision and detector layers.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace cobra {
+
+/// 2-D point with double coordinates (image space: x right, y down).
+struct PointD {
+  double x = 0.0;
+  double y = 0.0;
+
+  PointD() = default;
+  PointD(double px, double py) : x(px), y(py) {}
+
+  PointD operator+(const PointD& o) const { return {x + o.x, y + o.y}; }
+  PointD operator-(const PointD& o) const { return {x - o.x, y - o.y}; }
+  PointD operator*(double s) const { return {x * s, y * s}; }
+
+  double Norm() const { return std::sqrt(x * x + y * y); }
+
+  double DistanceTo(const PointD& o) const { return (*this - o).Norm(); }
+
+  bool operator==(const PointD& o) const { return x == o.x && y == o.y; }
+};
+
+/// Axis-aligned integer rectangle: [x, x+width) x [y, y+height).
+struct RectI {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+
+  RectI() = default;
+  RectI(int px, int py, int w, int h) : x(px), y(py), width(w), height(h) {}
+
+  bool Empty() const { return width <= 0 || height <= 0; }
+  int64_t Area() const { return Empty() ? 0 : int64_t{width} * height; }
+  int Right() const { return x + width; }    ///< one past the last column
+  int Bottom() const { return y + height; }  ///< one past the last row
+
+  PointD Center() const { return {x + width / 2.0, y + height / 2.0}; }
+
+  bool Contains(int px, int py) const {
+    return px >= x && px < Right() && py >= y && py < Bottom();
+  }
+
+  RectI Intersect(const RectI& o) const {
+    int nx = std::max(x, o.x);
+    int ny = std::max(y, o.y);
+    int nr = std::min(Right(), o.Right());
+    int nb = std::min(Bottom(), o.Bottom());
+    if (nr <= nx || nb <= ny) return RectI{};
+    return RectI{nx, ny, nr - nx, nb - ny};
+  }
+
+  RectI Union(const RectI& o) const {
+    if (Empty()) return o;
+    if (o.Empty()) return *this;
+    int nx = std::min(x, o.x);
+    int ny = std::min(y, o.y);
+    int nr = std::max(Right(), o.Right());
+    int nb = std::max(Bottom(), o.Bottom());
+    return RectI{nx, ny, nr - nx, nb - ny};
+  }
+
+  /// Intersection-over-union; 0 for disjoint or empty rectangles.
+  double Iou(const RectI& o) const {
+    int64_t inter = Intersect(o).Area();
+    int64_t uni = Area() + o.Area() - inter;
+    return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni) : 0.0;
+  }
+
+  /// Clips this rectangle against [0,w) x [0,h).
+  RectI ClipTo(int w, int h) const { return Intersect(RectI{0, 0, w, h}); }
+
+  bool operator==(const RectI& o) const {
+    return x == o.x && y == o.y && width == o.width && height == o.height;
+  }
+
+  std::string ToString() const;
+};
+
+/// Closed temporal interval of frame indices [begin, end] (both inclusive),
+/// the unit of the COBRA event layer.
+struct FrameInterval {
+  int64_t begin = 0;
+  int64_t end = -1;  ///< end < begin encodes an empty interval
+
+  FrameInterval() = default;
+  FrameInterval(int64_t b, int64_t e) : begin(b), end(e) {}
+
+  bool Empty() const { return end < begin; }
+  int64_t Length() const { return Empty() ? 0 : end - begin + 1; }
+
+  bool Contains(int64_t frame) const { return frame >= begin && frame <= end; }
+
+  bool Overlaps(const FrameInterval& o) const {
+    return !Empty() && !o.Empty() && begin <= o.end && o.begin <= end;
+  }
+
+  FrameInterval Intersect(const FrameInterval& o) const {
+    FrameInterval r{std::max(begin, o.begin), std::min(end, o.end)};
+    return r;
+  }
+
+  bool operator==(const FrameInterval& o) const {
+    return begin == o.begin && end == o.end;
+  }
+
+  std::string ToString() const;
+};
+
+/// Allen's thirteen interval relations, used by the COBRA event grammar
+/// rules for temporal reasoning over detected intervals.
+enum class AllenRelation {
+  kBefore,
+  kAfter,
+  kMeets,
+  kMetBy,
+  kOverlaps,
+  kOverlappedBy,
+  kStarts,
+  kStartedBy,
+  kDuring,
+  kContains,
+  kFinishes,
+  kFinishedBy,
+  kEquals,
+};
+
+/// Computes the Allen relation of `a` with respect to `b`.
+/// Requires both intervals non-empty.
+AllenRelation ClassifyAllen(const FrameInterval& a, const FrameInterval& b);
+
+/// Name of an Allen relation ("before", "meets", ...).
+const char* AllenRelationToString(AllenRelation rel);
+
+}  // namespace cobra

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file logging.h
+/// Tiny leveled logger. Detectors and the FDE log their progress at kDebug;
+/// the benchmark harness raises the level to keep output clean.
+
+#include <sstream>
+#include <string>
+
+namespace cobra {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define COBRA_LOG(level)                                            \
+  ::cobra::internal::LogMessage(::cobra::LogLevel::level, __FILE__, \
+                                __LINE__)
+
+}  // namespace cobra

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic components of the library (synthetic video, corpus
+/// generation, HMM sampling) draw from `Rng` so that every experiment is
+/// reproducible from a single seed.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cobra {
+
+/// Deterministic 64-bit PRNG (xoshiro256**).
+///
+/// Not cryptographically secure; chosen for speed and reproducibility across
+/// platforms (unlike std::mt19937 distributions, whose outputs are not
+/// standardized for all of <random>).
+class Rng {
+ public:
+  /// Seeds the generator via splitmix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0xC0B2A5EEDULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound). Requires bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal deviate (Marsaglia polar method).
+  double NextGaussian();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Samples an index according to non-negative `weights` (need not sum
+  /// to 1). Returns weights.size()-1 if all weights are zero.
+  size_t NextCategorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// SplitMix64 finalizer: a fast stateless 64-bit mixing hash. Used where a
+/// deterministic pseudo-random value must be a pure function of its inputs
+/// (e.g. per-block colors in the audience-shot renderer).
+inline uint64_t MixHash(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Samples from a Zipf(s) distribution over {1..n} by inverse-CDF table.
+/// Used by the text corpus generator to get realistic term frequencies.
+class ZipfSampler {
+ public:
+  /// \param n number of ranks
+  /// \param s skew exponent (s=1 is classic Zipf)
+  ZipfSampler(size_t n, double s);
+
+  /// Returns a rank in [1, n].
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace cobra

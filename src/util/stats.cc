@@ -1,0 +1,118 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cobra {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return count_ >= 2 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string PrecisionRecall::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "P=%.3f R=%.3f F1=%.3f (tp=%lld fp=%lld fn=%lld)",
+                Precision(), Recall(), F1(),
+                static_cast<long long>(true_positives),
+                static_cast<long long>(false_positives),
+                static_cast<long long>(false_negatives));
+  return buf;
+}
+
+int64_t ConfusionMatrix::Total() const {
+  int64_t t = 0;
+  for (int64_t c : cells_) t += c;
+  return t;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  int64_t total = Total();
+  if (total == 0) return 0.0;
+  int64_t diag = 0;
+  for (size_t i = 0; i < n_; ++i) diag += At(i, i);
+  return static_cast<double>(diag) / static_cast<double>(total);
+}
+
+double ConfusionMatrix::ClassPrecision(size_t cls) const {
+  int64_t col = 0;
+  for (size_t t = 0; t < n_; ++t) col += At(t, cls);
+  return col ? static_cast<double>(At(cls, cls)) / static_cast<double>(col) : 0.0;
+}
+
+double ConfusionMatrix::ClassRecall(size_t cls) const {
+  int64_t row = 0;
+  for (size_t p = 0; p < n_; ++p) row += At(cls, p);
+  return row ? static_cast<double>(At(cls, cls)) / static_cast<double>(row) : 0.0;
+}
+
+std::string ConfusionMatrix::ToString(
+    const std::vector<std::string>& class_names) const {
+  std::string out = "truth \\ predicted";
+  for (const auto& name : class_names) {
+    out += "\t";
+    out += name;
+  }
+  out += "\n";
+  for (size_t t = 0; t < n_; ++t) {
+    out += class_names[t];
+    for (size_t p = 0; p < n_; ++p) {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "\t%lld", static_cast<long long>(At(t, p)));
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+PrecisionRecall MatchWithTolerance(const std::vector<int64_t>& truth,
+                                   const std::vector<int64_t>& detected,
+                                   int64_t tolerance) {
+  std::vector<int64_t> t = truth, d = detected;
+  std::sort(t.begin(), t.end());
+  std::sort(d.begin(), d.end());
+  std::vector<bool> truth_used(t.size(), false);
+  PrecisionRecall pr;
+  for (int64_t det : d) {
+    // Find the closest unused truth position within tolerance.
+    int64_t best_dist = tolerance + 1;
+    size_t best_idx = t.size();
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (truth_used[i]) continue;
+      int64_t dist = std::llabs(t[i] - det);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_idx = i;
+      }
+    }
+    if (best_idx < t.size()) {
+      truth_used[best_idx] = true;
+      pr.true_positives++;
+    } else {
+      pr.false_positives++;
+    }
+  }
+  for (bool used : truth_used) {
+    if (!used) pr.false_negatives++;
+  }
+  return pr;
+}
+
+}  // namespace cobra

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file stats.h
+/// Summary statistics and classifier evaluation helpers used throughout the
+/// test suite and the benchmark harness.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cobra {
+
+/// Streaming mean / variance / min / max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Binary detection quality: precision / recall / F1 from TP, FP, FN counts.
+struct PrecisionRecall {
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t false_negatives = 0;
+
+  double Precision() const {
+    int64_t denom = true_positives + false_positives;
+    return denom ? static_cast<double>(true_positives) / denom : 0.0;
+  }
+  double Recall() const {
+    int64_t denom = true_positives + false_negatives;
+    return denom ? static_cast<double>(true_positives) / denom : 0.0;
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return (p + r) > 0 ? 2 * p * r / (p + r) : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Square confusion matrix over `num_classes` labels.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(size_t num_classes)
+      : n_(num_classes), cells_(num_classes * num_classes, 0) {}
+
+  void Add(size_t truth, size_t predicted) { cells_[truth * n_ + predicted]++; }
+
+  int64_t At(size_t truth, size_t predicted) const {
+    return cells_[truth * n_ + predicted];
+  }
+
+  size_t num_classes() const { return n_; }
+  int64_t Total() const;
+
+  /// Fraction of diagonal mass.
+  double Accuracy() const;
+  /// Precision for one class (column-wise).
+  double ClassPrecision(size_t cls) const;
+  /// Recall for one class (row-wise).
+  double ClassRecall(size_t cls) const;
+
+  /// Multi-line table with the given class names (size must equal
+  /// num_classes()).
+  std::string ToString(const std::vector<std::string>& class_names) const;
+
+ private:
+  size_t n_;
+  std::vector<int64_t> cells_;
+};
+
+/// Matches detected positions against ground-truth positions with a
+/// tolerance (in the same units), greedily, each truth matched at most once.
+/// Used for shot boundary scoring (positions are frame indices).
+PrecisionRecall MatchWithTolerance(const std::vector<int64_t>& truth,
+                                   const std::vector<int64_t>& detected,
+                                   int64_t tolerance);
+
+}  // namespace cobra

@@ -1,0 +1,177 @@
+#pragma once
+
+/// \file status.h
+/// Error handling primitives for the COBRA library.
+///
+/// Public APIs do not throw; fallible operations return `Status` (no value)
+/// or `Result<T>` (value or error), following the Arrow/RocksDB style.
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cobra {
+
+/// Machine-readable error category carried by `Status`.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kParseError = 8,
+  kDetectorError = 9,
+};
+
+/// Human-readable name for a `StatusCode` ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation that produces no value.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. `Status` is cheap to move and to test for success.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(message)})) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DetectorError(std::string msg) {
+    return Status(StatusCode::kDetectorError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;  // nullptr means OK
+};
+
+/// Value-or-error return type.
+///
+/// `Result<T>` holds either a `T` or a non-OK `Status`. Accessing the value
+/// of an errored result is a programming error (checked by assert in debug
+/// builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(payload_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; `Status::OK()` when the result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  /// The contained value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// Moves the value out. Requires `ok()`.
+  T TakeValue() {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK `Status` to the caller.
+#define COBRA_RETURN_NOT_OK(expr)                  \
+  do {                                             \
+    ::cobra::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#define COBRA_CONCAT_IMPL(a, b) a##b
+#define COBRA_CONCAT(a, b) COBRA_CONCAT_IMPL(a, b)
+
+/// Unwraps a `Result<T>` into `lhs`, propagating errors to the caller.
+#define COBRA_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto COBRA_CONCAT(_res_, __LINE__) = (rexpr);                   \
+  if (!COBRA_CONCAT(_res_, __LINE__).ok())                        \
+    return COBRA_CONCAT(_res_, __LINE__).status();                \
+  lhs = std::move(COBRA_CONCAT(_res_, __LINE__)).TakeValue()
+
+}  // namespace cobra

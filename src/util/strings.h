@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file strings.h
+/// Minimal string helpers shared by the grammar parser, tokenizer and the
+/// query language front-end.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cobra {
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; no empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace cobra

@@ -1,0 +1,66 @@
+#include "vision/color_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cobra::vision {
+
+namespace {
+// Variance floor (squared): sensor noise keeps channels from ever being
+// truly constant; without the floor a zero-variance model rejects all pixels.
+constexpr double kMinVariance = 16.0;
+}  // namespace
+
+void GaussianColorModel::Add(const media::Rgb& p) {
+  ++count_;
+  const double ch[3] = {static_cast<double>(p.r), static_cast<double>(p.g),
+                        static_cast<double>(p.b)};
+  for (int i = 0; i < 3; ++i) {
+    sum_[i] += ch[i];
+    sum2_[i] += ch[i] * ch[i];
+  }
+}
+
+GaussianColorModel GaussianColorModel::FromRegion(const media::Frame& frame,
+                                                  const RectI& rect) {
+  GaussianColorModel model;
+  RectI r = rect.ClipTo(frame.width(), frame.height());
+  for (int y = r.y; y < r.Bottom(); ++y) {
+    for (int x = r.x; x < r.Right(); ++x) {
+      model.Add(frame.At(x, y));
+    }
+  }
+  return model;
+}
+
+double GaussianColorModel::Var(int ch) const {
+  if (count_ < 2) return kMinVariance;
+  double mean = sum_[ch] / count_;
+  return std::max(kMinVariance, sum2_[ch] / count_ - mean * mean);
+}
+
+double GaussianColorModel::Distance2(const media::Rgb& p) const {
+  const double means[3] = {mean_r(), mean_g(), mean_b()};
+  const double vars[3] = {Var(0), Var(1), Var(2)};
+  const double ch[3] = {static_cast<double>(p.r), static_cast<double>(p.g),
+                        static_cast<double>(p.b)};
+  double d2 = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    double d = ch[i] - means[i];
+    d2 += d * d / vars[i];
+  }
+  return d2;
+}
+
+bool GaussianColorModel::Matches(const media::Rgb& p, double k) const {
+  const double means[3] = {mean_r(), mean_g(), mean_b()};
+  const double vars[3] = {Var(0), Var(1), Var(2)};
+  const double ch[3] = {static_cast<double>(p.r), static_cast<double>(p.g),
+                        static_cast<double>(p.b)};
+  for (int i = 0; i < 3; ++i) {
+    if (std::fabs(ch[i] - means[i]) > k * std::sqrt(vars[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace cobra::vision

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file color_model.h
+/// Gaussian per-channel color model — the "estimated statistics of the
+/// tennis field color" the player segmentation starts from (paper §3).
+
+#include <cstdint>
+
+#include "media/frame.h"
+#include "util/geometry.h"
+
+namespace cobra::vision {
+
+/// Independent per-channel Gaussian model of a color population.
+class GaussianColorModel {
+ public:
+  /// Adds one sample.
+  void Add(const media::Rgb& p);
+
+  /// Estimates the model from all pixels of `rect` in `frame`.
+  static GaussianColorModel FromRegion(const media::Frame& frame,
+                                       const RectI& rect);
+
+  int64_t count() const { return count_; }
+  double mean_r() const { return count_ ? sum_[0] / count_ : 0; }
+  double mean_g() const { return count_ ? sum_[1] / count_ : 0; }
+  double mean_b() const { return count_ ? sum_[2] / count_ : 0; }
+  double var_r() const { return Var(0); }
+  double var_g() const { return Var(1); }
+  double var_b() const { return Var(2); }
+
+  /// Squared Mahalanobis-style distance with independent channels; variance
+  /// is floored so a near-constant model still admits sensor noise.
+  double Distance2(const media::Rgb& p) const;
+
+  /// True if `p` lies within `k` standard deviations on every channel
+  /// (the segmentation predicate: court pixels match, player pixels don't).
+  bool Matches(const media::Rgb& p, double k = 3.0) const;
+
+ private:
+  double Var(int ch) const;
+
+  int64_t count_ = 0;
+  double sum_[3] = {0, 0, 0};
+  double sum2_[3] = {0, 0, 0};
+};
+
+}  // namespace cobra::vision

@@ -1,0 +1,48 @@
+#include "vision/gray_stats.h"
+
+#include <array>
+#include <cmath>
+
+namespace cobra::vision {
+
+GrayStats ComputeGrayStats(const media::Frame& frame) {
+  return ComputeGrayStats(frame, RectI{0, 0, frame.width(), frame.height()});
+}
+
+GrayStats ComputeGrayStats(const media::Frame& frame, const RectI& rect) {
+  GrayStats out;
+  RectI r = rect.ClipTo(frame.width(), frame.height());
+  if (r.Empty()) return out;
+
+  std::array<int64_t, 256> hist{};
+  double sum = 0.0, sum2 = 0.0;
+  for (int y = r.y; y < r.Bottom(); ++y) {
+    for (int x = r.x; x < r.Right(); ++x) {
+      double luma = frame.At(x, y).Luma();
+      sum += luma;
+      sum2 += luma * luma;
+      hist[static_cast<size_t>(luma)]++;
+    }
+  }
+  const double n = static_cast<double>(r.Area());
+  out.mean = sum / n;
+  out.variance = sum2 / n - out.mean * out.mean;
+  for (int64_t count : hist) {
+    if (count > 0) {
+      double p = static_cast<double>(count) / n;
+      out.entropy -= p * std::log2(p);
+    }
+  }
+  return out;
+}
+
+double SkinPixelRatio(const media::Frame& frame) {
+  if (frame.Empty()) return 0.0;
+  int64_t skin = 0;
+  for (const media::Rgb& p : frame.pixels()) {
+    if (media::IsSkinColor(p)) ++skin;
+  }
+  return static_cast<double>(skin) / static_cast<double>(frame.PixelCount());
+}
+
+}  // namespace cobra::vision

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file gray_stats.h
+/// Gray-level (luma) statistics: mean, variance, Shannon entropy — the
+/// "entropy characteristics, mean and variance" the paper's shot classifier
+/// uses (§3).
+
+#include "media/frame.h"
+#include "util/geometry.h"
+
+namespace cobra::vision {
+
+struct GrayStats {
+  double mean = 0.0;      ///< mean luma in [0, 255]
+  double variance = 0.0;  ///< luma variance
+  double entropy = 0.0;   ///< Shannon entropy of the 256-bin luma histogram, bits
+};
+
+/// Computes luma statistics over the whole frame.
+GrayStats ComputeGrayStats(const media::Frame& frame);
+
+/// Computes luma statistics over `rect` (clipped; empty region yields zeros).
+GrayStats ComputeGrayStats(const media::Frame& frame, const RectI& rect);
+
+/// Fraction of pixels in `frame` classified as skin-colored — the
+/// close-up cue of the paper's classifier.
+double SkinPixelRatio(const media::Frame& frame);
+
+}  // namespace cobra::vision

@@ -1,0 +1,129 @@
+#include "vision/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace cobra::vision {
+
+namespace {
+
+Status ValidateBins(int bins_per_channel) {
+  if (bins_per_channel < 2 || bins_per_channel > 256 ||
+      256 % bins_per_channel != 0) {
+    return Status::InvalidArgument(
+        StringFormat("bins_per_channel must divide 256, got %d",
+                     bins_per_channel));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ColorHistogram> ColorHistogram::FromFrame(const media::Frame& frame,
+                                                 int bins_per_channel) {
+  return FromRegion(frame, RectI{0, 0, frame.width(), frame.height()},
+                    bins_per_channel);
+}
+
+Result<ColorHistogram> ColorHistogram::FromRegion(const media::Frame& frame,
+                                                  const RectI& rect,
+                                                  int bins_per_channel) {
+  COBRA_RETURN_NOT_OK(ValidateBins(bins_per_channel));
+  RectI r = rect.ClipTo(frame.width(), frame.height());
+  if (r.Empty()) {
+    return Status::InvalidArgument("histogram region is empty");
+  }
+  const int shift_div = 256 / bins_per_channel;
+  std::vector<double> values(
+      static_cast<size_t>(bins_per_channel) * bins_per_channel * bins_per_channel,
+      0.0);
+  for (int y = r.y; y < r.Bottom(); ++y) {
+    for (int x = r.x; x < r.Right(); ++x) {
+      const media::Rgb& p = frame.At(x, y);
+      size_t bin = (static_cast<size_t>(p.r / shift_div) * bins_per_channel +
+                    p.g / shift_div) *
+                       bins_per_channel +
+                   p.b / shift_div;
+      values[bin] += 1.0;
+    }
+  }
+  const double total = static_cast<double>(r.Area());
+  for (double& v : values) v /= total;
+  return ColorHistogram(bins_per_channel, std::move(values));
+}
+
+size_t ColorHistogram::ModalBin() const {
+  return static_cast<size_t>(
+      std::max_element(values_.begin(), values_.end()) - values_.begin());
+}
+
+double ColorHistogram::DominantRatio() const { return values_[ModalBin()]; }
+
+media::Rgb ColorHistogram::BinCenter(size_t bin) const {
+  const int n = bins_per_channel_;
+  const int width = 256 / n;
+  int b = static_cast<int>(bin % n);
+  int g = static_cast<int>((bin / n) % n);
+  int r = static_cast<int>(bin / (static_cast<size_t>(n) * n));
+  auto center = [width](int idx) {
+    return static_cast<uint8_t>(idx * width + width / 2);
+  };
+  return media::Rgb{center(r), center(g), center(b)};
+}
+
+double ColorHistogram::L1Distance(const ColorHistogram& other) const {
+  double d = 0.0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    d += std::fabs(values_[i] - other.values_[i]);
+  }
+  return d;
+}
+
+double ColorHistogram::ChiSquareDistance(const ColorHistogram& other) const {
+  double d = 0.0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    double sum = values_[i] + other.values_[i];
+    if (sum > 0) {
+      double diff = values_[i] - other.values_[i];
+      d += diff * diff / sum;
+    }
+  }
+  return d;
+}
+
+double ColorHistogram::IntersectionDistance(const ColorHistogram& other) const {
+  double inter = 0.0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    inter += std::min(values_[i], other.values_[i]);
+  }
+  return 1.0 - inter;
+}
+
+const char* HistogramDistanceToString(HistogramDistance d) {
+  switch (d) {
+    case HistogramDistance::kL1:
+      return "L1";
+    case HistogramDistance::kChiSquare:
+      return "chi-square";
+    case HistogramDistance::kIntersection:
+      return "intersection";
+  }
+  return "unknown";
+}
+
+double Distance(const ColorHistogram& a, const ColorHistogram& b,
+                HistogramDistance metric) {
+  switch (metric) {
+    case HistogramDistance::kL1:
+      return a.L1Distance(b);
+    case HistogramDistance::kChiSquare:
+      return a.ChiSquareDistance(b);
+    case HistogramDistance::kIntersection:
+      return a.IntersectionDistance(b);
+  }
+  return 0.0;
+}
+
+}  // namespace cobra::vision

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file histogram.h
+/// Quantized color histograms and the distance measures the segment
+/// detector uses to find shot boundaries ("differences in color histograms
+/// of neighboring frames", paper §3).
+
+#include <cstdint>
+#include <vector>
+
+#include "media/frame.h"
+#include "util/status.h"
+
+namespace cobra::vision {
+
+/// Normalized RGB color histogram with `bins_per_channel`^3 bins.
+class ColorHistogram {
+ public:
+  /// Builds the histogram of a whole frame. `bins_per_channel` must divide
+  /// 256 evenly (2, 4, 8, 16, 32...); 8 (=512 bins) is the detector default.
+  static Result<ColorHistogram> FromFrame(const media::Frame& frame,
+                                          int bins_per_channel = 8);
+
+  /// Builds the histogram of the pixels inside `rect` (clipped).
+  static Result<ColorHistogram> FromRegion(const media::Frame& frame,
+                                           const RectI& rect,
+                                           int bins_per_channel = 8);
+
+  int bins_per_channel() const { return bins_per_channel_; }
+  size_t NumBins() const { return values_.size(); }
+
+  /// Normalized mass in one bin.
+  double At(size_t bin) const { return values_[bin]; }
+
+  /// Index of the fullest bin.
+  size_t ModalBin() const;
+
+  /// Fraction of pixels in the modal bin — the "dominant color" ratio used
+  /// by the court-shot classifier.
+  double DominantRatio() const;
+
+  /// Center color of a bin (for reporting the dominant color).
+  media::Rgb BinCenter(size_t bin) const;
+
+  /// L1 distance in [0, 2].
+  double L1Distance(const ColorHistogram& other) const;
+  /// Chi-square distance.
+  double ChiSquareDistance(const ColorHistogram& other) const;
+  /// 1 - histogram intersection, in [0, 1].
+  double IntersectionDistance(const ColorHistogram& other) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  ColorHistogram(int bins_per_channel, std::vector<double> values)
+      : bins_per_channel_(bins_per_channel), values_(std::move(values)) {}
+
+  int bins_per_channel_ = 8;
+  std::vector<double> values_;
+};
+
+/// The histogram distance to use for frame differencing.
+enum class HistogramDistance { kL1, kChiSquare, kIntersection };
+
+const char* HistogramDistanceToString(HistogramDistance d);
+
+/// Dispatches to the chosen distance.
+double Distance(const ColorHistogram& a, const ColorHistogram& b,
+                HistogramDistance metric);
+
+}  // namespace cobra::vision

@@ -1,0 +1,140 @@
+#include "vision/mask.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace cobra::vision {
+
+int64_t BinaryMask::Count() const {
+  int64_t n = 0;
+  for (uint8_t b : bits_) n += b;
+  return n;
+}
+
+RectI BinaryMask::BoundingBox() const {
+  int min_x = width_, min_y = height_, max_x = -1, max_y = -1;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      if (At(x, y)) {
+        min_x = std::min(min_x, x);
+        min_y = std::min(min_y, y);
+        max_x = std::max(max_x, x);
+        max_y = std::max(max_y, y);
+      }
+    }
+  }
+  if (max_x < 0) return RectI{};
+  return RectI{min_x, min_y, max_x - min_x + 1, max_y - min_y + 1};
+}
+
+BinaryMask BinaryMask::Erode() const {
+  BinaryMask out(width_, height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      bool all = true;
+      for (int dy = -1; dy <= 1 && all; ++dy) {
+        for (int dx = -1; dx <= 1 && all; ++dx) {
+          int nx = x + dx, ny = y + dy;
+          if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_ || !At(nx, ny)) {
+            all = false;
+          }
+        }
+      }
+      out.Set(x, y, all);
+    }
+  }
+  return out;
+}
+
+BinaryMask BinaryMask::Dilate() const {
+  BinaryMask out(width_, height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      bool any = false;
+      for (int dy = -1; dy <= 1 && !any; ++dy) {
+        for (int dx = -1; dx <= 1 && !any; ++dx) {
+          int nx = x + dx, ny = y + dy;
+          if (nx >= 0 && nx < width_ && ny >= 0 && ny < height_ && At(nx, ny)) {
+            any = true;
+          }
+        }
+      }
+      out.Set(x, y, any);
+    }
+  }
+  return out;
+}
+
+BinaryMask BinaryMask::FromPredicate(
+    const media::Frame& frame,
+    const std::function<bool(const media::Rgb&)>& predicate) {
+  return FromPredicate(frame, RectI{0, 0, frame.width(), frame.height()},
+                       predicate);
+}
+
+BinaryMask BinaryMask::FromPredicate(
+    const media::Frame& frame, const RectI& roi,
+    const std::function<bool(const media::Rgb&)>& predicate) {
+  BinaryMask out(frame.width(), frame.height());
+  RectI r = roi.ClipTo(frame.width(), frame.height());
+  for (int y = r.y; y < r.Bottom(); ++y) {
+    for (int x = r.x; x < r.Right(); ++x) {
+      if (predicate(frame.At(x, y))) out.Set(x, y, true);
+    }
+  }
+  return out;
+}
+
+std::vector<ConnectedComponent> LabelComponents(const BinaryMask& mask,
+                                                int64_t min_area) {
+  std::vector<ConnectedComponent> out;
+  if (mask.Empty()) return out;
+  std::vector<int> labels(
+      static_cast<size_t>(mask.width()) * static_cast<size_t>(mask.height()), 0);
+  auto idx = [&](int x, int y) {
+    return static_cast<size_t>(y) * mask.width() + x;
+  };
+  int next_label = 0;
+  for (int y = 0; y < mask.height(); ++y) {
+    for (int x = 0; x < mask.width(); ++x) {
+      if (!mask.At(x, y) || labels[idx(x, y)] != 0) continue;
+      ++next_label;
+      ConnectedComponent cc;
+      cc.label = next_label;
+      double sum_x = 0, sum_y = 0;
+      std::deque<std::pair<int, int>> queue{{x, y}};
+      labels[idx(x, y)] = next_label;
+      RectI box{x, y, 1, 1};
+      while (!queue.empty()) {
+        auto [cx, cy] = queue.front();
+        queue.pop_front();
+        cc.pixels.emplace_back(cx, cy);
+        cc.area++;
+        sum_x += cx;
+        sum_y += cy;
+        box = box.Union(RectI{cx, cy, 1, 1});
+        constexpr int kDx[] = {1, -1, 0, 0};
+        constexpr int kDy[] = {0, 0, 1, -1};
+        for (int d = 0; d < 4; ++d) {
+          int nx = cx + kDx[d], ny = cy + kDy[d];
+          if (nx >= 0 && nx < mask.width() && ny >= 0 && ny < mask.height() &&
+              mask.At(nx, ny) && labels[idx(nx, ny)] == 0) {
+            labels[idx(nx, ny)] = next_label;
+            queue.emplace_back(nx, ny);
+          }
+        }
+      }
+      cc.bbox = box;
+      cc.centroid = PointD{sum_x / static_cast<double>(cc.area),
+                           sum_y / static_cast<double>(cc.area)};
+      if (cc.area >= min_area) out.push_back(std::move(cc));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ConnectedComponent& a, const ConnectedComponent& b) {
+              return a.area > b.area;
+            });
+  return out;
+}
+
+}  // namespace cobra::vision

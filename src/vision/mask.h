@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file mask.h
+/// Binary pixel masks and simple morphology, used by the player
+/// segmentation step of the tennis detector.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "media/frame.h"
+#include "util/geometry.h"
+
+namespace cobra::vision {
+
+/// A width x height binary raster.
+class BinaryMask {
+ public:
+  BinaryMask() = default;
+  BinaryMask(int width, int height)
+      : width_(width),
+        height_(height),
+        bits_(static_cast<size_t>(width) * static_cast<size_t>(height), 0) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool Empty() const { return width_ == 0 || height_ == 0; }
+
+  bool At(int x, int y) const { return bits_[Index(x, y)] != 0; }
+  void Set(int x, int y, bool v) { bits_[Index(x, y)] = v ? 1 : 0; }
+
+  /// Number of set pixels.
+  int64_t Count() const;
+
+  /// Tight bounding box of set pixels (empty rect if none).
+  RectI BoundingBox() const;
+
+  /// 3x3 box erosion (8-neighborhood).
+  BinaryMask Erode() const;
+  /// 3x3 box dilation (8-neighborhood).
+  BinaryMask Dilate() const;
+  /// Erode-then-dilate; removes isolated noise pixels.
+  BinaryMask Open() const { return Erode().Dilate(); }
+  /// Dilate-then-erode; fills small holes.
+  BinaryMask Close() const { return Dilate().Erode(); }
+
+  /// Builds a mask by applying `predicate` to every pixel of `frame`,
+  /// optionally restricted to `roi` (pixels outside stay 0).
+  static BinaryMask FromPredicate(
+      const media::Frame& frame,
+      const std::function<bool(const media::Rgb&)>& predicate);
+  static BinaryMask FromPredicate(
+      const media::Frame& frame, const RectI& roi,
+      const std::function<bool(const media::Rgb&)>& predicate);
+
+ private:
+  size_t Index(int x, int y) const {
+    return static_cast<size_t>(y) * static_cast<size_t>(width_) +
+           static_cast<size_t>(x);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint8_t> bits_;
+};
+
+/// A 4-connected component of set pixels.
+struct ConnectedComponent {
+  int label = 0;
+  int64_t area = 0;
+  RectI bbox;
+  PointD centroid;
+  std::vector<std::pair<int, int>> pixels;  ///< (x, y) members
+};
+
+/// Labels 4-connected components; returns them sorted by decreasing area.
+/// Components smaller than `min_area` are dropped.
+std::vector<ConnectedComponent> LabelComponents(const BinaryMask& mask,
+                                                int64_t min_area = 1);
+
+}  // namespace cobra::vision

@@ -1,0 +1,92 @@
+#include "vision/moments.h"
+
+#include <cmath>
+#include <map>
+
+namespace cobra::vision {
+
+double RegionMoments::Orientation() const {
+  if (m00 <= 0) return 0.0;
+  return 0.5 * std::atan2(2.0 * mu11, mu20 - mu02);
+}
+
+double RegionMoments::Eccentricity() const {
+  if (m00 <= 0) return 0.0;
+  // Eigenvalues of the covariance matrix [[mu20, mu11], [mu11, mu02]] / m00.
+  double a = mu20 / m00, b = mu11 / m00, c = mu02 / m00;
+  double tr = a + c;
+  double det_part = std::sqrt(std::max(0.0, (a - c) * (a - c) / 4.0 + b * b));
+  double l1 = tr / 2.0 + det_part;  // major
+  double l2 = tr / 2.0 - det_part;  // minor
+  if (l1 <= 0) return 0.0;
+  double ratio = std::max(0.0, l2) / l1;
+  return std::sqrt(1.0 - ratio);
+}
+
+RegionMoments ComputeMoments(const std::vector<std::pair<int, int>>& pixels) {
+  RegionMoments m;
+  for (const auto& [x, y] : pixels) {
+    m.m00 += 1.0;
+    m.m10 += x;
+    m.m01 += y;
+  }
+  if (m.m00 <= 0) return m;
+  const double cx = m.m10 / m.m00;
+  const double cy = m.m01 / m.m00;
+  for (const auto& [x, y] : pixels) {
+    const double dx = x - cx;
+    const double dy = y - cy;
+    m.mu20 += dx * dx;
+    m.mu02 += dy * dy;
+    m.mu11 += dx * dy;
+  }
+  return m;
+}
+
+RegionMoments ComputeMoments(const BinaryMask& mask) {
+  std::vector<std::pair<int, int>> pixels;
+  for (int y = 0; y < mask.height(); ++y) {
+    for (int x = 0; x < mask.width(); ++x) {
+      if (mask.At(x, y)) pixels.emplace_back(x, y);
+    }
+  }
+  return ComputeMoments(pixels);
+}
+
+ShapeFeatures ComputeShapeFeatures(const media::Frame& frame,
+                                   const ConnectedComponent& component) {
+  ShapeFeatures out;
+  RegionMoments m = ComputeMoments(component.pixels);
+  out.area = m.m00;
+  out.mass_center = m.Centroid();
+  out.bounding_box = component.bbox;
+  out.orientation = m.Orientation();
+  out.eccentricity = m.Eccentricity();
+
+  // Dominant color: modal 32-level-quantized color among member pixels.
+  std::map<uint32_t, int> counts;
+  for (const auto& [x, y] : component.pixels) {
+    const media::Rgb& p = frame.At(x, y);
+    uint32_t key = (static_cast<uint32_t>(p.r / 32) << 16) |
+                   (static_cast<uint32_t>(p.g / 32) << 8) |
+                   static_cast<uint32_t>(p.b / 32);
+    counts[key]++;
+  }
+  uint32_t best_key = 0;
+  int best = -1;
+  for (const auto& [key, count] : counts) {
+    if (count > best) {
+      best = count;
+      best_key = key;
+    }
+  }
+  if (best >= 0) {
+    out.dominant_color =
+        media::Rgb{static_cast<uint8_t>(((best_key >> 16) & 0xFF) * 32 + 16),
+                   static_cast<uint8_t>(((best_key >> 8) & 0xFF) * 32 + 16),
+                   static_cast<uint8_t>((best_key & 0xFF) * 32 + 16)};
+  }
+  return out;
+}
+
+}  // namespace cobra::vision

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file moments.h
+/// Image moments and derived shape features — the "standard shape features
+/// such as the mass center, the area, the bounding box, the orientation and
+/// the eccentricity" the tennis detector extracts (paper §3).
+
+#include <vector>
+
+#include "media/frame.h"
+#include "vision/mask.h"
+
+namespace cobra::vision {
+
+/// Raw and central moments of a pixel region.
+struct RegionMoments {
+  double m00 = 0.0;  ///< area
+  double m10 = 0.0;
+  double m01 = 0.0;
+  double mu20 = 0.0;  ///< central second moments
+  double mu02 = 0.0;
+  double mu11 = 0.0;
+
+  PointD Centroid() const {
+    return m00 > 0 ? PointD{m10 / m00, m01 / m00} : PointD{};
+  }
+
+  /// Major-axis orientation in radians, in (-pi/2, pi/2]; measured from the
+  /// x axis, y pointing down.
+  double Orientation() const;
+
+  /// Eccentricity in [0, 1): 0 for a circle, -> 1 for a line segment.
+  double Eccentricity() const;
+};
+
+/// Moments of a connected component's pixel list.
+RegionMoments ComputeMoments(const std::vector<std::pair<int, int>>& pixels);
+
+/// Moments of all set pixels of a mask.
+RegionMoments ComputeMoments(const BinaryMask& mask);
+
+/// The complete per-region feature record stored in the COBRA feature
+/// layer for a tracked player.
+struct ShapeFeatures {
+  double area = 0.0;
+  PointD mass_center;
+  RectI bounding_box;
+  double orientation = 0.0;   ///< radians
+  double eccentricity = 0.0;
+  media::Rgb dominant_color;  ///< modal quantized color of the region
+};
+
+/// Extracts shape features for a component of `frame`.
+ShapeFeatures ComputeShapeFeatures(const media::Frame& frame,
+                                   const ConnectedComponent& component);
+
+}  // namespace cobra::vision

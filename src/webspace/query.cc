@@ -1,0 +1,46 @@
+#include "webspace/query.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cobra::webspace {
+
+Result<std::vector<int64_t>> SelectObjects(const WebspaceStore& store,
+                                           const ClassSelection& selection) {
+  COBRA_ASSIGN_OR_RETURN(const storage::Table* table,
+                         store.ClassTable(selection.class_name));
+  COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> rows,
+                         storage::SelectAll(*table, selection.predicates));
+  std::vector<int64_t> oids;
+  oids.reserve(rows.size());
+  for (int64_t r : rows) {
+    COBRA_ASSIGN_OR_RETURN(int64_t oid, table->GetInt(r, 0));
+    oids.push_back(oid);
+  }
+  std::sort(oids.begin(), oids.end());
+  return oids;
+}
+
+Result<std::vector<int64_t>> ExecuteQuery(const WebspaceStore& store,
+                                          const WebspaceQuery& query) {
+  COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> current,
+                         SelectObjects(store, query.source));
+  for (const PathStep& step : query.path) {
+    if (current.empty()) return current;
+    COBRA_ASSIGN_OR_RETURN(
+        std::vector<int64_t> reached,
+        step.reverse ? store.TraverseReverse(step.association, current, step.role)
+                     : store.Traverse(step.association, current, step.role));
+    COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> allowed,
+                           SelectObjects(store, step.target));
+    std::set<int64_t> allowed_set(allowed.begin(), allowed.end());
+    std::vector<int64_t> filtered;
+    for (int64_t oid : reached) {
+      if (allowed_set.count(oid)) filtered.push_back(oid);
+    }
+    current = std::move(filtered);
+  }
+  return current;
+}
+
+}  // namespace cobra::webspace

@@ -1,0 +1,70 @@
+#include "webspace/schema.h"
+
+#include <set>
+
+#include "util/strings.h"
+
+namespace cobra::webspace {
+
+Result<ConceptSchema> ConceptSchema::Create(
+    std::vector<ClassDef> classes, std::vector<AssociationDef> associations) {
+  std::set<std::string> class_names;
+  for (const ClassDef& cls : classes) {
+    if (cls.name.empty()) {
+      return Status::InvalidArgument("class names must be non-empty");
+    }
+    if (!class_names.insert(cls.name).second) {
+      return Status::InvalidArgument(
+          StringFormat("duplicate class '%s'", cls.name.c_str()));
+    }
+    std::set<std::string> attr_names = {"oid"};  // implicit key
+    for (const AttributeDef& attr : cls.attributes) {
+      if (!attr_names.insert(attr.name).second) {
+        return Status::InvalidArgument(
+            StringFormat("class '%s': duplicate attribute '%s'",
+                         cls.name.c_str(), attr.name.c_str()));
+      }
+    }
+  }
+  std::set<std::string> assoc_names;
+  for (const AssociationDef& assoc : associations) {
+    if (!assoc_names.insert(assoc.name).second) {
+      return Status::InvalidArgument(
+          StringFormat("duplicate association '%s'", assoc.name.c_str()));
+    }
+    if (!class_names.count(assoc.from_class) ||
+        !class_names.count(assoc.to_class)) {
+      return Status::InvalidArgument(
+          StringFormat("association '%s' references unknown class",
+                       assoc.name.c_str()));
+    }
+  }
+  ConceptSchema schema;
+  schema.classes_ = std::move(classes);
+  schema.associations_ = std::move(associations);
+  return schema;
+}
+
+bool ConceptSchema::HasClass(const std::string& name) const {
+  for (const ClassDef& cls : classes_) {
+    if (cls.name == name) return true;
+  }
+  return false;
+}
+
+Result<const ClassDef*> ConceptSchema::FindClass(const std::string& name) const {
+  for (const ClassDef& cls : classes_) {
+    if (cls.name == name) return &cls;
+  }
+  return Status::NotFound(StringFormat("no class '%s'", name.c_str()));
+}
+
+Result<const AssociationDef*> ConceptSchema::FindAssociation(
+    const std::string& name) const {
+  for (const AssociationDef& assoc : associations_) {
+    if (assoc.name == name) return &assoc;
+  }
+  return Status::NotFound(StringFormat("no association '%s'", name.c_str()));
+}
+
+}  // namespace cobra::webspace

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file schema.h
+/// The webspace method (ref [4]): conceptual modeling of a limited-domain
+/// web site. A concept schema declares object classes with typed attributes
+/// and named associations between classes; site content is then stored as
+/// objects conforming to the schema, which is what makes precise,
+/// concept-level query formulation possible (paper §2).
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace cobra::webspace {
+
+struct AttributeDef {
+  std::string name;
+  storage::DataType type;
+};
+
+struct ClassDef {
+  std::string name;
+  std::vector<AttributeDef> attributes;
+};
+
+/// Directed binary association with an integer `role` payload (e.g. which
+/// side of a match a player occupies).
+struct AssociationDef {
+  std::string name;
+  std::string from_class;
+  std::string to_class;
+};
+
+/// A validated conceptual schema.
+class ConceptSchema {
+ public:
+  static Result<ConceptSchema> Create(std::vector<ClassDef> classes,
+                                      std::vector<AssociationDef> associations);
+
+  const std::vector<ClassDef>& classes() const { return classes_; }
+  const std::vector<AssociationDef>& associations() const {
+    return associations_;
+  }
+
+  bool HasClass(const std::string& name) const;
+  Result<const ClassDef*> FindClass(const std::string& name) const;
+  Result<const AssociationDef*> FindAssociation(const std::string& name) const;
+
+ private:
+  std::vector<ClassDef> classes_;
+  std::vector<AssociationDef> associations_;
+};
+
+}  // namespace cobra::webspace

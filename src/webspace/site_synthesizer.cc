@@ -1,0 +1,194 @@
+#include "webspace/site_synthesizer.h"
+
+#include <algorithm>
+
+#include "text/corpus.h"
+#include "util/strings.h"
+
+namespace cobra::webspace {
+
+using storage::DataType;
+using storage::Value;
+
+namespace {
+
+std::string Capitalize(std::string word) {
+  if (!word.empty()) {
+    word[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(word[0])));
+  }
+  return word;
+}
+
+std::string PlayerFullName(int index) {
+  // Distinct, pronounceable, deterministic; offsets keep first/last pools
+  // disjoint from each other and from the low-rank corpus filler words.
+  return Capitalize(text::VocabularyWord(4000 + index)) + " " +
+         Capitalize(text::VocabularyWord(8000 + index));
+}
+
+const char* kCountries[] = {"australia", "usa",    "france", "spain",
+                            "russia",    "belgium", "serbia", "japan"};
+
+}  // namespace
+
+Result<std::string> SynthesizedSite::PlayerName(int64_t oid) const {
+  COBRA_ASSIGN_OR_RETURN(Value name, store.GetAttribute("Player", oid, "name"));
+  return std::get<std::string>(name);
+}
+
+Result<ConceptSchema> SiteSynthesizer::TournamentSchema() {
+  return ConceptSchema::Create(
+      {
+          ClassDef{"Player",
+                   {{"name", DataType::kString},
+                    {"gender", DataType::kString},
+                    {"hand", DataType::kString},
+                    {"country", DataType::kString},
+                    {"ranking", DataType::kInt64}}},
+          ClassDef{"Tournament",
+                   {{"name", DataType::kString}, {"year", DataType::kInt64}}},
+          ClassDef{"Interview",
+                   {{"title", DataType::kString}, {"text", DataType::kString}}},
+          ClassDef{"Video",
+                   {{"title", DataType::kString}, {"year", DataType::kInt64}}},
+      },
+      {
+          AssociationDef{"won", "Player", "Tournament"},
+          AssociationDef{"interviewed_in", "Player", "Interview"},
+          AssociationDef{"plays_in", "Player", "Video"},
+      });
+}
+
+Result<SynthesizedSite> SiteSynthesizer::Generate(const SiteConfig& config) {
+  if (config.num_players < 4 || config.num_past_years < 1) {
+    return Status::InvalidArgument("site needs >= 4 players and >= 1 year");
+  }
+  COBRA_ASSIGN_OR_RETURN(ConceptSchema schema, TournamentSchema());
+  COBRA_ASSIGN_OR_RETURN(WebspaceStore store, WebspaceStore::Create(std::move(schema)));
+  SynthesizedSite site{std::move(store), {}, {}, {}, {}, {}, {}, {}, {}};
+  Rng rng(config.seed);
+
+  // --- players ---
+  struct PlayerInfo {
+    int64_t oid;
+    std::string name;
+    bool female;
+    bool left;
+  };
+  std::vector<PlayerInfo> players;
+  std::vector<int64_t> rankings(static_cast<size_t>(config.num_players));
+  for (int i = 0; i < config.num_players; ++i) rankings[static_cast<size_t>(i)] = i + 1;
+  rng.Shuffle(&rankings);
+  for (int i = 0; i < config.num_players; ++i) {
+    PlayerInfo info;
+    info.name = PlayerFullName(i);
+    info.female = rng.NextBernoulli(0.5);
+    info.left = rng.NextBernoulli(0.3);
+    if (config.ensure_answer && i == 0) {
+      info.female = true;
+      info.left = true;
+    }
+    COBRA_ASSIGN_OR_RETURN(
+        info.oid,
+        site.store.Insert(
+            "Player",
+            {info.name, std::string(info.female ? "female" : "male"),
+             std::string(info.left ? "left" : "right"),
+             std::string(kCountries[rng.NextBounded(8)]),
+             rankings[static_cast<size_t>(i)]}));
+    site.player_oids.push_back(info.oid);
+    players.push_back(std::move(info));
+  }
+
+  // --- past tournaments + champions ---
+  std::vector<bool> is_champion(players.size(), false);
+  for (int y = 0; y < config.num_past_years; ++y) {
+    int64_t year = config.first_year + y;
+    COBRA_ASSIGN_OR_RETURN(
+        int64_t tournament_oid,
+        site.store.Insert("Tournament",
+                          {std::string("australian open"), year}));
+    site.tournament_oids.push_back(tournament_oid);
+    size_t champ = rng.NextBounded(players.size());
+    if (config.ensure_answer && y == 0) champ = 0;  // the guaranteed answer
+    is_champion[champ] = true;
+    COBRA_RETURN_NOT_OK(
+        site.store.Link("won", players[champ].oid, tournament_oid));
+
+    // Match videos of the year; the champion appears in the first one.
+    for (int v = 0; v < config.videos_per_year; ++v) {
+      size_t a = v == 0 ? champ : rng.NextBounded(players.size());
+      size_t b = rng.NextBounded(players.size());
+      while (b == a) b = rng.NextBounded(players.size());
+      COBRA_ASSIGN_OR_RETURN(
+          int64_t video_oid,
+          site.store.Insert(
+              "Video", {StringFormat("final %lld match %d",
+                                     static_cast<long long>(year), v),
+                        year}));
+      site.video_oids.push_back(video_oid);
+      site.video_seeds[video_oid] =
+          MixHash(config.seed ^ (static_cast<uint64_t>(year) << 8) ^
+                  static_cast<uint64_t>(v));
+      COBRA_RETURN_NOT_OK(
+          site.store.Link("plays_in", players[a].oid, video_oid, /*role=*/0));
+      COBRA_RETURN_NOT_OK(
+          site.store.Link("plays_in", players[b].oid, video_oid, /*role=*/1));
+    }
+  }
+
+  // --- interviews: free text with hidden semantics ---
+  for (size_t p = 0; p < players.size(); ++p) {
+    for (int i = 0; i < config.interviews_per_player; ++i) {
+      std::string lower_name = ToLowerAscii(players[p].name);
+      std::string text = StringFormat(
+          "interview with %s at the australian open in melbourne. ",
+          lower_name.c_str());
+      if (is_champion[p]) {
+        text +=
+            "the champion talked about winning the title and defending it "
+            "this year. ";
+      } else if (rng.NextBernoulli(config.spurious_champion_mention)) {
+        // The keyword trap: championship vocabulary without the semantics.
+        text +=
+            "the player dreams of becoming champion and lifting the title "
+            "one day. ";
+      }
+      if (rng.NextBernoulli(0.3)) {
+        text += StringFormat("known for a strong %s-handed serve. ",
+                             players[p].left ? "left" : "right");
+      }
+      if (rng.NextBernoulli(0.5)) {
+        text += "favorite tactic is approaching the net after a deep volley. ";
+      }
+      // Filler so tf-idf has realistic mass.
+      for (int w = 0; w < 30; ++w) {
+        text += text::VocabularyWord(1 + rng.NextBounded(700)) + " ";
+      }
+      COBRA_ASSIGN_OR_RETURN(
+          int64_t interview_oid,
+          site.store.Insert("Interview",
+                            {StringFormat("interview %zu-%d", p, i), text}));
+      site.interview_oids.push_back(interview_oid);
+      site.interview_texts[interview_oid] = text;
+      COBRA_RETURN_NOT_OK(
+          site.store.Link("interviewed_in", players[p].oid, interview_oid));
+    }
+  }
+
+  // --- ground truth ---
+  for (size_t p = 0; p < players.size(); ++p) {
+    if (is_champion[p]) {
+      site.champions.push_back(players[p].oid);
+      if (players[p].female && players[p].left) {
+        site.left_handed_female_champions.push_back(players[p].oid);
+      }
+    }
+  }
+  std::sort(site.champions.begin(), site.champions.end());
+  std::sort(site.left_handed_female_champions.begin(),
+            site.left_handed_female_champions.end());
+  return site;
+}
+
+}  // namespace cobra::webspace

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file site_synthesizer.h
+/// Generates an Australian Open-style tournament webspace (DESIGN.md §2):
+/// players, past tournaments and their champions, interviews (free text
+/// with exactly the "hidden semantics" problem of paper §2: words like
+/// "champion" appear in non-champions' interviews too), and match videos
+/// whose participants are linked with a court-side role.
+///
+/// Emits ground truth so E7 can score the motivating query — "left-handed
+/// female players who have won the Australian Open in the past" — for both
+/// the conceptual engine and the keyword baseline.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "webspace/store.h"
+
+namespace cobra::webspace {
+
+struct SiteConfig {
+  int num_players = 32;
+  int num_past_years = 6;       ///< tournaments 1996..2001 for the 2002 demo
+  int first_year = 1996;
+  int videos_per_year = 2;
+  int interviews_per_player = 1;
+  uint64_t seed = 2002;
+  /// Probability a non-champion interview still uses championship words
+  /// (the keyword trap).
+  double spurious_champion_mention = 0.4;
+  /// Guarantee the motivating query has a non-empty answer: at least one
+  /// champion is a left-handed female player (the 2002 site had one).
+  bool ensure_answer = false;
+};
+
+/// The generated site plus its ground truth.
+struct SynthesizedSite {
+  WebspaceStore store;
+
+  std::vector<int64_t> player_oids;
+  std::vector<int64_t> tournament_oids;
+  std::vector<int64_t> interview_oids;
+  std::vector<int64_t> video_oids;
+
+  /// interview oid -> raw text (for the full-text index).
+  std::map<int64_t, std::string> interview_texts;
+  /// video oid -> synthesizer seed for rendering/indexing its broadcast.
+  std::map<int64_t, uint64_t> video_seeds;
+
+  /// The true answer to "left-handed female players who won the
+  /// tournament" (player oids, ascending).
+  std::vector<int64_t> left_handed_female_champions;
+  /// All champions (any handedness/gender).
+  std::vector<int64_t> champions;
+
+  Result<std::string> PlayerName(int64_t oid) const;
+};
+
+/// Deterministic generator (same config -> same site).
+class SiteSynthesizer {
+ public:
+  static Result<SynthesizedSite> Generate(const SiteConfig& config);
+
+  /// The tournament concept schema: Player, Tournament, Interview, Video;
+  /// won, interviewed_in, plays_in(role = court side 0/1).
+  static Result<ConceptSchema> TournamentSchema();
+};
+
+}  // namespace cobra::webspace

@@ -1,0 +1,158 @@
+#include "webspace/store.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace cobra::webspace {
+
+using storage::DataType;
+using storage::Table;
+using storage::Value;
+
+Result<WebspaceStore> WebspaceStore::Create(ConceptSchema schema) {
+  WebspaceStore store;
+  for (const ClassDef& cls : schema.classes()) {
+    std::vector<storage::ColumnDef> columns = {{"oid", DataType::kInt64}};
+    for (const AttributeDef& attr : cls.attributes) {
+      columns.push_back({attr.name, attr.type});
+    }
+    COBRA_ASSIGN_OR_RETURN(Table table, Table::Create(std::move(columns)));
+    store.class_tables_.emplace(cls.name, std::move(table));
+  }
+  for (const AssociationDef& assoc : schema.associations()) {
+    COBRA_ASSIGN_OR_RETURN(Table table,
+                           Table::Create({{"from_oid", DataType::kInt64},
+                                          {"to_oid", DataType::kInt64},
+                                          {"role", DataType::kInt64}}));
+    store.assoc_tables_.emplace(assoc.name, std::move(table));
+  }
+  store.schema_ = std::move(schema);
+  return store;
+}
+
+Result<int64_t> WebspaceStore::Insert(const std::string& class_name,
+                                      std::vector<Value> values) {
+  auto it = class_tables_.find(class_name);
+  if (it == class_tables_.end()) {
+    return Status::NotFound(StringFormat("no class '%s'", class_name.c_str()));
+  }
+  int64_t oid = next_oid_++;
+  std::vector<Value> row;
+  row.reserve(values.size() + 1);
+  row.emplace_back(oid);
+  for (Value& v : values) row.push_back(std::move(v));
+  COBRA_RETURN_NOT_OK(it->second.AppendRow(std::move(row)));
+  oid_class_[oid] = class_name;
+  return oid;
+}
+
+Status WebspaceStore::Link(const std::string& association, int64_t from_oid,
+                           int64_t to_oid, int64_t role) {
+  auto it = assoc_tables_.find(association);
+  if (it == assoc_tables_.end()) {
+    return Status::NotFound(
+        StringFormat("no association '%s'", association.c_str()));
+  }
+  COBRA_ASSIGN_OR_RETURN(const AssociationDef* def,
+                         schema_.FindAssociation(association));
+  auto from_cls = oid_class_.find(from_oid);
+  auto to_cls = oid_class_.find(to_oid);
+  if (from_cls == oid_class_.end() || from_cls->second != def->from_class ||
+      to_cls == oid_class_.end() || to_cls->second != def->to_class) {
+    return Status::InvalidArgument(StringFormat(
+        "link %lld -> %lld violates association '%s' (%s -> %s)",
+        static_cast<long long>(from_oid), static_cast<long long>(to_oid),
+        association.c_str(), def->from_class.c_str(), def->to_class.c_str()));
+  }
+  return it->second.AppendRow({from_oid, to_oid, role});
+}
+
+Result<const Table*> WebspaceStore::ClassTable(
+    const std::string& class_name) const {
+  auto it = class_tables_.find(class_name);
+  if (it == class_tables_.end()) {
+    return Status::NotFound(StringFormat("no class '%s'", class_name.c_str()));
+  }
+  return &it->second;
+}
+
+Result<const Table*> WebspaceStore::AssociationTable(
+    const std::string& association) const {
+  auto it = assoc_tables_.find(association);
+  if (it == assoc_tables_.end()) {
+    return Status::NotFound(
+        StringFormat("no association '%s'", association.c_str()));
+  }
+  return &it->second;
+}
+
+Result<Value> WebspaceStore::GetAttribute(const std::string& class_name,
+                                          int64_t oid,
+                                          const std::string& attribute) const {
+  COBRA_ASSIGN_OR_RETURN(const Table* table, ClassTable(class_name));
+  COBRA_ASSIGN_OR_RETURN(size_t col, table->ColumnIndex(attribute));
+  COBRA_ASSIGN_OR_RETURN(
+      std::vector<int64_t> rows,
+      storage::Select(*table, {"oid", storage::CompareOp::kEq, oid}));
+  if (rows.empty()) {
+    return Status::NotFound(StringFormat("no %s object with oid %lld",
+                                         class_name.c_str(),
+                                         static_cast<long long>(oid)));
+  }
+  return table->GetValue(rows[0], col);
+}
+
+namespace {
+
+Result<std::vector<int64_t>> TraverseImpl(const Table& table, size_t key_col,
+                                          size_t out_col,
+                                          const std::vector<int64_t>& keys,
+                                          int64_t role) {
+  std::set<int64_t> key_set(keys.begin(), keys.end());
+  std::set<int64_t> out;
+  const auto& key_data =
+      key_col == 0 ? table.IntColumn(0) : table.IntColumn(1);
+  const auto& out_data =
+      out_col == 0 ? table.IntColumn(0) : table.IntColumn(1);
+  const auto& roles = table.IntColumn(2);
+  for (size_t r = 0; r < key_data.size(); ++r) {
+    if (!key_set.count(key_data[r])) continue;
+    if (role >= 0 && roles[r] != role) continue;
+    out.insert(out_data[r]);
+  }
+  return std::vector<int64_t>(out.begin(), out.end());
+}
+
+}  // namespace
+
+Result<std::vector<int64_t>> WebspaceStore::Traverse(
+    const std::string& association, const std::vector<int64_t>& from_oids,
+    int64_t role) const {
+  COBRA_ASSIGN_OR_RETURN(const Table* table, AssociationTable(association));
+  return TraverseImpl(*table, 0, 1, from_oids, role);
+}
+
+Result<std::vector<int64_t>> WebspaceStore::TraverseReverse(
+    const std::string& association, const std::vector<int64_t>& to_oids,
+    int64_t role) const {
+  COBRA_ASSIGN_OR_RETURN(const Table* table, AssociationTable(association));
+  return TraverseImpl(*table, 1, 0, to_oids, role);
+}
+
+Result<std::vector<int64_t>> WebspaceStore::Roles(const std::string& association,
+                                                  int64_t from_oid,
+                                                  int64_t to_oid) const {
+  COBRA_ASSIGN_OR_RETURN(const Table* table, AssociationTable(association));
+  std::vector<int64_t> out;
+  const auto& from = table->IntColumn(0);
+  const auto& to = table->IntColumn(1);
+  const auto& roles = table->IntColumn(2);
+  for (size_t r = 0; r < from.size(); ++r) {
+    if (from[r] == from_oid && to[r] == to_oid) out.push_back(roles[r]);
+  }
+  return out;
+}
+
+}  // namespace cobra::webspace

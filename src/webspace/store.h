@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file store.h
+/// Object store conforming to a ConceptSchema: one column-store table per
+/// class (with an implicit `oid` key) and one per association.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/ops.h"
+#include "storage/table.h"
+#include "webspace/schema.h"
+
+namespace cobra::webspace {
+
+class WebspaceStore {
+ public:
+  /// Builds empty tables for every class and association of `schema`.
+  static Result<WebspaceStore> Create(ConceptSchema schema);
+
+  const ConceptSchema& schema() const { return schema_; }
+
+  /// Inserts an object; `values` must match the class's declared attributes
+  /// in order (oid is assigned). Returns the new oid (globally unique).
+  Result<int64_t> Insert(const std::string& class_name,
+                         std::vector<storage::Value> values);
+
+  /// Links two objects through an association; `role` is an integer
+  /// payload (e.g. the court side a player occupies in a match video).
+  Status Link(const std::string& association, int64_t from_oid, int64_t to_oid,
+              int64_t role = 0);
+
+  /// Class table: columns (oid, <declared attributes>...).
+  Result<const storage::Table*> ClassTable(const std::string& class_name) const;
+
+  /// Association table: columns (from_oid, to_oid, role).
+  Result<const storage::Table*> AssociationTable(
+      const std::string& association) const;
+
+  /// Attribute value of one object.
+  Result<storage::Value> GetAttribute(const std::string& class_name,
+                                      int64_t oid,
+                                      const std::string& attribute) const;
+
+  /// Oids reachable from `from_oids` through `association` (set semantics,
+  /// ascending). Role filter applies when role >= 0.
+  Result<std::vector<int64_t>> Traverse(const std::string& association,
+                                        const std::vector<int64_t>& from_oids,
+                                        int64_t role = -1) const;
+
+  /// Reverse traversal: from target oids back to sources.
+  Result<std::vector<int64_t>> TraverseReverse(
+      const std::string& association, const std::vector<int64_t>& to_oids,
+      int64_t role = -1) const;
+
+  /// All role payloads on edges from `from_oid` to `to_oid`.
+  Result<std::vector<int64_t>> Roles(const std::string& association,
+                                     int64_t from_oid, int64_t to_oid) const;
+
+ private:
+  ConceptSchema schema_;
+  std::map<std::string, storage::Table> class_tables_;
+  std::map<std::string, storage::Table> assoc_tables_;
+  std::map<int64_t, std::string> oid_class_;  ///< oid -> class name
+  int64_t next_oid_ = 1;
+};
+
+}  // namespace cobra::webspace

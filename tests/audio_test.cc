@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "audio/features.h"
+#include "audio/fft.h"
+#include "audio/signal.h"
+#include "audio/synthesizer.h"
+#include "util/stats.h"
+
+namespace cobra::audio {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ---------- FFT ----------
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(6);
+  EXPECT_FALSE(Fft(&data).ok());
+}
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < 64; ++i) {
+    data.emplace_back(std::sin(0.3 * i) + 0.2 * i, std::cos(0.1 * i));
+  }
+  auto original = data;
+  ASSERT_TRUE(Fft(&data).ok());
+  ASSERT_TRUE(Fft(&data, /*inverse=*/true).ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, PureToneConcentratesInOneBin) {
+  const int n = 256;
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < n; ++i) {
+    data.emplace_back(std::sin(2.0 * kPi * 16.0 * i / n), 0.0);
+  }
+  ASSERT_TRUE(Fft(&data).ok());
+  // Bin 16 dominates.
+  double mag16 = std::abs(data[16]);
+  for (int k = 1; k < n / 2; ++k) {
+    if (k == 16) continue;
+    EXPECT_LT(std::abs(data[static_cast<size_t>(k)]), mag16 / 10.0) << "bin " << k;
+  }
+}
+
+TEST(SpectrumTest, CentroidTracksFrequency) {
+  const int sr = 16000;
+  auto tone = [&](double hz) {
+    std::vector<float> frame(1024);
+    for (size_t i = 0; i < frame.size(); ++i) {
+      frame[i] = static_cast<float>(std::sin(2.0 * kPi * hz * i / sr));
+    }
+    auto spectrum = MagnitudeSpectrum(frame).TakeValue();
+    return SpectralCentroidHz(spectrum, sr);
+  };
+  EXPECT_NEAR(tone(500.0), 500.0, 120.0);
+  EXPECT_NEAR(tone(3000.0), 3000.0, 300.0);
+  EXPECT_LT(tone(500.0), tone(3000.0));
+}
+
+TEST(SpectrumTest, FlatnessSeparatesToneFromNoise) {
+  Rng rng(3);
+  std::vector<float> tone(1024), noise(1024);
+  for (size_t i = 0; i < tone.size(); ++i) {
+    tone[i] = static_cast<float>(std::sin(2.0 * kPi * 440.0 * i / 16000.0));
+    noise[i] = static_cast<float>(rng.NextGaussian() * 0.3);
+  }
+  double tone_flatness =
+      SpectralFlatness(MagnitudeSpectrum(tone).TakeValue());
+  double noise_flatness =
+      SpectralFlatness(MagnitudeSpectrum(noise).TakeValue());
+  EXPECT_LT(tone_flatness, 0.1);
+  EXPECT_GT(noise_flatness, 0.3);
+}
+
+TEST(SpectrumTest, EmptyFrameRejected) {
+  EXPECT_FALSE(MagnitudeSpectrum({}).ok());
+}
+
+// ---------- Signal ----------
+
+TEST(AudioSignalTest, RmsAndAppend) {
+  std::vector<float> samples(100, 0.5f);
+  AudioSignal a(samples, 16000);
+  EXPECT_NEAR(a.Rms(0, 100), 0.5, 1e-6);
+  EXPECT_NEAR(a.Rms(90, 50), 0.5, 1e-6);  // clipped window
+  EXPECT_EQ(a.Rms(200, 10), 0.0);
+
+  AudioSignal b(samples, 16000);
+  ASSERT_TRUE(a.Append(b).ok());
+  EXPECT_EQ(a.num_samples(), 200);
+  AudioSignal c(samples, 8000);
+  EXPECT_FALSE(a.Append(c).ok());
+}
+
+TEST(AudioSignalTest, Duration) {
+  AudioSignal a(std::vector<float>(32000, 0.0f), 16000);
+  EXPECT_DOUBLE_EQ(a.DurationSeconds(), 2.0);
+}
+
+// ---------- Synthesizer ----------
+
+TEST(AudioSynthesizerTest, ClipsHaveExpectedCharacter) {
+  AudioSynthesizer synth;
+  AudioSignal speech = synth.Speech(3.0);
+  AudioSignal music = synth.Music(3.0);
+  AudioSignal applause = synth.Applause(3.0);
+  AudioSignal silence = synth.Silence(3.0);
+
+  EXPECT_GT(speech.Rms(0, speech.num_samples()), 0.01);
+  EXPECT_GT(music.Rms(0, music.num_samples()), 0.05);
+  EXPECT_GT(applause.Rms(0, applause.num_samples()), 0.02);
+  EXPECT_LT(silence.Rms(0, silence.num_samples()), 0.001);
+}
+
+TEST(AudioSynthesizerTest, DeterministicBySeed) {
+  AudioSynthConfig config;
+  config.seed = 11;
+  AudioSynthesizer a(config), b(config);
+  AudioSignal sa = a.Speech(1.0), sb = b.Speech(1.0);
+  ASSERT_EQ(sa.num_samples(), sb.num_samples());
+  EXPECT_EQ(sa.samples(), sb.samples());
+}
+
+TEST(AudioSynthesizerTest, InterviewSegmentsTileSignal) {
+  AudioSynthesizer synth;
+  auto interview = synth.Interview(10.0, /*applause_tail=*/true);
+  ASSERT_FALSE(interview.segments.empty());
+  EXPECT_EQ(interview.segments.front().range.begin, 0);
+  for (size_t i = 1; i < interview.segments.size(); ++i) {
+    EXPECT_EQ(interview.segments[i].range.begin,
+              interview.segments[i - 1].range.end + 1);
+  }
+  EXPECT_EQ(interview.segments.back().range.end,
+            interview.signal.num_samples() - 1);
+  EXPECT_EQ(interview.segments.back().label, kClassApplause);
+}
+
+// ---------- Analyzer / classifier ----------
+
+TEST(AudioAnalyzerTest, FrameCount) {
+  AudioSynthesizer synth;
+  AudioSignal music = synth.Music(1.0);
+  AudioAnalyzer analyzer;
+  auto features = analyzer.Analyze(music).TakeValue();
+  int64_t expected = (music.num_samples() - 512) / 256 + 1;
+  EXPECT_EQ(static_cast<int64_t>(features.size()), expected);
+}
+
+TEST(AudioAnalyzerTest, FeatureSeparation) {
+  AudioSynthesizer synth;
+  AudioAnalyzer analyzer;
+  auto mean_of = [&](const AudioSignal& signal) {
+    auto features = analyzer.Analyze(signal).TakeValue();
+    AudioFrameFeatures mean;
+    for (const auto& f : features) {
+      mean.spectral_flatness += f.spectral_flatness;
+      mean.harmonicity += f.harmonicity;
+      mean.rms += f.rms;
+    }
+    mean.spectral_flatness /= features.size();
+    mean.harmonicity /= features.size();
+    mean.rms /= features.size();
+    return mean;
+  };
+  auto music = mean_of(synth.Music(2.0));
+  auto applause = mean_of(synth.Applause(2.0));
+  EXPECT_GT(applause.spectral_flatness, music.spectral_flatness * 3);
+  // A triad's notes share no common pitch period, so chord harmonicity is
+  // moderate — but still well above broadband noise.
+  EXPECT_GT(music.harmonicity, 0.3);
+  EXPECT_LT(applause.harmonicity, 0.2);
+  EXPECT_GT(music.harmonicity, applause.harmonicity * 2);
+}
+
+TEST(AudioAnalyzerTest, ClassifiesPureClips) {
+  AudioSynthesizer synth;
+  AudioAnalyzer analyzer;
+  struct Case {
+    AudioSignal signal;
+    const char* label;
+  };
+  std::vector<Case> cases;
+  cases.push_back({synth.Speech(4.0), kClassSpeech});
+  cases.push_back({synth.Music(4.0), kClassMusic});
+  cases.push_back({synth.Applause(4.0), kClassApplause});
+  for (const Case& c : cases) {
+    auto segments = analyzer.Segment(c.signal).TakeValue();
+    double fraction =
+        LabeledFraction(segments, c.label, c.signal.num_samples()).TakeValue();
+    EXPECT_GT(fraction, 0.5) << "clip " << c.label;
+  }
+}
+
+TEST(AudioAnalyzerTest, SegmentsInterviewAgainstTruth) {
+  AudioSynthesizer synth;
+  auto interview = synth.Interview(12.0, /*applause_tail=*/true);
+  AudioAnalyzer analyzer;
+  auto segments = analyzer.Segment(interview.signal).TakeValue();
+
+  // Sample-level agreement between detected labels and truth.
+  auto label_at = [](const std::vector<AudioSegment>& segs, int64_t sample) {
+    for (const auto& s : segs) {
+      if (s.range.Contains(sample)) return s.label;
+    }
+    return std::string();
+  };
+  int64_t agree = 0, total = 0;
+  for (int64_t s = 0; s < interview.signal.num_samples(); s += 1600) {
+    std::string truth = label_at(interview.segments, s);
+    std::string detected = label_at(segments, s);
+    if (truth.empty() || detected.empty()) continue;
+    // Speech pauses between syllables legitimately read as silence.
+    if (truth == kClassSpeech && detected == kClassSilence) continue;
+    ++total;
+    if (truth == detected) ++agree;
+  }
+  ASSERT_GT(total, 20);
+  EXPECT_GT(static_cast<double>(agree) / total, 0.7)
+      << agree << "/" << total;
+}
+
+TEST(AudioAnalyzerTest, SilenceDetection) {
+  AudioSynthesizer synth;
+  AudioSignal silence = synth.Silence(2.0);
+  AudioAnalyzer analyzer;
+  auto segments = analyzer.Segment(silence).TakeValue();
+  double fraction =
+      LabeledFraction(segments, kClassSilence, silence.num_samples()).TakeValue();
+  EXPECT_GT(fraction, 0.95);
+}
+
+TEST(AudioAnalyzerTest, InvalidConfigRejected) {
+  AudioAnalyzerConfig config;
+  config.frame_samples = 8;
+  AudioAnalyzer analyzer(config);
+  AudioSynthesizer synth;
+  EXPECT_FALSE(analyzer.Analyze(synth.Music(0.5)).ok());
+}
+
+TEST(LabeledFractionTest, Validation) {
+  EXPECT_FALSE(LabeledFraction({}, "speech", 0).ok());
+  auto fraction =
+      LabeledFraction({{FrameInterval{0, 49}, "speech"}}, "speech", 100);
+  EXPECT_DOUBLE_EQ(fraction.TakeValue(), 0.5);
+}
+
+}  // namespace
+}  // namespace cobra::audio

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "core/event_composition.h"
+#include "core/object_grammar.h"
+#include "core/tennis_fde.h"
+#include "media/tennis_synthesizer.h"
+
+namespace cobra::core {
+namespace {
+
+// ---------- Object grammar ----------
+
+constexpr const char* kTennisObjectRules = R"(
+# Region classification by shape (paper: object layer entities).
+object player : area > 25 and eccentricity > 0.3 ;
+object ball   : area < 6 ;
+)";
+
+TEST(ObjectGrammarTest, ParsesRules) {
+  auto g = ObjectGrammar::Parse(kTennisObjectRules);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  ASSERT_EQ(g->rules().size(), 2u);
+  EXPECT_EQ(g->rules()[0].name, "player");
+  EXPECT_EQ(g->rules()[0].conditions.size(), 2u);
+  EXPECT_EQ(g->rules()[1].conditions.size(), 1u);
+}
+
+TEST(ObjectGrammarTest, SyntaxErrors) {
+  EXPECT_FALSE(ObjectGrammar::Parse("object x : a < 1").ok());       // no ';'
+  EXPECT_FALSE(ObjectGrammar::Parse("object x : a ? 1 ;").ok());
+  EXPECT_FALSE(ObjectGrammar::Parse("object x : a < one ;").ok());
+  EXPECT_FALSE(ObjectGrammar::Parse("object x : ;").ok());
+  EXPECT_FALSE(ObjectGrammar::Parse("thing x : a < 1 ;").ok());
+  EXPECT_FALSE(ObjectGrammar::Parse("object x : a < 1 b < 2 ;").ok());
+  EXPECT_TRUE(ObjectGrammar::Parse("# empty\n").ok());
+}
+
+TEST(ObjectGrammarTest, ClassifiesByPriority) {
+  auto g = ObjectGrammar::Parse(kTennisObjectRules).TakeValue();
+  FeatureRecord player{{"area", 80.0}, {"eccentricity", 0.7}};
+  FeatureRecord ball{{"area", 3.0}, {"eccentricity", 0.1}};
+  FeatureRecord neither{{"area", 15.0}, {"eccentricity", 0.1}};
+  EXPECT_EQ(g.Classify(player).TakeValue().value_or(""), "player");
+  EXPECT_EQ(g.Classify(ball).TakeValue().value_or(""), "ball");
+  EXPECT_FALSE(g.Classify(neither).TakeValue().has_value());
+}
+
+TEST(ObjectGrammarTest, FirstMatchWins) {
+  auto g = ObjectGrammar::Parse(
+               "object big : area > 10 ;\nobject huge : area > 100 ;")
+               .TakeValue();
+  FeatureRecord r{{"area", 500.0}};
+  EXPECT_EQ(g.Classify(r).TakeValue().value_or(""), "big");
+}
+
+TEST(ObjectGrammarTest, MissingFeatureFails) {
+  auto g = ObjectGrammar::Parse("object x : ghost > 1 ;").TakeValue();
+  EXPECT_FALSE(g.Classify(FeatureRecord{{"area", 1.0}}).ok());
+}
+
+TEST(ObjectGrammarTest, ClassifiesTrackedPlayers) {
+  // End-to-end: the regions the tracker finds should classify as players.
+  media::TennisSynthConfig config;
+  config.num_points = 1;
+  config.include_cutaways = false;
+  config.seed = 4;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  auto indexer = TennisVideoIndexer::Create().TakeValue();
+  auto desc = indexer->Index(*broadcast.video, 1, "t").TakeValue();
+  (void)desc;
+  auto g = ObjectGrammar::Parse(kTennisObjectRules).TakeValue();
+  int classified = 0, total = 0;
+  for (const auto& ts : indexer->tracked_shots()) {
+    for (const auto& track : ts.tracking.tracks) {
+      for (const auto& point : track.points) {
+        if (point.predicted_only) continue;
+        FeatureRecord record{{"area", point.features.area},
+                             {"eccentricity", point.features.eccentricity}};
+        ++total;
+        auto cls = g.Classify(record).TakeValue();
+        if (cls.has_value() && *cls == "player") ++classified;
+      }
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(classified) / total, 0.9);
+}
+
+// ---------- Event composition ----------
+
+grammar::Annotation Event(const char* symbol, int64_t begin, int64_t end,
+                          int64_t player) {
+  grammar::Annotation a(symbol, FrameInterval{begin, end});
+  a.Set("player", player);
+  return a;
+}
+
+TEST(EventComposerTest, RuleValidation) {
+  EventComposer composer;
+  CompositeEventRule bad;
+  EXPECT_TRUE(composer.AddRule(bad).IsInvalidArgument());
+  ASSERT_TRUE(composer.AddRule(NetDuelRule()).ok());
+  EXPECT_EQ(composer.AddRule(NetDuelRule()).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(EventComposerTest, NetDuelFromOverlappingNetPlays) {
+  EventComposer composer;
+  ASSERT_TRUE(composer.AddRule(NetDuelRule()).ok());
+  std::vector<grammar::Annotation> events = {
+      Event("net_play", 100, 140, 0),
+      Event("net_play", 120, 160, 1),
+      Event("net_play", 300, 320, 0),  // no partner -> no duel
+      Event("rally", 90, 200, -1),
+  };
+  auto composites = composer.Compose(events);
+  ASSERT_EQ(composites.size(), 1u);
+  EXPECT_EQ(composites[0].symbol, "net_duel");
+  EXPECT_EQ(composites[0].range, (FrameInterval{120, 140}));
+  EXPECT_EQ(composites[0].IntOr("player", 0), -1);
+}
+
+TEST(EventComposerTest, DistinctPlayersRequired) {
+  EventComposer composer;
+  ASSERT_TRUE(composer.AddRule(NetDuelRule()).ok());
+  // Same player twice at the net with overlap: not a duel.
+  std::vector<grammar::Annotation> events = {
+      Event("net_play", 100, 140, 0),
+      Event("net_play", 120, 160, 0),
+  };
+  EXPECT_TRUE(composer.Compose(events).empty());
+}
+
+TEST(EventComposerTest, SymmetricPairEmittedOnce) {
+  EventComposer composer;
+  ASSERT_TRUE(composer.AddRule(NetDuelRule()).ok());
+  std::vector<grammar::Annotation> events = {
+      Event("net_play", 100, 140, 0),
+      Event("net_play", 120, 160, 1),
+  };
+  EXPECT_EQ(composer.Compose(events).size(), 1u);
+}
+
+TEST(EventComposerTest, UnionSpanAndCustomRelation) {
+  EventComposer composer;
+  CompositeEventRule rule;
+  rule.name = "serve_then_net";
+  rule.a_symbol = "serve";
+  rule.b_symbol = "net_play";
+  rule.relations = {AllenRelation::kBefore, AllenRelation::kMeets};
+  rule.emit_intersection = false;
+  ASSERT_TRUE(composer.AddRule(rule).ok());
+  std::vector<grammar::Annotation> events = {
+      Event("serve", 0, 10, -1),
+      Event("net_play", 50, 80, 0),
+  };
+  auto composites = composer.Compose(events);
+  ASSERT_EQ(composites.size(), 1u);
+  EXPECT_EQ(composites[0].range, (FrameInterval{0, 80}));
+}
+
+TEST(EventComposerTest, IndexerEmitsNetDuels) {
+  // A broadcast engineered for duels: force both players' net approaches by
+  // running several points; duels are rare, so just assert the plumbing
+  // works (composite symbol appears when overlapping net plays exist).
+  media::TennisSynthConfig config;
+  config.num_points = 6;
+  config.seed = 12;
+  config.net_approach_prob = 1.0;
+  config.min_court_frames = 130;
+  config.max_court_frames = 170;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+
+  TennisIndexerConfig indexer_config;
+  indexer_config.composite_rules.push_back(NetDuelRule());
+  auto indexer = TennisVideoIndexer::Create(indexer_config).TakeValue();
+  auto desc = indexer->Index(*broadcast.video, 1, "duel").TakeValue();
+
+  // Cross-check against a composer applied to the same event layer minus
+  // composites.
+  EventComposer composer;
+  ASSERT_TRUE(composer.AddRule(NetDuelRule()).ok());
+  std::vector<grammar::Annotation> base_events;
+  for (const auto& e : desc.Layer(CobraLayer::kEvent)) {
+    if (e.symbol != "net_duel") base_events.push_back(e);
+  }
+  EXPECT_EQ(desc.Named(CobraLayer::kEvent, "net_duel").size(),
+            composer.Compose(base_events).size());
+}
+
+}  // namespace
+}  // namespace cobra::core

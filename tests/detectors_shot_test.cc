@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "detectors/shot_boundary.h"
+#include "detectors/shot_classifier.h"
+#include "media/tennis_synthesizer.h"
+#include "util/stats.h"
+
+namespace cobra::detectors {
+namespace {
+
+using media::Broadcast;
+using media::ShotCategory;
+using media::TennisBroadcastSynthesizer;
+using media::TennisSynthConfig;
+
+TennisSynthConfig TestConfig(uint64_t seed = 42, double noise = 4.0) {
+  TennisSynthConfig config;
+  config.width = 128;
+  config.height = 96;
+  config.num_points = 5;
+  config.min_court_frames = 60;
+  config.max_court_frames = 110;
+  config.min_cutaway_frames = 16;
+  config.max_cutaway_frames = 30;
+  config.noise_sigma = noise;
+  config.seed = seed;
+  return config;
+}
+
+/// Synthesizes once and shares across tests in this binary.
+const Broadcast& SharedBroadcast() {
+  static const Broadcast* broadcast = [] {
+    auto result = TennisBroadcastSynthesizer(TestConfig()).Synthesize();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return new Broadcast(std::move(result).TakeValue());
+  }();
+  return *broadcast;
+}
+
+// ---------- Shot boundary ----------
+
+TEST(ShotBoundaryTest, DistanceSignalLength) {
+  const Broadcast& b = SharedBroadcast();
+  ShotBoundaryDetector detector;
+  auto distances = detector.ComputeDistances(*b.video);
+  ASSERT_TRUE(distances.ok());
+  EXPECT_EQ(static_cast<int64_t>(distances->size()), b.video->num_frames() - 1);
+}
+
+TEST(ShotBoundaryTest, AdaptiveFindsCutsAccurately) {
+  const Broadcast& b = SharedBroadcast();
+  ShotBoundaryDetector detector;
+  auto result = detector.Detect(*b.video);
+  ASSERT_TRUE(result.ok());
+  PrecisionRecall pr =
+      MatchWithTolerance(b.truth.CutPositions(), result->boundaries, 2);
+  EXPECT_GE(pr.F1(), 0.9) << pr.ToString();
+  EXPECT_GE(pr.Recall(), 0.9) << pr.ToString();
+}
+
+TEST(ShotBoundaryTest, FixedThresholdAlsoWorksOnCleanVideo) {
+  auto clean = TennisBroadcastSynthesizer(TestConfig(7, 0.0)).Synthesize();
+  ASSERT_TRUE(clean.ok());
+  ShotBoundaryConfig config;
+  config.mode = ThresholdMode::kFixed;
+  config.fixed_threshold = 0.5;
+  ShotBoundaryDetector detector(config);
+  auto result = detector.Detect(*clean->video);
+  ASSERT_TRUE(result.ok());
+  PrecisionRecall pr =
+      MatchWithTolerance(clean->truth.CutPositions(), result->boundaries, 2);
+  EXPECT_GE(pr.F1(), 0.95) << pr.ToString();
+}
+
+TEST(ShotBoundaryTest, ToShotsPartitionsTimeline) {
+  ShotBoundaryResult r;
+  r.boundaries = {10, 25};
+  auto shots = r.ToShots(40);
+  ASSERT_EQ(shots.size(), 3u);
+  EXPECT_EQ(shots[0], (FrameInterval{0, 9}));
+  EXPECT_EQ(shots[1], (FrameInterval{10, 24}));
+  EXPECT_EQ(shots[2], (FrameInterval{25, 39}));
+}
+
+TEST(ShotBoundaryTest, ToShotsNoBoundaries) {
+  ShotBoundaryResult r;
+  auto shots = r.ToShots(12);
+  ASSERT_EQ(shots.size(), 1u);
+  EXPECT_EQ(shots[0], (FrameInterval{0, 11}));
+}
+
+TEST(ShotBoundaryTest, MinShotFramesMergesNearbyCuts) {
+  ShotBoundaryConfig config;
+  config.mode = ThresholdMode::kFixed;
+  config.fixed_threshold = 0.5;
+  config.min_shot_frames = 8;
+  ShotBoundaryDetector detector(config);
+  // Two spikes 3 frames apart; the stronger (0.9) must win.
+  std::vector<double> signal(30, 0.01);
+  signal[10] = 0.7;
+  signal[13] = 0.9;
+  auto cuts = detector.ThresholdSignal(signal);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], 14);
+}
+
+TEST(ShotBoundaryTest, EmptyAndTinyVideos) {
+  media::MemoryVideo empty({}, 25.0);
+  ShotBoundaryDetector detector;
+  auto r = detector.Detect(empty);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->boundaries.empty());
+  EXPECT_TRUE(r->distances.empty());
+}
+
+struct MetricCase {
+  vision::HistogramDistance metric;
+};
+
+class ShotBoundaryMetricTest : public ::testing::TestWithParam<MetricCase> {};
+
+TEST_P(ShotBoundaryMetricTest, AllMetricsDetectCuts) {
+  const Broadcast& b = SharedBroadcast();
+  ShotBoundaryConfig config;
+  config.metric = GetParam().metric;
+  ShotBoundaryDetector detector(config);
+  auto result = detector.Detect(*b.video);
+  ASSERT_TRUE(result.ok());
+  PrecisionRecall pr =
+      MatchWithTolerance(b.truth.CutPositions(), result->boundaries, 2);
+  EXPECT_GE(pr.F1(), 0.85) << vision::HistogramDistanceToString(GetParam().metric)
+                           << ": " << pr.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Metrics, ShotBoundaryMetricTest,
+    ::testing::Values(MetricCase{vision::HistogramDistance::kL1},
+                      MetricCase{vision::HistogramDistance::kChiSquare},
+                      MetricCase{vision::HistogramDistance::kIntersection}));
+
+// ---------- Shot classification ----------
+
+TEST(ShotClassifierTest, ClassifiesGroundTruthShots) {
+  const Broadcast& b = SharedBroadcast();
+  ShotClassifier classifier;
+  ConfusionMatrix cm(media::kNumShotCategories);
+  for (const auto& shot : b.truth.shots) {
+    auto classified = classifier.Classify(*b.video, shot.range);
+    ASSERT_TRUE(classified.ok());
+    cm.Add(static_cast<size_t>(shot.category),
+           static_cast<size_t>(classified->category));
+  }
+  EXPECT_GE(cm.Accuracy(), 0.9) << cm.ToString(
+      {"tennis", "close-up", "audience", "other"});
+  // The paper's strong cues: court and close-up shots should be near-perfect.
+  EXPECT_GE(cm.ClassRecall(static_cast<size_t>(ShotCategory::kTennis)), 0.99);
+}
+
+TEST(ShotClassifierTest, FeaturesSeparateCategories) {
+  TennisBroadcastSynthesizer synth(TestConfig());
+  media::MemoryVideo video({}, 25.0);
+  // 4 standalone frames, one per category, as 1-frame "shots".
+  for (int c = 0; c < 4; ++c) {
+    ASSERT_TRUE(
+        video.Append(synth.RenderStandalone(static_cast<ShotCategory>(c), 100 + c))
+            .ok());
+  }
+  ShotClassifier classifier;
+  auto tennis = classifier.ComputeFeatures(video, FrameInterval{0, 0}).TakeValue();
+  auto closeup = classifier.ComputeFeatures(video, FrameInterval{1, 1}).TakeValue();
+  auto audience = classifier.ComputeFeatures(video, FrameInterval{2, 2}).TakeValue();
+  auto other = classifier.ComputeFeatures(video, FrameInterval{3, 3}).TakeValue();
+
+  EXPECT_GT(tennis.dominant_ratio, closeup.dominant_ratio);
+  EXPECT_GT(closeup.skin_ratio, 0.1);
+  EXPECT_LT(tennis.skin_ratio, 0.05);
+  EXPECT_GT(audience.entropy, other.entropy);
+  EXPECT_GT(audience.entropy, 6.0);
+}
+
+TEST(ShotClassifierTest, ClassifyAllMatchesIndividual) {
+  const Broadcast& b = SharedBroadcast();
+  ShotClassifier classifier;
+  std::vector<FrameInterval> ranges;
+  for (const auto& s : b.truth.shots) ranges.push_back(s.range);
+  auto all = classifier.ClassifyAll(*b.video, ranges);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    auto one = classifier.Classify(*b.video, ranges[i]);
+    ASSERT_TRUE(one.ok());
+    EXPECT_EQ((*all)[i].category, one->category) << "shot " << i;
+  }
+}
+
+TEST(ShotClassifierTest, RejectsBadRange) {
+  const Broadcast& b = SharedBroadcast();
+  ShotClassifier classifier;
+  EXPECT_FALSE(classifier.Classify(*b.video, FrameInterval{-1, 5}).ok());
+  EXPECT_FALSE(
+      classifier
+          .Classify(*b.video, FrameInterval{0, b.video->num_frames() + 5})
+          .ok());
+}
+
+TEST(ShotClassifierTest, RuleOrderCourtBeatsSkin) {
+  // A feature vector that satisfies both court and skin cues must be court:
+  // the paper applies the dominant-color rule first.
+  ShotClassifier classifier;
+  ShotFeatures f;
+  f.dominant_ratio = 0.5;
+  f.dominant_hue = 220.0;
+  f.dominant_saturation = 0.7;
+  f.dominant_value = 0.7;
+  f.skin_ratio = 0.5;
+  EXPECT_EQ(classifier.ClassifyFeatures(f), ShotCategory::kTennis);
+}
+
+TEST(ShotClassifierTest, DefaultsToOther) {
+  ShotClassifier classifier;
+  ShotFeatures f;  // all zeros
+  EXPECT_EQ(classifier.ClassifyFeatures(f), ShotCategory::kOther);
+}
+
+// ---------- End-to-end segment detector (boundary + classification) ----------
+
+TEST(SegmentDetectorTest, EndToEndPipeline) {
+  const Broadcast& b = SharedBroadcast();
+  ShotBoundaryDetector boundary_detector;
+  auto boundaries = boundary_detector.Detect(*b.video);
+  ASSERT_TRUE(boundaries.ok());
+  auto shots = boundaries->ToShots(b.video->num_frames());
+
+  ShotClassifier classifier;
+  auto classified = classifier.ClassifyAll(*b.video, shots);
+  ASSERT_TRUE(classified.ok());
+
+  // Frame-level classification accuracy: each frame inherits its detected
+  // shot's category; compare against truth per frame.
+  int64_t correct = 0;
+  for (const auto& shot : *classified) {
+    for (int64_t f = shot.range.begin; f <= shot.range.end; ++f) {
+      if (b.truth.CategoryAt(f) == shot.category) ++correct;
+    }
+  }
+  double frame_accuracy =
+      static_cast<double>(correct) / static_cast<double>(b.video->num_frames());
+  EXPECT_GE(frame_accuracy, 0.9);
+}
+
+}  // namespace
+}  // namespace cobra::detectors

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "detectors/shot_boundary.h"
+#include "media/tennis_synthesizer.h"
+#include "util/stats.h"
+
+namespace cobra::detectors {
+namespace {
+
+using media::Broadcast;
+using media::TennisBroadcastSynthesizer;
+using media::TennisSynthConfig;
+
+TennisSynthConfig DissolveConfig(double prob, uint64_t seed = 42) {
+  TennisSynthConfig config;
+  config.width = 112;
+  config.height = 88;
+  config.num_points = 4;
+  config.min_court_frames = 70;
+  config.max_court_frames = 100;
+  config.min_cutaway_frames = 18;
+  config.max_cutaway_frames = 28;
+  config.noise_sigma = 3.0;
+  config.dissolve_prob = prob;
+  config.dissolve_frames = 12;
+  config.seed = seed;
+  return config;
+}
+
+TEST(DissolveSynthesisTest, TruthRecordsTransitions) {
+  auto broadcast =
+      TennisBroadcastSynthesizer(DissolveConfig(1.0)).Synthesize().TakeValue();
+  const auto& truth = broadcast.truth;
+  ASSERT_FALSE(truth.gradual_transitions.empty());
+  // Every non-first shot begins with a dissolve at prob 1.0.
+  EXPECT_EQ(truth.gradual_transitions.size(), truth.shots.size() - 1);
+  for (const auto& transition : truth.gradual_transitions) {
+    EXPECT_TRUE(truth.IsGradual(transition.begin));
+    EXPECT_LE(transition.Length(), 12);
+    EXPECT_GE(transition.Length(), 2);
+  }
+  EXPECT_TRUE(truth.HardCutPositions().empty());
+}
+
+TEST(DissolveSynthesisTest, ZeroProbMeansAllHardCuts) {
+  auto broadcast =
+      TennisBroadcastSynthesizer(DissolveConfig(0.0)).Synthesize().TakeValue();
+  EXPECT_TRUE(broadcast.truth.gradual_transitions.empty());
+  EXPECT_EQ(broadcast.truth.HardCutPositions().size(),
+            broadcast.truth.shots.size() - 1);
+}
+
+TEST(DissolveSynthesisTest, BlendedFramesInterpolate) {
+  auto broadcast =
+      TennisBroadcastSynthesizer(DissolveConfig(1.0)).Synthesize().TakeValue();
+  const auto& transition = broadcast.truth.gradual_transitions.front();
+  // A blended frame sits between its neighbors in pixel space: the distance
+  // signal across the dissolve is spread out, never a single spike.
+  ShotBoundaryDetector detector;
+  auto distances = detector.ComputeDistances(*broadcast.video).TakeValue();
+  double max_step = 0.0;
+  int elevated = 0;
+  for (int64_t f = transition.begin - 1; f <= transition.end; ++f) {
+    double d = distances[static_cast<size_t>(f)];
+    max_step = std::max(max_step, d);
+    if (d > 0.1) ++elevated;
+  }
+  // The scene change is spread over the blend (many elevated steps), not
+  // concentrated in one cut-sized spike.
+  EXPECT_LT(max_step, 1.2);
+  EXPECT_GE(elevated, 5) << "dissolve difference should be spread out";
+}
+
+TEST(GradualDetectionTest, HardCutDetectorMissesDissolves) {
+  auto broadcast =
+      TennisBroadcastSynthesizer(DissolveConfig(1.0)).Synthesize().TakeValue();
+  ShotBoundaryDetector detector;  // gradual detection off
+  auto result = detector.Detect(*broadcast.video).TakeValue();
+  // The hard-cut detector finds (almost) nothing — the motivation for the
+  // twin-comparison extension.
+  std::vector<int64_t> all_cuts = broadcast.truth.CutPositions();
+  PrecisionRecall pr = MatchWithTolerance(all_cuts, result.boundaries, 2);
+  EXPECT_LT(pr.Recall(), 0.4) << pr.ToString();
+}
+
+TEST(GradualDetectionTest, TwinComparisonFindsDissolves) {
+  ShotBoundaryConfig config;
+  config.detect_gradual = true;
+  ShotBoundaryDetector detector(config);
+
+  PrecisionRecall pr;
+  for (uint64_t seed : {42, 43, 44}) {
+    auto broadcast = TennisBroadcastSynthesizer(DissolveConfig(1.0, seed))
+                         .Synthesize()
+                         .TakeValue();
+    auto result = detector.Detect(*broadcast.video).TakeValue();
+    std::vector<int64_t> truth_starts, detected_starts;
+    for (const auto& t : broadcast.truth.gradual_transitions) {
+      truth_starts.push_back(t.begin);
+    }
+    for (const auto& t : result.gradual) detected_starts.push_back(t.begin);
+    PrecisionRecall one =
+        MatchWithTolerance(truth_starts, detected_starts, 4);
+    pr.true_positives += one.true_positives;
+    pr.false_positives += one.false_positives;
+    pr.false_negatives += one.false_negatives;
+  }
+  EXPECT_GE(pr.Recall(), 0.7) << pr.ToString();
+  EXPECT_GE(pr.Precision(), 0.7) << pr.ToString();
+}
+
+TEST(GradualDetectionTest, MixedTransitionsBothDetected) {
+  auto broadcast = TennisBroadcastSynthesizer(DissolveConfig(0.5, 7))
+                       .Synthesize()
+                       .TakeValue();
+  ShotBoundaryConfig config;
+  config.detect_gradual = true;
+  ShotBoundaryDetector detector(config);
+  auto result = detector.Detect(*broadcast.video).TakeValue();
+
+  // Hard cuts still found.
+  PrecisionRecall hard = MatchWithTolerance(
+      broadcast.truth.HardCutPositions(), result.boundaries, 2);
+  EXPECT_GE(hard.Recall(), 0.8) << hard.ToString();
+
+  // Combined (hard boundaries + gradual starts) covers all transitions.
+  std::vector<int64_t> combined = result.boundaries;
+  for (const auto& t : result.gradual) combined.push_back(t.begin);
+  PrecisionRecall all =
+      MatchWithTolerance(broadcast.truth.CutPositions(), combined, 4);
+  EXPECT_GE(all.Recall(), 0.8) << all.ToString();
+}
+
+TEST(GradualDetectionTest, NoFalseDissolvesOnHardCutVideo) {
+  auto broadcast =
+      TennisBroadcastSynthesizer(DissolveConfig(0.0)).Synthesize().TakeValue();
+  ShotBoundaryConfig config;
+  config.detect_gradual = true;
+  ShotBoundaryDetector detector(config);
+  auto result = detector.Detect(*broadcast.video).TakeValue();
+  EXPECT_LE(result.gradual.size(), 1u)
+      << "hard-cut-only video should yield (almost) no dissolves";
+}
+
+}  // namespace
+}  // namespace cobra::detectors

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "grammar/annotation.h"
+#include "grammar/fde.h"
+#include "grammar/feature_grammar.h"
+#include "media/video.h"
+
+namespace cobra::grammar {
+namespace {
+
+constexpr const char* kTennisGrammarText = R"(
+# Tennis feature grammar (paper Figure 1).
+start video ;
+segment   : video ;
+tennis    : segment ;
+closeup   : segment ;
+audience  : segment ;
+player    : tennis ;
+features  : player ;
+net_play  : features ;
+rally     : features ;
+)";
+
+// ---------- Annotation ----------
+
+TEST(AnnotationTest, TypedAccessors) {
+  Annotation a("shot", FrameInterval{0, 10});
+  a.Set("category", std::string("tennis"));
+  a.Set("player", int64_t{1});
+  a.Set("speed", 3.5);
+
+  std::string s;
+  EXPECT_TRUE(a.GetString("category", &s));
+  EXPECT_EQ(s, "tennis");
+  int64_t i;
+  EXPECT_TRUE(a.GetInt("player", &i));
+  EXPECT_EQ(i, 1);
+  double d;
+  EXPECT_TRUE(a.GetDouble("speed", &d));
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  // Int promotes to double.
+  EXPECT_TRUE(a.GetDouble("player", &d));
+  EXPECT_DOUBLE_EQ(d, 1.0);
+  // Wrong type / missing key.
+  EXPECT_FALSE(a.GetInt("category", &i));
+  EXPECT_FALSE(a.GetString("missing", &s));
+  EXPECT_EQ(a.IntOr("missing", 7), 7);
+  EXPECT_EQ(a.StringOr("category", "x"), "tennis");
+  EXPECT_DOUBLE_EQ(a.DoubleOr("speed", 0.0), 3.5);
+}
+
+TEST(AnnotationTest, MetaValueToString) {
+  EXPECT_EQ(MetaValueToString(MetaValue{int64_t{42}}), "42");
+  EXPECT_EQ(MetaValueToString(MetaValue{std::string("x")}), "x");
+  EXPECT_EQ(MetaValueToString(MetaValue{2.5}), "2.5");
+}
+
+// ---------- Grammar parsing ----------
+
+TEST(FeatureGrammarTest, ParsesTennisGrammar) {
+  auto g = FeatureGrammar::Parse(kTennisGrammarText);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->start_symbol(), "video");
+  EXPECT_EQ(g->rules().size(), 8u);
+  EXPECT_TRUE(g->HasSymbol("net_play"));
+  EXPECT_FALSE(g->HasSymbol("nonexistent"));
+  EXPECT_EQ(g->DependenciesOf("player"), std::vector<std::string>{"tennis"});
+  EXPECT_TRUE(g->DependenciesOf("video").empty());
+}
+
+TEST(FeatureGrammarTest, ExecutionOrderRespectsDependencies) {
+  auto g = FeatureGrammar::Parse(kTennisGrammarText).TakeValue();
+  const auto& order = g.ExecutionOrder();
+  ASSERT_EQ(order.size(), 8u);
+  auto pos = [&](const std::string& s) {
+    return std::find(order.begin(), order.end(), s) - order.begin();
+  };
+  EXPECT_LT(pos("segment"), pos("tennis"));
+  EXPECT_LT(pos("tennis"), pos("player"));
+  EXPECT_LT(pos("player"), pos("features"));
+  EXPECT_LT(pos("features"), pos("net_play"));
+  EXPECT_LT(pos("features"), pos("rally"));
+  EXPECT_LT(pos("segment"), pos("closeup"));
+}
+
+TEST(FeatureGrammarTest, SyntaxErrors) {
+  EXPECT_TRUE(FeatureGrammar::Parse("segment : video ;").status().IsParseError())
+      << "missing start";
+  EXPECT_TRUE(
+      FeatureGrammar::Parse("start video ;\nsegment : video").status().IsParseError())
+      << "missing semicolon";
+  EXPECT_TRUE(
+      FeatureGrammar::Parse("start video ;\nstart video ;").status().IsParseError())
+      << "duplicate start";
+  EXPECT_TRUE(FeatureGrammar::Parse("start video ;\n: video ;").status().IsParseError());
+  EXPECT_TRUE(
+      FeatureGrammar::Parse("start video ;\n2bad : video ;").status().IsParseError())
+      << "bad identifier";
+}
+
+TEST(FeatureGrammarTest, SemanticErrors) {
+  // Unknown dependency.
+  EXPECT_FALSE(FeatureGrammar::Parse("start video ;\nx : ghost ;").ok());
+  // Duplicate rule.
+  EXPECT_FALSE(
+      FeatureGrammar::Parse("start video ;\nx : video ;\nx : video ;").ok());
+  // Cycle.
+  EXPECT_FALSE(
+      FeatureGrammar::Parse("start video ;\na : b ;\nb : a ;").ok());
+  // Start symbol with a rule.
+  EXPECT_FALSE(FeatureGrammar::Parse("start video ;\nvideo : video ;").ok());
+  // Duplicate dependency.
+  EXPECT_FALSE(
+      FeatureGrammar::Parse("start video ;\nx : video video ;").ok());
+}
+
+TEST(FeatureGrammarTest, CommentsAndBlankLines) {
+  auto g = FeatureGrammar::Parse(
+      "# header\n\nstart video ;  # trailing\n seg : video ; # rule\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->rules().size(), 1u);
+}
+
+TEST(FeatureGrammarTest, DownstreamClosure) {
+  auto g = FeatureGrammar::Parse(kTennisGrammarText).TakeValue();
+  // tennis -> player -> features -> {net_play, rally}.
+  auto down = g.Downstream("tennis");
+  std::sort(down.begin(), down.end());
+  EXPECT_EQ(down, (std::vector<std::string>{"features", "net_play", "player",
+                                            "rally"}));
+}
+
+TEST(FeatureGrammarTest, DownstreamOfSegmentIsEverything) {
+  auto g = FeatureGrammar::Parse(kTennisGrammarText).TakeValue();
+  EXPECT_EQ(g.Downstream("segment").size(), 7u);
+  EXPECT_TRUE(g.Downstream("net_play").empty());
+}
+
+TEST(FeatureGrammarTest, ToDotContainsAllEdges) {
+  auto g = FeatureGrammar::Parse(kTennisGrammarText).TakeValue();
+  std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("\"video\" -> \"segment\""), std::string::npos);
+  EXPECT_NE(dot.find("\"features\" -> \"net_play\""), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+// ---------- FDE ----------
+
+media::MemoryVideo TinyVideo() {
+  std::vector<media::Frame> frames;
+  for (int i = 0; i < 4; ++i) frames.emplace_back(8, 8);
+  return media::MemoryVideo(std::move(frames), 25.0);
+}
+
+FeatureGrammar ChainGrammar() {
+  return FeatureGrammar::Parse(
+             "start video ;\na : video ;\nb : a ;\nc : b ;")
+      .TakeValue();
+}
+
+TEST(FdeTest, RegistersAndValidates) {
+  FeatureDetectorEngine fde(ChainGrammar());
+  EXPECT_TRUE(fde.CheckComplete().IsInvalidArgument() ||
+              fde.CheckComplete().code() == StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(fde.RegisterDetector("a", [](const DetectionContext&) {
+                   return std::vector<Annotation>{};
+                 }).ok());
+  // Duplicate registration fails.
+  EXPECT_EQ(fde.RegisterDetector("a", [](const DetectionContext&) {
+                 return std::vector<Annotation>{};
+               }).code(),
+            StatusCode::kAlreadyExists);
+  // Unknown symbol fails.
+  EXPECT_TRUE(fde.RegisterDetector("ghost", [](const DetectionContext&) {
+                   return std::vector<Annotation>{};
+                 }).IsNotFound());
+  // Start symbol fails.
+  EXPECT_TRUE(fde.RegisterDetector("video", [](const DetectionContext&) {
+                   return std::vector<Annotation>{};
+                 }).IsInvalidArgument());
+}
+
+TEST(FdeTest, RunsDetectorsInOrderAndFillsBlackboard) {
+  FeatureDetectorEngine fde(ChainGrammar());
+  std::vector<std::string> call_order;
+  ASSERT_TRUE(fde.RegisterDetector("a", [&](const DetectionContext& ctx) {
+                   call_order.push_back("a");
+                   EXPECT_EQ(ctx.video().num_frames(), 4);
+                   std::vector<Annotation> out;
+                   out.emplace_back("", FrameInterval{0, 1});
+                   out.emplace_back("", FrameInterval{2, 3});
+                   return out;
+                 }).ok());
+  ASSERT_TRUE(fde.RegisterDetector("b", [&](const DetectionContext& ctx) {
+                   call_order.push_back("b");
+                   EXPECT_EQ(ctx.Of("a").size(), 2u);
+                   std::vector<Annotation> out;
+                   Annotation ann("", ctx.Of("a")[0].range);
+                   ann.Set("derived", int64_t{1});
+                   out.push_back(ann);
+                   return out;
+                 }).ok());
+  ASSERT_TRUE(fde.RegisterDetector("c", [&](const DetectionContext& ctx) {
+                   call_order.push_back("c");
+                   EXPECT_EQ(ctx.Of("b").size(), 1u);
+                   return std::vector<Annotation>{};
+                 }).ok());
+
+  media::MemoryVideo video = TinyVideo();
+  auto report = fde.Run(video);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(call_order, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(report->detectors.size(), 3u);
+  EXPECT_EQ(report->TotalAnnotations(), 3);
+  // Annotations got stamped with their symbol.
+  ASSERT_EQ(fde.AnnotationsOf("a").size(), 2u);
+  EXPECT_EQ(fde.AnnotationsOf("a")[0].symbol, "a");
+  EXPECT_EQ(fde.AnnotationsOf("b")[0].IntOr("derived", 0), 1);
+  EXPECT_TRUE(fde.AnnotationsOf("ghost").empty());
+  EXPECT_NE(report->ToString().find("total"), std::string::npos);
+}
+
+TEST(FdeTest, DetectorFailureSurfaces) {
+  FeatureDetectorEngine fde(ChainGrammar());
+  ASSERT_TRUE(fde.RegisterDetector("a", [](const DetectionContext&) {
+                   return std::vector<Annotation>{};
+                 }).ok());
+  ASSERT_TRUE(fde.RegisterDetector("b", [](const DetectionContext&)
+                                            -> Result<std::vector<Annotation>> {
+                   return Status::Internal("boom");
+                 }).ok());
+  ASSERT_TRUE(fde.RegisterDetector("c", [](const DetectionContext&) {
+                   return std::vector<Annotation>{};
+                 }).ok());
+  media::MemoryVideo video = TinyVideo();
+  auto report = fde.Run(video);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kDetectorError);
+  EXPECT_NE(report.status().message().find("'b'"), std::string::npos);
+}
+
+TEST(FdeTest, WhiteboxRuleFiltersAnnotations) {
+  auto grammar = FeatureGrammar::Parse(
+                     "start video ;\nfeatures : video ;\nnet : features ;")
+                     .TakeValue();
+  FeatureDetectorEngine fde(std::move(grammar));
+  ASSERT_TRUE(fde.RegisterDetector("features", [](const DetectionContext&) {
+                   std::vector<Annotation> out;
+                   Annotation near_net("", FrameInterval{0, 20});
+                   near_net.Set("net_distance", 5.0);
+                   Annotation far_from_net("", FrameInterval{30, 60});
+                   far_from_net.Set("net_distance", 40.0);
+                   Annotation brief("", FrameInterval{70, 72});
+                   brief.Set("net_distance", 2.0);
+                   out = {near_net, far_from_net, brief};
+                   return out;
+                 }).ok());
+  WhiteboxRule rule;
+  rule.source = "features";
+  rule.attribute = "net_distance";
+  rule.op = WhiteboxRule::Op::kLess;
+  rule.threshold = 10.0;
+  rule.min_length = 10;
+  ASSERT_TRUE(fde.RegisterWhitebox("net", rule).ok());
+
+  media::MemoryVideo video = TinyVideo();
+  ASSERT_TRUE(fde.Run(video).ok());
+  // Only the first annotation passes both distance and length constraints.
+  ASSERT_EQ(fde.AnnotationsOf("net").size(), 1u);
+  EXPECT_EQ(fde.AnnotationsOf("net")[0].range, (FrameInterval{0, 20}));
+  EXPECT_EQ(fde.AnnotationsOf("net")[0].symbol, "net");
+}
+
+TEST(FdeTest, WhiteboxSourceMustBeDependency) {
+  auto grammar = FeatureGrammar::Parse(
+                     "start video ;\nx : video ;\ny : video ;")
+                     .TakeValue();
+  FeatureDetectorEngine fde(std::move(grammar));
+  WhiteboxRule rule;
+  rule.source = "x";  // but y depends only on video
+  rule.attribute = "a";
+  EXPECT_TRUE(fde.RegisterWhitebox("y", rule).IsInvalidArgument());
+}
+
+TEST(FdeTest, IncrementalRerunsOnlyDownstream) {
+  FeatureDetectorEngine fde(ChainGrammar());
+  int runs_a = 0, runs_b = 0, runs_c = 0;
+  ASSERT_TRUE(fde.RegisterDetector("a", [&](const DetectionContext&) {
+                   ++runs_a;
+                   std::vector<Annotation> out;
+                   out.emplace_back("", FrameInterval{0, 3});
+                   return out;
+                 }).ok());
+  ASSERT_TRUE(fde.RegisterDetector("b", [&](const DetectionContext& ctx) {
+                   ++runs_b;
+                   return std::vector<Annotation>(ctx.Of("a"));
+                 }).ok());
+  ASSERT_TRUE(fde.RegisterDetector("c", [&](const DetectionContext& ctx) {
+                   ++runs_c;
+                   return std::vector<Annotation>(ctx.Of("b"));
+                 }).ok());
+  media::MemoryVideo video = TinyVideo();
+  ASSERT_TRUE(fde.Run(video).ok());
+  EXPECT_EQ(runs_a, 1);
+
+  // Replace b: incremental run must re-run b and c but reuse a.
+  ASSERT_TRUE(fde.ReplaceDetector("b", [&](const DetectionContext& ctx) {
+                   ++runs_b;
+                   std::vector<Annotation> out(ctx.Of("a"));
+                   for (auto& ann : out) ann.Set("v2", int64_t{1});
+                   return out;
+                 }).ok());
+  auto report = fde.RunIncremental(video);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(runs_a, 1);
+  EXPECT_EQ(runs_b, 2);
+  EXPECT_EQ(runs_c, 2);
+  EXPECT_TRUE(report->detectors[0].from_cache);
+  EXPECT_FALSE(report->detectors[1].from_cache);
+  EXPECT_EQ(fde.AnnotationsOf("c")[0].IntOr("v2", 0), 1);
+
+  // A second incremental run with nothing dirty reuses everything.
+  auto report2 = fde.RunIncremental(video);
+  ASSERT_TRUE(report2.ok());
+  EXPECT_EQ(runs_b, 2);
+  for (const auto& d : report2->detectors) EXPECT_TRUE(d.from_cache);
+}
+
+TEST(FdeTest, IncrementalRequiresPriorRun) {
+  FeatureDetectorEngine fde(ChainGrammar());
+  media::MemoryVideo video = TinyVideo();
+  EXPECT_EQ(fde.RunIncremental(video).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace cobra::grammar

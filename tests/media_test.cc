@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "media/color.h"
+#include "media/frame.h"
+#include "media/ground_truth.h"
+#include "media/ppm.h"
+#include "media/tennis_synthesizer.h"
+#include "media/video.h"
+
+namespace cobra::media {
+namespace {
+
+// ---------- Color ----------
+
+TEST(ColorTest, RgbHsvRoundTripPrimaries) {
+  for (const Rgb& c : {Rgb{255, 0, 0}, Rgb{0, 255, 0}, Rgb{0, 0, 255},
+                       Rgb{255, 255, 0}, Rgb{128, 128, 128}, Rgb{10, 200, 90}}) {
+    Rgb back = HsvToRgb(RgbToHsv(c));
+    EXPECT_NEAR(back.r, c.r, 2);
+    EXPECT_NEAR(back.g, c.g, 2);
+    EXPECT_NEAR(back.b, c.b, 2);
+  }
+}
+
+TEST(ColorTest, KnownHues) {
+  EXPECT_NEAR(RgbToHsv(Rgb{255, 0, 0}).h, 0.0, 1.0);
+  EXPECT_NEAR(RgbToHsv(Rgb{0, 255, 0}).h, 120.0, 1.0);
+  EXPECT_NEAR(RgbToHsv(Rgb{0, 0, 255}).h, 240.0, 1.0);
+  EXPECT_NEAR(RgbToHsv(Rgb{128, 128, 128}).s, 0.0, 1e-9);
+}
+
+TEST(ColorTest, SkinDetector) {
+  EXPECT_TRUE(IsSkinColor(Rgb{208, 144, 112}));  // synthesizer skin
+  EXPECT_TRUE(IsSkinColor(Rgb{200, 140, 110}));
+  EXPECT_TRUE(IsSkinColor(Rgb{222, 164, 124}));
+  EXPECT_FALSE(IsSkinColor(Rgb{48, 80, 176}));   // court blue
+  EXPECT_FALSE(IsSkinColor(Rgb{48, 112, 80}));   // surround green
+  EXPECT_FALSE(IsSkinColor(Rgb{240, 240, 240})); // line white
+  EXPECT_FALSE(IsSkinColor(Rgb{30, 30, 30}));    // dark
+}
+
+TEST(ColorTest, LumaWeights) {
+  EXPECT_NEAR(Rgb(255, 255, 255).Luma(), 255.0, 1e-9);
+  EXPECT_NEAR(Rgb(0, 0, 0).Luma(), 0.0, 1e-9);
+  EXPECT_GT(Rgb(0, 255, 0).Luma(), Rgb(255, 0, 0).Luma());
+}
+
+// ---------- Frame ----------
+
+TEST(FrameTest, ConstructAndFill) {
+  Frame f(8, 6, Rgb{1, 2, 3});
+  EXPECT_EQ(f.width(), 8);
+  EXPECT_EQ(f.height(), 6);
+  EXPECT_EQ(f.PixelCount(), 48);
+  EXPECT_EQ(f.At(7, 5), (Rgb{1, 2, 3}));
+}
+
+TEST(FrameTest, FillRectClips) {
+  Frame f(10, 10);
+  f.FillRect(RectI{8, 8, 10, 10}, Rgb{255, 0, 0});
+  EXPECT_EQ(f.At(9, 9), (Rgb{255, 0, 0}));
+  EXPECT_EQ(f.At(7, 7), (Rgb{0, 0, 0}));
+}
+
+TEST(FrameTest, FillEllipseCoversCenter) {
+  Frame f(20, 20);
+  f.FillEllipse(10, 10, 5, 3, Rgb{9, 9, 9});
+  EXPECT_EQ(f.At(10, 10), (Rgb{9, 9, 9}));
+  EXPECT_EQ(f.At(14, 10), (Rgb{9, 9, 9}));
+  EXPECT_EQ(f.At(10, 14), (Rgb{0, 0, 0}));  // outside ry=3
+  EXPECT_EQ(f.At(16, 10), (Rgb{0, 0, 0}));  // outside rx=5
+}
+
+TEST(FrameTest, DrawLineEndpoints) {
+  Frame f(10, 10);
+  f.DrawLine(1, 1, 8, 5, Rgb{7, 7, 7});
+  EXPECT_EQ(f.At(1, 1), (Rgb{7, 7, 7}));
+  EXPECT_EQ(f.At(8, 5), (Rgb{7, 7, 7}));
+}
+
+TEST(FrameTest, CropContents) {
+  Frame f(10, 10);
+  f.Set(5, 5, Rgb{9, 8, 7});
+  Frame c = f.Crop(RectI{4, 4, 3, 3});
+  EXPECT_EQ(c.width(), 3);
+  EXPECT_EQ(c.At(1, 1), (Rgb{9, 8, 7}));
+}
+
+TEST(FrameTest, DownsampleAverages) {
+  Frame f(4, 4, Rgb{0, 0, 0});
+  f.FillRect(RectI{0, 0, 2, 4}, Rgb{200, 100, 0});
+  auto half = f.Downsample(2);
+  ASSERT_TRUE(half.ok());
+  EXPECT_EQ(half->width(), 2);
+  EXPECT_EQ(half->At(0, 0), (Rgb{200, 100, 0}));
+  EXPECT_EQ(half->At(1, 0), (Rgb{0, 0, 0}));
+}
+
+TEST(FrameTest, DownsampleRejectsBadFactor) {
+  Frame f(4, 4);
+  EXPECT_FALSE(f.Downsample(0).ok());
+}
+
+// ---------- MemoryVideo ----------
+
+TEST(MemoryVideoTest, AppendAndGet) {
+  MemoryVideo v({}, 25.0);
+  EXPECT_TRUE(v.Append(Frame(4, 4, Rgb{1, 1, 1})).ok());
+  EXPECT_TRUE(v.Append(Frame(4, 4, Rgb{2, 2, 2})).ok());
+  EXPECT_EQ(v.num_frames(), 2);
+  auto f = v.GetFrame(1);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->At(0, 0), (Rgb{2, 2, 2}));
+}
+
+TEST(MemoryVideoTest, RejectsMismatchedFrames) {
+  MemoryVideo v({}, 25.0);
+  ASSERT_TRUE(v.Append(Frame(4, 4)).ok());
+  EXPECT_FALSE(v.Append(Frame(5, 4)).ok());
+}
+
+TEST(MemoryVideoTest, OutOfRangeGet) {
+  MemoryVideo v({}, 25.0);
+  ASSERT_TRUE(v.Append(Frame(4, 4)).ok());
+  EXPECT_FALSE(v.GetFrame(-1).ok());
+  EXPECT_FALSE(v.GetFrame(1).ok());
+}
+
+// ---------- PPM ----------
+
+TEST(PpmTest, RoundTrip) {
+  Frame f(5, 3);
+  f.Set(2, 1, Rgb{10, 20, 30});
+  f.Set(4, 2, Rgb{200, 100, 50});
+  std::string path = ::testing::TempDir() + "/cobra_ppm_test.ppm";
+  ASSERT_TRUE(WritePpm(f, path).ok());
+  auto back = ReadPpm(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->width(), 5);
+  EXPECT_EQ(back->height(), 3);
+  EXPECT_EQ(back->At(2, 1), (Rgb{10, 20, 30}));
+  EXPECT_EQ(back->At(4, 2), (Rgb{200, 100, 50}));
+  std::remove(path.c_str());
+}
+
+TEST(PpmTest, MissingFileFails) {
+  EXPECT_TRUE(ReadPpm("/nonexistent/xyz.ppm").status().IsNotFound());
+}
+
+// ---------- Synthesizer ----------
+
+TennisSynthConfig SmallConfig() {
+  TennisSynthConfig config;
+  config.num_points = 3;
+  config.width = 128;
+  config.height = 96;
+  config.min_court_frames = 60;
+  config.max_court_frames = 90;
+  config.min_cutaway_frames = 12;
+  config.max_cutaway_frames = 24;
+  config.noise_sigma = 3.0;
+  return config;
+}
+
+TEST(SynthesizerTest, ValidatesConfig) {
+  TennisSynthConfig bad = SmallConfig();
+  bad.num_points = 0;
+  EXPECT_FALSE(TennisBroadcastSynthesizer(bad).Synthesize().ok());
+  bad = SmallConfig();
+  bad.width = 2;
+  EXPECT_FALSE(TennisBroadcastSynthesizer(bad).Synthesize().ok());
+  bad = SmallConfig();
+  bad.noise_sigma = -1;
+  EXPECT_FALSE(TennisBroadcastSynthesizer(bad).Synthesize().ok());
+  bad = SmallConfig();
+  bad.min_court_frames = 80;
+  bad.max_court_frames = 60;
+  EXPECT_FALSE(TennisBroadcastSynthesizer(bad).Synthesize().ok());
+}
+
+TEST(SynthesizerTest, ShotsTileTheTimeline) {
+  auto result = TennisBroadcastSynthesizer(SmallConfig()).Synthesize();
+  ASSERT_TRUE(result.ok());
+  const Broadcast& b = *result;
+  ASSERT_FALSE(b.truth.shots.empty());
+  EXPECT_EQ(b.truth.shots.front().range.begin, 0);
+  for (size_t i = 1; i < b.truth.shots.size(); ++i) {
+    EXPECT_EQ(b.truth.shots[i].range.begin,
+              b.truth.shots[i - 1].range.end + 1)
+        << "shots must be contiguous";
+  }
+  EXPECT_EQ(b.truth.shots.back().range.end, b.video->num_frames() - 1);
+  EXPECT_EQ(static_cast<int64_t>(b.truth.players_by_frame.size()),
+            b.video->num_frames());
+}
+
+TEST(SynthesizerTest, CourtShotCountMatchesPoints) {
+  auto result = TennisBroadcastSynthesizer(SmallConfig()).Synthesize();
+  ASSERT_TRUE(result.ok());
+  int court_shots = 0;
+  for (const auto& s : result->truth.shots) {
+    if (s.category == ShotCategory::kTennis) ++court_shots;
+  }
+  EXPECT_EQ(court_shots, SmallConfig().num_points);
+}
+
+TEST(SynthesizerTest, DeterministicForSeed) {
+  auto a = TennisBroadcastSynthesizer(SmallConfig()).Synthesize();
+  auto b = TennisBroadcastSynthesizer(SmallConfig()).Synthesize();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->video->num_frames(), b->video->num_frames());
+  for (int64_t i : {int64_t{0}, a->video->num_frames() / 2,
+                    a->video->num_frames() - 1}) {
+    Frame fa = a->video->GetFrame(i).TakeValue();
+    Frame fb = b->video->GetFrame(i).TakeValue();
+    ASSERT_EQ(fa.pixels().size(), fb.pixels().size());
+    EXPECT_TRUE(std::equal(fa.pixels().begin(), fa.pixels().end(),
+                           fb.pixels().begin(),
+                           [](const Rgb& x, const Rgb& y) { return x == y; }))
+        << "frame " << i << " differs between identical configs";
+  }
+}
+
+TEST(SynthesizerTest, DifferentSeedsProduceDifferentTimelines) {
+  TennisSynthConfig c2 = SmallConfig();
+  c2.seed = 777;
+  auto a = TennisBroadcastSynthesizer(SmallConfig()).Synthesize();
+  auto b = TennisBroadcastSynthesizer(c2).Synthesize();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->truth.shots.size() * 1000000 + a->video->num_frames(),
+            b->truth.shots.size() * 1000000 + b->video->num_frames());
+}
+
+TEST(SynthesizerTest, PlayersPresentExactlyInCourtShots) {
+  auto result = TennisBroadcastSynthesizer(SmallConfig()).Synthesize();
+  ASSERT_TRUE(result.ok());
+  const Broadcast& b = *result;
+  for (const auto& shot : b.truth.shots) {
+    for (int64_t f = shot.range.begin; f <= shot.range.end; ++f) {
+      const auto& players = b.truth.players_by_frame[static_cast<size_t>(f)];
+      if (shot.category == ShotCategory::kTennis) {
+        ASSERT_EQ(players.size(), 2u) << "frame " << f;
+        EXPECT_EQ(players[0].player_id, 0);
+        EXPECT_EQ(players[1].player_id, 1);
+      } else {
+        EXPECT_TRUE(players.empty()) << "frame " << f;
+      }
+    }
+  }
+}
+
+TEST(SynthesizerTest, NearPlayerBelowFarPlayer) {
+  auto result = TennisBroadcastSynthesizer(SmallConfig()).Synthesize();
+  ASSERT_TRUE(result.ok());
+  CourtGeometry geom = CourtGeometry::ForFrame(SmallConfig().width,
+                                               SmallConfig().height);
+  for (const auto& players : result->truth.players_by_frame) {
+    if (players.empty()) continue;
+    EXPECT_GT(players[0].center.y, geom.net_y);
+    EXPECT_LT(players[1].center.y, geom.net_y);
+  }
+}
+
+TEST(SynthesizerTest, EventsLieInsideCourtShots) {
+  auto result = TennisBroadcastSynthesizer(SmallConfig()).Synthesize();
+  ASSERT_TRUE(result.ok());
+  const Broadcast& b = *result;
+  for (const auto& e : b.truth.events) {
+    EXPECT_FALSE(e.range.Empty()) << e.name;
+    EXPECT_EQ(b.truth.CategoryAt(e.range.begin), ShotCategory::kTennis)
+        << e.name << " " << e.range.ToString();
+    EXPECT_EQ(b.truth.CategoryAt(e.range.end), ShotCategory::kTennis);
+  }
+  // Every point has a serve and a rally.
+  EXPECT_EQ(b.truth.EventsNamed(kEventServe).size(),
+            static_cast<size_t>(SmallConfig().num_points));
+  EXPECT_EQ(b.truth.EventsNamed(kEventRally).size(),
+            static_cast<size_t>(SmallConfig().num_points));
+}
+
+TEST(SynthesizerTest, NetApproachProbabilityZeroMeansNoNetPlay) {
+  TennisSynthConfig config = SmallConfig();
+  config.net_approach_prob = 0.0;
+  auto result = TennisBroadcastSynthesizer(config).Synthesize();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truth.EventsNamed(kEventNetPlay).empty());
+}
+
+TEST(SynthesizerTest, NetApproachProbabilityOneProducesNetPlay) {
+  TennisSynthConfig config = SmallConfig();
+  config.net_approach_prob = 1.0;
+  config.num_points = 4;
+  config.min_court_frames = 150;
+  config.max_court_frames = 200;
+  auto result = TennisBroadcastSynthesizer(config).Synthesize();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->truth.EventsNamed(kEventNetPlay).size(), 3u);
+}
+
+TEST(SynthesizerTest, CutPositionsMatchShotStarts) {
+  auto result = TennisBroadcastSynthesizer(SmallConfig()).Synthesize();
+  ASSERT_TRUE(result.ok());
+  auto cuts = result->truth.CutPositions();
+  EXPECT_EQ(cuts.size(), result->truth.shots.size() - 1);
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    EXPECT_EQ(cuts[i], result->truth.shots[i + 1].range.begin);
+  }
+}
+
+TEST(SynthesizerTest, StandaloneFramesHaveCategoryCues) {
+  TennisBroadcastSynthesizer synth(SmallConfig());
+  Frame tennis = synth.RenderStandalone(ShotCategory::kTennis, 1);
+  Frame closeup = synth.RenderStandalone(ShotCategory::kCloseUp, 2);
+
+  // Court frame: plenty of court-blue pixels.
+  int court_pixels = 0;
+  for (const Rgb& p : tennis.pixels()) {
+    if (p.b > p.r && p.b > p.g && p.b > 120) ++court_pixels;
+  }
+  EXPECT_GT(court_pixels, tennis.PixelCount() / 4);
+
+  // Close-up frame: plenty of skin pixels.
+  int skin_pixels = 0;
+  for (const Rgb& p : closeup.pixels()) {
+    if (IsSkinColor(p)) ++skin_pixels;
+  }
+  EXPECT_GT(skin_pixels, closeup.PixelCount() / 10);
+}
+
+TEST(GroundTruthTest, CategoryNames) {
+  EXPECT_STREQ(ShotCategoryToString(ShotCategory::kTennis), "tennis");
+  EXPECT_STREQ(ShotCategoryToString(ShotCategory::kCloseUp), "close-up");
+  EXPECT_STREQ(ShotCategoryToString(ShotCategory::kAudience), "audience");
+  EXPECT_STREQ(ShotCategoryToString(ShotCategory::kOther), "other");
+}
+
+}  // namespace
+}  // namespace cobra::media

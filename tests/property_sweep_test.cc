@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "detectors/compressed_shot_boundary.h"
+#include "detectors/shot_boundary.h"
+#include "detectors/shot_classifier.h"
+#include "media/block_codec.h"
+#include "media/tennis_synthesizer.h"
+#include "util/stats.h"
+
+namespace cobra {
+namespace {
+
+using media::Broadcast;
+using media::TennisBroadcastSynthesizer;
+using media::TennisSynthConfig;
+
+TennisSynthConfig SweepConfig(uint64_t seed) {
+  TennisSynthConfig config;
+  config.width = 112;
+  config.height = 88;
+  config.num_points = 3;
+  config.min_court_frames = 60;
+  config.max_court_frames = 90;
+  config.min_cutaway_frames = 10;
+  config.max_cutaway_frames = 18;
+  config.noise_sigma = 3.0;
+  config.seed = seed;
+  return config;
+}
+
+// ---------- Synthesizer invariants hold for every seed ----------
+
+class SynthesizerSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SynthesizerSeedSweep, StructuralInvariants) {
+  auto broadcast =
+      TennisBroadcastSynthesizer(SweepConfig(GetParam())).Synthesize();
+  ASSERT_TRUE(broadcast.ok());
+  const media::GroundTruth& truth = broadcast->truth;
+  const int64_t frames = broadcast->video->num_frames();
+
+  // Shots tile the timeline.
+  ASSERT_FALSE(truth.shots.empty());
+  EXPECT_EQ(truth.shots.front().range.begin, 0);
+  EXPECT_EQ(truth.shots.back().range.end, frames - 1);
+  for (size_t i = 1; i < truth.shots.size(); ++i) {
+    EXPECT_EQ(truth.shots[i].range.begin, truth.shots[i - 1].range.end + 1);
+  }
+  // Player truth exactly on court shots; positions within frame bounds.
+  for (const auto& shot : truth.shots) {
+    for (int64_t f = shot.range.begin; f <= shot.range.end; ++f) {
+      const auto& players = truth.players_by_frame[static_cast<size_t>(f)];
+      if (shot.category == media::ShotCategory::kTennis) {
+        ASSERT_EQ(players.size(), 2u);
+        for (const auto& p : players) {
+          EXPECT_GE(p.center.x, 0);
+          EXPECT_LT(p.center.x, broadcast->video->width());
+        }
+      } else {
+        EXPECT_TRUE(players.empty());
+      }
+    }
+  }
+  // Events lie inside court shots and have positive length.
+  for (const auto& e : truth.events) {
+    EXPECT_GT(e.range.Length(), 0);
+    EXPECT_EQ(truth.CategoryAt(e.range.begin), media::ShotCategory::kTennis);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesizerSeedSweep,
+                         ::testing::Values(1, 17, 99, 1234, 77777, 31337));
+
+// ---------- Shot boundary quality persists across seeds ----------
+
+class BoundarySeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BoundarySeedSweep, AdaptiveF1AboveNinety) {
+  auto broadcast = TennisBroadcastSynthesizer(SweepConfig(GetParam()))
+                       .Synthesize()
+                       .TakeValue();
+  detectors::ShotBoundaryDetector detector;
+  auto result = detector.Detect(*broadcast.video).TakeValue();
+  PrecisionRecall pr =
+      MatchWithTolerance(broadcast.truth.CutPositions(), result.boundaries, 2);
+  EXPECT_GE(pr.F1(), 0.9) << "seed " << GetParam() << ": " << pr.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundarySeedSweep,
+                         ::testing::Values(5, 50, 500, 5000));
+
+// ---------- Classifier accuracy persists across seeds ----------
+
+class ClassifierSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClassifierSeedSweep, AccuracyAboveNinety) {
+  auto broadcast = TennisBroadcastSynthesizer(SweepConfig(GetParam()))
+                       .Synthesize()
+                       .TakeValue();
+  detectors::ShotClassifier classifier;
+  int correct = 0, total = 0;
+  for (const auto& shot : broadcast.truth.shots) {
+    auto classified = classifier.Classify(*broadcast.video, shot.range);
+    ASSERT_TRUE(classified.ok());
+    ++total;
+    if (classified->category == shot.category) ++correct;
+  }
+  EXPECT_GE(static_cast<double>(correct) / total, 0.9)
+      << "seed " << GetParam() << ": " << correct << "/" << total;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassifierSeedSweep,
+                         ::testing::Values(6, 66, 666));
+
+// ---------- Codec round trip across qualities ----------
+
+class CodecQualitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecQualitySweep, DecodesAndCompresses) {
+  auto config = SweepConfig(8);
+  config.num_points = 1;
+  config.include_cutaways = false;
+  auto broadcast =
+      TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  media::CodecConfig codec_config;
+  codec_config.quality = GetParam();
+  auto encoded =
+      media::BlockVideoEncoder::Encode(*broadcast.video, codec_config)
+          .TakeValue();
+  // Quality 100 is near-lossless (quantizer 1): on noisy content the RLE
+  // barely wins, which is the expected rate/distortion endpoint.
+  EXPECT_GT(encoded.CompressionRatio(), GetParam() >= 100 ? 1.0 : 1.5)
+      << "quality " << GetParam();
+  media::CodedVideoSource decoded(std::move(encoded));
+  media::Frame original = broadcast.video->GetFrame(10).TakeValue();
+  media::Frame reconstructed = decoded.GetFrame(10).TakeValue();
+  double psnr = media::ComputePsnr(original, reconstructed).TakeValue();
+  EXPECT_GT(psnr, 18.0) << "quality " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, CodecQualitySweep,
+                         ::testing::Values(10, 30, 50, 75, 90, 100));
+
+// ---------- Compressed-domain detection across GOP sizes ----------
+
+class GopSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GopSweep, CompressedDetectionWorks) {
+  auto broadcast =
+      TennisBroadcastSynthesizer(SweepConfig(21)).Synthesize().TakeValue();
+  media::CodecConfig config;
+  config.gop_size = GetParam();
+  auto encoded =
+      media::BlockVideoEncoder::Encode(*broadcast.video, config).TakeValue();
+  detectors::CompressedShotBoundaryDetector detector;
+  auto cuts = detector.Detect(encoded);
+  PrecisionRecall pr =
+      MatchWithTolerance(broadcast.truth.CutPositions(), cuts, 2);
+  EXPECT_GE(pr.F1(), 0.85) << "gop " << GetParam() << ": " << pr.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Gops, GopSweep, ::testing::Values(6, 12, 30));
+
+// ---------- Serialization round trip + failure injection ----------
+
+media::EncodedVideo EncodeSmall() {
+  auto config = SweepConfig(31);
+  config.num_points = 1;
+  config.include_cutaways = false;
+  auto broadcast = TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  return media::BlockVideoEncoder::Encode(*broadcast.video).TakeValue();
+}
+
+TEST(CodecSerializationTest, RoundTripPreservesStreamsAndStats) {
+  media::EncodedVideo encoded = EncodeSmall();
+  std::vector<uint8_t> bytes = encoded.Serialize();
+  auto back = media::EncodedVideo::Deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_frames(), encoded.num_frames());
+  EXPECT_EQ(back->width(), encoded.width());
+  EXPECT_EQ(back->config().gop_size, encoded.config().gop_size);
+  for (int64_t f = 0; f < encoded.num_frames(); ++f) {
+    EXPECT_EQ(back->FrameBits(f), encoded.FrameBits(f)) << "frame " << f;
+    EXPECT_EQ(back->Stats(f).intra_frame, encoded.Stats(f).intra_frame);
+    EXPECT_NEAR(back->Stats(f).intra_block_ratio,
+                encoded.Stats(f).intra_block_ratio, 1e-4);
+  }
+  // Decoded pixels identical through the round trip.
+  media::CodedVideoSource a(encoded);
+  media::CodedVideoSource b(std::move(back).TakeValue());
+  media::Frame fa = a.GetFrame(5).TakeValue();
+  media::Frame fb = b.GetFrame(5).TakeValue();
+  EXPECT_TRUE(std::equal(fa.pixels().begin(), fa.pixels().end(),
+                         fb.pixels().begin(),
+                         [](const media::Rgb& x, const media::Rgb& y) {
+                           return x == y;
+                         }));
+}
+
+TEST(CodecSerializationTest, RejectsCorruptHeaders) {
+  media::EncodedVideo encoded = EncodeSmall();
+  std::vector<uint8_t> bytes = encoded.Serialize();
+  // Bad magic.
+  auto bad = bytes;
+  bad[0] ^= 0xFF;
+  EXPECT_TRUE(media::EncodedVideo::Deserialize(bad).status().IsParseError());
+  // Truncations at every header boundary.
+  for (size_t cut : std::vector<size_t>{3, 10, 24, bytes.size() - 5}) {
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(cut));
+    EXPECT_TRUE(media::EncodedVideo::Deserialize(truncated).status().IsParseError())
+        << "cut at " << cut;
+  }
+  // Trailing garbage.
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_TRUE(media::EncodedVideo::Deserialize(padded).status().IsParseError());
+}
+
+TEST(CodecSerializationTest, CorruptPayloadFailsDecodeNotCrash) {
+  media::EncodedVideo encoded = EncodeSmall();
+  std::vector<uint8_t> bytes = encoded.Serialize();
+  // Flip bytes in the middle of the first frame's payload (after the
+  // 28-byte header + 4-byte length + frame type byte).
+  for (size_t offset = 40; offset < 60 && offset < bytes.size(); ++offset) {
+    bytes[offset] ^= 0xA5;
+  }
+  auto corrupt = media::EncodedVideo::Deserialize(bytes);
+  if (!corrupt.ok()) return;  // framing caught it: also acceptable
+  media::CodedVideoSource decoder(std::move(corrupt).TakeValue());
+  // Decoding must either fail cleanly or produce a frame; never crash.
+  auto frame = decoder.GetFrame(0);
+  if (!frame.ok()) {
+    EXPECT_TRUE(frame.status().IsParseError()) << frame.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "text/compressed_index.h"
+#include "text/corpus.h"
+#include "text/inverted_index.h"
+#include "text/postings_codec.h"
+
+namespace cobra::text {
+namespace {
+
+// ---------- CompressedPostings ----------
+
+TEST(CompressedPostingsTest, RoundTrip) {
+  std::vector<DecodedPosting> postings = {
+      {0, 0.5}, {1, 1.25}, {7, 0.0}, {1000, 3.75}, {1000000, 0.125}};
+  auto compressed = CompressedPostings::Encode(postings).TakeValue();
+  EXPECT_EQ(compressed.count(), 5u);
+  auto back = compressed.Decode();
+  ASSERT_EQ(back.size(), postings.size());
+  for (size_t i = 0; i < postings.size(); ++i) {
+    EXPECT_EQ(back[i].doc_id, postings[i].doc_id) << i;
+    EXPECT_NEAR(back[i].weight, postings[i].weight, 1.0 / 1024) << i;
+  }
+}
+
+TEST(CompressedPostingsTest, EmptyList) {
+  auto compressed = CompressedPostings::Encode({}).TakeValue();
+  EXPECT_EQ(compressed.count(), 0u);
+  EXPECT_EQ(compressed.SizeBytes(), 0u);
+  EXPECT_TRUE(compressed.Decode().empty());
+}
+
+TEST(CompressedPostingsTest, RejectsUnsortedAndNegative) {
+  EXPECT_FALSE(CompressedPostings::Encode({{5, 1.0}, {5, 1.0}}).ok());
+  EXPECT_FALSE(CompressedPostings::Encode({{5, 1.0}, {3, 1.0}}).ok());
+  EXPECT_FALSE(CompressedPostings::Encode({{0, -1.0}}).ok());
+}
+
+TEST(CompressedPostingsTest, DenseListsCompressWell) {
+  // Consecutive doc ids with small weights: ~2 bytes per posting vs 16 raw.
+  std::vector<DecodedPosting> postings;
+  for (int64_t d = 0; d < 1000; ++d) postings.push_back({d, 1.0});
+  auto compressed = CompressedPostings::Encode(postings).TakeValue();
+  EXPECT_LT(compressed.SizeBytes(), 3500u);
+}
+
+TEST(CompressedPostingsTest, CursorMatchesDecode) {
+  std::vector<DecodedPosting> postings;
+  for (int64_t d = 0; d < 100; d += 3) postings.push_back({d, d * 0.25});
+  auto compressed = CompressedPostings::Encode(postings).TakeValue();
+  CompressedPostings::Cursor cursor(compressed);
+  auto decoded = compressed.Decode();
+  DecodedPosting p;
+  size_t i = 0;
+  while (cursor.Next(&p)) {
+    ASSERT_LT(i, decoded.size());
+    EXPECT_EQ(p.doc_id, decoded[i].doc_id);
+    ++i;
+  }
+  EXPECT_EQ(i, decoded.size());
+}
+
+// ---------- CompressedInvertedIndex ----------
+
+InvertedIndex BuildCorpusIndex(size_t docs, uint64_t seed) {
+  CorpusConfig config;
+  config.num_docs = docs;
+  config.vocabulary_size = 2000;
+  config.seed = seed;
+  auto corpus = SyntheticCorpus::Generate(config).TakeValue();
+  InvertedIndex index;
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    EXPECT_TRUE(index.AddText(static_cast<int64_t>(d), corpus.document(d)).ok());
+  }
+  EXPECT_TRUE(index.Finalize().ok());
+  return index;
+}
+
+TEST(ExportTermsTest, RequiresFinalized) {
+  InvertedIndex index;
+  ASSERT_TRUE(index.AddText(0, "alpha beta").ok());
+  EXPECT_FALSE(index.ExportTerms().ok());
+  ASSERT_TRUE(index.Finalize().ok());
+  auto terms = index.ExportTerms().TakeValue();
+  EXPECT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0].postings.size(), 1u);
+}
+
+TEST(CompressedIndexTest, SavesSpace) {
+  InvertedIndex index = BuildCorpusIndex(2000, 5);
+  auto compressed = CompressedInvertedIndex::FromIndex(index).TakeValue();
+  EXPECT_EQ(compressed.num_terms(), index.num_terms());
+  EXPECT_LT(compressed.PostingsBytes(), compressed.UncompressedBytes() / 3)
+      << "expected at least 3x postings compression";
+}
+
+TEST(CompressedIndexTest, SearchAgreesWithUncompressed) {
+  InvertedIndex index = BuildCorpusIndex(1500, 9);
+  auto compressed = CompressedInvertedIndex::FromIndex(index).TakeValue();
+  CorpusConfig config;
+  config.vocabulary_size = 2000;
+  auto corpus = SyntheticCorpus::Generate(config).TakeValue();
+
+  for (uint64_t salt = 0; salt < 8; ++salt) {
+    std::string query = corpus.MakeQuery(4, salt);
+    auto expected = index.SearchExhaustive(query, 20).TakeValue();
+    auto got = compressed.Search(query, 20).TakeValue();
+    ASSERT_EQ(got.size(), expected.size()) << query;
+    // Quantized weights can flip near-ties; compare as sets with score
+    // tolerance.
+    std::set<int64_t> expected_docs, got_docs;
+    for (const auto& hit : expected) expected_docs.insert(hit.doc_id);
+    for (const auto& hit : got) got_docs.insert(hit.doc_id);
+    size_t overlap = 0;
+    for (int64_t d : got_docs) overlap += expected_docs.count(d);
+    EXPECT_GE(overlap + 2, got_docs.size()) << query;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].score, expected[i].score, 0.02) << query << " @" << i;
+    }
+  }
+}
+
+TEST(CompressedIndexTest, ScansSamePostings) {
+  InvertedIndex index = BuildCorpusIndex(800, 3);
+  auto compressed = CompressedInvertedIndex::FromIndex(index).TakeValue();
+  CorpusConfig config;
+  config.vocabulary_size = 2000;
+  auto corpus = SyntheticCorpus::Generate(config).TakeValue();
+  std::string query = corpus.MakeQuery(3, 1);
+  SearchStats a, b;
+  ASSERT_TRUE(index.SearchExhaustive(query, 10, &a).ok());
+  ASSERT_TRUE(compressed.Search(query, 10, &b).ok());
+  EXPECT_EQ(a.postings_scanned, b.postings_scanned);
+  EXPECT_EQ(a.terms_evaluated, b.terms_evaluated);
+}
+
+TEST(CompressedIndexTest, EmptyQueryRejected) {
+  InvertedIndex index = BuildCorpusIndex(50, 1);
+  auto compressed = CompressedInvertedIndex::FromIndex(index).TakeValue();
+  EXPECT_FALSE(compressed.Search("the of", 5).ok());
+}
+
+TEST(CompressedIndexTest, FromUnfinalizedFails) {
+  InvertedIndex index;
+  ASSERT_TRUE(index.AddText(0, "x y z").ok());
+  EXPECT_FALSE(CompressedInvertedIndex::FromIndex(index).ok());
+}
+
+}  // namespace
+}  // namespace cobra::text
