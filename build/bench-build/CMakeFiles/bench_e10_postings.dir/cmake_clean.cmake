@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_postings"
+  "../bench/bench_e10_postings.pdb"
+  "CMakeFiles/bench_e10_postings.dir/bench_e10_postings.cc.o"
+  "CMakeFiles/bench_e10_postings.dir/bench_e10_postings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_postings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_audio"
+  "../bench/bench_e11_audio.pdb"
+  "CMakeFiles/bench_e11_audio.dir/bench_e11_audio.cc.o"
+  "CMakeFiles/bench_e11_audio.dir/bench_e11_audio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_fde_graph"
+  "../bench/bench_e1_fde_graph.pdb"
+  "CMakeFiles/bench_e1_fde_graph.dir/bench_e1_fde_graph.cc.o"
+  "CMakeFiles/bench_e1_fde_graph.dir/bench_e1_fde_graph.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_fde_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

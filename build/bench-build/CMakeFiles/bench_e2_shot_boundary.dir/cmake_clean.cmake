@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_shot_boundary"
+  "../bench/bench_e2_shot_boundary.pdb"
+  "CMakeFiles/bench_e2_shot_boundary.dir/bench_e2_shot_boundary.cc.o"
+  "CMakeFiles/bench_e2_shot_boundary.dir/bench_e2_shot_boundary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_shot_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

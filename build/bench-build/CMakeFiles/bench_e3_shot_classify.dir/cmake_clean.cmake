@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_shot_classify"
+  "../bench/bench_e3_shot_classify.pdb"
+  "CMakeFiles/bench_e3_shot_classify.dir/bench_e3_shot_classify.cc.o"
+  "CMakeFiles/bench_e3_shot_classify.dir/bench_e3_shot_classify.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_shot_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

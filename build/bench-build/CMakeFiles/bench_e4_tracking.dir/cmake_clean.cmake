@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_tracking"
+  "../bench/bench_e4_tracking.pdb"
+  "CMakeFiles/bench_e4_tracking.dir/bench_e4_tracking.cc.o"
+  "CMakeFiles/bench_e4_tracking.dir/bench_e4_tracking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

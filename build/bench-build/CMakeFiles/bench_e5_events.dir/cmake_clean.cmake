@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_events"
+  "../bench/bench_e5_events.pdb"
+  "CMakeFiles/bench_e5_events.dir/bench_e5_events.cc.o"
+  "CMakeFiles/bench_e5_events.dir/bench_e5_events.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_topn_text"
+  "../bench/bench_e6_topn_text.pdb"
+  "CMakeFiles/bench_e6_topn_text.dir/bench_e6_topn_text.cc.o"
+  "CMakeFiles/bench_e6_topn_text.dir/bench_e6_topn_text.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_topn_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

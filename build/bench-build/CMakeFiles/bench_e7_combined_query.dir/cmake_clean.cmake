@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_combined_query"
+  "../bench/bench_e7_combined_query.pdb"
+  "CMakeFiles/bench_e7_combined_query.dir/bench_e7_combined_query.cc.o"
+  "CMakeFiles/bench_e7_combined_query.dir/bench_e7_combined_query.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_combined_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_indexing"
+  "../bench/bench_e8_indexing.pdb"
+  "CMakeFiles/bench_e8_indexing.dir/bench_e8_indexing.cc.o"
+  "CMakeFiles/bench_e8_indexing.dir/bench_e8_indexing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_compressed_domain"
+  "../bench/bench_e9_compressed_domain.pdb"
+  "CMakeFiles/bench_e9_compressed_domain.dir/bench_e9_compressed_domain.cc.o"
+  "CMakeFiles/bench_e9_compressed_domain.dir/bench_e9_compressed_domain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_compressed_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_indexing.dir/audio_indexing.cpp.o"
+  "CMakeFiles/audio_indexing.dir/audio_indexing.cpp.o.d"
+  "audio_indexing"
+  "audio_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_grammar_lab.dir/event_grammar_lab.cpp.o"
+  "CMakeFiles/event_grammar_lab.dir/event_grammar_lab.cpp.o.d"
+  "event_grammar_lab"
+  "event_grammar_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_grammar_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

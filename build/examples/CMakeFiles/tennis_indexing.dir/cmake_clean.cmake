@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tennis_indexing.dir/tennis_indexing.cpp.o"
+  "CMakeFiles/tennis_indexing.dir/tennis_indexing.cpp.o.d"
+  "tennis_indexing"
+  "tennis_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tennis_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/features.cc" "src/audio/CMakeFiles/cobra_audio.dir/features.cc.o" "gcc" "src/audio/CMakeFiles/cobra_audio.dir/features.cc.o.d"
+  "/root/repo/src/audio/fft.cc" "src/audio/CMakeFiles/cobra_audio.dir/fft.cc.o" "gcc" "src/audio/CMakeFiles/cobra_audio.dir/fft.cc.o.d"
+  "/root/repo/src/audio/signal.cc" "src/audio/CMakeFiles/cobra_audio.dir/signal.cc.o" "gcc" "src/audio/CMakeFiles/cobra_audio.dir/signal.cc.o.d"
+  "/root/repo/src/audio/synthesizer.cc" "src/audio/CMakeFiles/cobra_audio.dir/synthesizer.cc.o" "gcc" "src/audio/CMakeFiles/cobra_audio.dir/synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cobra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_audio.dir/features.cc.o"
+  "CMakeFiles/cobra_audio.dir/features.cc.o.d"
+  "CMakeFiles/cobra_audio.dir/fft.cc.o"
+  "CMakeFiles/cobra_audio.dir/fft.cc.o.d"
+  "CMakeFiles/cobra_audio.dir/signal.cc.o"
+  "CMakeFiles/cobra_audio.dir/signal.cc.o.d"
+  "CMakeFiles/cobra_audio.dir/synthesizer.cc.o"
+  "CMakeFiles/cobra_audio.dir/synthesizer.cc.o.d"
+  "libcobra_audio.a"
+  "libcobra_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/event_composition.cc" "src/core/CMakeFiles/cobra_core.dir/event_composition.cc.o" "gcc" "src/core/CMakeFiles/cobra_core.dir/event_composition.cc.o.d"
+  "/root/repo/src/core/event_grammar.cc" "src/core/CMakeFiles/cobra_core.dir/event_grammar.cc.o" "gcc" "src/core/CMakeFiles/cobra_core.dir/event_grammar.cc.o.d"
+  "/root/repo/src/core/meta_index.cc" "src/core/CMakeFiles/cobra_core.dir/meta_index.cc.o" "gcc" "src/core/CMakeFiles/cobra_core.dir/meta_index.cc.o.d"
+  "/root/repo/src/core/object_grammar.cc" "src/core/CMakeFiles/cobra_core.dir/object_grammar.cc.o" "gcc" "src/core/CMakeFiles/cobra_core.dir/object_grammar.cc.o.d"
+  "/root/repo/src/core/tennis_fde.cc" "src/core/CMakeFiles/cobra_core.dir/tennis_fde.cc.o" "gcc" "src/core/CMakeFiles/cobra_core.dir/tennis_fde.cc.o.d"
+  "/root/repo/src/core/video_description.cc" "src/core/CMakeFiles/cobra_core.dir/video_description.cc.o" "gcc" "src/core/CMakeFiles/cobra_core.dir/video_description.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grammar/CMakeFiles/cobra_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/cobra_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cobra_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/cobra_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/cobra_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cobra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_core.dir/event_composition.cc.o"
+  "CMakeFiles/cobra_core.dir/event_composition.cc.o.d"
+  "CMakeFiles/cobra_core.dir/event_grammar.cc.o"
+  "CMakeFiles/cobra_core.dir/event_grammar.cc.o.d"
+  "CMakeFiles/cobra_core.dir/meta_index.cc.o"
+  "CMakeFiles/cobra_core.dir/meta_index.cc.o.d"
+  "CMakeFiles/cobra_core.dir/object_grammar.cc.o"
+  "CMakeFiles/cobra_core.dir/object_grammar.cc.o.d"
+  "CMakeFiles/cobra_core.dir/tennis_fde.cc.o"
+  "CMakeFiles/cobra_core.dir/tennis_fde.cc.o.d"
+  "CMakeFiles/cobra_core.dir/video_description.cc.o"
+  "CMakeFiles/cobra_core.dir/video_description.cc.o.d"
+  "libcobra_core.a"
+  "libcobra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

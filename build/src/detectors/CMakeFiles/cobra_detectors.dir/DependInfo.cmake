@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detectors/compressed_shot_boundary.cc" "src/detectors/CMakeFiles/cobra_detectors.dir/compressed_shot_boundary.cc.o" "gcc" "src/detectors/CMakeFiles/cobra_detectors.dir/compressed_shot_boundary.cc.o.d"
+  "/root/repo/src/detectors/court_model.cc" "src/detectors/CMakeFiles/cobra_detectors.dir/court_model.cc.o" "gcc" "src/detectors/CMakeFiles/cobra_detectors.dir/court_model.cc.o.d"
+  "/root/repo/src/detectors/event_rules.cc" "src/detectors/CMakeFiles/cobra_detectors.dir/event_rules.cc.o" "gcc" "src/detectors/CMakeFiles/cobra_detectors.dir/event_rules.cc.o.d"
+  "/root/repo/src/detectors/hmm.cc" "src/detectors/CMakeFiles/cobra_detectors.dir/hmm.cc.o" "gcc" "src/detectors/CMakeFiles/cobra_detectors.dir/hmm.cc.o.d"
+  "/root/repo/src/detectors/hmm_events.cc" "src/detectors/CMakeFiles/cobra_detectors.dir/hmm_events.cc.o" "gcc" "src/detectors/CMakeFiles/cobra_detectors.dir/hmm_events.cc.o.d"
+  "/root/repo/src/detectors/player_tracker.cc" "src/detectors/CMakeFiles/cobra_detectors.dir/player_tracker.cc.o" "gcc" "src/detectors/CMakeFiles/cobra_detectors.dir/player_tracker.cc.o.d"
+  "/root/repo/src/detectors/shot_boundary.cc" "src/detectors/CMakeFiles/cobra_detectors.dir/shot_boundary.cc.o" "gcc" "src/detectors/CMakeFiles/cobra_detectors.dir/shot_boundary.cc.o.d"
+  "/root/repo/src/detectors/shot_classifier.cc" "src/detectors/CMakeFiles/cobra_detectors.dir/shot_classifier.cc.o" "gcc" "src/detectors/CMakeFiles/cobra_detectors.dir/shot_classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vision/CMakeFiles/cobra_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/cobra_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cobra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_detectors.dir/compressed_shot_boundary.cc.o"
+  "CMakeFiles/cobra_detectors.dir/compressed_shot_boundary.cc.o.d"
+  "CMakeFiles/cobra_detectors.dir/court_model.cc.o"
+  "CMakeFiles/cobra_detectors.dir/court_model.cc.o.d"
+  "CMakeFiles/cobra_detectors.dir/event_rules.cc.o"
+  "CMakeFiles/cobra_detectors.dir/event_rules.cc.o.d"
+  "CMakeFiles/cobra_detectors.dir/hmm.cc.o"
+  "CMakeFiles/cobra_detectors.dir/hmm.cc.o.d"
+  "CMakeFiles/cobra_detectors.dir/hmm_events.cc.o"
+  "CMakeFiles/cobra_detectors.dir/hmm_events.cc.o.d"
+  "CMakeFiles/cobra_detectors.dir/player_tracker.cc.o"
+  "CMakeFiles/cobra_detectors.dir/player_tracker.cc.o.d"
+  "CMakeFiles/cobra_detectors.dir/shot_boundary.cc.o"
+  "CMakeFiles/cobra_detectors.dir/shot_boundary.cc.o.d"
+  "CMakeFiles/cobra_detectors.dir/shot_classifier.cc.o"
+  "CMakeFiles/cobra_detectors.dir/shot_classifier.cc.o.d"
+  "libcobra_detectors.a"
+  "libcobra_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

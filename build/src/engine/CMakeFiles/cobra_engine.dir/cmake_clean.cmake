@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_engine.dir/digital_library.cc.o"
+  "CMakeFiles/cobra_engine.dir/digital_library.cc.o.d"
+  "CMakeFiles/cobra_engine.dir/query_language.cc.o"
+  "CMakeFiles/cobra_engine.dir/query_language.cc.o.d"
+  "libcobra_engine.a"
+  "libcobra_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

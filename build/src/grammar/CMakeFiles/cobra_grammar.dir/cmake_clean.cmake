@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_grammar.dir/annotation.cc.o"
+  "CMakeFiles/cobra_grammar.dir/annotation.cc.o.d"
+  "CMakeFiles/cobra_grammar.dir/fde.cc.o"
+  "CMakeFiles/cobra_grammar.dir/fde.cc.o.d"
+  "CMakeFiles/cobra_grammar.dir/feature_grammar.cc.o"
+  "CMakeFiles/cobra_grammar.dir/feature_grammar.cc.o.d"
+  "libcobra_grammar.a"
+  "libcobra_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

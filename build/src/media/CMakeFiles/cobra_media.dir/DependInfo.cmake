@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/block_codec.cc" "src/media/CMakeFiles/cobra_media.dir/block_codec.cc.o" "gcc" "src/media/CMakeFiles/cobra_media.dir/block_codec.cc.o.d"
+  "/root/repo/src/media/color.cc" "src/media/CMakeFiles/cobra_media.dir/color.cc.o" "gcc" "src/media/CMakeFiles/cobra_media.dir/color.cc.o.d"
+  "/root/repo/src/media/dct.cc" "src/media/CMakeFiles/cobra_media.dir/dct.cc.o" "gcc" "src/media/CMakeFiles/cobra_media.dir/dct.cc.o.d"
+  "/root/repo/src/media/frame.cc" "src/media/CMakeFiles/cobra_media.dir/frame.cc.o" "gcc" "src/media/CMakeFiles/cobra_media.dir/frame.cc.o.d"
+  "/root/repo/src/media/ppm.cc" "src/media/CMakeFiles/cobra_media.dir/ppm.cc.o" "gcc" "src/media/CMakeFiles/cobra_media.dir/ppm.cc.o.d"
+  "/root/repo/src/media/tennis_synthesizer.cc" "src/media/CMakeFiles/cobra_media.dir/tennis_synthesizer.cc.o" "gcc" "src/media/CMakeFiles/cobra_media.dir/tennis_synthesizer.cc.o.d"
+  "/root/repo/src/media/video.cc" "src/media/CMakeFiles/cobra_media.dir/video.cc.o" "gcc" "src/media/CMakeFiles/cobra_media.dir/video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cobra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

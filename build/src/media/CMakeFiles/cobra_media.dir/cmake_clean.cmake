@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_media.dir/block_codec.cc.o"
+  "CMakeFiles/cobra_media.dir/block_codec.cc.o.d"
+  "CMakeFiles/cobra_media.dir/color.cc.o"
+  "CMakeFiles/cobra_media.dir/color.cc.o.d"
+  "CMakeFiles/cobra_media.dir/dct.cc.o"
+  "CMakeFiles/cobra_media.dir/dct.cc.o.d"
+  "CMakeFiles/cobra_media.dir/frame.cc.o"
+  "CMakeFiles/cobra_media.dir/frame.cc.o.d"
+  "CMakeFiles/cobra_media.dir/ppm.cc.o"
+  "CMakeFiles/cobra_media.dir/ppm.cc.o.d"
+  "CMakeFiles/cobra_media.dir/tennis_synthesizer.cc.o"
+  "CMakeFiles/cobra_media.dir/tennis_synthesizer.cc.o.d"
+  "CMakeFiles/cobra_media.dir/video.cc.o"
+  "CMakeFiles/cobra_media.dir/video.cc.o.d"
+  "libcobra_media.a"
+  "libcobra_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

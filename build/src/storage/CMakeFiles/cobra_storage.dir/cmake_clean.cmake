@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_storage.dir/ops.cc.o"
+  "CMakeFiles/cobra_storage.dir/ops.cc.o.d"
+  "CMakeFiles/cobra_storage.dir/table.cc.o"
+  "CMakeFiles/cobra_storage.dir/table.cc.o.d"
+  "libcobra_storage.a"
+  "libcobra_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/compressed_index.cc" "src/text/CMakeFiles/cobra_text.dir/compressed_index.cc.o" "gcc" "src/text/CMakeFiles/cobra_text.dir/compressed_index.cc.o.d"
+  "/root/repo/src/text/corpus.cc" "src/text/CMakeFiles/cobra_text.dir/corpus.cc.o" "gcc" "src/text/CMakeFiles/cobra_text.dir/corpus.cc.o.d"
+  "/root/repo/src/text/inverted_index.cc" "src/text/CMakeFiles/cobra_text.dir/inverted_index.cc.o" "gcc" "src/text/CMakeFiles/cobra_text.dir/inverted_index.cc.o.d"
+  "/root/repo/src/text/postings_codec.cc" "src/text/CMakeFiles/cobra_text.dir/postings_codec.cc.o" "gcc" "src/text/CMakeFiles/cobra_text.dir/postings_codec.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/cobra_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/cobra_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cobra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

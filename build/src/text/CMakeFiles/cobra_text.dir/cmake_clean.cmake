@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_text.dir/compressed_index.cc.o"
+  "CMakeFiles/cobra_text.dir/compressed_index.cc.o.d"
+  "CMakeFiles/cobra_text.dir/corpus.cc.o"
+  "CMakeFiles/cobra_text.dir/corpus.cc.o.d"
+  "CMakeFiles/cobra_text.dir/inverted_index.cc.o"
+  "CMakeFiles/cobra_text.dir/inverted_index.cc.o.d"
+  "CMakeFiles/cobra_text.dir/postings_codec.cc.o"
+  "CMakeFiles/cobra_text.dir/postings_codec.cc.o.d"
+  "CMakeFiles/cobra_text.dir/tokenizer.cc.o"
+  "CMakeFiles/cobra_text.dir/tokenizer.cc.o.d"
+  "libcobra_text.a"
+  "libcobra_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_util.dir/geometry.cc.o"
+  "CMakeFiles/cobra_util.dir/geometry.cc.o.d"
+  "CMakeFiles/cobra_util.dir/logging.cc.o"
+  "CMakeFiles/cobra_util.dir/logging.cc.o.d"
+  "CMakeFiles/cobra_util.dir/rng.cc.o"
+  "CMakeFiles/cobra_util.dir/rng.cc.o.d"
+  "CMakeFiles/cobra_util.dir/stats.cc.o"
+  "CMakeFiles/cobra_util.dir/stats.cc.o.d"
+  "CMakeFiles/cobra_util.dir/status.cc.o"
+  "CMakeFiles/cobra_util.dir/status.cc.o.d"
+  "CMakeFiles/cobra_util.dir/strings.cc.o"
+  "CMakeFiles/cobra_util.dir/strings.cc.o.d"
+  "libcobra_util.a"
+  "libcobra_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

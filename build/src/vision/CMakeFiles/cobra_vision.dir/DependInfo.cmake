@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/color_model.cc" "src/vision/CMakeFiles/cobra_vision.dir/color_model.cc.o" "gcc" "src/vision/CMakeFiles/cobra_vision.dir/color_model.cc.o.d"
+  "/root/repo/src/vision/gray_stats.cc" "src/vision/CMakeFiles/cobra_vision.dir/gray_stats.cc.o" "gcc" "src/vision/CMakeFiles/cobra_vision.dir/gray_stats.cc.o.d"
+  "/root/repo/src/vision/histogram.cc" "src/vision/CMakeFiles/cobra_vision.dir/histogram.cc.o" "gcc" "src/vision/CMakeFiles/cobra_vision.dir/histogram.cc.o.d"
+  "/root/repo/src/vision/mask.cc" "src/vision/CMakeFiles/cobra_vision.dir/mask.cc.o" "gcc" "src/vision/CMakeFiles/cobra_vision.dir/mask.cc.o.d"
+  "/root/repo/src/vision/moments.cc" "src/vision/CMakeFiles/cobra_vision.dir/moments.cc.o" "gcc" "src/vision/CMakeFiles/cobra_vision.dir/moments.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/media/CMakeFiles/cobra_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cobra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_vision.dir/color_model.cc.o"
+  "CMakeFiles/cobra_vision.dir/color_model.cc.o.d"
+  "CMakeFiles/cobra_vision.dir/gray_stats.cc.o"
+  "CMakeFiles/cobra_vision.dir/gray_stats.cc.o.d"
+  "CMakeFiles/cobra_vision.dir/histogram.cc.o"
+  "CMakeFiles/cobra_vision.dir/histogram.cc.o.d"
+  "CMakeFiles/cobra_vision.dir/mask.cc.o"
+  "CMakeFiles/cobra_vision.dir/mask.cc.o.d"
+  "CMakeFiles/cobra_vision.dir/moments.cc.o"
+  "CMakeFiles/cobra_vision.dir/moments.cc.o.d"
+  "libcobra_vision.a"
+  "libcobra_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/webspace/query.cc" "src/webspace/CMakeFiles/cobra_webspace.dir/query.cc.o" "gcc" "src/webspace/CMakeFiles/cobra_webspace.dir/query.cc.o.d"
+  "/root/repo/src/webspace/schema.cc" "src/webspace/CMakeFiles/cobra_webspace.dir/schema.cc.o" "gcc" "src/webspace/CMakeFiles/cobra_webspace.dir/schema.cc.o.d"
+  "/root/repo/src/webspace/site_synthesizer.cc" "src/webspace/CMakeFiles/cobra_webspace.dir/site_synthesizer.cc.o" "gcc" "src/webspace/CMakeFiles/cobra_webspace.dir/site_synthesizer.cc.o.d"
+  "/root/repo/src/webspace/store.cc" "src/webspace/CMakeFiles/cobra_webspace.dir/store.cc.o" "gcc" "src/webspace/CMakeFiles/cobra_webspace.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/cobra_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cobra_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cobra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

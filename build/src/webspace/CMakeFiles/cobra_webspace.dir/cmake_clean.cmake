@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_webspace.dir/query.cc.o"
+  "CMakeFiles/cobra_webspace.dir/query.cc.o.d"
+  "CMakeFiles/cobra_webspace.dir/schema.cc.o"
+  "CMakeFiles/cobra_webspace.dir/schema.cc.o.d"
+  "CMakeFiles/cobra_webspace.dir/site_synthesizer.cc.o"
+  "CMakeFiles/cobra_webspace.dir/site_synthesizer.cc.o.d"
+  "CMakeFiles/cobra_webspace.dir/store.cc.o"
+  "CMakeFiles/cobra_webspace.dir/store.cc.o.d"
+  "libcobra_webspace.a"
+  "libcobra_webspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_webspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_grammar_ext_test.dir/core_grammar_ext_test.cc.o"
+  "CMakeFiles/core_grammar_ext_test.dir/core_grammar_ext_test.cc.o.d"
+  "core_grammar_ext_test"
+  "core_grammar_ext_test.pdb"
+  "core_grammar_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_grammar_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

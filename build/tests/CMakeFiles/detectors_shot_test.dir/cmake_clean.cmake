@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detectors_shot_test.dir/detectors_shot_test.cc.o"
+  "CMakeFiles/detectors_shot_test.dir/detectors_shot_test.cc.o.d"
+  "detectors_shot_test"
+  "detectors_shot_test.pdb"
+  "detectors_shot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detectors_shot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

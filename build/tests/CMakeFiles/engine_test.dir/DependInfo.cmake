@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/engine_test.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/cobra_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cobra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/cobra_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/cobra_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/cobra_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/cobra_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/webspace/CMakeFiles/cobra_webspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cobra_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cobra_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cobra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

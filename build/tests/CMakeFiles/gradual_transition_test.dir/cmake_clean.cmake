@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradual_transition_test.dir/gradual_transition_test.cc.o"
+  "CMakeFiles/gradual_transition_test.dir/gradual_transition_test.cc.o.d"
+  "gradual_transition_test"
+  "gradual_transition_test.pdb"
+  "gradual_transition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradual_transition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_compressed_test.dir/text_compressed_test.cc.o"
+  "CMakeFiles/text_compressed_test.dir/text_compressed_test.cc.o.d"
+  "text_compressed_test"
+  "text_compressed_test.pdb"
+  "text_compressed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_compressed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webspace_test.dir/webspace_test.cc.o"
+  "CMakeFiles/webspace_test.dir/webspace_test.cc.o.d"
+  "webspace_test"
+  "webspace_test.pdb"
+  "webspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

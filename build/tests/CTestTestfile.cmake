@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/media_test[1]_include.cmake")
+include("/root/repo/build/tests/vision_test[1]_include.cmake")
+include("/root/repo/build/tests/detectors_shot_test[1]_include.cmake")
+include("/root/repo/build/tests/detectors_tracking_test[1]_include.cmake")
+include("/root/repo/build/tests/grammar_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/webspace_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/text_compressed_test[1]_include.cmake")
+include("/root/repo/build/tests/core_grammar_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/audio_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/gradual_transition_test[1]_include.cmake")
