@@ -11,10 +11,67 @@
 #include "bench_util.h"
 #include "detectors/shot_boundary.h"
 #include "util/stats.h"
+#include "vision/frame_feature_cache.h"
 
 namespace {
 
 using namespace cobra;  // NOLINT
+
+/// The E2 workload that the shared frame-feature cache deduplicates, all
+/// single-threaded: the three metric sweeps recompute identical per-frame
+/// histograms (only the distance differs), and the gradual-transition
+/// detector's verification pass re-reads histograms the signal pass already
+/// built. One attached cache turns all of that into hits.
+double TimeSweepWorkload(const media::VideoSource& video,
+                         vision::FrameFeatureCache* cache) {
+  const vision::HistogramDistance kMetrics[] = {
+      vision::HistogramDistance::kL1, vision::HistogramDistance::kChiSquare,
+      vision::HistogramDistance::kIntersection};
+  bench::WallTimer timer;
+  for (auto metric : kMetrics) {
+    detectors::ShotBoundaryConfig config;
+    config.metric = metric;
+    detectors::ShotBoundaryDetector detector(config);
+    detector.SetExecution(cache, /*pool=*/nullptr);
+    auto distances = detector.ComputeDistances(video).TakeValue();
+    benchmark::DoNotOptimize(distances);
+  }
+  detectors::ShotBoundaryConfig gradual_config;
+  gradual_config.detect_gradual = true;
+  detectors::ShotBoundaryDetector gradual(gradual_config);
+  gradual.SetExecution(cache, /*pool=*/nullptr);
+  auto result = gradual.Detect(video).TakeValue();
+  benchmark::DoNotOptimize(result);
+  return timer.Millis();
+}
+
+void PrintCacheEffect() {
+  bench::PrintHeader("E2", "shared frame-feature cache (num_threads=1)");
+  auto broadcast = media::TennisBroadcastSynthesizer(bench::DefaultBroadcast())
+                       .Synthesize()
+                       .TakeValue();
+  std::printf("3-metric sweep + gradual pass over %lld frames:\n",
+              static_cast<long long>(broadcast.video->num_frames()));
+
+  TimeSweepWorkload(*broadcast.video, nullptr);  // warm-up
+  double uncached_ms = TimeSweepWorkload(*broadcast.video, nullptr);
+  vision::FrameFeatureCache cache(*broadcast.video);
+  double cached_ms = TimeSweepWorkload(*broadcast.video, &cache);
+  auto stats = cache.stats();
+
+  std::printf("%-22s %12.1f\n", "uncached", uncached_ms);
+  std::printf("%-22s %12.1f   (hits=%lld misses=%lld)\n", "cached", cached_ms,
+              static_cast<long long>(stats.hits),
+              static_cast<long long>(stats.misses));
+  std::printf("speedup from caching: %.2fx\n", uncached_ms / cached_ms);
+  bench::PrintJsonMetric("e2_shot_boundary", "uncached_ms", uncached_ms);
+  bench::PrintJsonMetric("e2_shot_boundary", "cached_ms", cached_ms);
+  bench::PrintJsonMetric("e2_shot_boundary", "cache_speedup",
+                         uncached_ms / cached_ms);
+  bench::PrintJsonMetric("e2_shot_boundary", "cache_hits",
+                         static_cast<double>(stats.hits));
+  bench::PrintRule();
+}
 
 void RunSweep() {
   bench::PrintHeader("E2", "shot boundary detection quality");
@@ -118,6 +175,7 @@ BENCHMARK(BM_DistanceSignal)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMilliseco
 
 int main(int argc, char** argv) {
   RunSweep();
+  PrintCacheEffect();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

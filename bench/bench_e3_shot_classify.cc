@@ -10,6 +10,8 @@
 #include "bench_util.h"
 #include "detectors/shot_classifier.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
+#include "vision/frame_feature_cache.h"
 
 namespace {
 
@@ -42,6 +44,47 @@ void RunClassification() {
                 cm.ClassRecall(c));
   }
   std::printf("overall accuracy: %.3f\n", cm.Accuracy());
+  bench::PrintJsonMetric("e3_shot_classify", "shots_total",
+                         static_cast<double>(shots_total));
+  bench::PrintJsonMetric("e3_shot_classify", "accuracy", cm.Accuracy());
+  bench::PrintRule();
+}
+
+/// ClassifyAll with the shared cache + pool vs the per-shot serial loop.
+void PrintParallelClassify() {
+  bench::PrintHeader("E3", "parallel shot classification");
+  auto broadcast = media::TennisBroadcastSynthesizer(bench::DefaultBroadcast())
+                       .Synthesize()
+                       .TakeValue();
+  std::vector<FrameInterval> shots;
+  for (const auto& shot : broadcast.truth.shots) shots.push_back(shot.range);
+  std::printf("%zu shots, %lld frames:\n", shots.size(),
+              static_cast<long long>(broadcast.video->num_frames()));
+
+  detectors::ShotClassifier serial;
+  bench::WallTimer serial_timer;
+  for (const auto& shot : shots) {
+    auto classified = serial.Classify(*broadcast.video, shot);
+    benchmark::DoNotOptimize(classified);
+  }
+  double serial_ms = serial_timer.Millis();
+
+  util::ThreadPool pool(4);
+  vision::FrameFeatureCache cache(*broadcast.video);
+  detectors::ShotClassifier parallel;
+  parallel.SetExecution(&cache, &pool);
+  bench::WallTimer parallel_timer;
+  auto classified = parallel.ClassifyAll(*broadcast.video, shots).TakeValue();
+  double parallel_ms = parallel_timer.Millis();
+  benchmark::DoNotOptimize(classified);
+
+  std::printf("%-26s %12.1f\n", "serial loop", serial_ms);
+  std::printf("%-26s %12.1f\n", "ClassifyAll (4t + cache)", parallel_ms);
+  std::printf("speedup: %.2fx\n", serial_ms / parallel_ms);
+  bench::PrintJsonMetric("e3_shot_classify", "serial_ms", serial_ms);
+  bench::PrintJsonMetric("e3_shot_classify", "parallel_ms", parallel_ms);
+  bench::PrintJsonMetric("e3_shot_classify", "classify_speedup_4t",
+                         serial_ms / parallel_ms);
   bench::PrintRule();
 }
 
@@ -79,6 +122,7 @@ BENCHMARK(BM_ComputeShotFeatures)->Arg(1)->Arg(5)->Arg(15)->Unit(benchmark::kMic
 
 int main(int argc, char** argv) {
   RunClassification();
+  PrintParallelClassify();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

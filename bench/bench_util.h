@@ -5,12 +5,37 @@
 /// see DESIGN.md §4). Each binary prints its paper-style table(s) first and
 /// then runs its google-benchmark timings.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "media/tennis_synthesizer.h"
 
 namespace cobra::bench {
+
+/// Machine-readable result line, one JSON object per line so a harness can
+/// grep/parse them out of the human-readable tables:
+///   {"bench": "e2_shot_boundary", "metric": "cached_ms", "value": 123.4}
+inline void PrintJsonMetric(const char* bench, const char* metric,
+                            double value) {
+  std::printf("{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.6g}\n",
+              bench, metric, value);
+}
+
+/// Wall-clock timer for the paper-style experiment sections (the
+/// google-benchmark parts keep their own timing).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Millis() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// The default broadcast for detector experiments: ~1.3k frames, 5 points.
 inline media::TennisSynthConfig DefaultBroadcast(uint64_t seed = 42,

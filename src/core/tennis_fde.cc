@@ -107,7 +107,7 @@ Status TennisVideoIndexer::BuildEngine() {
   auto grammar_result = grammar::FeatureGrammar::Parse(TennisGrammarText());
   COBRA_RETURN_NOT_OK(grammar_result.status());
   fde_ = std::make_unique<grammar::FeatureDetectorEngine>(
-      std::move(grammar_result).TakeValue());
+      std::move(grammar_result).TakeValue(), config_.fde);
 
   // --- segment: shot boundaries + classification (black-box) ---
   COBRA_RETURN_NOT_OK(fde_->RegisterDetector(
@@ -115,14 +115,18 @@ Status TennisVideoIndexer::BuildEngine() {
       [this](const grammar::DetectionContext& ctx)
           -> Result<std::vector<grammar::Annotation>> {
         detectors::ShotBoundaryDetector boundary(config_.boundary);
+        boundary.SetExecution(ctx.cache(), ctx.pool());
         COBRA_ASSIGN_OR_RETURN(detectors::ShotBoundaryResult cuts,
                                boundary.Detect(ctx.video()));
         detectors::ShotClassifier classifier(config_.classifier);
+        classifier.SetExecution(ctx.cache(), ctx.pool());
+        COBRA_ASSIGN_OR_RETURN(
+            std::vector<detectors::ClassifiedShot> classified_shots,
+            classifier.ClassifyAll(ctx.video(),
+                                   cuts.ToShots(ctx.video().num_frames())));
         std::vector<grammar::Annotation> out;
-        for (const FrameInterval& shot :
-             cuts.ToShots(ctx.video().num_frames())) {
-          COBRA_ASSIGN_OR_RETURN(detectors::ClassifiedShot classified,
-                                 classifier.Classify(ctx.video(), shot));
+        for (const detectors::ClassifiedShot& classified : classified_shots) {
+          const FrameInterval& shot = classified.range;
           grammar::Annotation a("", shot);
           a.Set("category",
                 std::string(media::ShotCategoryToString(classified.category)));
@@ -164,6 +168,7 @@ Status TennisVideoIndexer::BuildEngine() {
           -> Result<std::vector<grammar::Annotation>> {
         tracked_shots_.clear();
         detectors::PlayerTracker tracker(config_.tracker);
+        tracker.SetExecution(ctx.cache());
         std::vector<grammar::Annotation> out;
         for (const grammar::Annotation& shot : ctx.Of("tennis")) {
           auto tracking = tracker.Track(ctx.video(), shot.range);

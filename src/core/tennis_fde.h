@@ -38,6 +38,11 @@ struct TennisIndexerConfig {
   detectors::ShotBoundaryConfig boundary;
   detectors::ShotClassifierConfig classifier;
   detectors::PlayerTrackerConfig tracker;
+  /// Execution knobs: FDE wave parallelism (num_threads) and the shared
+  /// frame-feature cache budget (cache_bytes). The defaults reproduce the
+  /// sequential engine with caching on; output is bit-identical for any
+  /// num_threads.
+  grammar::FdeConfig fde;
   /// Event grammar DSL; replace to retarget the event layer.
   std::string event_rules;  // empty -> TennisEventRulesText()
   /// Rally detection: minimum mean player speed after the serve.

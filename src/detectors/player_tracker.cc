@@ -76,8 +76,19 @@ Result<TrackingResult> PlayerTracker::Track(const media::VideoSource& video,
         StringFormat("shot %s out of video bounds", shot.ToString().c_str()));
   }
 
+  // Decoded frames come from the shared cache when attached (the
+  // classifier usually decoded them already); otherwise decode locally.
+  auto frame_at =
+      [&](int64_t f) -> Result<std::shared_ptr<const media::Frame>> {
+    if (cache_ != nullptr) return cache_->GetFrame(f, 1);
+    COBRA_ASSIGN_OR_RETURN(media::Frame frame, video.GetFrame(f));
+    return std::make_shared<const media::Frame>(std::move(frame));
+  };
+
   TrackingResult result;
-  COBRA_ASSIGN_OR_RETURN(media::Frame first, video.GetFrame(shot.begin));
+  COBRA_ASSIGN_OR_RETURN(std::shared_ptr<const media::Frame> first_ptr,
+                         frame_at(shot.begin));
+  const media::Frame& first = *first_ptr;
   COBRA_ASSIGN_OR_RETURN(result.court, EstimateCourtModel(first, config_.court));
   const CourtModel& court = result.court;
 
@@ -125,7 +136,9 @@ Result<TrackingResult> PlayerTracker::Track(const media::VideoSource& video,
 
   // Predictive tracking through the rest of the shot.
   for (int64_t f = shot.begin + 1; f <= shot.end; ++f) {
-    COBRA_ASSIGN_OR_RETURN(media::Frame frame, video.GetFrame(f));
+    COBRA_ASSIGN_OR_RETURN(std::shared_ptr<const media::Frame> frame_ptr,
+                           frame_at(f));
+    const media::Frame& frame = *frame_ptr;
     for (PlayerState& ps : players) {
       if (!ps.alive) continue;
       const TrackPoint& last = ps.track.points.back();

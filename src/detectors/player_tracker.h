@@ -12,6 +12,7 @@
 #include "detectors/court_model.h"
 #include "media/video.h"
 #include "util/status.h"
+#include "vision/frame_feature_cache.h"
 #include "vision/moments.h"
 
 namespace cobra::detectors {
@@ -70,6 +71,12 @@ class PlayerTracker {
  public:
   explicit PlayerTracker(PlayerTrackerConfig config = {});
 
+  /// Attaches the shared frame-feature cache (optional): decoded frames
+  /// come from the cache — shared with the classifier, which already
+  /// decoded most of them — instead of a fresh per-frame decode. The cache
+  /// must be bound to the video passed to Track.
+  void SetExecution(vision::FrameFeatureCache* cache) { cache_ = cache; }
+
   /// Runs segmentation + tracking over `shot` frames of `video`.
   /// Fails if the first frame has no recognizable court.
   Result<TrackingResult> Track(const media::VideoSource& video,
@@ -79,6 +86,7 @@ class PlayerTracker {
 
  private:
   PlayerTrackerConfig config_;
+  vision::FrameFeatureCache* cache_ = nullptr;
 };
 
 }  // namespace cobra::detectors

@@ -24,26 +24,55 @@ std::vector<FrameInterval> ShotBoundaryResult::ToShots(
   return shots;
 }
 
+Result<std::shared_ptr<const vision::ColorHistogram>>
+ShotBoundaryDetector::HistogramOf(const media::VideoSource& video,
+                                  int64_t index) const {
+  if (cache_ != nullptr) {
+    return cache_->GetHistogram(index, config_.downsample,
+                                config_.bins_per_channel);
+  }
+  COBRA_ASSIGN_OR_RETURN(media::Frame frame, video.GetFrame(index));
+  if (config_.downsample > 1) {
+    COBRA_ASSIGN_OR_RETURN(frame, frame.Downsample(config_.downsample));
+  }
+  COBRA_ASSIGN_OR_RETURN(
+      vision::ColorHistogram histogram,
+      vision::ColorHistogram::FromFrame(frame, config_.bins_per_channel));
+  return std::make_shared<const vision::ColorHistogram>(std::move(histogram));
+}
+
 Result<std::vector<double>> ShotBoundaryDetector::ComputeDistances(
     const media::VideoSource& video) const {
   const int64_t n = video.num_frames();
   std::vector<double> distances;
   if (n < 2) return distances;
-  distances.reserve(static_cast<size_t>(n - 1));
 
-  auto histogram_of = [&](int64_t idx) -> Result<vision::ColorHistogram> {
-    COBRA_ASSIGN_OR_RETURN(media::Frame frame, video.GetFrame(idx));
-    if (config_.downsample > 1) {
-      COBRA_ASSIGN_OR_RETURN(frame, frame.Downsample(config_.downsample));
+  // The histogram pass dominates the cost and every frame is independent,
+  // so it fans out over the pool; slots are indexed by frame, keeping the
+  // signal bit-identical to the sequential loop.
+  std::vector<std::shared_ptr<const vision::ColorHistogram>> histograms(
+      static_cast<size_t>(n));
+  std::vector<Status> errors(static_cast<size_t>(n), Status::OK());
+  auto compute = [&](int64_t i) {
+    auto histogram = HistogramOf(video, i);
+    if (histogram.ok()) {
+      histograms[static_cast<size_t>(i)] = std::move(histogram).TakeValue();
+    } else {
+      errors[static_cast<size_t>(i)] = histogram.status();
     }
-    return vision::ColorHistogram::FromFrame(frame, config_.bins_per_channel);
   };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(0, n, /*grain=*/16, compute);
+  } else {
+    for (int64_t i = 0; i < n; ++i) compute(i);
+  }
+  for (const Status& status : errors) COBRA_RETURN_NOT_OK(status);
 
-  COBRA_ASSIGN_OR_RETURN(vision::ColorHistogram prev, histogram_of(0));
+  distances.reserve(static_cast<size_t>(n - 1));
   for (int64_t i = 1; i < n; ++i) {
-    COBRA_ASSIGN_OR_RETURN(vision::ColorHistogram cur, histogram_of(i));
-    distances.push_back(vision::Distance(prev, cur, config_.metric));
-    prev = std::move(cur);
+    distances.push_back(vision::Distance(*histograms[static_cast<size_t>(i - 1)],
+                                         *histograms[static_cast<size_t>(i)],
+                                         config_.metric));
   }
   return distances;
 }
@@ -174,20 +203,15 @@ Result<ShotBoundaryResult> ShotBoundaryDetector::Detect(
   // endpoint test — the frames straddling a real dissolve belong to
   // different scenes, so their direct histogram distance is cut-sized,
   // while in-shot motion runs have near-identical endpoints.
+  // Both passes use HistogramOf: with a cache attached, the verification
+  // histograms below were already built by ComputeDistances and hit.
   std::vector<FrameInterval> candidates = DetectGradual(result.distances, {});
-  auto histogram_of = [&](int64_t idx) -> Result<vision::ColorHistogram> {
-    COBRA_ASSIGN_OR_RETURN(media::Frame frame, video.GetFrame(idx));
-    if (config_.downsample > 1) {
-      COBRA_ASSIGN_OR_RETURN(frame, frame.Downsample(config_.downsample));
-    }
-    return vision::ColorHistogram::FromFrame(frame, config_.bins_per_channel);
-  };
   for (const FrameInterval& candidate : candidates) {
     int64_t before = std::max<int64_t>(0, candidate.begin - 1);
     int64_t after = std::min<int64_t>(video.num_frames() - 1, candidate.end + 1);
-    COBRA_ASSIGN_OR_RETURN(vision::ColorHistogram ha, histogram_of(before));
-    COBRA_ASSIGN_OR_RETURN(vision::ColorHistogram hb, histogram_of(after));
-    if (vision::Distance(ha, hb, config_.metric) <
+    COBRA_ASSIGN_OR_RETURN(auto ha, HistogramOf(video, before));
+    COBRA_ASSIGN_OR_RETURN(auto hb, HistogramOf(video, after));
+    if (vision::Distance(*ha, *hb, config_.metric) <
         std::max(config_.adaptive_floor, config_.fixed_threshold)) {
       continue;  // endpoints look alike: in-shot motion, not a transition
     }

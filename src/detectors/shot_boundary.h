@@ -6,11 +6,14 @@
 /// stage of the tennis FDE (§3).
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "media/video.h"
 #include "util/geometry.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
+#include "vision/frame_feature_cache.h"
 #include "vision/histogram.h"
 
 namespace cobra::detectors {
@@ -75,6 +78,17 @@ class ShotBoundaryDetector {
  public:
   explicit ShotBoundaryDetector(ShotBoundaryConfig config = {});
 
+  /// Attaches the shared execution substrate (both optional): per-frame
+  /// histograms are memoized in `cache` — so the cut pass and the
+  /// gradual-verification pass build each histogram once, and later
+  /// detectors reuse them — and the histogram loop runs on `pool`. The
+  /// cache must be bound to the video passed to Detect. Results are
+  /// bit-identical with or without either.
+  void SetExecution(vision::FrameFeatureCache* cache, util::ThreadPool* pool) {
+    cache_ = cache;
+    pool_ = pool;
+  }
+
   /// Runs detection over the whole video.
   Result<ShotBoundaryResult> Detect(const media::VideoSource& video) const;
 
@@ -95,7 +109,13 @@ class ShotBoundaryDetector {
   const ShotBoundaryConfig& config() const { return config_; }
 
  private:
+  /// Histogram of one analysis frame, through the cache when attached.
+  Result<std::shared_ptr<const vision::ColorHistogram>> HistogramOf(
+      const media::VideoSource& video, int64_t index) const;
+
   ShotBoundaryConfig config_;
+  vision::FrameFeatureCache* cache_ = nullptr;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace cobra::detectors

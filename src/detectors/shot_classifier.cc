@@ -25,22 +25,38 @@ Result<ShotFeatures> ShotClassifier::ComputeFeatures(
     int64_t frame_idx =
         range.begin + (range.Length() - 1) * s / std::max(1, samples - 1);
     if (samples == 1) frame_idx = range.begin + range.Length() / 2;
-    COBRA_ASSIGN_OR_RETURN(media::Frame frame, video.GetFrame(frame_idx));
 
-    COBRA_ASSIGN_OR_RETURN(
-        vision::ColorHistogram hist,
-        vision::ColorHistogram::FromFrame(frame, config_.bins_per_channel));
-    acc.dominant_ratio += hist.DominantRatio();
-    media::Hsv modal = media::RgbToHsv(hist.BinCenter(hist.ModalBin()));
+    // With a cache attached every per-frame artifact is memoized (and the
+    // decoded frame is shared with the other detectors); the fallback path
+    // computes exactly the same values from a local decode.
+    double dominant_ratio, skin_ratio;
+    media::Hsv modal;
+    vision::GrayStats gs;
+    if (cache_ != nullptr) {
+      COBRA_ASSIGN_OR_RETURN(
+          auto hist, cache_->GetHistogram(frame_idx, 1, config_.bins_per_channel));
+      dominant_ratio = hist->DominantRatio();
+      modal = media::RgbToHsv(hist->BinCenter(hist->ModalBin()));
+      COBRA_ASSIGN_OR_RETURN(skin_ratio, cache_->GetSkinRatio(frame_idx));
+      COBRA_ASSIGN_OR_RETURN(gs, cache_->GetGrayStats(frame_idx));
+    } else {
+      COBRA_ASSIGN_OR_RETURN(media::Frame frame, video.GetFrame(frame_idx));
+      COBRA_ASSIGN_OR_RETURN(
+          vision::ColorHistogram hist,
+          vision::ColorHistogram::FromFrame(frame, config_.bins_per_channel));
+      dominant_ratio = hist.DominantRatio();
+      modal = media::RgbToHsv(hist.BinCenter(hist.ModalBin()));
+      skin_ratio = vision::SkinPixelRatio(frame);
+      gs = vision::ComputeGrayStats(frame);
+    }
+
+    acc.dominant_ratio += dominant_ratio;
     double rad = modal.h * 3.14159265358979 / 180.0;
     dom_hue_x += std::cos(rad);
     dom_hue_y += std::sin(rad);
     acc.dominant_saturation += modal.s;
     acc.dominant_value += modal.v;
-
-    acc.skin_ratio += vision::SkinPixelRatio(frame);
-
-    vision::GrayStats gs = vision::ComputeGrayStats(frame);
+    acc.skin_ratio += skin_ratio;
     acc.entropy += gs.entropy;
     acc.luma_mean += gs.mean;
     acc.luma_variance += gs.variance;
@@ -93,12 +109,27 @@ Result<ClassifiedShot> ShotClassifier::Classify(const media::VideoSource& video,
 Result<std::vector<ClassifiedShot>> ShotClassifier::ClassifyAll(
     const media::VideoSource& video,
     const std::vector<FrameInterval>& shots) const {
-  std::vector<ClassifiedShot> out;
-  out.reserve(shots.size());
-  for (const FrameInterval& range : shots) {
-    COBRA_ASSIGN_OR_RETURN(ClassifiedShot shot, Classify(video, range));
-    out.push_back(std::move(shot));
+  // Shots are independent; fan out over the pool with results slotted by
+  // shot index, so the output order (and content) matches the serial loop.
+  std::vector<ClassifiedShot> out(shots.size());
+  std::vector<Status> errors(shots.size(), Status::OK());
+  auto classify = [&](int64_t i) {
+    auto shot = Classify(video, shots[static_cast<size_t>(i)]);
+    if (shot.ok()) {
+      out[static_cast<size_t>(i)] = std::move(shot).TakeValue();
+    } else {
+      errors[static_cast<size_t>(i)] = shot.status();
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(0, static_cast<int64_t>(shots.size()), /*grain=*/1,
+                       classify);
+  } else {
+    for (int64_t i = 0; i < static_cast<int64_t>(shots.size()); ++i) {
+      classify(i);
+    }
   }
+  for (const Status& status : errors) COBRA_RETURN_NOT_OK(status);
   return out;
 }
 

@@ -11,6 +11,8 @@
 #include "media/ground_truth.h"
 #include "media/video.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
+#include "vision/frame_feature_cache.h"
 
 namespace cobra::detectors {
 
@@ -61,6 +63,15 @@ class ShotClassifier {
  public:
   explicit ShotClassifier(ShotClassifierConfig config = {});
 
+  /// Attaches the shared execution substrate (both optional): per-frame
+  /// histograms, skin ratios and gray stats come from `cache` (shared with
+  /// the shot-boundary detector and the tracker), and ClassifyAll fans out
+  /// over `pool`. Results are bit-identical with or without either.
+  void SetExecution(vision::FrameFeatureCache* cache, util::ThreadPool* pool) {
+    cache_ = cache;
+    pool_ = pool;
+  }
+
   /// Computes the per-shot features by sampling frames of `range`.
   Result<ShotFeatures> ComputeFeatures(const media::VideoSource& video,
                                        const FrameInterval& range) const;
@@ -81,6 +92,8 @@ class ShotClassifier {
 
  private:
   ShotClassifierConfig config_;
+  vision::FrameFeatureCache* cache_ = nullptr;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace cobra::detectors

@@ -1,9 +1,10 @@
 #include "grammar/fde.h"
 
 #include <algorithm>
-#include <set>
 
 #include "util/strings.h"
+#include "util/thread_pool.h"
+#include "vision/frame_feature_cache.h"
 
 namespace cobra::grammar {
 
@@ -28,13 +29,24 @@ std::string FdeRunReport::ToString() const {
                         static_cast<long long>(d.annotations_out), d.millis,
                         d.from_cache ? " (cached)" : "");
   }
+  for (const WaveRunStats& w : waves) {
+    out += StringFormat("  wave %d [%s] %8.2f ms\n", w.wave,
+                        JoinStrings(w.symbols, " ").c_str(), w.millis);
+  }
   out += StringFormat("  total %.2f ms, %lld annotations\n", total_millis,
                       static_cast<long long>(TotalAnnotations()));
   return out;
 }
 
-FeatureDetectorEngine::FeatureDetectorEngine(FeatureGrammar grammar)
-    : grammar_(std::move(grammar)) {}
+FeatureDetectorEngine::FeatureDetectorEngine(FeatureGrammar grammar,
+                                             FdeConfig config)
+    : grammar_(std::move(grammar)), config_(config) {
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
+  }
+}
+
+FeatureDetectorEngine::~FeatureDetectorEngine() = default;
 
 Status FeatureDetectorEngine::RegisterCommon(const std::string& symbol) {
   if (!grammar_.HasSymbol(symbol)) {
@@ -117,40 +129,117 @@ Result<std::vector<Annotation>> FeatureDetectorEngine::RunWhitebox(
   return out;
 }
 
+Result<std::vector<Annotation>> FeatureDetectorEngine::RunSymbol(
+    const std::string& symbol, const DetectionContext& ctx) {
+  // find(), not operator[]: RunSymbol executes concurrently within a wave
+  // and must not mutate the registries.
+  auto detector = detectors_.find(symbol);
+  if (detector != detectors_.end()) return detector->second(ctx);
+  return RunWhitebox(whitebox_rules_.find(symbol)->second, ctx);
+}
+
+void FeatureDetectorEngine::PrepareExecution(const media::VideoSource& video) {
+  if (config_.cache_bytes == 0) {
+    cache_.reset();
+    return;
+  }
+  // The cache is keyed by frame index, so it must be rebound whenever the
+  // video changes; for the same video it persists across incremental runs.
+  if (cache_ == nullptr || &cache_->video() != &video) {
+    vision::FrameFeatureCacheConfig cache_config;
+    cache_config.cache_bytes = config_.cache_bytes;
+    cache_ = std::make_unique<vision::FrameFeatureCache>(video, cache_config);
+  }
+}
+
+Result<FdeRunReport> FeatureDetectorEngine::RunWaves(
+    const media::VideoSource& video, const std::set<std::string>& skip) {
+  PrepareExecution(video);
+  DetectionContext ctx(video, &blackboard_, cache_.get(), pool_.get());
+
+  FdeRunReport report;
+  auto run_start = std::chrono::steady_clock::now();
+  const auto& waves = grammar_.ExecutionWaves();
+  for (size_t wave_idx = 0; wave_idx < waves.size(); ++wave_idx) {
+    WaveRunStats wave_stats;
+    wave_stats.wave = static_cast<int>(wave_idx);
+
+    // Partition the wave into cached (skipped) and runnable symbols.
+    std::vector<std::string> runnable;
+    for (const std::string& symbol : waves[wave_idx]) {
+      if (skip.count(symbol)) {
+        DetectorRunStats stats;
+        stats.symbol = symbol;
+        stats.from_cache = true;
+        stats.wave = static_cast<int>(wave_idx);
+        stats.annotations_out =
+            static_cast<int64_t>(blackboard_[symbol].size());
+        report.detectors.push_back(std::move(stats));
+      } else {
+        runnable.push_back(symbol);
+      }
+    }
+
+    // Execute the wave. Results land in per-symbol slots; the blackboard is
+    // untouched (read-only context) until the barrier below, which merges
+    // slots in wave order — so the outcome is independent of scheduling.
+    std::vector<Result<std::vector<Annotation>>> produced(
+        runnable.size(), std::vector<Annotation>{});
+    std::vector<double> millis(runnable.size(), 0.0);
+    auto wave_start = std::chrono::steady_clock::now();
+    {
+      util::TaskGroup group(pool_.get());
+      for (size_t i = 0; i < runnable.size(); ++i) {
+        group.Run([this, &ctx, &runnable, &produced, &millis, i] {
+          auto t0 = std::chrono::steady_clock::now();
+          produced[i] = RunSymbol(runnable[i], ctx);
+          auto t1 = std::chrono::steady_clock::now();
+          millis[i] =
+              std::chrono::duration<double, std::milli>(t1 - t0).count();
+        });
+      }
+      group.Wait();
+    }
+    auto wave_end = std::chrono::steady_clock::now();
+    wave_stats.symbols = runnable;
+    wave_stats.millis =
+        std::chrono::duration<double, std::milli>(wave_end - wave_start)
+            .count();
+
+    // Barrier: surface the first failure (in wave order), then merge.
+    for (size_t i = 0; i < runnable.size(); ++i) {
+      if (!produced[i].ok()) {
+        return Status::DetectorError(StringFormat(
+            "detector '%s' failed: %s", runnable[i].c_str(),
+            produced[i].status().ToString().c_str()));
+      }
+    }
+    for (size_t i = 0; i < runnable.size(); ++i) {
+      std::vector<Annotation> annotations = std::move(produced[i]).TakeValue();
+      for (Annotation& a : annotations) a.symbol = runnable[i];
+      DetectorRunStats stats;
+      stats.symbol = runnable[i];
+      stats.annotations_out = static_cast<int64_t>(annotations.size());
+      stats.millis = millis[i];
+      stats.wave = static_cast<int>(wave_idx);
+      report.detectors.push_back(std::move(stats));
+      blackboard_[runnable[i]] = std::move(annotations);
+    }
+    report.waves.push_back(std::move(wave_stats));
+  }
+  auto run_end = std::chrono::steady_clock::now();
+  report.total_millis =
+      std::chrono::duration<double, std::milli>(run_end - run_start).count();
+  return report;
+}
+
 Result<FdeRunReport> FeatureDetectorEngine::Run(const media::VideoSource& video) {
   COBRA_RETURN_NOT_OK(CheckComplete());
   blackboard_.clear();
   dirty_.clear();
   has_run_ = false;
 
-  FdeRunReport report;
-  DetectionContext ctx(video, &blackboard_);
-  auto run_start = std::chrono::steady_clock::now();
-  for (const std::string& symbol : grammar_.ExecutionOrder()) {
-    auto t0 = std::chrono::steady_clock::now();
-    Result<std::vector<Annotation>> produced =
-        detectors_.count(symbol)
-            ? detectors_[symbol](ctx)
-            : RunWhitebox(whitebox_rules_[symbol], ctx);
-    if (!produced.ok()) {
-      return Status::DetectorError(StringFormat(
-          "detector '%s' failed: %s", symbol.c_str(),
-          produced.status().ToString().c_str()));
-    }
-    std::vector<Annotation> annotations = std::move(produced).TakeValue();
-    for (Annotation& a : annotations) a.symbol = symbol;
-    auto t1 = std::chrono::steady_clock::now();
-
-    DetectorRunStats stats;
-    stats.symbol = symbol;
-    stats.annotations_out = static_cast<int64_t>(annotations.size());
-    stats.millis = std::chrono::duration<double, std::milli>(t1 - t0).count();
-    report.detectors.push_back(stats);
-    blackboard_[symbol] = std::move(annotations);
-  }
-  auto run_end = std::chrono::steady_clock::now();
-  report.total_millis =
-      std::chrono::duration<double, std::milli>(run_end - run_start).count();
+  COBRA_ASSIGN_OR_RETURN(FdeRunReport report, RunWaves(video, {}));
   has_run_ = true;
   return report;
 }
@@ -170,41 +259,12 @@ Result<FdeRunReport> FeatureDetectorEngine::RunIncremental(
       dirty.insert(down);
     }
   }
-
-  FdeRunReport report;
-  DetectionContext ctx(video, &blackboard_);
-  auto run_start = std::chrono::steady_clock::now();
+  std::set<std::string> clean;
   for (const std::string& symbol : grammar_.ExecutionOrder()) {
-    DetectorRunStats stats;
-    stats.symbol = symbol;
-    if (!dirty.count(symbol)) {
-      stats.from_cache = true;
-      stats.annotations_out =
-          static_cast<int64_t>(blackboard_[symbol].size());
-      report.detectors.push_back(stats);
-      continue;
-    }
-    auto t0 = std::chrono::steady_clock::now();
-    Result<std::vector<Annotation>> produced =
-        detectors_.count(symbol)
-            ? detectors_[symbol](ctx)
-            : RunWhitebox(whitebox_rules_[symbol], ctx);
-    if (!produced.ok()) {
-      return Status::DetectorError(StringFormat(
-          "detector '%s' failed: %s", symbol.c_str(),
-          produced.status().ToString().c_str()));
-    }
-    std::vector<Annotation> annotations = std::move(produced).TakeValue();
-    for (Annotation& a : annotations) a.symbol = symbol;
-    auto t1 = std::chrono::steady_clock::now();
-    stats.annotations_out = static_cast<int64_t>(annotations.size());
-    stats.millis = std::chrono::duration<double, std::milli>(t1 - t0).count();
-    report.detectors.push_back(stats);
-    blackboard_[symbol] = std::move(annotations);
+    if (!dirty.count(symbol)) clean.insert(symbol);
   }
-  auto run_end = std::chrono::steady_clock::now();
-  report.total_millis =
-      std::chrono::duration<double, std::milli>(run_end - run_start).count();
+
+  COBRA_ASSIGN_OR_RETURN(FdeRunReport report, RunWaves(video, clean));
   dirty_.clear();
   return report;
 }

@@ -11,11 +11,20 @@
 ///     segment detector wrapping histogram differencing);
 ///   * white-box: a declarative spatio-temporal predicate over existing
 ///     annotations, interpreted by the engine itself (see WhiteboxRule).
+///
+/// Execution is wave-scheduled: the grammar's topological levels
+/// (FeatureGrammar::ExecutionWaves) run one after another, and the
+/// detectors inside one wave run concurrently on a thread pool. Blackboard
+/// writes happen only at wave barriers, so the DetectionContext is
+/// read-only while detectors execute and the annotation output is
+/// bit-identical to a sequential run (see DESIGN.md "Parallel execution
+/// model").
 
 #include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -24,24 +33,56 @@
 #include "media/video.h"
 #include "util/status.h"
 
+namespace cobra::util {
+class ThreadPool;
+}  // namespace cobra::util
+
+namespace cobra::vision {
+class FrameFeatureCache;
+}  // namespace cobra::vision
+
 namespace cobra::grammar {
 
+/// Engine-level execution knobs.
+struct FdeConfig {
+  /// Detectors within one grammar wave (and frame loops inside detectors
+  /// that use the shared pool) run on this many threads. 1 reproduces the
+  /// sequential engine exactly.
+  int num_threads = 1;
+  /// Byte budget of the shared per-frame feature cache (decoded frames,
+  /// histograms, skin ratios, gray stats). 0 disables caching.
+  size_t cache_bytes = size_t{64} << 20;
+};
+
 /// What a detector sees while running: the video plus every annotation
-/// produced by detectors earlier in the topological order.
+/// produced by detectors in earlier waves, and the shared execution
+/// substrate (frame-feature cache + thread pool). During a wave the context
+/// is read-only; the cache is internally synchronized.
 class DetectionContext {
  public:
   DetectionContext(const media::VideoSource& video,
-                   const std::map<std::string, std::vector<Annotation>>* blackboard)
-      : video_(video), blackboard_(blackboard) {}
+                   const std::map<std::string, std::vector<Annotation>>* blackboard,
+                   vision::FrameFeatureCache* cache = nullptr,
+                   util::ThreadPool* pool = nullptr)
+      : video_(video), blackboard_(blackboard), cache_(cache), pool_(pool) {}
 
   const media::VideoSource& video() const { return video_; }
 
   /// Annotations of a dependency symbol (empty if none were produced).
   const std::vector<Annotation>& Of(const std::string& symbol) const;
 
+  /// Shared per-frame feature cache for this run (null when the engine was
+  /// built without one; detectors must fall back to direct computation).
+  vision::FrameFeatureCache* cache() const { return cache_; }
+
+  /// Shared thread pool (null or inline in single-threaded runs).
+  util::ThreadPool* pool() const { return pool_; }
+
  private:
   const media::VideoSource& video_;
   const std::map<std::string, std::vector<Annotation>>* blackboard_;
+  vision::FrameFeatureCache* cache_ = nullptr;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 /// A black-box detector: consumes the context, emits annotations for its
@@ -72,11 +113,22 @@ struct DetectorRunStats {
   int64_t annotations_out = 0;
   double millis = 0.0;
   bool from_cache = false;  ///< reused from the previous run (incremental)
+  int wave = 0;             ///< topological level the detector ran in
+};
+
+/// Per-wave execution record: the concurrent batch and its barrier-to-
+/// barrier wall time (under parallel execution this is less than the sum of
+/// its detectors' own times).
+struct WaveRunStats {
+  int wave = 0;
+  std::vector<std::string> symbols;  ///< detectors executed (not cached)
+  double millis = 0.0;
 };
 
 /// Result of one FDE run over a video.
 struct FdeRunReport {
-  std::vector<DetectorRunStats> detectors;  ///< in execution order
+  std::vector<DetectorRunStats> detectors;  ///< in wave order
+  std::vector<WaveRunStats> waves;          ///< one entry per grammar wave
   double total_millis = 0.0;
 
   int64_t TotalAnnotations() const;
@@ -87,9 +139,11 @@ struct FdeRunReport {
 /// symbol (black-box or white-box), then Run.
 class FeatureDetectorEngine {
  public:
-  explicit FeatureDetectorEngine(FeatureGrammar grammar);
+  explicit FeatureDetectorEngine(FeatureGrammar grammar, FdeConfig config = {});
+  ~FeatureDetectorEngine();
 
   const FeatureGrammar& grammar() const { return grammar_; }
+  const FdeConfig& config() const { return config_; }
 
   /// Registers a black-box detector for `symbol`. Fails if the symbol is
   /// unknown, is the start symbol, or already has a detector.
@@ -105,8 +159,8 @@ class FeatureDetectorEngine {
   /// True if every non-start symbol has a detector.
   Status CheckComplete() const;
 
-  /// Runs all detectors in grammar execution order over `video`, populating
-  /// the annotation blackboard from scratch.
+  /// Runs all detectors wave by wave over `video`, populating the
+  /// annotation blackboard from scratch.
   Result<FdeRunReport> Run(const media::VideoSource& video);
 
   /// Incremental run: reuses the previous run's annotations for symbols
@@ -122,17 +176,35 @@ class FeatureDetectorEngine {
     return blackboard_;
   }
 
+  /// The shared frame-feature cache of the last/current run (null before
+  /// the first Run or when cache_bytes == 0).
+  vision::FrameFeatureCache* frame_cache() const { return cache_.get(); }
+
  private:
   Status RegisterCommon(const std::string& symbol);
   Result<std::vector<Annotation>> RunWhitebox(const WhiteboxRule& rule,
                                               const DetectionContext& ctx) const;
+  /// Executes one detector (black- or white-box) for the wave scheduler.
+  Result<std::vector<Annotation>> RunSymbol(const std::string& symbol,
+                                            const DetectionContext& ctx);
+  /// Binds cache + pool to `video` (creating or resetting as needed).
+  void PrepareExecution(const media::VideoSource& video);
+  /// Wave-scheduled execution shared by Run and RunIncremental: runs every
+  /// symbol not in `skip` and merges results at wave barriers; symbols in
+  /// `skip` are reported as cached.
+  Result<FdeRunReport> RunWaves(const media::VideoSource& video,
+                                const std::set<std::string>& skip);
 
   FeatureGrammar grammar_;
+  FdeConfig config_;
   std::map<std::string, DetectorFn> detectors_;
   std::map<std::string, WhiteboxRule> whitebox_rules_;
   std::map<std::string, std::vector<Annotation>> blackboard_;
   std::vector<std::string> dirty_;
   bool has_run_ = false;
+
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<vision::FrameFeatureCache> cache_;
 };
 
 }  // namespace cobra::grammar

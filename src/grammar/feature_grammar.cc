@@ -155,6 +155,27 @@ Status FeatureGrammar::Validate() {
       return Status::InvalidArgument("grammar contains a dependency cycle");
     }
   }
+
+  // Topological levels: wave(s) = 1 + max(wave(deps)), start symbol = -1.
+  // execution_order_ is already topological, so one forward sweep settles
+  // every level; declaration order within a wave follows from iterating
+  // rules_ in order below.
+  std::map<std::string, int> wave_of;
+  int max_wave = -1;
+  for (const std::string& symbol : execution_order_) {
+    int wave = 0;
+    for (const std::string& dep : DependenciesOf(symbol)) {
+      if (dep == start_symbol_) continue;
+      wave = std::max(wave, wave_of[dep] + 1);
+    }
+    wave_of[symbol] = wave;
+    max_wave = std::max(max_wave, wave);
+  }
+  execution_waves_.assign(static_cast<size_t>(max_wave + 1), {});
+  for (const GrammarRule& rule : rules_) {
+    execution_waves_[static_cast<size_t>(wave_of[rule.symbol])].push_back(
+        rule.symbol);
+  }
   return Status::OK();
 }
 

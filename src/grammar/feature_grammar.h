@@ -63,6 +63,16 @@ class FeatureGrammar {
     return execution_order_;
   }
 
+  /// The topological levels ("waves") of the dependency DAG: wave 0 holds
+  /// the symbols that depend only on the start symbol; a symbol's wave is
+  /// 1 + the max wave of its dependencies. Symbols within one wave have no
+  /// dependencies among each other, so their detectors may run concurrently
+  /// (the FDE's wave scheduler). Concatenating the waves yields a valid
+  /// execution order; within a wave, symbols keep declaration order.
+  const std::vector<std::vector<std::string>>& ExecutionWaves() const {
+    return execution_waves_;
+  }
+
   /// Symbols that (transitively) depend on `symbol`, excluding it.
   /// Used for incremental re-indexing: these are the detectors to re-run
   /// when `symbol`'s detector or output changes.
@@ -78,6 +88,7 @@ class FeatureGrammar {
   std::vector<GrammarRule> rules_;
   std::map<std::string, size_t> rule_index_;
   std::vector<std::string> execution_order_;
+  std::vector<std::vector<std::string>> execution_waves_;
 };
 
 }  // namespace cobra::grammar

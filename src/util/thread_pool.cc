@@ -1,0 +1,128 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace cobra::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 1) return;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::DefaultThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::Enqueue(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  std::exception_ptr error;
+  try {
+    task.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  task.group->Finish(error);
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+    }
+    RunOneTask();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<int64_t>(1, grain);
+  if (inline_mode() || end - begin <= grain) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  TaskGroup group(this);
+  for (int64_t chunk = begin; chunk < end; chunk += grain) {
+    const int64_t chunk_end = std::min(end, chunk + grain);
+    group.Run([&fn, chunk, chunk_end] {
+      for (int64_t i = chunk; i < chunk_end; ++i) fn(i);
+    });
+  }
+  group.Wait();
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  if (pool_ == nullptr || pool_->inline_mode()) {
+    // Inline mode: execute now, but keep the error contract of Wait().
+    if (first_error_) return;  // fail fast once a task threw
+    try {
+      fn();
+    } catch (...) {
+      first_error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_->Enqueue(ThreadPool::Task{std::move(fn), this});
+}
+
+void TaskGroup::Finish(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error && !first_error_) first_error_ = error;
+  if (--pending_ == 0) done_cv_.notify_all();
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (pending_ == 0) break;
+    }
+    // Help drain the pool instead of blocking: a task waiting on its own
+    // subtasks keeps the pool making progress (no self-deadlock).
+    if (pool_ != nullptr && pool_->RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                      [this] { return pending_ == 0; });
+  }
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace cobra::util

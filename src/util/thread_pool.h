@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file thread_pool.h
+/// A fixed-size worker pool shared by the indexing pipeline: the FDE runs
+/// independent detectors of one grammar wave concurrently, and detectors
+/// parallelize their own frame loops through the same pool.
+///
+/// Design constraints (see DESIGN.md "Parallel execution model"):
+///   * deterministic results — `ParallelFor` writes are indexed by the loop
+///     variable, so output never depends on scheduling;
+///   * nested use — a task running on the pool may itself call
+///     `ParallelFor`/`TaskGroup::Wait`; the waiting thread drains queued
+///     tasks instead of blocking, so the pool cannot deadlock on itself;
+///   * `num_threads <= 1` degenerates to inline execution on the calling
+///     thread, reproducing single-threaded behavior exactly.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cobra::util {
+
+class TaskGroup;
+
+/// Fixed-size thread pool. Tasks are submitted through a TaskGroup (or the
+/// ParallelFor convenience) so the submitter can wait for exactly its own
+/// work and receive its exceptions.
+class ThreadPool {
+ public:
+  /// `num_threads <= 1` creates no workers: all work runs on the caller.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 in inline mode).
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// True when the pool executes everything on the calling thread.
+  bool inline_mode() const { return workers_.empty(); }
+
+  /// Calls `fn(i)` for every i in [begin, end). Iterations are batched into
+  /// chunks of `grain` consecutive indices; chunks run concurrently. Blocks
+  /// until every iteration finished; rethrows the first exception thrown by
+  /// any iteration. Every index is visited exactly once.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t)>& fn);
+
+  /// A sensible default for `num_threads`: the hardware concurrency, at
+  /// least 1.
+  static int DefaultThreads();
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  void Enqueue(Task task);
+  /// Pops and runs one queued task; returns false if the queue was empty.
+  bool RunOneTask();
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  bool stop_ = false;
+};
+
+/// A batch of tasks submitted to one pool that can be awaited together.
+/// Not thread-safe for concurrent Run/Wait from multiple submitters; one
+/// owner submits and waits.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `fn` on the pool (runs inline immediately when the pool is
+  /// null or in inline mode).
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every task scheduled through this group completed. While
+  /// waiting, the calling thread executes queued tasks (its own or other
+  /// groups'), which makes nested waits deadlock-free. Rethrows the first
+  /// exception any task threw.
+  void Wait();
+
+ private:
+  friend class ThreadPool;
+
+  void Finish(std::exception_ptr error);
+
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable done_cv_;
+  int64_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace cobra::util

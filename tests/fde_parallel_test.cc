@@ -1,0 +1,385 @@
+/// \file fde_parallel_test.cc
+/// Wave-scheduled FDE execution: determinism (1 vs N threads produce
+/// bit-identical blackboards, on a synthetic DAG and on the full tennis
+/// pipeline over a synthesized broadcast), wave structure, and the shared
+/// frame-feature cache.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/tennis_fde.h"
+#include "grammar/fde.h"
+#include "grammar/feature_grammar.h"
+#include "media/tennis_synthesizer.h"
+#include "media/video.h"
+#include "util/thread_pool.h"
+#include "vision/frame_feature_cache.h"
+
+namespace cobra {
+namespace {
+
+using grammar::Annotation;
+using grammar::DetectionContext;
+using grammar::FdeConfig;
+using grammar::FeatureDetectorEngine;
+using grammar::FeatureGrammar;
+
+// ---------- wave structure ----------
+
+TEST(ExecutionWavesTest, TennisGrammarLevels) {
+  auto g = FeatureGrammar::Parse(core::TennisGrammarText()).TakeValue();
+  const auto& waves = g.ExecutionWaves();
+  ASSERT_EQ(waves.size(), 5u);
+  EXPECT_EQ(waves[0], (std::vector<std::string>{"segment"}));
+  EXPECT_EQ(waves[1], (std::vector<std::string>{"tennis", "closeup", "audience"}));
+  EXPECT_EQ(waves[2], (std::vector<std::string>{"player"}));
+  EXPECT_EQ(waves[3], (std::vector<std::string>{"features"}));
+  EXPECT_EQ(waves[4], (std::vector<std::string>{"serve", "rally", "net_play",
+                                                "baseline_play"}));
+}
+
+TEST(ExecutionWavesTest, WavesConcatenateToValidTopologicalOrder) {
+  auto g = FeatureGrammar::Parse(
+               "start v ;\na : v ;\nb : v ;\nc : a b ;\nd : a ;\ne : c d ;")
+               .TakeValue();
+  const auto& waves = g.ExecutionWaves();
+  ASSERT_EQ(waves.size(), 3u);
+  EXPECT_EQ(waves[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(waves[1], (std::vector<std::string>{"c", "d"}));
+  EXPECT_EQ(waves[2], (std::vector<std::string>{"e"}));
+  size_t total = 0;
+  for (const auto& wave : waves) total += wave.size();
+  EXPECT_EQ(total, g.ExecutionOrder().size());
+}
+
+// ---------- deterministic parallel runs ----------
+
+media::MemoryVideo SmallVideo() {
+  std::vector<media::Frame> frames;
+  for (int i = 0; i < 6; ++i) frames.emplace_back(8, 8);
+  return media::MemoryVideo(std::move(frames), 25.0);
+}
+
+/// Builds a diamond-DAG engine whose detectors run concurrently in wave 1
+/// and record their wave timing.
+void RegisterDiamond(FeatureDetectorEngine* fde, std::atomic<int>* concurrent,
+                     std::atomic<int>* peak) {
+  ASSERT_TRUE(fde->RegisterDetector("a", [](const DetectionContext&) {
+                   std::vector<Annotation> out;
+                   out.emplace_back("", FrameInterval{0, 5});
+                   return out;
+                 }).ok());
+  for (const char* sym : {"b", "c", "d"}) {
+    ASSERT_TRUE(fde->RegisterDetector(
+                       sym,
+                       [sym, concurrent, peak](const DetectionContext& ctx) {
+                         int now = ++*concurrent;
+                         int seen = peak->load();
+                         while (now > seen &&
+                                !peak->compare_exchange_weak(seen, now)) {
+                         }
+                         std::this_thread::sleep_for(
+                             std::chrono::milliseconds(20));
+                         std::vector<Annotation> out;
+                         Annotation a("", ctx.Of("a")[0].range);
+                         a.Set("who", std::string(sym));
+                         out.push_back(std::move(a));
+                         --*concurrent;
+                         return out;
+                       })
+                    .ok());
+  }
+  ASSERT_TRUE(fde->RegisterDetector("e", [](const DetectionContext& ctx) {
+                   std::vector<Annotation> out;
+                   Annotation a("", FrameInterval{0, 5});
+                   a.Set("inputs",
+                         static_cast<int64_t>(ctx.Of("b").size() +
+                                              ctx.Of("c").size() +
+                                              ctx.Of("d").size()));
+                   out.push_back(std::move(a));
+                   return out;
+                 }).ok());
+}
+
+FeatureGrammar DiamondGrammar() {
+  return FeatureGrammar::Parse(
+             "start v ;\na : v ;\nb : a ;\nc : a ;\nd : a ;\ne : b c d ;")
+      .TakeValue();
+}
+
+TEST(ParallelFdeTest, WaveDetectorsActuallyOverlap) {
+  FdeConfig config;
+  config.num_threads = 4;
+  FeatureDetectorEngine fde(DiamondGrammar(), config);
+  std::atomic<int> concurrent{0}, peak{0};
+  RegisterDiamond(&fde, &concurrent, &peak);
+  media::MemoryVideo video = SmallVideo();
+  auto report = fde.Run(video);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(peak.load(), 2) << "wave 1 detectors never ran concurrently";
+  ASSERT_EQ(report->waves.size(), 3u);
+  EXPECT_EQ(report->waves[1].symbols.size(), 3u);
+  EXPECT_EQ(fde.AnnotationsOf("e")[0].IntOr("inputs", 0), 3);
+}
+
+TEST(ParallelFdeTest, BlackboardIdenticalAcrossThreadCounts) {
+  std::map<std::string, std::vector<Annotation>> reference;
+  for (int threads : {1, 4}) {
+    FdeConfig config;
+    config.num_threads = threads;
+    FeatureDetectorEngine fde(DiamondGrammar(), config);
+    std::atomic<int> concurrent{0}, peak{0};
+    RegisterDiamond(&fde, &concurrent, &peak);
+    media::MemoryVideo video = SmallVideo();
+    ASSERT_TRUE(fde.Run(video).ok());
+    if (threads == 1) {
+      reference = fde.blackboard();
+      continue;
+    }
+    ASSERT_EQ(fde.blackboard().size(), reference.size());
+    for (const auto& [symbol, annotations] : reference) {
+      const auto& got = fde.AnnotationsOf(symbol);
+      ASSERT_EQ(got.size(), annotations.size()) << symbol;
+      for (size_t i = 0; i < annotations.size(); ++i) {
+        EXPECT_EQ(got[i].symbol, annotations[i].symbol);
+        EXPECT_EQ(got[i].range, annotations[i].range);
+        EXPECT_EQ(got[i].attrs, annotations[i].attrs);
+      }
+    }
+  }
+}
+
+TEST(ParallelFdeTest, FirstFailureInWaveOrderSurfaces) {
+  FdeConfig config;
+  config.num_threads = 4;
+  FeatureDetectorEngine fde(DiamondGrammar(), config);
+  ASSERT_TRUE(fde.RegisterDetector("a", [](const DetectionContext&) {
+                   return std::vector<Annotation>{};
+                 }).ok());
+  for (const char* sym : {"b", "c", "d"}) {
+    ASSERT_TRUE(fde.RegisterDetector(
+                       sym,
+                       [sym](const DetectionContext&)
+                           -> Result<std::vector<Annotation>> {
+                         return Status::Internal(sym);
+                       })
+                    .ok());
+  }
+  bool ran_e = false;
+  ASSERT_TRUE(fde.RegisterDetector("e", [&ran_e](const DetectionContext&) {
+                   ran_e = true;
+                   return std::vector<Annotation>{};
+                 }).ok());
+  media::MemoryVideo video = SmallVideo();
+  auto report = fde.Run(video);
+  ASSERT_FALSE(report.ok());
+  // All of b, c, d failed; the error names the first in wave order.
+  EXPECT_NE(report.status().message().find("'b'"), std::string::npos);
+  EXPECT_FALSE(ran_e) << "waves after a failing wave must not run";
+}
+
+// ---------- end-to-end determinism on the tennis pipeline ----------
+
+media::TennisSynthConfig BroadcastConfig() {
+  media::TennisSynthConfig config;
+  config.width = 120;
+  config.height = 90;
+  config.num_points = 3;
+  config.min_court_frames = 60;
+  config.max_court_frames = 90;
+  config.min_cutaway_frames = 12;
+  config.max_cutaway_frames = 20;
+  config.noise_sigma = 3.0;
+  config.net_approach_prob = 1.0;
+  config.seed = 7;
+  return config;
+}
+
+TEST(ParallelFdeTest, TennisIndexerBitIdenticalAcrossThreadCounts) {
+  auto broadcast = media::TennisBroadcastSynthesizer(BroadcastConfig())
+                       .Synthesize()
+                       .TakeValue();
+
+  std::map<std::string, std::vector<Annotation>> reference;
+  for (int threads : {1, 4}) {
+    core::TennisIndexerConfig config;
+    config.fde.num_threads = threads;
+    auto indexer = core::TennisVideoIndexer::Create(config).TakeValue();
+    auto desc = indexer->Index(*broadcast.video, 1, "determinism");
+    ASSERT_TRUE(desc.ok()) << desc.status().ToString();
+    if (threads == 1) {
+      reference = indexer->fde().blackboard();
+      ASSERT_FALSE(reference.empty());
+      continue;
+    }
+    const auto& got_board = indexer->fde().blackboard();
+    ASSERT_EQ(got_board.size(), reference.size());
+    for (const auto& [symbol, annotations] : reference) {
+      const auto& got = indexer->fde().AnnotationsOf(symbol);
+      ASSERT_EQ(got.size(), annotations.size()) << symbol;
+      for (size_t i = 0; i < annotations.size(); ++i) {
+        EXPECT_EQ(got[i].symbol, annotations[i].symbol) << symbol;
+        EXPECT_EQ(got[i].range, annotations[i].range) << symbol;
+        EXPECT_EQ(got[i].attrs, annotations[i].attrs) << symbol << " #" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelFdeTest, CachingDoesNotChangeTennisOutput) {
+  auto broadcast = media::TennisBroadcastSynthesizer(BroadcastConfig())
+                       .Synthesize()
+                       .TakeValue();
+
+  core::TennisIndexerConfig uncached;
+  uncached.fde.cache_bytes = 0;
+  auto indexer_off = core::TennisVideoIndexer::Create(uncached).TakeValue();
+  ASSERT_TRUE(indexer_off->Index(*broadcast.video, 1, "uncached").ok());
+
+  core::TennisIndexerConfig cached;  // default cache on
+  auto indexer_on = core::TennisVideoIndexer::Create(cached).TakeValue();
+  ASSERT_TRUE(indexer_on->Index(*broadcast.video, 1, "cached").ok());
+
+  ASSERT_NE(indexer_on->fde().frame_cache(), nullptr);
+  EXPECT_EQ(indexer_off->fde().frame_cache(), nullptr);
+  EXPECT_GT(indexer_on->fde().frame_cache()->stats().hits, 0);
+
+  const auto& a = indexer_off->fde().blackboard();
+  const auto& b = indexer_on->fde().blackboard();
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [symbol, annotations] : a) {
+    const auto& got = b.at(symbol);
+    ASSERT_EQ(got.size(), annotations.size()) << symbol;
+    for (size_t i = 0; i < annotations.size(); ++i) {
+      EXPECT_EQ(got[i].range, annotations[i].range) << symbol;
+      EXPECT_EQ(got[i].attrs, annotations[i].attrs) << symbol;
+    }
+  }
+}
+
+TEST(ParallelFdeTest, IncrementalRunKeepsWaveSemantics) {
+  FdeConfig config;
+  config.num_threads = 4;
+  FeatureDetectorEngine fde(DiamondGrammar(), config);
+  std::atomic<int> concurrent{0}, peak{0};
+  RegisterDiamond(&fde, &concurrent, &peak);
+  media::MemoryVideo video = SmallVideo();
+  ASSERT_TRUE(fde.Run(video).ok());
+
+  ASSERT_TRUE(fde.ReplaceDetector("c", [](const DetectionContext& ctx) {
+                   std::vector<Annotation> out;
+                   Annotation a("", ctx.Of("a")[0].range);
+                   a.Set("who", std::string("c2"));
+                   out.push_back(std::move(a));
+                   return out;
+                 }).ok());
+  auto report = fde.RunIncremental(video);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  int cached = 0, executed = 0;
+  for (const auto& d : report->detectors) {
+    d.from_cache ? ++cached : ++executed;
+  }
+  EXPECT_EQ(cached, 3);    // a, b, d reused
+  EXPECT_EQ(executed, 2);  // c and its downstream e re-ran
+  EXPECT_EQ(fde.AnnotationsOf("c")[0].StringOr("who", ""), "c2");
+}
+
+// ---------- frame-feature cache ----------
+
+media::MemoryVideo GradientVideo(int frames) {
+  std::vector<media::Frame> out;
+  for (int f = 0; f < frames; ++f) {
+    media::Frame frame(16, 12);
+    for (int y = 0; y < 12; ++y) {
+      for (int x = 0; x < 16; ++x) {
+        frame.At(x, y) = media::Rgb{static_cast<uint8_t>((x * 16 + f) & 0xff),
+                                    static_cast<uint8_t>(y * 20),
+                                    static_cast<uint8_t>(f * 3)};
+      }
+    }
+    out.push_back(std::move(frame));
+  }
+  return media::MemoryVideo(std::move(out), 25.0);
+}
+
+TEST(FrameFeatureCacheTest, MemoizesAndMatchesDirectComputation) {
+  media::MemoryVideo video = GradientVideo(4);
+  vision::FrameFeatureCache cache(video);
+
+  auto h1 = cache.GetHistogram(2, 1, 8);
+  ASSERT_TRUE(h1.ok());
+  auto h2 = cache.GetHistogram(2, 1, 8);
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(h1->get(), h2->get()) << "second lookup must hit";
+  EXPECT_GT(cache.stats().hits, 0);
+
+  auto direct_frame = video.GetFrame(2).TakeValue();
+  auto direct =
+      vision::ColorHistogram::FromFrame(direct_frame, 8).TakeValue();
+  EXPECT_EQ((*h1)->values(), direct.values());
+
+  auto skin = cache.GetSkinRatio(1);
+  ASSERT_TRUE(skin.ok());
+  EXPECT_DOUBLE_EQ(*skin,
+                   vision::SkinPixelRatio(video.GetFrame(1).TakeValue()));
+
+  auto gray = cache.GetGrayStats(1);
+  ASSERT_TRUE(gray.ok());
+  auto direct_gray = vision::ComputeGrayStats(video.GetFrame(1).TakeValue());
+  EXPECT_DOUBLE_EQ(gray->entropy, direct_gray.entropy);
+  EXPECT_DOUBLE_EQ(gray->mean, direct_gray.mean);
+}
+
+TEST(FrameFeatureCacheTest, EvictsUnderByteBudget) {
+  media::MemoryVideo video = GradientVideo(64);
+  vision::FrameFeatureCacheConfig config;
+  // Room for only a handful of 16x12 frames (576 bytes + overhead each).
+  config.cache_bytes = 4096;
+  vision::FrameFeatureCache cache(video, config);
+  for (int64_t f = 0; f < 64; ++f) {
+    ASSERT_TRUE(cache.GetFrame(f, 1).ok());
+  }
+  auto stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_LE(stats.bytes, config.cache_bytes);
+  // Values stay correct after eviction.
+  auto frame = cache.GetFrame(0, 1);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ((*frame)->At(3, 2).g, video.GetFrame(0).TakeValue().At(3, 2).g);
+}
+
+TEST(FrameFeatureCacheTest, ZeroBudgetDisablesCaching) {
+  media::MemoryVideo video = GradientVideo(4);
+  vision::FrameFeatureCacheConfig config;
+  config.cache_bytes = 0;
+  vision::FrameFeatureCache cache(video, config);
+  ASSERT_TRUE(cache.GetHistogram(0, 1, 8).ok());
+  ASSERT_TRUE(cache.GetHistogram(0, 1, 8).ok());
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(FrameFeatureCacheTest, ConcurrentLookupsAreSafeAndConsistent) {
+  media::MemoryVideo video = GradientVideo(32);
+  vision::FrameFeatureCache cache(video);
+  util::ThreadPool pool(4);
+  std::vector<double> ratios(32);
+  // Every thread hammers overlapping frames; values must equal the direct
+  // computation regardless of interleaving.
+  pool.ParallelFor(0, 32 * 4, 1, [&](int64_t i) {
+    int64_t f = i % 32;
+    auto r = cache.GetSkinRatio(f);
+    ASSERT_TRUE(r.ok());
+    ratios[static_cast<size_t>(f)] = *r;
+  });
+  for (int64_t f = 0; f < 32; ++f) {
+    EXPECT_DOUBLE_EQ(ratios[static_cast<size_t>(f)],
+                     vision::SkinPixelRatio(video.GetFrame(f).TakeValue()));
+  }
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,121 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace cobra::util {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeHasNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 0);
+  EXPECT_TRUE(pool.inline_mode());
+  ThreadPool pool0(0);
+  EXPECT_TRUE(pool0.inline_mode());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10'000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(0, kN, /*grain=*/7,
+                   [&](int64_t i) { visits[static_cast<size_t>(i)]++; });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PoolOfSizeOneMatchesSerialExecution) {
+  constexpr int64_t kN = 257;
+  std::vector<int64_t> serial(kN), pooled(kN);
+  for (int64_t i = 0; i < kN; ++i) serial[static_cast<size_t>(i)] = i * i;
+
+  ThreadPool pool(1);
+  pool.ParallelFor(0, kN, /*grain=*/16,
+                   [&](int64_t i) { pooled[static_cast<size_t>(i)] = i * i; });
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> atomic_calls{0};
+  pool.ParallelFor(0, 1, 100, [&](int64_t) { atomic_calls++; });
+  EXPECT_EQ(atomic_calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000, 8,
+                       [&](int64_t i) {
+                         if (i == 500) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 100, 8, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, InlinePoolPropagatesExceptions) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(0, 10, 1,
+                                [](int64_t i) {
+                                  if (i == 3) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(TaskGroupTest, WaitsForAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 64; ++i) {
+      group.Run([&done] { done++; });
+    }
+    group.Wait();
+    EXPECT_EQ(done.load(), 64);
+  }
+}
+
+TEST(TaskGroupTest, WaitRethrowsFirstError) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.Run([] { throw std::logic_error("task failed"); });
+  group.Run([] {});
+  EXPECT_THROW(group.Wait(), std::logic_error);
+  // A second Wait is a no-op (the error was consumed).
+  group.Wait();
+}
+
+TEST(TaskGroupTest, NestedParallelForDoesNotDeadlock) {
+  // Tasks running on the pool issue their own ParallelFor on the same pool;
+  // the waiting task helps drain the queue instead of blocking it.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> visits(32 * 32);
+  pool.ParallelFor(0, 32, 1, [&](int64_t outer) {
+    pool.ParallelFor(0, 32, 4, [&](int64_t inner) {
+      visits[static_cast<size_t>(outer * 32 + inner)]++;
+    });
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(TaskGroupTest, NullPoolRunsInline) {
+  TaskGroup group(nullptr);
+  int calls = 0;
+  group.Run([&] { ++calls; });
+  EXPECT_EQ(calls, 1);  // executed immediately
+  group.Wait();
+}
+
+}  // namespace
+}  // namespace cobra::util
