@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <memory>
+#include <string>
 
 #include "bench_util.h"
 #include "text/compressed_index.h"
@@ -35,8 +36,9 @@ std::unique_ptr<text::InvertedIndex> BuildIndex(size_t docs) {
 
 void RunTable() {
   bench::PrintHeader("E10", "postings compression: size and latency");
-  std::printf("%-10s %12s %14s %14s %8s %12s %12s\n", "docs", "postings",
-              "raw_bytes", "packed_bytes", "ratio", "raw_ms", "packed_ms");
+  std::printf("%-8s %11s %13s %13s %7s %9s %9s %9s %11s %9s\n", "docs",
+              "postings", "raw_bytes", "packed_bytes", "ratio", "raw_ms",
+              "packed_ms", "topn_ms", "topn_post", "blk_skip");
   text::CorpusConfig query_config;
   query_config.vocabulary_size = 8000;
   auto query_corpus = text::SyntheticCorpus::Generate(query_config).TakeValue();
@@ -45,26 +47,57 @@ void RunTable() {
     auto index = BuildIndex(docs);
     auto compressed =
         text::CompressedInvertedIndex::FromIndex(*index).TakeValue();
-    double raw_ms = 0, packed_ms = 0;
+    double raw_ms = 0, packed_ms = 0, topn_ms = 0;
+    int64_t full_postings = 0, topn_postings = 0, blocks_skipped = 0;
     const int kQueries = 10;
     for (int q = 0; q < kQueries; ++q) {
       std::string query =
           text::VocabularyWord(1) + " " +
           query_corpus.MakeQuery(3, static_cast<uint64_t>(q));
+      text::SearchStats full_stats, topn_stats;
       auto t0 = std::chrono::steady_clock::now();
       auto a = index->SearchExhaustive(query, 10);
       auto t1 = std::chrono::steady_clock::now();
-      auto b = compressed.Search(query, 10);
+      auto b = compressed.Search(query, 10, &full_stats);
       auto t2 = std::chrono::steady_clock::now();
+      // Top-N over compressed cursors: skip blocks let it answer without
+      // decoding the full lists.
+      auto c = compressed.SearchTopN(query, 10, &topn_stats);
+      auto t3 = std::chrono::steady_clock::now();
       raw_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
       packed_ms += std::chrono::duration<double, std::milli>(t2 - t1).count();
+      topn_ms += std::chrono::duration<double, std::milli>(t3 - t2).count();
+      full_postings += full_stats.postings_scanned;
+      topn_postings += topn_stats.postings_scanned;
+      blocks_skipped += topn_stats.blocks_skipped;
     }
-    std::printf("%-10zu %12lld %14zu %14zu %7.2fx %12.3f %12.3f\n", docs,
-                static_cast<long long>(index->TotalPostings()),
-                compressed.UncompressedBytes(), compressed.PostingsBytes(),
-                static_cast<double>(compressed.UncompressedBytes()) /
-                    static_cast<double>(compressed.PostingsBytes()),
-                raw_ms / kQueries, packed_ms / kQueries);
+    std::printf(
+        "%-8zu %11lld %13zu %13zu %6.2fx %9.3f %9.3f %9.3f %11lld %9lld\n",
+        docs, static_cast<long long>(index->TotalPostings()),
+        compressed.UncompressedBytes(), compressed.PostingsBytes(),
+        static_cast<double>(compressed.UncompressedBytes()) /
+            static_cast<double>(compressed.PostingsBytes()),
+        raw_ms / kQueries, packed_ms / kQueries, topn_ms / kQueries,
+        static_cast<long long>(topn_postings / kQueries),
+        static_cast<long long>(blocks_skipped / kQueries));
+
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "docs%zu", docs);
+    auto metric = [&](const char* name, double value) {
+      std::string full = std::string(name) + "_" + prefix;
+      bench::PrintJsonMetric("e10_postings", full.c_str(), value);
+    };
+    metric("compression_ratio",
+           static_cast<double>(compressed.UncompressedBytes()) /
+               static_cast<double>(compressed.PostingsBytes()));
+    metric("full_decode_ms", packed_ms / kQueries);
+    metric("topn_skipto_ms", topn_ms / kQueries);
+    metric("full_postings_decoded",
+           static_cast<double>(full_postings / kQueries));
+    metric("topn_postings_decoded",
+           static_cast<double>(topn_postings / kQueries));
+    metric("topn_blocks_skipped",
+           static_cast<double>(blocks_skipped / kQueries));
   }
   bench::PrintRule();
 }
@@ -77,14 +110,15 @@ void BM_SearchBackend(benchmark::State& state) {
   config.vocabulary_size = 8000;
   static auto corpus = text::SyntheticCorpus::Generate(config).TakeValue();
   std::string query = text::VocabularyWord(1) + " " + corpus.MakeQuery(3, 4);
-  const bool packed = state.range(0) == 1;
+  const int mode = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    auto hits = packed ? compressed.Search(query, 10)
-                       : index->SearchExhaustive(query, 10);
+    auto hits = mode == 2   ? compressed.SearchTopN(query, 10)
+                : mode == 1 ? compressed.Search(query, 10)
+                            : index->SearchExhaustive(query, 10);
     benchmark::DoNotOptimize(hits);
   }
 }
-BENCHMARK(BM_SearchBackend)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SearchBackend)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
 
 void BM_CompressIndex(benchmark::State& state) {
   static auto index = BuildIndex(4000);

@@ -1,14 +1,22 @@
 /// \file bench_e6_topn_text.cc
 /// E6 — full-text top-N retrieval (ref [1], Blok et al.): exhaustive vs
-/// top-N-optimized evaluation. Reproduced shape: the optimized evaluator
-/// scans fewer postings and is faster for small N, and its advantage grows
-/// with collection size; results are identical to the baseline's top N
-/// (safe optimization).
+/// top-N-optimized evaluation. Three evaluators are compared:
+///   * exhaustive  — score every posting, sort, truncate;
+///   * taat        — the previous term-at-a-time quality-cutoff optimizer
+///                   (kept as SearchTopNTaat, the "before" reference);
+///   * daat        — the document-at-a-time maxscore/block-max evaluator
+///                   behind SearchTopN.
+/// Reproduced shape: the optimized evaluators scan fewer postings and are
+/// faster for small N, the advantage grows with collection size, and
+/// results are identical to the baseline's top N (safe optimization).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "text/corpus.h"
@@ -42,44 +50,97 @@ std::string BenchQuery(uint64_t salt) {
   return text::VocabularyWord(1 + salt % 3) + " " + corpus.MakeQuery(3, salt);
 }
 
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  double rank = p * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+/// Latency samples and work counters for one evaluator at one (docs, N).
+struct EvalResult {
+  std::vector<double> ms;
+  int64_t postings = 0;
+  int64_t blocks_skipped = 0;
+};
+
 void RunTable() {
-  bench::PrintHeader("E6", "top-N text retrieval: exhaustive vs optimized");
-  std::printf("%-10s %-6s %14s %14s %9s %14s %14s %9s\n", "docs", "N",
-              "exh_ms", "topn_ms", "speedup", "exh_postings", "topn_postings",
-              "identical");
-  for (size_t docs : {1000, 4000, 16000, 32000}) {
+  bench::PrintHeader("E6",
+                     "top-N text retrieval: exhaustive vs taat vs daat");
+  std::printf("%-8s %-5s %10s %10s %10s %8s %12s %12s %12s %10s %5s\n",
+              "docs", "N", "exh_p50", "taat_p50", "daat_p50", "daat_p99",
+              "exh_post", "taat_post", "daat_post", "blk_skip", "same");
+  const int kQueries = 16;
+  for (size_t docs : {4000, 16000, 100000}) {
     auto index = BuildIndex(docs, 7);
-    for (size_t n : {10, 20, 50, 100}) {
-      double exhaustive_ms = 0, topn_ms = 0;
-      int64_t exhaustive_postings = 0, topn_postings = 0;
+    for (size_t n : {1, 10, 100}) {
+      EvalResult exh, taat, daat;
       bool identical = true;
-      const int kQueries = 12;
       for (int q = 0; q < kQueries; ++q) {
         std::string query = BenchQuery(static_cast<uint64_t>(q));
         text::SearchStats stats;
         auto t0 = std::chrono::steady_clock::now();
         auto exhaustive = index->SearchExhaustive(query, n, &stats).TakeValue();
         auto t1 = std::chrono::steady_clock::now();
-        exhaustive_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
-        exhaustive_postings += stats.postings_scanned;
+        exh.ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        exh.postings += stats.postings_scanned;
+
+        t0 = std::chrono::steady_clock::now();
+        auto reference = index->SearchTopNTaat(query, n, &stats).TakeValue();
+        t1 = std::chrono::steady_clock::now();
+        taat.ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        taat.postings += stats.postings_scanned;
 
         t0 = std::chrono::steady_clock::now();
         auto topn = index->SearchTopN(query, n, &stats).TakeValue();
         t1 = std::chrono::steady_clock::now();
-        topn_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
-        topn_postings += stats.postings_scanned;
+        daat.ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        daat.postings += stats.postings_scanned;
+        daat.blocks_skipped += stats.blocks_skipped;
 
         if (topn.size() != exhaustive.size()) identical = false;
         for (size_t i = 0; identical && i < topn.size(); ++i) {
           if (topn[i].doc_id != exhaustive[i].doc_id) identical = false;
         }
       }
-      std::printf("%-10zu %-6zu %14.3f %14.3f %8.2fx %14lld %14lld %9s\n",
-                  docs, n, exhaustive_ms / kQueries, topn_ms / kQueries,
-                  exhaustive_ms / std::max(topn_ms, 1e-9),
-                  static_cast<long long>(exhaustive_postings / kQueries),
-                  static_cast<long long>(topn_postings / kQueries),
-                  identical ? "yes" : "NO");
+      std::printf(
+          "%-8zu %-5zu %10.3f %10.3f %10.3f %8.3f %12lld %12lld %12lld "
+          "%10lld %5s\n",
+          docs, n, Percentile(exh.ms, 0.5), Percentile(taat.ms, 0.5),
+          Percentile(daat.ms, 0.5), Percentile(daat.ms, 0.99),
+          static_cast<long long>(exh.postings / kQueries),
+          static_cast<long long>(taat.postings / kQueries),
+          static_cast<long long>(daat.postings / kQueries),
+          static_cast<long long>(daat.blocks_skipped / kQueries),
+          identical ? "yes" : "NO");
+
+      char prefix[64];
+      std::snprintf(prefix, sizeof(prefix), "docs%zu_n%zu", docs, n);
+      auto metric = [&](const char* name, double value) {
+        std::string full = std::string(name) + "_" + prefix;
+        bench::PrintJsonMetric("e6_topn_text", full.c_str(), value);
+      };
+      metric("exh_p50_ms", Percentile(exh.ms, 0.5));
+      metric("exh_p99_ms", Percentile(exh.ms, 0.99));
+      metric("taat_p50_ms", Percentile(taat.ms, 0.5));
+      metric("taat_p99_ms", Percentile(taat.ms, 0.99));
+      metric("daat_p50_ms", Percentile(daat.ms, 0.5));
+      metric("daat_p99_ms", Percentile(daat.ms, 0.99));
+      metric("exh_postings", static_cast<double>(exh.postings / kQueries));
+      metric("taat_postings", static_cast<double>(taat.postings / kQueries));
+      metric("daat_postings", static_cast<double>(daat.postings / kQueries));
+      metric("daat_blocks_skipped",
+             static_cast<double>(daat.blocks_skipped / kQueries));
+      metric("speedup_daat_vs_taat_p50",
+             Percentile(taat.ms, 0.5) /
+                 std::max(Percentile(daat.ms, 0.5), 1e-9));
+      metric("identical", identical ? 1.0 : 0.0);
     }
   }
   bench::PrintRule();
@@ -87,20 +148,23 @@ void RunTable() {
 
 void BM_Search(benchmark::State& state) {
   static auto index = BuildIndex(16000, 7);
-  const bool optimized = state.range(0) == 1;
+  const int mode = static_cast<int>(state.range(0));
   const size_t n = static_cast<size_t>(state.range(1));
   std::string query = BenchQuery(3);
   for (auto _ : state) {
-    auto hits = optimized ? index->SearchTopN(query, n)
-                          : index->SearchExhaustive(query, n);
+    auto hits = mode == 2   ? index->SearchTopN(query, n)
+                : mode == 1 ? index->SearchTopNTaat(query, n)
+                            : index->SearchExhaustive(query, n);
     benchmark::DoNotOptimize(hits);
   }
 }
 BENCHMARK(BM_Search)
     ->Args({0, 10})
     ->Args({1, 10})
+    ->Args({2, 10})
     ->Args({0, 100})
     ->Args({1, 100})
+    ->Args({2, 100})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_IndexBuild(benchmark::State& state) {

@@ -12,10 +12,13 @@
 #include <chrono>
 #include <memory>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/tennis_fde.h"
 #include "engine/digital_library.h"
+#include "engine/query_engine.h"
 #include "engine/query_language.h"
 #include "media/tennis_synthesizer.h"
 #include "util/stats.h"
@@ -142,6 +145,82 @@ void RunComparison() {
   bench::PrintRule();
 }
 
+/// The QueryEngine front end: cold vs warm cache and batch throughput at
+/// 1 vs 8 worker threads over a repeating workload.
+void RunQueryEngine() {
+  bench::PrintHeader("E7b", "query engine: result cache + concurrent batches");
+  const Library& lib = SharedLibrary();
+
+  std::vector<engine::CombinedQuery> workload;
+  const char* texts[] = {"champion title", "approaching the net",
+                         "great serve",    "tournament win",
+                         "champion title", "approaching the net"};
+  for (const char* text : texts) {
+    engine::CombinedQuery query;
+    query.text = text;
+    workload.push_back(query);
+  }
+  {
+    auto query = engine::ParseQuery(
+                     "player.hand = left AND player.gender = female AND "
+                     "won = any AND event = net_play")
+                     .TakeValue();
+    workload.push_back(query);
+    workload.push_back(query);  // repeat: cacheable
+  }
+  // 4 rounds of the workload: round 1 is cold, the rest warm.
+  std::vector<engine::CombinedQuery> batch;
+  for (int round = 0; round < 4; ++round) {
+    batch.insert(batch.end(), workload.begin(), workload.end());
+  }
+
+  std::printf("%-28s %10s %10s %10s\n", "configuration", "total_ms",
+              "hit_rate", "errors");
+  double serial_ms = 0;
+  for (int threads : {1, 8}) {
+    engine::QueryEngineConfig config;
+    config.num_threads = threads;
+    engine::QueryEngine eng(lib.library.get(), config);
+    auto t0 = std::chrono::steady_clock::now();
+    auto results = eng.SearchBatch(batch);
+    auto t1 = std::chrono::steady_clock::now();
+    int64_t errors = 0;
+    for (const auto& r : results) {
+      if (!r.ok()) ++errors;
+    }
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (threads == 1) serial_ms = ms;
+    engine::QueryEngineStats stats = eng.stats();
+    char label[64];
+    std::snprintf(label, sizeof(label), "batch %zu, %d thread(s)",
+                  batch.size(), threads);
+    std::printf("%-28s %10.3f %10.3f %10lld\n", label, ms,
+                stats.CacheHitRate(), static_cast<long long>(errors));
+    char metric[64];
+    std::snprintf(metric, sizeof(metric), "batch_ms_threads%d", threads);
+    bench::PrintJsonMetric("e7_combined_query", metric, ms);
+    std::snprintf(metric, sizeof(metric), "cache_hit_rate_threads%d", threads);
+    bench::PrintJsonMetric("e7_combined_query", metric, stats.CacheHitRate());
+  }
+  (void)serial_ms;
+
+  // Cold vs warm single-query latency through the cache.
+  engine::QueryEngine eng(lib.library.get(), engine::QueryEngineConfig{});
+  auto query = workload.front();
+  auto t0 = std::chrono::steady_clock::now();
+  (void)eng.Search(query);
+  auto t1 = std::chrono::steady_clock::now();
+  (void)eng.Search(query);
+  auto t2 = std::chrono::steady_clock::now();
+  double cold_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  double warm_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+  std::printf("cold query %.3f ms, cached %.3f ms (%.0fx)\n", cold_ms, warm_ms,
+              cold_ms / std::max(warm_ms, 1e-9));
+  bench::PrintJsonMetric("e7_combined_query", "cold_query_ms", cold_ms);
+  bench::PrintJsonMetric("e7_combined_query", "cached_query_ms", warm_ms);
+  bench::PrintRule();
+}
+
 void BM_CombinedQuery(benchmark::State& state) {
   const Library& lib = SharedLibrary();
   auto query = engine::ParseQuery(
@@ -189,6 +268,7 @@ BENCHMARK(BM_QueryParse)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   RunComparison();
+  RunQueryEngine();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

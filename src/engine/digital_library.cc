@@ -27,11 +27,16 @@ Status DigitalLibrary::AddInterview(int64_t interview_oid,
   return interviews_.AddText(interview_oid, text);
 }
 
-Status DigitalLibrary::FinalizeText() { return interviews_.Finalize(); }
+Status DigitalLibrary::FinalizeText() {
+  COBRA_RETURN_NOT_OK(interviews_.Finalize());
+  ++index_epoch_;
+  return Status::OK();
+}
 
 Status DigitalLibrary::AddVideoDescription(const core::VideoDescription& desc) {
   COBRA_RETURN_NOT_OK(meta_index_.AddVideo(desc));
   indexed_videos_.push_back(desc.video_id());
+  ++index_epoch_;
   return Status::OK();
 }
 
@@ -60,9 +65,9 @@ Result<std::vector<int64_t>> DigitalLibrary::ConceptPlayers(
 }
 
 Result<std::map<int64_t, double>> DigitalLibrary::TextPlayers(
-    const std::string& text, size_t top_k) const {
+    const std::string& text, size_t top_k, text::SearchStats* stats) const {
   COBRA_ASSIGN_OR_RETURN(std::vector<text::SearchHit> hits,
-                         interviews_.SearchTopN(text, top_k));
+                         interviews_.SearchTopN(text, top_k, stats));
   std::map<int64_t, double> player_scores;
   for (const text::SearchHit& hit : hits) {
     COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> players,
@@ -76,12 +81,14 @@ Result<std::map<int64_t, double>> DigitalLibrary::TextPlayers(
 }
 
 Result<std::vector<SceneHit>> DigitalLibrary::Search(
-    const CombinedQuery& query) const {
+    const CombinedQuery& query, text::SearchStats* stats) const {
+  if (stats) *stats = text::SearchStats{};
   COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> players, ConceptPlayers(query));
 
   std::map<int64_t, double> text_scores;
   if (!query.text.empty()) {
-    COBRA_ASSIGN_OR_RETURN(text_scores, TextPlayers(query.text, query.text_top_k));
+    COBRA_ASSIGN_OR_RETURN(
+        text_scores, TextPlayers(query.text, query.text_top_k, stats));
     std::vector<int64_t> filtered;
     for (int64_t p : players) {
       if (text_scores.count(p)) filtered.push_back(p);
@@ -131,17 +138,23 @@ Result<std::vector<SceneHit>> DigitalLibrary::Search(
       }
     }
   }
+  // Total deterministic order: relevance first, then every remaining field
+  // as a tie-break so equal-score hits never depend on traversal order.
   std::sort(out.begin(), out.end(), [](const SceneHit& a, const SceneHit& b) {
-    if (a.player_oid != b.player_oid) return a.player_oid < b.player_oid;
+    if (a.text_score != b.text_score) return a.text_score > b.text_score;
     if (a.video_oid != b.video_oid) return a.video_oid < b.video_oid;
-    return a.range.begin < b.range.begin;
+    if (a.range.begin != b.range.begin) return a.range.begin < b.range.begin;
+    if (a.range.end != b.range.end) return a.range.end < b.range.end;
+    if (a.player_oid != b.player_oid) return a.player_oid < b.player_oid;
+    return a.event < b.event;
   });
   return out;
 }
 
 Result<std::vector<SceneHit>> DigitalLibrary::SearchKeywordOnly(
-    const std::string& text, size_t top_k) const {
-  COBRA_ASSIGN_OR_RETURN(auto player_scores, TextPlayers(text, top_k));
+    const std::string& text, size_t top_k, text::SearchStats* stats) const {
+  if (stats) *stats = text::SearchStats{};
+  COBRA_ASSIGN_OR_RETURN(auto player_scores, TextPlayers(text, top_k, stats));
   std::vector<SceneHit> out;
   for (const auto& [player, score] : player_scores) {
     SceneHit hit;

@@ -71,15 +71,25 @@ class DigitalLibrary {
   /// oid in the webspace store.
   Status AddVideoDescription(const core::VideoDescription& desc);
 
-  /// The combined query. Results are ordered by (player_oid, video_oid,
-  /// scene begin); text_score carries the interview relevance when a text
-  /// condition was present.
-  Result<std::vector<SceneHit>> Search(const CombinedQuery& query) const;
+  /// Monotonic counter bumped whenever a successful mutation changes what
+  /// Search can return (FinalizeText, AddVideoDescription). Query-result
+  /// caches key on it: an entry tagged with an older epoch is stale.
+  int64_t index_epoch() const { return index_epoch_; }
+
+  /// The combined query. Results are fully deterministically ordered:
+  /// text score descending, then video id, then scene start, then scene
+  /// end, then player oid, then event name; text_score carries the
+  /// interview relevance when a text condition was present (0 otherwise).
+  /// When `stats` is non-null it receives the text-index work counters of
+  /// this query (zeroed when the query has no text condition).
+  Result<std::vector<SceneHit>> Search(const CombinedQuery& query,
+                                       text::SearchStats* stats = nullptr) const;
 
   /// Keyword-only baseline (what a flat web search engine sees, paper §2):
   /// ranks players by their best interview's tf-idf score for `text`.
-  Result<std::vector<SceneHit>> SearchKeywordOnly(const std::string& text,
-                                                  size_t top_k) const;
+  Result<std::vector<SceneHit>> SearchKeywordOnly(
+      const std::string& text, size_t top_k,
+      text::SearchStats* stats = nullptr) const;
 
   /// Library statistics: event counts by name across all indexed videos
   /// (a group-by over the meta-index events table).
@@ -95,12 +105,14 @@ class DigitalLibrary {
 
   Result<std::vector<int64_t>> ConceptPlayers(const CombinedQuery& query) const;
   Result<std::map<int64_t, double>> TextPlayers(const std::string& text,
-                                                size_t top_k) const;
+                                                size_t top_k,
+                                                text::SearchStats* stats) const;
 
   webspace::WebspaceStore store_;
   text::InvertedIndex interviews_;
   core::MetaIndex meta_index_;
   std::vector<int64_t> indexed_videos_;
+  int64_t index_epoch_ = 0;
 };
 
 }  // namespace cobra::engine

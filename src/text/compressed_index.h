@@ -4,7 +4,9 @@
 /// An immutable, compressed snapshot of an InvertedIndex: postings are
 /// delta+varbyte encoded and decoded on the fly during evaluation. Trades
 /// a little CPU per posting for a several-fold smaller memory footprint —
-/// the main-memory DBMS trade-off of ref [1] (experiment E10).
+/// the main-memory DBMS trade-off of ref [1] (experiment E10). Top-N
+/// queries (`SearchTopN`) run document-at-a-time over streaming cursors
+/// and use the codec's skip blocks to answer without decoding full lists.
 
 #include <cstdint>
 #include <map>
@@ -34,6 +36,13 @@ class CompressedInvertedIndex {
   /// index to ~1e-3 and rankings agree except for near-exact ties.
   Result<std::vector<SearchHit>> Search(const std::string& query, size_t n,
                                         SearchStats* stats = nullptr) const;
+
+  /// Top-N evaluation: document-at-a-time maxscore/block-max over
+  /// streaming `CompressedPostings::Cursor`s — whole skip blocks are
+  /// jumped via `SkipTo` without decoding. Returns exactly what Search
+  /// (the compressed exhaustive baseline) returns truncated to n.
+  Result<std::vector<SearchHit>> SearchTopN(const std::string& query, size_t n,
+                                            SearchStats* stats = nullptr) const;
 
  private:
   struct TermEntry {

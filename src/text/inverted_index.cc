@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "text/daat.h"
 #include "text/tokenizer.h"
 #include "util/strings.h"
 
@@ -68,6 +69,20 @@ Status InvertedIndex::Finalize() {
               [](const Posting& a, const Posting& b) {
                 return a.doc_id < b.doc_id;
               });
+    // Skip blocks over the sorted list: last doc id + max weight per block
+    // of kSkipBlockSize postings, for the DAAT block-max evaluator.
+    info.blocks.clear();
+    info.blocks.reserve((info.postings.size() + kSkipBlockSize - 1) /
+                        kSkipBlockSize);
+    for (size_t i = 0; i < info.postings.size(); i += kSkipBlockSize) {
+      size_t end = std::min(i + kSkipBlockSize, info.postings.size());
+      BlockMeta block;
+      block.last_doc = info.postings[end - 1].doc_id;
+      for (size_t j = i; j < end; ++j) {
+        block.max_weight = std::max(block.max_weight, info.postings[j].weight);
+      }
+      info.blocks.push_back(block);
+    }
   }
   finalized_ = true;
   return Status::OK();
@@ -120,6 +135,27 @@ Result<std::vector<std::string>> InvertedIndex::AnalyzeQuery(
   return terms;
 }
 
+std::vector<InvertedIndex::QueryTerm> InvertedIndex::CollectQueryTerms(
+    const std::vector<std::string>& terms) const {
+  std::vector<QueryTerm> query_terms;
+  std::unordered_map<const TermInfo*, size_t> seen;
+  for (const std::string& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    const TermInfo* info = &it->second;
+    auto [slot, inserted] = seen.emplace(info, query_terms.size());
+    if (inserted) {
+      query_terms.push_back(QueryTerm{info, 1.0, 0.0});
+    } else {
+      query_terms[slot->second].qtf += 1.0;
+    }
+  }
+  for (QueryTerm& qt : query_terms) {
+    qt.max_contribution = qt.qtf * qt.info->idf * qt.info->max_weight;
+  }
+  return query_terms;
+}
+
 Result<std::vector<SearchHit>> InvertedIndex::SearchExhaustive(
     const std::string& query, size_t n, SearchStats* stats) const {
   COBRA_ASSIGN_OR_RETURN(std::vector<std::string> terms, AnalyzeQuery(query));
@@ -148,27 +184,102 @@ Result<std::vector<SearchHit>> InvertedIndex::SearchTopN(
   COBRA_ASSIGN_OR_RETURN(std::vector<std::string> terms, AnalyzeQuery(query));
   if (n == 0) return std::vector<SearchHit>{};
   SearchStats local;
+  std::vector<QueryTerm> query_terms = CollectQueryTerms(terms);
+  local.terms_evaluated = static_cast<int64_t>(query_terms.size());
 
-  // Deduplicate query terms into (term info, query tf), then order by
-  // maximum possible score contribution, highest first.
-  struct QueryTerm {
-    const TermInfo* info;
-    double qtf;
-    double max_contribution;
+  /// DAAT cursor over one term's sorted postings vector, skipping via the
+  /// finalized BlockMeta table. See daat.h for the cursor contract.
+  struct VectorTermCursor {
+    const Posting* postings;
+    size_t size;
+    const BlockMeta* block_meta;
+    size_t num_blocks;
+    double factor_;
+    double max_contribution_;
+    size_t ordinal_;
+    size_t i = 0;
+    int64_t scanned = 0;
+    int64_t skipped_blocks = 0;
+
+    double factor() const { return factor_; }
+    double max_contribution() const { return max_contribution_; }
+    size_t ordinal() const { return ordinal_; }
+    bool valid() const { return i < size; }
+    int64_t doc() const { return postings[i].doc_id; }
+    double weight() const { return postings[i].weight; }
+    void Advance() {
+      ++i;
+      if (i < size) ++scanned;
+    }
+    bool SeekBlock(int64_t d) {
+      if (i >= size) return false;
+      if (postings[i].doc_id >= d) return true;  // bound block = current
+      size_t b = i / kSkipBlockSize;
+      size_t target = b;
+      while (target < num_blocks && block_meta[target].last_doc < d) ++target;
+      if (target >= num_blocks) {
+        i = size;
+        return false;
+      }
+      if (target != b) {
+        skipped_blocks += static_cast<int64_t>(target - b);
+        i = target * kSkipBlockSize;
+        ++scanned;  // landing posting will be examined
+      }
+      return true;
+    }
+    double block_bound() const { return block_meta[i / kSkipBlockSize].max_weight; }
+    bool AdvanceTo(int64_t d) {
+      if (!SeekBlock(d)) return false;
+      while (i < size && postings[i].doc_id < d) {
+        ++i;
+        if (i < size) ++scanned;
+      }
+      return i < size;
+    }
+    int64_t postings_scanned() const { return scanned; }
+    int64_t blocks_skipped() const { return skipped_blocks; }
   };
-  std::map<std::string, double> qtf;
-  for (const std::string& term : terms) qtf[term] += 1.0;
-  std::vector<QueryTerm> query_terms;
-  for (const auto& [term, count] : qtf) {
-    auto it = postings_.find(term);
-    if (it == postings_.end()) continue;
-    query_terms.push_back(QueryTerm{
-        &it->second, count, count * it->second.idf * it->second.max_weight});
+
+  std::vector<VectorTermCursor> cursors;
+  cursors.reserve(query_terms.size());
+  for (size_t t = 0; t < query_terms.size(); ++t) {
+    const QueryTerm& qt = query_terms[t];
+    VectorTermCursor cursor;
+    cursor.postings = qt.info->postings.data();
+    cursor.size = qt.info->postings.size();
+    cursor.block_meta = qt.info->blocks.data();
+    cursor.num_blocks = qt.info->blocks.size();
+    cursor.factor_ = qt.qtf * qt.info->idf;
+    cursor.max_contribution_ = qt.max_contribution;
+    cursor.ordinal_ = t;
+    cursor.scanned = cursor.size > 0 ? 1 : 0;  // first posting is examined
+    cursors.push_back(cursor);
   }
+  std::vector<SearchHit> hits =
+      internal::DaatMaxScoreTopN(&cursors, n, &local);
+  if (stats) *stats = local;
+  return hits;
+}
+
+Result<std::vector<SearchHit>> InvertedIndex::SearchTopNTaat(
+    const std::string& query, size_t n, SearchStats* stats) const {
+  COBRA_ASSIGN_OR_RETURN(std::vector<std::string> terms, AnalyzeQuery(query));
+  if (n == 0) return std::vector<SearchHit>{};
+  SearchStats local;
+
+  std::vector<QueryTerm> query_terms = CollectQueryTerms(terms);
   std::sort(query_terms.begin(), query_terms.end(),
             [](const QueryTerm& a, const QueryTerm& b) {
               return a.max_contribution > b.max_contribution;
             });
+  // Suffix sums of max contributions, computed once: suffix[i] is the most
+  // the terms after i can add to any document (the old code recomputed
+  // this sum inside the loop, O(T^2) over the query terms).
+  std::vector<double> remaining(query_terms.size() + 1, 0.0);
+  for (size_t i = query_terms.size(); i-- > 0;) {
+    remaining[i] = remaining[i + 1] + query_terms[i].max_contribution;
+  }
 
   std::unordered_map<int64_t, double> acc;
   bool restricted = false;  // true once new docs can no longer reach top N
@@ -186,12 +297,6 @@ Result<std::vector<SearchHit>> InvertedIndex::SearchTopN(
       ++local.postings_scanned;
     }
     if (!restricted && acc.size() >= n) {
-      // Maximum score any document outside the candidate set could still
-      // collect from the remaining terms.
-      double remaining_max = 0.0;
-      for (size_t j = i + 1; j < query_terms.size(); ++j) {
-        remaining_max += query_terms[j].max_contribution;
-      }
       // N-th best current partial score.
       std::vector<double> scores;
       scores.reserve(acc.size());
@@ -199,7 +304,7 @@ Result<std::vector<SearchHit>> InvertedIndex::SearchTopN(
       std::nth_element(scores.begin(), scores.begin() + (n - 1), scores.end(),
                        std::greater<double>());
       double nth = scores[n - 1];
-      if (nth >= remaining_max) {
+      if (nth >= remaining[i + 1]) {
         // Candidates keep accumulating (their final scores must be exact),
         // but no new document can enter the top N anymore.
         restricted = true;

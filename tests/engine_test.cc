@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <set>
+#include <tuple>
 
 #include "core/tennis_fde.h"
 #include "engine/digital_library.h"
@@ -142,6 +143,53 @@ TEST(DigitalLibraryTest, MotivatingQueryReturnsScenes) {
     }
   }
   EXPECT_EQ(hits.size(), expected);
+}
+
+TEST(DigitalLibraryTest, SearchOrderIsDeterministicAndTotal) {
+  // The hit order is part of the API contract: text score descending, then
+  // video id, scene start, scene end, player oid, event. Equal-score hits
+  // must therefore never depend on internal traversal order.
+  const LibraryFixture& fixture = SharedLibrary();
+  CombinedQuery query;
+  query.require_champion = true;
+  query.event = "net_play";
+  auto hits = fixture.library->Search(query).TakeValue();
+  ASSERT_FALSE(hits.empty());
+  for (size_t i = 1; i < hits.size(); ++i) {
+    const SceneHit& a = hits[i - 1];
+    const SceneHit& b = hits[i];
+    auto key = [](const SceneHit& h) {
+      return std::make_tuple(-h.text_score, h.video_oid, h.range.begin,
+                             h.range.end, h.player_oid, h.event);
+    };
+    EXPECT_LT(key(a), key(b)) << "hits " << i - 1 << "/" << i
+                              << " out of order or duplicated";
+  }
+  // Re-running the identical query reproduces the identical order.
+  auto again = fixture.library->Search(query).TakeValue();
+  ASSERT_EQ(again.size(), hits.size());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(again[i].player_oid, hits[i].player_oid) << i;
+    EXPECT_EQ(again[i].video_oid, hits[i].video_oid) << i;
+    EXPECT_EQ(again[i].range.begin, hits[i].range.begin) << i;
+  }
+}
+
+TEST(DigitalLibraryTest, SearchReportsTextStats) {
+  const LibraryFixture& fixture = SharedLibrary();
+  CombinedQuery query;
+  query.text = "champion title";
+  text::SearchStats stats;
+  ASSERT_TRUE(fixture.library->Search(query, &stats).ok());
+  EXPECT_GT(stats.postings_scanned, 0);
+  EXPECT_GT(stats.terms_evaluated, 0);
+
+  // No text condition -> the stats out-param is zeroed, not stale.
+  CombinedQuery concept_only;
+  concept_only.require_champion = true;
+  ASSERT_TRUE(fixture.library->Search(concept_only, &stats).ok());
+  EXPECT_EQ(stats.postings_scanned, 0);
+  EXPECT_EQ(stats.terms_evaluated, 0);
 }
 
 TEST(DigitalLibraryTest, TextConditionFilters) {

@@ -156,6 +156,67 @@ TEST(InvertedIndexTest, TopNScansFewerPostings) {
 TEST(InvertedIndexTest, TopNZeroReturnsEmpty) {
   InvertedIndex index = SmallIndex();
   EXPECT_TRUE(index.SearchTopN("tennis", 0).TakeValue().empty());
+  EXPECT_TRUE(index.SearchTopNTaat("tennis", 0).TakeValue().empty());
+}
+
+TEST(InvertedIndexTest, TaatReferenceMatchesExhaustive) {
+  CorpusConfig config;
+  config.num_docs = 800;
+  config.vocabulary_size = 2000;
+  config.seed = 42;
+  auto corpus = SyntheticCorpus::Generate(config).TakeValue();
+  InvertedIndex index;
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    ASSERT_TRUE(index.AddText(static_cast<int64_t>(d), corpus.document(d)).ok());
+  }
+  ASSERT_TRUE(index.Finalize().ok());
+
+  for (uint64_t salt = 0; salt < 8; ++salt) {
+    std::string query = corpus.MakeQuery(4, salt);
+    for (size_t n : {1u, 10u, 50u}) {
+      auto exhaustive = index.SearchExhaustive(query, n).TakeValue();
+      auto taat = index.SearchTopNTaat(query, n).TakeValue();
+      ASSERT_EQ(taat.size(), exhaustive.size()) << query << " n=" << n;
+      for (size_t i = 0; i < taat.size(); ++i) {
+        EXPECT_EQ(taat[i].doc_id, exhaustive[i].doc_id)
+            << query << " n=" << n << " rank " << i;
+        EXPECT_NEAR(taat[i].score, exhaustive[i].score, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(InvertedIndexTest, DaatSkipsBlocksAndScansFewerThanTaat) {
+  CorpusConfig config;
+  config.num_docs = 5000;
+  config.vocabulary_size = 3000;
+  config.seed = 11;
+  auto corpus = SyntheticCorpus::Generate(config).TakeValue();
+  InvertedIndex index;
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    ASSERT_TRUE(index.AddText(static_cast<int64_t>(d), corpus.document(d)).ok());
+  }
+  ASSERT_TRUE(index.Finalize().ok());
+
+  // A long-postings common word plus rarer discriminative ones: the DAAT
+  // evaluator should skip whole blocks of the common list.
+  std::string query = VocabularyWord(1) + " " + VocabularyWord(2) + " " +
+                      corpus.MakeQuery(3, 9);
+  SearchStats daat, taat;
+  auto a = index.SearchTopN(query, 10, &daat);
+  auto b = index.SearchTopNTaat(query, 10, &taat);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(daat.blocks_skipped, 0) << "block-max pruning never fired";
+  EXPECT_LT(daat.postings_scanned, taat.postings_scanned);
+  // Same answers regardless of evaluation strategy.
+  const auto& da = a.value();
+  const auto& ta = b.value();
+  ASSERT_EQ(da.size(), ta.size());
+  for (size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].doc_id, ta[i].doc_id) << i;
+    EXPECT_NEAR(da[i].score, ta[i].score, 1e-9);
+  }
 }
 
 // ---------- Corpus ----------
