@@ -7,15 +7,89 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "bench_util.h"
 #include "detectors/shot_classifier.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 #include "vision/frame_feature_cache.h"
+#include "vision/kernels.h"
 
 namespace {
 
 using namespace cobra;  // NOLINT
+
+/// The seed's skin predicate, reproduced inline: RGB pre-checks plus an HSV
+/// hue/saturation/value band computed in double per pixel. The kernel layer
+/// replaced it with the equivalent integer form (media::IsSkinColor).
+bool LegacyIsSkinColor(const media::Rgb& rgb) {
+  if (rgb.r <= 80 || rgb.r <= rgb.g || rgb.g <= rgb.b) return false;
+  if (static_cast<int>(rgb.r) - static_cast<int>(rgb.b) < 15) return false;
+  media::Hsv hsv = media::RgbToHsv(rgb);
+  return (hsv.h < 50.0 || hsv.h > 340.0) && hsv.s > 0.1 && hsv.s < 0.75 &&
+         hsv.v > 0.3;
+}
+
+/// Skin-mask pixel-kernel throughput (DESIGN.md §4d): legacy per-pixel
+/// HSV predicate vs the kernel layer's scalar tier vs the dispatched SIMD
+/// tier, all single-thread p50.
+void PrintSkinKernelThroughput() {
+  bench::PrintHeader("E3", "skin-mask pixel-kernel throughput (1 thread)");
+  auto config = bench::DefaultBroadcast();
+  config.num_points = 1;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  // A close-up frame: skin-heavy, the worst case for the branchy legacy
+  // predicate (the RGB pre-checks rarely short-circuit before the HSV math).
+  media::Frame frame = broadcast.video->GetFrame(0).TakeValue();
+  for (const auto& shot : broadcast.truth.shots) {
+    if (shot.category == media::ShotCategory::kCloseUp) {
+      frame = broadcast.video->GetFrame(shot.range.begin).TakeValue();
+      break;
+    }
+  }
+  const int64_t pixels = frame.PixelCount();
+  constexpr int kPasses = 64;
+  constexpr int kReps = 9;
+  std::printf("%dx%d frame, p50 of %d reps x %d frames\n", frame.width(),
+              frame.height(), kReps, kPasses);
+
+  const double legacy = bench::MedianMpixPerSec(pixels * kPasses, kReps, [&] {
+    for (int pass = 0; pass < kPasses; ++pass) {
+      int64_t skin = 0;
+      for (const media::Rgb& p : frame.pixels()) {
+        if (LegacyIsSkinColor(p)) ++skin;
+      }
+      benchmark::DoNotOptimize(skin);
+    }
+  });
+  auto kernel_rate = [&](const vision::kernels::KernelOps& ops) {
+    return bench::MedianMpixPerSec(pixels * kPasses, kReps, [&] {
+      for (int pass = 0; pass < kPasses; ++pass) {
+        uint64_t skin =
+            ops.count_skin(frame.Row(0), static_cast<size_t>(pixels));
+        benchmark::DoNotOptimize(skin);
+      }
+    });
+  };
+  const double scalar = kernel_rate(vision::kernels::ScalarOps());
+  const double simd = kernel_rate(vision::kernels::Ops());
+  const char* simd_name =
+      vision::kernels::SimdLevelName(vision::kernels::ActiveLevel());
+
+  std::printf("%-22s %10.1f Mpix/s\n", "legacy HSV predicate", legacy);
+  std::printf("%-22s %10.1f Mpix/s\n", "kernel (scalar)", scalar);
+  std::printf("kernel (%s)%*s %10.1f Mpix/s\n", simd_name,
+              static_cast<int>(13 - std::strlen(simd_name)), "", simd);
+  std::printf("speedup vs legacy: %.2fx\n", simd / legacy);
+  bench::PrintJsonMetric("e3_shot_classify", "skin_legacy_mpixps", legacy);
+  bench::PrintJsonMetric("e3_shot_classify", "skin_scalar_mpixps", scalar);
+  bench::PrintJsonMetric("e3_shot_classify", "skin_simd_mpixps", simd);
+  bench::PrintJsonMetric("e3_shot_classify", "skin_simd_speedup",
+                         simd / legacy);
+  bench::PrintRule();
+}
 
 void RunClassification() {
   bench::PrintHeader("E3", "shot classification (4 classes)");
@@ -121,8 +195,10 @@ BENCHMARK(BM_ComputeShotFeatures)->Arg(1)->Arg(5)->Arg(15)->Unit(benchmark::kMic
 }  // namespace
 
 int main(int argc, char** argv) {
+  cobra::bench::OpenJsonArtifact("BENCH_E3.json");
   RunClassification();
   PrintParallelClassify();
+  PrintSkinKernelThroughput();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,13 +7,97 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstring>
+
 #include "bench_util.h"
 #include "detectors/player_tracker.h"
 #include "util/stats.h"
+#include "vision/kernels.h"
+#include "vision/mask.h"
 
 namespace {
 
 using namespace cobra;  // NOLINT
+
+/// The seed's per-pixel k-sigma match, reproduced inline: means and
+/// variances recomputed from the model sums for every pixel, plus a sqrt
+/// per channel. The kernel layer hoists all of it into a ColorBox once.
+bool LegacyMatches(const vision::GaussianColorModel& m, const media::Rgb& p,
+                   double k) {
+  const double means[3] = {m.mean_r(), m.mean_g(), m.mean_b()};
+  const double vars[3] = {m.var_r(), m.var_g(), m.var_b()};
+  const double ch[3] = {static_cast<double>(p.r), static_cast<double>(p.g),
+                        static_cast<double>(p.b)};
+  for (int i = 0; i < 3; ++i) {
+    if (std::fabs(ch[i] - means[i]) > k * std::sqrt(vars[i])) return false;
+  }
+  return true;
+}
+
+/// Foreground-mask pixel-kernel throughput (DESIGN.md §4d): the seed's
+/// FromPredicate + per-pixel double Matches vs FromOutsideColorBoxes with
+/// the kernel scalar tier vs the dispatched SIMD tier, single-thread p50.
+void PrintForegroundKernelThroughput() {
+  bench::PrintHeader("E4", "foreground-mask pixel-kernel throughput (1 thread)");
+  auto config = bench::DefaultBroadcast();
+  config.num_points = 1;
+  config.include_cutaways = false;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  media::Frame frame = broadcast.video->GetFrame(0).TakeValue();
+  auto court = detectors::EstimateCourtModel(frame).TakeValue();
+  const RectI roi{0, 0, frame.width(), frame.height()};
+  const int64_t pixels = frame.PixelCount();
+  constexpr double kK = 3.0;  // PlayerTrackerConfig::foreground_k default
+  constexpr int kPasses = 16;
+  constexpr int kReps = 9;
+  std::printf("%dx%d frame, 3 background models, p50 of %d reps x %d frames\n",
+              frame.width(), frame.height(), kReps, kPasses);
+
+  const double legacy = bench::MedianMpixPerSec(pixels * kPasses, kReps, [&] {
+    for (int pass = 0; pass < kPasses; ++pass) {
+      vision::BinaryMask mask = vision::BinaryMask::FromPredicate(
+          frame, roi, [&](const media::Rgb& p) {
+            return !LegacyMatches(court.court_color, p, kK) &&
+                   !LegacyMatches(court.surround_color, p, kK) &&
+                   !(p.r > 185 && p.g > 185 && p.b > 185);
+          });
+      benchmark::DoNotOptimize(mask);
+    }
+  });
+
+  const vision::kernels::ColorBox boxes[3] = {
+      court.court_color.MatchBox(kK), court.surround_color.MatchBox(kK),
+      vision::kernels::ColorBox{{186, 186, 186}, {255, 255, 255}}};
+  auto kernel_rate = [&](vision::kernels::SimdLevel level) {
+    const auto previous = vision::kernels::SetActiveLevel(level);
+    const double rate = bench::MedianMpixPerSec(pixels * kPasses, kReps, [&] {
+      for (int pass = 0; pass < kPasses; ++pass) {
+        vision::BinaryMask mask =
+            vision::BinaryMask::FromOutsideColorBoxes(frame, roi, boxes, 3);
+        benchmark::DoNotOptimize(mask);
+      }
+    });
+    vision::kernels::SetActiveLevel(previous);
+    return rate;
+  };
+  const double scalar = kernel_rate(vision::kernels::SimdLevel::kScalar);
+  const double simd = kernel_rate(vision::kernels::BestSupportedLevel());
+  const char* simd_name =
+      vision::kernels::SimdLevelName(vision::kernels::BestSupportedLevel());
+
+  std::printf("%-22s %10.1f Mpix/s\n", "legacy FromPredicate", legacy);
+  std::printf("%-22s %10.1f Mpix/s\n", "kernel (scalar)", scalar);
+  std::printf("kernel (%s)%*s %10.1f Mpix/s\n", simd_name,
+              static_cast<int>(13 - std::strlen(simd_name)), "", simd);
+  std::printf("speedup vs legacy: %.2fx\n", simd / legacy);
+  bench::PrintJsonMetric("e4_tracking", "fgmask_legacy_mpixps", legacy);
+  bench::PrintJsonMetric("e4_tracking", "fgmask_scalar_mpixps", scalar);
+  bench::PrintJsonMetric("e4_tracking", "fgmask_simd_mpixps", simd);
+  bench::PrintJsonMetric("e4_tracking", "fgmask_simd_speedup", simd / legacy);
+  bench::PrintRule();
+}
 
 struct TrackQuality {
   RunningStats center_error;
@@ -103,7 +187,9 @@ BENCHMARK(BM_CourtModelEstimate)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  cobra::bench::OpenJsonArtifact("BENCH_E4.json");
   RunQualityTable();
+  PrintForegroundKernelThroughput();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,13 +5,34 @@
 /// see DESIGN.md §4). Each binary prints its paper-style table(s) first and
 /// then runs its google-benchmark timings.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "media/tennis_synthesizer.h"
 
 namespace cobra::bench {
+
+/// The JSON artifact file, when a bench opened one (nullptr otherwise).
+inline std::FILE*& JsonArtifact() {
+  static std::FILE* file = nullptr;
+  return file;
+}
+
+/// Opens (truncating) a JSON-lines artifact; every subsequent
+/// PrintJsonMetric line is mirrored there so CI can upload the file
+/// (e.g. BENCH_E2.json) without scraping stdout. Call once at the top of a
+/// bench's main(). Failure to open only warns — metrics still go to stdout.
+inline void OpenJsonArtifact(const char* path) {
+  std::FILE*& file = JsonArtifact();
+  if (file != nullptr) std::fclose(file);
+  file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot open JSON artifact %s\n", path);
+  }
+}
 
 /// Machine-readable result line, one JSON object per line so a harness can
 /// grep/parse them out of the human-readable tables:
@@ -20,6 +41,11 @@ inline void PrintJsonMetric(const char* bench, const char* metric,
                             double value) {
   std::printf("{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.6g}\n",
               bench, metric, value);
+  if (std::FILE* file = JsonArtifact()) {
+    std::fprintf(file, "{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.6g}\n",
+                 bench, metric, value);
+    std::fflush(file);
+  }
 }
 
 /// Wall-clock timer for the paper-style experiment sections (the
@@ -36,6 +62,23 @@ class WallTimer {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Median (p50) throughput of `fn` over `reps` timed repetitions, where one
+/// repetition processes `pixels` pixels total; returned in Mpix/s. The
+/// median discards scheduler noise without needing a long steady-state run.
+template <typename Fn>
+double MedianMpixPerSec(int64_t pixels, int reps, Fn&& fn) {
+  std::vector<double> rates;
+  rates.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    fn();
+    const double seconds = timer.Millis() / 1e3;
+    rates.push_back(static_cast<double>(pixels) / 1e6 / seconds);
+  }
+  std::sort(rates.begin(), rates.end());
+  return rates[static_cast<size_t>(reps) / 2];
+}
 
 /// The default broadcast for detector experiments: ~1.3k frames, 5 points.
 inline media::TennisSynthConfig DefaultBroadcast(uint64_t seed = 42,

@@ -31,11 +31,8 @@ Result<CourtModel> EstimateCourtModel(const media::Frame& frame,
       int cx = static_cast<int>(w * (0.25 + 0.5 * gx / 5.0));
       int cy = static_cast<int>(h * (0.25 + 0.55 * gy / 5.0));
       Patch patch;
-      for (int y = cy - p; y <= cy + p; ++y) {
-        for (int x = cx - p; x <= cx + p; ++x) {
-          if (x >= 0 && x < w && y >= 0 && y < h) patch.stats.Add(frame.At(x, y));
-        }
-      }
+      patch.stats.AddRegion(frame,
+                            RectI{cx - p, cy - p, 2 * p + 1, 2 * p + 1});
       double stddev = (std::sqrt(patch.stats.var_r()) +
                        std::sqrt(patch.stats.var_g()) +
                        std::sqrt(patch.stats.var_b())) /
@@ -83,13 +80,8 @@ Result<CourtModel> EstimateCourtModel(const media::Frame& frame,
       }
       int cx = static_cast<int>(w * (0.25 + 0.5 * gx / 5.0));
       int cy = static_cast<int>(h * (0.25 + 0.55 * gy / 5.0));
-      for (int y = cy - p; y <= cy + p; ++y) {
-        for (int x = cx - p; x <= cx + p; ++x) {
-          if (x >= 0 && x < w && y >= 0 && y < h) {
-            model.court_color.Add(frame.At(x, y));
-          }
-        }
-      }
+      model.court_color.AddRegion(frame,
+                                  RectI{cx - p, cy - p, 2 * p + 1, 2 * p + 1});
     }
   }
 
@@ -109,18 +101,14 @@ Result<CourtModel> EstimateCourtModel(const media::Frame& frame,
   for (int corner = 0; corner < 4; ++corner) {
     int sx = (corner % 2 == 0) ? p : w - 1 - 2 * p;
     int sy = (corner / 2 == 0) ? p : h - 1 - 2 * p;
-    for (int y = sy; y <= sy + p && y < h; ++y) {
-      for (int x = sx; x <= sx + p && x < w; ++x) {
-        if (x >= 0 && y >= 0) model.surround_color.Add(frame.At(x, y));
-      }
-    }
+    model.surround_color.AddRegion(frame, RectI{sx, sy, p + 1, p + 1});
   }
 
   // Classify court pixels and take the bounding box of the biggest region.
-  vision::BinaryMask court_mask = vision::BinaryMask::FromPredicate(
-      frame, [&](const media::Rgb& px) {
-        return model.court_color.Matches(px, config.match_k);
-      });
+  // The k-sigma match is hoisted into integer channel bounds once; the mask
+  // builder then classifies rows with the batch kernel.
+  vision::BinaryMask court_mask = vision::BinaryMask::FromColorBox(
+      frame, RectI{0, 0, w, h}, model.court_color.MatchBox(config.match_k));
   int64_t matched = court_mask.Count();
   if (static_cast<double>(matched) <
       config.min_court_fraction * static_cast<double>(frame.PixelCount())) {

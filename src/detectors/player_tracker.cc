@@ -11,25 +11,30 @@ namespace cobra::detectors {
 
 namespace {
 
-bool IsLineWhite(const media::Rgb& p) {
-  return p.r > 185 && p.g > 185 && p.b > 185;
-}
+/// Court lines are near-white: every channel above 185, i.e. the color box
+/// [186, 255]^3 (the old IsLineWhite predicate in batch-kernel form).
+constexpr vision::kernels::ColorBox kLineWhiteBox{{186, 186, 186},
+                                                  {255, 255, 255}};
 
-/// Foreground = neither court surface, nor out-of-court background, nor a
-/// court line.
-bool IsForeground(const media::Rgb& p, const CourtModel& court, double k) {
-  return !court.court_color.Matches(p, k) && !court.surround_color.Matches(p, k) &&
-         !IsLineWhite(p);
-}
+/// The background color boxes a foreground (player) pixel must avoid:
+/// court surface, out-of-court surround, and court lines. Hoisted once per
+/// tracked shot so segmentation is pure byte compares.
+struct BackgroundBoxes {
+  vision::kernels::ColorBox boxes[3];
+
+  BackgroundBoxes(const CourtModel& court, double k)
+      : boxes{court.court_color.MatchBox(k), court.surround_color.MatchBox(k),
+              kLineWhiteBox} {}
+};
 
 /// Segments foreground regions within `roi` and returns components sorted
-/// by decreasing area.
+/// by decreasing area. Foreground = neither court surface, nor out-of-court
+/// background, nor a court line.
 std::vector<vision::ConnectedComponent> SegmentForeground(
-    const media::Frame& frame, const RectI& roi, const CourtModel& court,
-    double k, int64_t min_area) {
-  vision::BinaryMask mask = vision::BinaryMask::FromPredicate(
-      frame, roi,
-      [&](const media::Rgb& p) { return IsForeground(p, court, k); });
+    const media::Frame& frame, const RectI& roi, const BackgroundBoxes& bg,
+    int64_t min_area) {
+  vision::BinaryMask mask =
+      vision::BinaryMask::FromOutsideColorBoxes(frame, roi, bg.boxes, 3);
   // Opening removes single-pixel noise and the thin net band.
   return vision::LabelComponents(mask.Open(), min_area);
 }
@@ -100,11 +105,12 @@ Result<TrackingResult> PlayerTracker::Track(const media::VideoSource& video,
                 config_.court_margin}
           .ClipTo(first.width(), first.height());
 
+  const BackgroundBoxes bg(court, config_.foreground_k);
+
   // Initial segmentation of the first frame: the paper's "quadratic"
   // split — the largest region in the near (lower) half and the largest in
   // the far (upper) half become the two players.
-  auto components = SegmentForeground(first, roi, court, config_.foreground_k,
-                                      config_.min_player_area);
+  auto components = SegmentForeground(first, roi, bg, config_.min_player_area);
   struct PlayerState {
     PlayerTrack track;
     PointD velocity;
@@ -153,9 +159,8 @@ Result<TrackingResult> PlayerTracker::Track(const media::VideoSource& video,
           ps.last_bbox.height + 2 * config_.search_margin};
       window = window.Intersect(roi);
 
-      auto candidates = SegmentForeground(frame, window, court,
-                                          config_.foreground_k,
-                                          config_.min_player_area);
+      auto candidates =
+          SegmentForeground(frame, window, bg, config_.min_player_area);
       std::optional<vision::ConnectedComponent> hit =
           ClosestComponent(std::move(candidates), predicted);
 
@@ -169,8 +174,7 @@ Result<TrackingResult> PlayerTracker::Track(const media::VideoSource& video,
           half.height = court.net_y - roi.y;
         }
         hit = ClosestComponent(
-            SegmentForeground(frame, half, court, config_.foreground_k,
-                              config_.min_player_area),
+            SegmentForeground(frame, half, bg, config_.min_player_area),
             predicted);
       }
 

@@ -209,9 +209,18 @@ Result<ShotBoundaryResult> ShotBoundaryDetector::Detect(
   for (const FrameInterval& candidate : candidates) {
     int64_t before = std::max<int64_t>(0, candidate.begin - 1);
     int64_t after = std::min<int64_t>(video.num_frames() - 1, candidate.end + 1);
-    COBRA_ASSIGN_OR_RETURN(auto ha, HistogramOf(video, before));
-    COBRA_ASSIGN_OR_RETURN(auto hb, HistogramOf(video, after));
-    if (vision::Distance(*ha, *hb, config_.metric) <
+    double endpoint_distance;
+    if (after == before + 1) {
+      // Adjacent endpoints were already measured by ComputeDistances
+      // (distances[t] compares frames t and t+1); reuse instead of
+      // rebuilding both histograms and re-running the distance kernel.
+      endpoint_distance = result.distances[static_cast<size_t>(before)];
+    } else {
+      COBRA_ASSIGN_OR_RETURN(auto ha, HistogramOf(video, before));
+      COBRA_ASSIGN_OR_RETURN(auto hb, HistogramOf(video, after));
+      endpoint_distance = vision::Distance(*ha, *hb, config_.metric);
+    }
+    if (endpoint_distance <
         std::max(config_.adaptive_floor, config_.fixed_threshold)) {
       continue;  // endpoints look alike: in-shot motion, not a transition
     }

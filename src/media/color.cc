@@ -54,13 +54,4 @@ Rgb HsvToRgb(const Hsv& hsv) {
   return Rgb{to8(r), to8(g), to8(b)};
 }
 
-bool IsSkinColor(const Rgb& rgb) {
-  // Combined heuristic: classic RGB rules (Peer et al.) plus an HSV hue band.
-  if (rgb.r <= 80 || rgb.r <= rgb.g || rgb.g <= rgb.b) return false;
-  if (static_cast<int>(rgb.r) - static_cast<int>(rgb.b) < 15) return false;
-  Hsv hsv = RgbToHsv(rgb);
-  return (hsv.h < 50.0 || hsv.h > 340.0) && hsv.s > 0.1 && hsv.s < 0.75 &&
-         hsv.v > 0.3;
-}
-
 }  // namespace cobra::media

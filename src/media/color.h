@@ -40,6 +40,22 @@ Rgb HsvToRgb(const Hsv& hsv);
 /// close-up classifier (hue in the orange band, moderate saturation,
 /// sufficient brightness). Matches the synthesizer's skin palette and the
 /// usual RGB-ratio skin heuristics.
-bool IsSkinColor(const Rgb& rgb);
+///
+/// Evaluated in exact integer arithmetic so the batch kernels in
+/// vision/kernels.h reproduce it bit-for-bit. Given the RGB gates
+/// (r > 80, r > g > b, r - b >= 15) the max channel is r and the min is b,
+/// so the HSV band of the original heuristic reduces to integer ratios:
+///   s > 0.1   <=>  10(r - b) > r
+///   s < 0.75  <=>   4(r - b) < 3r
+///   h < 50    <=>   6(g - b) < 5(r - b)   (h lies in (0, 60) when r > g > b,
+///                                          so the h > 340 arm is unreachable)
+///   v > 0.3   is implied by r > 80 (v = r/255 > 0.31).
+inline bool IsSkinColor(const Rgb& rgb) {
+  const int r = rgb.r, g = rgb.g, b = rgb.b;
+  if (r <= 80 || r <= g || g <= b) return false;
+  const int d = r - b;  // == 255 * v * s in HSV terms
+  if (d < 15) return false;
+  return 10 * d > r && 4 * d < 3 * r && 6 * (g - b) < 5 * d;
+}
 
 }  // namespace cobra::media

@@ -40,6 +40,15 @@ class Frame {
 
   const std::vector<Rgb>& pixels() const { return pixels_; }
 
+  /// Pointer to the first pixel of row `y` (unchecked; 0 <= y < height).
+  ///
+  /// Contract: rows are packed `Rgb` triples (no padding, no row stride
+  /// beyond `width()`), and consecutive rows are contiguous in memory, so
+  /// `Row(0)` spans all `PixelCount()` pixels of the frame. The batch
+  /// kernels in vision/kernels.h rely on this layout.
+  const Rgb* Row(int y) const { return pixels_.data() + Index(0, y); }
+  Rgb* Row(int y) { return pixels_.data() + Index(0, y); }
+
   /// Fills an axis-aligned rectangle (clipped to the frame).
   void FillRect(const RectI& rect, Rgb color);
 

@@ -21,15 +21,30 @@ void GaussianColorModel::Add(const media::Rgb& p) {
   }
 }
 
+void GaussianColorModel::AddRegion(const media::Frame& frame,
+                                   const RectI& rect) {
+  RectI r = rect.ClipTo(frame.width(), frame.height());
+  if (r.Empty()) return;
+  kernels::ColorSums sums;
+  const kernels::KernelOps& ops = kernels::Ops();
+  if (r.width == frame.width()) {
+    ops.color_sums(frame.Row(r.y), static_cast<size_t>(r.Area()), &sums);
+  } else {
+    for (int y = r.y; y < r.Bottom(); ++y) {
+      ops.color_sums(frame.Row(y) + r.x, static_cast<size_t>(r.width), &sums);
+    }
+  }
+  count_ += static_cast<int64_t>(sums.count);
+  for (int i = 0; i < 3; ++i) {
+    sum_[i] += static_cast<double>(sums.sum[i]);
+    sum2_[i] += static_cast<double>(sums.sum2[i]);
+  }
+}
+
 GaussianColorModel GaussianColorModel::FromRegion(const media::Frame& frame,
                                                   const RectI& rect) {
   GaussianColorModel model;
-  RectI r = rect.ClipTo(frame.width(), frame.height());
-  for (int y = r.y; y < r.Bottom(); ++y) {
-    for (int x = r.x; x < r.Right(); ++x) {
-      model.Add(frame.At(x, y));
-    }
-  }
+  model.AddRegion(frame, rect);
   return model;
 }
 
@@ -39,28 +54,43 @@ double GaussianColorModel::Var(int ch) const {
   return std::max(kMinVariance, sum2_[ch] / count_ - mean * mean);
 }
 
-double GaussianColorModel::Distance2(const media::Rgb& p) const {
+GaussianColorModel::MahalanobisParams GaussianColorModel::Params() const {
+  MahalanobisParams params;
   const double means[3] = {mean_r(), mean_g(), mean_b()};
-  const double vars[3] = {Var(0), Var(1), Var(2)};
+  for (int i = 0; i < 3; ++i) {
+    params.mean[i] = means[i];
+    params.inv_var[i] = 1.0 / Var(i);
+  }
+  return params;
+}
+
+double GaussianColorModel::Distance2(const media::Rgb& p,
+                                     const MahalanobisParams& params) {
   const double ch[3] = {static_cast<double>(p.r), static_cast<double>(p.g),
                         static_cast<double>(p.b)};
   double d2 = 0.0;
   for (int i = 0; i < 3; ++i) {
-    double d = ch[i] - means[i];
-    d2 += d * d / vars[i];
+    double d = ch[i] - params.mean[i];
+    d2 += d * d * params.inv_var[i];
   }
   return d2;
 }
 
-bool GaussianColorModel::Matches(const media::Rgb& p, double k) const {
+kernels::ColorBox GaussianColorModel::MatchBox(double k) const {
   const double means[3] = {mean_r(), mean_g(), mean_b()};
-  const double vars[3] = {Var(0), Var(1), Var(2)};
-  const double ch[3] = {static_cast<double>(p.r), static_cast<double>(p.g),
-                        static_cast<double>(p.b)};
+  kernels::ColorBox box;
   for (int i = 0; i < 3; ++i) {
-    if (std::fabs(ch[i] - means[i]) > k * std::sqrt(vars[i])) return false;
+    const double sigma = std::sqrt(Var(i));
+    // An integer channel value c matches iff mean - k*sigma <= c <=
+    // mean + k*sigma, i.e. ceil(lo) <= c <= floor(hi); a channel whose
+    // rounded bounds cross keeps the default match-nothing box.
+    const int lo = static_cast<int>(std::ceil(means[i] - k * sigma));
+    const int hi = static_cast<int>(std::floor(means[i] + k * sigma));
+    if (lo > 255 || hi < 0 || lo > hi) return kernels::ColorBox{};
+    box.lo[i] = static_cast<uint8_t>(std::max(0, lo));
+    box.hi[i] = static_cast<uint8_t>(std::min(255, hi));
   }
-  return true;
+  return box;
 }
 
 }  // namespace cobra::vision

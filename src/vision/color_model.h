@@ -8,14 +8,25 @@
 
 #include "media/frame.h"
 #include "util/geometry.h"
+#include "vision/kernels.h"
 
 namespace cobra::vision {
 
 /// Independent per-channel Gaussian model of a color population.
 class GaussianColorModel {
  public:
+  /// Means and inverse variances hoisted out of per-pixel distance loops.
+  struct MahalanobisParams {
+    double mean[3] = {0, 0, 0};
+    double inv_var[3] = {0, 0, 0};
+  };
+
   /// Adds one sample.
   void Add(const media::Rgb& p);
+
+  /// Adds every pixel of `rect` (clipped) — batch-kernel path, identical to
+  /// calling Add per pixel (integer sums are exact in double up to 2^53).
+  void AddRegion(const media::Frame& frame, const RectI& rect);
 
   /// Estimates the model from all pixels of `rect` in `frame`.
   static GaussianColorModel FromRegion(const media::Frame& frame,
@@ -29,13 +40,29 @@ class GaussianColorModel {
   double var_g() const { return Var(1); }
   double var_b() const { return Var(2); }
 
+  /// Snapshot of means + inverse variances. Hoist out of pixel loops; the
+  /// model recomputes nothing per pixel afterwards.
+  MahalanobisParams Params() const;
+
   /// Squared Mahalanobis-style distance with independent channels; variance
   /// is floored so a near-constant model still admits sensor noise.
-  double Distance2(const media::Rgb& p) const;
+  double Distance2(const media::Rgb& p) const {
+    return Distance2(p, Params());
+  }
+  static double Distance2(const media::Rgb& p, const MahalanobisParams& params);
+
+  /// The k-sigma match test as inclusive integer per-channel bounds:
+  /// `MatchBox(k).Contains(p)` <=> `p` lies within k standard deviations on
+  /// every channel. Computed once (ceil/floor of mean -/+ k*sigma), so batch
+  /// kernels can classify pixels with byte compares only.
+  kernels::ColorBox MatchBox(double k = 3.0) const;
 
   /// True if `p` lies within `k` standard deviations on every channel
   /// (the segmentation predicate: court pixels match, player pixels don't).
-  bool Matches(const media::Rgb& p, double k = 3.0) const;
+  /// Hoist `MatchBox(k)` instead when testing many pixels.
+  bool Matches(const media::Rgb& p, double k = 3.0) const {
+    return MatchBox(k).Contains(p);
+  }
 
  private:
   double Var(int ch) const;

@@ -1,7 +1,8 @@
 #include "vision/gray_stats.h"
 
-#include <array>
 #include <cmath>
+
+#include "vision/kernels.h"
 
 namespace cobra::vision {
 
@@ -14,20 +15,24 @@ GrayStats ComputeGrayStats(const media::Frame& frame, const RectI& rect) {
   RectI r = rect.ClipTo(frame.width(), frame.height());
   if (r.Empty()) return out;
 
-  std::array<int64_t, 256> hist{};
-  double sum = 0.0, sum2 = 0.0;
-  for (int y = r.y; y < r.Bottom(); ++y) {
-    for (int x = r.x; x < r.Right(); ++x) {
-      double luma = frame.At(x, y).Luma();
-      sum += luma;
-      sum2 += luma * luma;
-      hist[static_cast<size_t>(luma)]++;
+  // Accumulate in the exact luma-milli integer domain (batch kernel,
+  // SIMD-dispatched; identical at every SIMD level) and convert to floating
+  // point once at the end.
+  kernels::GraySums sums;
+  const kernels::KernelOps& ops = kernels::Ops();
+  if (r.width == frame.width()) {
+    ops.gray_sums(frame.Row(r.y), static_cast<size_t>(r.Area()), &sums);
+  } else {
+    for (int y = r.y; y < r.Bottom(); ++y) {
+      ops.gray_sums(frame.Row(y) + r.x, static_cast<size_t>(r.width), &sums);
     }
   }
+
   const double n = static_cast<double>(r.Area());
-  out.mean = sum / n;
-  out.variance = sum2 / n - out.mean * out.mean;
-  for (int64_t count : hist) {
+  out.mean = static_cast<double>(sums.sum_milli) / (1000.0 * n);
+  out.variance = static_cast<double>(sums.sum2_milli) / (1.0e6 * n) -
+                 out.mean * out.mean;
+  for (uint32_t count : sums.hist) {
     if (count > 0) {
       double p = static_cast<double>(count) / n;
       out.entropy -= p * std::log2(p);
@@ -38,11 +43,17 @@ GrayStats ComputeGrayStats(const media::Frame& frame, const RectI& rect) {
 
 double SkinPixelRatio(const media::Frame& frame) {
   if (frame.Empty()) return 0.0;
-  int64_t skin = 0;
-  for (const media::Rgb& p : frame.pixels()) {
-    if (media::IsSkinColor(p)) ++skin;
-  }
+  const uint64_t skin = kernels::Ops().count_skin(
+      frame.Row(0), static_cast<size_t>(frame.PixelCount()));
   return static_cast<double>(skin) / static_cast<double>(frame.PixelCount());
+}
+
+double MeanAbsFrameDifference(const media::Frame& a, const media::Frame& b) {
+  if (a.Empty() || !a.SameSizeAs(b)) return 0.0;
+  const uint64_t sum = kernels::Ops().abs_diff_sum(
+      a.Row(0), b.Row(0), static_cast<size_t>(a.PixelCount()));
+  return static_cast<double>(sum) /
+         static_cast<double>(3 * a.PixelCount());
 }
 
 }  // namespace cobra::vision

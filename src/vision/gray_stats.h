@@ -26,4 +26,9 @@ GrayStats ComputeGrayStats(const media::Frame& frame, const RectI& rect);
 /// close-up cue of the paper's classifier.
 double SkinPixelRatio(const media::Frame& frame);
 
+/// Mean absolute per-channel-byte difference between two same-sized frames
+/// in [0, 255] (0 for empty or mismatched frames) — a cheap whole-frame
+/// change measure built on the batch differencing kernel.
+double MeanAbsFrameDifference(const media::Frame& a, const media::Frame& b);
+
 }  // namespace cobra::vision

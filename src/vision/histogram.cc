@@ -1,9 +1,9 @@
 #include "vision/histogram.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "util/strings.h"
+#include "vision/kernels.h"
 
 namespace cobra::vision {
 
@@ -35,22 +35,27 @@ Result<ColorHistogram> ColorHistogram::FromRegion(const media::Frame& frame,
   if (r.Empty()) {
     return Status::InvalidArgument("histogram region is empty");
   }
-  const int shift_div = 256 / bins_per_channel;
-  std::vector<double> values(
-      static_cast<size_t>(bins_per_channel) * bins_per_channel * bins_per_channel,
-      0.0);
-  for (int y = r.y; y < r.Bottom(); ++y) {
-    for (int x = r.x; x < r.Right(); ++x) {
-      const media::Rgb& p = frame.At(x, y);
-      size_t bin = (static_cast<size_t>(p.r / shift_div) * bins_per_channel +
-                    p.g / shift_div) *
-                       bins_per_channel +
-                   p.b / shift_div;
-      values[bin] += 1.0;
+  // Bin in exact uint32 counts (batch kernel, SIMD-dispatched) and normalize
+  // once at the end; the old per-pixel `+= 1.0` double accumulation is both
+  // slower and drifts for large regions.
+  const size_t num_bins = static_cast<size_t>(bins_per_channel) *
+                          bins_per_channel * bins_per_channel;
+  std::vector<uint32_t> counts(num_bins, 0);
+  const kernels::KernelOps& ops = kernels::Ops();
+  if (r.width == frame.width()) {
+    // Full-width region: rows are contiguous (Frame::Row contract), so the
+    // whole region is one span.
+    ops.histogram(frame.Row(r.y), static_cast<size_t>(r.Area()),
+                  bins_per_channel, counts.data());
+  } else {
+    for (int y = r.y; y < r.Bottom(); ++y) {
+      ops.histogram(frame.Row(y) + r.x, static_cast<size_t>(r.width),
+                    bins_per_channel, counts.data());
     }
   }
+  std::vector<double> values(num_bins);
   const double total = static_cast<double>(r.Area());
-  for (double& v : values) v /= total;
+  for (size_t i = 0; i < num_bins; ++i) values[i] = counts[i] / total;
   return ColorHistogram(bins_per_channel, std::move(values));
 }
 
@@ -74,31 +79,18 @@ media::Rgb ColorHistogram::BinCenter(size_t bin) const {
 }
 
 double ColorHistogram::L1Distance(const ColorHistogram& other) const {
-  double d = 0.0;
-  for (size_t i = 0; i < values_.size(); ++i) {
-    d += std::fabs(values_[i] - other.values_[i]);
-  }
-  return d;
+  return kernels::Ops().l1(values_.data(), other.values_.data(),
+                           values_.size());
 }
 
 double ColorHistogram::ChiSquareDistance(const ColorHistogram& other) const {
-  double d = 0.0;
-  for (size_t i = 0; i < values_.size(); ++i) {
-    double sum = values_[i] + other.values_[i];
-    if (sum > 0) {
-      double diff = values_[i] - other.values_[i];
-      d += diff * diff / sum;
-    }
-  }
-  return d;
+  return kernels::Ops().chi_square(values_.data(), other.values_.data(),
+                                   values_.size());
 }
 
 double ColorHistogram::IntersectionDistance(const ColorHistogram& other) const {
-  double inter = 0.0;
-  for (size_t i = 0; i < values_.size(); ++i) {
-    inter += std::min(values_[i], other.values_[i]);
-  }
-  return 1.0 - inter;
+  return 1.0 - kernels::Ops().intersection_sum(
+                   values_.data(), other.values_.data(), values_.size());
 }
 
 const char* HistogramDistanceToString(HistogramDistance d) {

@@ -1,0 +1,902 @@
+#include "vision/kernels.h"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+
+// SIMD tiers exist only on x86-64 GCC/Clang builds with the COBRA_SIMD CMake
+// option ON; everywhere else only the scalar tier is compiled and dispatch
+// degenerates to it.
+#if defined(COBRA_SIMD) && COBRA_SIMD && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define COBRA_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define COBRA_SIMD_X86 0
+#endif
+
+namespace cobra::vision::kernels {
+
+// Frame rows are reinterpreted as raw byte streams by the deinterleave and
+// SAD kernels, which requires the packed-triple layout Frame::Row documents.
+static_assert(sizeof(media::Rgb) == 3, "Rgb must be a packed byte triple");
+
+namespace {
+
+// log2 of the bin width 256/B. B is a divisor of 256, hence a power of two.
+inline unsigned BinShift(int bins_per_channel) {
+  return static_cast<unsigned>(
+      std::countr_zero(256u / static_cast<unsigned>(bins_per_channel)));
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference tier.
+//
+// The double-precision distance kernels use a fixed 4-lane accumulation tree
+// (element i -> partial i mod 4; combine (s0+s1)+(s2+s3)) so that the vector
+// tiers, which carry the same four partials in SIMD lanes, are bit-identical.
+// Everything else accumulates in integers, where order cannot matter.
+// ---------------------------------------------------------------------------
+
+namespace scalar {
+
+void Histogram(const media::Rgb* px, size_t n, int bins_per_channel,
+               uint32_t* bins) {
+  const unsigned shift = BinShift(bins_per_channel);
+  const uint32_t b = static_cast<uint32_t>(bins_per_channel);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t bin =
+        ((static_cast<uint32_t>(px[i].r >> shift) * b + (px[i].g >> shift)) *
+         b) +
+        (px[i].b >> shift);
+    ++bins[bin];
+  }
+}
+
+double L1(const double* a, const double* b, size_t n) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) s[i & 3] += std::fabs(a[i] - b[i]);
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+double ChiSquare(const double* a, const double* b, size_t n) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) {
+    const double sum = a[i] + b[i];
+    const double diff = a[i] - b[i];
+    s[i & 3] += sum > 0.0 ? diff * diff / sum : 0.0;
+  }
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+double IntersectionSum(const double* a, const double* b, size_t n) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  // (a < b ? a : b) mirrors the vector min instruction exactly.
+  for (size_t i = 0; i < n; ++i) s[i & 3] += a[i] < b[i] ? a[i] : b[i];
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+void ClassifyInside(const media::Rgb* px, size_t n, const ColorBox& box,
+                    uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = box.Contains(px[i]) ? 1 : 0;
+}
+
+void ClassifyOutside(const media::Rgb* px, size_t n, const ColorBox* boxes,
+                     size_t num_boxes, uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    bool inside = false;
+    for (size_t bi = 0; bi < num_boxes && !inside; ++bi) {
+      inside = boxes[bi].Contains(px[i]);
+    }
+    out[i] = inside ? 0 : 1;
+  }
+}
+
+uint64_t CountInside(const media::Rgb* px, size_t n, const ColorBox& box) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += box.Contains(px[i]) ? 1 : 0;
+  return count;
+}
+
+uint64_t CountSkin(const media::Rgb* px, size_t n) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += media::IsSkinColor(px[i]) ? 1 : 0;
+  return count;
+}
+
+void GraySums(const media::Rgb* px, size_t n, struct GraySums* sums) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t lm = LumaMilli(px[i]);
+    sums->sum_milli += lm;
+    sums->sum2_milli += static_cast<uint64_t>(lm) * lm;
+    ++sums->hist[lm / 1000];
+  }
+  sums->count += n;
+}
+
+void ColorSums(const media::Rgb* px, size_t n, struct ColorSums* sums) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t c[3] = {px[i].r, px[i].g, px[i].b};
+    for (int ch = 0; ch < 3; ++ch) {
+      sums->sum[ch] += c[ch];
+      sums->sum2[ch] += c[ch] * c[ch];
+    }
+  }
+  sums->count += n;
+}
+
+uint64_t AbsDiffSum(const media::Rgb* a, const media::Rgb* b, size_t n) {
+  const uint8_t* pa = reinterpret_cast<const uint8_t*>(a);
+  const uint8_t* pb = reinterpret_cast<const uint8_t*>(b);
+  uint64_t total = 0;
+  const size_t m = 3 * n;
+  for (size_t i = 0; i < m; ++i) {
+    total += static_cast<uint64_t>(
+        std::abs(static_cast<int>(pa[i]) - static_cast<int>(pb[i])));
+  }
+  return total;
+}
+
+uint64_t ByteSum(const uint8_t* bytes, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += bytes[i];
+  return total;
+}
+
+}  // namespace scalar
+
+constexpr KernelOps kScalarOps = {
+    scalar::Histogram,      scalar::L1,          scalar::ChiSquare,
+    scalar::IntersectionSum, scalar::ClassifyInside,
+    scalar::ClassifyOutside, scalar::CountInside, scalar::CountSkin,
+    scalar::GraySums,       scalar::ColorSums,   scalar::AbsDiffSum,
+    scalar::ByteSum,
+};
+
+#if COBRA_SIMD_X86
+
+// classify_outside precomputes per-box lane constants into a fixed buffer;
+// larger box sets (never hit by the detectors, which use <= 3) fall back to
+// the scalar tier.
+constexpr size_t kMaxBoxLanes = 8;
+
+// ---------------------------------------------------------------------------
+// SSE4.1 tier: 4 pixels per iteration.
+//
+// The RGB24 deinterleave loads 16 bytes to cover 4 pixels (12 bytes), so the
+// main loops only run while at least 6 pixels (18 bytes) remain; the last
+// <= 5 pixels take the scalar tail. SSE4.1 is required for pshufb (SSSE3),
+// pmulld, and pmovzxdq.
+// ---------------------------------------------------------------------------
+
+#pragma GCC push_options
+#pragma GCC target("sse4.1")
+
+namespace sse41 {
+
+struct RgbLanes {
+  __m128i r, g, b;
+};
+
+// Deinterleaves 4 packed Rgb pixels into three epi32x4 registers. Reads 16
+// bytes starting at p; the caller guarantees they are in bounds.
+inline RgbLanes LoadRgb4(const uint8_t* p) {
+  const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  const __m128i rm =
+      _mm_setr_epi8(0, -1, -1, -1, 3, -1, -1, -1, 6, -1, -1, -1, 9, -1, -1, -1);
+  const __m128i gm =
+      _mm_setr_epi8(1, -1, -1, -1, 4, -1, -1, -1, 7, -1, -1, -1, 10, -1, -1, -1);
+  const __m128i bm =
+      _mm_setr_epi8(2, -1, -1, -1, 5, -1, -1, -1, 8, -1, -1, -1, 11, -1, -1, -1);
+  return RgbLanes{_mm_shuffle_epi8(raw, rm), _mm_shuffle_epi8(raw, gm),
+                  _mm_shuffle_epi8(raw, bm)};
+}
+
+// Widens the 4 epi32 lanes of v to epi64 and adds them into acc (exact).
+inline __m128i AddWidened(__m128i acc, __m128i v) {
+  acc = _mm_add_epi64(acc, _mm_cvtepu32_epi64(v));
+  return _mm_add_epi64(acc, _mm_cvtepu32_epi64(_mm_srli_si128(v, 8)));
+}
+
+inline uint64_t HorizontalSum64(__m128i acc) {
+  alignas(16) uint64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  return lanes[0] + lanes[1];
+}
+
+void Histogram(const media::Rgb* px, size_t n, int bins_per_channel,
+               uint32_t* bins) {
+  const unsigned shift = BinShift(bins_per_channel);
+  const __m128i vb = _mm_set1_epi32(bins_per_channel);
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(px);
+  alignas(16) uint32_t idx[4];
+  size_t i = 0;
+  for (; i + 6 <= n; i += 4) {
+    const RgbLanes v = LoadRgb4(bytes + 3 * i);
+    const __m128i r = _mm_srli_epi32(v.r, static_cast<int>(shift));
+    const __m128i g = _mm_srli_epi32(v.g, static_cast<int>(shift));
+    const __m128i b = _mm_srli_epi32(v.b, static_cast<int>(shift));
+    const __m128i bin = _mm_add_epi32(
+        _mm_mullo_epi32(_mm_add_epi32(_mm_mullo_epi32(r, vb), g), vb), b);
+    _mm_store_si128(reinterpret_cast<__m128i*>(idx), bin);
+    ++bins[idx[0]];
+    ++bins[idx[1]];
+    ++bins[idx[2]];
+    ++bins[idx[3]];
+  }
+  scalar::Histogram(px + i, n - i, bins_per_channel, bins);
+}
+
+double L1(const double* a, const double* b, size_t n) {
+  const __m128d sign = _mm_set1_pd(-0.0);
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128d d01 = _mm_sub_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i));
+    const __m128d d23 =
+        _mm_sub_pd(_mm_loadu_pd(a + i + 2), _mm_loadu_pd(b + i + 2));
+    acc01 = _mm_add_pd(acc01, _mm_andnot_pd(sign, d01));
+    acc23 = _mm_add_pd(acc23, _mm_andnot_pd(sign, d23));
+  }
+  alignas(16) double s[4];
+  _mm_store_pd(s, acc01);
+  _mm_store_pd(s + 2, acc23);
+  for (; i < n; ++i) s[i & 3] += std::fabs(a[i] - b[i]);
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+double ChiSquare(const double* a, const double* b, size_t n) {
+  const __m128d zero = _mm_setzero_pd();
+  __m128d acc01 = zero;
+  __m128d acc23 = zero;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128d a01 = _mm_loadu_pd(a + i), a23 = _mm_loadu_pd(a + i + 2);
+    const __m128d b01 = _mm_loadu_pd(b + i), b23 = _mm_loadu_pd(b + i + 2);
+    const __m128d s01 = _mm_add_pd(a01, b01), s23 = _mm_add_pd(a23, b23);
+    const __m128d d01 = _mm_sub_pd(a01, b01), d23 = _mm_sub_pd(a23, b23);
+    // Lanes with sum <= 0 divide to inf/nan and are masked back to zero,
+    // matching the scalar branch (adding +0.0 is exact).
+    const __m128d t01 = _mm_div_pd(_mm_mul_pd(d01, d01), s01);
+    const __m128d t23 = _mm_div_pd(_mm_mul_pd(d23, d23), s23);
+    acc01 = _mm_add_pd(acc01, _mm_and_pd(t01, _mm_cmpgt_pd(s01, zero)));
+    acc23 = _mm_add_pd(acc23, _mm_and_pd(t23, _mm_cmpgt_pd(s23, zero)));
+  }
+  alignas(16) double s[4];
+  _mm_store_pd(s, acc01);
+  _mm_store_pd(s + 2, acc23);
+  for (; i < n; ++i) {
+    const double sum = a[i] + b[i];
+    const double diff = a[i] - b[i];
+    s[i & 3] += sum > 0.0 ? diff * diff / sum : 0.0;
+  }
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+double IntersectionSum(const double* a, const double* b, size_t n) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = _mm_add_pd(acc01,
+                       _mm_min_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
+    acc23 = _mm_add_pd(
+        acc23, _mm_min_pd(_mm_loadu_pd(a + i + 2), _mm_loadu_pd(b + i + 2)));
+  }
+  alignas(16) double s[4];
+  _mm_store_pd(s, acc01);
+  _mm_store_pd(s + 2, acc23);
+  for (; i < n; ++i) s[i & 3] += a[i] < b[i] ? a[i] : b[i];
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+struct BoxLanes {
+  __m128i lo[3], hi[3];  // lo[c] = box.lo[c] - 1, hi[c] = box.hi[c] + 1
+};
+
+inline BoxLanes MakeBoxLanes(const ColorBox& box) {
+  BoxLanes lanes;
+  for (int c = 0; c < 3; ++c) {
+    lanes.lo[c] = _mm_set1_epi32(static_cast<int>(box.lo[c]) - 1);
+    lanes.hi[c] = _mm_set1_epi32(static_cast<int>(box.hi[c]) + 1);
+  }
+  return lanes;
+}
+
+// All-ones lanes where lo[c] < channel < hi[c] for every channel, i.e. the
+// pixel is inside the (inclusive) original box.
+inline __m128i InsideMask(const RgbLanes& v, const BoxLanes& box) {
+  const __m128i* ch[3] = {&v.r, &v.g, &v.b};
+  __m128i m = _mm_set1_epi32(-1);
+  for (int c = 0; c < 3; ++c) {
+    m = _mm_and_si128(m, _mm_cmpgt_epi32(*ch[c], box.lo[c]));
+    m = _mm_and_si128(m, _mm_cmpgt_epi32(box.hi[c], *ch[c]));
+  }
+  return m;
+}
+
+void ClassifyInside(const media::Rgb* px, size_t n, const ColorBox& box,
+                    uint8_t* out) {
+  const BoxLanes lanes = MakeBoxLanes(box);
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(px);
+  size_t i = 0;
+  for (; i + 6 <= n; i += 4) {
+    const int bits = _mm_movemask_ps(
+        _mm_castsi128_ps(InsideMask(LoadRgb4(bytes + 3 * i), lanes)));
+    out[i + 0] = static_cast<uint8_t>(bits & 1);
+    out[i + 1] = static_cast<uint8_t>((bits >> 1) & 1);
+    out[i + 2] = static_cast<uint8_t>((bits >> 2) & 1);
+    out[i + 3] = static_cast<uint8_t>((bits >> 3) & 1);
+  }
+  scalar::ClassifyInside(px + i, n - i, box, out + i);
+}
+
+void ClassifyOutside(const media::Rgb* px, size_t n, const ColorBox* boxes,
+                     size_t num_boxes, uint8_t* out) {
+  if (num_boxes > kMaxBoxLanes) {
+    scalar::ClassifyOutside(px, n, boxes, num_boxes, out);
+    return;
+  }
+  BoxLanes lanes[kMaxBoxLanes];
+  for (size_t bi = 0; bi < num_boxes; ++bi) lanes[bi] = MakeBoxLanes(boxes[bi]);
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(px);
+  size_t i = 0;
+  for (; i + 6 <= n; i += 4) {
+    const RgbLanes v = LoadRgb4(bytes + 3 * i);
+    __m128i any = _mm_setzero_si128();
+    for (size_t bi = 0; bi < num_boxes; ++bi) {
+      any = _mm_or_si128(any, InsideMask(v, lanes[bi]));
+    }
+    const int bits = _mm_movemask_ps(_mm_castsi128_ps(any));
+    out[i + 0] = static_cast<uint8_t>((bits & 1) ^ 1);
+    out[i + 1] = static_cast<uint8_t>(((bits >> 1) & 1) ^ 1);
+    out[i + 2] = static_cast<uint8_t>(((bits >> 2) & 1) ^ 1);
+    out[i + 3] = static_cast<uint8_t>(((bits >> 3) & 1) ^ 1);
+  }
+  scalar::ClassifyOutside(px + i, n - i, boxes, num_boxes, out + i);
+}
+
+uint64_t CountInside(const media::Rgb* px, size_t n, const ColorBox& box) {
+  const BoxLanes lanes = MakeBoxLanes(box);
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(px);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 6 <= n; i += 4) {
+    const int bits = _mm_movemask_ps(
+        _mm_castsi128_ps(InsideMask(LoadRgb4(bytes + 3 * i), lanes)));
+    count += static_cast<unsigned>(std::popcount(static_cast<unsigned>(bits)));
+  }
+  return count + scalar::CountInside(px + i, n - i, box);
+}
+
+// Integer-exact skin predicate; see media::IsSkinColor for the derivation.
+inline __m128i SkinMask(const RgbLanes& v) {
+  const __m128i d = _mm_sub_epi32(v.r, v.b);
+  const __m128i gb = _mm_sub_epi32(v.g, v.b);
+  __m128i m = _mm_cmpgt_epi32(v.r, _mm_set1_epi32(80));
+  m = _mm_and_si128(m, _mm_cmpgt_epi32(v.r, v.g));
+  m = _mm_and_si128(m, _mm_cmpgt_epi32(v.g, v.b));
+  m = _mm_and_si128(m, _mm_cmpgt_epi32(d, _mm_set1_epi32(14)));
+  // 10 d > r
+  m = _mm_and_si128(
+      m, _mm_cmpgt_epi32(_mm_mullo_epi32(d, _mm_set1_epi32(10)), v.r));
+  // 4 d < 3 r
+  m = _mm_and_si128(
+      m, _mm_cmpgt_epi32(_mm_mullo_epi32(v.r, _mm_set1_epi32(3)),
+                         _mm_mullo_epi32(d, _mm_set1_epi32(4))));
+  // 6 (g - b) < 5 d
+  m = _mm_and_si128(
+      m, _mm_cmpgt_epi32(_mm_mullo_epi32(d, _mm_set1_epi32(5)),
+                         _mm_mullo_epi32(gb, _mm_set1_epi32(6))));
+  return m;
+}
+
+uint64_t CountSkin(const media::Rgb* px, size_t n) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(px);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 6 <= n; i += 4) {
+    const int bits =
+        _mm_movemask_ps(_mm_castsi128_ps(SkinMask(LoadRgb4(bytes + 3 * i))));
+    count += static_cast<unsigned>(std::popcount(static_cast<unsigned>(bits)));
+  }
+  return count + scalar::CountSkin(px + i, n - i);
+}
+
+void GraySums(const media::Rgb* px, size_t n, struct GraySums* sums) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(px);
+  __m128i acc_sum = _mm_setzero_si128();
+  __m128i acc_sq = _mm_setzero_si128();
+  alignas(16) uint32_t bin[4];
+  size_t i = 0;
+  for (; i + 6 <= n; i += 4) {
+    const RgbLanes v = LoadRgb4(bytes + 3 * i);
+    const __m128i lm = _mm_add_epi32(
+        _mm_add_epi32(_mm_mullo_epi32(v.r, _mm_set1_epi32(299)),
+                      _mm_mullo_epi32(v.g, _mm_set1_epi32(587))),
+        _mm_mullo_epi32(v.b, _mm_set1_epi32(114)));
+    // lm / 1000 = (lm >> 3) / 125 by magic multiply (ceil(2^23 / 125) =
+    // 67109): exact for lm <= 255000, and the product stays under 2^31.
+    // Tested exhaustively in vision_kernels_test.
+    const __m128i hbin = _mm_srli_epi32(
+        _mm_mullo_epi32(_mm_srli_epi32(lm, 3), _mm_set1_epi32(67109)), 23);
+    _mm_store_si128(reinterpret_cast<__m128i*>(bin), hbin);
+    ++sums->hist[bin[0]];
+    ++sums->hist[bin[1]];
+    ++sums->hist[bin[2]];
+    ++sums->hist[bin[3]];
+    acc_sum = AddWidened(acc_sum, lm);
+    // Squares need 64-bit products: even lanes via pmuludq, odd lanes after
+    // a 32-bit right shift.
+    acc_sq = _mm_add_epi64(acc_sq, _mm_mul_epu32(lm, lm));
+    const __m128i odd = _mm_srli_epi64(lm, 32);
+    acc_sq = _mm_add_epi64(acc_sq, _mm_mul_epu32(odd, odd));
+  }
+  sums->sum_milli += HorizontalSum64(acc_sum);
+  sums->sum2_milli += HorizontalSum64(acc_sq);
+  sums->count += i;
+  scalar::GraySums(px + i, n - i, sums);
+}
+
+void ColorSums(const media::Rgb* px, size_t n, struct ColorSums* sums) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(px);
+  __m128i acc_sum[3] = {_mm_setzero_si128(), _mm_setzero_si128(),
+                        _mm_setzero_si128()};
+  __m128i acc_sq[3] = {_mm_setzero_si128(), _mm_setzero_si128(),
+                       _mm_setzero_si128()};
+  size_t i = 0;
+  for (; i + 6 <= n; i += 4) {
+    const RgbLanes v = LoadRgb4(bytes + 3 * i);
+    const __m128i* ch[3] = {&v.r, &v.g, &v.b};
+    for (int c = 0; c < 3; ++c) {
+      acc_sum[c] = AddWidened(acc_sum[c], *ch[c]);
+      acc_sq[c] = AddWidened(acc_sq[c], _mm_mullo_epi32(*ch[c], *ch[c]));
+    }
+  }
+  for (int c = 0; c < 3; ++c) {
+    sums->sum[c] += HorizontalSum64(acc_sum[c]);
+    sums->sum2[c] += HorizontalSum64(acc_sq[c]);
+  }
+  sums->count += i;
+  scalar::ColorSums(px + i, n - i, sums);
+}
+
+uint64_t AbsDiffSum(const media::Rgb* a, const media::Rgb* b, size_t n) {
+  const uint8_t* pa = reinterpret_cast<const uint8_t*>(a);
+  const uint8_t* pb = reinterpret_cast<const uint8_t*>(b);
+  const size_t m = 3 * n;
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 16 <= m; i += 16) {
+    acc = _mm_add_epi64(
+        acc, _mm_sad_epu8(
+                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa + i)),
+                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb + i))));
+  }
+  uint64_t total = HorizontalSum64(acc);
+  for (; i < m; ++i) {
+    total += static_cast<uint64_t>(
+        std::abs(static_cast<int>(pa[i]) - static_cast<int>(pb[i])));
+  }
+  return total;
+}
+
+uint64_t ByteSum(const uint8_t* bytes, size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = zero;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc = _mm_add_epi64(
+        acc, _mm_sad_epu8(
+                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + i)),
+                 zero));
+  }
+  uint64_t total = HorizontalSum64(acc);
+  for (; i < n; ++i) total += bytes[i];
+  return total;
+}
+
+}  // namespace sse41
+
+#pragma GCC pop_options
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: 8 pixels per iteration.
+//
+// The deinterleave loads two 16-byte chunks at byte offsets 0 and 12 to
+// cover 8 pixels (24 bytes), over-reading 4 bytes, so the main loops only
+// run while at least 10 pixels (30 bytes) remain; the last <= 9 pixels take
+// the scalar tail.
+// ---------------------------------------------------------------------------
+
+#pragma GCC push_options
+#pragma GCC target("avx2")
+
+namespace avx2 {
+
+struct RgbLanes {
+  __m256i r, g, b;
+};
+
+inline RgbLanes LoadRgb8(const uint8_t* p) {
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 12));
+  const __m256i both = _mm256_set_m128i(hi, lo);
+  const __m256i rm = _mm256_setr_epi8(
+      0, -1, -1, -1, 3, -1, -1, -1, 6, -1, -1, -1, 9, -1, -1, -1,
+      0, -1, -1, -1, 3, -1, -1, -1, 6, -1, -1, -1, 9, -1, -1, -1);
+  const __m256i gm = _mm256_setr_epi8(
+      1, -1, -1, -1, 4, -1, -1, -1, 7, -1, -1, -1, 10, -1, -1, -1,
+      1, -1, -1, -1, 4, -1, -1, -1, 7, -1, -1, -1, 10, -1, -1, -1);
+  const __m256i bm = _mm256_setr_epi8(
+      2, -1, -1, -1, 5, -1, -1, -1, 8, -1, -1, -1, 11, -1, -1, -1,
+      2, -1, -1, -1, 5, -1, -1, -1, 8, -1, -1, -1, 11, -1, -1, -1);
+  return RgbLanes{_mm256_shuffle_epi8(both, rm), _mm256_shuffle_epi8(both, gm),
+                  _mm256_shuffle_epi8(both, bm)};
+}
+
+inline __m256i AddWidened(__m256i acc, __m256i v) {
+  acc = _mm256_add_epi64(acc, _mm256_cvtepu32_epi64(_mm256_castsi256_si128(v)));
+  return _mm256_add_epi64(acc,
+                          _mm256_cvtepu32_epi64(_mm256_extracti128_si256(v, 1)));
+}
+
+inline uint64_t HorizontalSum64(__m256i acc) {
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+void Histogram(const media::Rgb* px, size_t n, int bins_per_channel,
+               uint32_t* bins) {
+  const unsigned shift = BinShift(bins_per_channel);
+  const __m256i vb = _mm256_set1_epi32(bins_per_channel);
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(px);
+  alignas(32) uint32_t idx[8];
+  size_t i = 0;
+  for (; i + 10 <= n; i += 8) {
+    const RgbLanes v = LoadRgb8(bytes + 3 * i);
+    const __m256i r = _mm256_srli_epi32(v.r, static_cast<int>(shift));
+    const __m256i g = _mm256_srli_epi32(v.g, static_cast<int>(shift));
+    const __m256i b = _mm256_srli_epi32(v.b, static_cast<int>(shift));
+    const __m256i bin = _mm256_add_epi32(
+        _mm256_mullo_epi32(_mm256_add_epi32(_mm256_mullo_epi32(r, vb), g), vb),
+        b);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idx), bin);
+    for (int j = 0; j < 8; ++j) ++bins[idx[j]];
+  }
+  scalar::Histogram(px + i, n - i, bins_per_channel, bins);
+}
+
+double L1(const double* a, const double* b, size_t n) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                    _mm256_loadu_pd(b + i));
+    acc = _mm256_add_pd(acc, _mm256_andnot_pd(sign, d));
+  }
+  alignas(32) double s[4];
+  _mm256_store_pd(s, acc);
+  for (; i < n; ++i) s[i & 3] += std::fabs(a[i] - b[i]);
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+double ChiSquare(const double* a, const double* b, size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d acc = zero;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(a + i);
+    const __m256d vb = _mm256_loadu_pd(b + i);
+    const __m256d sum = _mm256_add_pd(va, vb);
+    const __m256d diff = _mm256_sub_pd(va, vb);
+    const __m256d t = _mm256_div_pd(_mm256_mul_pd(diff, diff), sum);
+    acc = _mm256_add_pd(acc,
+                        _mm256_and_pd(t, _mm256_cmp_pd(sum, zero, _CMP_GT_OQ)));
+  }
+  alignas(32) double s[4];
+  _mm256_store_pd(s, acc);
+  for (; i < n; ++i) {
+    const double sum = a[i] + b[i];
+    const double diff = a[i] - b[i];
+    s[i & 3] += sum > 0.0 ? diff * diff / sum : 0.0;
+  }
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+double IntersectionSum(const double* a, const double* b, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_min_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  alignas(32) double s[4];
+  _mm256_store_pd(s, acc);
+  for (; i < n; ++i) s[i & 3] += a[i] < b[i] ? a[i] : b[i];
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+struct BoxLanes {
+  __m256i lo[3], hi[3];
+};
+
+inline BoxLanes MakeBoxLanes(const ColorBox& box) {
+  BoxLanes lanes;
+  for (int c = 0; c < 3; ++c) {
+    lanes.lo[c] = _mm256_set1_epi32(static_cast<int>(box.lo[c]) - 1);
+    lanes.hi[c] = _mm256_set1_epi32(static_cast<int>(box.hi[c]) + 1);
+  }
+  return lanes;
+}
+
+inline __m256i InsideMask(const RgbLanes& v, const BoxLanes& box) {
+  const __m256i* ch[3] = {&v.r, &v.g, &v.b};
+  __m256i m = _mm256_set1_epi32(-1);
+  for (int c = 0; c < 3; ++c) {
+    m = _mm256_and_si256(m, _mm256_cmpgt_epi32(*ch[c], box.lo[c]));
+    m = _mm256_and_si256(m, _mm256_cmpgt_epi32(box.hi[c], *ch[c]));
+  }
+  return m;
+}
+
+void ClassifyInside(const media::Rgb* px, size_t n, const ColorBox& box,
+                    uint8_t* out) {
+  const BoxLanes lanes = MakeBoxLanes(box);
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(px);
+  size_t i = 0;
+  for (; i + 10 <= n; i += 8) {
+    const int bits = _mm256_movemask_ps(
+        _mm256_castsi256_ps(InsideMask(LoadRgb8(bytes + 3 * i), lanes)));
+    for (int j = 0; j < 8; ++j) {
+      out[i + j] = static_cast<uint8_t>((bits >> j) & 1);
+    }
+  }
+  scalar::ClassifyInside(px + i, n - i, box, out + i);
+}
+
+void ClassifyOutside(const media::Rgb* px, size_t n, const ColorBox* boxes,
+                     size_t num_boxes, uint8_t* out) {
+  if (num_boxes > kMaxBoxLanes) {
+    scalar::ClassifyOutside(px, n, boxes, num_boxes, out);
+    return;
+  }
+  BoxLanes lanes[kMaxBoxLanes];
+  for (size_t bi = 0; bi < num_boxes; ++bi) lanes[bi] = MakeBoxLanes(boxes[bi]);
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(px);
+  size_t i = 0;
+  for (; i + 10 <= n; i += 8) {
+    const RgbLanes v = LoadRgb8(bytes + 3 * i);
+    __m256i any = _mm256_setzero_si256();
+    for (size_t bi = 0; bi < num_boxes; ++bi) {
+      any = _mm256_or_si256(any, InsideMask(v, lanes[bi]));
+    }
+    const int bits = _mm256_movemask_ps(_mm256_castsi256_ps(any));
+    for (int j = 0; j < 8; ++j) {
+      out[i + j] = static_cast<uint8_t>(((bits >> j) & 1) ^ 1);
+    }
+  }
+  scalar::ClassifyOutside(px + i, n - i, boxes, num_boxes, out + i);
+}
+
+uint64_t CountInside(const media::Rgb* px, size_t n, const ColorBox& box) {
+  const BoxLanes lanes = MakeBoxLanes(box);
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(px);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 10 <= n; i += 8) {
+    const int bits = _mm256_movemask_ps(
+        _mm256_castsi256_ps(InsideMask(LoadRgb8(bytes + 3 * i), lanes)));
+    count += static_cast<unsigned>(std::popcount(static_cast<unsigned>(bits)));
+  }
+  return count + scalar::CountInside(px + i, n - i, box);
+}
+
+inline __m256i SkinMask(const RgbLanes& v) {
+  const __m256i d = _mm256_sub_epi32(v.r, v.b);
+  const __m256i gb = _mm256_sub_epi32(v.g, v.b);
+  __m256i m = _mm256_cmpgt_epi32(v.r, _mm256_set1_epi32(80));
+  m = _mm256_and_si256(m, _mm256_cmpgt_epi32(v.r, v.g));
+  m = _mm256_and_si256(m, _mm256_cmpgt_epi32(v.g, v.b));
+  m = _mm256_and_si256(m, _mm256_cmpgt_epi32(d, _mm256_set1_epi32(14)));
+  m = _mm256_and_si256(
+      m, _mm256_cmpgt_epi32(_mm256_mullo_epi32(d, _mm256_set1_epi32(10)),
+                            v.r));
+  m = _mm256_and_si256(
+      m, _mm256_cmpgt_epi32(_mm256_mullo_epi32(v.r, _mm256_set1_epi32(3)),
+                            _mm256_mullo_epi32(d, _mm256_set1_epi32(4))));
+  m = _mm256_and_si256(
+      m, _mm256_cmpgt_epi32(_mm256_mullo_epi32(d, _mm256_set1_epi32(5)),
+                            _mm256_mullo_epi32(gb, _mm256_set1_epi32(6))));
+  return m;
+}
+
+uint64_t CountSkin(const media::Rgb* px, size_t n) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(px);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 10 <= n; i += 8) {
+    const int bits = _mm256_movemask_ps(
+        _mm256_castsi256_ps(SkinMask(LoadRgb8(bytes + 3 * i))));
+    count += static_cast<unsigned>(std::popcount(static_cast<unsigned>(bits)));
+  }
+  return count + scalar::CountSkin(px + i, n - i);
+}
+
+void GraySums(const media::Rgb* px, size_t n, struct GraySums* sums) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(px);
+  __m256i acc_sum = _mm256_setzero_si256();
+  __m256i acc_sq = _mm256_setzero_si256();
+  alignas(32) uint32_t bin[8];
+  size_t i = 0;
+  for (; i + 10 <= n; i += 8) {
+    const RgbLanes v = LoadRgb8(bytes + 3 * i);
+    const __m256i lm = _mm256_add_epi32(
+        _mm256_add_epi32(_mm256_mullo_epi32(v.r, _mm256_set1_epi32(299)),
+                         _mm256_mullo_epi32(v.g, _mm256_set1_epi32(587))),
+        _mm256_mullo_epi32(v.b, _mm256_set1_epi32(114)));
+    const __m256i hbin = _mm256_srli_epi32(
+        _mm256_mullo_epi32(_mm256_srli_epi32(lm, 3), _mm256_set1_epi32(67109)),
+        23);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(bin), hbin);
+    for (int j = 0; j < 8; ++j) ++sums->hist[bin[j]];
+    acc_sum = AddWidened(acc_sum, lm);
+    acc_sq = _mm256_add_epi64(acc_sq, _mm256_mul_epu32(lm, lm));
+    const __m256i odd = _mm256_srli_epi64(lm, 32);
+    acc_sq = _mm256_add_epi64(acc_sq, _mm256_mul_epu32(odd, odd));
+  }
+  sums->sum_milli += HorizontalSum64(acc_sum);
+  sums->sum2_milli += HorizontalSum64(acc_sq);
+  sums->count += i;
+  scalar::GraySums(px + i, n - i, sums);
+}
+
+void ColorSums(const media::Rgb* px, size_t n, struct ColorSums* sums) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(px);
+  __m256i acc_sum[3] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
+                        _mm256_setzero_si256()};
+  __m256i acc_sq[3] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
+                       _mm256_setzero_si256()};
+  size_t i = 0;
+  for (; i + 10 <= n; i += 8) {
+    const RgbLanes v = LoadRgb8(bytes + 3 * i);
+    const __m256i* ch[3] = {&v.r, &v.g, &v.b};
+    for (int c = 0; c < 3; ++c) {
+      acc_sum[c] = AddWidened(acc_sum[c], *ch[c]);
+      acc_sq[c] = AddWidened(acc_sq[c], _mm256_mullo_epi32(*ch[c], *ch[c]));
+    }
+  }
+  for (int c = 0; c < 3; ++c) {
+    sums->sum[c] += HorizontalSum64(acc_sum[c]);
+    sums->sum2[c] += HorizontalSum64(acc_sq[c]);
+  }
+  sums->count += i;
+  scalar::ColorSums(px + i, n - i, sums);
+}
+
+uint64_t AbsDiffSum(const media::Rgb* a, const media::Rgb* b, size_t n) {
+  const uint8_t* pa = reinterpret_cast<const uint8_t*>(a);
+  const uint8_t* pb = reinterpret_cast<const uint8_t*>(b);
+  const size_t m = 3 * n;
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= m; i += 32) {
+    acc = _mm256_add_epi64(
+        acc,
+        _mm256_sad_epu8(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa + i)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb + i))));
+  }
+  uint64_t total = HorizontalSum64(acc);
+  for (; i < m; ++i) {
+    total += static_cast<uint64_t>(
+        std::abs(static_cast<int>(pa[i]) - static_cast<int>(pb[i])));
+  }
+  return total;
+}
+
+uint64_t ByteSum(const uint8_t* bytes, size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc = _mm256_add_epi64(
+        acc,
+        _mm256_sad_epu8(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bytes + i)),
+            zero));
+  }
+  uint64_t total = HorizontalSum64(acc);
+  for (; i < n; ++i) total += bytes[i];
+  return total;
+}
+
+}  // namespace avx2
+
+#pragma GCC pop_options
+
+constexpr KernelOps kSse41Ops = {
+    sse41::Histogram,      sse41::L1,          sse41::ChiSquare,
+    sse41::IntersectionSum, sse41::ClassifyInside,
+    sse41::ClassifyOutside, sse41::CountInside, sse41::CountSkin,
+    sse41::GraySums,       sse41::ColorSums,   sse41::AbsDiffSum,
+    sse41::ByteSum,
+};
+
+constexpr KernelOps kAvx2Ops = {
+    avx2::Histogram,      avx2::L1,          avx2::ChiSquare,
+    avx2::IntersectionSum, avx2::ClassifyInside,
+    avx2::ClassifyOutside, avx2::CountInside, avx2::CountSkin,
+    avx2::GraySums,       avx2::ColorSums,   avx2::AbsDiffSum,
+    avx2::ByteSum,
+};
+
+#endif  // COBRA_SIMD_X86
+
+SimdLevel Detect() {
+#if COBRA_SIMD_X86
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse4.1")) return SimdLevel::kSse41;
+#endif
+  return SimdLevel::kScalar;
+}
+
+// -1 means "auto" (BestSupportedLevel); otherwise a forced SimdLevel.
+std::atomic<int> g_forced_level{-1};
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse41:
+      return "sse4.1";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const KernelOps& ScalarOps() { return kScalarOps; }
+
+SimdLevel BestSupportedLevel() {
+  static const SimdLevel best = Detect();
+  return best;
+}
+
+const KernelOps* OpsFor(SimdLevel level) {
+  if (level == SimdLevel::kScalar) return &kScalarOps;
+#if COBRA_SIMD_X86
+  if (static_cast<int>(level) > static_cast<int>(BestSupportedLevel())) {
+    return nullptr;
+  }
+  if (level == SimdLevel::kSse41) return &kSse41Ops;
+  if (level == SimdLevel::kAvx2) return &kAvx2Ops;
+#endif
+  return nullptr;
+}
+
+SimdLevel ActiveLevel() {
+  const int forced = g_forced_level.load(std::memory_order_relaxed);
+  return forced < 0 ? BestSupportedLevel() : static_cast<SimdLevel>(forced);
+}
+
+SimdLevel SetActiveLevel(SimdLevel level) {
+  int clamped = static_cast<int>(level);
+  while (clamped > 0 && OpsFor(static_cast<SimdLevel>(clamped)) == nullptr) {
+    --clamped;
+  }
+  const SimdLevel previous = ActiveLevel();
+  g_forced_level.store(clamped, std::memory_order_relaxed);
+  return previous;
+}
+
+const KernelOps& Ops() { return *OpsFor(ActiveLevel()); }
+
+}  // namespace cobra::vision::kernels

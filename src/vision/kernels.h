@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file kernels.h
+/// Batch pixel kernels for the vision hot path, with runtime SIMD dispatch.
+///
+/// Every detector in the tennis pipeline — histogram differencing for shot
+/// boundaries, dominant-color / skin-ratio shot classification, and
+/// color-segmentation player tracking — bottoms out in per-pixel loops. This
+/// layer replaces those loops with row-pointer batch kernels: each operates
+/// on a contiguous `const media::Rgb*` span (see `Frame::Row`) and ships a
+/// portable scalar reference plus SSE4.1 and AVX2 implementations selected
+/// once at runtime via CPUID (`__builtin_cpu_supports`).
+///
+/// Exactness guarantees (see DESIGN.md §4d):
+///  - Integer-accumulator kernels (histogram counts, box/skin classification
+///    and counting, gray/luma sums, color-model sums, absolute differences,
+///    byte sums) produce bit-identical results at every SIMD level: integer
+///    addition is associative, so vector lane order does not matter, and the
+///    ragged tails fall back to the same per-element operations.
+///  - The double-precision distance kernels use a fixed 4-lane accumulation
+///    tree at every level (element i is added into partial i mod 4; partials
+///    combine as (s0+s1)+(s2+s3)), so scalar, SSE4.1, and AVX2 results are
+///    bit-identical to each other as well.
+///
+/// Compile-time gating: the SIMD paths exist only when the `COBRA_SIMD`
+/// CMake option is ON and the target is x86-64 GCC/Clang; otherwise only the
+/// scalar tier is compiled and dispatch degenerates to it.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "media/color.h"
+
+namespace cobra::vision::kernels {
+
+/// Instruction-set tiers, ordered. SSE4.1 is the baseline vector tier (the
+/// RGB24 deinterleave needs SSSE3 pshufb and the bin math SSE4.1 pmulld, so
+/// a pure-SSE2 tier would be byte-swizzle-bound and is not provided).
+enum class SimdLevel { kScalar = 0, kSse41 = 1, kAvx2 = 2 };
+
+const char* SimdLevelName(SimdLevel level);
+
+/// BT.601 luma scaled by 1000 ("luma-milli"): 299 r + 587 g + 114 b.
+/// Integer-exact; `LumaMilli(p) / 1000` is the 256-bin gray histogram bin
+/// and `LumaMilli(p) / 1000.0` equals `Rgb::Luma()` up to one rounding.
+inline uint32_t LumaMilli(media::Rgb p) {
+  return 299u * p.r + 587u * p.g + 114u * p.b;
+}
+
+/// Inclusive per-channel byte bounds; the integer-exact form of a k-sigma
+/// Gaussian color-model match (see GaussianColorModel::MatchBox) or any
+/// axis-aligned RGB box test. Default-constructed boxes match nothing.
+struct ColorBox {
+  uint8_t lo[3] = {255, 255, 255};
+  uint8_t hi[3] = {0, 0, 0};
+
+  bool Contains(media::Rgb p) const {
+    return p.r >= lo[0] && p.r <= hi[0] && p.g >= lo[1] && p.g <= hi[1] &&
+           p.b >= lo[2] && p.b <= hi[2];
+  }
+};
+
+/// Accumulated gray/luma statistics in the exact luma-milli domain.
+/// `sum2_milli` holds squares of luma-milli values (<= 65 025 000 000 each),
+/// so the uint64 accumulator is exact up to ~2.8e8 pixels — five orders of
+/// magnitude beyond a full analysis-resolution video frame.
+struct GraySums {
+  uint64_t count = 0;
+  uint64_t sum_milli = 0;   ///< sum of LumaMilli(p)
+  uint64_t sum2_milli = 0;  ///< sum of LumaMilli(p)^2
+  uint32_t hist[256] = {};  ///< 256-bin luma histogram (bin = LumaMilli/1000)
+};
+
+/// Accumulated per-channel sums for Gaussian color-model fitting.
+struct ColorSums {
+  uint64_t count = 0;
+  uint64_t sum[3] = {};   ///< sum of r, g, b
+  uint64_t sum2[3] = {};  ///< sum of r^2, g^2, b^2
+};
+
+/// One tier of batch kernels. All pixel spans are contiguous `Rgb` triples
+/// (`Frame::Row` layout); all kernels accept n == 0.
+struct KernelOps {
+  /// (a) 3-D histogram binning: increments `bins` (size B^3, caller-zeroed
+  /// or accumulated across calls) at ((r/w)*B + g/w)*B + b/w, w = 256/B.
+  /// Requires B a divisor of 256 (hence a power of two).
+  void (*histogram)(const media::Rgb* px, size_t n, int bins_per_channel,
+                    uint32_t* bins);
+
+  /// (b) Histogram distances over already-normalized double bins.
+  double (*l1)(const double* a, const double* b, size_t n);
+  double (*chi_square)(const double* a, const double* b, size_t n);
+  /// Returns sum(min(a_i, b_i)); intersection distance is 1 - this.
+  double (*intersection_sum)(const double* a, const double* b, size_t n);
+
+  /// (c) Color classification against hoisted per-channel bounds.
+  /// `out[i]` = 1 if px[i] is inside the box (respectively outside every one
+  /// of the `num_boxes` boxes), else 0 — BinaryMask byte convention.
+  void (*classify_inside)(const media::Rgb* px, size_t n, const ColorBox& box,
+                          uint8_t* out);
+  void (*classify_outside)(const media::Rgb* px, size_t n,
+                           const ColorBox* boxes, size_t num_boxes,
+                           uint8_t* out);
+  uint64_t (*count_inside)(const media::Rgb* px, size_t n,
+                           const ColorBox& box);
+  /// Pixels satisfying media::IsSkinColor (integer-exact predicate).
+  uint64_t (*count_skin)(const media::Rgb* px, size_t n);
+
+  /// (d) Gray/luma statistics and color-model sums; accumulate into *sums.
+  void (*gray_sums)(const media::Rgb* px, size_t n, GraySums* sums);
+  void (*color_sums)(const media::Rgb* px, size_t n, ColorSums* sums);
+
+  /// (e) Absolute frame differencing: sum over all channel bytes of
+  /// |a - b|. Divide by 3n for mean absolute pixel difference.
+  uint64_t (*abs_diff_sum)(const media::Rgb* a, const media::Rgb* b,
+                           size_t n);
+  /// Plain byte sum; counts set pixels of a BinaryMask's 0/1 bytes.
+  uint64_t (*byte_sum)(const uint8_t* bytes, size_t n);
+};
+
+/// The portable scalar reference tier (always available).
+const KernelOps& ScalarOps();
+
+/// Ops table for `level`, or nullptr if that tier is compiled out or the
+/// CPU lacks the instructions. `kScalar` never returns nullptr.
+const KernelOps* OpsFor(SimdLevel level);
+
+/// Highest tier available on this build + CPU (computed once).
+SimdLevel BestSupportedLevel();
+
+/// The tier `Ops()` currently dispatches to: `BestSupportedLevel()` unless
+/// overridden by `SetActiveLevel`.
+SimdLevel ActiveLevel();
+
+/// Forces dispatch to (at most) `level`, clamping down to the nearest
+/// available tier. Returns the previously active level. Intended for tests
+/// and benches that compare tiers within one binary; not synchronized with
+/// concurrent kernel users.
+SimdLevel SetActiveLevel(SimdLevel level);
+
+/// The active ops table. Hoist `const KernelOps& ops = Ops();` out of row
+/// loops; the lookup is an atomic load but free is still better than cheap.
+const KernelOps& Ops();
+
+}  // namespace cobra::vision::kernels

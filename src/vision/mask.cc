@@ -6,9 +6,8 @@
 namespace cobra::vision {
 
 int64_t BinaryMask::Count() const {
-  int64_t n = 0;
-  for (uint8_t b : bits_) n += b;
-  return n;
+  return static_cast<int64_t>(
+      kernels::Ops().byte_sum(bits_.data(), bits_.size()));
 }
 
 RectI BinaryMask::BoundingBox() const {
@@ -81,6 +80,33 @@ BinaryMask BinaryMask::FromPredicate(
     for (int x = r.x; x < r.Right(); ++x) {
       if (predicate(frame.At(x, y))) out.Set(x, y, true);
     }
+  }
+  return out;
+}
+
+BinaryMask BinaryMask::FromColorBox(const media::Frame& frame,
+                                    const RectI& roi,
+                                    const kernels::ColorBox& box) {
+  BinaryMask out(frame.width(), frame.height());
+  RectI r = roi.ClipTo(frame.width(), frame.height());
+  const kernels::KernelOps& ops = kernels::Ops();
+  for (int y = r.y; y < r.Bottom(); ++y) {
+    ops.classify_inside(frame.Row(y) + r.x, static_cast<size_t>(r.width), box,
+                        out.bits_.data() + out.Index(r.x, y));
+  }
+  return out;
+}
+
+BinaryMask BinaryMask::FromOutsideColorBoxes(const media::Frame& frame,
+                                             const RectI& roi,
+                                             const kernels::ColorBox* boxes,
+                                             size_t num_boxes) {
+  BinaryMask out(frame.width(), frame.height());
+  RectI r = roi.ClipTo(frame.width(), frame.height());
+  const kernels::KernelOps& ops = kernels::Ops();
+  for (int y = r.y; y < r.Bottom(); ++y) {
+    ops.classify_outside(frame.Row(y) + r.x, static_cast<size_t>(r.width),
+                         boxes, num_boxes, out.bits_.data() + out.Index(r.x, y));
   }
   return out;
 }

@@ -10,6 +10,7 @@
 
 #include "media/frame.h"
 #include "util/geometry.h"
+#include "vision/kernels.h"
 
 namespace cobra::vision {
 
@@ -52,6 +53,20 @@ class BinaryMask {
   static BinaryMask FromPredicate(
       const media::Frame& frame, const RectI& roi,
       const std::function<bool(const media::Rgb&)>& predicate);
+
+  /// Builds the mask of pixels inside `box` within `roi` (clipped; pixels
+  /// outside stay 0). Batch-kernel fast path for color-model match tests
+  /// (see GaussianColorModel::MatchBox); equivalent to FromPredicate with
+  /// `box.Contains` but runs SIMD-wide.
+  static BinaryMask FromColorBox(const media::Frame& frame, const RectI& roi,
+                                 const kernels::ColorBox& box);
+
+  /// Builds the mask of pixels belonging to NONE of `boxes` within `roi` —
+  /// the foreground-extraction shape the player tracker uses.
+  static BinaryMask FromOutsideColorBoxes(const media::Frame& frame,
+                                          const RectI& roi,
+                                          const kernels::ColorBox* boxes,
+                                          size_t num_boxes);
 
  private:
   size_t Index(int x, int y) const {

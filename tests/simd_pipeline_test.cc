@@ -1,0 +1,160 @@
+// Acceptance test for the kernel layer's exactness contract: running the
+// full detector pipeline — shot boundaries, shot classification, player
+// tracking — with kernels forced to the scalar tier must produce *identical*
+// outputs to the best SIMD tier on the same binary (see DESIGN.md §4d for
+// why this holds by construction). In a -DCOBRA_SIMD=OFF build (or on a CPU
+// without SSE4.1) only the scalar tier exists and the test skips.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "detectors/player_tracker.h"
+#include "detectors/shot_boundary.h"
+#include "detectors/shot_classifier.h"
+#include "media/tennis_synthesizer.h"
+#include "vision/kernels.h"
+
+namespace cobra::detectors {
+namespace {
+
+using media::Broadcast;
+using media::TennisBroadcastSynthesizer;
+using media::TennisSynthConfig;
+using vision::kernels::ActiveLevel;
+using vision::kernels::BestSupportedLevel;
+using vision::kernels::SetActiveLevel;
+using vision::kernels::SimdLevel;
+using vision::kernels::SimdLevelName;
+
+const Broadcast& SharedBroadcast() {
+  static const Broadcast* broadcast = [] {
+    TennisSynthConfig config;
+    config.width = 128;
+    config.height = 96;
+    config.num_points = 3;
+    config.min_court_frames = 50;
+    config.max_court_frames = 80;
+    config.min_cutaway_frames = 16;
+    config.max_cutaway_frames = 24;
+    config.noise_sigma = 4.0;
+    config.seed = 9;
+    auto result = TennisBroadcastSynthesizer(config).Synthesize();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return new Broadcast(std::move(result).TakeValue());
+  }();
+  return *broadcast;
+}
+
+struct PipelineOutput {
+  std::vector<double> distances;
+  std::vector<int64_t> boundaries;
+  std::vector<FrameInterval> gradual;
+  std::vector<ClassifiedShot> shots;
+  std::vector<PlayerTrack> tracks;
+};
+
+PipelineOutput RunPipeline(const Broadcast& b, SimdLevel level) {
+  const SimdLevel previous = SetActiveLevel(level);
+  EXPECT_EQ(ActiveLevel(), level);
+  PipelineOutput out;
+
+  ShotBoundaryDetector boundary_detector;
+  auto boundaries = boundary_detector.Detect(*b.video);
+  EXPECT_TRUE(boundaries.ok()) << boundaries.status().ToString();
+  out.distances = boundaries->distances;
+  out.boundaries = boundaries->boundaries;
+  out.gradual = boundaries->gradual;
+
+  std::vector<FrameInterval> shot_ranges;
+  for (const auto& s : b.truth.shots) shot_ranges.push_back(s.range);
+  ShotClassifier classifier;
+  auto classified = classifier.ClassifyAll(*b.video, shot_ranges);
+  EXPECT_TRUE(classified.ok()) << classified.status().ToString();
+  out.shots = std::move(classified).TakeValue();
+
+  for (const auto& s : b.truth.shots) {
+    if (s.category != media::ShotCategory::kTennis) continue;
+    PlayerTracker tracker;
+    auto tracked = tracker.Track(*b.video, s.range);
+    EXPECT_TRUE(tracked.ok()) << tracked.status().ToString();
+    for (auto& track : tracked->tracks) out.tracks.push_back(std::move(track));
+    break;  // one tracked shot exercises every tracker kernel
+  }
+
+  SetActiveLevel(previous);
+  return out;
+}
+
+void ExpectIdentical(const PipelineOutput& a, const PipelineOutput& b) {
+  // Distances are doubles produced by the fixed-tree kernels: bit-identical.
+  ASSERT_EQ(a.distances.size(), b.distances.size());
+  for (size_t i = 0; i < a.distances.size(); ++i) {
+    ASSERT_EQ(a.distances[i], b.distances[i]) << "distance " << i;
+  }
+  EXPECT_EQ(a.boundaries, b.boundaries);
+  ASSERT_EQ(a.gradual.size(), b.gradual.size());
+  for (size_t i = 0; i < a.gradual.size(); ++i) {
+    EXPECT_EQ(a.gradual[i], b.gradual[i]);
+  }
+
+  ASSERT_EQ(a.shots.size(), b.shots.size());
+  for (size_t i = 0; i < a.shots.size(); ++i) {
+    SCOPED_TRACE("shot " + std::to_string(i));
+    EXPECT_EQ(a.shots[i].category, b.shots[i].category);
+    EXPECT_EQ(a.shots[i].range, b.shots[i].range);
+    const ShotFeatures& fa = a.shots[i].features;
+    const ShotFeatures& fb = b.shots[i].features;
+    EXPECT_EQ(fa.dominant_ratio, fb.dominant_ratio);
+    EXPECT_EQ(fa.dominant_hue, fb.dominant_hue);
+    EXPECT_EQ(fa.dominant_saturation, fb.dominant_saturation);
+    EXPECT_EQ(fa.dominant_value, fb.dominant_value);
+    EXPECT_EQ(fa.skin_ratio, fb.skin_ratio);
+    EXPECT_EQ(fa.entropy, fb.entropy);
+    EXPECT_EQ(fa.luma_mean, fb.luma_mean);
+    EXPECT_EQ(fa.luma_variance, fb.luma_variance);
+  }
+
+  ASSERT_EQ(a.tracks.size(), b.tracks.size());
+  for (size_t t = 0; t < a.tracks.size(); ++t) {
+    SCOPED_TRACE("track " + std::to_string(t));
+    EXPECT_EQ(a.tracks[t].player_id, b.tracks[t].player_id);
+    ASSERT_EQ(a.tracks[t].points.size(), b.tracks[t].points.size());
+    for (size_t p = 0; p < a.tracks[t].points.size(); ++p) {
+      const TrackPoint& pa = a.tracks[t].points[p];
+      const TrackPoint& pb = b.tracks[t].points[p];
+      ASSERT_EQ(pa.frame, pb.frame);
+      ASSERT_EQ(pa.predicted_only, pb.predicted_only) << "point " << p;
+      ASSERT_EQ(pa.bbox, pb.bbox) << "point " << p;
+      ASSERT_EQ(pa.center.x, pb.center.x) << "point " << p;
+      ASSERT_EQ(pa.center.y, pb.center.y) << "point " << p;
+    }
+  }
+}
+
+TEST(SimdPipelineTest, ScalarAndSimdTiersProduceIdenticalDetectorOutputs) {
+  if (BestSupportedLevel() == SimdLevel::kScalar) {
+    GTEST_SKIP() << "scalar-only build/CPU: nothing to cross-check";
+  }
+  const Broadcast& b = SharedBroadcast();
+  const PipelineOutput scalar_out = RunPipeline(b, SimdLevel::kScalar);
+  const PipelineOutput simd_out = RunPipeline(b, BestSupportedLevel());
+  SCOPED_TRACE(std::string("simd tier: ") + SimdLevelName(BestSupportedLevel()));
+  ExpectIdentical(scalar_out, simd_out);
+}
+
+// Every *pair* of available tiers must agree, not just scalar vs best —
+// SSE4.1 stays honest even on AVX2 hosts.
+TEST(SimdPipelineTest, IntermediateTierAgreesWithScalar) {
+  if (vision::kernels::OpsFor(SimdLevel::kSse41) == nullptr ||
+      BestSupportedLevel() == SimdLevel::kSse41) {
+    GTEST_SKIP() << "no distinct intermediate tier";
+  }
+  const Broadcast& b = SharedBroadcast();
+  const PipelineOutput scalar_out = RunPipeline(b, SimdLevel::kScalar);
+  const PipelineOutput sse_out = RunPipeline(b, SimdLevel::kSse41);
+  ExpectIdentical(scalar_out, sse_out);
+}
+
+}  // namespace
+}  // namespace cobra::detectors

@@ -1,0 +1,374 @@
+// Property tests for the batch pixel kernels (vision/kernels.h): every SIMD
+// tier available on this build + CPU must agree with the portable scalar
+// reference — bit-for-bit for the integer kernels and for the fixed-tree
+// double distance kernels — across ragged widths 1..67, regions clipped to
+// frame edges, and empty regions. The suite is ASan/UBSan-friendly (no
+// over-reads: the vector main loops stop early and the tails are scalar).
+
+#include "vision/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "media/frame.h"
+#include "util/rng.h"
+#include "vision/color_model.h"
+#include "vision/gray_stats.h"
+#include "vision/histogram.h"
+#include "vision/mask.h"
+
+namespace cobra::vision::kernels {
+namespace {
+
+std::vector<SimdLevel> AvailableVectorLevels() {
+  std::vector<SimdLevel> levels;
+  for (SimdLevel level : {SimdLevel::kSse41, SimdLevel::kAvx2}) {
+    if (OpsFor(level) != nullptr) levels.push_back(level);
+  }
+  return levels;
+}
+
+// Mixes uniform colors with near-skin and near-gray ones so the predicate
+// kernels see both branches often.
+std::vector<media::Rgb> RandomPixels(size_t n, Rng& rng) {
+  std::vector<media::Rgb> px(n);
+  for (auto& p : px) {
+    switch (rng.NextBounded(3)) {
+      case 0:
+        p = media::Rgb{static_cast<uint8_t>(rng.NextBounded(256)),
+                       static_cast<uint8_t>(rng.NextBounded(256)),
+                       static_cast<uint8_t>(rng.NextBounded(256))};
+        break;
+      case 1:  // around the synthesizer's skin palette
+        p = media::Rgb{static_cast<uint8_t>(150 + rng.NextBounded(100)),
+                       static_cast<uint8_t>(100 + rng.NextBounded(90)),
+                       static_cast<uint8_t>(80 + rng.NextBounded(80))};
+        break;
+      default: {  // near-gray (exercises the box/skin boundaries)
+        uint8_t v = static_cast<uint8_t>(rng.NextBounded(256));
+        p = media::Rgb{v, static_cast<uint8_t>(v + rng.NextBounded(8)),
+                       static_cast<uint8_t>(v / 2 + rng.NextBounded(8))};
+        break;
+      }
+    }
+  }
+  return px;
+}
+
+ColorBox RandomBox(Rng& rng) {
+  ColorBox box;
+  for (int c = 0; c < 3; ++c) {
+    int a = static_cast<int>(rng.NextBounded(256));
+    int b = static_cast<int>(rng.NextBounded(256));
+    box.lo[c] = static_cast<uint8_t>(std::min(a, b));
+    box.hi[c] = static_cast<uint8_t>(std::max(a, b));
+  }
+  return box;
+}
+
+TEST(KernelDispatchTest, ScalarAlwaysAvailable) {
+  EXPECT_NE(OpsFor(SimdLevel::kScalar), nullptr);
+  EXPECT_EQ(&ScalarOps(), OpsFor(SimdLevel::kScalar));
+}
+
+TEST(KernelDispatchTest, SetActiveLevelClampsToSupported) {
+  const SimdLevel original = ActiveLevel();
+  SetActiveLevel(SimdLevel::kAvx2);
+  // Whatever the CPU, the active level must resolve to a real ops table.
+  EXPECT_NE(OpsFor(ActiveLevel()), nullptr);
+  SetActiveLevel(SimdLevel::kScalar);
+  EXPECT_EQ(ActiveLevel(), SimdLevel::kScalar);
+  SetActiveLevel(original);
+  EXPECT_EQ(ActiveLevel(), original);
+}
+
+TEST(KernelDispatchTest, LevelNamesAreStable) {
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kSse41), "sse4.1");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+// The SIMD gray kernel divides luma-milli by 1000 as ((v >> 3) * 67109)
+// >> 23 (1000 = 8 * 125; 67109 = ceil(2^23 / 125)); verify the magic
+// constant against exact integer division over the entire input domain
+// [0, 255000], and that the intermediate product never overflows uint32.
+TEST(LumaMilliTest, MagicDivisionMatchesExactDivision) {
+  for (uint32_t v = 0; v <= 255000; ++v) {
+    ASSERT_LE(static_cast<uint64_t>(v >> 3) * 67109u, 0x7FFFFFFFull) << v;
+    ASSERT_EQ(((v >> 3) * 67109u) >> 23, v / 1000u) << "v=" << v;
+  }
+}
+
+TEST(LumaMilliTest, MatchesDoubleLumaWithinOneStep) {
+  for (int r = 0; r < 256; r += 5) {
+    for (int g = 0; g < 256; g += 7) {
+      for (int b = 0; b < 256; b += 11) {
+        media::Rgb p{static_cast<uint8_t>(r), static_cast<uint8_t>(g),
+                     static_cast<uint8_t>(b)};
+        EXPECT_NEAR(LumaMilli(p) / 1000.0, p.Luma(), 1e-9);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD tier == scalar reference, across ragged span lengths 1..67.
+// ---------------------------------------------------------------------------
+
+TEST(KernelEquivalenceTest, PixelKernelsMatchScalarAcrossWidths) {
+  const auto levels = AvailableVectorLevels();
+  if (levels.empty()) GTEST_SKIP() << "no SIMD tier available on this build";
+  Rng rng(20260805);
+  for (SimdLevel level : levels) {
+    const KernelOps& simd = *OpsFor(level);
+    const KernelOps& ref = ScalarOps();
+    for (size_t n = 1; n <= 67; ++n) {
+      SCOPED_TRACE(std::string(SimdLevelName(level)) + " n=" +
+                   std::to_string(n));
+      const auto px = RandomPixels(n, rng);
+      const auto other = RandomPixels(n, rng);
+
+      // (a) histogram counts, several bin granularities.
+      for (int bins : {2, 8, 32}) {
+        const size_t total = static_cast<size_t>(bins) * bins * bins;
+        std::vector<uint32_t> got(total, 0), want(total, 0);
+        simd.histogram(px.data(), n, bins, got.data());
+        ref.histogram(px.data(), n, bins, want.data());
+        ASSERT_EQ(got, want) << "bins=" << bins;
+      }
+
+      // (c) classification and counting.
+      const ColorBox box = RandomBox(rng);
+      const ColorBox boxes[3] = {RandomBox(rng), RandomBox(rng), box};
+      std::vector<uint8_t> got_mask(n, 0xCD), want_mask(n, 0xAB);
+      simd.classify_inside(px.data(), n, box, got_mask.data());
+      ref.classify_inside(px.data(), n, box, want_mask.data());
+      ASSERT_EQ(got_mask, want_mask);
+      simd.classify_outside(px.data(), n, boxes, 3, got_mask.data());
+      ref.classify_outside(px.data(), n, boxes, 3, want_mask.data());
+      ASSERT_EQ(got_mask, want_mask);
+      ASSERT_EQ(simd.count_inside(px.data(), n, box),
+                ref.count_inside(px.data(), n, box));
+      ASSERT_EQ(simd.count_skin(px.data(), n), ref.count_skin(px.data(), n));
+
+      // (d) gray and color sums.
+      GraySums got_gray, want_gray;
+      simd.gray_sums(px.data(), n, &got_gray);
+      ref.gray_sums(px.data(), n, &want_gray);
+      ASSERT_EQ(got_gray.count, want_gray.count);
+      ASSERT_EQ(got_gray.sum_milli, want_gray.sum_milli);
+      ASSERT_EQ(got_gray.sum2_milli, want_gray.sum2_milli);
+      for (int bin = 0; bin < 256; ++bin) {
+        ASSERT_EQ(got_gray.hist[bin], want_gray.hist[bin]) << "bin " << bin;
+      }
+      ColorSums got_color, want_color;
+      simd.color_sums(px.data(), n, &got_color);
+      ref.color_sums(px.data(), n, &want_color);
+      ASSERT_EQ(got_color.count, want_color.count);
+      for (int c = 0; c < 3; ++c) {
+        ASSERT_EQ(got_color.sum[c], want_color.sum[c]);
+        ASSERT_EQ(got_color.sum2[c], want_color.sum2[c]);
+      }
+
+      // (e) differencing and byte sums.
+      ASSERT_EQ(simd.abs_diff_sum(px.data(), other.data(), n),
+                ref.abs_diff_sum(px.data(), other.data(), n));
+      ASSERT_EQ(simd.byte_sum(got_mask.data(), n),
+                ref.byte_sum(got_mask.data(), n));
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, DistanceKernelsAreBitIdenticalAcrossLevels) {
+  const auto levels = AvailableVectorLevels();
+  if (levels.empty()) GTEST_SKIP() << "no SIMD tier available on this build";
+  Rng rng(77);
+  for (SimdLevel level : levels) {
+    const KernelOps& simd = *OpsFor(level);
+    const KernelOps& ref = ScalarOps();
+    for (size_t n = 1; n <= 67; ++n) {
+      SCOPED_TRACE(std::string(SimdLevelName(level)) + " n=" +
+                   std::to_string(n));
+      std::vector<double> a(n), b(n);
+      for (size_t i = 0; i < n; ++i) {
+        // Sparse histograms: many zero bins, including bins where both
+        // sides are zero (the chi-square guard lane).
+        a[i] = rng.NextBounded(4) == 0 ? 0.0 : rng.NextDouble();
+        b[i] = rng.NextBounded(4) == 0 ? 0.0 : rng.NextDouble();
+        if (rng.NextBounded(8) == 0) a[i] = b[i] = 0.0;
+      }
+      EXPECT_EQ(simd.l1(a.data(), b.data(), n), ref.l1(a.data(), b.data(), n));
+      EXPECT_EQ(simd.chi_square(a.data(), b.data(), n),
+                ref.chi_square(a.data(), b.data(), n));
+      EXPECT_EQ(simd.intersection_sum(a.data(), b.data(), n),
+                ref.intersection_sum(a.data(), b.data(), n));
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, AllKernelsAcceptEmptySpans) {
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kSse41, SimdLevel::kAvx2}) {
+    const KernelOps* ops = OpsFor(level);
+    if (ops == nullptr) continue;
+    const media::Rgb* px = nullptr;
+    uint32_t bins[8] = {};
+    EXPECT_NO_FATAL_FAILURE(ops->histogram(px, 0, 2, bins));
+    EXPECT_EQ(ops->l1(nullptr, nullptr, 0), 0.0);
+    EXPECT_EQ(ops->count_skin(px, 0), 0u);
+    EXPECT_EQ(ops->count_inside(px, 0, ColorBox{}), 0u);
+    GraySums gray;
+    ops->gray_sums(px, 0, &gray);
+    EXPECT_EQ(gray.count, 0u);
+    EXPECT_EQ(ops->byte_sum(nullptr, 0), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// High-level wrappers: edge-clipped and empty regions, and hoisted boxes.
+// ---------------------------------------------------------------------------
+
+media::Frame RandomFrame(int w, int h, Rng& rng) {
+  media::Frame frame(w, h);
+  const auto px = RandomPixels(static_cast<size_t>(w) * h, rng);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      frame.At(x, y) = px[static_cast<size_t>(y) * w + x];
+    }
+  }
+  return frame;
+}
+
+TEST(KernelRegionTest, RowAccessorIsContiguous) {
+  Rng rng(5);
+  media::Frame frame = RandomFrame(13, 7, rng);
+  ASSERT_EQ(frame.Row(0), frame.pixels().data());
+  for (int y = 0; y < frame.height(); ++y) {
+    EXPECT_EQ(frame.Row(y), frame.pixels().data() + y * frame.width());
+    for (int x = 0; x < frame.width(); ++x) {
+      EXPECT_EQ(frame.Row(y)[x], frame.At(x, y));
+    }
+  }
+}
+
+TEST(KernelRegionTest, HistogramFromClippedRegionMatchesManualCount) {
+  Rng rng(11);
+  for (int w : {1, 2, 5, 16, 33, 67}) {
+    media::Frame frame = RandomFrame(w, 9, rng);
+    // Deliberately overhangs every frame edge.
+    const RectI rect{-3, -2, w + 5, 20};
+    auto hist = ColorHistogram::FromRegion(frame, rect, 8);
+    ASSERT_TRUE(hist.ok());
+    const RectI r = rect.ClipTo(frame.width(), frame.height());
+    std::vector<uint32_t> manual(512, 0);
+    for (int y = r.y; y < r.Bottom(); ++y) {
+      for (int x = r.x; x < r.Right(); ++x) {
+        const media::Rgb& p = frame.At(x, y);
+        manual[(static_cast<size_t>(p.r / 32) * 8 + p.g / 32) * 8 + p.b / 32]++;
+      }
+    }
+    for (size_t bin = 0; bin < manual.size(); ++bin) {
+      ASSERT_EQ(hist->At(bin),
+                manual[bin] / static_cast<double>(r.Area()))
+          << "w=" << w << " bin=" << bin;
+    }
+  }
+}
+
+TEST(KernelRegionTest, EmptyRegionsAreHandled) {
+  Rng rng(13);
+  media::Frame frame = RandomFrame(8, 8, rng);
+  EXPECT_FALSE(ColorHistogram::FromRegion(frame, RectI{20, 20, 4, 4}).ok());
+  GrayStats empty = ComputeGrayStats(frame, RectI{-5, -5, 2, 2});
+  EXPECT_EQ(empty.mean, 0.0);
+  EXPECT_EQ(empty.entropy, 0.0);
+  GaussianColorModel model =
+      GaussianColorModel::FromRegion(frame, RectI{9, 0, 5, 5});
+  EXPECT_EQ(model.count(), 0);
+}
+
+TEST(KernelRegionTest, AddRegionMatchesPerPixelAdd) {
+  Rng rng(17);
+  for (int w : {1, 3, 17, 41}) {
+    media::Frame frame = RandomFrame(w, 11, rng);
+    const RectI rect{-1, 2, w + 3, 6};
+    GaussianColorModel batch;
+    batch.AddRegion(frame, rect);
+    GaussianColorModel manual;
+    const RectI r = rect.ClipTo(frame.width(), frame.height());
+    for (int y = r.y; y < r.Bottom(); ++y) {
+      for (int x = r.x; x < r.Right(); ++x) manual.Add(frame.At(x, y));
+    }
+    ASSERT_EQ(batch.count(), manual.count());
+    // Integer channel sums are exact in double, so these are bitwise equal.
+    EXPECT_EQ(batch.mean_r(), manual.mean_r());
+    EXPECT_EQ(batch.mean_g(), manual.mean_g());
+    EXPECT_EQ(batch.mean_b(), manual.mean_b());
+    EXPECT_EQ(batch.var_r(), manual.var_r());
+    EXPECT_EQ(batch.var_g(), manual.var_g());
+    EXPECT_EQ(batch.var_b(), manual.var_b());
+  }
+}
+
+TEST(KernelRegionTest, MatchesAgreesWithMatchBox) {
+  Rng rng(19);
+  media::Frame frame = RandomFrame(23, 9, rng);
+  GaussianColorModel model =
+      GaussianColorModel::FromRegion(frame, RectI{0, 0, 23, 9});
+  const auto samples = RandomPixels(512, rng);
+  for (double k : {0.5, 1.0, 3.0}) {
+    const ColorBox box = model.MatchBox(k);
+    for (const media::Rgb& p : samples) {
+      ASSERT_EQ(model.Matches(p, k), box.Contains(p));
+    }
+  }
+}
+
+TEST(KernelRegionTest, MaskBuildersMatchPredicateForms) {
+  Rng rng(23);
+  for (int w : {1, 7, 31, 67}) {
+    media::Frame frame = RandomFrame(w, 8, rng);
+    const RectI roi{-2, 1, w, 9};  // clipped on three sides
+    const ColorBox a = RandomBox(rng), b = RandomBox(rng);
+
+    BinaryMask inside = BinaryMask::FromColorBox(frame, roi, a);
+    BinaryMask inside_ref = BinaryMask::FromPredicate(
+        frame, roi, [&](const media::Rgb& p) { return a.Contains(p); });
+    const ColorBox boxes[2] = {a, b};
+    BinaryMask outside = BinaryMask::FromOutsideColorBoxes(frame, roi, boxes, 2);
+    BinaryMask outside_ref = BinaryMask::FromPredicate(
+        frame, roi, [&](const media::Rgb& p) {
+          return !a.Contains(p) && !b.Contains(p);
+        });
+    ASSERT_EQ(inside.Count(), inside_ref.Count());
+    ASSERT_EQ(outside.Count(), outside_ref.Count());
+    for (int y = 0; y < frame.height(); ++y) {
+      for (int x = 0; x < frame.width(); ++x) {
+        ASSERT_EQ(inside.At(x, y), inside_ref.At(x, y)) << x << "," << y;
+        ASSERT_EQ(outside.At(x, y), outside_ref.At(x, y)) << x << "," << y;
+      }
+    }
+  }
+}
+
+TEST(KernelRegionTest, MeanAbsFrameDifference) {
+  media::Frame a(4, 3, media::Rgb{10, 20, 30});
+  media::Frame b(4, 3, media::Rgb{13, 18, 30});
+  // |10-13| + |20-18| + |30-30| = 5 over 3 channel bytes per pixel.
+  EXPECT_NEAR(MeanAbsFrameDifference(a, b), 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(MeanAbsFrameDifference(a, media::Frame(2, 2)), 0.0);
+  EXPECT_EQ(MeanAbsFrameDifference(media::Frame(), media::Frame()), 0.0);
+}
+
+TEST(KernelRegionTest, SkinCountMatchesIsSkinColor) {
+  Rng rng(29);
+  const auto px = RandomPixels(4096, rng);
+  uint64_t manual = 0;
+  for (const auto& p : px) manual += media::IsSkinColor(p) ? 1 : 0;
+  EXPECT_EQ(Ops().count_skin(px.data(), px.size()), manual);
+  EXPECT_EQ(ScalarOps().count_skin(px.data(), px.size()), manual);
+}
+
+}  // namespace
+}  // namespace cobra::vision::kernels
