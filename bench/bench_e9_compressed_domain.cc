@@ -13,7 +13,9 @@
 #include "detectors/compressed_shot_boundary.h"
 #include "detectors/shot_boundary.h"
 #include "media/block_codec.h"
+#include "util/simd.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -87,6 +89,59 @@ void RunComparison() {
   bench::PrintRule();
 }
 
+/// GOP-parallel full decode: every I-frame is a random-access point, so
+/// independent GOPs decode concurrently on a thread pool. Frames are
+/// bit-identical to the sequential scan (the tier-1 property tests assert
+/// it); this table reports the wall-time side of that trade.
+void RunGopParallelDecode() {
+  bench::PrintHeader("E9", "GOP-parallel decode (DecodeAll)");
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(bench::DefaultBroadcast()).Synthesize()
+          .TakeValue();
+  auto encoded = media::BlockVideoEncoder::Encode(*broadcast.video).TakeValue();
+  media::CodedVideoSource source(std::move(encoded));
+  std::printf("%lld frames, %lld GOPs, active SIMD tier: %s\n",
+              static_cast<long long>(source.num_frames()),
+              static_cast<long long>(source.encoded().NumGops()),
+              util::simd::SimdLevelName(util::simd::CpuBestLevel()));
+  std::printf("%-24s %12s\n", "configuration", "wall ms");
+
+  util::simd::SetForcedLevel(0);  // the seed decoder's (scalar) DCT tier
+  source.DecodeAll().TakeValue();  // warm-up
+  bench::WallTimer scalar_timer;
+  source.DecodeAll().TakeValue();
+  double scalar_ms = scalar_timer.Millis();
+  util::simd::SetForcedLevel(-1);
+  std::printf("%-24s %12.1f\n", "sequential, scalar DCT", scalar_ms);
+  bench::PrintJsonMetric("e9_compressed_domain",
+                         "decode_all_wall_ms_seq_scalar", scalar_ms);
+
+  source.DecodeAll().TakeValue();  // warm-up
+  bench::WallTimer timer;
+  source.DecodeAll().TakeValue();
+  double seq_ms = timer.Millis();
+  std::printf("%-24s %12.1f\n", "sequential", seq_ms);
+  bench::PrintJsonMetric("e9_compressed_domain", "decode_all_wall_ms_seq",
+                         seq_ms);
+  bench::PrintJsonMetric("e9_compressed_domain", "decode_simd_speedup",
+                         scalar_ms / seq_ms);
+
+  util::ThreadPool pool(4);
+  source.DecodeAll(&pool).TakeValue();  // warm-up
+  timer = bench::WallTimer();
+  source.DecodeAll(&pool).TakeValue();
+  double par_ms = timer.Millis();
+  std::printf("%-24s %12.1f\n", "gop-parallel, 4 threads", par_ms);
+  bench::PrintJsonMetric("e9_compressed_domain", "decode_all_wall_ms_4t",
+                         par_ms);
+
+  double speedup = seq_ms / par_ms;
+  std::printf("speedup: %.2fx\n", speedup);
+  bench::PrintJsonMetric("e9_compressed_domain", "decode_all_speedup_4t",
+                         speedup);
+  bench::PrintRule();
+}
+
 void BM_Encode(benchmark::State& state) {
   auto config = bench::DefaultBroadcast();
   config.num_points = 1;
@@ -125,6 +180,27 @@ void BM_DecodeSequential(benchmark::State& state) {
 }
 BENCHMARK(BM_DecodeSequential)->Unit(benchmark::kMillisecond);
 
+void BM_DecodeGopParallel(benchmark::State& state) {
+  auto config = bench::DefaultBroadcast();
+  config.num_points = 1;
+  config.include_cutaways = false;
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
+  auto encoded = media::BlockVideoEncoder::Encode(*broadcast.video).TakeValue();
+  media::CodedVideoSource decoded(std::move(encoded));
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto video = decoded.DecodeAll(&pool);
+    if (!video.ok()) state.SkipWithError(video.status().ToString().c_str());
+    benchmark::DoNotOptimize(video);
+  }
+  state.counters["frames/s"] = benchmark::Counter(
+      static_cast<double>(decoded.num_frames()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeGopParallel)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_CompressedDetect(benchmark::State& state) {
   auto broadcast =
       media::TennisBroadcastSynthesizer(bench::DefaultBroadcast()).Synthesize()
@@ -141,7 +217,9 @@ BENCHMARK(BM_CompressedDetect)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::OpenJsonArtifact("BENCH_E9.json");
   RunComparison();
+  RunGopParallelDecode();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

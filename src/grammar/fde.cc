@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "media/block_codec.h"
+#include "media/prefetch.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 #include "vision/frame_feature_cache.h"
@@ -138,24 +140,50 @@ Result<std::vector<Annotation>> FeatureDetectorEngine::RunSymbol(
   return RunWhitebox(whitebox_rules_.find(symbol)->second, ctx);
 }
 
-void FeatureDetectorEngine::PrepareExecution(const media::VideoSource& video) {
+const media::VideoSource& FeatureDetectorEngine::PrepareExecution(
+    const media::VideoSource& video) {
+  // Decode pipeline: a coded source is wrapped in a prefetching decorator
+  // (backed by a dedicated decode pool — see prefetch.h for why it must not
+  // share the wave pool), so detectors and the frame cache read from the
+  // GOP buffer. For the same video it persists across incremental runs.
+  const media::VideoSource* effective = &video;
+  const auto* coded = dynamic_cast<const media::CodedVideoSource*>(&video);
+  if (coded != nullptr && config_.decode_threads >= 0) {
+    if (prefetcher_ == nullptr || &prefetcher_->source() != coded) {
+      const int threads = config_.decode_threads > 0 ? config_.decode_threads
+                                                     : config_.num_threads;
+      prefetcher_.reset();  // joins in-flight tasks before the pool goes
+      decode_pool_ = std::make_unique<util::ThreadPool>(threads);
+      media::PrefetchConfig prefetch_config;
+      prefetch_config.prefetch_frames = config_.prefetch_frames;
+      prefetcher_ = std::make_unique<media::PrefetchingVideoSource>(
+          *coded, prefetch_config, decode_pool_.get());
+    }
+    effective = prefetcher_.get();
+  } else {
+    prefetcher_.reset();
+    decode_pool_.reset();
+  }
+
   if (config_.cache_bytes == 0) {
     cache_.reset();
-    return;
+    return *effective;
   }
   // The cache is keyed by frame index, so it must be rebound whenever the
   // video changes; for the same video it persists across incremental runs.
-  if (cache_ == nullptr || &cache_->video() != &video) {
+  if (cache_ == nullptr || &cache_->video() != effective) {
     vision::FrameFeatureCacheConfig cache_config;
     cache_config.cache_bytes = config_.cache_bytes;
-    cache_ = std::make_unique<vision::FrameFeatureCache>(video, cache_config);
+    cache_ =
+        std::make_unique<vision::FrameFeatureCache>(*effective, cache_config);
   }
+  return *effective;
 }
 
 Result<FdeRunReport> FeatureDetectorEngine::RunWaves(
     const media::VideoSource& video, const std::set<std::string>& skip) {
-  PrepareExecution(video);
-  DetectionContext ctx(video, &blackboard_, cache_.get(), pool_.get());
+  const media::VideoSource& source = PrepareExecution(video);
+  DetectionContext ctx(source, &blackboard_, cache_.get(), pool_.get());
 
   FdeRunReport report;
   auto run_start = std::chrono::steady_clock::now();

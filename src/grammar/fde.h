@@ -37,6 +37,11 @@ namespace cobra::util {
 class ThreadPool;
 }  // namespace cobra::util
 
+namespace cobra::media {
+class CodedVideoSource;
+class PrefetchingVideoSource;
+}  // namespace cobra::media
+
 namespace cobra::vision {
 class FrameFeatureCache;
 }  // namespace cobra::vision
@@ -52,6 +57,17 @@ struct FdeConfig {
   /// Byte budget of the shared per-frame feature cache (decoded frames,
   /// histograms, skin ratios, gray stats). 0 disables caching.
   size_t cache_bytes = size_t{64} << 20;
+  /// Decode pipeline (only active when Run is handed a
+  /// media::CodedVideoSource): the engine wraps the source in a
+  /// PrefetchingVideoSource backed by a dedicated decode pool of this many
+  /// threads, so detectors read decoded frames from the GOP buffer instead
+  /// of stalling on the decoder. 0 follows num_threads; negative disables
+  /// the pipeline (detectors hit the raw decoder). Output is bit-identical
+  /// either way.
+  int decode_threads = 0;
+  /// Read-ahead window of the decode pipeline, in frames (<= 0: no
+  /// read-ahead, the pipeline degenerates to a GOP decode cache).
+  int64_t prefetch_frames = 96;
 };
 
 /// What a detector sees while running: the video plus every annotation
@@ -187,8 +203,11 @@ class FeatureDetectorEngine {
   /// Executes one detector (black- or white-box) for the wave scheduler.
   Result<std::vector<Annotation>> RunSymbol(const std::string& symbol,
                                             const DetectionContext& ctx);
-  /// Binds cache + pool to `video` (creating or resetting as needed).
-  void PrepareExecution(const media::VideoSource& video);
+  /// Binds cache + pools to `video` (creating or resetting as needed) and
+  /// returns the source detectors should read: the decode pipeline's
+  /// prefetcher when `video` is coded and the pipeline is enabled, `video`
+  /// itself otherwise.
+  const media::VideoSource& PrepareExecution(const media::VideoSource& video);
   /// Wave-scheduled execution shared by Run and RunIncremental: runs every
   /// symbol not in `skip` and merges results at wave barriers; symbols in
   /// `skip` are reported as cached.
@@ -205,6 +224,10 @@ class FeatureDetectorEngine {
 
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<vision::FrameFeatureCache> cache_;
+  /// Decode pipeline state; the prefetcher must be declared after (and so
+  /// destroyed before) the decode pool its in-flight tasks run on.
+  std::unique_ptr<util::ThreadPool> decode_pool_;
+  std::unique_ptr<media::PrefetchingVideoSource> prefetcher_;
 };
 
 }  // namespace cobra::grammar

@@ -6,6 +6,7 @@
 
 #include "media/dct.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace cobra::media {
 
@@ -168,24 +169,26 @@ bool DecodeBlock(const std::vector<uint8_t>& in, size_t* pos,
 
 /// Quantizes an 8x8 sample/residual block; returns zigzagged levels and the
 /// reconstructed (dequantized) samples the reference must hold.
-void CodeBlock(const PixelBlock& input, int quality, bool chroma,
-               std::array<int16_t, 64>* zz_out, PixelBlock* recon_out) {
+void CodeBlock(const PixelBlock& input, const QuantTableSet& tables,
+               bool chroma, std::array<int16_t, 64>* zz_out,
+               PixelBlock* recon_out) {
   DctBlock coeffs;
   ForwardDct(input, &coeffs);
   std::array<int16_t, 64> quantized;
-  Quantize(coeffs, quality, chroma, &quantized);
+  Quantize(coeffs, tables, chroma, &quantized);
   ZigzagScan(quantized, zz_out);
   DctBlock dequantized;
-  Dequantize(quantized, quality, chroma, &dequantized);
+  Dequantize(quantized, tables, chroma, &dequantized);
   InverseDct(dequantized, recon_out);
 }
 
-void ReconstructBlock(const std::array<int16_t, 64>& zz, int quality,
-                      bool chroma, PixelBlock* recon_out) {
+void ReconstructBlock(const std::array<int16_t, 64>& zz,
+                      const QuantTableSet& tables, bool chroma,
+                      PixelBlock* recon_out) {
   std::array<int16_t, 64> quantized;
   ZigzagUnscan(zz, &quantized);
   DctBlock dequantized;
-  Dequantize(quantized, quality, chroma, &dequantized);
+  Dequantize(quantized, tables, chroma, &dequantized);
   InverseDct(dequantized, recon_out);
 }
 
@@ -277,6 +280,35 @@ constexpr uint32_t kStreamMagic = 0xC0B7A01;
 
 }  // namespace
 
+void EncodedVideo::BuildGopIndex() {
+  gops_.clear();
+  int64_t offset = 0;
+  for (size_t f = 0; f < frames_.size(); ++f) {
+    const bool intra = !frames_[f].empty() && frames_[f][0] == 'I';
+    // Frame 0 opens the first GOP even if its marker is corrupt; the decoder
+    // reports the ParseError, the index just has to partition the frames.
+    if (intra || gops_.empty()) {
+      gops_.push_back(GopIndexEntry{static_cast<int64_t>(f), 0, offset});
+    }
+    ++gops_.back().num_frames;
+    offset += static_cast<int64_t>(frames_[f].size());
+  }
+}
+
+int64_t EncodedVideo::GopOfFrame(int64_t frame) const {
+  // First GOP whose first_frame is > frame, minus one.
+  int64_t lo = 0, hi = NumGops() - 1;
+  while (lo < hi) {
+    const int64_t mid = (lo + hi + 1) / 2;
+    if (gops_[static_cast<size_t>(mid)].first_frame <= frame) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
 std::vector<uint8_t> EncodedVideo::Serialize() const {
   std::vector<uint8_t> out;
   PutU32(kStreamMagic, &out);
@@ -344,6 +376,7 @@ Result<EncodedVideo> EncodedVideo::Deserialize(
   if (pos != bytes.size()) {
     return Status::ParseError("trailing bytes after coded video");
   }
+  out.BuildGopIndex();
   return out;
 }
 
@@ -361,6 +394,7 @@ Result<EncodedVideo> BlockVideoEncoder::Encode(const VideoSource& video,
   out.height_ = video.height();
   out.fps_ = video.fps();
   out.config_ = config;
+  const QuantTableSet tables = MakeQuantTables(config.quality);
 
   Planes reference;  // decoded (closed-loop) reference
   bool have_reference = false;
@@ -484,7 +518,7 @@ Result<EncodedVideo> BlockVideoEncoder::Encode(const VideoSource& video,
                   prediction[b][static_cast<size_t>(i)]);
             }
           }
-          CodeBlock(input, config.quality, ref.chroma, &zz[b], &recon_block[b]);
+          CodeBlock(input, tables, ref.chroma, &zz[b], &recon_block[b]);
           bool nonzero = false;
           for (int16_t v : zz[b]) {
             if (v != 0) {
@@ -528,6 +562,7 @@ Result<EncodedVideo> BlockVideoEncoder::Encode(const VideoSource& video,
     reference = std::move(recon);
     have_reference = true;
   }
+  out.BuildGopIndex();
   return out;
 }
 
@@ -539,14 +574,26 @@ struct CodedVideoSource::DecoderState {
 };
 
 CodedVideoSource::CodedVideoSource(EncodedVideo encoded)
-    : encoded_(std::move(encoded)), state_(std::make_unique<DecoderState>()) {}
+    : encoded_(std::move(encoded)),
+      quant_tables_(MakeQuantTables(encoded_.config().quality)) {}
 
 CodedVideoSource::~CodedVideoSource() = default;
 
+CodedVideoSource::DecoderState& CodedVideoSource::ThreadState() const {
+  const std::thread::id id = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(states_mutex_);
+  std::shared_ptr<DecoderState>& slot = states_[id];
+  if (!slot) slot = std::make_shared<DecoderState>();
+  // Safe to hand out unlocked: the state is only ever touched by the thread
+  // whose id keys it, and map growth does not move existing nodes.
+  return *slot;
+}
+
 namespace {
 
-Status DecodeFrameBits(const std::vector<uint8_t>& bits, int quality,
-                       Planes* reference, int luma_w, int luma_h) {
+Status DecodeFrameBits(const std::vector<uint8_t>& bits,
+                       const QuantTableSet& tables, Planes* reference,
+                       int luma_w, int luma_h) {
   if (bits.empty()) return Status::ParseError("empty frame bitstream");
   size_t pos = 0;
   const char type = static_cast<char>(bits[pos++]);
@@ -602,7 +649,7 @@ Status DecodeFrameBits(const std::vector<uint8_t>& bits, int quality,
           if (!DecodeBlock(bits, &pos, &zz)) {
             return Status::ParseError("corrupt block data");
           }
-          ReconstructBlock(zz, quality, ref.chroma, &contribution);
+          ReconstructBlock(zz, tables, ref.chroma, &contribution);
         }
         if (mode == kIntra) {
           WriteBlock(&(current.*(ref.plane)), bx, by, contribution, nullptr,
@@ -627,20 +674,72 @@ Status DecodeFrameBits(const std::vector<uint8_t>& bits, int quality,
 Result<Frame> CodedVideoSource::DecodeAt(int64_t index) const {
   const int luma_w = PadTo(encoded_.width(), kMb);
   const int luma_h = PadTo(encoded_.height(), kMb);
-  // The cache holds only the most recently decoded frame (next_index - 1).
-  // Restart at the target's I-frame when seeking backwards, or when the
-  // target's GOP begins after the cache (cheaper than decoding through).
-  const int64_t gop_start = index - (index % encoded_.config().gop_size);
-  if (index + 1 < state_->next_index || gop_start > state_->next_index) {
-    state_->next_index = gop_start;
+  DecoderState& state = ThreadState();
+  // The cache holds only this thread's most recently decoded frame
+  // (next_index - 1). Restart at the target's I-frame when seeking
+  // backwards, or when the target's GOP begins after the cache (cheaper
+  // than decoding through).
+  const int64_t gop_start =
+      encoded_.Gops()[static_cast<size_t>(encoded_.GopOfFrame(index))]
+          .first_frame;
+  if (index + 1 < state.next_index || gop_start > state.next_index) {
+    state.next_index = gop_start;
   }
-  while (state_->next_index <= index) {
-    COBRA_RETURN_NOT_OK(DecodeFrameBits(encoded_.FrameBits(state_->next_index),
-                                        encoded_.config().quality,
-                                        &state_->reference, luma_w, luma_h));
-    ++state_->next_index;
+  while (state.next_index <= index) {
+    COBRA_RETURN_NOT_OK(DecodeFrameBits(encoded_.FrameBits(state.next_index),
+                                        quant_tables_, &state.reference,
+                                        luma_w, luma_h));
+    ++state.next_index;
   }
-  return PlanesToFrame(state_->reference, encoded_.width(), encoded_.height());
+  return PlanesToFrame(state.reference, encoded_.width(), encoded_.height());
+}
+
+Result<std::vector<Frame>> CodedVideoSource::DecodeGop(int64_t gop_index) const {
+  if (gop_index < 0 || gop_index >= encoded_.NumGops()) {
+    return Status::OutOfRange(
+        StringFormat("GOP %lld out of [0, %lld)",
+                     static_cast<long long>(gop_index),
+                     static_cast<long long>(encoded_.NumGops())));
+  }
+  const GopIndexEntry& gop = encoded_.Gops()[static_cast<size_t>(gop_index)];
+  const int luma_w = PadTo(encoded_.width(), kMb);
+  const int luma_h = PadTo(encoded_.height(), kMb);
+  Planes reference;  // local: nothing shared, nothing locked
+  std::vector<Frame> frames;
+  frames.reserve(static_cast<size_t>(gop.num_frames));
+  for (int64_t f = gop.first_frame; f < gop.first_frame + gop.num_frames; ++f) {
+    COBRA_RETURN_NOT_OK(DecodeFrameBits(encoded_.FrameBits(f), quant_tables_,
+                                        &reference, luma_w, luma_h));
+    frames.push_back(PlanesToFrame(reference, encoded_.width(),
+                                   encoded_.height()));
+  }
+  return frames;
+}
+
+Result<MemoryVideo> CodedVideoSource::DecodeAll(util::ThreadPool* pool) const {
+  std::vector<Frame> frames(static_cast<size_t>(encoded_.num_frames()));
+  const int64_t num_gops = encoded_.NumGops();
+  std::vector<Status> gop_status(static_cast<size_t>(num_gops), Status::OK());
+  const auto decode_one = [&](int64_t g) {
+    Result<std::vector<Frame>> decoded = DecodeGop(g);
+    if (!decoded.ok()) {
+      gop_status[static_cast<size_t>(g)] = decoded.status();
+      return;
+    }
+    const int64_t first =
+        encoded_.Gops()[static_cast<size_t>(g)].first_frame;
+    std::vector<Frame> got = decoded.TakeValue();
+    for (size_t i = 0; i < got.size(); ++i) {
+      frames[static_cast<size_t>(first) + i] = std::move(got[i]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, num_gops, 1, decode_one);
+  } else {
+    for (int64_t g = 0; g < num_gops; ++g) decode_one(g);
+  }
+  for (const Status& s : gop_status) COBRA_RETURN_NOT_OK(s);
+  return MemoryVideo(std::move(frames), encoded_.fps());
 }
 
 Result<Frame> CodedVideoSource::GetFrame(int64_t index) const {

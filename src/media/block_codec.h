@@ -12,11 +12,19 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "media/dct.h"
 #include "media/frame.h"
 #include "media/video.h"
 #include "util/status.h"
+
+namespace cobra::util {
+class ThreadPool;
+}  // namespace cobra::util
 
 namespace cobra::media {
 
@@ -47,7 +55,19 @@ struct CodedFrameStats {
   double intra_block_ratio = 0.0;
 };
 
-/// An encoded video: per-frame bitstreams + stats.
+/// One closed GOP: frames [first_frame, first_frame + num_frames), with an
+/// I-frame at first_frame. Because every GOP starts at a random-access
+/// point, GOPs decode independently — the unit of parallel decode.
+/// `byte_offset` locates the GOP's first frame payload within the
+/// concatenation of all frame bitstreams (the frame-payload region of
+/// Serialize() output, ignoring the per-frame framing/stat bytes).
+struct GopIndexEntry {
+  int64_t first_frame = 0;
+  int64_t num_frames = 0;
+  int64_t byte_offset = 0;
+};
+
+/// An encoded video: per-frame bitstreams + stats + GOP index.
 class EncodedVideo {
  public:
   int width() const { return width_; }
@@ -68,6 +88,15 @@ class EncodedVideo {
   /// Raw RGB24 size / coded size.
   double CompressionRatio() const;
 
+  /// The GOP index (random-access points), built by the encoder and by
+  /// Deserialize from the 'I' frame markers. Never empty for a non-empty
+  /// video; entries are sorted by first_frame and partition [0, num_frames).
+  const std::vector<GopIndexEntry>& Gops() const { return gops_; }
+  int64_t NumGops() const { return static_cast<int64_t>(gops_.size()); }
+  /// Index into Gops() of the GOP containing frame `frame`; requires
+  /// `frame` in [0, num_frames()).
+  int64_t GopOfFrame(int64_t frame) const;
+
   /// Serializes the whole coded video (header + per-frame streams) to a
   /// byte buffer, and back. Deserialize validates the header and per-frame
   /// framing; corrupted payloads surface later as ParseError from the
@@ -77,12 +106,16 @@ class EncodedVideo {
 
  private:
   friend class BlockVideoEncoder;
+  /// Rebuilds gops_ from the 'I'/'P' markers in frames_.
+  void BuildGopIndex();
+
   int width_ = 0;
   int height_ = 0;
   double fps_ = 25.0;
   CodecConfig config_;
   std::vector<std::vector<uint8_t>> frames_;
   std::vector<CodedFrameStats> stats_;
+  std::vector<GopIndexEntry> gops_;
 };
 
 /// Encodes a VideoSource into an EncodedVideo.
@@ -93,7 +126,13 @@ class BlockVideoEncoder {
 };
 
 /// Decodes an EncodedVideo; random access decodes forward from the
-/// preceding I-frame (sequential access is O(1) amortized via a cache).
+/// preceding I-frame (sequential access is O(1) amortized via a per-thread
+/// cache, worst case O(gop_size) per frame).
+///
+/// Thread-safety: `GetFrame` is safe to call concurrently — each calling
+/// thread gets its own cached decoder state, so concurrent sequential scans
+/// from a thread pool neither race nor thrash each other's cache.
+/// `DecodeGop` is pure (no shared state) and reentrant.
 class CodedVideoSource : public VideoSource {
  public:
   explicit CodedVideoSource(EncodedVideo encoded);
@@ -106,14 +145,31 @@ class CodedVideoSource : public VideoSource {
 
   Result<Frame> GetFrame(int64_t index) const override;
 
+  /// Decodes one whole GOP (`gop_index` in [0, encoded().NumGops())) from
+  /// its I-frame, returning its frames in display order. Touches no shared
+  /// decoder state: independent GOPs decode concurrently, and the result is
+  /// bit-identical to sequential GetFrame calls over the same range.
+  Result<std::vector<Frame>> DecodeGop(int64_t gop_index) const;
+
+  /// Decodes the entire video, GOP-parallel across `pool` (nullptr or an
+  /// inline pool decodes sequentially). Output is bit-identical to
+  /// sequential decode regardless of thread count: every frame slot is
+  /// written exactly once, indexed by frame number.
+  Result<MemoryVideo> DecodeAll(util::ThreadPool* pool = nullptr) const;
+
   const EncodedVideo& encoded() const { return encoded_; }
 
  private:
   struct DecoderState;
+  /// This thread's decoder state (created on first use).
+  DecoderState& ThreadState() const;
   Result<Frame> DecodeAt(int64_t index) const;
 
   EncodedVideo encoded_;
-  mutable std::unique_ptr<DecoderState> state_;
+  QuantTableSet quant_tables_;  ///< scaled once for the stream's quality
+  mutable std::mutex states_mutex_;
+  mutable std::unordered_map<std::thread::id, std::shared_ptr<DecoderState>>
+      states_;
 };
 
 /// PSNR (dB) between two same-size frames over all RGB channels.

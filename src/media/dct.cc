@@ -3,6 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+// SIMD tiers exist only on x86-64 GCC/Clang builds with the COBRA_SIMD CMake
+// option ON; everywhere else only the scalar tier is compiled and dispatch
+// degenerates to it (same gating as vision/kernels.cc).
+#if defined(COBRA_SIMD) && COBRA_SIMD && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define COBRA_DCT_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define COBRA_DCT_SIMD_X86 0
+#endif
+
 namespace cobra::media {
 
 namespace {
@@ -42,6 +53,170 @@ int ScaledQuant(int base, int quality) {
   return std::clamp(q, 1, 255);
 }
 
+// ---------------------------------------------------------------------------
+// Transform kernels. The accumulation contract every tier follows exactly:
+// each output lane sums its 8 basis*input products sequentially in k order
+// (no trees, no FMA contraction — explicit mul then add), and rounding is
+// trunc(v + copysign(0.5, v)). The vector tiers carry 8 output lanes per row
+// and perform the same per-lane sequence, so all tiers are bit-identical.
+// ---------------------------------------------------------------------------
+
+inline int16_t RoundSample(double v) {
+  return static_cast<int16_t>(static_cast<int32_t>(v + std::copysign(0.5, v)));
+}
+
+void IdctScalar(const double* in, int16_t* out) {
+  // Columns then rows; each inner loop is the sequential k-order sum.
+  double tmp[64];
+  for (int n = 0; n < 8; ++n) {
+    for (int x = 0; x < 8; ++x) {
+      double acc = 0.0;
+      for (int k = 0; k < 8; ++k) acc += kTables.basis[k][n] * in[k * 8 + x];
+      tmp[n * 8 + x] = acc;
+    }
+  }
+  for (int y = 0; y < 8; ++y) {
+    for (int n = 0; n < 8; ++n) {
+      double acc = 0.0;
+      for (int k = 0; k < 8; ++k) acc += kTables.basis[k][n] * tmp[y * 8 + k];
+      out[y * 8 + n] = RoundSample(acc);
+    }
+  }
+}
+
+void Dequant64Scalar(const int16_t* in, const double* table, double* out) {
+  for (int i = 0; i < 64; ++i) out[i] = static_cast<double>(in[i]) * table[i];
+}
+
+constexpr DctOps kScalarDctOps = {IdctScalar, Dequant64Scalar};
+
+#if COBRA_DCT_SIMD_X86
+
+// ---------------- SSE4.1 tier: 8 lanes as four __m128d ----------------
+
+__attribute__((target("sse4.1"))) inline __m128d TruncRound128(__m128d v) {
+  const __m128d sign = _mm_and_pd(v, _mm_set1_pd(-0.0));
+  const __m128d half = _mm_or_pd(_mm_set1_pd(0.5), sign);
+  return _mm_round_pd(_mm_add_pd(v, half),
+                      _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+}
+
+__attribute__((target("sse4.1"))) void IdctSse41(const double* in,
+                                                 int16_t* out) {
+  double tmp[64];
+  // Pass 1: tmp[n][x] = sum_k basis[k][n] * in[k][x]; lanes over x.
+  for (int n = 0; n < 8; ++n) {
+    __m128d a0 = _mm_setzero_pd(), a1 = _mm_setzero_pd();
+    __m128d a2 = _mm_setzero_pd(), a3 = _mm_setzero_pd();
+    for (int k = 0; k < 8; ++k) {
+      const __m128d b = _mm_set1_pd(kTables.basis[k][n]);
+      const double* row = in + k * 8;
+      a0 = _mm_add_pd(a0, _mm_mul_pd(b, _mm_loadu_pd(row)));
+      a1 = _mm_add_pd(a1, _mm_mul_pd(b, _mm_loadu_pd(row + 2)));
+      a2 = _mm_add_pd(a2, _mm_mul_pd(b, _mm_loadu_pd(row + 4)));
+      a3 = _mm_add_pd(a3, _mm_mul_pd(b, _mm_loadu_pd(row + 6)));
+    }
+    _mm_storeu_pd(tmp + n * 8, a0);
+    _mm_storeu_pd(tmp + n * 8 + 2, a1);
+    _mm_storeu_pd(tmp + n * 8 + 4, a2);
+    _mm_storeu_pd(tmp + n * 8 + 6, a3);
+  }
+  // Pass 2: out[y][n] = sum_k basis[k][n] * tmp[y][k]; lanes over n
+  // (basis row k is contiguous over n).
+  for (int y = 0; y < 8; ++y) {
+    __m128d a0 = _mm_setzero_pd(), a1 = _mm_setzero_pd();
+    __m128d a2 = _mm_setzero_pd(), a3 = _mm_setzero_pd();
+    for (int k = 0; k < 8; ++k) {
+      const __m128d t = _mm_set1_pd(tmp[y * 8 + k]);
+      const double* row = kTables.basis[k];
+      a0 = _mm_add_pd(a0, _mm_mul_pd(t, _mm_loadu_pd(row)));
+      a1 = _mm_add_pd(a1, _mm_mul_pd(t, _mm_loadu_pd(row + 2)));
+      a2 = _mm_add_pd(a2, _mm_mul_pd(t, _mm_loadu_pd(row + 4)));
+      a3 = _mm_add_pd(a3, _mm_mul_pd(t, _mm_loadu_pd(row + 6)));
+    }
+    const __m128i i0 = _mm_cvtpd_epi32(TruncRound128(a0));  // 2 ints, lanes 0-1
+    const __m128i i1 = _mm_cvtpd_epi32(TruncRound128(a1));
+    const __m128i i2 = _mm_cvtpd_epi32(TruncRound128(a2));
+    const __m128i i3 = _mm_cvtpd_epi32(TruncRound128(a3));
+    const __m128i lo = _mm_unpacklo_epi64(i0, i1);  // ints 0..3
+    const __m128i hi = _mm_unpacklo_epi64(i2, i3);  // ints 4..7
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + y * 8),
+                     _mm_packs_epi32(lo, hi));
+  }
+}
+
+__attribute__((target("sse4.1"))) void Dequant64Sse41(const int16_t* in,
+                                                      const double* table,
+                                                      double* out) {
+  for (int i = 0; i < 64; i += 4) {
+    const __m128i raw =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + i));
+    const __m128i i32 = _mm_cvtepi16_epi32(raw);
+    const __m128d lo = _mm_cvtepi32_pd(i32);
+    const __m128d hi = _mm_cvtepi32_pd(_mm_srli_si128(i32, 8));
+    _mm_storeu_pd(out + i, _mm_mul_pd(lo, _mm_loadu_pd(table + i)));
+    _mm_storeu_pd(out + i + 2, _mm_mul_pd(hi, _mm_loadu_pd(table + i + 2)));
+  }
+}
+
+constexpr DctOps kSse41DctOps = {IdctSse41, Dequant64Sse41};
+
+// ---------------- AVX2 tier: 8 lanes as two __m256d ----------------
+
+__attribute__((target("avx2"))) inline __m256d TruncRound256(__m256d v) {
+  const __m256d sign = _mm256_and_pd(v, _mm256_set1_pd(-0.0));
+  const __m256d half = _mm256_or_pd(_mm256_set1_pd(0.5), sign);
+  return _mm256_round_pd(_mm256_add_pd(v, half),
+                         _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+}
+
+__attribute__((target("avx2"))) void IdctAvx2(const double* in, int16_t* out) {
+  double tmp[64];
+  for (int n = 0; n < 8; ++n) {
+    __m256d lo = _mm256_setzero_pd(), hi = _mm256_setzero_pd();
+    for (int k = 0; k < 8; ++k) {
+      const __m256d b = _mm256_set1_pd(kTables.basis[k][n]);
+      const double* row = in + k * 8;
+      lo = _mm256_add_pd(lo, _mm256_mul_pd(b, _mm256_loadu_pd(row)));
+      hi = _mm256_add_pd(hi, _mm256_mul_pd(b, _mm256_loadu_pd(row + 4)));
+    }
+    _mm256_storeu_pd(tmp + n * 8, lo);
+    _mm256_storeu_pd(tmp + n * 8 + 4, hi);
+  }
+  for (int y = 0; y < 8; ++y) {
+    __m256d lo = _mm256_setzero_pd(), hi = _mm256_setzero_pd();
+    for (int k = 0; k < 8; ++k) {
+      const __m256d t = _mm256_set1_pd(tmp[y * 8 + k]);
+      const double* row = kTables.basis[k];
+      lo = _mm256_add_pd(lo, _mm256_mul_pd(t, _mm256_loadu_pd(row)));
+      hi = _mm256_add_pd(hi, _mm256_mul_pd(t, _mm256_loadu_pd(row + 4)));
+    }
+    const __m128i i_lo = _mm256_cvtpd_epi32(TruncRound256(lo));  // ints 0..3
+    const __m128i i_hi = _mm256_cvtpd_epi32(TruncRound256(hi));  // ints 4..7
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + y * 8),
+                     _mm_packs_epi32(i_lo, i_hi));
+  }
+}
+
+__attribute__((target("avx2"))) void Dequant64Avx2(const int16_t* in,
+                                                   const double* table,
+                                                   double* out) {
+  for (int i = 0; i < 64; i += 8) {
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    const __m256i i32 = _mm256_cvtepi16_epi32(raw);
+    const __m256d lo = _mm256_cvtepi32_pd(_mm256_castsi256_si128(i32));
+    const __m256d hi = _mm256_cvtepi32_pd(_mm256_extracti128_si256(i32, 1));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(lo, _mm256_loadu_pd(table + i)));
+    _mm256_storeu_pd(out + i + 4,
+                     _mm256_mul_pd(hi, _mm256_loadu_pd(table + i + 4)));
+  }
+}
+
+constexpr DctOps kAvx2DctOps = {IdctAvx2, Dequant64Avx2};
+
+#endif  // COBRA_DCT_SIMD_X86
+
 }  // namespace
 
 const std::array<uint8_t, 64> kZigzagOrder = {
@@ -49,6 +224,32 @@ const std::array<uint8_t, 64> kZigzagOrder = {
     12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
     35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
     58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+const DctOps* DctOpsFor(util::simd::SimdLevel level) {
+  using util::simd::SimdLevel;
+  if (level == SimdLevel::kScalar) return &kScalarDctOps;
+#if COBRA_DCT_SIMD_X86
+  if (static_cast<int>(level) >
+      static_cast<int>(util::simd::CpuBestLevel())) {
+    return nullptr;
+  }
+  if (level == SimdLevel::kSse41) return &kSse41DctOps;
+  if (level == SimdLevel::kAvx2) return &kAvx2DctOps;
+#endif
+  return nullptr;
+}
+
+util::simd::SimdLevel ActiveDctLevel() {
+  const int forced = util::simd::ForcedLevel();
+  int level = forced < 0 ? static_cast<int>(util::simd::CpuBestLevel()) : forced;
+  while (level > 0 &&
+         DctOpsFor(static_cast<util::simd::SimdLevel>(level)) == nullptr) {
+    --level;
+  }
+  return static_cast<util::simd::SimdLevel>(level);
+}
+
+const DctOps& ActiveDctOps() { return *DctOpsFor(ActiveDctLevel()); }
 
 void ForwardDct(const PixelBlock& in, DctBlock* out) {
   // Separable: rows then columns.
@@ -70,39 +271,46 @@ void ForwardDct(const PixelBlock& in, DctBlock* out) {
 }
 
 void InverseDct(const DctBlock& in, PixelBlock* out) {
-  double tmp[64];
-  for (int x = 0; x < 8; ++x) {
-    for (int n = 0; n < 8; ++n) {
-      double acc = 0.0;
-      for (int k = 0; k < 8; ++k) acc += kTables.basis[k][n] * in[k * 8 + x];
-      tmp[n * 8 + x] = acc;
+  ActiveDctOps().idct8x8(in.data(), out->data());
+}
+
+QuantTableSet MakeQuantTables(int quality) {
+  QuantTableSet tables;
+  for (int chroma = 0; chroma < 2; ++chroma) {
+    const int* base = chroma ? kChromaQuant : kLumaQuant;
+    for (int i = 0; i < 64; ++i) {
+      const int q = ScaledQuant(base[i], quality);
+      tables.quant[chroma][static_cast<size_t>(i)] = q;
+      tables.dequant[chroma][static_cast<size_t>(i)] = static_cast<double>(q);
     }
   }
-  for (int y = 0; y < 8; ++y) {
-    for (int n = 0; n < 8; ++n) {
-      double acc = 0.0;
-      for (int k = 0; k < 8; ++k) acc += kTables.basis[k][n] * tmp[y * 8 + k];
-      (*out)[y * 8 + n] = static_cast<int16_t>(std::lround(acc));
-    }
+  return tables;
+}
+
+void Quantize(const DctBlock& in, const QuantTableSet& tables, bool chroma,
+              std::array<int16_t, 64>* out) {
+  const std::array<int, 64>& q = tables.quant[chroma ? 1 : 0];
+  for (int i = 0; i < 64; ++i) {
+    (*out)[static_cast<size_t>(i)] =
+        static_cast<int16_t>(std::lround(in[static_cast<size_t>(i)] /
+                                         q[static_cast<size_t>(i)]));
   }
 }
 
 void Quantize(const DctBlock& in, int quality, bool chroma,
               std::array<int16_t, 64>* out) {
-  const int* table = chroma ? kChromaQuant : kLumaQuant;
-  for (int i = 0; i < 64; ++i) {
-    int q = ScaledQuant(table[i], quality);
-    (*out)[i] = static_cast<int16_t>(std::lround(in[i] / q));
-  }
+  Quantize(in, MakeQuantTables(quality), chroma, out);
+}
+
+void Dequantize(const std::array<int16_t, 64>& in, const QuantTableSet& tables,
+                bool chroma, DctBlock* out) {
+  ActiveDctOps().dequant64(in.data(), tables.dequant[chroma ? 1 : 0].data(),
+                           out->data());
 }
 
 void Dequantize(const std::array<int16_t, 64>& in, int quality, bool chroma,
                 DctBlock* out) {
-  const int* table = chroma ? kChromaQuant : kLumaQuant;
-  for (int i = 0; i < 64; ++i) {
-    int q = ScaledQuant(table[i], quality);
-    (*out)[i] = static_cast<double>(in[i]) * q;
-  }
+  Dequantize(in, MakeQuantTables(quality), chroma, out);
 }
 
 void ZigzagScan(const std::array<int16_t, 64>& in,

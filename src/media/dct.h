@@ -4,9 +4,19 @@
 /// 8x8 block DCT, quantization and zigzag scan — the transform layer of the
 /// block video codec (media/block_codec.h) that stands in for the demo's
 /// external MPEG decoder.
+///
+/// The inverse-DCT and dequantization inner loops are the decode hot path;
+/// they dispatch through `DctOps` (scalar / SSE4.1 / AVX2 tiers, selected
+/// at runtime through the shared util/simd level — the same override
+/// vision/kernels honors). All tiers are bit-identical: every lane performs
+/// the same multiply/add sequence in the same order as the scalar
+/// reference, and rounding uses an explicit trunc(x + copysign(0.5, x))
+/// formula that vectorizes exactly.
 
 #include <array>
 #include <cstdint>
+
+#include "util/simd.h"
 
 namespace cobra::media {
 
@@ -20,15 +30,46 @@ void ForwardDct(const PixelBlock& in, DctBlock* out);
 /// Inverse 8x8 DCT (matches ForwardDct up to rounding).
 void InverseDct(const DctBlock& in, PixelBlock* out);
 
-/// Quantizes coefficients with the table scaled for `quality` in [1, 100]
-/// (JPEG-style scaling: 50 = table as-is, higher = finer).
-/// `chroma` selects the chroma table.
+/// Quantizer tables scaled once for a `quality` in [1, 100] (JPEG-style
+/// scaling: 50 = table as-is, higher = finer); index [chroma]. The encoder
+/// and decoder build one per stream instead of re-scaling per coefficient.
+struct QuantTableSet {
+  std::array<int, 64> quant[2];       ///< divisor per coefficient
+  std::array<double, 64> dequant[2];  ///< the same divisors as multipliers
+};
+QuantTableSet MakeQuantTables(int quality);
+
+/// Quantizes coefficients with a prebuilt table set.
+void Quantize(const DctBlock& in, const QuantTableSet& tables, bool chroma,
+              std::array<int16_t, 64>* out);
+/// Convenience overload that scales the tables on every call.
 void Quantize(const DctBlock& in, int quality, bool chroma,
               std::array<int16_t, 64>* out);
 
-/// Dequantizes back to coefficient space.
+/// Dequantizes back to coefficient space (dispatched kernel).
+void Dequantize(const std::array<int16_t, 64>& in, const QuantTableSet& tables,
+                bool chroma, DctBlock* out);
 void Dequantize(const std::array<int16_t, 64>& in, int quality, bool chroma,
                 DctBlock* out);
+
+/// One tier of the transform kernels. All pointers address 64-element
+/// row-major 8x8 blocks.
+struct DctOps {
+  /// Inverse DCT of dequantized coefficients, rounded to int16 samples.
+  void (*idct8x8)(const double* in, int16_t* out);
+  /// out[i] = in[i] * table[i].
+  void (*dequant64)(const int16_t* in, const double* table, double* out);
+};
+
+/// Ops table for `level`, or nullptr if that tier is compiled out or the
+/// CPU lacks the instructions. `kScalar` never returns nullptr.
+const DctOps* DctOpsFor(util::simd::SimdLevel level);
+
+/// The tier the codec currently dispatches to: the best compiled+supported
+/// tier, capped by the shared util/simd forced level (which
+/// vision::kernels::SetActiveLevel sets).
+util::simd::SimdLevel ActiveDctLevel();
+const DctOps& ActiveDctOps();
 
 /// Zigzag order: index i of the scan -> position in the 8x8 block.
 extern const std::array<uint8_t, 64> kZigzagOrder;

@@ -169,9 +169,12 @@ Result<Broadcast> TennisBroadcastSynthesizer::Synthesize() {
       const int64_t len = std::min<int64_t>(config_.dissolve_frames,
                                             out.truth.shots[s].range.Length());
       if (len < 2) continue;
-      Frame outgoing = *out.video->MutableFrame(boundary - 1);
+      COBRA_ASSIGN_OR_RETURN(Frame * outgoing_ptr,
+                             out.video->MutableFrame(boundary - 1));
+      Frame outgoing = *outgoing_ptr;
       for (int64_t i = 0; i < len; ++i) {
-        Frame* incoming = out.video->MutableFrame(boundary + i);
+        COBRA_ASSIGN_OR_RETURN(Frame * incoming,
+                               out.video->MutableFrame(boundary + i));
         const double alpha =
             static_cast<double>(i + 1) / static_cast<double>(len + 1);
         for (int y = 0; y < incoming->height(); ++y) {

@@ -21,6 +21,15 @@ Result<Frame> MemoryVideo::GetFrame(int64_t index) const {
   return frames_[static_cast<size_t>(index)];
 }
 
+Result<Frame*> MemoryVideo::MutableFrame(int64_t index) {
+  if (index < 0 || index >= num_frames()) {
+    return Status::OutOfRange(
+        StringFormat("frame %lld out of [0, %lld)", static_cast<long long>(index),
+                     static_cast<long long>(num_frames())));
+  }
+  return &frames_[static_cast<size_t>(index)];
+}
+
 Status MemoryVideo::Append(Frame frame) {
   if (frames_.empty()) {
     width_ = frame.width();

@@ -51,10 +51,9 @@ class MemoryVideo : public VideoSource {
   Status Append(Frame frame);
 
   /// Mutable access for post-processing passes (e.g. the synthesizer's
-  /// dissolve rendering). Requires index in range.
-  Frame* MutableFrame(int64_t index) {
-    return &frames_[static_cast<size_t>(index)];
-  }
+  /// dissolve rendering). Bounds-checked like GetFrame: returns OutOfRange
+  /// instead of handing out a dangling pointer.
+  Result<Frame*> MutableFrame(int64_t index);
 
  private:
   std::vector<Frame> frames_;

@@ -1,0 +1,44 @@
+#include "util/simd.h"
+
+namespace cobra::util::simd {
+
+namespace {
+
+SimdLevel Detect() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse4.1")) return SimdLevel::kSse41;
+#endif
+  return SimdLevel::kScalar;
+}
+
+// -1 means "auto"; otherwise the forced SimdLevel cap.
+std::atomic<int> g_forced_level{-1};
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse41:
+      return "sse4.1";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel CpuBestLevel() {
+  static const SimdLevel best = Detect();
+  return best;
+}
+
+int ForcedLevel() { return g_forced_level.load(std::memory_order_relaxed); }
+
+void SetForcedLevel(int level) {
+  g_forced_level.store(level, std::memory_order_relaxed);
+}
+
+}  // namespace cobra::util::simd

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file simd.h
+/// Process-wide SIMD dispatch state shared by every kernel layer.
+///
+/// The instruction-set tier enum, the CPUID probe and the test override used
+/// to live inside vision/kernels; the media DCT/dequant kernels need the
+/// same dispatch (and the same test override must force every layer at
+/// once), and vision already depends on media, so the shared state lives
+/// here at the bottom of the dependency stack. Each kernel layer still owns
+/// its ops tables and clamps to the tiers *it* compiled; this file only
+/// answers "what does the CPU support" and "what cap did a test force".
+
+#include <atomic>
+
+namespace cobra::util::simd {
+
+/// Instruction-set tiers, ordered. SSE4.1 is the baseline vector tier
+/// everywhere (see vision/kernels.h for the rationale).
+enum class SimdLevel { kScalar = 0, kSse41 = 1, kAvx2 = 2 };
+
+const char* SimdLevelName(SimdLevel level);
+
+/// Highest tier this CPU can execute (CPUID, probed once). Says nothing
+/// about which tiers a given library compiled; callers clamp to their own.
+SimdLevel CpuBestLevel();
+
+/// The forced cap set by SetForcedLevel, or -1 for "auto" (no cap).
+int ForcedLevel();
+
+/// Forces every kernel layer to dispatch at (at most) `level`; -1 restores
+/// auto. Intended for tests and benches that compare tiers within one
+/// binary; not synchronized with concurrent kernel users.
+void SetForcedLevel(int level);
+
+}  // namespace cobra::util::simd

@@ -837,37 +837,16 @@ constexpr KernelOps kAvx2Ops = {
 
 #endif  // COBRA_SIMD_X86
 
-SimdLevel Detect() {
-#if COBRA_SIMD_X86
-  __builtin_cpu_init();
-  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
-  if (__builtin_cpu_supports("sse4.1")) return SimdLevel::kSse41;
-#endif
-  return SimdLevel::kScalar;
-}
-
-// -1 means "auto" (BestSupportedLevel); otherwise a forced SimdLevel.
-std::atomic<int> g_forced_level{-1};
-
 }  // namespace
-
-const char* SimdLevelName(SimdLevel level) {
-  switch (level) {
-    case SimdLevel::kScalar:
-      return "scalar";
-    case SimdLevel::kSse41:
-      return "sse4.1";
-    case SimdLevel::kAvx2:
-      return "avx2";
-  }
-  return "unknown";
-}
 
 const KernelOps& ScalarOps() { return kScalarOps; }
 
 SimdLevel BestSupportedLevel() {
-  static const SimdLevel best = Detect();
-  return best;
+#if COBRA_SIMD_X86
+  return util::simd::CpuBestLevel();
+#else
+  return SimdLevel::kScalar;
+#endif
 }
 
 const KernelOps* OpsFor(SimdLevel level) {
@@ -883,8 +862,14 @@ const KernelOps* OpsFor(SimdLevel level) {
 }
 
 SimdLevel ActiveLevel() {
-  const int forced = g_forced_level.load(std::memory_order_relaxed);
-  return forced < 0 ? BestSupportedLevel() : static_cast<SimdLevel>(forced);
+  const int forced = util::simd::ForcedLevel();
+  if (forced < 0) return BestSupportedLevel();
+  // The shared cap may name a tier this library did not compile; clamp down.
+  int clamped = forced;
+  while (clamped > 0 && OpsFor(static_cast<SimdLevel>(clamped)) == nullptr) {
+    --clamped;
+  }
+  return static_cast<SimdLevel>(clamped);
 }
 
 SimdLevel SetActiveLevel(SimdLevel level) {
@@ -893,7 +878,7 @@ SimdLevel SetActiveLevel(SimdLevel level) {
     --clamped;
   }
   const SimdLevel previous = ActiveLevel();
-  g_forced_level.store(clamped, std::memory_order_relaxed);
+  util::simd::SetForcedLevel(clamped);
   return previous;
 }
 

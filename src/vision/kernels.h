@@ -30,15 +30,20 @@
 #include <cstdint>
 
 #include "media/color.h"
+#include "util/simd.h"
 
 namespace cobra::vision::kernels {
 
 /// Instruction-set tiers, ordered. SSE4.1 is the baseline vector tier (the
 /// RGB24 deinterleave needs SSSE3 pshufb and the bin math SSE4.1 pmulld, so
 /// a pure-SSE2 tier would be byte-swizzle-bound and is not provided).
-enum class SimdLevel { kScalar = 0, kSse41 = 1, kAvx2 = 2 };
-
-const char* SimdLevelName(SimdLevel level);
+///
+/// The enum and the forced-level override are process-wide state shared
+/// with the other kernel layers (media DCT/dequant) through util/simd.h, so
+/// `SetActiveLevel` caps every layer at once; this header re-exports them
+/// under their historical names.
+using util::simd::SimdLevel;
+using util::simd::SimdLevelName;
 
 /// BT.601 luma scaled by 1000 ("luma-milli"): 299 r + 587 g + 114 b.
 /// Integer-exact; `LumaMilli(p) / 1000` is the 256-bin gray histogram bin

@@ -128,6 +128,19 @@ TEST(MemoryVideoTest, OutOfRangeGet) {
   EXPECT_FALSE(v.GetFrame(1).ok());
 }
 
+TEST(MemoryVideoTest, MutableFrameBoundsChecked) {
+  MemoryVideo v({}, 25.0);
+  ASSERT_TRUE(v.Append(Frame(4, 4)).ok());
+  auto bad_low = v.MutableFrame(-1);
+  EXPECT_FALSE(bad_low.ok());
+  EXPECT_EQ(bad_low.status().code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(v.MutableFrame(1).ok());
+  auto frame = v.MutableFrame(0);
+  ASSERT_TRUE(frame.ok());
+  (*frame)->At(2, 2) = Rgb{9, 9, 9};
+  EXPECT_EQ(v.GetFrame(0)->At(2, 2), (Rgb{9, 9, 9}));
+}
+
 // ---------- PPM ----------
 
 TEST(PpmTest, RoundTrip) {
