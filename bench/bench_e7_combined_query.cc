@@ -21,7 +21,11 @@
 #include "engine/query_engine.h"
 #include "engine/query_language.h"
 #include "media/tennis_synthesizer.h"
+#include "storage/ops.h"
+#include "util/rng.h"
+#include "util/simd.h"
 #include "util/stats.h"
+#include "webspace/query.h"
 #include "webspace/site_synthesizer.h"
 
 namespace {
@@ -221,6 +225,221 @@ void RunQueryEngine() {
   bench::PrintRule();
 }
 
+// ---------------------------------------------------------------------------
+// E7c — columnar execution at 100k-row class tables: the vectorized
+// Select/Refine/HashJoin/OrderBy operators and the indexed webspace path
+// query against the pre-PR row-at-a-time path (storage::reference plus a
+// faithful reproduction of the old full-scan traversal).
+
+/// Pre-PR SelectObjects: reference scan + per-row GetInt + sort.
+std::vector<int64_t> OldSelectObjects(const webspace::WebspaceStore& store,
+                                      const webspace::ClassSelection& sel) {
+  const storage::Table* table = store.ClassTable(sel.class_name).TakeValue();
+  auto rows = storage::reference::SelectAll(*table, sel.predicates).TakeValue();
+  std::vector<int64_t> oids;
+  oids.reserve(rows.size());
+  for (int64_t r : rows) oids.push_back(table->GetInt(r, 0).TakeValue());
+  std::sort(oids.begin(), oids.end());
+  return oids;
+}
+
+/// Pre-PR Traverse: full association-table scan against a key set.
+std::vector<int64_t> OldTraverse(const webspace::WebspaceStore& store,
+                                 const std::string& assoc,
+                                 const std::vector<int64_t>& keys) {
+  const storage::Table* table = store.AssociationTable(assoc).TakeValue();
+  std::set<int64_t> key_set(keys.begin(), keys.end());
+  std::set<int64_t> out;
+  const auto& from = table->IntColumn(0);
+  const auto& to = table->IntColumn(1);
+  for (size_t r = 0; r < from.size(); ++r) {
+    if (key_set.count(from[r])) out.insert(to[r]);
+  }
+  return std::vector<int64_t>(out.begin(), out.end());
+}
+
+/// Pre-PR ExecuteQuery: old SelectObjects per hop + set intersection.
+std::vector<int64_t> OldExecuteQuery(const webspace::WebspaceStore& store,
+                                     const webspace::WebspaceQuery& query) {
+  std::vector<int64_t> current = OldSelectObjects(store, query.source);
+  for (const webspace::PathStep& step : query.path) {
+    if (current.empty()) return current;
+    std::vector<int64_t> reached =
+        OldTraverse(store, step.association, current);
+    std::vector<int64_t> allowed = OldSelectObjects(store, step.target);
+    std::set<int64_t> allowed_set(allowed.begin(), allowed.end());
+    std::vector<int64_t> filtered;
+    for (int64_t oid : reached) {
+      if (allowed_set.count(oid)) filtered.push_back(oid);
+    }
+    current = std::move(filtered);
+  }
+  return current;
+}
+
+void RunColumnarScale() {
+  bench::PrintHeader("E7c", "vectorized columnar execution at 100k rows");
+  constexpr int64_t kPlayers = 100000;
+  constexpr int64_t kVideos = 2000;
+  constexpr int kReps = 5;
+
+  auto schema = webspace::ConceptSchema::Create(
+                    {webspace::ClassDef{
+                         "Player",
+                         {{"name", storage::DataType::kString},
+                          {"hand", storage::DataType::kString},
+                          {"gender", storage::DataType::kString},
+                          {"rank", storage::DataType::kInt64},
+                          {"rating", storage::DataType::kDouble}}},
+                     webspace::ClassDef{"Video",
+                                        {{"year", storage::DataType::kInt64}}}},
+                    {webspace::AssociationDef{"plays_in", "Player", "Video"}})
+                    .TakeValue();
+  auto store = webspace::WebspaceStore::Create(std::move(schema)).TakeValue();
+  Rng rng(424242);
+  std::vector<int64_t> video_oids;
+  for (int64_t v = 0; v < kVideos; ++v) {
+    video_oids.push_back(
+        store.Insert("Video", {rng.NextInt(1990, 2002)}).TakeValue());
+  }
+  std::vector<int64_t> player_oids;
+  for (int64_t p = 0; p < kPlayers; ++p) {
+    const char* hand = rng.NextBounded(10) < 2 ? "left" : "right";
+    const char* gender = rng.NextBounded(2) ? "female" : "male";
+    player_oids.push_back(
+        store
+            .Insert("Player", {"player_" + std::to_string(p),
+                               std::string(hand), std::string(gender),
+                               rng.NextInt(1, 100000), rng.NextDouble()})
+            .TakeValue());
+    for (int64_t links = rng.NextInt(1, 2); links > 0; --links) {
+      (void)store.Link("plays_in", player_oids.back(),
+                       video_oids[rng.NextBounded(video_oids.size())]);
+    }
+  }
+  const storage::Table& players = *store.ClassTable("Player").TakeValue();
+
+  std::printf("store: %lld players, %lld videos (simd tier: %s)\n\n",
+              static_cast<long long>(kPlayers),
+              static_cast<long long>(kVideos),
+              storage::kernels::SimdLevelName(storage::kernels::ActiveLevel()));
+  std::printf("%-26s %10s %10s %9s %8s\n", "operator (100k rows)", "ref_ms",
+              "new_ms", "speedup", "rows");
+
+  auto report = [](const char* name, const char* metric, double ref_ms,
+                   double new_ms, size_t rows) {
+    std::printf("%-26s %10.3f %10.3f %8.1fx %8zu\n", name, ref_ms, new_ms,
+                ref_ms / std::max(new_ms, 1e-9), rows);
+    std::string key(metric);
+    bench::PrintJsonMetric("e7_combined_query", (key + "_ref_ms").c_str(),
+                           ref_ms);
+    bench::PrintJsonMetric("e7_combined_query", (key + "_new_ms").c_str(),
+                           new_ms);
+    bench::PrintJsonMetric("e7_combined_query", (key + "_speedup").c_str(),
+                           ref_ms / std::max(new_ms, 1e-9));
+  };
+
+  // --- conjunctive selection over the class table ---
+  const std::vector<storage::Predicate> preds = {
+      {"hand", storage::CompareOp::kEq, std::string("left")},
+      {"gender", storage::CompareOp::kEq, std::string("female")},
+      {"rank", storage::CompareOp::kLt, int64_t{20000}}};
+  std::vector<int64_t> sel_ref, sel_new;
+  const double select_ref_ms = bench::MedianMs(kReps, [&] {
+    sel_ref = storage::reference::SelectAll(players, preds).TakeValue();
+  });
+  const double select_new_ms = bench::MedianMs(kReps, [&] {
+    sel_new = storage::SelectAll(players, preds).TakeValue();
+  });
+  report("select (3 predicates)", "select", select_ref_ms, select_new_ms,
+         sel_new.size());
+
+  // --- webspace path query: selection + association walk + hop filter ---
+  webspace::WebspaceQuery path_query;
+  path_query.source = {"Player",
+                       {{"hand", storage::CompareOp::kEq, std::string("left")}}};
+  path_query.path.push_back(webspace::PathStep{
+      "plays_in", false, -1,
+      {"Video", {{"year", storage::CompareOp::kGe, int64_t{1998}}}}});
+  std::vector<int64_t> path_ref, path_new;
+  const double path_ref_ms = bench::MedianMs(
+      kReps, [&] { path_ref = OldExecuteQuery(store, path_query); });
+  const double path_new_ms = bench::MedianMs(kReps, [&] {
+    path_new = webspace::ExecuteQuery(store, path_query).TakeValue();
+  });
+  report("path query (1 hop)", "path_query", path_ref_ms, path_new_ms,
+         path_new.size());
+  if (path_ref != path_new) {
+    std::printf("ERROR: path query results diverge from the scalar path\n");
+  }
+
+  // --- hash join: 100k probe rows into a 20k-row build side ---
+  auto make_side = [&](int64_t rows, uint64_t seed) {
+    storage::Table t =
+        storage::Table::Create({{"key", storage::DataType::kInt64},
+                                {"payload", storage::DataType::kDouble}})
+            .TakeValue();
+    Rng r2(seed);
+    for (int64_t i = 0; i < rows; ++i) {
+      (void)t.AppendRow({r2.NextInt(0, 20000), r2.NextDouble()});
+    }
+    return t;
+  };
+  storage::Table join_left = make_side(kPlayers, 7);
+  storage::Table join_right = make_side(20000, 8);
+  storage::Table join_out_ref =
+      storage::reference::HashJoin(join_left, join_right, "key", "key")
+          .TakeValue();
+  const double join_ref_ms = bench::MedianMs(kReps, [&] {
+    auto out = storage::reference::HashJoin(join_left, join_right, "key", "key");
+    benchmark::DoNotOptimize(out);
+  });
+  storage::Table join_out_new =
+      storage::HashJoin(join_left, join_right, "key", "key",
+                        storage::JoinOptions{4})
+          .TakeValue();
+  const double join_new_ms = bench::MedianMs(kReps, [&] {
+    auto out = storage::HashJoin(join_left, join_right, "key", "key",
+                                 storage::JoinOptions{4});
+    benchmark::DoNotOptimize(out);
+  });
+  report("hash join (4 threads)", "hash_join", join_ref_ms, join_new_ms,
+         static_cast<size_t>(join_out_new.num_rows()));
+  if (join_out_ref.num_rows() != join_out_new.num_rows()) {
+    std::printf("ERROR: join cardinality diverges from the scalar path\n");
+  }
+
+  // --- order-by/limit top-10 ---
+  std::vector<int64_t> top_ref, top_new;
+  const double orderby_ref_ms = bench::MedianMs(kReps, [&] {
+    top_ref =
+        storage::reference::OrderBy(players, "rating", true, 10).TakeValue();
+  });
+  const double orderby_new_ms = bench::MedianMs(kReps, [&] {
+    top_new = storage::OrderBy(players, "rating", true, 10).TakeValue();
+  });
+  report("order-by top-10", "orderby", orderby_ref_ms, orderby_new_ms,
+         top_new.size());
+  if (top_ref != top_new) {
+    std::printf("ERROR: order-by results diverge from the scalar path\n");
+  }
+
+  // --- bit-identity across forced SIMD tiers ---
+  bool identical = sel_ref == sel_new;
+  for (int level : {0, 1, 2}) {
+    util::simd::SetForcedLevel(level);
+    identical = identical &&
+                storage::SelectAll(players, preds).TakeValue() == sel_ref &&
+                webspace::ExecuteQuery(store, path_query).TakeValue() == path_ref;
+  }
+  util::simd::SetForcedLevel(-1);
+  std::printf("\nforced tiers scalar/sse4.1/avx2 bit-identical: %s\n",
+              identical ? "yes" : "NO");
+  bench::PrintJsonMetric("e7_combined_query", "tiers_identical",
+                         identical ? 1.0 : 0.0);
+  bench::PrintRule();
+}
+
 void BM_CombinedQuery(benchmark::State& state) {
   const Library& lib = SharedLibrary();
   auto query = engine::ParseQuery(
@@ -267,8 +486,10 @@ BENCHMARK(BM_QueryParse)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  cobra::bench::OpenJsonArtifact("BENCH_E7.json");
   RunComparison();
   RunQueryEngine();
+  RunColumnarScale();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

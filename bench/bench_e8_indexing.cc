@@ -6,10 +6,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "bench_util.h"
+#include "core/meta_index.h"
 #include "core/tennis_fde.h"
 #include "grammar/fde.h"
 #include "media/tennis_synthesizer.h"
+#include "storage/ops.h"
+#include "util/rng.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -67,6 +75,128 @@ void RunThroughputTable() {
   bench::PrintRule();
 }
 
+// ---------------------------------------------------------------------------
+// E8b — meta-index scene lookup at 100k event rows: the vectorized
+// dictionary/zone-map scan behind FindScenes against the pre-PR
+// row-at-a-time path (storage::reference + per-cell GetValue), which is
+// reproduced here verbatim.
+
+/// Pre-PR FindScenes over the events table.
+std::vector<core::Scene> OldFindScenes(const storage::Table& events,
+                                       const std::string& event_name,
+                                       int64_t video_id, int64_t player) {
+  std::vector<storage::Predicate> preds = {
+      {"name", storage::CompareOp::kEq, event_name}};
+  if (video_id >= 0) {
+    preds.push_back({"video_id", storage::CompareOp::kEq, video_id});
+  }
+  if (player >= 0) {
+    preds.push_back({"player", storage::CompareOp::kEq, player});
+  }
+  auto rows = storage::reference::SelectAll(events, preds).TakeValue();
+  std::vector<core::Scene> out;
+  for (int64_t r : rows) {
+    core::Scene scene;
+    scene.video_id = events.GetInt(r, 0).TakeValue();
+    scene.event = events.GetString(r, 1).TakeValue();
+    scene.player = events.GetInt(r, 2).TakeValue();
+    scene.range.begin = events.GetInt(r, 3).TakeValue();
+    scene.range.end = events.GetInt(r, 4).TakeValue();
+    out.push_back(std::move(scene));
+  }
+  return out;
+}
+
+bool ScenesEqual(const std::vector<core::Scene>& a,
+                 const std::vector<core::Scene>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].video_id != b[i].video_id || a[i].player != b[i].player ||
+        a[i].event != b[i].event || a[i].range.begin != b[i].range.begin ||
+        a[i].range.end != b[i].range.end) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RunMetaIndexScale() {
+  bench::PrintHeader("E8b", "meta-index scene lookup at 100k event rows");
+  constexpr int64_t kVideos = 100;
+  constexpr int64_t kEventsPerVideo = 1000;
+  constexpr int kReps = 5;
+  const char* names[] = {"net_play", "rally", "service", "smash", "baseline"};
+
+  auto meta = core::MetaIndex::Create().TakeValue();
+  Rng rng(77);
+  for (int64_t v = 0; v < kVideos; ++v) {
+    core::VideoDescription desc(v, "synthetic", 25.0, 40000);
+    for (int64_t e = 0; e < kEventsPerVideo; ++e) {
+      const int64_t begin = rng.NextInt(0, 39000);
+      desc.Add(core::CobraLayer::kEvent,
+               grammar::Annotation(names[rng.NextBounded(5)],
+                                   {begin, begin + rng.NextInt(10, 900)})
+                   .Set("player", rng.NextInt(-1, 3)));
+    }
+    (void)meta.AddVideo(desc);
+  }
+  std::printf("events table: %lld rows over %lld videos\n\n",
+              static_cast<long long>(meta.events().num_rows()),
+              static_cast<long long>(kVideos));
+
+  // A query mix from broad to narrow, timed as one batch.
+  struct Query {
+    std::string name;
+    int64_t video_id, player;
+  };
+  std::vector<Query> queries;
+  for (int i = 0; i < 20; ++i) {
+    queries.push_back({names[rng.NextBounded(5)],
+                       rng.NextInt(0, kVideos - 1), rng.NextInt(-1, 3)});
+  }
+  queries.push_back({"net_play", -1, -1});  // full-table
+  queries.push_back({"no_such_event", 3, -1});  // dictionary miss
+
+  std::vector<core::Scene> last_ref, last_new;
+  const double ref_ms = bench::MedianMs(kReps, [&] {
+    for (const Query& q : queries) {
+      last_ref = OldFindScenes(meta.events(), q.name, q.video_id, q.player);
+    }
+  });
+  const double new_ms = bench::MedianMs(kReps, [&] {
+    for (const Query& q : queries) {
+      last_new = meta.FindScenes(q.name, q.video_id, q.player).TakeValue();
+    }
+  });
+  std::printf("%-26s %10s %10s %9s\n", "path (22-query batch)", "ref_ms",
+              "new_ms", "speedup");
+  std::printf("%-26s %10.3f %10.3f %8.1fx\n", "FindScenes", ref_ms, new_ms,
+              ref_ms / std::max(new_ms, 1e-9));
+  bench::PrintJsonMetric("e8_indexing", "findscenes_ref_ms", ref_ms);
+  bench::PrintJsonMetric("e8_indexing", "findscenes_new_ms", new_ms);
+  bench::PrintJsonMetric("e8_indexing", "findscenes_speedup",
+                         ref_ms / std::max(new_ms, 1e-9));
+
+  // Bit-identity: the vectorized lookup must agree with the reference path
+  // on every forced SIMD tier for every query in the mix.
+  bool identical = true;
+  for (int level : {-1, 0, 1, 2}) {
+    util::simd::SetForcedLevel(level);
+    for (const Query& q : queries) {
+      identical =
+          identical &&
+          ScenesEqual(meta.FindScenes(q.name, q.video_id, q.player).TakeValue(),
+                      OldFindScenes(meta.events(), q.name, q.video_id,
+                                    q.player));
+    }
+  }
+  util::simd::SetForcedLevel(-1);
+  std::printf("forced tiers bit-identical: %s\n", identical ? "yes" : "NO");
+  bench::PrintJsonMetric("e8_indexing", "tiers_identical",
+                         identical ? 1.0 : 0.0);
+  bench::PrintRule();
+}
+
 void BM_SynthesizeBroadcast(benchmark::State& state) {
   auto config = bench::DefaultBroadcast();
   config.num_points = static_cast<int>(state.range(0));
@@ -107,7 +237,9 @@ BENCHMARK(BM_IncrementalReindex)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  cobra::bench::OpenJsonArtifact("BENCH_E8.json");
   RunThroughputTable();
+  RunMetaIndexScale();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

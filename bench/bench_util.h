@@ -80,6 +80,21 @@ double MedianMpixPerSec(int64_t pixels, int reps, Fn&& fn) {
   return rates[static_cast<size_t>(reps) / 2];
 }
 
+/// Median wall-clock milliseconds of `fn` over `reps` repetitions; the
+/// median discards scheduler noise without needing a long steady-state run.
+template <typename Fn>
+double MedianMs(int reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    fn();
+    times.push_back(timer.Millis());
+  }
+  std::sort(times.begin(), times.end());
+  return times[static_cast<size_t>(reps) / 2];
+}
+
 /// The default broadcast for detector experiments: ~1.3k frames, 5 points.
 inline media::TennisSynthConfig DefaultBroadcast(uint64_t seed = 42,
                                                  double noise_sigma = 4.0) {

@@ -71,14 +71,23 @@ Result<std::vector<Scene>> MetaIndex::FindScenes(const std::string& event_name,
   }
   COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> rows,
                          storage::SelectAll(events_, preds));
+  // Hoisted typed columns: materializing a scene is four array reads plus
+  // one string copy, not five checked GetValue round trips.
+  const auto& vids = events_.IntColumn(0);
+  const auto& names = events_.StringColumn(1);
+  const auto& players = events_.IntColumn(2);
+  const auto& begins = events_.IntColumn(3);
+  const auto& ends = events_.IntColumn(4);
   std::vector<Scene> out;
+  out.reserve(rows.size());
   for (int64_t r : rows) {
+    const size_t i = static_cast<size_t>(r);
     Scene scene;
-    COBRA_ASSIGN_OR_RETURN(scene.video_id, events_.GetInt(r, 0));
-    COBRA_ASSIGN_OR_RETURN(scene.event, events_.GetString(r, 1));
-    COBRA_ASSIGN_OR_RETURN(scene.player, events_.GetInt(r, 2));
-    COBRA_ASSIGN_OR_RETURN(scene.range.begin, events_.GetInt(r, 3));
-    COBRA_ASSIGN_OR_RETURN(scene.range.end, events_.GetInt(r, 4));
+    scene.video_id = vids[i];
+    scene.event = names[i];
+    scene.player = players[i];
+    scene.range.begin = begins[i];
+    scene.range.end = ends[i];
     out.push_back(std::move(scene));
   }
   return out;
@@ -91,12 +100,13 @@ Result<std::vector<FrameInterval>> MetaIndex::FindShots(
       storage::SelectAll(
           shots_, {Predicate{"category", CompareOp::kEq, category},
                    Predicate{"video_id", CompareOp::kEq, video_id}}));
+  const auto& begins = shots_.IntColumn(1);
+  const auto& ends = shots_.IntColumn(2);
   std::vector<FrameInterval> out;
+  out.reserve(rows.size());
   for (int64_t r : rows) {
-    FrameInterval range;
-    COBRA_ASSIGN_OR_RETURN(range.begin, shots_.GetInt(r, 1));
-    COBRA_ASSIGN_OR_RETURN(range.end, shots_.GetInt(r, 2));
-    out.push_back(range);
+    out.push_back(FrameInterval{begins[static_cast<size_t>(r)],
+                                ends[static_cast<size_t>(r)]});
   }
   return out;
 }

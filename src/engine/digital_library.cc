@@ -183,10 +183,12 @@ DigitalLibrary::ScenesPerPlayer(const std::string& event) const {
                          store_.ClassTable("Player"));
   std::vector<std::pair<std::string, int64_t>> out;
   std::set<int64_t> indexed(indexed_videos_.begin(), indexed_videos_.end());
+  COBRA_ASSIGN_OR_RETURN(size_t name_col, players->ColumnIndex("name"));
+  const auto& oids = players->IntColumn(0);
+  const auto& names = players->StringColumn(name_col);
   for (int64_t row = 0; row < players->num_rows(); ++row) {
-    COBRA_ASSIGN_OR_RETURN(int64_t oid, players->GetInt(row, 0));
-    COBRA_ASSIGN_OR_RETURN(size_t name_col, players->ColumnIndex("name"));
-    COBRA_ASSIGN_OR_RETURN(std::string name, players->GetString(row, name_col));
+    const int64_t oid = oids[static_cast<size_t>(row)];
+    std::string name = names[static_cast<size_t>(row)];
     int64_t scenes = 0;
     COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> videos,
                            store_.Traverse("plays_in", {oid}));

@@ -1,0 +1,462 @@
+#include "storage/column_kernels.h"
+
+#include <bit>
+
+// SIMD tiers exist only on x86-64 GCC/Clang builds with the COBRA_SIMD CMake
+// option ON; everywhere else only the scalar tier is compiled and dispatch
+// degenerates to it.
+#if defined(COBRA_SIMD) && COBRA_SIMD && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define COBRA_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define COBRA_SIMD_X86 0
+#endif
+
+namespace cobra::storage::kernels {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference tier.
+//
+// The per-element predicate is EvalCompare(CompareScalar(v, lit), op) — the
+// exact form the row-at-a-time operators used — so the vector tiers only
+// have to reproduce this truth table to be bit-identical.
+// ---------------------------------------------------------------------------
+
+namespace scalar {
+
+template <typename T>
+void SelectTyped(const T* data, size_t n, T lit, CompareOp op, int64_t base,
+                 std::vector<int64_t>* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (EvalCompare(CompareScalar(data[i], lit), op)) {
+      out->push_back(base + static_cast<int64_t>(i));
+    }
+  }
+}
+
+void SelectI64(const int64_t* data, size_t n, int64_t lit, CompareOp op,
+               int64_t base, std::vector<int64_t>* out) {
+  SelectTyped(data, n, lit, op, base, out);
+}
+
+void SelectF64(const double* data, size_t n, double lit, CompareOp op,
+               int64_t base, std::vector<int64_t>* out) {
+  SelectTyped(data, n, lit, op, base, out);
+}
+
+void SelectI32(const int32_t* codes, size_t n, int32_t lit, CompareOp op,
+               int64_t base, std::vector<int64_t>* out) {
+  SelectTyped(codes, n, lit, op, base, out);
+}
+
+void SelectLut(const int32_t* codes, size_t n, const uint8_t* lut,
+               int64_t base, std::vector<int64_t>* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (lut[codes[i]] != 0) out->push_back(base + static_cast<int64_t>(i));
+  }
+}
+
+}  // namespace scalar
+
+constexpr SelectOps kScalarOps = {
+    scalar::SelectI64,
+    scalar::SelectF64,
+    scalar::SelectI32,
+    scalar::SelectLut,
+};
+
+#if COBRA_SIMD_X86
+
+// Appends base + bit-index for every set bit of `mask`, ascending — the
+// vector-to-selection-vector step. Bit order equals element order, so the
+// output matches the scalar loop exactly.
+inline void EmitMask(unsigned mask, int64_t base, std::vector<int64_t>* out) {
+  while (mask != 0) {
+    out->push_back(base + std::countr_zero(mask));
+    mask &= mask - 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SSE4.1 tier: 2 int64 / 2 double / 4 int32 lanes per iteration.
+//
+// int64 ordered compares need pcmpgtq (SSE4.2), so only kEq/kNe vectorize
+// in this tier; the ordered int64 ops run the scalar loop (still
+// bit-identical — the dispatch contract is exactness, not uniform speed).
+// ---------------------------------------------------------------------------
+
+#pragma GCC push_options
+#pragma GCC target("sse4.1")
+
+namespace sse41 {
+
+template <CompareOp Op>
+void SelectI64Loop(const int64_t* data, size_t n, int64_t lit, int64_t base,
+                   std::vector<int64_t>* out) {
+  static_assert(Op == CompareOp::kEq || Op == CompareOp::kNe);
+  const __m128i vlit = _mm_set1_epi64x(lit);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    unsigned eq = static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(v, vlit))));
+    const unsigned mask = Op == CompareOp::kEq ? eq : (~eq & 0x3u);
+    EmitMask(mask, base + static_cast<int64_t>(i), out);
+  }
+  scalar::SelectTyped(data + i, n - i, lit, Op, base + static_cast<int64_t>(i),
+                      out);
+}
+
+void SelectI64(const int64_t* data, size_t n, int64_t lit, CompareOp op,
+               int64_t base, std::vector<int64_t>* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return SelectI64Loop<CompareOp::kEq>(data, n, lit, base, out);
+    case CompareOp::kNe:
+      return SelectI64Loop<CompareOp::kNe>(data, n, lit, base, out);
+    default:
+      return scalar::SelectI64(data, n, lit, op, base, out);
+  }
+}
+
+template <CompareOp Op>
+void SelectF64Loop(const double* data, size_t n, double lit, int64_t base,
+                   std::vector<int64_t>* out) {
+  const __m128d vlit = _mm_set1_pd(lit);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d v = _mm_loadu_pd(data + i);
+    // lt/gt are ordered compares: false whenever an operand is NaN, which
+    // makes NaN "tie" exactly like the scalar CompareScalar form.
+    const unsigned lt = static_cast<unsigned>(
+        _mm_movemask_pd(_mm_cmplt_pd(v, vlit)));
+    const unsigned gt = static_cast<unsigned>(
+        _mm_movemask_pd(_mm_cmpgt_pd(v, vlit)));
+    unsigned mask = 0;
+    if constexpr (Op == CompareOp::kEq) {
+      mask = ~(lt | gt) & 0x3u;
+    } else if constexpr (Op == CompareOp::kNe) {
+      mask = lt | gt;
+    } else if constexpr (Op == CompareOp::kLt) {
+      mask = lt;
+    } else if constexpr (Op == CompareOp::kLe) {
+      mask = ~gt & 0x3u;
+    } else if constexpr (Op == CompareOp::kGt) {
+      mask = gt;
+    } else {  // kGe
+      mask = ~lt & 0x3u;
+    }
+    EmitMask(mask, base + static_cast<int64_t>(i), out);
+  }
+  scalar::SelectTyped(data + i, n - i, lit, Op, base + static_cast<int64_t>(i),
+                      out);
+}
+
+void SelectF64(const double* data, size_t n, double lit, CompareOp op,
+               int64_t base, std::vector<int64_t>* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return SelectF64Loop<CompareOp::kEq>(data, n, lit, base, out);
+    case CompareOp::kNe:
+      return SelectF64Loop<CompareOp::kNe>(data, n, lit, base, out);
+    case CompareOp::kLt:
+      return SelectF64Loop<CompareOp::kLt>(data, n, lit, base, out);
+    case CompareOp::kLe:
+      return SelectF64Loop<CompareOp::kLe>(data, n, lit, base, out);
+    case CompareOp::kGt:
+      return SelectF64Loop<CompareOp::kGt>(data, n, lit, base, out);
+    case CompareOp::kGe:
+      return SelectF64Loop<CompareOp::kGe>(data, n, lit, base, out);
+    default:
+      return scalar::SelectF64(data, n, lit, op, base, out);
+  }
+}
+
+template <CompareOp Op>
+void SelectI32Loop(const int32_t* codes, size_t n, int32_t lit, int64_t base,
+                   std::vector<int64_t>* out) {
+  const __m128i vlit = _mm_set1_epi32(lit);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    const unsigned eq = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, vlit))));
+    const unsigned gt = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(v, vlit))));
+    unsigned mask = 0;
+    if constexpr (Op == CompareOp::kEq) {
+      mask = eq;
+    } else if constexpr (Op == CompareOp::kNe) {
+      mask = ~eq & 0xFu;
+    } else if constexpr (Op == CompareOp::kLt) {
+      mask = ~(eq | gt) & 0xFu;
+    } else if constexpr (Op == CompareOp::kLe) {
+      mask = ~gt & 0xFu;
+    } else if constexpr (Op == CompareOp::kGt) {
+      mask = gt;
+    } else {  // kGe
+      mask = eq | gt;
+    }
+    EmitMask(mask, base + static_cast<int64_t>(i), out);
+  }
+  scalar::SelectTyped(codes + i, n - i, lit, Op, base + static_cast<int64_t>(i),
+                      out);
+}
+
+void SelectI32(const int32_t* codes, size_t n, int32_t lit, CompareOp op,
+               int64_t base, std::vector<int64_t>* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return SelectI32Loop<CompareOp::kEq>(codes, n, lit, base, out);
+    case CompareOp::kNe:
+      return SelectI32Loop<CompareOp::kNe>(codes, n, lit, base, out);
+    case CompareOp::kLt:
+      return SelectI32Loop<CompareOp::kLt>(codes, n, lit, base, out);
+    case CompareOp::kLe:
+      return SelectI32Loop<CompareOp::kLe>(codes, n, lit, base, out);
+    case CompareOp::kGt:
+      return SelectI32Loop<CompareOp::kGt>(codes, n, lit, base, out);
+    case CompareOp::kGe:
+      return SelectI32Loop<CompareOp::kGe>(codes, n, lit, base, out);
+    default:
+      return scalar::SelectI32(codes, n, lit, op, base, out);
+  }
+}
+
+}  // namespace sse41
+
+#pragma GCC pop_options
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: 4 int64 / 4 double / 8 int32 lanes per iteration. AVX2 has
+// vpcmpgtq, so all int64 operators vectorize here.
+// ---------------------------------------------------------------------------
+
+#pragma GCC push_options
+#pragma GCC target("avx2")
+
+namespace avx2 {
+
+template <CompareOp Op>
+void SelectI64Loop(const int64_t* data, size_t n, int64_t lit, int64_t base,
+                   std::vector<int64_t>* out) {
+  const __m256i vlit = _mm256_set1_epi64x(lit);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    unsigned mask = 0;
+    if constexpr (Op == CompareOp::kEq) {
+      mask = static_cast<unsigned>(_mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, vlit))));
+    } else if constexpr (Op == CompareOp::kNe) {
+      mask = ~static_cast<unsigned>(_mm256_movemask_pd(
+                 _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, vlit)))) &
+             0xFu;
+    } else if constexpr (Op == CompareOp::kLt) {
+      mask = static_cast<unsigned>(_mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_cmpgt_epi64(vlit, v))));
+    } else if constexpr (Op == CompareOp::kLe) {
+      mask = ~static_cast<unsigned>(_mm256_movemask_pd(
+                 _mm256_castsi256_pd(_mm256_cmpgt_epi64(v, vlit)))) &
+             0xFu;
+    } else if constexpr (Op == CompareOp::kGt) {
+      mask = static_cast<unsigned>(_mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_cmpgt_epi64(v, vlit))));
+    } else {  // kGe
+      mask = ~static_cast<unsigned>(_mm256_movemask_pd(
+                 _mm256_castsi256_pd(_mm256_cmpgt_epi64(vlit, v)))) &
+             0xFu;
+    }
+    EmitMask(mask, base + static_cast<int64_t>(i), out);
+  }
+  scalar::SelectTyped(data + i, n - i, lit, Op, base + static_cast<int64_t>(i),
+                      out);
+}
+
+void SelectI64(const int64_t* data, size_t n, int64_t lit, CompareOp op,
+               int64_t base, std::vector<int64_t>* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return SelectI64Loop<CompareOp::kEq>(data, n, lit, base, out);
+    case CompareOp::kNe:
+      return SelectI64Loop<CompareOp::kNe>(data, n, lit, base, out);
+    case CompareOp::kLt:
+      return SelectI64Loop<CompareOp::kLt>(data, n, lit, base, out);
+    case CompareOp::kLe:
+      return SelectI64Loop<CompareOp::kLe>(data, n, lit, base, out);
+    case CompareOp::kGt:
+      return SelectI64Loop<CompareOp::kGt>(data, n, lit, base, out);
+    case CompareOp::kGe:
+      return SelectI64Loop<CompareOp::kGe>(data, n, lit, base, out);
+    default:
+      return scalar::SelectI64(data, n, lit, op, base, out);
+  }
+}
+
+template <CompareOp Op>
+void SelectF64Loop(const double* data, size_t n, double lit, int64_t base,
+                   std::vector<int64_t>* out) {
+  const __m256d vlit = _mm256_set1_pd(lit);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(data + i);
+    const unsigned lt = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(v, vlit, _CMP_LT_OQ)));
+    const unsigned gt = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(v, vlit, _CMP_GT_OQ)));
+    unsigned mask = 0;
+    if constexpr (Op == CompareOp::kEq) {
+      mask = ~(lt | gt) & 0xFu;
+    } else if constexpr (Op == CompareOp::kNe) {
+      mask = lt | gt;
+    } else if constexpr (Op == CompareOp::kLt) {
+      mask = lt;
+    } else if constexpr (Op == CompareOp::kLe) {
+      mask = ~gt & 0xFu;
+    } else if constexpr (Op == CompareOp::kGt) {
+      mask = gt;
+    } else {  // kGe
+      mask = ~lt & 0xFu;
+    }
+    EmitMask(mask, base + static_cast<int64_t>(i), out);
+  }
+  scalar::SelectTyped(data + i, n - i, lit, Op, base + static_cast<int64_t>(i),
+                      out);
+}
+
+void SelectF64(const double* data, size_t n, double lit, CompareOp op,
+               int64_t base, std::vector<int64_t>* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return SelectF64Loop<CompareOp::kEq>(data, n, lit, base, out);
+    case CompareOp::kNe:
+      return SelectF64Loop<CompareOp::kNe>(data, n, lit, base, out);
+    case CompareOp::kLt:
+      return SelectF64Loop<CompareOp::kLt>(data, n, lit, base, out);
+    case CompareOp::kLe:
+      return SelectF64Loop<CompareOp::kLe>(data, n, lit, base, out);
+    case CompareOp::kGt:
+      return SelectF64Loop<CompareOp::kGt>(data, n, lit, base, out);
+    case CompareOp::kGe:
+      return SelectF64Loop<CompareOp::kGe>(data, n, lit, base, out);
+    default:
+      return scalar::SelectF64(data, n, lit, op, base, out);
+  }
+}
+
+template <CompareOp Op>
+void SelectI32Loop(const int32_t* codes, size_t n, int32_t lit, int64_t base,
+                   std::vector<int64_t>* out) {
+  const __m256i vlit = _mm256_set1_epi32(lit);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    const unsigned eq = static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(v, vlit))));
+    const unsigned gt = static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(v, vlit))));
+    unsigned mask = 0;
+    if constexpr (Op == CompareOp::kEq) {
+      mask = eq;
+    } else if constexpr (Op == CompareOp::kNe) {
+      mask = ~eq & 0xFFu;
+    } else if constexpr (Op == CompareOp::kLt) {
+      mask = ~(eq | gt) & 0xFFu;
+    } else if constexpr (Op == CompareOp::kLe) {
+      mask = ~gt & 0xFFu;
+    } else if constexpr (Op == CompareOp::kGt) {
+      mask = gt;
+    } else {  // kGe
+      mask = eq | gt;
+    }
+    EmitMask(mask, base + static_cast<int64_t>(i), out);
+  }
+  scalar::SelectTyped(codes + i, n - i, lit, Op, base + static_cast<int64_t>(i),
+                      out);
+}
+
+void SelectI32(const int32_t* codes, size_t n, int32_t lit, CompareOp op,
+               int64_t base, std::vector<int64_t>* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return SelectI32Loop<CompareOp::kEq>(codes, n, lit, base, out);
+    case CompareOp::kNe:
+      return SelectI32Loop<CompareOp::kNe>(codes, n, lit, base, out);
+    case CompareOp::kLt:
+      return SelectI32Loop<CompareOp::kLt>(codes, n, lit, base, out);
+    case CompareOp::kLe:
+      return SelectI32Loop<CompareOp::kLe>(codes, n, lit, base, out);
+    case CompareOp::kGt:
+      return SelectI32Loop<CompareOp::kGt>(codes, n, lit, base, out);
+    case CompareOp::kGe:
+      return SelectI32Loop<CompareOp::kGe>(codes, n, lit, base, out);
+    default:
+      return scalar::SelectI32(codes, n, lit, op, base, out);
+  }
+}
+
+}  // namespace avx2
+
+#pragma GCC pop_options
+
+constexpr SelectOps kSse41Ops = {
+    sse41::SelectI64,
+    sse41::SelectF64,
+    sse41::SelectI32,
+    scalar::SelectLut,
+};
+
+constexpr SelectOps kAvx2Ops = {
+    avx2::SelectI64,
+    avx2::SelectF64,
+    avx2::SelectI32,
+    scalar::SelectLut,
+};
+
+#endif  // COBRA_SIMD_X86
+
+}  // namespace
+
+const SelectOps& ScalarOps() { return kScalarOps; }
+
+SimdLevel BestSupportedLevel() {
+#if COBRA_SIMD_X86
+  return util::simd::CpuBestLevel();
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+const SelectOps* OpsFor(SimdLevel level) {
+  if (level == SimdLevel::kScalar) return &kScalarOps;
+#if COBRA_SIMD_X86
+  if (static_cast<int>(level) > static_cast<int>(BestSupportedLevel())) {
+    return nullptr;
+  }
+  if (level == SimdLevel::kSse41) return &kSse41Ops;
+  if (level == SimdLevel::kAvx2) return &kAvx2Ops;
+#endif
+  return nullptr;
+}
+
+SimdLevel ActiveLevel() {
+  const int forced = util::simd::ForcedLevel();
+  if (forced < 0) return BestSupportedLevel();
+  // The shared cap may name a tier this library did not compile; clamp down.
+  int clamped = forced;
+  while (clamped > 0 && OpsFor(static_cast<SimdLevel>(clamped)) == nullptr) {
+    --clamped;
+  }
+  return static_cast<SimdLevel>(clamped);
+}
+
+const SelectOps& Ops() { return *OpsFor(ActiveLevel()); }
+
+}  // namespace cobra::storage::kernels

@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file column_kernels.h
+/// Block-at-a-time selection kernels for the column store, with runtime SIMD
+/// dispatch.
+///
+/// Ref [1] runs retrieval inside Monet, a column-at-a-time DBMS; the
+/// MonetDB/X100 line of work (Boncz et al., CIDR 2005) showed that the
+/// per-row interpreted predicate loop is the dominant cost of such a store
+/// and replaced it with vectorized primitives over typed arrays. This layer
+/// is that substrate for `storage::Table`: each kernel scans one contiguous
+/// block of a typed column against one literal and appends the qualifying
+/// row ids (ascending) to a selection vector.
+///
+/// Tiers follow the policy of `vision/kernels` (DESIGN.md §4d): a portable
+/// scalar reference that is always compiled, plus SSE4.1 and AVX2
+/// implementations compiled under the `COBRA_SIMD` CMake option and picked
+/// at runtime through the shared `util/simd` dispatch state, so the test
+/// override that forces a tier caps every kernel layer in the process at
+/// once.
+///
+/// Exactness: all tiers are bit-identical by construction — a selection
+/// kernel emits row indices in ascending order from per-element predicate
+/// outcomes, and every tier evaluates the same predicate on the same
+/// element (vector compares + mask iteration preserve element order; ragged
+/// tails fall back to the scalar per-element form). Doubles follow the
+/// scalar comparison semantics of `CompareValues`: NaN compares neither
+/// below nor above any literal, so it ties (cmp == 0) and therefore
+/// *matches* kEq/kLe/kGe — the vector tiers reproduce this exactly via
+/// ordered-quiet compare predicates.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/simd.h"
+
+namespace cobra::storage {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+/// Evaluates a three-way comparison outcome against an operator. kContains
+/// is not a three-way comparison and always yields false here; callers
+/// handle it through the dictionary LUT path.
+inline bool EvalCompare(int cmp, CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+    case CompareOp::kContains:
+      return false;  // handled through the dictionary LUT path
+  }
+  return false;
+}
+
+/// Three-way compare with the exact semantics of `CompareValues`: for
+/// doubles a NaN operand makes both orderings false, so the result is 0.
+template <typename T>
+inline int CompareScalar(T v, T lit) {
+  return v < lit ? -1 : (v > lit ? 1 : 0);
+}
+
+namespace kernels {
+
+using util::simd::SimdLevel;
+using util::simd::SimdLevelName;
+
+/// One tier of selection kernels. Each scans `n` elements of a typed column
+/// block and appends `base + i` (ascending i) to `*out` for every element
+/// satisfying the predicate. All kernels accept n == 0.
+struct SelectOps {
+  /// int64 column vs int64 literal.
+  void (*select_i64)(const int64_t* data, size_t n, int64_t lit, CompareOp op,
+                     int64_t base, std::vector<int64_t>* out);
+  /// double column vs double literal (NaN semantics as documented above).
+  void (*select_f64)(const double* data, size_t n, double lit, CompareOp op,
+                     int64_t base, std::vector<int64_t>* out);
+  /// Dictionary-code column vs literal code (string equality/inequality
+  /// after dictionary lookup). Codes are non-negative.
+  void (*select_i32)(const int32_t* codes, size_t n, int32_t lit, CompareOp op,
+                     int64_t base, std::vector<int64_t>* out);
+  /// Dictionary-LUT selection: keeps row i when lut[codes[i]] != 0. The LUT
+  /// is indexed by dictionary code and encodes any per-unique-string
+  /// predicate (ordering, substring containment), so per-row work is O(1)
+  /// regardless of string length. Scalar in every tier (the lookup is a
+  /// data-dependent gather); listed here so the dispatch surface is uniform.
+  void (*select_lut)(const int32_t* codes, size_t n, const uint8_t* lut,
+                     int64_t base, std::vector<int64_t>* out);
+};
+
+/// The portable scalar reference tier (always available).
+const SelectOps& ScalarOps();
+
+/// Ops table for `level`, or nullptr if that tier is compiled out or the
+/// CPU lacks the instructions. `kScalar` never returns nullptr.
+const SelectOps* OpsFor(SimdLevel level);
+
+/// Highest tier available on this build + CPU (computed once).
+SimdLevel BestSupportedLevel();
+
+/// The tier `Ops()` currently dispatches to: `BestSupportedLevel()` unless
+/// capped by `util::simd::SetForcedLevel` (clamped to compiled tiers).
+SimdLevel ActiveLevel();
+
+/// The active ops table. Hoist `const SelectOps& ops = Ops();` out of block
+/// loops.
+const SelectOps& Ops();
+
+}  // namespace kernels
+}  // namespace cobra::storage

@@ -4,17 +4,26 @@
 /// Column-at-a-time relational operators over `Table`: selection vectors,
 /// refinement, materialization, hash join, order-by/limit. Enough algebra
 /// to run the meta-index and webspace query plans.
+///
+/// Selection (`Select`/`Refine`/`SelectAll`) is vectorized (DESIGN.md §4f):
+/// predicates run block-at-a-time through the `column_kernels` SIMD tiers
+/// over typed arrays — string predicates over int32 dictionary codes — and
+/// per-block zone maps skip blocks that cannot contain a match. `HashJoin`
+/// on int64/string keys builds an integer-keyed hash table and can probe in
+/// parallel. The pre-vectorization row-at-a-time implementations are kept
+/// verbatim in `storage::reference` as the equivalence oracle for property
+/// tests and before/after benchmarks; both paths are bit-identical on every
+/// input and every SIMD tier.
 
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "storage/column_kernels.h"
 #include "storage/table.h"
 
 namespace cobra::storage {
-
-enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
 
 /// `column op literal`. kContains applies to string columns only
 /// (substring match, the webspace "about" predicate).
@@ -40,16 +49,30 @@ Result<std::vector<int64_t>> SelectAll(const Table& table,
 Result<Table> Materialize(const Table& table, const std::vector<int64_t>& rows,
                           const std::vector<std::string>& columns = {});
 
-/// Equi-join on `left_col` = `right_col` (hash join, build on the smaller
-/// side). Output schema: left columns then right columns; a right column
-/// whose name collides gets a "right_" prefix.
+/// Tuning knobs for `HashJoin`.
+struct JoinOptions {
+  /// Probe-side parallelism (README "join threads"). <= 1 probes inline on
+  /// the calling thread; output row order is identical either way (the
+  /// probe is chunked and chunk results are concatenated in chunk order).
+  int num_threads = 1;
+};
+
+/// Equi-join on `left_col` = `right_col`. Output schema: left columns then
+/// right columns; a right column whose name collides gets a "right_"
+/// prefix. Output rows follow left row order; equal-key right matches
+/// follow right row order (same contract as `reference::HashJoin`).
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_col,
+                       const std::string& right_col,
+                       const JoinOptions& options);
 Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::string& left_col,
                        const std::string& right_col);
 
 /// Row ids of `table` ordered by `column` (descending when `desc`),
 /// truncated to `limit` (no truncation when limit == 0). Ties break by
-/// row id, ascending.
+/// row id, ascending. With a limit the sort is a top-k `partial_sort`,
+/// not a full sort.
 Result<std::vector<int64_t>> OrderBy(const Table& table,
                                      const std::string& column, bool desc,
                                      size_t limit = 0);
@@ -72,5 +95,25 @@ Result<std::vector<GroupRow>> GroupBy(const Table& table,
                                       const std::string& key_column,
                                       AggregateOp op,
                                       const std::string& value_column = "");
+
+/// The pre-vectorization row-at-a-time operators, kept as the equivalence
+/// oracle: property tests assert the vectorized operators above return
+/// bit-identical results, and the E7/E8 benches report before/after against
+/// them. Not used by any query path.
+namespace reference {
+
+Result<std::vector<int64_t>> Select(const Table& table, const Predicate& pred);
+Result<std::vector<int64_t>> Refine(const Table& table, const Predicate& pred,
+                                    const std::vector<int64_t>& candidates);
+Result<std::vector<int64_t>> SelectAll(const Table& table,
+                                       const std::vector<Predicate>& preds);
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_col,
+                       const std::string& right_col);
+Result<std::vector<int64_t>> OrderBy(const Table& table,
+                                     const std::string& column, bool desc,
+                                     size_t limit = 0);
+
+}  // namespace reference
 
 }  // namespace cobra::storage

@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "util/strings.h"
@@ -48,6 +50,13 @@ int CompareValues(const Value& a, const Value& b) {
   return sa.compare(sb) < 0 ? -1 : (sa == sb ? 0 : 1);
 }
 
+int32_t Table::StringColumnData::Encode(const std::string& s) {
+  auto [it, inserted] =
+      dict_index.try_emplace(s, static_cast<int32_t>(dict.size()));
+  if (inserted) dict.push_back(s);
+  return it->second;
+}
+
 Result<Table> Table::Create(std::vector<ColumnDef> schema) {
   std::set<std::string> names;
   for (const ColumnDef& def : schema) {
@@ -70,10 +79,11 @@ Result<Table> Table::Create(std::vector<ColumnDef> schema) {
         t.columns_.emplace_back(std::vector<double>{});
         break;
       case DataType::kString:
-        t.columns_.emplace_back(std::vector<std::string>{});
+        t.columns_.emplace_back(StringColumnData{});
         break;
     }
   }
+  t.zones_.resize(t.schema_.size());
   return t;
 }
 
@@ -108,11 +118,15 @@ Status Table::AppendRow(std::vector<Value> values) {
         std::get<std::vector<double>>(columns_[i])
             .push_back(std::get<double>(values[i]));
         break;
-      case DataType::kString:
-        std::get<std::vector<std::string>>(columns_[i])
-            .push_back(std::move(std::get<std::string>(values[i])));
+      case DataType::kString: {
+        auto& sc = std::get<StringColumnData>(columns_[i]);
+        std::string& s = std::get<std::string>(values[i]);
+        sc.codes.push_back(sc.Encode(s));
+        sc.values.push_back(std::move(s));
         break;
+      }
     }
+    ExtendZones(i, num_rows_, num_rows_ + 1);
   }
   ++num_rows_;
   return Status::OK();
@@ -148,7 +162,8 @@ Result<double> Table::GetDouble(int64_t row, size_t col) const {
 
 Result<std::string> Table::GetString(int64_t row, size_t col) const {
   COBRA_RETURN_NOT_OK(CheckCell(*this, row, col, DataType::kString));
-  return std::get<std::vector<std::string>>(columns_[col])[static_cast<size_t>(row)];
+  return std::get<StringColumnData>(columns_[col])
+      .values[static_cast<size_t>(row)];
 }
 
 Result<Value> Table::GetValue(int64_t row, size_t col) const {
@@ -179,7 +194,113 @@ const std::vector<double>& Table::DoubleColumn(size_t col) const {
   return std::get<std::vector<double>>(columns_[col]);
 }
 const std::vector<std::string>& Table::StringColumn(size_t col) const {
-  return std::get<std::vector<std::string>>(columns_[col]);
+  return std::get<StringColumnData>(columns_[col]).values;
+}
+const std::vector<int32_t>& Table::StringCodes(size_t col) const {
+  return std::get<StringColumnData>(columns_[col]).codes;
+}
+const std::vector<std::string>& Table::Dictionary(size_t col) const {
+  return std::get<StringColumnData>(columns_[col]).dict;
+}
+
+int32_t Table::DictCode(size_t col, const std::string& s) const {
+  const auto& sc = std::get<StringColumnData>(columns_[col]);
+  auto it = sc.dict_index.find(s);
+  return it == sc.dict_index.end() ? -1 : it->second;
+}
+
+void Table::GatherColumn(const Table& src, size_t src_col, size_t dst_col,
+                         const std::vector<int64_t>& rows) {
+  switch (schema_[dst_col].type) {
+    case DataType::kInt64: {
+      const auto& in = src.IntColumn(src_col);
+      auto& out = std::get<std::vector<int64_t>>(columns_[dst_col]);
+      out.reserve(out.size() + rows.size());
+      for (int64_t r : rows) out.push_back(in[static_cast<size_t>(r)]);
+      break;
+    }
+    case DataType::kDouble: {
+      const auto& in = src.DoubleColumn(src_col);
+      auto& out = std::get<std::vector<double>>(columns_[dst_col]);
+      out.reserve(out.size() + rows.size());
+      for (int64_t r : rows) out.push_back(in[static_cast<size_t>(r)]);
+      break;
+    }
+    case DataType::kString: {
+      const auto& in = std::get<StringColumnData>(src.columns_[src_col]);
+      auto& out = std::get<StringColumnData>(columns_[dst_col]);
+      out.values.reserve(out.values.size() + rows.size());
+      out.codes.reserve(out.codes.size() + rows.size());
+      // Translate src dictionary codes to dst codes lazily: one string
+      // insert per *unique* value, not per row. First-use order equals row
+      // order, so the resulting dictionary matches what per-row AppendRow
+      // would have built.
+      std::vector<int32_t> translate(in.dict.size(), -1);
+      for (int64_t r : rows) {
+        const int32_t sc = in.codes[static_cast<size_t>(r)];
+        if (translate[static_cast<size_t>(sc)] < 0) {
+          translate[static_cast<size_t>(sc)] =
+              out.Encode(in.dict[static_cast<size_t>(sc)]);
+        }
+        out.codes.push_back(translate[static_cast<size_t>(sc)]);
+        out.values.push_back(in.values[static_cast<size_t>(r)]);
+      }
+      break;
+    }
+  }
+}
+
+void Table::FinishGather(int64_t added) {
+  const int64_t from = num_rows_;
+  num_rows_ += added;
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    ExtendZones(c, from, num_rows_);
+  }
+}
+
+void Table::ExtendZones(size_t col, int64_t from, int64_t to) {
+  auto& zones = zones_[col];
+  auto zone_for = [&zones](int64_t row) -> ZoneEntry& {
+    const size_t b = static_cast<size_t>(row / kBlockRows);
+    if (b == zones.size()) zones.emplace_back();
+    return zones[b];
+  };
+  switch (schema_[col].type) {
+    case DataType::kInt64: {
+      const auto& data = std::get<std::vector<int64_t>>(columns_[col]);
+      for (int64_t r = from; r < to; ++r) {
+        ZoneEntry& z = zone_for(r);
+        const int64_t v = data[static_cast<size_t>(r)];
+        z.imin = std::min(z.imin, v);
+        z.imax = std::max(z.imax, v);
+      }
+      break;
+    }
+    case DataType::kDouble: {
+      const auto& data = std::get<std::vector<double>>(columns_[col]);
+      for (int64_t r = from; r < to; ++r) {
+        ZoneEntry& z = zone_for(r);
+        const double v = data[static_cast<size_t>(r)];
+        if (std::isnan(v)) {
+          z.has_nan = true;
+        } else {
+          z.dmin = std::min(z.dmin, v);
+          z.dmax = std::max(z.dmax, v);
+        }
+      }
+      break;
+    }
+    case DataType::kString: {
+      const auto& codes = std::get<StringColumnData>(columns_[col]).codes;
+      for (int64_t r = from; r < to; ++r) {
+        ZoneEntry& z = zone_for(r);
+        const int64_t v = codes[static_cast<size_t>(r)];
+        z.imin = std::min(z.imin, v);
+        z.imax = std::max(z.imax, v);
+      }
+      break;
+    }
+  }
 }
 
 }  // namespace cobra::storage

@@ -6,9 +6,20 @@
 /// Ref [1] runs IR inside a main-memory column DBMS (Monet); this module is
 /// the minimal column-at-a-time substrate needed to express the same plan
 /// shapes: typed columns, selection vectors, hash joins, order-by/limit.
+///
+/// Two acceleration structures are maintained at append time (DESIGN.md
+/// §4f):
+///  * string columns are dictionary-encoded — every row also carries an
+///    int32 code into a per-column dictionary of unique strings (insertion
+///    order), so predicate evaluation never touches string bytes per row;
+///  * every column keeps per-block zone maps (min/max over `kBlockRows`-row
+///    blocks, plus a has-NaN flag for doubles) that let the selection
+///    operators skip blocks that cannot contain a match.
 
 #include <cstdint>
+#include <limits>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -35,9 +46,35 @@ struct ColumnDef {
   DataType type;
 };
 
+struct JoinOptions;
+class Table;
+Result<Table> Materialize(const Table& table, const std::vector<int64_t>& rows,
+                          const std::vector<std::string>& columns);
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_col,
+                       const std::string& right_col,
+                       const JoinOptions& options);
+
+/// Per-block column statistics for zone-map skipping. Only the fields of
+/// the column's type are maintained: `imin`/`imax` for int64 columns *and*
+/// for the dictionary codes of string columns; `dmin`/`dmax`/`has_nan` for
+/// double columns (min/max ignore NaN; `has_nan` records its presence, since
+/// NaN ties under `CompareValues` and therefore matches kEq/kLe/kGe).
+struct ZoneEntry {
+  int64_t imin = std::numeric_limits<int64_t>::max();
+  int64_t imax = std::numeric_limits<int64_t>::min();
+  double dmin = std::numeric_limits<double>::infinity();
+  double dmax = -std::numeric_limits<double>::infinity();
+  bool has_nan = false;
+};
+
 /// An append-only typed table with columnar storage.
 class Table {
  public:
+  /// Rows per zone-map block; also the granule of the block-at-a-time
+  /// selection kernels (compile-time knob, see README).
+  static constexpr int64_t kBlockRows = 2048;
+
   /// Creates an empty table. Column names must be unique and non-empty.
   static Result<Table> Create(std::vector<ColumnDef> schema);
 
@@ -62,12 +99,60 @@ class Table {
   const std::vector<double>& DoubleColumn(size_t col) const;
   const std::vector<std::string>& StringColumn(size_t col) const;
 
+  /// Dictionary encoding of a string column: per-row int32 codes into the
+  /// column's dictionary of unique strings (insertion order).
+  const std::vector<int32_t>& StringCodes(size_t col) const;
+  const std::vector<std::string>& Dictionary(size_t col) const;
+  /// Code of `s` in the column's dictionary, or -1 when no row ever held it.
+  int32_t DictCode(size_t col, const std::string& s) const;
+
+  /// Zone maps of a column: entry b covers rows [b*kBlockRows,
+  /// (b+1)*kBlockRows). Maintained incrementally on every append.
+  const std::vector<ZoneEntry>& Zones(size_t col) const { return zones_[col]; }
+
  private:
-  using ColumnData = std::variant<std::vector<int64_t>, std::vector<double>,
-                                  std::vector<std::string>>;
+  /// A dictionary-encoded string column: `values` is the row-aligned raw
+  /// string store (kept for accessors and materialization), `codes` the
+  /// row-aligned dictionary codes.
+  struct StringColumnData {
+    std::vector<std::string> values;
+    std::vector<int32_t> codes;
+    std::vector<std::string> dict;
+    std::unordered_map<std::string, int32_t> dict_index;
+
+    int32_t Encode(const std::string& s);
+  };
+
+  using ColumnData =
+      std::variant<std::vector<int64_t>, std::vector<double>, StringColumnData>;
+
+  // Bulk-gather back door for the relational operators (Materialize,
+  // HashJoin): appends src rows column-at-a-time without the per-cell
+  // Value round trip, then FinishGather extends row count and zone maps.
+  friend Result<Table> Materialize(const Table& table,
+                                   const std::vector<int64_t>& rows,
+                                   const std::vector<std::string>& columns);
+  friend Result<Table> HashJoin(const Table& left, const Table& right,
+                                const std::string& left_col,
+                                const std::string& right_col,
+                                const JoinOptions& options);
+
+  /// Appends `rows` of `src` column `src_col` onto this table's column
+  /// `dst_col`. Caller guarantees matching types and in-range rows; callers
+  /// must gather the same row count into every column, then call
+  /// FinishGather once.
+  void GatherColumn(const Table& src, size_t src_col, size_t dst_col,
+                    const std::vector<int64_t>& rows);
+  /// Completes a bulk gather of `added` rows: bumps num_rows_ and extends
+  /// every column's zone maps over the appended range.
+  void FinishGather(int64_t added);
+
+  /// Extends the zone maps of column `col` over rows [from, to).
+  void ExtendZones(size_t col, int64_t from, int64_t to);
 
   std::vector<ColumnDef> schema_;
   std::vector<ColumnData> columns_;
+  std::vector<std::vector<ZoneEntry>> zones_;
   int64_t num_rows_ = 0;
 };
 

@@ -1,7 +1,11 @@
 #include "webspace/store.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
 #include <set>
+#include <utility>
 
 #include "util/strings.h"
 
@@ -20,6 +24,8 @@ Result<WebspaceStore> WebspaceStore::Create(ConceptSchema schema) {
     }
     COBRA_ASSIGN_OR_RETURN(Table table, Table::Create(std::move(columns)));
     store.class_tables_.emplace(cls.name, std::move(table));
+    store.class_rows_.emplace(cls.name,
+                              std::unordered_map<int64_t, int64_t>{});
   }
   for (const AssociationDef& assoc : schema.associations()) {
     COBRA_ASSIGN_OR_RETURN(Table table,
@@ -27,6 +33,7 @@ Result<WebspaceStore> WebspaceStore::Create(ConceptSchema schema) {
                                           {"to_oid", DataType::kInt64},
                                           {"role", DataType::kInt64}}));
     store.assoc_tables_.emplace(assoc.name, std::move(table));
+    store.assoc_index_.emplace(assoc.name, AssocIndex{});
   }
   store.schema_ = std::move(schema);
   return store;
@@ -43,8 +50,10 @@ Result<int64_t> WebspaceStore::Insert(const std::string& class_name,
   row.reserve(values.size() + 1);
   row.emplace_back(oid);
   for (Value& v : values) row.push_back(std::move(v));
+  const int64_t row_id = it->second.num_rows();
   COBRA_RETURN_NOT_OK(it->second.AppendRow(std::move(row)));
   oid_class_[oid] = class_name;
+  class_rows_[class_name][oid] = row_id;
   return oid;
 }
 
@@ -66,7 +75,11 @@ Status WebspaceStore::Link(const std::string& association, int64_t from_oid,
         static_cast<long long>(from_oid), static_cast<long long>(to_oid),
         association.c_str(), def->from_class.c_str(), def->to_class.c_str()));
   }
-  return it->second.AppendRow({from_oid, to_oid, role});
+  COBRA_RETURN_NOT_OK(it->second.AppendRow({from_oid, to_oid, role}));
+  AssocIndex& index = assoc_index_[association];
+  index.forward[from_oid].emplace_back(to_oid, role);
+  index.reverse[to_oid].emplace_back(from_oid, role);
+  return Status::OK();
 }
 
 Result<const Table*> WebspaceStore::ClassTable(
@@ -93,36 +106,137 @@ Result<Value> WebspaceStore::GetAttribute(const std::string& class_name,
                                           const std::string& attribute) const {
   COBRA_ASSIGN_OR_RETURN(const Table* table, ClassTable(class_name));
   COBRA_ASSIGN_OR_RETURN(size_t col, table->ColumnIndex(attribute));
-  COBRA_ASSIGN_OR_RETURN(
-      std::vector<int64_t> rows,
-      storage::Select(*table, {"oid", storage::CompareOp::kEq, oid}));
-  if (rows.empty()) {
+  const int64_t row = RowOf(class_name, oid);
+  if (row < 0) {
     return Status::NotFound(StringFormat("no %s object with oid %lld",
                                          class_name.c_str(),
                                          static_cast<long long>(oid)));
   }
-  return table->GetValue(rows[0], col);
+  return table->GetValue(row, col);
+}
+
+int64_t WebspaceStore::RowOf(const std::string& class_name,
+                             int64_t oid) const {
+  auto cls = class_rows_.find(class_name);
+  if (cls == class_rows_.end()) return -1;
+  auto it = cls->second.find(oid);
+  return it == cls->second.end() ? -1 : it->second;
 }
 
 namespace {
 
-Result<std::vector<int64_t>> TraverseImpl(const Table& table, size_t key_col,
-                                          size_t out_col,
-                                          const std::vector<int64_t>& keys,
-                                          int64_t role) {
-  std::set<int64_t> key_set(keys.begin(), keys.end());
-  std::set<int64_t> out;
-  const auto& key_data =
-      key_col == 0 ? table.IntColumn(0) : table.IntColumn(1);
-  const auto& out_data =
-      out_col == 0 ? table.IntColumn(0) : table.IntColumn(1);
-  const auto& roles = table.IntColumn(2);
-  for (size_t r = 0; r < key_data.size(); ++r) {
-    if (!key_set.count(key_data[r])) continue;
-    if (role >= 0 && roles[r] != role) continue;
-    out.insert(out_data[r]);
+/// Sorts into ascending unique order in place.
+void SortUnique(std::vector<int64_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/// Sets bit `v - lo` in a [lo, hi] membership bitmap.
+void SetBit(std::vector<uint64_t>& bits, int64_t lo, int64_t v) {
+  const uint64_t off = static_cast<uint64_t>(v - lo);
+  bits[off >> 6] |= uint64_t{1} << (off & 63);
+}
+
+bool TestBit(const std::vector<uint64_t>& bits, int64_t lo, int64_t v) {
+  const uint64_t off = static_cast<uint64_t>(v - lo);
+  return ((bits[off >> 6] >> (off & 63)) & 1) != 0;
+}
+
+/// Global [min, max] of an int64 column, folded from its zone maps.
+std::pair<int64_t, int64_t> ColumnRange(const storage::Table& table,
+                                        size_t col) {
+  int64_t lo = std::numeric_limits<int64_t>::max();
+  int64_t hi = std::numeric_limits<int64_t>::min();
+  for (const storage::ZoneEntry& z : table.Zones(col)) {
+    lo = std::min(lo, z.imin);
+    hi = std::max(hi, z.imax);
   }
-  return std::vector<int64_t>(out.begin(), out.end());
+  return {lo, hi};
+}
+
+/// Scan path for dense key sets: streams the contiguous edge columns with a
+/// bitmap membership test over [min_key, max_key]. One sequential pass over
+/// the table beats one random hash probe per key once the selection covers
+/// a sizable fraction of the edges. Reached oids dedupe into a second
+/// bitmap sized from the target column's zone maps, so the ascending output
+/// falls out of a bitmap sweep instead of a sort.
+std::vector<int64_t> TraverseScan(const storage::Table& edges, size_t key_col,
+                                  size_t other_col,
+                                  const std::vector<int64_t>& uniq,
+                                  int64_t role) {
+  const auto& keys = edges.IntColumn(key_col);
+  const auto& others = edges.IntColumn(other_col);
+  const auto& roles = edges.IntColumn(2);
+  const int64_t lo = uniq.front();
+  const int64_t hi = uniq.back();
+  std::vector<uint64_t> bits((static_cast<uint64_t>(hi - lo) >> 6) + 1, 0);
+  for (int64_t k : uniq) SetBit(bits, lo, k);
+
+  const size_t n = keys.size();
+  const auto [olo, ohi] = ColumnRange(edges, other_col);
+  if (olo > ohi) return {};
+  if (static_cast<uint64_t>(ohi - olo) >= 64 * (static_cast<uint64_t>(n) + 1024)) {
+    // Target oids too sparse for a bitmap: collect matches and sort.
+    std::vector<int64_t> out;
+    out.reserve(uniq.size());
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t k = keys[i];
+      if (k < lo || k > hi || !TestBit(bits, lo, k)) continue;
+      if (role >= 0 && roles[i] != role) continue;
+      out.push_back(others[i]);
+    }
+    SortUnique(out);
+    return out;
+  }
+  std::vector<uint64_t> reached((static_cast<uint64_t>(ohi - olo) >> 6) + 1,
+                                0);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t k = keys[i];
+    if (k < lo || k > hi || !TestBit(bits, lo, k)) continue;
+    if (role >= 0 && roles[i] != role) continue;
+    SetBit(reached, olo, others[i]);
+  }
+  std::vector<int64_t> out;
+  for (size_t w = 0; w < reached.size(); ++w) {
+    uint64_t word = reached[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      out.push_back(olo + static_cast<int64_t>((w << 6) + bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+/// Walks the adjacency lists of the unique keys; returns the set of
+/// reached oids, ascending (same contract as the old full-scan traversal).
+/// Sparse key sets walk the hash index; dense ones dispatch to the column
+/// scan, whose bitmap stays no bigger than one edge column.
+Result<std::vector<int64_t>> TraverseIndexed(
+    const std::unordered_map<int64_t, std::vector<std::pair<int64_t, int64_t>>>&
+        adjacency,
+    const storage::Table& edges, size_t key_col, size_t other_col,
+    const std::vector<int64_t>& keys, int64_t role) {
+  std::vector<int64_t> uniq = keys;
+  SortUnique(uniq);
+  if (uniq.empty()) return std::vector<int64_t>{};
+  const auto rows = static_cast<size_t>(edges.num_rows());
+  const uint64_t width = static_cast<uint64_t>(uniq.back() - uniq.front()) + 1;
+  if (uniq.size() * 16 >= rows && width <= 64 * (rows + 1024)) {
+    return TraverseScan(edges, key_col, other_col, uniq, role);
+  }
+  std::vector<int64_t> out;
+  out.reserve(uniq.size());
+  for (int64_t key : uniq) {
+    auto it = adjacency.find(key);
+    if (it == adjacency.end()) continue;
+    for (const auto& [other, edge_role] : it->second) {
+      if (role >= 0 && edge_role != role) continue;
+      out.push_back(other);
+    }
+  }
+  SortUnique(out);
+  return out;
 }
 
 }  // namespace
@@ -130,27 +244,42 @@ Result<std::vector<int64_t>> TraverseImpl(const Table& table, size_t key_col,
 Result<std::vector<int64_t>> WebspaceStore::Traverse(
     const std::string& association, const std::vector<int64_t>& from_oids,
     int64_t role) const {
-  COBRA_ASSIGN_OR_RETURN(const Table* table, AssociationTable(association));
-  return TraverseImpl(*table, 0, 1, from_oids, role);
+  auto it = assoc_index_.find(association);
+  if (it == assoc_index_.end()) {
+    return Status::NotFound(
+        StringFormat("no association '%s'", association.c_str()));
+  }
+  return TraverseIndexed(it->second.forward, assoc_tables_.at(association),
+                         /*key_col=*/0, /*other_col=*/1, from_oids, role);
 }
 
 Result<std::vector<int64_t>> WebspaceStore::TraverseReverse(
     const std::string& association, const std::vector<int64_t>& to_oids,
     int64_t role) const {
-  COBRA_ASSIGN_OR_RETURN(const Table* table, AssociationTable(association));
-  return TraverseImpl(*table, 1, 0, to_oids, role);
+  auto it = assoc_index_.find(association);
+  if (it == assoc_index_.end()) {
+    return Status::NotFound(
+        StringFormat("no association '%s'", association.c_str()));
+  }
+  return TraverseIndexed(it->second.reverse, assoc_tables_.at(association),
+                         /*key_col=*/1, /*other_col=*/0, to_oids, role);
 }
 
 Result<std::vector<int64_t>> WebspaceStore::Roles(const std::string& association,
                                                   int64_t from_oid,
                                                   int64_t to_oid) const {
-  COBRA_ASSIGN_OR_RETURN(const Table* table, AssociationTable(association));
+  auto assoc = assoc_index_.find(association);
+  if (assoc == assoc_index_.end()) {
+    return Status::NotFound(
+        StringFormat("no association '%s'", association.c_str()));
+  }
+  // Forward adjacency preserves Link order, so roles come back in the same
+  // (insertion) order the full table scan produced.
   std::vector<int64_t> out;
-  const auto& from = table->IntColumn(0);
-  const auto& to = table->IntColumn(1);
-  const auto& roles = table->IntColumn(2);
-  for (size_t r = 0; r < from.size(); ++r) {
-    if (from[r] == from_oid && to[r] == to_oid) out.push_back(roles[r]);
+  auto it = assoc->second.forward.find(from_oid);
+  if (it == assoc->second.forward.end()) return out;
+  for (const auto& [other, edge_role] : it->second) {
+    if (other == to_oid) out.push_back(edge_role);
   }
   return out;
 }

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "storage/ops.h"
@@ -39,10 +41,16 @@ class WebspaceStore {
   Result<const storage::Table*> AssociationTable(
       const std::string& association) const;
 
-  /// Attribute value of one object.
+  /// Attribute value of one object. Resolved through the oid→row index,
+  /// not a column scan.
   Result<storage::Value> GetAttribute(const std::string& class_name,
                                       int64_t oid,
                                       const std::string& attribute) const;
+
+  /// Row of `oid` in the class table, or -1 when the class does not exist
+  /// or holds no such object. O(1); query plans use this to turn oid sets
+  /// into selection vectors for `storage::Refine`.
+  int64_t RowOf(const std::string& class_name, int64_t oid) const;
 
   /// Oids reachable from `from_oids` through `association` (set semantics,
   /// ascending). Role filter applies when role >= 0.
@@ -60,10 +68,22 @@ class WebspaceStore {
                                      int64_t from_oid, int64_t to_oid) const;
 
  private:
+  /// Per-direction adjacency of one association, maintained on Link:
+  /// key oid -> (other-end oid, role) edges in insertion order.
+  struct AssocIndex {
+    std::unordered_map<int64_t, std::vector<std::pair<int64_t, int64_t>>>
+        forward;  ///< from_oid -> (to_oid, role)
+    std::unordered_map<int64_t, std::vector<std::pair<int64_t, int64_t>>>
+        reverse;  ///< to_oid -> (from_oid, role)
+  };
+
   ConceptSchema schema_;
   std::map<std::string, storage::Table> class_tables_;
   std::map<std::string, storage::Table> assoc_tables_;
   std::map<int64_t, std::string> oid_class_;  ///< oid -> class name
+  /// oid -> row in the class table, per class (maintained on Insert).
+  std::map<std::string, std::unordered_map<int64_t, int64_t>> class_rows_;
+  std::map<std::string, AssocIndex> assoc_index_;
   int64_t next_oid_ = 1;
 };
 

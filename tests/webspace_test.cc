@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "util/rng.h"
 #include "webspace/query.h"
 #include "webspace/schema.h"
 #include "webspace/site_synthesizer.h"
@@ -107,6 +108,80 @@ TEST(StoreTest, GetAttribute) {
   EXPECT_EQ(std::get<int64_t>(store.GetAttribute("A", a, "x").TakeValue()), 42);
   EXPECT_TRUE(store.GetAttribute("A", 999, "x").status().IsNotFound());
   EXPECT_TRUE(store.GetAttribute("A", a, "ghost").status().IsNotFound());
+}
+
+TEST(StoreTest, RowOfResolvesWithoutScan) {
+  auto store = WebspaceStore::Create(TinySchema().TakeValue()).TakeValue();
+  std::vector<int64_t> oids;
+  for (int64_t i = 0; i < 100; ++i) {
+    oids.push_back(store.Insert("A", {i * 3}).TakeValue());
+  }
+  const storage::Table* table = store.ClassTable("A").TakeValue();
+  for (size_t i = 0; i < oids.size(); ++i) {
+    const int64_t row = store.RowOf("A", oids[i]);
+    ASSERT_EQ(row, static_cast<int64_t>(i));
+    EXPECT_EQ(table->GetInt(row, 0).TakeValue(), oids[i]);
+  }
+  EXPECT_EQ(store.RowOf("A", 99999), -1);
+  EXPECT_EQ(store.RowOf("NoSuchClass", oids[0]), -1);
+}
+
+TEST(StoreTest, IndexedTraversalMatchesAssociationTableScan) {
+  auto store = WebspaceStore::Create(TinySchema().TakeValue()).TakeValue();
+  Rng rng(137);
+  std::vector<int64_t> as, bs;
+  for (int64_t i = 0; i < 40; ++i) {
+    as.push_back(store.Insert("A", {i}).TakeValue());
+    bs.push_back(store.Insert("B", {std::string("b")}).TakeValue());
+  }
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(store
+                    .Link("ab", as[rng.NextBounded(as.size())],
+                          bs[rng.NextBounded(bs.size())],
+                          static_cast<int64_t>(rng.NextBounded(3)))
+                    .ok());
+  }
+  // Oracle: scan the association table directly (the adjacency index must
+  // agree with it edge for edge).
+  const storage::Table* edges = store.AssociationTable("ab").TakeValue();
+  const auto& from = edges->IntColumn(0);
+  const auto& to = edges->IntColumn(1);
+  const auto& role = edges->IntColumn(2);
+  auto scan = [&](const std::vector<int64_t>& keys, bool reverse,
+                  int64_t want_role) {
+    std::set<int64_t> key_set(keys.begin(), keys.end());
+    std::set<int64_t> out;
+    for (size_t r = 0; r < from.size(); ++r) {
+      const int64_t key = reverse ? to[r] : from[r];
+      if (!key_set.count(key)) continue;
+      if (want_role >= 0 && role[r] != want_role) continue;
+      out.insert(reverse ? from[r] : to[r]);
+    }
+    return std::vector<int64_t>(out.begin(), out.end());
+  };
+  for (int64_t want_role : {int64_t{-1}, int64_t{0}, int64_t{2}}) {
+    for (const std::vector<int64_t>& keys :
+         {std::vector<int64_t>{}, std::vector<int64_t>{as[0]},
+          std::vector<int64_t>{as[3], as[17], as[39], 424242}}) {
+      EXPECT_EQ(store.Traverse("ab", keys, want_role).TakeValue(),
+                scan(keys, false, want_role));
+    }
+    for (const std::vector<int64_t>& keys :
+         {std::vector<int64_t>{bs[1]},
+          std::vector<int64_t>{bs[5], bs[11], bs[38]}}) {
+      EXPECT_EQ(store.TraverseReverse("ab", keys, want_role).TakeValue(),
+                scan(keys, true, want_role));
+    }
+  }
+  // Roles come back in Link (insertion) order.
+  auto store2 = WebspaceStore::Create(TinySchema().TakeValue()).TakeValue();
+  int64_t a = store2.Insert("A", {int64_t{1}}).TakeValue();
+  int64_t b = store2.Insert("B", {std::string("x")}).TakeValue();
+  ASSERT_TRUE(store2.Link("ab", a, b, 2).ok());
+  ASSERT_TRUE(store2.Link("ab", a, b, 0).ok());
+  ASSERT_TRUE(store2.Link("ab", a, b, 1).ok());
+  EXPECT_EQ(store2.Roles("ab", a, b).TakeValue(),
+            (std::vector<int64_t>{2, 0, 1}));
 }
 
 // ---------- Query ----------
