@@ -50,15 +50,7 @@ std::string BenchQuery(uint64_t salt) {
   return text::VocabularyWord(1 + salt % 3) + " " + corpus.MakeQuery(3, salt);
 }
 
-double Percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  double rank = p * static_cast<double>(samples.size() - 1);
-  size_t lo = static_cast<size_t>(rank);
-  size_t hi = std::min(lo + 1, samples.size() - 1);
-  double frac = rank - static_cast<double>(lo);
-  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
-}
+using bench::Percentile;  // hoisted into bench_util.h for E6/E7/E8
 
 /// Latency samples and work counters for one evaluator at one (docs, N).
 struct EvalResult {

@@ -7,17 +7,20 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/meta_index.h"
 #include "core/tennis_fde.h"
+#include "engine/digital_library.h"
 #include "grammar/fde.h"
 #include "media/tennis_synthesizer.h"
 #include "storage/ops.h"
 #include "util/rng.h"
 #include "util/simd.h"
+#include "webspace/site_synthesizer.h"
 
 namespace {
 
@@ -197,6 +200,120 @@ void RunMetaIndexScale() {
   bench::PrintRule();
 }
 
+// ---------------------------------------------------------------------------
+// E8c — the planner's single-scan event stage against the fixed order's
+// per-(player,video) FindScenes rescans, over a 400k-row events table. The
+// fixed pipeline re-scans the whole table once per pair; the planner costs
+// the fan-out, scans once, and groups scenes by video.
+
+void RunEventPlannerScale() {
+  bench::PrintHeader("E8c", "planner event stage at 400k event rows");
+  constexpr int64_t kPlayers = 300;
+  constexpr int64_t kVideos = 200;
+  constexpr int64_t kEventsPerVideo = 2000;
+  constexpr int kReps = 7;
+  const char* names[] = {"net_play", "rally", "service", "smash", "baseline"};
+
+  auto schema = webspace::SiteSynthesizer::TournamentSchema().TakeValue();
+  auto store = webspace::WebspaceStore::Create(std::move(schema)).TakeValue();
+  Rng rng(2002);
+  std::vector<int64_t> player_oids;
+  for (int64_t p = 0; p < kPlayers; ++p) {
+    player_oids.push_back(
+        store
+            .Insert("Player", {"player_" + std::to_string(p),
+                               std::string(rng.NextBounded(2) ? "female"
+                                                              : "male"),
+                               std::string(rng.NextBounded(5) ? "right"
+                                                              : "left"),
+                               std::string("usa"), int64_t{p + 1}})
+            .TakeValue());
+  }
+  std::vector<int64_t> video_oids;
+  for (int64_t v = 0; v < kVideos; ++v) {
+    video_oids.push_back(
+        store
+            .Insert("Video",
+                    {"match_" + std::to_string(v), rng.NextInt(1995, 2002)})
+            .TakeValue());
+  }
+  // The 50 queried players appear in 4 videos each: 200 (player, video)
+  // pairs for the fixed order to rescan the events table over.
+  for (int64_t p = 0; p < 50; ++p) {
+    for (int link = 0; link < 4; ++link) {
+      (void)store.Link("plays_in", player_oids[static_cast<size_t>(p)],
+                       video_oids[rng.NextBounded(video_oids.size())],
+                       rng.NextInt(0, 1));
+    }
+  }
+  auto library = engine::DigitalLibrary::Create(std::move(store)).TakeValue();
+  for (int64_t video_oid : video_oids) {
+    core::VideoDescription desc(video_oid, "synthetic", 25.0, 40000);
+    for (int64_t e = 0; e < kEventsPerVideo; ++e) {
+      const int64_t begin = rng.NextInt(0, 39000);
+      desc.Add(core::CobraLayer::kEvent,
+               grammar::Annotation(names[rng.NextBounded(5)],
+                                   {begin, begin + rng.NextInt(10, 900)})
+                   .Set("player", rng.NextInt(-1, 1)));
+    }
+    (void)library->AddVideoDescription(desc);
+  }
+
+  engine::CombinedQuery query;
+  query.player_predicates = {
+      {"ranking", storage::CompareOp::kLe, int64_t{50}}};
+  query.event = "net_play";
+
+  auto run = [&](bool planner_on) {
+    library->set_planner_enabled(planner_on);
+    std::vector<double> ms;
+    ms.reserve(kReps);
+    std::vector<engine::SceneHit> hits;
+    for (int rep = 0; rep < kReps; ++rep) {
+      bench::WallTimer timer;
+      hits = library->Search(query).TakeValue();
+      ms.push_back(timer.Millis());
+    }
+    return std::make_pair(std::move(hits), std::move(ms));
+  };
+  auto [off_hits, off_ms] = run(false);
+  auto [on_hits, on_ms] = run(true);
+  library->set_planner_enabled(true);
+
+  bool identical = off_hits.size() == on_hits.size();
+  for (size_t i = 0; identical && i < on_hits.size(); ++i) {
+    identical = off_hits[i].player_oid == on_hits[i].player_oid &&
+                off_hits[i].player_name == on_hits[i].player_name &&
+                off_hits[i].video_oid == on_hits[i].video_oid &&
+                off_hits[i].range.begin == on_hits[i].range.begin &&
+                off_hits[i].range.end == on_hits[i].range.end &&
+                off_hits[i].event == on_hits[i].event &&
+                off_hits[i].text_score == on_hits[i].text_score;
+  }
+  const double off_p50 = bench::Percentile(off_ms, 0.5);
+  const double on_p50 = bench::Percentile(on_ms, 0.5);
+  std::printf("events table: %lld rows, 200 player-video pairs\n\n",
+              static_cast<long long>(kVideos * kEventsPerVideo));
+  std::printf("%-26s %10s %10s %10s %9s %6s %5s\n", "variant", "off_p50",
+              "on_p50", "on_p99", "speedup", "hits", "same");
+  std::printf("%-26s %10.3f %10.3f %10.3f %8.1fx %6zu %5s\n",
+              "event single-scan", off_p50, on_p50,
+              bench::Percentile(on_ms, 0.99),
+              off_p50 / std::max(on_p50, 1e-9), on_hits.size(),
+              identical ? "yes" : "NO");
+  bench::PrintJsonMetric("e8_indexing", "planner_event_off_p50_ms", off_p50);
+  bench::PrintJsonMetric("e8_indexing", "planner_event_off_p99_ms",
+                         bench::Percentile(off_ms, 0.99));
+  bench::PrintJsonMetric("e8_indexing", "planner_event_on_p50_ms", on_p50);
+  bench::PrintJsonMetric("e8_indexing", "planner_event_on_p99_ms",
+                         bench::Percentile(on_ms, 0.99));
+  bench::PrintJsonMetric("e8_indexing", "planner_event_speedup_p50",
+                         off_p50 / std::max(on_p50, 1e-9));
+  bench::PrintJsonMetric("e8_indexing", "planner_event_identical",
+                         identical ? 1.0 : 0.0);
+  bench::PrintRule();
+}
+
 void BM_SynthesizeBroadcast(benchmark::State& state) {
   auto config = bench::DefaultBroadcast();
   config.num_points = static_cast<int>(state.range(0));
@@ -240,6 +357,7 @@ int main(int argc, char** argv) {
   cobra::bench::OpenJsonArtifact("BENCH_E8.json");
   RunThroughputTable();
   RunMetaIndexScale();
+  RunEventPlannerScale();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -80,6 +80,18 @@ double MedianMpixPerSec(int64_t pixels, int reps, Fn&& fn) {
   return rates[static_cast<size_t>(reps) / 2];
 }
 
+/// p-th percentile (p in [0, 1]) of `samples` by linear interpolation over
+/// the sorted values — the estimator behind every bench's p50/p99 lines.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  double rank = p * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
 /// Median wall-clock milliseconds of `fn` over `reps` repetitions; the
 /// median discards scheduler noise without needing a long steady-state run.
 template <typename Fn>

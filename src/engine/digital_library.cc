@@ -3,9 +3,19 @@
 #include <algorithm>
 #include <set>
 
+#include "engine/planner/planner.h"
 #include "util/strings.h"
 
 namespace cobra::engine {
+
+bool SceneHitLess(const SceneHit& a, const SceneHit& b) {
+  if (a.text_score != b.text_score) return a.text_score > b.text_score;
+  if (a.video_oid != b.video_oid) return a.video_oid < b.video_oid;
+  if (a.range.begin != b.range.begin) return a.range.begin < b.range.begin;
+  if (a.range.end != b.range.end) return a.range.end < b.range.end;
+  if (a.player_oid != b.player_oid) return a.player_oid < b.player_oid;
+  return a.event < b.event;
+}
 
 DigitalLibrary::DigitalLibrary(webspace::WebspaceStore store)
     : store_(std::move(store)),
@@ -81,6 +91,42 @@ Result<std::map<int64_t, double>> DigitalLibrary::TextPlayers(
 }
 
 Result<std::vector<SceneHit>> DigitalLibrary::Search(
+    const CombinedQuery& query, text::SearchStats* stats,
+    planner::PlanExplain* explain) const {
+  if (!planner_enabled_) {
+    if (explain) *explain = planner::PlanExplain{};
+    return SearchFixedOrder(query, stats);
+  }
+  // Lazy-validation parity: the fixed order never checks a predicate past
+  // an empty selection (storage::SelectAll stops refining), so whether a
+  // malformed predicate errors depends on actual row sets. Those rare
+  // queries go to the reference path verbatim.
+  if (auto players = store_.ClassTable("Player"); players.ok()) {
+    for (const storage::Predicate& pred : query.player_predicates) {
+      if (!storage::ValidatePredicate(*players.value(), pred).ok()) {
+        if (explain) *explain = planner::PlanExplain{};
+        return SearchFixedOrder(query, stats);
+      }
+    }
+  }
+  planner::LibraryView view{&store_, &interviews_, &meta_index_,
+                            &indexed_videos_};
+  planner::PlanExplain local;
+  return planner::SearchPlanned(view, query, stats,
+                                explain ? explain : &local);
+}
+
+Result<planner::PlanExplain> DigitalLibrary::ExplainSearch(
+    const CombinedQuery& query) const {
+  planner::LibraryView view{&store_, &interviews_, &meta_index_,
+                            &indexed_videos_};
+  planner::PlanExplain explain;
+  COBRA_RETURN_NOT_OK(
+      planner::SearchPlanned(view, query, nullptr, &explain).status());
+  return explain;
+}
+
+Result<std::vector<SceneHit>> DigitalLibrary::SearchFixedOrder(
     const CombinedQuery& query, text::SearchStats* stats) const {
   if (stats) *stats = text::SearchStats{};
   COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> players, ConceptPlayers(query));
@@ -140,14 +186,7 @@ Result<std::vector<SceneHit>> DigitalLibrary::Search(
   }
   // Total deterministic order: relevance first, then every remaining field
   // as a tie-break so equal-score hits never depend on traversal order.
-  std::sort(out.begin(), out.end(), [](const SceneHit& a, const SceneHit& b) {
-    if (a.text_score != b.text_score) return a.text_score > b.text_score;
-    if (a.video_oid != b.video_oid) return a.video_oid < b.video_oid;
-    if (a.range.begin != b.range.begin) return a.range.begin < b.range.begin;
-    if (a.range.end != b.range.end) return a.range.end < b.range.end;
-    if (a.player_oid != b.player_oid) return a.player_oid < b.player_oid;
-    return a.event < b.event;
-  });
+  std::sort(out.begin(), out.end(), SceneHitLess);
   return out;
 }
 

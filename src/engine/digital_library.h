@@ -21,6 +21,7 @@
 
 #include "core/meta_index.h"
 #include "core/video_description.h"
+#include "engine/planner/plan.h"
 #include "text/inverted_index.h"
 #include "webspace/query.h"
 #include "webspace/store.h"
@@ -82,8 +83,28 @@ class DigitalLibrary {
   /// interview relevance when a text condition was present (0 otherwise).
   /// When `stats` is non-null it receives the text-index work counters of
   /// this query (zeroed when the query has no text condition).
-  Result<std::vector<SceneHit>> Search(const CombinedQuery& query,
-                                       text::SearchStats* stats = nullptr) const;
+  ///
+  /// Dispatches to the cost-based planner (DESIGN.md §4g) when
+  /// planner_enabled() — bit-identical results to SearchFixedOrder, usually
+  /// much faster. When `explain` is non-null it receives the executed plan.
+  Result<std::vector<SceneHit>> Search(
+      const CombinedQuery& query, text::SearchStats* stats = nullptr,
+      planner::PlanExplain* explain = nullptr) const;
+
+  /// The original fixed-order pipeline (concept scan -> text -> events),
+  /// kept verbatim as the reference oracle the planner is validated
+  /// against and as the planner-off baseline for E7/E8.
+  Result<std::vector<SceneHit>> SearchFixedOrder(
+      const CombinedQuery& query, text::SearchStats* stats = nullptr) const;
+
+  /// Plans and executes `query`, returning only the explain record
+  /// (chosen stage order, estimated vs actual cardinalities).
+  Result<planner::PlanExplain> ExplainSearch(const CombinedQuery& query) const;
+
+  /// Toggles the cost-based planner (default on). Off routes Search
+  /// through SearchFixedOrder.
+  void set_planner_enabled(bool enabled) { planner_enabled_ = enabled; }
+  bool planner_enabled() const { return planner_enabled_; }
 
   /// Keyword-only baseline (what a flat web search engine sees, paper §2):
   /// ranks players by their best interview's tf-idf score for `text`.
@@ -113,6 +134,13 @@ class DigitalLibrary {
   core::MetaIndex meta_index_;
   std::vector<int64_t> indexed_videos_;
   int64_t index_epoch_ = 0;
+  bool planner_enabled_ = true;
 };
+
+/// The total order both Search paths sort hits by (text score descending,
+/// then video, scene start, scene end, player oid, event name). Shared so
+/// the planner is bit-identical to the fixed-order pipeline by
+/// construction once the hit multisets agree.
+bool SceneHitLess(const SceneHit& a, const SceneHit& b);
 
 }  // namespace cobra::engine

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file plan.h
+/// The explain surface of the cost-based combined-query planner (DESIGN.md
+/// §4g): one PlanStep per executed stage with its estimated vs actual
+/// cardinality, plus the plan-shape decisions the cost model took. Results
+/// are never affected by any of this — the planner is bit-identical to
+/// `DigitalLibrary::SearchFixedOrder` — so the explain output is pure
+/// observability, wired into `QueryEngine` stats and tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cobra::engine::planner {
+
+/// One executed (or short-circuiting) plan stage.
+struct PlanStep {
+  /// Stage label, e.g. "predicate ranking==17", "champions", "text:filtered",
+  /// "events:single_scan", "short_circuit: event name unknown".
+  std::string name;
+  /// Estimated output cardinality when the stage was planned.
+  double est_rows = 0.0;
+  /// Output cardinality observed during execution; -1 = never executed.
+  int64_t actual_rows = -1;
+};
+
+/// The chosen physical plan of one combined query.
+struct PlanExplain {
+  /// False when the fixed-order reference pipeline answered the query
+  /// (planner disabled).
+  bool used_planner = false;
+  /// A provably-empty modality ended the plan before the remaining stages.
+  bool short_circuited = false;
+  /// The text modality ran first and seeded the candidate set.
+  bool text_first = false;
+  /// The champion join ran before the attribute predicates.
+  bool champion_first = false;
+  /// The concept candidate set was pushed into the text evaluator as a
+  /// DAAT accept filter.
+  bool text_filter_pushed = false;
+  /// The event stage ran one events-table scan grouped by video instead of
+  /// one FindScenes call per (player, video) pair.
+  bool event_single_scan = false;
+  /// Executed stages in order.
+  std::vector<PlanStep> steps;
+
+  /// Multi-line human-readable rendering (one line per step plus a flags
+  /// summary).
+  std::string ToString() const;
+};
+
+}  // namespace cobra::engine::planner

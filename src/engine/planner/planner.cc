@@ -1,0 +1,535 @@
+#include "engine/planner/planner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "storage/stats.h"
+#include "text/tokenizer.h"
+#include "util/strings.h"
+
+namespace cobra::engine::planner {
+namespace {
+
+using storage::Predicate;
+using storage::Table;
+using webspace::TraversalStrategy;
+using webspace::WebspaceStore;
+
+/// One attribute predicate with its selectivity estimate, in execution
+/// order after the cost-based sort.
+struct RankedPred {
+  size_t index = 0;        ///< position in query.player_predicates
+  double fraction = 1.0;   ///< estimated matching fraction
+  bool provably_empty = false;
+};
+
+const char* StrategyName(TraversalStrategy s) {
+  return s == TraversalStrategy::kScan ? "scan" : "walk";
+}
+
+/// Maps ascending player oids to ascending class-table rows. Oids are
+/// assigned in insertion order, so row order follows oid order; non-player
+/// oids cannot appear here (the schema types every association end).
+std::vector<int64_t> OidsToRows(const WebspaceStore& store,
+                                const std::vector<int64_t>& oids) {
+  std::vector<int64_t> rows;
+  rows.reserve(oids.size());
+  for (int64_t oid : oids) {
+    const int64_t row = store.RowOf("Player", oid);
+    if (row >= 0) rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<int64_t> RowsToOids(const Table& players, const std::vector<int64_t>& rows) {
+  const std::vector<int64_t>& oids = players.IntColumn(0);
+  std::vector<int64_t> out;
+  out.reserve(rows.size());
+  for (int64_t row : rows) out.push_back(oids[static_cast<size_t>(row)]);
+  return out;
+}
+
+Result<std::vector<SceneHit>> SearchPlannedImpl(const LibraryView& view,
+                                                const CombinedQuery& query,
+                                                text::SearchStats* stats,
+                                                PlanExplain& ex) {
+  const WebspaceStore& store = *view.store;
+  const text::InvertedIndex& interviews = *view.interviews;
+  const core::MetaIndex& meta = *view.meta_index;
+  const std::vector<int64_t>& indexed_videos = *view.indexed_videos;
+
+  if (stats) *stats = text::SearchStats{};
+  ex.used_planner = true;
+
+  const bool has_champ = query.require_champion || query.won_year >= 0;
+  const bool has_text = !query.text.empty();
+  const bool has_event = !query.event.empty();
+
+  // --- Upfront validation, in the fixed pipeline's error order ------------
+  // The fixed order hits these errors unconditionally (before any stage can
+  // come up empty), so every short-circuit below must surface them too.
+  COBRA_ASSIGN_OR_RETURN(const Table* players_table, store.ClassTable("Player"));
+  for (const Predicate& pred : query.player_predicates) {
+    COBRA_RETURN_NOT_OK(storage::ValidatePredicate(*players_table, pred));
+  }
+
+  const Table* tournaments_table = nullptr;
+  Predicate year_pred;
+  if (has_champ) {
+    COBRA_ASSIGN_OR_RETURN(tournaments_table, store.ClassTable("Tournament"));
+    if (query.won_year >= 0) {
+      year_pred = {"year", storage::CompareOp::kEq, query.won_year};
+      COBRA_RETURN_NOT_OK(storage::ValidatePredicate(*tournaments_table, year_pred));
+    }
+    // The fixed order calls TraverseReverse("won", ...) even with an empty
+    // tournament set, which fails on a missing association.
+    COBRA_RETURN_NOT_OK(store.AssociationTable("won").status());
+  }
+
+  // Analyzer + finalized checks run before SearchTopN's n == 0 early-out,
+  // so this surfaces exactly the text errors the fixed order would.
+  auto text_status = [&]() -> Status {
+    if (!has_text) return Status::OK();
+    return interviews.SearchTopN(query.text, 0).status();
+  };
+
+  // The fixed order only touches "interviewed_in" when a text hit exists,
+  // and "plays_in"/the name attribute only when a player survives — so a
+  // short-circuit that skips those stages is error-identical only when the
+  // skipped lookups cannot fail.
+  const bool text_skip_safe =
+      !has_text || store.AssociationTable("interviewed_in").ok();
+  const bool event_skip_safe = players_table->ColumnIndex("name").ok() &&
+                               store.AssociationTable("plays_in").ok();
+
+  auto finish_empty =
+      [&](const std::string& why) -> Result<std::vector<SceneHit>> {
+    COBRA_RETURN_NOT_OK(text_status());
+    ex.short_circuited = true;
+    ex.steps.push_back({"short_circuit: " + why, 0.0, 0});
+    return std::vector<SceneHit>{};
+  };
+
+  // --- Statistics ---------------------------------------------------------
+  const int64_t total_players = players_table->num_rows();
+
+  std::vector<RankedPred> ranked;
+  ranked.reserve(query.player_predicates.size());
+  bool pred_empty = false;
+  double concept_fraction = 1.0;
+  for (size_t i = 0; i < query.player_predicates.size(); ++i) {
+    COBRA_ASSIGN_OR_RETURN(
+        storage::SelectivityEstimate est,
+        storage::EstimateSelectivity(*players_table, query.player_predicates[i]));
+    ranked.push_back({i, est.fraction, est.provably_empty});
+    pred_empty = pred_empty || est.provably_empty;
+    concept_fraction *= est.fraction;
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedPred& a, const RankedPred& b) {
+                     return a.fraction < b.fraction;
+                   });
+
+  bool champ_empty = false;
+  double est_champions = 0.0;
+  const Table* won_table = nullptr;
+  if (has_champ) {
+    COBRA_ASSIGN_OR_RETURN(won_table, store.AssociationTable("won"));
+    const int64_t won_rows = won_table->num_rows();
+    if (won_rows == 0) {
+      champ_empty = true;
+    } else {
+      COBRA_ASSIGN_OR_RETURN(int64_t winner_ndv, won_table->Ndv(0));
+      est_champions = static_cast<double>(winner_ndv);
+      if (query.won_year >= 0) {
+        COBRA_ASSIGN_OR_RETURN(
+            storage::SelectivityEstimate year_est,
+            storage::EstimateSelectivity(*tournaments_table, year_pred));
+        champ_empty = champ_empty || year_est.provably_empty;
+        COBRA_ASSIGN_OR_RETURN(int64_t tournament_ndv, won_table->Ndv(1));
+        const double winners_per_tournament =
+            won_rows / std::max<double>(1.0, static_cast<double>(tournament_ndv));
+        const double est_tournaments =
+            year_est.fraction * tournaments_table->num_rows();
+        est_champions = std::min(est_champions,
+                                 est_tournaments * winners_per_tournament);
+      }
+    }
+  }
+
+  double sum_df = 0.0;
+  if (has_text) {
+    for (const std::string& term : text::Analyze(query.text)) {
+      sum_df += static_cast<double>(interviews.DocumentFrequency(term));
+    }
+  }
+
+  bool event_provably_empty = false;
+  if (has_event) {
+    if (indexed_videos.empty()) {
+      event_provably_empty = true;
+    } else {
+      const Table& events = meta.events();
+      COBRA_ASSIGN_OR_RETURN(size_t name_col, events.ColumnIndex("name"));
+      const int32_t code = events.DictCode(name_col, query.event);
+      int64_t event_rows = 0;
+      if (code >= 0) {
+        COBRA_ASSIGN_OR_RETURN(event_rows, events.CodeCount(name_col, code));
+      }
+      event_provably_empty = event_rows == 0;
+    }
+  }
+
+  // --- Provably-empty short-circuits --------------------------------------
+  if (text_skip_safe) {
+    if (total_players == 0) return finish_empty("player table empty");
+    if (pred_empty) return finish_empty("player predicate provably empty");
+    if (champ_empty) return finish_empty("champion set provably empty");
+    if (event_provably_empty && event_skip_safe) {
+      return finish_empty(indexed_videos.empty() ? "no indexed videos"
+                                                 : "event name unknown");
+    }
+  }
+
+  // --- Plan-shape decisions ------------------------------------------------
+  const double champ_cap =
+      has_champ ? std::min(1.0, est_champions /
+                                    std::max<double>(1.0, total_players))
+                : 1.0;
+  const double est_concept = total_players * concept_fraction * champ_cap;
+  const size_t n_preds = ranked.size();
+
+  // Champion-first: walking the winners back through "won" costs one probe
+  // plus the fan-out per tournament; seeding the refine chain from that set
+  // beats scanning the player table when the winners set is much smaller.
+  ex.champion_first =
+      has_champ && !champ_empty &&
+      est_champions * 2.0 * (n_preds + 1.0) < static_cast<double>(total_players);
+
+  // Accept-filtered DAAT is exact only when the top-N bound cannot truncate:
+  // text_top_k at least the number of scoring documents (sum of the query
+  // terms' document frequencies bounds it from above). It pays when the
+  // concept side prunes candidates, making whole posting blocks skippable.
+  const bool filter_eligible =
+      has_text && static_cast<double>(query.text_top_k) >= sum_df &&
+      store.AssociationTable("interviewed_in").ok();
+  const bool use_filtered = filter_eligible && (n_preds > 0 || has_champ) &&
+                            est_concept <= 0.5 * std::max<int64_t>(1, total_players);
+
+  // Text-first: when the concept side is unselective and the text top-k is
+  // small, refining the <= top_k text players (hash probes into the player
+  // table) beats the concept scan.
+  const double concept_cost =
+      ex.champion_first ? est_champions * 2.0 * (n_preds + 1.0)
+                        : static_cast<double>(total_players);
+  const double est_text_players =
+      std::min<double>(static_cast<double>(total_players),
+                       static_cast<double>(query.text_top_k));
+  ex.text_first =
+      has_text && !use_filtered &&
+      est_text_players * 16.0 * (n_preds + (has_champ ? 1.0 : 0.0) + 1.0) <
+          concept_cost;
+
+  // --- Champion set (shared by both concept orders) ------------------------
+  std::vector<int64_t> champions;
+  bool champions_computed = false;
+  auto compute_champions = [&]() -> Status {
+    if (!has_champ || champions_computed) return Status::OK();
+    champions_computed = true;
+    webspace::ClassSelection tournaments{"Tournament", {}};
+    if (query.won_year >= 0) tournaments.predicates.push_back(year_pred);
+    COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> tournament_oids,
+                           webspace::SelectObjects(store, tournaments));
+    TraversalStrategy chosen = TraversalStrategy::kWalk;
+    COBRA_ASSIGN_OR_RETURN(
+        champions,
+        store.TraverseReverse("won", tournament_oids, /*role=*/-1,
+                              TraversalStrategy::kAuto, &chosen));
+    ex.steps.push_back({StringFormat("champions[%s]", StrategyName(chosen)),
+                        est_champions,
+                        static_cast<int64_t>(champions.size())});
+    return Status::OK();
+  };
+
+  // Refines player-table rows through the attribute predicates in
+  // cost-sorted order, recording one explain step per predicate.
+  auto refine_rows = [&](std::vector<int64_t> rows,
+                         double est_in) -> Result<std::vector<int64_t>> {
+    for (const RankedPred& rp : ranked) {
+      est_in *= rp.fraction;
+      COBRA_ASSIGN_OR_RETURN(
+          rows, storage::Refine(*players_table,
+                                query.player_predicates[rp.index], rows));
+      ex.steps.push_back(
+          {"predicate " + query.player_predicates[rp.index].column, est_in,
+           static_cast<int64_t>(rows.size())});
+    }
+    return rows;
+  };
+
+  // --- Concept + text execution -------------------------------------------
+  std::vector<int64_t> players;        // surviving oids, ascending
+  std::map<int64_t, double> text_scores;
+
+  auto collect_text_scores =
+      [&](const std::vector<text::SearchHit>& hits) -> Status {
+    for (const text::SearchHit& hit : hits) {
+      COBRA_ASSIGN_OR_RETURN(
+          std::vector<int64_t> hit_players,
+          store.TraverseReverse("interviewed_in", {hit.doc_id}));
+      for (int64_t p : hit_players) {
+        auto [it, inserted] = text_scores.emplace(p, hit.score);
+        if (!inserted) it->second = std::max(it->second, hit.score);
+      }
+    }
+    return Status::OK();
+  };
+
+  if (ex.text_first) {
+    COBRA_ASSIGN_OR_RETURN(
+        std::vector<text::SearchHit> hits,
+        interviews.SearchTopN(query.text, query.text_top_k, stats));
+    COBRA_RETURN_NOT_OK(collect_text_scores(hits));
+    std::vector<int64_t> candidates;
+    candidates.reserve(text_scores.size());
+    for (const auto& [oid, score] : text_scores) candidates.push_back(oid);
+    ex.steps.push_back({"text:seed", est_text_players,
+                        static_cast<int64_t>(candidates.size())});
+    COBRA_ASSIGN_OR_RETURN(
+        std::vector<int64_t> rows,
+        refine_rows(OidsToRows(store, candidates),
+                    static_cast<double>(candidates.size())));
+    players = RowsToOids(*players_table, rows);
+    if (has_champ) {
+      COBRA_RETURN_NOT_OK(compute_champions());
+      std::vector<int64_t> kept;
+      for (int64_t p : players) {
+        if (std::binary_search(champions.begin(), champions.end(), p)) {
+          kept.push_back(p);
+        }
+      }
+      players = std::move(kept);
+      ex.steps.push_back({"champion filter", est_concept,
+                          static_cast<int64_t>(players.size())});
+    }
+  } else {
+    if (ex.champion_first) {
+      COBRA_RETURN_NOT_OK(compute_champions());
+      COBRA_ASSIGN_OR_RETURN(
+          std::vector<int64_t> rows,
+          refine_rows(OidsToRows(store, champions),
+                      static_cast<double>(champions.size())));
+      players = RowsToOids(*players_table, rows);
+    } else {
+      std::vector<int64_t> rows;
+      if (n_preds == 0) {
+        rows.reserve(static_cast<size_t>(total_players));
+        for (int64_t r = 0; r < total_players; ++r) rows.push_back(r);
+        COBRA_ASSIGN_OR_RETURN(rows, refine_rows(std::move(rows),
+                                                 static_cast<double>(total_players)));
+      } else {
+        // First (most selective) predicate as a zone-map-skipping full
+        // Select, the rest as refines over the shrinking selection.
+        COBRA_ASSIGN_OR_RETURN(
+            rows, storage::Select(*players_table,
+                                  query.player_predicates[ranked[0].index]));
+        ex.steps.push_back(
+            {"predicate " + query.player_predicates[ranked[0].index].column,
+             ranked[0].fraction * total_players,
+             static_cast<int64_t>(rows.size())});
+        double est_in = ranked[0].fraction * total_players;
+        for (size_t k = 1; k < ranked.size(); ++k) {
+          est_in *= ranked[k].fraction;
+          COBRA_ASSIGN_OR_RETURN(
+              rows,
+              storage::Refine(*players_table,
+                              query.player_predicates[ranked[k].index], rows));
+          ex.steps.push_back(
+              {"predicate " + query.player_predicates[ranked[k].index].column,
+               est_in, static_cast<int64_t>(rows.size())});
+        }
+      }
+      players = RowsToOids(*players_table, rows);
+      if (has_champ) {
+        COBRA_RETURN_NOT_OK(compute_champions());
+        std::vector<int64_t> kept;
+        for (int64_t p : players) {
+          if (std::binary_search(champions.begin(), champions.end(), p)) {
+            kept.push_back(p);
+          }
+        }
+        players = std::move(kept);
+        ex.steps.push_back({"champion filter", est_concept,
+                            static_cast<int64_t>(players.size())});
+      }
+    }
+
+    if (players.empty() && text_skip_safe) {
+      return finish_empty("concept stage empty");
+    }
+
+    if (has_text) {
+      std::vector<text::SearchHit> hits;
+      if (use_filtered) {
+        COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> accept,
+                               store.Traverse("interviewed_in", players));
+        COBRA_ASSIGN_OR_RETURN(
+            hits, interviews.SearchTopNFiltered(query.text, query.text_top_k,
+                                                accept, stats));
+        ex.text_filter_pushed = true;
+        ex.steps.push_back({StringFormat("text:filtered(accept=%zu)",
+                                         accept.size()),
+                            sum_df, static_cast<int64_t>(hits.size())});
+      } else {
+        COBRA_ASSIGN_OR_RETURN(
+            hits, interviews.SearchTopN(query.text, query.text_top_k, stats));
+        ex.steps.push_back({"text:global", est_text_players,
+                            static_cast<int64_t>(hits.size())});
+      }
+      COBRA_RETURN_NOT_OK(collect_text_scores(hits));
+      std::vector<int64_t> kept;
+      for (int64_t p : players) {
+        if (text_scores.count(p)) kept.push_back(p);
+      }
+      players = std::move(kept);
+    }
+  }
+
+  ex.steps.push_back({"players", est_concept,
+                      static_cast<int64_t>(players.size())});
+  if (players.empty()) {
+    ex.short_circuited = true;
+    return std::vector<SceneHit>{};
+  }
+
+  // --- Event stage ---------------------------------------------------------
+  std::vector<SceneHit> out;
+  const std::set<int64_t> indexed(indexed_videos.begin(), indexed_videos.end());
+
+  auto player_name = [&](int64_t player) -> Result<std::string> {
+    COBRA_ASSIGN_OR_RETURN(storage::Value v,
+                           store.GetAttribute("Player", player, "name"));
+    return std::get<std::string>(v);
+  };
+  auto score_of = [&](int64_t player) {
+    auto it = text_scores.find(player);
+    return it == text_scores.end() ? 0.0 : it->second;
+  };
+
+  if (!has_event) {
+    for (int64_t player : players) {
+      COBRA_ASSIGN_OR_RETURN(std::string name, player_name(player));
+      SceneHit hit;
+      hit.player_oid = player;
+      hit.player_name = std::move(name);
+      hit.text_score = score_of(player);
+      out.push_back(std::move(hit));
+    }
+  } else if (event_provably_empty && event_skip_safe) {
+    ex.steps.push_back({"events: provably empty, skipped", 0.0, 0});
+  } else {
+    // Estimated (player, indexed video) pairs decide between one grouped
+    // events scan and the per-pair FindScenes rescans of the fixed order.
+    double fanout = 1.0;
+    if (auto plays = store.AssociationTable("plays_in"); plays.ok()) {
+      const Table* pt = plays.value();
+      if (pt->num_rows() > 0) {
+        COBRA_ASSIGN_OR_RETURN(int64_t from_ndv, pt->Ndv(0));
+        fanout = pt->num_rows() / std::max<double>(1.0, from_ndv);
+      }
+    }
+    const double est_pairs = players.size() * fanout;
+    ex.event_single_scan = est_pairs >= 2.0;
+
+    if (ex.event_single_scan) {
+      COBRA_ASSIGN_OR_RETURN(std::vector<core::Scene> scenes,
+                             meta.FindScenes(query.event));
+      // Group by video, preserving events-table row order within each
+      // group — the order FindScenes(event, video) would return.
+      std::map<int64_t, std::vector<const core::Scene*>> by_video;
+      for (const core::Scene& scene : scenes) {
+        by_video[scene.video_id].push_back(&scene);
+      }
+      ex.steps.push_back({"events:single_scan", est_pairs,
+                          static_cast<int64_t>(scenes.size())});
+      for (int64_t player : players) {
+        COBRA_ASSIGN_OR_RETURN(std::string name, player_name(player));
+        const double score = score_of(player);
+        COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> videos,
+                               store.Traverse("plays_in", {player}));
+        for (int64_t video : videos) {
+          if (!indexed.count(video)) continue;
+          auto group = by_video.find(video);
+          if (group == by_video.end()) continue;
+          COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> roles,
+                                 store.Roles("plays_in", player, video));
+          const std::set<int64_t> role_set(roles.begin(), roles.end());
+          for (const core::Scene* scene : group->second) {
+            if (scene->player >= 0 && !role_set.count(scene->player)) continue;
+            SceneHit hit;
+            hit.player_oid = player;
+            hit.player_name = name;
+            hit.video_oid = video;
+            hit.range = scene->range;
+            hit.event = scene->event;
+            hit.text_score = score;
+            out.push_back(std::move(hit));
+          }
+        }
+      }
+    } else {
+      ex.steps.push_back({"events:per_pair", est_pairs, -1});
+      for (int64_t player : players) {
+        COBRA_ASSIGN_OR_RETURN(std::string name, player_name(player));
+        const double score = score_of(player);
+        COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> videos,
+                               store.Traverse("plays_in", {player}));
+        for (int64_t video : videos) {
+          if (!indexed.count(video)) continue;
+          COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> roles,
+                                 store.Roles("plays_in", player, video));
+          const std::set<int64_t> role_set(roles.begin(), roles.end());
+          COBRA_ASSIGN_OR_RETURN(std::vector<core::Scene> scenes,
+                                 meta.FindScenes(query.event, video));
+          for (const core::Scene& scene : scenes) {
+            if (scene.player >= 0 && !role_set.count(scene.player)) continue;
+            SceneHit hit;
+            hit.player_oid = player;
+            hit.player_name = name;
+            hit.video_oid = video;
+            hit.range = scene.range;
+            hit.event = scene.event;
+            hit.text_score = score;
+            out.push_back(std::move(hit));
+          }
+        }
+      }
+    }
+  }
+
+  ex.steps.push_back({"hits", static_cast<double>(out.size()),
+                      static_cast<int64_t>(out.size())});
+  // The shared total order makes the output bit-identical to the fixed
+  // pipeline whenever the hit multisets agree.
+  std::sort(out.begin(), out.end(), SceneHitLess);
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<SceneHit>> SearchPlanned(const LibraryView& view,
+                                            const CombinedQuery& query,
+                                            text::SearchStats* stats,
+                                            PlanExplain* explain) {
+  PlanExplain ex;
+  Result<std::vector<SceneHit>> result =
+      SearchPlannedImpl(view, query, stats, ex);
+  if (explain != nullptr) *explain = std::move(ex);
+  return result;
+}
+
+}  // namespace cobra::engine::planner

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file planner.h
+/// The cost-based combined-query planner (DESIGN.md §4g). Instead of the
+/// fixed concept -> text -> event pipeline of
+/// `DigitalLibrary::SearchFixedOrder`, `SearchPlanned` orders the stages
+/// and picks physical operators from exact table statistics
+/// (`storage::Table::Stats`, `storage::EstimateSelectivity`):
+///   * attribute predicates run cheapest-and-most-selective first;
+///   * the champion join runs before the attribute scan when the winners
+///     set is estimated smaller than the player table;
+///   * the text stage either seeds the candidate set (text-first), runs
+///     globally, or — when the top-N bound provably cannot truncate — takes
+///     the concept candidates as a DAAT accept filter
+///     (`InvertedIndex::SearchTopNFiltered`) so postings of non-candidates
+///     are skipped block-wise;
+///   * the event stage replaces the per-(player, video) `FindScenes`
+///     rescans with one grouped scan when more than one pair is expected;
+///   * provably-empty modalities (dictionary miss, empty zone range, no
+///     indexed videos) short-circuit the whole plan.
+/// Results are bit-identical to the fixed order on every query, including
+/// error behavior: short-circuits still surface exactly the validation
+/// errors the fixed pipeline would have hit.
+
+#include <vector>
+
+#include "engine/digital_library.h"
+#include "engine/planner/plan.h"
+
+namespace cobra::engine::planner {
+
+/// Non-owning view of the DigitalLibrary internals the planner reads.
+struct LibraryView {
+  const webspace::WebspaceStore* store = nullptr;
+  const text::InvertedIndex* interviews = nullptr;
+  const core::MetaIndex* meta_index = nullptr;
+  const std::vector<int64_t>* indexed_videos = nullptr;
+};
+
+/// Plans and executes `query`. `stats` (optional) receives the text-index
+/// work counters; `explain` (optional) receives the executed plan — written
+/// on success and on short-circuit, untouched when planning fails early.
+Result<std::vector<SceneHit>> SearchPlanned(const LibraryView& view,
+                                            const CombinedQuery& query,
+                                            text::SearchStats* stats,
+                                            PlanExplain* explain);
+
+}  // namespace cobra::engine::planner

@@ -139,8 +139,23 @@ Result<std::vector<SceneHit>> QueryEngine::CachedEval(const std::string& key,
 
 Result<std::vector<SceneHit>> QueryEngine::Search(const CombinedQuery& query) {
   return CachedEval(NormalizedKey(query), [&](text::SearchStats* stats) {
-    return library_->Search(query, stats);
+    planner::PlanExplain explain;
+    Result<std::vector<SceneHit>> result =
+        library_->Search(query, stats, &explain);
+    if (result.ok() && explain.used_planner) {
+      planner_plans_.fetch_add(1, std::memory_order_relaxed);
+      if (explain.short_circuited) {
+        planner_short_circuits_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return result;
   });
+}
+
+Result<std::string> QueryEngine::Explain(const CombinedQuery& query) const {
+  COBRA_ASSIGN_OR_RETURN(planner::PlanExplain explain,
+                         library_->ExplainSearch(query));
+  return explain.ToString();
 }
 
 Result<std::vector<SceneHit>> QueryEngine::SearchKeywordOnly(
@@ -179,6 +194,9 @@ QueryEngineStats QueryEngine::stats() const {
   out.errors = errors_.load(std::memory_order_relaxed);
   out.postings_scanned = postings_scanned_.load(std::memory_order_relaxed);
   out.blocks_skipped = blocks_skipped_.load(std::memory_order_relaxed);
+  out.planner_plans = planner_plans_.load(std::memory_order_relaxed);
+  out.planner_short_circuits =
+      planner_short_circuits_.load(std::memory_order_relaxed);
   return out;
 }
 

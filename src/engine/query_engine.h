@@ -55,6 +55,8 @@ struct QueryEngineStats {
   int64_t errors = 0;         ///< failed queries (never cached)
   int64_t postings_scanned = 0;  ///< text-index work, cache misses only
   int64_t blocks_skipped = 0;    ///< text-index skip-block jumps
+  int64_t planner_plans = 0;  ///< combined queries answered by the planner
+  int64_t planner_short_circuits = 0;  ///< plans ended by a provably-empty stage
 
   double CacheHitRate() const {
     int64_t lookups = cache_hits + cache_misses;
@@ -70,6 +72,11 @@ class QueryEngine {
 
   /// One combined query through the cache.
   Result<std::vector<SceneHit>> Search(const CombinedQuery& query);
+
+  /// Plans and executes `query` (bypassing the cache), returning the
+  /// rendered plan: chosen stage order and estimated vs actual
+  /// cardinalities per step (the EXPLAIN surface, DESIGN.md §4g).
+  Result<std::string> Explain(const CombinedQuery& query) const;
 
   /// The keyword-only baseline through the same cache (distinct key space).
   Result<std::vector<SceneHit>> SearchKeywordOnly(const std::string& text,
@@ -126,6 +133,8 @@ class QueryEngine {
   std::atomic<int64_t> errors_{0};
   std::atomic<int64_t> postings_scanned_{0};
   std::atomic<int64_t> blocks_skipped_{0};
+  std::atomic<int64_t> planner_plans_{0};
+  std::atomic<int64_t> planner_short_circuits_{0};
 };
 
 }  // namespace cobra::engine

@@ -108,6 +108,11 @@ std::vector<uint8_t> BuildStringLut(const std::vector<std::string>& dict,
 
 }  // namespace
 
+Status ValidatePredicate(const Table& table, const Predicate& pred) {
+  size_t col;
+  return CheckPredicate(table, pred, &col);
+}
+
 Result<std::vector<int64_t>> Select(const Table& table, const Predicate& pred) {
   size_t col;
   COBRA_RETURN_NOT_OK(CheckPredicate(table, pred, &col));
@@ -373,12 +378,97 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   }
   COBRA_ASSIGN_OR_RETURN(Table out, Table::Create(std::move(schema)));
 
-  // Build on the right side (equal-key matches keep right row order), probe
-  // with the left (output keeps left row order) — same contract as the
-  // reference implementation.
+  // The contract fixes the *output* order, not the build side: rows follow
+  // left row order, equal-key right matches follow right row order. The
+  // right-build probe emits pairs in exactly that order; the left-build
+  // path re-sorts its pairs into it. kAuto builds on the smaller side
+  // (hash-table construction costs a few probes' worth per row) unless the
+  // left-build re-sort — sized by the estimated match count from the key
+  // columns' exact NDV — would eat the gain.
+  bool build_on_left = options.build_side == JoinBuildSide::kLeft;
+  if (options.build_side == JoinBuildSide::kAuto) {
+    COBRA_ASSIGN_OR_RETURN(int64_t lndv, left.Ndv(lcol));
+    COBRA_ASSIGN_OR_RETURN(int64_t rndv, right.Ndv(rcol));
+    const double lrows = static_cast<double>(left.num_rows());
+    const double rrows = static_cast<double>(right.num_rows());
+    const double ndv = static_cast<double>(std::max<int64_t>({1, lndv, rndv}));
+    const double est_matches = lrows * rrows / ndv;
+    constexpr double kBuildCostPerRow = 4.0;  // vs 1.0 per probed row
+    const double cost_build_right = kBuildCostPerRow * rrows + lrows;
+    const double cost_build_left = kBuildCostPerRow * lrows + rrows +
+                                   est_matches * std::log2(est_matches + 2.0);
+    build_on_left = cost_build_left < cost_build_right;
+  }
+
   std::vector<int64_t> left_rows;
   std::vector<int64_t> right_rows;
-  if (key_type == DataType::kInt64) {
+  if (build_on_left) {
+    if (key_type == DataType::kInt64) {
+      const auto& lkeys = left.IntColumn(lcol);
+      std::unordered_map<int64_t, std::vector<int64_t>> build;
+      build.reserve(lkeys.size());
+      for (int64_t l = 0; l < left.num_rows(); ++l) {
+        build[lkeys[static_cast<size_t>(l)]].push_back(l);
+      }
+      const auto& rkeys = right.IntColumn(rcol);
+      ProbeChunked(
+          right.num_rows(), options.num_threads,
+          [&](int64_t r, std::vector<int64_t>* lv, std::vector<int64_t>* rv) {
+            auto it = build.find(rkeys[static_cast<size_t>(r)]);
+            if (it == build.end()) return;
+            for (int64_t l : it->second) {
+              lv->push_back(l);
+              rv->push_back(r);
+            }
+          },
+          &left_rows, &right_rows);
+    } else {
+      // Mirror of the right-build string path: translate each unique right
+      // string into the left column's code space once.
+      const auto& lkeys = left.StringCodes(lcol);
+      std::unordered_map<int32_t, std::vector<int64_t>> build;
+      build.reserve(left.Dictionary(lcol).size());
+      for (int64_t l = 0; l < left.num_rows(); ++l) {
+        build[lkeys[static_cast<size_t>(l)]].push_back(l);
+      }
+      const auto& rdict = right.Dictionary(rcol);
+      std::vector<int32_t> translate(rdict.size());
+      for (size_t c = 0; c < rdict.size(); ++c) {
+        translate[c] = left.DictCode(lcol, rdict[c]);
+      }
+      const auto& rkeys = right.StringCodes(rcol);
+      ProbeChunked(
+          right.num_rows(), options.num_threads,
+          [&](int64_t r, std::vector<int64_t>* lv, std::vector<int64_t>* rv) {
+            const int32_t t =
+                translate[static_cast<size_t>(rkeys[static_cast<size_t>(r)])];
+            if (t < 0) return;
+            auto it = build.find(t);
+            if (it == build.end()) return;
+            for (int64_t l : it->second) {
+              lv->push_back(l);
+              rv->push_back(r);
+            }
+          },
+          &left_rows, &right_rows);
+    }
+    // Right-major pairs → the contract's (left row, right row) order. Each
+    // pair is unique, so the sort is total and deterministic.
+    std::vector<size_t> order(left_rows.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (left_rows[a] != left_rows[b]) return left_rows[a] < left_rows[b];
+      return right_rows[a] < right_rows[b];
+    });
+    std::vector<int64_t> sorted_left(order.size());
+    std::vector<int64_t> sorted_right(order.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      sorted_left[i] = left_rows[order[i]];
+      sorted_right[i] = right_rows[order[i]];
+    }
+    left_rows = std::move(sorted_left);
+    right_rows = std::move(sorted_right);
+  } else if (key_type == DataType::kInt64) {
     const auto& rkeys = right.IntColumn(rcol);
     std::unordered_map<int64_t, std::vector<int64_t>> build;
     build.reserve(rkeys.size());

@@ -33,6 +33,13 @@ struct Predicate {
   Value literal;
 };
 
+/// Checks `pred` against `table`'s schema (column exists, literal type
+/// matches, kContains needs a string column and literal) without touching
+/// any row. Select/Refine run exactly this check first; the planner calls
+/// it up front so short-circuited plans stay error-identical to plans that
+/// evaluate every predicate.
+Status ValidatePredicate(const Table& table, const Predicate& pred);
+
 /// Full-column selection: row ids (ascending) satisfying the predicate.
 Result<std::vector<int64_t>> Select(const Table& table, const Predicate& pred);
 
@@ -49,12 +56,23 @@ Result<std::vector<int64_t>> SelectAll(const Table& table,
 Result<Table> Materialize(const Table& table, const std::vector<int64_t>& rows,
                           const std::vector<std::string>& columns = {});
 
+/// Which side the `HashJoin` hash table is built on (DESIGN.md §4g). The
+/// output is bit-identical for every choice: the right-build probe emits
+/// match pairs already in (left row, right row) order, and the left-build
+/// path re-sorts its pairs into that same order. kAuto costs both sides
+/// from the tables' exact statistics — build on the smaller side, unless
+/// the left-build pair re-sort (sized by the estimated match count,
+/// |L|·|R| / max NDV of the key columns) eats the gain.
+enum class JoinBuildSide { kAuto, kLeft, kRight };
+
 /// Tuning knobs for `HashJoin`.
 struct JoinOptions {
   /// Probe-side parallelism (README "join threads"). <= 1 probes inline on
   /// the calling thread; output row order is identical either way (the
   /// probe is chunked and chunk results are concatenated in chunk order).
   int num_threads = 1;
+  /// Build/probe side choice; kAuto is the costed decision.
+  JoinBuildSide build_side = JoinBuildSide::kAuto;
 };
 
 /// Equi-join on `left_col` = `right_col`. Output schema: left columns then

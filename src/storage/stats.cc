@@ -1,0 +1,166 @@
+#include "storage/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace cobra::storage {
+
+namespace {
+
+SelectivityEstimate Empty() { return {0.0, true, true}; }
+
+double Clamp01(double f) { return std::min(1.0, std::max(0.0, f)); }
+
+}  // namespace
+
+Result<SelectivityEstimate> EstimateSelectivity(const Table& table,
+                                                const Predicate& pred) {
+  COBRA_RETURN_NOT_OK(ValidatePredicate(table, pred));
+  COBRA_ASSIGN_OR_RETURN(size_t col, table.ColumnIndex(pred.column));
+  COBRA_ASSIGN_OR_RETURN(ColumnStats stats, table.Stats(col));
+  if (stats.rows == 0) return Empty();
+  const double rows = static_cast<double>(stats.rows);
+  const DataType type = table.schema()[col].type;
+
+  if (type == DataType::kString) {
+    // Exact: fold the per-code row histogram over the qualifying
+    // dictionary entries (one per *unique* string, never per row).
+    const std::string& lit = std::get<std::string>(pred.literal);
+    if (pred.op == CompareOp::kEq || pred.op == CompareOp::kNe) {
+      const int32_t code = table.DictCode(col, lit);
+      COBRA_ASSIGN_OR_RETURN(int64_t count, table.CodeCount(col, code));
+      const int64_t matches =
+          pred.op == CompareOp::kEq ? count : stats.rows - count;
+      return SelectivityEstimate{matches / rows, true, matches == 0};
+    }
+    const auto& dict = table.Dictionary(col);
+    int64_t matches = 0;
+    for (size_t c = 0; c < dict.size(); ++c) {
+      bool hit;
+      if (pred.op == CompareOp::kContains) {
+        hit = dict[c].find(lit) != std::string::npos;
+      } else {
+        const int cmp = dict[c].compare(lit);
+        hit = EvalCompare(cmp < 0 ? -1 : (cmp > 0 ? 1 : 0), pred.op);
+      }
+      if (hit) {
+        COBRA_ASSIGN_OR_RETURN(int64_t count,
+                               table.CodeCount(col, static_cast<int32_t>(c)));
+        matches += count;
+      }
+    }
+    return SelectivityEstimate{matches / rows, true, matches == 0};
+  }
+
+  const double ndv = static_cast<double>(std::max<int64_t>(1, stats.ndv));
+  if (type == DataType::kInt64) {
+    const int64_t lit = std::get<int64_t>(pred.literal);
+    const int64_t lo = stats.range.imin;
+    const int64_t hi = stats.range.imax;
+    const double width =
+        static_cast<double>(hi) - static_cast<double>(lo) + 1.0;
+    switch (pred.op) {
+      case CompareOp::kEq:
+        if (lit < lo || lit > hi) return Empty();
+        return SelectivityEstimate{Clamp01(1.0 / ndv), false, false};
+      case CompareOp::kNe:
+        if (lo == hi && lo == lit) return Empty();
+        return SelectivityEstimate{Clamp01(1.0 - 1.0 / ndv), false, false};
+      case CompareOp::kLt:
+        if (lo >= lit) return Empty();
+        return SelectivityEstimate{
+            Clamp01(static_cast<double>(lit - lo) / width), false, false};
+      case CompareOp::kLe:
+        if (lo > lit) return Empty();
+        return SelectivityEstimate{
+            Clamp01((static_cast<double>(lit - lo) + 1.0) / width), false,
+            false};
+      case CompareOp::kGt:
+        if (hi <= lit) return Empty();
+        return SelectivityEstimate{
+            Clamp01(static_cast<double>(hi - lit) / width), false, false};
+      case CompareOp::kGe:
+        if (hi < lit) return Empty();
+        return SelectivityEstimate{
+            Clamp01((static_cast<double>(hi - lit) + 1.0) / width), false,
+            false};
+      case CompareOp::kContains:
+        break;  // unreachable: ValidatePredicate rejects kContains on int64
+    }
+    return SelectivityEstimate{};
+  }
+
+  // Doubles mirror ZoneCanMatchF64: NaN ties under CompareValues, so it
+  // matches kEq/kLe/kGe against anything (and a NaN literal matches every
+  // row under those ops).
+  const double lit = std::get<double>(pred.literal);
+  const bool nan_matches = pred.op == CompareOp::kEq ||
+                           pred.op == CompareOp::kLe ||
+                           pred.op == CompareOp::kGe;
+  const bool has_nan = stats.range.has_nan;
+  if (std::isnan(lit)) {
+    if (!nan_matches) return Empty();
+    return SelectivityEstimate{1.0, true, false};
+  }
+  const double lo = stats.range.dmin;
+  const double hi = stats.range.dmax;
+  if (lo > hi) {
+    // Every row is NaN: tie ops match all rows, ordering ops none.
+    if (!nan_matches) return Empty();
+    return SelectivityEstimate{1.0, true, false};
+  }
+  const double width = hi - lo;
+  double fraction = 0.0;
+  bool empty = false;
+  switch (pred.op) {
+    case CompareOp::kEq:
+      empty = lit < lo || lit > hi;
+      fraction = Clamp01(1.0 / ndv);
+      break;
+    case CompareOp::kNe:
+      empty = lo == hi && lo == lit;
+      fraction = Clamp01(1.0 - 1.0 / ndv);
+      break;
+    case CompareOp::kLt:
+      empty = lo >= lit;
+      fraction = width > 0 ? Clamp01((lit - lo) / width) : (empty ? 0.0 : 1.0);
+      break;
+    case CompareOp::kLe:
+      empty = lo > lit;
+      fraction = width > 0 ? Clamp01((lit - lo) / width) : (empty ? 0.0 : 1.0);
+      break;
+    case CompareOp::kGt:
+      empty = hi <= lit;
+      fraction = width > 0 ? Clamp01((hi - lit) / width) : (empty ? 0.0 : 1.0);
+      break;
+    case CompareOp::kGe:
+      empty = hi < lit;
+      fraction = width > 0 ? Clamp01((hi - lit) / width) : (empty ? 0.0 : 1.0);
+      break;
+    case CompareOp::kContains:
+      break;  // unreachable: ValidatePredicate rejects kContains on double
+  }
+  if (has_nan && nan_matches) {
+    // NaN rows match regardless of the range check; their share is unknown,
+    // so fold in a 1/ndv floor and drop any emptiness claim.
+    empty = false;
+    fraction = std::max(fraction, Clamp01(1.0 / ndv));
+  }
+  if (empty) return Empty();
+  return SelectivityEstimate{fraction, false, false};
+}
+
+Result<double> EstimateConjunctionRows(const Table& table,
+                                       const std::vector<Predicate>& preds) {
+  double fraction = 1.0;
+  for (const Predicate& pred : preds) {
+    COBRA_ASSIGN_OR_RETURN(SelectivityEstimate est,
+                           EstimateSelectivity(table, pred));
+    if (est.provably_empty) return 0.0;
+    fraction *= est.fraction;
+  }
+  return fraction * static_cast<double>(table.num_rows());
+}
+
+}  // namespace cobra::storage

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file stats.h
+/// Predicate selectivity estimation over `Table` statistics (DESIGN.md
+/// §4g). String predicates are *exact*: equality resolves through the
+/// dictionary and the per-code row histogram, ordering/kContains fold the
+/// histogram over the O(dictionary) qualifying entries. Numeric predicates
+/// interpolate against the folded zone-map range and the exact NDV.
+///
+/// `provably_empty` is only ever set when the emptiness is certain (a
+/// dictionary miss, a literal outside the folded range, an empty table) —
+/// the planner short-circuits whole query stages on it, so a false
+/// positive would change results, while a false negative only costs time.
+
+#include <vector>
+
+#include "storage/ops.h"
+#include "storage/table.h"
+
+namespace cobra::storage {
+
+/// Estimated outcome of one predicate against one table.
+struct SelectivityEstimate {
+  /// Estimated fraction of rows matching, in [0, 1].
+  double fraction = 1.0;
+  /// True when `fraction` is an exact row count ratio (dictionary-backed
+  /// string predicates, empty tables), not an interpolation.
+  bool exact = false;
+  /// True when no row can match. Certain, never heuristic.
+  bool provably_empty = false;
+};
+
+/// Estimates `pred` against `table`. Returns the schema/type errors of
+/// `ValidatePredicate` for malformed predicates.
+Result<SelectivityEstimate> EstimateSelectivity(const Table& table,
+                                                const Predicate& pred);
+
+/// Estimated row count of the conjunction of `preds` under the usual
+/// independence assumption; 0 when any predicate is provably empty.
+Result<double> EstimateConjunctionRows(const Table& table,
+                                       const std::vector<Predicate>& preds);
+
+}  // namespace cobra::storage

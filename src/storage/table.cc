@@ -1,6 +1,7 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <set>
 
@@ -84,6 +85,7 @@ Result<Table> Table::Create(std::vector<ColumnDef> schema) {
     }
   }
   t.zones_.resize(t.schema_.size());
+  t.distinct_.resize(t.schema_.size());
   return t;
 }
 
@@ -268,16 +270,19 @@ void Table::ExtendZones(size_t col, int64_t from, int64_t to) {
   switch (schema_[col].type) {
     case DataType::kInt64: {
       const auto& data = std::get<std::vector<int64_t>>(columns_[col]);
+      auto& distinct = distinct_[col];
       for (int64_t r = from; r < to; ++r) {
         ZoneEntry& z = zone_for(r);
         const int64_t v = data[static_cast<size_t>(r)];
         z.imin = std::min(z.imin, v);
         z.imax = std::max(z.imax, v);
+        distinct.insert(static_cast<uint64_t>(v));
       }
       break;
     }
     case DataType::kDouble: {
       const auto& data = std::get<std::vector<double>>(columns_[col]);
+      auto& distinct = distinct_[col];
       for (int64_t r = from; r < to; ++r) {
         ZoneEntry& z = zone_for(r);
         const double v = data[static_cast<size_t>(r)];
@@ -287,20 +292,67 @@ void Table::ExtendZones(size_t col, int64_t from, int64_t to) {
           z.dmin = std::min(z.dmin, v);
           z.dmax = std::max(z.dmax, v);
         }
+        distinct.insert(std::bit_cast<uint64_t>(v));
       }
       break;
     }
     case DataType::kString: {
-      const auto& codes = std::get<StringColumnData>(columns_[col]).codes;
+      auto& sc = std::get<StringColumnData>(columns_[col]);
+      sc.code_rows.resize(sc.dict.size(), 0);
       for (int64_t r = from; r < to; ++r) {
         ZoneEntry& z = zone_for(r);
-        const int64_t v = codes[static_cast<size_t>(r)];
+        const int64_t v = sc.codes[static_cast<size_t>(r)];
         z.imin = std::min(z.imin, v);
         z.imax = std::max(z.imax, v);
+        ++sc.code_rows[static_cast<size_t>(v)];
       }
       break;
     }
   }
+}
+
+namespace {
+Status CheckColumn(const Table& t, size_t col) {
+  if (col >= t.num_columns()) {
+    return Status::OutOfRange(StringFormat("column %zu out of range", col));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<ColumnStats> Table::Stats(size_t col) const {
+  COBRA_RETURN_NOT_OK(CheckColumn(*this, col));
+  ColumnStats stats;
+  stats.rows = num_rows_;
+  COBRA_ASSIGN_OR_RETURN(stats.ndv, Ndv(col));
+  for (const ZoneEntry& z : zones_[col]) {
+    stats.range.imin = std::min(stats.range.imin, z.imin);
+    stats.range.imax = std::max(stats.range.imax, z.imax);
+    stats.range.dmin = std::min(stats.range.dmin, z.dmin);
+    stats.range.dmax = std::max(stats.range.dmax, z.dmax);
+    stats.range.has_nan = stats.range.has_nan || z.has_nan;
+  }
+  return stats;
+}
+
+Result<int64_t> Table::Ndv(size_t col) const {
+  COBRA_RETURN_NOT_OK(CheckColumn(*this, col));
+  if (schema_[col].type == DataType::kString) {
+    return static_cast<int64_t>(std::get<StringColumnData>(columns_[col]).dict.size());
+  }
+  return static_cast<int64_t>(distinct_[col].size());
+}
+
+Result<int64_t> Table::CodeCount(size_t col, int32_t code) const {
+  COBRA_RETURN_NOT_OK(CheckColumn(*this, col));
+  if (schema_[col].type != DataType::kString) {
+    return Status::InvalidArgument(
+        StringFormat("column '%s' is %s, not string", schema_[col].name.c_str(),
+                     DataTypeToString(schema_[col].type)));
+  }
+  const auto& sc = std::get<StringColumnData>(columns_[col]);
+  if (code < 0 || static_cast<size_t>(code) >= sc.code_rows.size()) return 0;
+  return sc.code_rows[static_cast<size_t>(code)];
 }
 
 }  // namespace cobra::storage

@@ -20,6 +20,7 @@
 #include <limits>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <variant>
 #include <vector>
 
@@ -68,6 +69,20 @@ struct ZoneEntry {
   bool has_nan = false;
 };
 
+/// Whole-column statistics for the query planner (DESIGN.md §4g). All
+/// fields are exact and maintained incrementally on append: `ndv` counts
+/// dictionary entries for string columns, distinct values for int64
+/// columns, and distinct bit patterns for double columns (so 0.0 and -0.0
+/// count separately and every NaN payload is one value — the planner only
+/// uses NDV as a density estimate, never for result pruning). `range` is
+/// the fold of the column's zone maps; its defaults (imin > imax,
+/// dmin > dmax) signal an empty — or, for doubles, all-NaN — column.
+struct ColumnStats {
+  int64_t rows = 0;
+  int64_t ndv = 0;
+  ZoneEntry range;
+};
+
 /// An append-only typed table with columnar storage.
 class Table {
  public:
@@ -110,6 +125,17 @@ class Table {
   /// (b+1)*kBlockRows). Maintained incrementally on every append.
   const std::vector<ZoneEntry>& Zones(size_t col) const { return zones_[col]; }
 
+  /// Planner statistics of column `col`: exact row/distinct counts plus the
+  /// folded zone-map range. O(number of zone-map blocks).
+  Result<ColumnStats> Stats(size_t col) const;
+  /// Exact number of distinct values in column `col` (see ColumnStats for
+  /// what "distinct" means per type). O(1).
+  Result<int64_t> Ndv(size_t col) const;
+  /// Exact number of rows of string column `col` holding dictionary code
+  /// `code`; 0 when the code is out of range (e.g. the -1 of a DictCode
+  /// miss). O(1).
+  Result<int64_t> CodeCount(size_t col, int32_t code) const;
+
  private:
   /// A dictionary-encoded string column: `values` is the row-aligned raw
   /// string store (kept for accessors and materialization), `codes` the
@@ -119,6 +145,9 @@ class Table {
     std::vector<int32_t> codes;
     std::vector<std::string> dict;
     std::unordered_map<std::string, int32_t> dict_index;
+    /// code_rows[c] = number of rows holding dictionary code c (the exact
+    /// per-value histogram behind CodeCount; updated in ExtendZones).
+    std::vector<int64_t> code_rows;
 
     int32_t Encode(const std::string& s);
   };
@@ -153,6 +182,10 @@ class Table {
   std::vector<ColumnDef> schema_;
   std::vector<ColumnData> columns_;
   std::vector<std::vector<ZoneEntry>> zones_;
+  /// Distinct-value sets of int64/double columns (bit patterns; unused for
+  /// strings, whose dictionary already is the distinct set). Updated in
+  /// ExtendZones so both AppendRow and the bulk-gather path maintain them.
+  std::vector<std::unordered_set<uint64_t>> distinct_;
   int64_t num_rows_ = 0;
 };
 

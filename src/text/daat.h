@@ -62,9 +62,16 @@ inline bool HeapWorstOnTop(const TopEntry& a, const TopEntry& b) {
 /// (postings_scanned, blocks_skipped, early_terminated) when non-null;
 /// terms_evaluated is the caller's concern. Returns the exact top `n` of
 /// the exhaustive union, ordered (score desc, doc id asc).
+///
+/// `accept`, when non-null, is a sorted ascending deduplicated doc-id list:
+/// only those documents are scored, and the cursors jump over non-accepted
+/// gaps block-wise (the cross-modal accept filter of DESIGN.md §4g — the
+/// result is the exact top `n` of the accepted subset).
 template <typename TermCursor>
 std::vector<SearchHit> DaatMaxScoreTopN(std::vector<TermCursor>* terms_in,
-                                        size_t n, SearchStats* stats) {
+                                        size_t n, SearchStats* stats,
+                                        const std::vector<int64_t>* accept =
+                                            nullptr) {
   std::vector<TermCursor>& terms = *terms_in;
   std::vector<SearchHit> hits;
   const auto finish = [&](bool pruned, int64_t block_max_skips,
@@ -124,6 +131,7 @@ std::vector<SearchHit> DaatMaxScoreTopN(std::vector<TermCursor>* terms_in,
   size_t essential = num_terms;  // terms [0, essential) are essential
   int64_t block_max_skips = 0;
   bool pruned = false;
+  size_t accept_pos = 0;  // cursor into `accept` (both advance monotonically)
 
   while (true) {
     // Terms [essential, T) become non-essential once even their combined
@@ -144,6 +152,25 @@ std::vector<SearchHit> DaatMaxScoreTopN(std::vector<TermCursor>* terms_in,
       if (terms[j].valid() && terms[j].doc() < d) d = terms[j].doc();
     }
     if (d == std::numeric_limits<int64_t>::max()) break;
+
+    if (accept != nullptr) {
+      while (accept_pos < accept->size() && (*accept)[accept_pos] < d) {
+        ++accept_pos;
+      }
+      // No accepted doc at or past d: nothing further can be scored.
+      if (accept_pos == accept->size()) break;
+      const int64_t next_accepted = (*accept)[accept_pos];
+      if (next_accepted > d) {
+        // d is filtered out; jump every essential cursor over the
+        // non-accepted gap [d, next_accepted) in one block-wise seek.
+        for (size_t j = 0; j < essential; ++j) {
+          if (terms[j].valid() && terms[j].doc() < next_accepted) {
+            terms[j].AdvanceTo(next_accepted);
+          }
+        }
+        continue;
+      }
+    }
 
     double score = 0.0;
     for (size_t j = 0; j < essential; ++j) {

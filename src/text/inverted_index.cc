@@ -181,6 +181,18 @@ Result<std::vector<SearchHit>> InvertedIndex::SearchExhaustive(
 
 Result<std::vector<SearchHit>> InvertedIndex::SearchTopN(
     const std::string& query, size_t n, SearchStats* stats) const {
+  return SearchTopNImpl(query, n, /*accept=*/nullptr, stats);
+}
+
+Result<std::vector<SearchHit>> InvertedIndex::SearchTopNFiltered(
+    const std::string& query, size_t n, const std::vector<int64_t>& accept_docs,
+    SearchStats* stats) const {
+  return SearchTopNImpl(query, n, &accept_docs, stats);
+}
+
+Result<std::vector<SearchHit>> InvertedIndex::SearchTopNImpl(
+    const std::string& query, size_t n, const std::vector<int64_t>* accept,
+    SearchStats* stats) const {
   COBRA_ASSIGN_OR_RETURN(std::vector<std::string> terms, AnalyzeQuery(query));
   if (n == 0) return std::vector<SearchHit>{};
   SearchStats local;
@@ -257,7 +269,7 @@ Result<std::vector<SearchHit>> InvertedIndex::SearchTopN(
     cursors.push_back(cursor);
   }
   std::vector<SearchHit> hits =
-      internal::DaatMaxScoreTopN(&cursors, n, &local);
+      internal::DaatMaxScoreTopN(&cursors, n, &local, accept);
   if (stats) *stats = local;
   return hits;
 }

@@ -94,6 +94,19 @@ class InvertedIndex {
   Result<std::vector<SearchHit>> SearchTopN(const std::string& query, size_t n,
                                             SearchStats* stats = nullptr) const;
 
+  /// Cross-modal accept filter (DESIGN.md §4g): the exact top `n` among
+  /// the documents in `accept_docs` (sorted ascending, deduplicated) —
+  /// SearchTopN restricted to that subset *before* ranking. The cursors
+  /// jump over non-accepted gaps block-wise, so cost scales with the
+  /// accepted postings rather than the full lists. Note this equals
+  /// "SearchTopN, then drop non-accepted hits" only when no truncation can
+  /// occur (n at least the number of scoring documents); the planner checks
+  /// that bound before choosing this path.
+  Result<std::vector<SearchHit>> SearchTopNFiltered(
+      const std::string& query, size_t n,
+      const std::vector<int64_t>& accept_docs,
+      SearchStats* stats = nullptr) const;
+
   /// Reference implementation: term-at-a-time evaluation in decreasing
   /// max-contribution order; stops admitting new candidates when the
   /// remaining terms (precomputed suffix sums) cannot lift any unseen
@@ -121,6 +134,12 @@ class InvertedIndex {
   };
 
   Result<std::vector<std::string>> AnalyzeQuery(const std::string& query) const;
+
+  /// Shared DAAT evaluation behind SearchTopN (accept == nullptr) and
+  /// SearchTopNFiltered.
+  Result<std::vector<SearchHit>> SearchTopNImpl(
+      const std::string& query, size_t n, const std::vector<int64_t>* accept,
+      SearchStats* stats) const;
 
   /// Deduplicates analyzed query terms into (term info, query tf) pairs,
   /// ordered by first occurrence in the analyzed query.

@@ -210,19 +210,42 @@ std::vector<int64_t> TraverseScan(const storage::Table& edges, size_t key_col,
 
 /// Walks the adjacency lists of the unique keys; returns the set of
 /// reached oids, ascending (same contract as the old full-scan traversal).
-/// Sparse key sets walk the hash index; dense ones dispatch to the column
-/// scan, whose bitmap stays no bigger than one edge column.
+/// Dispatch between the walk and the column scan is a costed decision (see
+/// TraversalStrategy in store.h): the old fixed density ratio
+/// (|keys|·16 >= |edges|) is replaced by a per-key cost of one hash probe
+/// plus the association's average fan-out from the edge table's exact NDV
+/// statistics, against one streaming pass for the scan. The scan's bitmap
+/// stays no bigger than one edge column (the width guard), so a forced
+/// kScan outside that bound runs the walk instead.
 Result<std::vector<int64_t>> TraverseIndexed(
     const std::unordered_map<int64_t, std::vector<std::pair<int64_t, int64_t>>>&
         adjacency,
     const storage::Table& edges, size_t key_col, size_t other_col,
-    const std::vector<int64_t>& keys, int64_t role) {
+    const std::vector<int64_t>& keys, int64_t role,
+    TraversalStrategy strategy, TraversalStrategy* chosen) {
+  if (chosen != nullptr) *chosen = TraversalStrategy::kWalk;
   std::vector<int64_t> uniq = keys;
   SortUnique(uniq);
   if (uniq.empty()) return std::vector<int64_t>{};
   const auto rows = static_cast<size_t>(edges.num_rows());
   const uint64_t width = static_cast<uint64_t>(uniq.back() - uniq.front()) + 1;
-  if (uniq.size() * 16 >= rows && width <= 64 * (rows + 1024)) {
+  const bool scan_feasible = width <= 64 * (rows + 1024);
+  bool scan = strategy == TraversalStrategy::kScan;
+  if (strategy == TraversalStrategy::kAuto) {
+    COBRA_ASSIGN_OR_RETURN(int64_t key_ndv, edges.Ndv(key_col));
+    const double fanout =
+        static_cast<double>(rows) / static_cast<double>(std::max<int64_t>(1, key_ndv));
+    // One adjacency probe costs several scanned edge elements (hash + cache
+    // misses); emitting a reached edge costs about the same on both paths.
+    constexpr double kProbeCost = 8.0;
+    const double walk_cost =
+        static_cast<double>(uniq.size()) * (kProbeCost + fanout);
+    const double scan_cost =
+        static_cast<double>(rows) + static_cast<double>(width) / 64.0;
+    scan = scan_cost < walk_cost;
+  }
+  if (scan && scan_feasible) {
+    if (chosen != nullptr) *chosen = TraversalStrategy::kScan;
     return TraverseScan(edges, key_col, other_col, uniq, role);
   }
   std::vector<int64_t> out;
@@ -243,26 +266,28 @@ Result<std::vector<int64_t>> TraverseIndexed(
 
 Result<std::vector<int64_t>> WebspaceStore::Traverse(
     const std::string& association, const std::vector<int64_t>& from_oids,
-    int64_t role) const {
+    int64_t role, TraversalStrategy strategy, TraversalStrategy* chosen) const {
   auto it = assoc_index_.find(association);
   if (it == assoc_index_.end()) {
     return Status::NotFound(
         StringFormat("no association '%s'", association.c_str()));
   }
   return TraverseIndexed(it->second.forward, assoc_tables_.at(association),
-                         /*key_col=*/0, /*other_col=*/1, from_oids, role);
+                         /*key_col=*/0, /*other_col=*/1, from_oids, role,
+                         strategy, chosen);
 }
 
 Result<std::vector<int64_t>> WebspaceStore::TraverseReverse(
     const std::string& association, const std::vector<int64_t>& to_oids,
-    int64_t role) const {
+    int64_t role, TraversalStrategy strategy, TraversalStrategy* chosen) const {
   auto it = assoc_index_.find(association);
   if (it == assoc_index_.end()) {
     return Status::NotFound(
         StringFormat("no association '%s'", association.c_str()));
   }
   return TraverseIndexed(it->second.reverse, assoc_tables_.at(association),
-                         /*key_col=*/1, /*other_col=*/0, to_oids, role);
+                         /*key_col=*/1, /*other_col=*/0, to_oids, role,
+                         strategy, chosen);
 }
 
 Result<std::vector<int64_t>> WebspaceStore::Roles(const std::string& association,

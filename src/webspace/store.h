@@ -17,6 +17,16 @@
 
 namespace cobra::webspace {
 
+/// How Traverse/TraverseReverse materializes the reached set (results are
+/// identical for every choice, DESIGN.md §4g). kWalk probes the hash
+/// adjacency once per unique key; kScan streams the contiguous edge columns
+/// against a key bitmap. kAuto is the costed decision: walking costs one
+/// probe plus the association's average fan-out (edges / exact key-column
+/// NDV) per key, scanning one pass over the edges plus the bitmaps. A
+/// forced kScan still falls back to the walk when the key range is too wide
+/// for a bitmap (the `chosen` out-parameter reports what actually ran).
+enum class TraversalStrategy { kAuto, kWalk, kScan };
+
 class WebspaceStore {
  public:
   /// Builds empty tables for every class and association of `schema`.
@@ -53,15 +63,19 @@ class WebspaceStore {
   int64_t RowOf(const std::string& class_name, int64_t oid) const;
 
   /// Oids reachable from `from_oids` through `association` (set semantics,
-  /// ascending). Role filter applies when role >= 0.
-  Result<std::vector<int64_t>> Traverse(const std::string& association,
-                                        const std::vector<int64_t>& from_oids,
-                                        int64_t role = -1) const;
+  /// ascending). Role filter applies when role >= 0. `strategy` defaults to
+  /// the costed dispatch; `chosen`, when non-null, receives the strategy
+  /// that actually ran (kWalk/kScan — the planner's explain surface).
+  Result<std::vector<int64_t>> Traverse(
+      const std::string& association, const std::vector<int64_t>& from_oids,
+      int64_t role = -1, TraversalStrategy strategy = TraversalStrategy::kAuto,
+      TraversalStrategy* chosen = nullptr) const;
 
   /// Reverse traversal: from target oids back to sources.
   Result<std::vector<int64_t>> TraverseReverse(
       const std::string& association, const std::vector<int64_t>& to_oids,
-      int64_t role = -1) const;
+      int64_t role = -1, TraversalStrategy strategy = TraversalStrategy::kAuto,
+      TraversalStrategy* chosen = nullptr) const;
 
   /// All role payloads on edges from `from_oid` to `to_oid`.
   Result<std::vector<int64_t>> Roles(const std::string& association,
