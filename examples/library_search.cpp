@@ -4,12 +4,20 @@
 /// including the paper's motivating one — typed in the query language.
 ///
 ///   ./build/examples/library_search
+///
+/// With COBRA_SEGMENT_DIR set, the library persists through the durable
+/// segment store: the first run ingests and flushes segments, later runs
+/// restore from the memory mapping (O(1) cold start) and skip ingest.
+///
+///   COBRA_SEGMENT_DIR=/tmp/cobra_lib ./build/examples/library_search
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "core/tennis_fde.h"
 #include "engine/digital_library.h"
+#include "engine/durable_library.h"
 #include "engine/query_language.h"
 #include "media/tennis_synthesizer.h"
 #include "webspace/site_synthesizer.h"
@@ -31,20 +39,53 @@ int main() {
 
   auto interview_texts = site.interview_texts;
   auto video_seeds = site.video_seeds;
-  auto library = engine::DigitalLibrary::Create(std::move(site.store)).TakeValue();
 
+  core::TennisIndexerConfig indexer_config;
+  if (const char* dir = std::getenv("COBRA_SEGMENT_DIR")) {
+    indexer_config.segment_dir = dir;
+  }
+
+  std::unique_ptr<engine::DigitalLibrary> memory_library;
+  std::unique_ptr<engine::DurableLibrary> durable;
+  bool restored = false;
+  if (!indexer_config.segment_dir.empty()) {
+    auto reopened = engine::DurableLibrary::Open(indexer_config.segment_dir);
+    if (reopened.ok()) {
+      durable = reopened.TakeValue();
+      restored = true;
+      std::printf("restored library from %zu segment(s) in %s\n",
+                  durable->num_segments(), indexer_config.segment_dir.c_str());
+    } else {
+      durable = engine::DurableLibrary::Create(indexer_config.segment_dir,
+                                               std::move(site.store))
+                    .TakeValue();
+      std::printf("created durable library in %s\n",
+                  indexer_config.segment_dir.c_str());
+    }
+  } else {
+    memory_library =
+        engine::DigitalLibrary::Create(std::move(site.store)).TakeValue();
+  }
+  const engine::DigitalLibrary& library =
+      durable ? durable->library() : *memory_library;
+  auto add_interview = [&](int64_t oid, const std::string& text) {
+    return durable ? durable->AddInterview(oid, text)
+                   : memory_library->AddInterview(oid, text);
+  };
+
+  if (!restored) {
   // --- 2. full-text index over the interviews ---
   for (const auto& [oid, text] : interview_texts) {
-    if (auto status = library->AddInterview(oid, text); !status.ok()) {
+    if (auto status = add_interview(oid, text); !status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;
     }
   }
-  (void)library->FinalizeText();
+  (void)(durable ? durable->FinalizeText() : memory_library->FinalizeText());
   std::printf("indexed %zu interviews\n", interview_texts.size());
 
   // --- 3. content-based video indexing through the tennis FDE ---
-  auto indexer = core::TennisVideoIndexer::Create().TakeValue();
+  auto indexer = core::TennisVideoIndexer::Create(indexer_config).TakeValue();
   for (const auto& [video_oid, seed] : video_seeds) {
     media::TennisSynthConfig config;
     config.width = 128;
@@ -59,9 +100,22 @@ int main() {
     auto broadcast =
         media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
     auto desc = indexer->Index(*broadcast.video, video_oid, "match video");
-    if (desc.ok()) (void)library->AddVideoDescription(*desc);
+    if (desc.ok()) {
+      (void)(durable ? durable->AddVideoDescription(*desc)
+                     : memory_library->AddVideoDescription(*desc));
+    }
   }
-  std::printf("indexed %zu match videos through the FDE\n\n", video_seeds.size());
+  std::printf("indexed %zu match videos through the FDE\n", video_seeds.size());
+  if (durable) {
+    if (auto status = durable->Flush(); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("flushed durable library (%zu segments)\n",
+                durable->num_segments());
+  }
+  std::printf("\n");
+  }  // !restored
 
   // --- 4. queries ---
   const char* queries[] = {
@@ -82,7 +136,7 @@ int main() {
       std::printf("  parse error: %s\n", query.status().ToString().c_str());
       continue;
     }
-    auto hits = library->Search(*query);
+    auto hits = library.Search(*query);
     if (!hits.ok()) {
       std::printf("  error: %s\n", hits.status().ToString().c_str());
       continue;
@@ -103,7 +157,7 @@ int main() {
 
   // --- 5. the keyword-search contrast (paper §2) ---
   std::printf("keyword baseline for 'left female champion':\n");
-  auto keyword = library->SearchKeywordOnly("left female champion", 5).TakeValue();
+  auto keyword = library.SearchKeywordOnly("left female champion", 5).TakeValue();
   for (const auto& hit : keyword) {
     std::printf("  %-24s score %.3f\n", hit.player_name.c_str(), hit.text_score);
   }

@@ -34,6 +34,32 @@ Result<MetaIndex> MetaIndex::Create() {
   return MetaIndex(std::move(shots), std::move(objects), std::move(events));
 }
 
+Result<MetaIndex> MetaIndex::FromTables(Table shots, Table objects,
+                                        Table events, int64_t num_videos) {
+  COBRA_ASSIGN_OR_RETURN(MetaIndex empty, Create());
+  auto same_schema = [](const Table& got, const Table& want) {
+    if (got.schema().size() != want.schema().size()) return false;
+    for (size_t i = 0; i < got.schema().size(); ++i) {
+      if (got.schema()[i].name != want.schema()[i].name ||
+          got.schema()[i].type != want.schema()[i].type) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!same_schema(shots, empty.shots_) ||
+      !same_schema(objects, empty.objects_) ||
+      !same_schema(events, empty.events_)) {
+    return Status::InvalidArgument("restored meta-index table schema mismatch");
+  }
+  if (num_videos < 0) {
+    return Status::InvalidArgument("negative video count");
+  }
+  MetaIndex index(std::move(shots), std::move(objects), std::move(events));
+  index.num_videos_ = num_videos;
+  return index;
+}
+
 Status MetaIndex::AddVideo(const VideoDescription& desc) {
   const int64_t vid = desc.video_id();
   for (const grammar::Annotation& a : desc.Layer(CobraLayer::kFeature)) {

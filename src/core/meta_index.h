@@ -37,6 +37,14 @@ class MetaIndex {
   /// Creates the empty tables.
   static Result<MetaIndex> Create();
 
+  /// Reassembles an index from persisted tables. Schemas must match the
+  /// layouts documented above (validated against Create()'s); the video
+  /// count is persisted separately since empty videos add no rows.
+  static Result<MetaIndex> FromTables(storage::Table shots,
+                                      storage::Table objects,
+                                      storage::Table events,
+                                      int64_t num_videos);
+
   /// Loads every layer of `desc` into the tables.
   Status AddVideo(const VideoDescription& desc);
 

@@ -50,6 +50,12 @@ struct TennisIndexerConfig {
   /// Composite (Allen-relation) event rules applied over the detected
   /// events; their products join the event layer and the meta-index.
   std::vector<CompositeEventRule> composite_rules;
+  /// Durable segment directory for the library this indexing run feeds
+  /// (engine::DurableLibrary, DESIGN.md §4h). Empty keeps the library
+  /// purely in memory; the examples default it from the COBRA_SEGMENT_DIR
+  /// environment variable. The indexer itself never touches it — it is
+  /// plumbed here so one config names a whole indexing run.
+  std::string segment_dir;
 };
 
 /// Indexes tennis broadcasts through the FDE.

@@ -32,6 +32,22 @@ Result<std::unique_ptr<DigitalLibrary>> DigitalLibrary::Create(
   return std::unique_ptr<DigitalLibrary>(new DigitalLibrary(std::move(store)));
 }
 
+Result<std::unique_ptr<DigitalLibrary>> DigitalLibrary::CreateFromParts(
+    webspace::WebspaceStore store, text::InvertedIndex interviews,
+    core::MetaIndex meta_index, std::vector<int64_t> indexed_videos,
+    int64_t index_epoch) {
+  COBRA_ASSIGN_OR_RETURN(std::unique_ptr<DigitalLibrary> library,
+                         Create(std::move(store)));
+  if (index_epoch < 0) {
+    return Status::InvalidArgument("negative index epoch");
+  }
+  library->interviews_ = std::move(interviews);
+  library->meta_index_ = std::move(meta_index);
+  library->indexed_videos_ = std::move(indexed_videos);
+  library->index_epoch_ = index_epoch;
+  return library;
+}
+
 Status DigitalLibrary::AddInterview(int64_t interview_oid,
                                     const std::string& text) {
   return interviews_.AddText(interview_oid, text);

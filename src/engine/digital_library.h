@@ -60,8 +60,24 @@ class DigitalLibrary {
   static Result<std::unique_ptr<DigitalLibrary>> Create(
       webspace::WebspaceStore store);
 
+  /// Reassembles a library from persisted parts (the durable storage
+  /// restore surface, DESIGN.md §4h). `interviews` may be finalized or
+  /// still accepting documents — un-finalized pending interviews are
+  /// replayed through AddInterview by the caller. The epoch is restored so
+  /// epoch-tagged query caches built against the persisted library stay
+  /// coherent across restarts.
+  static Result<std::unique_ptr<DigitalLibrary>> CreateFromParts(
+      webspace::WebspaceStore store, text::InvertedIndex interviews,
+      core::MetaIndex meta_index, std::vector<int64_t> indexed_videos,
+      int64_t index_epoch);
+
   const webspace::WebspaceStore& store() const { return store_; }
   const core::MetaIndex& meta_index() const { return meta_index_; }
+  /// The interview text index (serialization surface).
+  const text::InvertedIndex& interviews() const { return interviews_; }
+  /// Oids of videos with an indexed description, in AddVideoDescription
+  /// order (serialization surface).
+  const std::vector<int64_t>& indexed_videos() const { return indexed_videos_; }
 
   /// Indexes an interview's text under its oid.
   Status AddInterview(int64_t interview_oid, const std::string& text);

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file durable_library.h
+/// Durable persistence for the DigitalLibrary (DESIGN.md §4h).
+///
+/// A DurableLibrary wraps a DigitalLibrary with an on-disk directory:
+///
+///   MANIFEST        current segment chain + active WAL (atomic rename)
+///   seg-NNNNNN.cseg immutable segments (storage/segment), applied in order
+///   wal-NNNNNN.wal  write-ahead log of mutations since the last flush
+///
+/// Mutations apply in memory and append to the WAL; Flush() folds the
+/// window into a new delta segment and starts a fresh WAL; Open() restores
+/// the segment chain (text postings mapped zero-copy), replays the WAL's
+/// intact prefix, and — when the WAL held anything — immediately flushes so
+/// recovery cost stays bounded by one window. Compact() merges the segment
+/// *files* into one full snapshot off-lock and publishes it atomically, so
+/// queries against the live library never block; superseded mappings are
+/// retired but kept alive because a zero-copy restored text index may
+/// still point into them.
+///
+/// Concurrency: queries (through library()) may run concurrently with
+/// CompactAsync(); mutations and Flush require external ordering against
+/// each other, same as DigitalLibrary itself.
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/digital_library.h"
+#include "storage/segment/segment.h"
+#include "storage/segment/wal.h"
+#include "util/thread_pool.h"
+
+namespace cobra::engine {
+
+class DurableLibrary {
+ public:
+  struct Options {
+    /// fdatasync every WAL record (durable against power loss). Off,
+    /// records survive process crashes but not power loss until the next
+    /// flush — the E12 ingest benchmark measures both.
+    bool wal_sync = true;
+    /// Restore the text index by copying postings onto the heap instead of
+    /// viewing the mapped segment (the benchmark's control arm).
+    bool copy_text = false;
+    /// Section checksum verification on open.
+    storage::segment::SegmentReader::Verify verify =
+        storage::segment::SegmentReader::Verify::kFull;
+  };
+
+  /// Creates a fresh library over `store` in (empty or absent) `dir` and
+  /// persists segment 0 — the full webspace snapshot.
+  static Result<std::unique_ptr<DurableLibrary>> Create(
+      const std::string& dir, webspace::WebspaceStore store,
+      const Options& options);
+  static Result<std::unique_ptr<DurableLibrary>> Create(
+      const std::string& dir, webspace::WebspaceStore store);
+
+  /// Restores a library from `dir`: segment chain, then WAL replay.
+  /// Unreferenced files (orphans of a crashed flush/compaction) are
+  /// removed.
+  static Result<std::unique_ptr<DurableLibrary>> Open(
+      const std::string& dir, const Options& options);
+  static Result<std::unique_ptr<DurableLibrary>> Open(const std::string& dir);
+
+  /// The live library. Queries only — route mutations through the
+  /// durable wrappers below so they hit the WAL.
+  const DigitalLibrary& library() const { return *library_; }
+
+  Status AddInterview(int64_t interview_oid, const std::string& text);
+  Status FinalizeText();
+  Status AddVideoDescription(const core::VideoDescription& desc);
+
+  /// Folds everything since the last flush into a new segment and starts
+  /// a fresh WAL. After Flush returns, the window is durable without the
+  /// log.
+  Status Flush();
+
+  /// Merges the current segment files into one full snapshot. Reads only
+  /// the immutable files (never the live library), so queries proceed
+  /// concurrently; the new chain is published atomically under the
+  /// manifest lock. Segments flushed while compaction ran are preserved.
+  Status Compact();
+
+  /// Runs Compact() on `pool`; at most one compaction at a time.
+  Status CompactAsync(util::ThreadPool* pool);
+  /// Waits for a CompactAsync and returns its status (OK when none ran).
+  Status WaitForCompaction();
+
+  size_t num_segments() const;
+  /// The compressed text snapshot of the newest segment carrying one, in
+  /// the open mode's flavor (zero-copy views unless copy_text). Absent
+  /// until a flush persisted the finalized index.
+  Result<text::CompressedInvertedIndex> LoadCompressedText() const;
+
+ private:
+  DurableLibrary() = default;
+
+  struct Manifest {
+    uint64_t next_file_number = 1;
+    std::vector<std::string> segments;
+    std::string wal;
+  };
+
+  static Result<Manifest> ReadManifest(const std::string& dir);
+  Status WriteManifestLocked();
+  Status FlushLocked(bool flush_on_open);
+  storage::segment::LibraryDelta BuildDeltaLocked(
+      const text::InvertedIndex* text,
+      const text::CompressedInvertedIndex* compressed) const;
+
+  std::string dir_;
+  Options options_;
+  std::unique_ptr<DigitalLibrary> library_;
+
+  /// Guards the manifest state (segment chain, readers, file numbering)
+  /// against concurrent publication by CompactAsync.
+  mutable std::mutex manifest_mutex_;
+  Manifest manifest_;
+  std::vector<std::unique_ptr<storage::segment::SegmentReader>> readers_;
+  /// Superseded by compaction but possibly still backing the live text
+  /// index's zero-copy spans; freed only on destruction.
+  std::vector<std::unique_ptr<storage::segment::SegmentReader>> retired_;
+
+  storage::segment::WalWriter wal_;
+
+  // Flush watermarks: rows already persisted by the segment chain.
+  std::vector<int64_t> class_flushed_rows_;
+  std::vector<int64_t> assoc_flushed_rows_;
+  int64_t shots_flushed_rows_ = 0;
+  int64_t objects_flushed_rows_ = 0;
+  int64_t events_flushed_rows_ = 0;
+  size_t videos_flushed_ = 0;
+  bool text_persisted_ = false;
+  /// Interviews added (pre-finalize) since the last flush.
+  std::vector<std::pair<int64_t, std::string>> pending_;
+
+  std::optional<util::TaskGroup> compact_group_;
+  std::mutex compact_status_mutex_;
+  Status compact_status_;
+};
+
+inline Result<std::unique_ptr<DurableLibrary>> DurableLibrary::Create(
+    const std::string& dir, webspace::WebspaceStore store) {
+  return Create(dir, std::move(store), Options());
+}
+
+inline Result<std::unique_ptr<DurableLibrary>> DurableLibrary::Open(
+    const std::string& dir) {
+  return Open(dir, Options());
+}
+
+}  // namespace cobra::engine

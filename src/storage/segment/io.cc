@@ -1,0 +1,199 @@
+#include "storage/segment/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace cobra::storage::segment {
+
+namespace {
+
+Status IoError(const char* op, const std::string& path) {
+  return Status::Internal(
+      StringFormat("%s('%s'): %s", op, path.c_str(), std::strerror(errno)));
+}
+
+}  // namespace
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return IoError("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = IoError("fstat", path);
+    ::close(fd);
+    return s;
+  }
+  MmapFile out;
+  out.size_ = static_cast<size_t>(st.st_size);
+  if (out.size_ > 0) {
+    void* addr = ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      Status s = IoError("mmap", path);
+      ::close(fd);
+      return s;
+    }
+    out.data_ = static_cast<const uint8_t*>(addr);
+  }
+  ::close(fd);  // the mapping keeps the pages alive
+  return out;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+Status WriteFileAtomic(const std::string& path, const void* data,
+                       size_t size) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError("open", tmp);
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, p + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = IoError("write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return s;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status s = IoError("fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::close(fd) != 0) {
+    Status s = IoError("close", tmp);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status s = IoError("rename", tmp);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  // Persist the rename itself: fsync the containing directory.
+  std::string dir = ".";
+  if (auto slash = path.find_last_of('/'); slash != std::string::npos) {
+    dir = path.substr(0, slash);
+    if (dir.empty()) dir = "/";
+  }
+  return FsyncDir(dir);
+}
+
+Result<AppendFile> AppendFile::Open(const std::string& path) {
+  int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError("open", path);
+  AppendFile out;
+  out.fd_ = fd;
+  return out;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendFile::Append(const void* data, size_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("append file not open");
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd_, p + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError("write", "<wal>");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("append file not open");
+  if (::fdatasync(fd_) != 0) return IoError("fdatasync", "<wal>");
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return IoError("opendir", dir);
+  std::vector<std::string> out;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) != 0) continue;
+    if (S_ISREG(st.st_mode)) out.push_back(name);
+  }
+  ::closedir(d);
+  return out;
+}
+
+Status CreateDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return IoError("mkdir", dir);
+  }
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) return IoError("unlink", path);
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return IoError("open", dir);
+  Status s = Status::OK();
+  if (::fsync(fd) != 0) s = IoError("fsync", dir);
+  ::close(fd);
+  return s;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<int64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return IoError("stat", path);
+  return static_cast<int64_t>(st.st_size);
+}
+
+}  // namespace cobra::storage::segment

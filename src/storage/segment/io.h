@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file io.h
+/// POSIX file plumbing for the durable segment storage: read-only memory
+/// mappings, atomic whole-file writes (temp + fsync + rename + directory
+/// fsync), and an append handle for the write-ahead log. Everything
+/// reports failures as Status — no exceptions, no errno leaks.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cobra::storage::segment {
+
+/// A read-only memory mapping of a whole file. Move-only RAII: the mapping
+/// lives until destruction, so views handed out by a segment reader stay
+/// valid for the reader's lifetime. An unlinked file's mapping stays valid
+/// too (POSIX), which is what lets compaction retire segment files while
+/// older readers keep serving.
+class MmapFile {
+ public:
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  const uint8_t* data_ = nullptr;  ///< nullptr for an empty file
+  size_t size_ = 0;
+};
+
+/// Writes `size` bytes to `path` atomically: a `path.tmp` sibling is
+/// written and fsynced, renamed over `path`, and the directory is fsynced
+/// so the rename survives a crash. Readers never observe a partial file.
+Status WriteFileAtomic(const std::string& path, const void* data, size_t size);
+
+/// Appends to one file (the WAL). Open truncates or creates; Append adds
+/// bytes at the end; Sync fdatasyncs what was appended so far.
+class AppendFile {
+ public:
+  static Result<AppendFile> Open(const std::string& path);
+
+  AppendFile() = default;
+  AppendFile(AppendFile&& other) noexcept { *this = std::move(other); }
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  ~AppendFile();
+
+  Status Append(const void* data, size_t size);
+  Status Sync();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Regular-file names in `dir` (no dot entries, no subdirectories),
+/// unsorted.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+Status CreateDir(const std::string& dir);  ///< ok when it already exists
+Status RemoveFile(const std::string& path);
+Status FsyncDir(const std::string& dir);
+bool FileExists(const std::string& path);
+Result<int64_t> FileSize(const std::string& path);
+
+}  // namespace cobra::storage::segment

@@ -1,0 +1,193 @@
+#include "storage/segment/wal.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/crc32.h"
+
+namespace cobra::storage::segment {
+
+using core::CobraLayer;
+using core::VideoDescription;
+using grammar::Annotation;
+using grammar::MetaValue;
+
+Result<WalWriter> WalWriter::Open(const std::string& path, bool sync_each) {
+  WalWriter out;
+  COBRA_ASSIGN_OR_RETURN(out.file_, AppendFile::Open(path));
+  out.sync_each_ = sync_each;
+  return out;
+}
+
+Status WalWriter::AppendRecord(WalRecordType type, const ByteWriter& payload) {
+  ByteWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  uint32_t crc = util::Crc32(&type, sizeof(uint8_t));
+  crc = util::Crc32(payload.buffer().data(), payload.size(), crc);
+  frame.PutU32(crc);
+  frame.PutU8(static_cast<uint8_t>(type));
+  frame.PutRaw(payload.buffer().data(), payload.size());
+  COBRA_RETURN_NOT_OK(file_.Append(frame.buffer().data(), frame.size()));
+  return sync_each_ ? file_.Sync() : Status::OK();
+}
+
+Status WalWriter::AppendInterview(int64_t oid, const std::string& text) {
+  ByteWriter payload;
+  payload.PutI64(oid);
+  payload.PutString(text);
+  return AppendRecord(WalRecordType::kAddInterview, payload);
+}
+
+Status WalWriter::AppendFinalizeText() {
+  return AppendRecord(WalRecordType::kFinalizeText, ByteWriter());
+}
+
+Status WalWriter::AppendVideo(const VideoDescription& desc) {
+  ByteWriter payload;
+  EncodeVideoDescription(desc, &payload);
+  return AppendRecord(WalRecordType::kAddVideo, payload);
+}
+
+Status WalWriter::Sync() { return file_.Sync(); }
+
+void EncodeVideoDescription(const VideoDescription& desc, ByteWriter* out) {
+  out->PutI64(desc.video_id());
+  out->PutString(desc.title());
+  out->PutDouble(desc.fps());
+  out->PutI64(desc.num_frames());
+  for (int layer = 0; layer < 4; ++layer) {
+    const std::vector<Annotation>& annotations =
+        desc.Layer(static_cast<CobraLayer>(layer));
+    out->PutU32(static_cast<uint32_t>(annotations.size()));
+    for (const Annotation& a : annotations) {
+      out->PutString(a.symbol);
+      out->PutI64(a.range.begin);
+      out->PutI64(a.range.end);
+      out->PutU32(static_cast<uint32_t>(a.attrs.size()));
+      for (const auto& [key, value] : a.attrs) {
+        out->PutString(key);
+        if (const auto* i = std::get_if<int64_t>(&value)) {
+          out->PutU8(0);
+          out->PutI64(*i);
+        } else if (const auto* d = std::get_if<double>(&value)) {
+          out->PutU8(1);
+          out->PutDouble(*d);
+        } else {
+          out->PutU8(2);
+          out->PutString(std::get<std::string>(value));
+        }
+      }
+    }
+  }
+}
+
+Result<VideoDescription> DecodeVideoDescription(ByteReader* in) {
+  int64_t video_id = 0, num_frames = 0;
+  std::string title;
+  double fps = 0.0;
+  if (!in->GetI64(&video_id) || !in->GetString(&title) ||
+      !in->GetDouble(&fps) || !in->GetI64(&num_frames)) {
+    return Status::InvalidArgument("corrupt video description header");
+  }
+  VideoDescription desc(video_id, std::move(title), fps, num_frames);
+  for (int layer = 0; layer < 4; ++layer) {
+    uint32_t count = 0;
+    if (!in->GetU32(&count) || count > in->remaining()) {
+      return Status::InvalidArgument("corrupt annotation count");
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      Annotation a;
+      if (!in->GetString(&a.symbol) || !in->GetI64(&a.range.begin) ||
+          !in->GetI64(&a.range.end)) {
+        return Status::InvalidArgument("corrupt annotation");
+      }
+      uint32_t num_attrs = 0;
+      if (!in->GetU32(&num_attrs) || num_attrs > in->remaining()) {
+        return Status::InvalidArgument("corrupt attribute count");
+      }
+      for (uint32_t k = 0; k < num_attrs; ++k) {
+        std::string key;
+        uint8_t tag = 0;
+        if (!in->GetString(&key) || !in->GetU8(&tag)) {
+          return Status::InvalidArgument("corrupt attribute");
+        }
+        MetaValue value;
+        if (tag == 0) {
+          int64_t v;
+          if (!in->GetI64(&v)) {
+            return Status::InvalidArgument("corrupt int attribute");
+          }
+          value = v;
+        } else if (tag == 1) {
+          double v;
+          if (!in->GetDouble(&v)) {
+            return Status::InvalidArgument("corrupt double attribute");
+          }
+          value = v;
+        } else if (tag == 2) {
+          std::string v;
+          if (!in->GetString(&v)) {
+            return Status::InvalidArgument("corrupt string attribute");
+          }
+          value = std::move(v);
+        } else {
+          return Status::InvalidArgument("unknown attribute type tag");
+        }
+        a.attrs.emplace(std::move(key), std::move(value));
+      }
+      desc.Add(static_cast<CobraLayer>(layer), std::move(a));
+    }
+  }
+  return desc;
+}
+
+Result<std::vector<WalRecord>> ReplayWal(const std::string& path) {
+  std::vector<WalRecord> out;
+  if (!FileExists(path)) return out;
+  COBRA_ASSIGN_OR_RETURN(MmapFile map, MmapFile::Open(path));
+  size_t pos = 0;
+  while (true) {
+    // Frame header: u32 len, u32 crc, u8 type. Anything short is a torn
+    // tail — stop, keep what replayed so far.
+    if (map.size() - pos < 9) break;
+    uint32_t len = 0, crc = 0;
+    std::memcpy(&len, map.data() + pos, 4);
+    std::memcpy(&crc, map.data() + pos + 4, 4);
+    const uint8_t type_byte = map.data()[pos + 8];
+    if (len > map.size() - pos - 9) break;  // truncated payload
+    uint32_t actual = util::Crc32(&type_byte, 1);
+    actual = util::Crc32(map.data() + pos + 9, len, actual);
+    if (actual != crc) break;  // torn or corrupt frame
+    ByteReader payload(map.data() + pos + 9, len);
+    WalRecord record;
+    bool parsed = true;
+    switch (type_byte) {
+      case static_cast<uint8_t>(WalRecordType::kAddInterview):
+        record.type = WalRecordType::kAddInterview;
+        parsed = payload.GetI64(&record.interview_oid) &&
+                 payload.GetString(&record.interview_text);
+        break;
+      case static_cast<uint8_t>(WalRecordType::kFinalizeText):
+        record.type = WalRecordType::kFinalizeText;
+        break;
+      case static_cast<uint8_t>(WalRecordType::kAddVideo): {
+        record.type = WalRecordType::kAddVideo;
+        Result<VideoDescription> video = DecodeVideoDescription(&payload);
+        if (video.ok()) {
+          record.video = video.TakeValue();
+        } else {
+          parsed = false;
+        }
+        break;
+      }
+      default:
+        parsed = false;
+    }
+    if (!parsed) break;  // checksum passed but payload malformed: stop here
+    out.push_back(std::move(record));
+    pos += 9 + len;
+  }
+  return out;
+}
+
+}  // namespace cobra::storage::segment

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file wal.h
+/// Write-ahead log for durable library ingest (DESIGN.md §4h).
+///
+/// Every mutating operation between two segment flushes is framed into the
+/// current WAL file *before* it is applied in memory:
+///
+///   [u32 payload_len][u32 crc32][u8 type][payload]
+///
+/// where the CRC covers type + payload. Replay reapplies records in order
+/// and stops at the first frame that is truncated or fails its checksum —
+/// the accepted crash semantics: a torn tail is the operation that never
+/// happened. A Flush writes a segment covering everything the WAL held and
+/// starts a fresh log, so recovery cost is bounded by one flush window.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/video_description.h"
+#include "storage/segment/format.h"
+#include "storage/segment/io.h"
+#include "util/status.h"
+
+namespace cobra::storage::segment {
+
+enum class WalRecordType : uint8_t {
+  kAddInterview = 1,  ///< i64 oid, string text
+  kFinalizeText = 2,  ///< empty payload
+  kAddVideo = 3,      ///< serialized core::VideoDescription
+};
+
+/// One decoded WAL record; the fields of the other types are default.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kFinalizeText;
+  int64_t interview_oid = 0;
+  std::string interview_text;
+  core::VideoDescription video;
+};
+
+/// Appends framed records to one log file. When `sync_each` is set every
+/// append fdatasyncs before returning (durable against power loss); off,
+/// records are durable only against process crash until the next Sync().
+class WalWriter {
+ public:
+  static Result<WalWriter> Open(const std::string& path, bool sync_each);
+
+  WalWriter() = default;
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+
+  Status AppendInterview(int64_t oid, const std::string& text);
+  Status AppendFinalizeText();
+  Status AppendVideo(const core::VideoDescription& desc);
+  Status Sync();
+
+ private:
+  Status AppendRecord(WalRecordType type, const ByteWriter& payload);
+
+  AppendFile file_;
+  bool sync_each_ = true;
+};
+
+/// Serializes a VideoDescription (shared by the WAL and tests).
+void EncodeVideoDescription(const core::VideoDescription& desc,
+                            ByteWriter* out);
+Result<core::VideoDescription> DecodeVideoDescription(ByteReader* in);
+
+/// Replays `path`: returns every intact record in order, silently dropping
+/// the torn tail (truncated or checksum-failing frame and everything after
+/// it). A missing file replays as empty.
+Result<std::vector<WalRecord>> ReplayWal(const std::string& path);
+
+}  // namespace cobra::storage::segment

@@ -49,6 +49,9 @@ struct ColumnDef {
 
 struct JoinOptions;
 class Table;
+namespace segment {
+class TableSerde;  // segment (de)serialization back door, see segment.h
+}
 Result<Table> Materialize(const Table& table, const std::vector<int64_t>& rows,
                           const std::vector<std::string>& columns);
 Result<Table> HashJoin(const Table& left, const Table& right,
@@ -165,6 +168,11 @@ class Table {
                                 const std::string& left_col,
                                 const std::string& right_col,
                                 const JoinOptions& options);
+  // Segment storage appends decoded column deltas directly (dict codes
+  // included) and reuses FinishGather/ExtendZones to rebuild the derived
+  // zone maps, NDV sets and code histograms — never serialized, always
+  // recomputed (DESIGN.md §4h).
+  friend class segment::TableSerde;
 
   /// Appends `rows` of `src` column `src_col` onto this table's column
   /// `dst_col`. Caller guarantees matching types and in-range rows; callers

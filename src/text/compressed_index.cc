@@ -27,6 +27,20 @@ Result<CompressedInvertedIndex> CompressedInvertedIndex::FromIndex(
   return out;
 }
 
+Result<CompressedInvertedIndex> CompressedInvertedIndex::FromParts(
+    std::vector<TermPart> parts) {
+  CompressedInvertedIndex out;
+  for (TermPart& part : parts) {
+    out.total_postings_ += part.postings.count();
+    auto [it, inserted] = out.terms_.emplace(
+        std::move(part.term), TermEntry{part.idf, std::move(part.postings)});
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate term in restored index");
+    }
+  }
+  return out;
+}
+
 size_t CompressedInvertedIndex::PostingsBytes() const {
   size_t total = 0;
   for (const auto& [term, entry] : terms_) total += entry.postings.SizeBytes();

@@ -23,6 +23,28 @@ void SortHits(std::vector<SearchHit>* hits) {
 
 }  // namespace
 
+InvertedIndex::InvertedIndex(const InvertedIndex& other)
+    : postings_(other.postings_),
+      doc_norm_(other.doc_norm_),
+      finalized_(other.finalized_) {
+  // Re-point spans that referenced the source's own storage; view spans
+  // (zero-copy restores) keep referencing the external mapped memory.
+  for (auto& [term, info] : postings_) {
+    const TermInfo& src = other.postings_.at(term);
+    if (src.postings.data() == src.postings_store.data()) {
+      info.postings = {info.postings_store.data(), info.postings_store.size()};
+    }
+    if (src.blocks.data() == src.blocks_store.data()) {
+      info.blocks = {info.blocks_store.data(), info.blocks_store.size()};
+    }
+  }
+}
+
+InvertedIndex& InvertedIndex::operator=(const InvertedIndex& other) {
+  if (this != &other) *this = InvertedIndex(other);
+  return *this;
+}
+
 Status InvertedIndex::AddDocument(int64_t doc_id,
                                   const std::vector<std::string>& tokens) {
   if (finalized_) {
@@ -39,7 +61,7 @@ Status InvertedIndex::AddDocument(int64_t doc_id,
   for (const std::string& token : tokens) tf[token]++;
   // Stash raw tf in `weight`; Finalize() converts to normalized weights.
   for (const auto& [term, count] : tf) {
-    postings_[term].postings.push_back(
+    postings_[term].postings_store.push_back(
         Posting{doc_id, static_cast<double>(count)});
   }
   doc_norm_[doc_id] =
@@ -55,34 +77,36 @@ Status InvertedIndex::Finalize() {
   if (finalized_) return Status::FailedPrecondition("already finalized");
   const double num_docs = static_cast<double>(doc_norm_.size());
   for (auto& [term, info] : postings_) {
-    info.idf =
-        std::log(1.0 + num_docs / static_cast<double>(info.postings.size()));
+    std::vector<Posting>& postings = info.postings_store;
+    info.idf = std::log(1.0 + num_docs / static_cast<double>(postings.size()));
     info.max_weight = 0.0;
-    for (Posting& p : info.postings) {
+    for (Posting& p : postings) {
       // Log-scaled tf, length-normalized.
       p.weight = (1.0 + std::log(p.weight)) * doc_norm_[p.doc_id];
       info.max_weight = std::max(info.max_weight, p.weight);
     }
     // Postings sorted by doc id: scans are cache-friendly and results
     // deterministic.
-    std::sort(info.postings.begin(), info.postings.end(),
+    std::sort(postings.begin(), postings.end(),
               [](const Posting& a, const Posting& b) {
                 return a.doc_id < b.doc_id;
               });
     // Skip blocks over the sorted list: last doc id + max weight per block
     // of kSkipBlockSize postings, for the DAAT block-max evaluator.
-    info.blocks.clear();
-    info.blocks.reserve((info.postings.size() + kSkipBlockSize - 1) /
-                        kSkipBlockSize);
-    for (size_t i = 0; i < info.postings.size(); i += kSkipBlockSize) {
-      size_t end = std::min(i + kSkipBlockSize, info.postings.size());
+    info.blocks_store.clear();
+    info.blocks_store.reserve((postings.size() + kSkipBlockSize - 1) /
+                              kSkipBlockSize);
+    for (size_t i = 0; i < postings.size(); i += kSkipBlockSize) {
+      size_t end = std::min(i + kSkipBlockSize, postings.size());
       BlockMeta block;
-      block.last_doc = info.postings[end - 1].doc_id;
+      block.last_doc = postings[end - 1].doc_id;
       for (size_t j = i; j < end; ++j) {
-        block.max_weight = std::max(block.max_weight, info.postings[j].weight);
+        block.max_weight = std::max(block.max_weight, postings[j].weight);
       }
-      info.blocks.push_back(block);
+      info.blocks_store.push_back(block);
     }
+    info.postings = {postings.data(), postings.size()};
+    info.blocks = {info.blocks_store.data(), info.blocks_store.size()};
   }
   finalized_ = true;
   return Status::OK();
@@ -91,16 +115,18 @@ Status InvertedIndex::Finalize() {
 int64_t InvertedIndex::TotalPostings() const {
   int64_t n = 0;
   for (const auto& [term, info] : postings_) {
-    n += static_cast<int64_t>(info.postings.size());
+    n += static_cast<int64_t>(finalized_ ? info.postings.size()
+                                         : info.postings_store.size());
   }
   return n;
 }
 
 int64_t InvertedIndex::DocumentFrequency(const std::string& term) const {
   auto it = postings_.find(term);
-  return it == postings_.end()
-             ? 0
-             : static_cast<int64_t>(it->second.postings.size());
+  if (it == postings_.end()) return 0;
+  const TermInfo& info = it->second;
+  return static_cast<int64_t>(finalized_ ? info.postings.size()
+                                         : info.postings_store.size());
 }
 
 Result<std::vector<InvertedIndex::TermSnapshot>> InvertedIndex::ExportTerms()
@@ -121,6 +147,66 @@ Result<std::vector<InvertedIndex::TermSnapshot>> InvertedIndex::ExportTerms()
     out.push_back(std::move(snapshot));
   }
   return out;
+}
+
+Result<std::vector<InvertedIndex::TermRange>> InvertedIndex::TermRanges()
+    const {
+  if (!finalized_) {
+    return Status::FailedPrecondition("index is not finalized");
+  }
+  std::vector<TermRange> out;
+  out.reserve(postings_.size());
+  for (const auto& [term, info] : postings_) {
+    TermRange range;
+    range.term = &term;
+    range.idf = info.idf;
+    range.max_weight = info.max_weight;
+    range.postings = info.postings;
+    range.blocks = info.blocks;
+    out.push_back(range);
+  }
+  return out;
+}
+
+Result<InvertedIndex> InvertedIndex::FromTerms(
+    std::vector<RestoredTerm> terms,
+    std::vector<std::pair<int64_t, double>> doc_norms, bool copy) {
+  InvertedIndex index;
+  for (auto& [doc_id, norm] : doc_norms) {
+    if (!index.doc_norm_.emplace(doc_id, norm).second) {
+      return Status::InvalidArgument(
+          StringFormat("duplicate doc norm for doc %lld",
+                       static_cast<long long>(doc_id)));
+    }
+  }
+  for (RestoredTerm& t : terms) {
+    auto [it, inserted] = index.postings_.try_emplace(std::move(t.term));
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate term in restored index");
+    }
+    TermInfo& info = it->second;
+    info.idf = t.idf;
+    info.max_weight = t.max_weight;
+    const size_t expect_blocks =
+        (t.postings.size() + kSkipBlockSize - 1) / kSkipBlockSize;
+    if (t.blocks.size() != expect_blocks) {
+      return Status::InvalidArgument(
+          StringFormat("term block count mismatch: %zu postings want %zu "
+                       "blocks, got %zu",
+                       t.postings.size(), expect_blocks, t.blocks.size()));
+    }
+    if (copy) {
+      info.postings_store.assign(t.postings.begin(), t.postings.end());
+      info.blocks_store.assign(t.blocks.begin(), t.blocks.end());
+      info.postings = {info.postings_store.data(), info.postings_store.size()};
+      info.blocks = {info.blocks_store.data(), info.blocks_store.size()};
+    } else {
+      info.postings = t.postings;
+      info.blocks = t.blocks;
+    }
+  }
+  index.finalized_ = true;
+  return index;
 }
 
 Result<std::vector<std::string>> InvertedIndex::AnalyzeQuery(

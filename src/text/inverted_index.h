@@ -20,8 +20,11 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "util/span.h"
 #include "util/status.h"
 
 namespace cobra::text {
@@ -47,8 +50,37 @@ struct SearchStats {
 /// Usage: AddDocument() repeatedly, Finalize() once, then Search*().
 class InvertedIndex {
  public:
+  InvertedIndex() = default;
+  /// Copies re-point spans that referenced the source's owned storage;
+  /// spans into external (mapped) memory are shared — see TermInfo.
+  InvertedIndex(const InvertedIndex& other);
+  InvertedIndex& operator=(const InvertedIndex& other);
+  /// Moves keep spans valid: vector buffers are stable across moves.
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+
   /// Postings per skip block in the finalized per-term block metadata.
   static constexpr size_t kSkipBlockSize = 64;
+
+  /// One posting of a term. Trivially copyable with a fixed 16-byte layout:
+  /// the segment storage persists postings as raw arrays of this struct and
+  /// maps them back zero-copy (DESIGN.md §4h).
+  struct Posting {
+    int64_t doc_id;
+    double weight;  ///< normalized tf weight; final score adds idf * weight
+  };
+  /// Skip metadata for one block of up to kSkipBlockSize postings. Same
+  /// fixed-layout contract as Posting.
+  struct BlockMeta {
+    int64_t last_doc = 0;
+    double max_weight = 0.0;
+  };
+  static_assert(std::is_trivially_copyable_v<Posting> &&
+                    sizeof(Posting) == 16,
+                "Posting is persisted as raw bytes");
+  static_assert(std::is_trivially_copyable_v<BlockMeta> &&
+                    sizeof(BlockMeta) == 16,
+                "BlockMeta is persisted as raw bytes");
 
   /// Adds a document's analyzed tokens. Doc ids must be unique and
   /// non-negative. Fails after Finalize().
@@ -88,6 +120,46 @@ class InvertedIndex {
   /// compressed index builder and by diagnostics.
   Result<std::vector<TermSnapshot>> ExportTerms() const;
 
+  /// Zero-copy view of one finalized term: idf, the per-list maximum
+  /// weight, and spans over the postings and skip-block arrays. The spans
+  /// point at this index's storage (or at the mapped segment bytes it was
+  /// restored from) — they are invalidated by destroying the index.
+  struct TermRange {
+    const std::string* term = nullptr;
+    double idf = 0.0;
+    double max_weight = 0.0;
+    util::ConstSpan<Posting> postings;
+    util::ConstSpan<BlockMeta> blocks;
+  };
+
+  /// Every term's view, in term order (requires a finalized index). The
+  /// segment writer serializes these spans verbatim.
+  Result<std::vector<TermRange>> TermRanges() const;
+
+  /// Document norms (doc id -> 1/sqrt(len)), persisted so a restored index
+  /// reports the same num_documents() and survives re-export.
+  const std::map<int64_t, double>& doc_norms() const { return doc_norm_; }
+
+  /// One term of a restored index: when `copy` is false the spans must
+  /// outlive the index (they typically point into a memory-mapped
+  /// segment); when `copy` is true FromTerms materializes owned copies.
+  struct RestoredTerm {
+    std::string term;
+    double idf = 0.0;
+    double max_weight = 0.0;
+    util::ConstSpan<Posting> postings;
+    util::ConstSpan<BlockMeta> blocks;
+  };
+
+  /// Reassembles a *finalized* index from persisted parts — the inverse of
+  /// TermRanges()/doc_norms(). Performs only structural validation (term
+  /// uniqueness, block count consistency); byte integrity is the segment
+  /// checksums' job. With copy=false the restored index reads postings
+  /// zero-copy through the given spans.
+  static Result<InvertedIndex> FromTerms(
+      std::vector<RestoredTerm> terms,
+      std::vector<std::pair<int64_t, double>> doc_norms, bool copy);
+
   /// Top-N optimized evaluation: document-at-a-time maxscore with
   /// block-max skipping (see file comment). Returns exactly the same hits
   /// as SearchExhaustive truncated to n.
@@ -117,18 +189,17 @@ class InvertedIndex {
                                                 SearchStats* stats = nullptr) const;
 
  private:
-  struct Posting {
-    int64_t doc_id;
-    double weight;  ///< normalized tf weight; final score adds idf * weight
-  };
-  /// Skip metadata for one block of up to kSkipBlockSize postings.
-  struct BlockMeta {
-    int64_t last_doc = 0;
-    double max_weight = 0.0;
-  };
+  /// Per-term state. Before Finalize() the postings accumulate in
+  /// `postings_store`; Finalize() (or FromTerms) freezes them and points
+  /// the `postings`/`blocks` spans either at the owned stores or — for an
+  /// index restored zero-copy from a segment — at external mapped memory.
+  /// Copying an InvertedIndex therefore re-points owned spans but shares
+  /// view spans (the mapped bytes must outlive every copy).
   struct TermInfo {
-    std::vector<Posting> postings;
-    std::vector<BlockMeta> blocks;  ///< built by Finalize()
+    std::vector<Posting> postings_store;
+    std::vector<BlockMeta> blocks_store;  ///< built by Finalize()
+    util::ConstSpan<Posting> postings;    ///< valid once finalized
+    util::ConstSpan<BlockMeta> blocks;    ///< valid once finalized
     double idf = 0.0;
     double max_weight = 0.0;  ///< max normalized tf among postings
   };

@@ -20,10 +20,10 @@ void PutVarint(uint64_t value, std::vector<uint8_t>* out) {
   out->push_back(static_cast<uint8_t>(value));
 }
 
-bool GetVarint(const std::vector<uint8_t>& in, size_t* pos, uint64_t* value) {
+bool GetVarint(const uint8_t* in, size_t size, size_t* pos, uint64_t* value) {
   uint64_t v = 0;
   int shift = 0;
-  while (*pos < in.size() && shift <= 63) {
+  while (*pos < size && shift <= 63) {
     uint8_t byte = in[(*pos)++];
     v |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if (!(byte & 0x80)) {
@@ -86,6 +86,20 @@ CompressedPostings CompressedPostings::FromRaw(std::vector<uint8_t> bytes,
   return out;
 }
 
+CompressedPostings CompressedPostings::FromRawView(const uint8_t* data,
+                                                   size_t size,
+                                                   std::vector<SkipBlock> blocks,
+                                                   size_t count,
+                                                   double max_weight) {
+  CompressedPostings out;
+  out.view_data_ = data;
+  out.view_size_ = size;
+  out.blocks_ = std::move(blocks);
+  out.count_ = count;
+  out.max_weight_ = max_weight;
+  return out;
+}
+
 std::vector<DecodedPosting> CompressedPostings::Decode() const {
   std::vector<DecodedPosting> out;
   out.reserve(count_);
@@ -104,8 +118,8 @@ bool CompressedPostings::Cursor::Next(DecodedPosting* out) {
   // Mirrors the encoder's `last = -1` origin so doc id 0 round-trips.
   if (index_ >= postings_->count_) return false;
   uint64_t delta, weight;
-  if (!GetVarint(postings_->bytes_, &pos_, &delta) ||
-      !GetVarint(postings_->bytes_, &pos_, &weight)) {
+  if (!GetVarint(postings_->data(), postings_->SizeBytes(), &pos_, &delta) ||
+      !GetVarint(postings_->data(), postings_->SizeBytes(), &pos_, &weight)) {
     MarkCorrupt();
     return false;
   }

@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file crc32.h
+/// CRC-32 (the zlib/IEEE 802.3 polynomial, reflected) for the durable
+/// segment format: every segment section and WAL record carries a checksum
+/// so torn or corrupted bytes are detected at open/replay time instead of
+/// surfacing as undefined behavior in the readers (DESIGN.md §4h).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cobra::util {
+
+/// CRC-32 of `size` bytes starting at `data`, seeded with `seed` (pass the
+/// previous return value to checksum discontiguous regions as one stream).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace cobra::util

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file span.h
+/// A minimal non-owning view over a contiguous array (the subset of
+/// std::span the storage layer needs, kept dependency-free). Used by the
+/// segment storage to point index structures directly into memory-mapped
+/// files: the viewed memory must outlive every ConstSpan over it.
+
+#include <cstddef>
+
+namespace cobra::util {
+
+template <typename T>
+class ConstSpan {
+ public:
+  ConstSpan() = default;
+  ConstSpan(const T* data, size_t size) : data_(data), size_(size) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace cobra::util

@@ -39,6 +39,69 @@ Result<WebspaceStore> WebspaceStore::Create(ConceptSchema schema) {
   return store;
 }
 
+Result<WebspaceStore> WebspaceStore::Restore(
+    ConceptSchema schema, std::map<std::string, Table> class_tables,
+    std::map<std::string, Table> assoc_tables) {
+  WebspaceStore store;
+  for (const ClassDef& cls : schema.classes()) {
+    auto it = class_tables.find(cls.name);
+    if (it == class_tables.end()) {
+      return Status::InvalidArgument(
+          StringFormat("restore: missing table for class '%s'",
+                       cls.name.c_str()));
+    }
+    if (it->second.num_columns() != cls.attributes.size() + 1) {
+      return Status::InvalidArgument(StringFormat(
+          "restore: class '%s' table has %zu columns, schema wants %zu",
+          cls.name.c_str(), it->second.num_columns(),
+          cls.attributes.size() + 1));
+    }
+  }
+  for (const AssociationDef& assoc : schema.associations()) {
+    auto it = assoc_tables.find(assoc.name);
+    if (it == assoc_tables.end()) {
+      return Status::InvalidArgument(
+          StringFormat("restore: missing table for association '%s'",
+                       assoc.name.c_str()));
+    }
+  }
+  if (class_tables.size() != schema.classes().size() ||
+      assoc_tables.size() != schema.associations().size()) {
+    return Status::InvalidArgument(
+        "restore: table not declared by the schema");
+  }
+  store.class_tables_ = std::move(class_tables);
+  store.assoc_tables_ = std::move(assoc_tables);
+  // Derived state is rebuilt, never persisted: oid maps and row indexes
+  // from the class tables, adjacency from the association tables.
+  for (const auto& [name, table] : store.class_tables_) {
+    auto& rows = store.class_rows_[name];
+    const std::vector<int64_t>& oids = table.IntColumn(0);
+    for (int64_t row = 0; row < table.num_rows(); ++row) {
+      const int64_t oid = oids[static_cast<size_t>(row)];
+      if (!store.oid_class_.emplace(oid, name).second) {
+        return Status::InvalidArgument(StringFormat(
+            "restore: oid %lld appears in two classes",
+            static_cast<long long>(oid)));
+      }
+      rows[oid] = row;
+      store.next_oid_ = std::max(store.next_oid_, oid + 1);
+    }
+  }
+  for (const auto& [name, table] : store.assoc_tables_) {
+    AssocIndex& index = store.assoc_index_[name];
+    const std::vector<int64_t>& from = table.IntColumn(0);
+    const std::vector<int64_t>& to = table.IntColumn(1);
+    const std::vector<int64_t>& roles = table.IntColumn(2);
+    for (size_t i = 0; i < from.size(); ++i) {
+      index.forward[from[i]].emplace_back(to[i], roles[i]);
+      index.reverse[to[i]].emplace_back(from[i], roles[i]);
+    }
+  }
+  store.schema_ = std::move(schema);
+  return store;
+}
+
 Result<int64_t> WebspaceStore::Insert(const std::string& class_name,
                                       std::vector<Value> values) {
   auto it = class_tables_.find(class_name);

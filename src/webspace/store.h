@@ -32,6 +32,17 @@ class WebspaceStore {
   /// Builds empty tables for every class and association of `schema`.
   static Result<WebspaceStore> Create(ConceptSchema schema);
 
+  /// Reassembles a store from persisted tables (one per schema class and
+  /// association, same layouts as ClassTable/AssociationTable expose). The
+  /// derived state — oid→class map, oid→row indexes, adjacency lists and
+  /// the next-oid counter — is rebuilt by scanning the tables, so only the
+  /// tables themselves need to be serialized (DESIGN.md §4h). Fails when a
+  /// schema class/association is missing a table, a table is unknown to
+  /// the schema, or an oid appears in two classes.
+  static Result<WebspaceStore> Restore(
+      ConceptSchema schema, std::map<std::string, storage::Table> class_tables,
+      std::map<std::string, storage::Table> assoc_tables);
+
   const ConceptSchema& schema() const { return schema_; }
 
   /// Inserts an object; `values` must match the class's declared attributes

@@ -1,0 +1,45 @@
+/// \file bench_util_test.cc
+/// The benchmark helpers' statistics: Percentile interpolation and its
+/// empty-sample guard (an empty benchmark run must report 0.0, not index
+/// out of range).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../bench/bench_util.h"
+
+namespace cobra::bench {
+namespace {
+
+TEST(PercentileTest, EmptySamplesReturnZero) {
+  EXPECT_EQ(Percentile({}, 0.0), 0.0);
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_EQ(Percentile({}, 0.99), 0.0);
+  EXPECT_EQ(Percentile({}, 1.0), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleIsEveryPercentile) {
+  EXPECT_EQ(Percentile({7.5}, 0.0), 7.5);
+  EXPECT_EQ(Percentile({7.5}, 0.5), 7.5);
+  EXPECT_EQ(Percentile({7.5}, 1.0), 7.5);
+}
+
+TEST(PercentileTest, InterpolatesBetweenSortedValues) {
+  const std::vector<double> samples = {4.0, 1.0, 3.0, 2.0};  // sorts to 1..4
+  EXPECT_EQ(Percentile(samples, 0.0), 1.0);
+  EXPECT_EQ(Percentile(samples, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 1.0 / 3.0), 2.0);
+}
+
+TEST(PercentileTest, P99NearMaxOfLargeSample) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 1000; ++i) samples.push_back(static_cast<double>(i));
+  const double p99 = Percentile(samples, 0.99);
+  EXPECT_GE(p99, 990.0);
+  EXPECT_LE(p99, 991.0);
+}
+
+}  // namespace
+}  // namespace cobra::bench

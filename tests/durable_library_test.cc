@@ -1,0 +1,372 @@
+/// \file durable_library_test.cc
+/// The engine-layer durable library (DESIGN.md §4h):
+///   * create → ingest → flush → reopen answers the full 16-modality
+///     planner sweep identically to the never-persisted library, in both
+///     mmap (zero-copy) and heap restore modes;
+///   * crash recovery: the WAL truncated mid-record at randomized offsets
+///     reopens cleanly and answers exactly like a clean build over the
+///     surviving record prefix;
+///   * background compaction (tsan-labeled): queries run concurrently
+///     with CompactAsync and stay bit-identical before, during, and after
+///     the merged segment is published.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/video_description.h"
+#include "engine/digital_library.h"
+#include "engine/durable_library.h"
+#include "storage/segment/io.h"
+#include "storage/segment/wal.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "webspace/site_synthesizer.h"
+
+namespace cobra::engine {
+namespace {
+
+namespace seg = storage::segment;
+using storage::CompareOp;
+using storage::Value;
+
+constexpr uint64_t kSiteSeed = 2002;
+
+webspace::SynthesizedSite MakeSite() {
+  webspace::SiteConfig config;
+  config.num_players = 16;
+  config.num_past_years = 3;
+  config.videos_per_year = 1;
+  config.seed = kSiteSeed;
+  config.ensure_answer = true;
+  return webspace::SiteSynthesizer::Generate(config).TakeValue();
+}
+
+core::VideoDescription MakeVideo(int64_t oid) {
+  const char* events[] = {"net_play", "rally", "service", "smash"};
+  Rng rng(static_cast<uint64_t>(oid) * 977 + 5);
+  core::VideoDescription desc(oid, "synthetic", 25.0, 40000);
+  for (int e = 0; e < 24; ++e) {
+    const int64_t begin = rng.NextInt(0, 39000);
+    desc.Add(core::CobraLayer::kEvent,
+             grammar::Annotation(events[rng.NextBounded(4)],
+                                 {begin, begin + rng.NextInt(10, 900)})
+                 .Set("player", rng.NextInt(-1, 1)));
+  }
+  return desc;
+}
+
+/// The 16-modality sweep: every subset of {predicates, champion, text,
+/// event} with a few deterministic variants each (the planner_test
+/// RandomQuery pattern, seeded so both libraries see identical queries).
+std::vector<CombinedQuery> SweepQueries() {
+  std::vector<CombinedQuery> queries;
+  Rng rng(21);
+  for (int combo = 0; combo < 16; ++combo) {
+    for (int variant = 0; variant < 3; ++variant) {
+      CombinedQuery query;
+      if (combo & 1) {
+        switch (rng.NextBounded(4)) {
+          case 0:
+            query.player_predicates.push_back(
+                {"gender", CompareOp::kEq, std::string("female")});
+            break;
+          case 1:
+            query.player_predicates.push_back(
+                {"hand", CompareOp::kEq, std::string("left")});
+            break;
+          case 2:
+            query.player_predicates.push_back(
+                {"ranking", CompareOp::kLe, rng.NextInt(1, 40)});
+            break;
+          case 3:  // provably empty
+            query.player_predicates.push_back(
+                {"hand", CompareOp::kEq, std::string("ambidextrous")});
+            break;
+        }
+      }
+      if (combo & 2) {
+        query.require_champion = true;
+        if (rng.NextBounded(2) == 0) {
+          query.won_year = rng.NextInt(2018, 2022);
+        }
+      }
+      if (combo & 4) {
+        const char* texts[] = {"champion title", "net volley",
+                               "australian open"};
+        query.text = texts[rng.NextBounded(3)];
+        query.text_top_k = 1 + rng.NextBounded(12);
+      }
+      if (combo & 8) {
+        const char* events[] = {"net_play", "rally", "service", "no_such"};
+        query.event = events[rng.NextBounded(4)];
+      }
+      queries.push_back(std::move(query));
+    }
+  }
+  return queries;
+}
+
+void ExpectSameAnswers(const DigitalLibrary& expected,
+                       const DigitalLibrary& actual, const char* label) {
+  for (const CombinedQuery& query : SweepQueries()) {
+    auto hits_expected = expected.Search(query);
+    auto hits_actual = actual.Search(query);
+    ASSERT_EQ(hits_expected.ok(), hits_actual.ok()) << label;
+    if (!hits_expected.ok()) {
+      EXPECT_EQ(hits_expected.status().ToString(),
+                hits_actual.status().ToString())
+          << label;
+      continue;
+    }
+    ASSERT_EQ(hits_expected->size(), hits_actual->size()) << label;
+    for (size_t i = 0; i < hits_expected->size(); ++i) {
+      const SceneHit& a = (*hits_expected)[i];
+      const SceneHit& b = (*hits_actual)[i];
+      EXPECT_EQ(a.player_oid, b.player_oid) << label;
+      EXPECT_EQ(a.player_name, b.player_name) << label;
+      EXPECT_EQ(a.video_oid, b.video_oid) << label;
+      EXPECT_EQ(a.range.begin, b.range.begin) << label;
+      EXPECT_EQ(a.range.end, b.range.end) << label;
+      EXPECT_EQ(a.event, b.event) << label;
+      uint64_t bits_a = 0, bits_b = 0;
+      std::memcpy(&bits_a, &a.text_score, 8);
+      std::memcpy(&bits_b, &b.text_score, 8);
+      EXPECT_EQ(bits_a, bits_b) << label << " hit " << i;
+    }
+  }
+}
+
+/// A never-persisted reference library over the same synthesized site.
+std::unique_ptr<DigitalLibrary> CleanLibrary(
+    const std::vector<seg::WalRecord>* op_prefix = nullptr) {
+  auto site = MakeSite();
+  auto interviews = site.interview_texts;
+  auto videos = site.video_oids;
+  auto library = DigitalLibrary::Create(std::move(site.store)).TakeValue();
+  if (op_prefix == nullptr) {
+    for (const auto& [oid, body] : interviews) {
+      EXPECT_TRUE(library->AddInterview(oid, body).ok());
+    }
+    EXPECT_TRUE(library->FinalizeText().ok());
+    for (int64_t oid : videos) {
+      EXPECT_TRUE(library->AddVideoDescription(MakeVideo(oid)).ok());
+    }
+  } else {
+    for (const seg::WalRecord& record : *op_prefix) {
+      switch (record.type) {
+        case seg::WalRecordType::kAddInterview:
+          EXPECT_TRUE(library
+                          ->AddInterview(record.interview_oid,
+                                         record.interview_text)
+                          .ok());
+          break;
+        case seg::WalRecordType::kFinalizeText:
+          EXPECT_TRUE(library->FinalizeText().ok());
+          break;
+        case seg::WalRecordType::kAddVideo:
+          EXPECT_TRUE(library->AddVideoDescription(record.video).ok());
+          break;
+      }
+    }
+  }
+  return library;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  if (seg::FileExists(dir + "/MANIFEST") || true) {
+    auto entries = seg::ListDir(dir);
+    if (entries.ok()) {
+      for (const std::string& entry : *entries) {
+        (void)seg::RemoveFile(dir + "/" + entry);
+      }
+    }
+  }
+  EXPECT_TRUE(seg::CreateDir(dir).ok());
+  return dir;
+}
+
+std::unique_ptr<DurableLibrary> IngestEverything(const std::string& dir,
+                                                 bool flush_mid_ingest) {
+  auto site = MakeSite();
+  auto interviews = site.interview_texts;
+  auto videos = site.video_oids;
+  auto durable =
+      DurableLibrary::Create(dir, std::move(site.store)).TakeValue();
+  size_t count = 0;
+  for (const auto& [oid, body] : interviews) {
+    EXPECT_TRUE(durable->AddInterview(oid, body).ok());
+    if (flush_mid_ingest && ++count == interviews.size() / 2) {
+      EXPECT_TRUE(durable->Flush().ok());
+    }
+  }
+  EXPECT_TRUE(durable->FinalizeText().ok());
+  if (flush_mid_ingest) EXPECT_TRUE(durable->Flush().ok());
+  for (int64_t oid : videos) {
+    EXPECT_TRUE(durable->AddVideoDescription(MakeVideo(oid)).ok());
+  }
+  EXPECT_TRUE(durable->Flush().ok());
+  return durable;
+}
+
+TEST(DurableLibraryTest, ReopenAnswersSweepIdentically) {
+  const std::string dir = FreshDir("durable_reopen");
+  auto clean = CleanLibrary();
+  {
+    auto durable = IngestEverything(dir, /*flush_mid_ingest=*/true);
+    ExpectSameAnswers(*clean, durable->library(), "pre-close");
+    EXPECT_GE(durable->num_segments(), 3u);
+  }
+  // Zero-copy (mmap) restore.
+  {
+    auto durable = DurableLibrary::Open(dir).TakeValue();
+    ExpectSameAnswers(*clean, durable->library(), "mmap reopen");
+    EXPECT_TRUE(durable->LoadCompressedText().ok());
+  }
+  // Heap restore: same answers, no borrowed spans.
+  {
+    DurableLibrary::Options options;
+    options.copy_text = true;
+    auto durable = DurableLibrary::Open(dir, options).TakeValue();
+    ExpectSameAnswers(*clean, durable->library(), "heap reopen");
+  }
+  // Verification off (the benchmark's fast-open arm): still identical.
+  {
+    DurableLibrary::Options options;
+    options.verify = seg::SegmentReader::Verify::kNone;
+    auto durable = DurableLibrary::Open(dir, options).TakeValue();
+    ExpectSameAnswers(*clean, durable->library(), "no-verify reopen");
+  }
+}
+
+TEST(DurableLibraryTest, WalReplayRecoversUnflushedMutations) {
+  const std::string dir = FreshDir("durable_wal");
+  auto site = MakeSite();
+  auto interviews = site.interview_texts;
+  auto videos = site.video_oids;
+  {
+    auto durable =
+        DurableLibrary::Create(dir, std::move(site.store)).TakeValue();
+    for (const auto& [oid, body] : interviews) {
+      ASSERT_TRUE(durable->AddInterview(oid, body).ok());
+    }
+    ASSERT_TRUE(durable->FinalizeText().ok());
+    for (int64_t oid : videos) {
+      ASSERT_TRUE(durable->AddVideoDescription(MakeVideo(oid)).ok());
+    }
+    // No Flush: everything after Create lives only in the WAL.
+    EXPECT_EQ(durable->num_segments(), 1u);
+  }
+  auto clean = CleanLibrary();
+  auto durable = DurableLibrary::Open(dir).TakeValue();
+  ExpectSameAnswers(*clean, durable->library(), "wal replay");
+  // The replayed window was folded into a segment on open.
+  EXPECT_EQ(durable->num_segments(), 2u);
+}
+
+TEST(DurableLibraryTest, TruncatedWalRecoversPrefixIdentically) {
+  const std::string dir = FreshDir("durable_torn_src");
+  {
+    auto site = MakeSite();
+    auto interviews = site.interview_texts;
+    auto videos = site.video_oids;
+    auto durable =
+        DurableLibrary::Create(dir, std::move(site.store)).TakeValue();
+    for (const auto& [oid, body] : interviews) {
+      ASSERT_TRUE(durable->AddInterview(oid, body).ok());
+    }
+    ASSERT_TRUE(durable->FinalizeText().ok());
+    for (int64_t oid : videos) {
+      ASSERT_TRUE(durable->AddVideoDescription(MakeVideo(oid)).ok());
+    }
+  }
+  // Locate the WAL and the rest of the durable directory.
+  auto entries = seg::ListDir(dir).TakeValue();
+  std::string wal_name;
+  for (const std::string& entry : entries) {
+    if (entry.size() > 4 &&
+        entry.compare(entry.size() - 4, 4, ".wal") == 0) {
+      wal_name = entry;
+    }
+  }
+  ASSERT_FALSE(wal_name.empty());
+  auto wal_map = seg::MmapFile::Open(dir + "/" + wal_name).TakeValue();
+  const std::vector<uint8_t> full_wal(wal_map.data(),
+                                      wal_map.data() + wal_map.size());
+  ASSERT_GT(full_wal.size(), 16u);
+
+  Rng rng(4711);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Kill ingest mid-record: keep a random prefix of the WAL bytes.
+    const size_t keep = trial == 0 ? full_wal.size()
+                                   : rng.NextBounded(full_wal.size());
+    const std::string crash_dir =
+        FreshDir("durable_torn_" + std::to_string(trial));
+    for (const std::string& entry : entries) {
+      if (entry == wal_name) continue;
+      auto bytes = seg::MmapFile::Open(dir + "/" + entry).TakeValue();
+      ASSERT_TRUE(seg::WriteFileAtomic(crash_dir + "/" + entry, bytes.data(),
+                                       bytes.size())
+                      .ok());
+    }
+    ASSERT_TRUE(seg::WriteFileAtomic(crash_dir + "/" + wal_name,
+                                     full_wal.data(), keep)
+                    .ok());
+
+    // What a clean build over the surviving record prefix would hold.
+    auto prefix =
+        seg::ReplayWal(crash_dir + "/" + wal_name).TakeValue();
+    auto expected = CleanLibrary(&prefix);
+
+    auto recovered = DurableLibrary::Open(crash_dir);
+    ASSERT_TRUE(recovered.ok()) << "keep=" << keep << ": "
+                                << recovered.status().ToString();
+    ExpectSameAnswers(*expected, (*recovered)->library(),
+                      ("keep=" + std::to_string(keep)).c_str());
+  }
+}
+
+TEST(DurableLibraryTest, ConcurrentCompactionKeepsAnswersIdentical) {
+  const std::string dir = FreshDir("durable_compact");
+  auto clean = CleanLibrary();
+  auto durable = IngestEverything(dir, /*flush_mid_ingest=*/true);
+  const size_t before = durable->num_segments();
+  ASSERT_GE(before, 3u);
+
+  util::ThreadPool pool(2);
+  ASSERT_TRUE(durable->CompactAsync(&pool).ok());
+  // Queries race the background merge; results must stay bit-identical
+  // the whole time (the merged chain publishes atomically).
+  for (int round = 0; round < 4; ++round) {
+    ExpectSameAnswers(*clean, durable->library(), "during compaction");
+  }
+  ASSERT_TRUE(durable->WaitForCompaction().ok());
+  EXPECT_LT(durable->num_segments(), before);
+  ExpectSameAnswers(*clean, durable->library(), "after compaction");
+
+  // A second compaction over the already-merged chain is a no-op or a
+  // further merge; either way answers hold and reopen still works.
+  ASSERT_TRUE(durable->Compact().ok());
+  ExpectSameAnswers(*clean, durable->library(), "after second compaction");
+  auto reopened = DurableLibrary::Open(dir).TakeValue();
+  ExpectSameAnswers(*clean, reopened->library(), "reopen after compaction");
+}
+
+TEST(DurableLibraryTest, OpenFailsCleanlyOnMissingOrCorruptManifest) {
+  const std::string missing = ::testing::TempDir() + "no_such_library";
+  EXPECT_FALSE(DurableLibrary::Open(missing).ok());
+
+  const std::string dir = FreshDir("durable_badmanifest");
+  const char garbage[] = "not a manifest";
+  ASSERT_TRUE(
+      seg::WriteFileAtomic(dir + "/MANIFEST", garbage, sizeof(garbage)).ok());
+  EXPECT_FALSE(DurableLibrary::Open(dir).ok());
+}
+
+}  // namespace
+}  // namespace cobra::engine

@@ -1,0 +1,573 @@
+/// \file segment_test.cc
+/// Durable segment storage (DESIGN.md §4h):
+///   * TableSerde delta roundtrips, including string dictionary deltas and
+///     the out-of-order-application guard;
+///   * whole-segment write/open/restore roundtrips, single segment and a
+///     base+delta chain with pending interviews;
+///   * mmap-backed (zero-copy) vs heap-backed restored text indexes answer
+///     bit-identically;
+///   * corruption hardening: mutated headers, section payloads, checksums
+///     and truncations must fail cleanly with Status, never crash (run
+///     under asan/ubsan in CI);
+///   * WAL framing roundtrip and torn-tail truncation semantics.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/meta_index.h"
+#include "core/video_description.h"
+#include "storage/segment/format.h"
+#include "storage/segment/io.h"
+#include "storage/segment/segment.h"
+#include "storage/segment/wal.h"
+#include "storage/table.h"
+#include "text/compressed_index.h"
+#include "text/inverted_index.h"
+#include "util/rng.h"
+#include "webspace/site_synthesizer.h"
+#include "webspace/store.h"
+
+namespace cobra::storage::segment {
+namespace {
+
+using storage::ColumnDef;
+using storage::DataType;
+using storage::Table;
+using storage::Value;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// ---------------------------------------------------------------------------
+// TableSerde deltas.
+
+Table MakeMixedTable() {
+  return Table::Create({{"id", DataType::kInt64},
+                        {"score", DataType::kDouble},
+                        {"name", DataType::kString}})
+      .TakeValue();
+}
+
+void AppendMixedRows(Table* table, int64_t begin, int64_t end) {
+  const char* names[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+  for (int64_t i = begin; i < end; ++i) {
+    ASSERT_TRUE(table
+                    ->AppendRow({Value{i}, Value{i * 0.25},
+                                 Value{std::string(names[i % 5]) +
+                                       (i % 7 == 0 ? std::to_string(i) : "")}})
+                    .ok());
+  }
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    for (int64_t r = 0; r < a.num_rows(); ++r) {
+      EXPECT_EQ(a.GetValue(r, c).TakeValue(), b.GetValue(r, c).TakeValue())
+          << "row " << r << " col " << c;
+    }
+    // Derived stats must be rebuilt identically (zone maps fold into the
+    // range; NDV counts dictionary entries / distinct values).
+    const auto sa = a.Stats(c).TakeValue();
+    const auto sb = b.Stats(c).TakeValue();
+    EXPECT_EQ(sa.rows, sb.rows);
+    EXPECT_EQ(sa.ndv, sb.ndv);
+    EXPECT_EQ(sa.range.imin, sb.range.imin);
+    EXPECT_EQ(sa.range.imax, sb.range.imax);
+  }
+}
+
+TEST(TableSerdeTest, DeltaRoundtripWithStringDictionary) {
+  Table original = MakeMixedTable();
+  AppendMixedRows(&original, 0, 3000);  // crosses a zone-map block boundary
+
+  ByteWriter base;
+  ASSERT_TRUE(TableSerde::WriteDelta(original, 0, &base).ok());
+
+  Table restored = MakeMixedTable();
+  ByteReader base_in(base.buffer().data(), base.size());
+  ASSERT_TRUE(TableSerde::ApplyDelta(&restored, &base_in).ok());
+  ExpectTablesEqual(original, restored);
+
+  // Second window: new rows reuse old dictionary entries and add new ones.
+  AppendMixedRows(&original, 3000, 4500);
+  ByteWriter delta;
+  ASSERT_TRUE(TableSerde::WriteDelta(original, 3000, &delta).ok());
+  ByteReader delta_in(delta.buffer().data(), delta.size());
+  ASSERT_TRUE(TableSerde::ApplyDelta(&restored, &delta_in).ok());
+  ExpectTablesEqual(original, restored);
+}
+
+TEST(TableSerdeTest, OutOfOrderDeltaIsRejected) {
+  Table original = MakeMixedTable();
+  AppendMixedRows(&original, 0, 100);
+  ByteWriter delta;
+  ASSERT_TRUE(TableSerde::WriteDelta(original, 50, &delta).ok());
+
+  Table empty = MakeMixedTable();  // expects a delta starting at row 0
+  ByteReader in(delta.buffer().data(), delta.size());
+  EXPECT_FALSE(TableSerde::ApplyDelta(&empty, &in).ok());
+}
+
+TEST(TableSerdeTest, ArityMismatchIsRejected) {
+  Table original = MakeMixedTable();
+  AppendMixedRows(&original, 0, 10);
+  ByteWriter delta;
+  ASSERT_TRUE(TableSerde::WriteDelta(original, 0, &delta).ok());
+
+  Table narrow = Table::Create({{"id", DataType::kInt64}}).TakeValue();
+  ByteReader in(delta.buffer().data(), delta.size());
+  EXPECT_FALSE(TableSerde::ApplyDelta(&narrow, &in).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Whole-segment roundtrips over a synthesized library.
+
+struct Fixture {
+  webspace::WebspaceStore store;
+  core::MetaIndex meta;
+  text::InvertedIndex text;
+  std::vector<int64_t> video_oids;
+  std::map<int64_t, std::string> interviews;
+};
+
+core::VideoDescription MakeVideo(int64_t oid, uint64_t seed) {
+  const char* events[] = {"net_play", "rally", "service", "smash"};
+  Rng rng(seed);
+  core::VideoDescription desc(oid, "synthetic", 25.0, 40000);
+  for (int e = 0; e < 20; ++e) {
+    const int64_t begin = rng.NextInt(0, 39000);
+    desc.Add(core::CobraLayer::kEvent,
+             grammar::Annotation(events[rng.NextBounded(4)],
+                                 {begin, begin + rng.NextInt(10, 900)})
+                 .Set("player", rng.NextInt(-1, 1)));
+  }
+  return desc;
+}
+
+std::vector<std::string> MakeTokens(Rng* rng, size_t count) {
+  const char* vocabulary[] = {"net",   "play",  "serve", "champion", "title",
+                              "rally", "smash", "volley", "ace",     "match"};
+  std::vector<std::string> tokens;
+  for (size_t i = 0; i < count; ++i) {
+    tokens.push_back(vocabulary[rng->NextBounded(10)]);
+  }
+  return tokens;
+}
+
+Fixture MakeFixture() {
+  webspace::SiteConfig config;
+  config.num_players = 12;
+  config.num_past_years = 3;
+  config.videos_per_year = 1;
+  config.seed = 7;
+  auto site = webspace::SiteSynthesizer::Generate(config).TakeValue();
+
+  Fixture out{std::move(site.store), core::MetaIndex::Create().TakeValue(),
+              text::InvertedIndex(), std::move(site.video_oids),
+              std::move(site.interview_texts)};
+  Rng rng(11);
+  for (const auto& [oid, body] : out.interviews) {
+    (void)body;
+    EXPECT_TRUE(out.text.AddDocument(oid, MakeTokens(&rng, 60)).ok());
+  }
+  EXPECT_TRUE(out.text.Finalize().ok());
+  for (int64_t oid : out.video_oids) {
+    EXPECT_TRUE(
+        out.meta.AddVideo(MakeVideo(oid, static_cast<uint64_t>(oid))).ok());
+  }
+  return out;
+}
+
+LibraryDelta FullDelta(const Fixture& fixture,
+                       const text::CompressedInvertedIndex* compressed) {
+  LibraryDelta delta;
+  delta.index_epoch = 5;
+  delta.store = &fixture.store;
+  delta.class_from_rows.assign(fixture.store.schema().classes().size(), 0);
+  delta.assoc_from_rows.assign(fixture.store.schema().associations().size(),
+                               0);
+  delta.meta = &fixture.meta;
+  delta.new_video_oids = fixture.video_oids;
+  delta.text = &fixture.text;
+  delta.compressed_text = compressed;
+  return delta;
+}
+
+void ExpectSameSearch(const text::InvertedIndex& a,
+                      const text::InvertedIndex& b) {
+  const char* queries[] = {"net play", "champion title", "serve ace match",
+                           "volley", "smash rally net"};
+  for (const char* query : queries) {
+    auto ha = a.SearchTopN(query, 5).TakeValue();
+    auto hb = b.SearchTopN(query, 5).TakeValue();
+    ASSERT_EQ(ha.size(), hb.size()) << query;
+    for (size_t i = 0; i < ha.size(); ++i) {
+      EXPECT_EQ(ha[i].doc_id, hb[i].doc_id) << query;
+      // Bit-identical scores, not approximately equal.
+      uint64_t bits_a = 0, bits_b = 0;
+      std::memcpy(&bits_a, &ha[i].score, 8);
+      std::memcpy(&bits_b, &hb[i].score, 8);
+      EXPECT_EQ(bits_a, bits_b) << query;
+    }
+  }
+}
+
+TEST(SegmentTest, SingleSegmentRoundtrip) {
+  Fixture fixture = MakeFixture();
+  auto compressed =
+      text::CompressedInvertedIndex::FromIndex(fixture.text).TakeValue();
+  const std::string path = TempPath("seg_roundtrip.cseg");
+  ASSERT_TRUE(WriteSegment(FullDelta(fixture, &compressed), path).ok());
+
+  auto reader = SegmentReader::Open(path).TakeValue();
+  EXPECT_EQ(reader->index_epoch(), 5);
+  EXPECT_TRUE(reader->text_finalized());
+  EXPECT_EQ(reader->new_video_oids(), fixture.video_oids);
+  ASSERT_TRUE(reader->has_section(SectionId::kTextCompressed));
+
+  auto parts = RestoreFromSegments({reader.get()}, false).TakeValue();
+  EXPECT_EQ(parts.index_epoch, 5);
+  EXPECT_EQ(parts.indexed_videos, fixture.video_oids);
+  ASSERT_TRUE(parts.text.has_value());
+  EXPECT_TRUE(parts.pending_interviews.empty());
+  ExpectSameSearch(fixture.text, *parts.text);
+
+  // Webspace tables roundtrip exactly, then rebuild into a valid store.
+  for (const auto& cls : fixture.store.schema().classes()) {
+    const Table* original = fixture.store.ClassTable(cls.name).TakeValue();
+    ASSERT_TRUE(parts.class_tables.count(cls.name));
+    ExpectTablesEqual(*original, parts.class_tables.at(cls.name));
+  }
+  auto store = webspace::WebspaceStore::Restore(
+                   parts.schema, std::move(parts.class_tables),
+                   std::move(parts.assoc_tables))
+                   .TakeValue();
+  auto meta = core::MetaIndex::FromTables(
+                  std::move(parts.shots), std::move(parts.objects),
+                  std::move(parts.events),
+                  static_cast<int64_t>(parts.indexed_videos.size()))
+                  .TakeValue();
+  ExpectTablesEqual(fixture.meta.events(), meta.events());
+  EXPECT_EQ(meta.num_videos(), fixture.meta.num_videos());
+  auto scenes = meta.FindScenes("net_play").TakeValue();
+  EXPECT_EQ(scenes.size(), fixture.meta.FindScenes("net_play")->size());
+  (void)store;
+}
+
+TEST(SegmentTest, DeltaChainWithPendingInterviews) {
+  webspace::SiteConfig config;
+  config.num_players = 8;
+  config.num_past_years = 2;
+  config.seed = 13;
+  auto site = webspace::SiteSynthesizer::Generate(config).TakeValue();
+  webspace::WebspaceStore& store = site.store;
+  auto meta = core::MetaIndex::Create().TakeValue();
+
+  // Segment 0: the base snapshot, text still open with two pending docs.
+  LibraryDelta base;
+  base.index_epoch = 1;
+  base.store = &store;
+  base.class_from_rows.assign(store.schema().classes().size(), 0);
+  base.assoc_from_rows.assign(store.schema().associations().size(), 0);
+  base.meta = &meta;
+  base.pending_interviews = {{101, "net play champion"},
+                             {102, "serve ace title"}};
+  const std::string base_path = TempPath("seg_chain_0.cseg");
+  ASSERT_TRUE(WriteSegment(base, base_path).ok());
+
+  // Mutate: new player, one more pending doc, one indexed video.
+  std::vector<int64_t> class_from, assoc_from;
+  for (const auto& cls : store.schema().classes()) {
+    class_from.push_back(store.ClassTable(cls.name).TakeValue()->num_rows());
+  }
+  for (const auto& assoc : store.schema().associations()) {
+    assoc_from.push_back(
+        store.AssociationTable(assoc.name).TakeValue()->num_rows());
+  }
+  auto player = store.Insert(
+      "Player", {Value{std::string("Newcomer")}, Value{std::string("female")},
+                 Value{std::string("left")}, Value{std::string("AUS")},
+                 Value{int64_t{99}}});
+  ASSERT_TRUE(player.ok());
+  const int64_t video_oid = site.video_oids.front();
+  ASSERT_TRUE(meta.AddVideo(MakeVideo(video_oid, 3)).ok());
+
+  LibraryDelta delta;
+  delta.index_epoch = 2;
+  delta.store = &store;
+  delta.class_from_rows = class_from;
+  delta.assoc_from_rows = assoc_from;
+  delta.meta = &meta;
+  delta.new_video_oids = {video_oid};
+  delta.pending_interviews = {{103, "rally smash volley"}};
+  const std::string delta_path = TempPath("seg_chain_1.cseg");
+  ASSERT_TRUE(WriteSegment(delta, delta_path).ok());
+
+  auto base_reader = SegmentReader::Open(base_path).TakeValue();
+  auto delta_reader = SegmentReader::Open(delta_path).TakeValue();
+  auto parts =
+      RestoreFromSegments({base_reader.get(), delta_reader.get()}, false)
+          .TakeValue();
+  EXPECT_EQ(parts.index_epoch, 2);
+  EXPECT_FALSE(parts.text.has_value());
+  ASSERT_EQ(parts.pending_interviews.size(), 3u);
+  EXPECT_EQ(parts.pending_interviews[0].first, 101);
+  EXPECT_EQ(parts.pending_interviews[2].first, 103);
+  EXPECT_EQ(parts.indexed_videos, std::vector<int64_t>{video_oid});
+  for (const auto& cls : store.schema().classes()) {
+    ExpectTablesEqual(*store.ClassTable(cls.name).TakeValue(),
+                      parts.class_tables.at(cls.name));
+  }
+  auto restored = webspace::WebspaceStore::Restore(
+                      parts.schema, std::move(parts.class_tables),
+                      std::move(parts.assoc_tables))
+                      .TakeValue();
+  EXPECT_EQ(restored.GetAttribute("Player", *player, "ranking").TakeValue(),
+            Value{int64_t{99}});
+}
+
+TEST(SegmentTest, MmapAndHeapTextAreBitIdentical) {
+  Fixture fixture = MakeFixture();
+  auto compressed =
+      text::CompressedInvertedIndex::FromIndex(fixture.text).TakeValue();
+  const std::string path = TempPath("seg_bitident.cseg");
+  ASSERT_TRUE(WriteSegment(FullDelta(fixture, &compressed), path).ok());
+  auto reader = SegmentReader::Open(path).TakeValue();
+
+  auto mapped = reader->LoadTextIndex(/*copy=*/false).TakeValue();
+  auto heap = reader->LoadTextIndex(/*copy=*/true).TakeValue();
+  ExpectSameSearch(fixture.text, mapped);
+  ExpectSameSearch(mapped, heap);
+
+  // Copies of a view-backed index keep working (span re-pointing rules).
+  text::InvertedIndex mapped_copy = mapped;
+  ExpectSameSearch(fixture.text, mapped_copy);
+
+  // The compressed snapshot decodes identically in both modes.
+  auto compressed_mapped =
+      reader->LoadCompressedText(/*copy=*/false).TakeValue();
+  auto compressed_heap = reader->LoadCompressedText(/*copy=*/true).TakeValue();
+  EXPECT_EQ(compressed_mapped.num_terms(), compressed.num_terms());
+  compressed_mapped.ForEachTerm([&](const std::string& term, double idf,
+                                    const text::CompressedPostings& postings) {
+    (void)idf;
+    const text::CompressedPostings* other = nullptr;
+    compressed_heap.ForEachTerm([&](const std::string& heap_term, double,
+                                    const text::CompressedPostings& heap_p) {
+      if (heap_term == term) other = &heap_p;
+    });
+    ASSERT_NE(other, nullptr) << term;
+    ASSERT_EQ(postings.count(), other->count()) << term;
+    text::CompressedPostings::Cursor a(postings), b(*other);
+    text::DecodedPosting pa, pb;
+    while (true) {
+      const bool more_a = a.Next(&pa);
+      const bool more_b = b.Next(&pb);
+      ASSERT_EQ(more_a, more_b) << term;
+      if (!more_a) break;
+      EXPECT_EQ(pa.doc_id, pb.doc_id) << term;
+      EXPECT_EQ(pa.weight, pb.weight) << term;
+    }
+    EXPECT_TRUE(a.ok() && b.ok()) << term;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Corruption hardening. Every mutated or truncated file must produce a
+// clean Status failure or a successful open whose loads are themselves
+// clean — never UB (this test runs under asan and ubsan in CI).
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  auto map = MmapFile::Open(path).TakeValue();
+  return std::vector<uint8_t>(map.data(), map.data() + map.size());
+}
+
+void ExpectCleanOpen(const std::string& path) {
+  auto reader = SegmentReader::Open(path);
+  if (!reader.ok()) return;  // clean failure
+  // A "lucky" mutation (padding, ignored bytes) may open; every decode
+  // path must then either succeed or fail cleanly.
+  std::optional<webspace::ConceptSchema> schema;
+  std::map<std::string, Table> class_tables, assoc_tables;
+  (void)(*reader)->ApplyWebspace(&schema, &class_tables, &assoc_tables);
+  Table shots, objects, events;
+  if (CreateMetaTables(&shots, &objects, &events).ok()) {
+    (void)(*reader)->ApplyMeta(&shots, &objects, &events);
+  }
+  (void)(*reader)->LoadTextIndex(true);
+  (void)(*reader)->LoadCompressedText(true);
+  (void)(*reader)->PendingInterviews();
+}
+
+TEST(SegmentCorruptionTest, MutatedBytesFailCleanly) {
+  Fixture fixture = MakeFixture();
+  auto compressed =
+      text::CompressedInvertedIndex::FromIndex(fixture.text).TakeValue();
+  const std::string path = TempPath("seg_fuzz.cseg");
+  ASSERT_TRUE(WriteSegment(FullDelta(fixture, &compressed), path).ok());
+  const std::vector<uint8_t> pristine = ReadAll(path);
+  const std::string mutated_path = TempPath("seg_fuzz_mut.cseg");
+
+  Rng rng(31337);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint8_t> mutated = pristine;
+    const int flips = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.NextBounded(mutated.size());
+      mutated[pos] ^= static_cast<uint8_t>(1 + rng.NextBounded(255));
+    }
+    ASSERT_TRUE(
+        WriteFileAtomic(mutated_path, mutated.data(), mutated.size()).ok());
+    ExpectCleanOpen(mutated_path);
+  }
+}
+
+TEST(SegmentCorruptionTest, TargetedHeaderAndSectionCorruptionFails) {
+  Fixture fixture = MakeFixture();
+  const std::string path = TempPath("seg_target.cseg");
+  ASSERT_TRUE(WriteSegment(FullDelta(fixture, nullptr), path).ok());
+  const std::vector<uint8_t> pristine = ReadAll(path);
+  const std::string mutated_path = TempPath("seg_target_mut.cseg");
+
+  auto expect_open_fails = [&](std::vector<uint8_t> bytes) {
+    ASSERT_TRUE(WriteFileAtomic(mutated_path, bytes.data(), bytes.size()).ok());
+    EXPECT_FALSE(SegmentReader::Open(mutated_path).ok());
+  };
+
+  // Magic, version, header CRC.
+  for (size_t pos : {size_t{0}, size_t{8}, size_t{12}}) {
+    std::vector<uint8_t> bytes = pristine;
+    bytes[pos] ^= 0xFF;
+    expect_open_fails(std::move(bytes));
+  }
+  // First byte of every section payload (each is CRC-covered).
+  {
+    std::vector<uint8_t> bytes = pristine;
+    bytes[kPageSize] ^= 0x01;  // first section starts at the first page
+    expect_open_fails(std::move(bytes));
+  }
+  // Truncations: mid-header, mid-table, mid-payload.
+  for (size_t keep : {size_t{10}, size_t{100}, pristine.size() / 2,
+                      pristine.size() - 1}) {
+    expect_open_fails(
+        std::vector<uint8_t>(pristine.begin(), pristine.begin() + keep));
+  }
+}
+
+TEST(SegmentCorruptionTest, VarintRegionCorruptionInCompressedText) {
+  // Mutations inside the varbyte blob flip the section CRC, so a full-
+  // verify open fails; a kNone open must still decode cleanly or error.
+  Fixture fixture = MakeFixture();
+  auto compressed =
+      text::CompressedInvertedIndex::FromIndex(fixture.text).TakeValue();
+  const std::string path = TempPath("seg_varint.cseg");
+  ASSERT_TRUE(WriteSegment(FullDelta(fixture, &compressed), path).ok());
+  const std::vector<uint8_t> pristine = ReadAll(path);
+  const std::string mutated_path = TempPath("seg_varint_mut.cseg");
+
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<uint8_t> mutated = pristine;
+    // The compressed-text section lives in the back half of the file.
+    const size_t pos =
+        mutated.size() / 2 + rng.NextBounded(mutated.size() / 2);
+    mutated[pos] ^= static_cast<uint8_t>(1 + rng.NextBounded(255));
+    ASSERT_TRUE(
+        WriteFileAtomic(mutated_path, mutated.data(), mutated.size()).ok());
+    auto reader = SegmentReader::Open(mutated_path, SegmentReader::Verify::kNone);
+    if (!reader.ok()) continue;
+    auto loaded = (*reader)->LoadCompressedText(true);
+    if (!loaded.ok()) continue;
+    loaded->ForEachTerm([](const std::string&, double,
+                           const text::CompressedPostings& postings) {
+      text::CompressedPostings::Cursor cursor(postings);
+      text::DecodedPosting posting;
+      while (cursor.Next(&posting)) {
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WAL framing.
+
+TEST(WalTest, RoundtripAndTornTail) {
+  const std::string path = TempPath("wal_roundtrip.wal");
+  {
+    auto wal = WalWriter::Open(path, /*sync_each=*/false).TakeValue();
+    ASSERT_TRUE(wal.AppendInterview(7, "net play champion").ok());
+    ASSERT_TRUE(wal.AppendVideo(MakeVideo(42, 1)).ok());
+    ASSERT_TRUE(wal.AppendFinalizeText().ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  auto records = ReplayWal(path).TakeValue();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].type, WalRecordType::kAddInterview);
+  EXPECT_EQ(records[0].interview_oid, 7);
+  EXPECT_EQ(records[0].interview_text, "net play champion");
+  EXPECT_EQ(records[1].type, WalRecordType::kAddVideo);
+  EXPECT_EQ(records[1].video.video_id(), 42);
+  EXPECT_EQ(records[1].video.Layer(core::CobraLayer::kEvent).size(), 20u);
+  EXPECT_EQ(records[2].type, WalRecordType::kFinalizeText);
+
+  // Truncating at every offset yields a clean prefix, never an error.
+  const std::vector<uint8_t> full = ReadAll(path);
+  const std::string torn_path = TempPath("wal_torn.wal");
+  size_t max_records = 0;
+  for (size_t keep = 0; keep < full.size(); ++keep) {
+    ASSERT_TRUE(WriteFileAtomic(torn_path, full.data(), keep).ok());
+    auto torn = ReplayWal(torn_path);
+    ASSERT_TRUE(torn.ok()) << "offset " << keep;
+    ASSERT_LE(torn->size(), 3u);
+    max_records = std::max(max_records, torn->size());
+    for (size_t i = 0; i < torn->size(); ++i) {
+      EXPECT_EQ((*torn)[i].type, records[i].type);
+    }
+  }
+  EXPECT_EQ(max_records, 2u);  // one byte short of the last frame
+
+  // Corrupting a middle byte drops that record and the tail.
+  std::vector<uint8_t> corrupt = full;
+  corrupt[9] ^= 0x40;  // inside record 0's payload
+  ASSERT_TRUE(WriteFileAtomic(torn_path, corrupt.data(), corrupt.size()).ok());
+  EXPECT_TRUE(ReplayWal(torn_path)->empty());
+
+  EXPECT_TRUE(ReplayWal(TempPath("wal_missing.wal"))->empty());
+}
+
+TEST(WalTest, VideoDescriptionCodecRoundtrip) {
+  core::VideoDescription desc(9, "title with spaces", 29.97, 1234);
+  desc.Add(core::CobraLayer::kFeature,
+           grammar::Annotation("tennis", {0, 100}).Set("entropy", 0.75));
+  desc.Add(core::CobraLayer::kEvent, grammar::Annotation("net_play", {5, 50})
+                                         .Set("player", int64_t{1})
+                                         .Set("note", std::string("close")));
+  ByteWriter out;
+  EncodeVideoDescription(desc, &out);
+  ByteReader in(out.buffer().data(), out.size());
+  auto decoded = DecodeVideoDescription(&in).TakeValue();
+  EXPECT_EQ(decoded.video_id(), 9);
+  EXPECT_EQ(decoded.title(), "title with spaces");
+  EXPECT_EQ(decoded.fps(), 29.97);
+  EXPECT_EQ(decoded.num_frames(), 1234);
+  ASSERT_EQ(decoded.Layer(core::CobraLayer::kFeature).size(), 1u);
+  const auto& shot = decoded.Layer(core::CobraLayer::kFeature)[0];
+  EXPECT_EQ(shot.symbol, "tennis");
+  EXPECT_EQ(std::get<double>(shot.attrs.at("entropy")), 0.75);
+  const auto& event = decoded.Layer(core::CobraLayer::kEvent)[0];
+  EXPECT_EQ(std::get<int64_t>(event.attrs.at("player")), 1);
+  EXPECT_EQ(std::get<std::string>(event.attrs.at("note")), "close");
+}
+
+}  // namespace
+}  // namespace cobra::storage::segment

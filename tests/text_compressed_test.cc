@@ -145,7 +145,8 @@ TEST(CompressedPostingsTest, FromRawRoundTrips) {
   for (int64_t d = 0; d < 300; d += 3) postings.push_back({d, (d % 5) * 0.5});
   auto pristine = CompressedPostings::Encode(postings).TakeValue();
   auto rebuilt = CompressedPostings::FromRaw(
-      std::vector<uint8_t>(pristine.bytes()),
+      std::vector<uint8_t>(pristine.data(),
+                           pristine.data() + pristine.SizeBytes()),
       std::vector<CompressedPostings::SkipBlock>(pristine.blocks()),
       pristine.count(), pristine.max_weight());
   auto a = pristine.Decode();
@@ -187,7 +188,8 @@ TEST(CompressedPostingsTest, CursorSurvivesMutatedBytes) {
 
   std::mt19937_64 rng(77);
   for (int round = 0; round < 300; ++round) {
-    std::vector<uint8_t> bytes(pristine.bytes());
+    std::vector<uint8_t> bytes(pristine.data(),
+                               pristine.data() + pristine.SizeBytes());
     switch (round % 3) {
       case 0:  // truncate to a random prefix, keep the declared count
         bytes.resize(rng() % (bytes.size() + 1));
