@@ -108,10 +108,11 @@ Result<std::map<int64_t, double>> DigitalLibrary::TextPlayers(
 
 Result<std::vector<SceneHit>> DigitalLibrary::Search(
     const CombinedQuery& query, text::SearchStats* stats,
-    planner::PlanExplain* explain) const {
+    planner::PlanExplain* explain,
+    const std::map<int64_t, double>* text_seed) const {
   if (!planner_enabled_) {
     if (explain) *explain = planner::PlanExplain{};
-    return SearchFixedOrder(query, stats);
+    return SearchFixedOrder(query, stats, text_seed);
   }
   // Lazy-validation parity: the fixed order never checks a predicate past
   // an empty selection (storage::SelectAll stops refining), so whether a
@@ -121,7 +122,7 @@ Result<std::vector<SceneHit>> DigitalLibrary::Search(
     for (const storage::Predicate& pred : query.player_predicates) {
       if (!storage::ValidatePredicate(*players.value(), pred).ok()) {
         if (explain) *explain = planner::PlanExplain{};
-        return SearchFixedOrder(query, stats);
+        return SearchFixedOrder(query, stats, text_seed);
       }
     }
   }
@@ -129,7 +130,7 @@ Result<std::vector<SceneHit>> DigitalLibrary::Search(
                             &indexed_videos_};
   planner::PlanExplain local;
   return planner::SearchPlanned(view, query, stats,
-                                explain ? explain : &local);
+                                explain ? explain : &local, text_seed);
 }
 
 Result<planner::PlanExplain> DigitalLibrary::ExplainSearch(
@@ -143,14 +144,22 @@ Result<planner::PlanExplain> DigitalLibrary::ExplainSearch(
 }
 
 Result<std::vector<SceneHit>> DigitalLibrary::SearchFixedOrder(
-    const CombinedQuery& query, text::SearchStats* stats) const {
+    const CombinedQuery& query, text::SearchStats* stats,
+    const std::map<int64_t, double>* text_seed) const {
   if (stats) *stats = text::SearchStats{};
   COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> players, ConceptPlayers(query));
 
   std::map<int64_t, double> text_scores;
   if (!query.text.empty()) {
-    COBRA_ASSIGN_OR_RETURN(
-        text_scores, TextPlayers(query.text, query.text_top_k, stats));
+    if (text_seed) {
+      // Error parity with the unseeded path: a zero-budget probe surfaces
+      // the same not-finalized / malformed-query errors SearchTopN would.
+      COBRA_RETURN_NOT_OK(interviews_.SearchTopN(query.text, 0).status());
+      text_scores = *text_seed;
+    } else {
+      COBRA_ASSIGN_OR_RETURN(
+          text_scores, TextPlayers(query.text, query.text_top_k, stats));
+    }
     std::vector<int64_t> filtered;
     for (int64_t p : players) {
       if (text_scores.count(p)) filtered.push_back(p);

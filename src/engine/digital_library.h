@@ -103,15 +103,38 @@ class DigitalLibrary {
   /// Dispatches to the cost-based planner (DESIGN.md §4g) when
   /// planner_enabled() — bit-identical results to SearchFixedOrder, usually
   /// much faster. When `explain` is non-null it receives the executed plan.
+  ///
+  /// `text_seed` is the shard-aware serving hook (DESIGN.md §4i): a
+  /// player→score map computed by TextStage() on a library with an
+  /// identical interview index (in the serving tier the interview layer is
+  /// replicated, so the frontend evaluates it once and fans the result
+  /// out). When non-null and the query has a text condition, the text
+  /// stage is taken verbatim from the seed instead of re-running the DAAT
+  /// — results are bit-identical by construction.
   Result<std::vector<SceneHit>> Search(
       const CombinedQuery& query, text::SearchStats* stats = nullptr,
-      planner::PlanExplain* explain = nullptr) const;
+      planner::PlanExplain* explain = nullptr,
+      const std::map<int64_t, double>* text_seed = nullptr) const;
 
   /// The original fixed-order pipeline (concept scan -> text -> events),
   /// kept verbatim as the reference oracle the planner is validated
-  /// against and as the planner-off baseline for E7/E8.
+  /// against and as the planner-off baseline for E7/E8. Accepts the same
+  /// `text_seed` hook as Search.
   Result<std::vector<SceneHit>> SearchFixedOrder(
-      const CombinedQuery& query, text::SearchStats* stats = nullptr) const;
+      const CombinedQuery& query, text::SearchStats* stats = nullptr,
+      const std::map<int64_t, double>* text_seed = nullptr) const;
+
+  /// The text stage in isolation: players scored by their best interview
+  /// for `text` (top_k interviews ranked, walked back through
+  /// "interviewed_in"). This is exactly the map both Search paths compute
+  /// internally for a text condition — exposed so the serving frontend can
+  /// evaluate the replicated text modality once per query and pass it to
+  /// every shard as `text_seed`.
+  Result<std::map<int64_t, double>> TextStage(
+      const std::string& text, size_t top_k,
+      text::SearchStats* stats = nullptr) const {
+    return TextPlayers(text, top_k, stats);
+  }
 
   /// Plans and executes `query`, returning only the explain record
   /// (chosen stage order, estimated vs actual cardinalities).

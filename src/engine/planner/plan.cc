@@ -20,6 +20,7 @@ std::string PlanExplain::ToString() const {
   flag(text_first, "text_first");
   flag(champion_first, "champion_first");
   flag(text_filter_pushed, "text_filter_pushed");
+  flag(text_seeded, "text_seeded");
   flag(event_single_scan, "event_single_scan");
   for (const PlanStep& step : steps) {
     out += StringFormat("\n  %-40s est=%.1f actual=%lld", step.name.c_str(),

@@ -39,6 +39,9 @@ struct PlanExplain {
   /// The concept candidate set was pushed into the text evaluator as a
   /// DAAT accept filter.
   bool text_filter_pushed = false;
+  /// The text stage was taken from a frontend-provided seed (serving tier,
+  /// DESIGN.md §4i) instead of running the DAAT locally.
+  bool text_seeded = false;
   /// The event stage ran one events-table scan grouped by video instead of
   /// one FindScenes call per (player, video) pair.
   bool event_single_scan = false;

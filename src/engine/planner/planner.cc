@@ -53,10 +53,10 @@ std::vector<int64_t> RowsToOids(const Table& players, const std::vector<int64_t>
   return out;
 }
 
-Result<std::vector<SceneHit>> SearchPlannedImpl(const LibraryView& view,
-                                                const CombinedQuery& query,
-                                                text::SearchStats* stats,
-                                                PlanExplain& ex) {
+Result<std::vector<SceneHit>> SearchPlannedImpl(
+    const LibraryView& view, const CombinedQuery& query,
+    text::SearchStats* stats, PlanExplain& ex,
+    const std::map<int64_t, double>* text_seed) {
   const WebspaceStore& store = *view.store;
   const text::InvertedIndex& interviews = *view.interviews;
   const core::MetaIndex& meta = *view.meta_index;
@@ -103,6 +103,12 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(const LibraryView& view,
   // skipped lookups cannot fail.
   const bool text_skip_safe =
       !has_text || store.AssociationTable("interviewed_in").ok();
+  // The frontend seed stands in for SearchTopN + the "interviewed_in"
+  // walk-back, so it is only taken when that walk-back could not have
+  // errored; otherwise the seed is ignored and the local path (with its
+  // exact error behavior) runs.
+  const bool seeded = text_seed != nullptr && has_text &&
+                      store.AssociationTable("interviewed_in").ok();
   const bool event_skip_safe = players_table->ColumnIndex("name").ok() &&
                                store.AssociationTable("plays_in").ok();
 
@@ -217,7 +223,8 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(const LibraryView& view,
   const bool filter_eligible =
       has_text && static_cast<double>(query.text_top_k) >= sum_df &&
       store.AssociationTable("interviewed_in").ok();
-  const bool use_filtered = filter_eligible && (n_preds > 0 || has_champ) &&
+  const bool use_filtered = !seeded && filter_eligible &&
+                            (n_preds > 0 || has_champ) &&
                             est_concept <= 0.5 * std::max<int64_t>(1, total_players);
 
   // Text-first: when the concept side is unselective and the text top-k is
@@ -290,14 +297,21 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(const LibraryView& view,
   };
 
   if (ex.text_first) {
-    COBRA_ASSIGN_OR_RETURN(
-        std::vector<text::SearchHit> hits,
-        interviews.SearchTopN(query.text, query.text_top_k, stats));
-    COBRA_RETURN_NOT_OK(collect_text_scores(hits));
+    if (seeded) {
+      COBRA_RETURN_NOT_OK(interviews.SearchTopN(query.text, 0).status());
+      text_scores = *text_seed;
+      ex.text_seeded = true;
+    } else {
+      COBRA_ASSIGN_OR_RETURN(
+          std::vector<text::SearchHit> hits,
+          interviews.SearchTopN(query.text, query.text_top_k, stats));
+      COBRA_RETURN_NOT_OK(collect_text_scores(hits));
+    }
     std::vector<int64_t> candidates;
     candidates.reserve(text_scores.size());
     for (const auto& [oid, score] : text_scores) candidates.push_back(oid);
-    ex.steps.push_back({"text:seed", est_text_players,
+    ex.steps.push_back({seeded ? "text:frontend_seed" : "text:seed",
+                        est_text_players,
                         static_cast<int64_t>(candidates.size())});
     COBRA_ASSIGN_OR_RETURN(
         std::vector<int64_t> rows,
@@ -372,7 +386,18 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(const LibraryView& view,
       return finish_empty("concept stage empty");
     }
 
-    if (has_text) {
+    if (has_text && seeded) {
+      COBRA_RETURN_NOT_OK(interviews.SearchTopN(query.text, 0).status());
+      text_scores = *text_seed;
+      ex.text_seeded = true;
+      ex.steps.push_back({"text:frontend_seed", est_text_players,
+                          static_cast<int64_t>(text_scores.size())});
+      std::vector<int64_t> kept;
+      for (int64_t p : players) {
+        if (text_scores.count(p)) kept.push_back(p);
+      }
+      players = std::move(kept);
+    } else if (has_text) {
       std::vector<text::SearchHit> hits;
       if (use_filtered) {
         COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> accept,
@@ -521,13 +546,13 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(const LibraryView& view,
 
 }  // namespace
 
-Result<std::vector<SceneHit>> SearchPlanned(const LibraryView& view,
-                                            const CombinedQuery& query,
-                                            text::SearchStats* stats,
-                                            PlanExplain* explain) {
+Result<std::vector<SceneHit>> SearchPlanned(
+    const LibraryView& view, const CombinedQuery& query,
+    text::SearchStats* stats, PlanExplain* explain,
+    const std::map<int64_t, double>* text_seed) {
   PlanExplain ex;
   Result<std::vector<SceneHit>> result =
-      SearchPlannedImpl(view, query, stats, ex);
+      SearchPlannedImpl(view, query, stats, ex, text_seed);
   if (explain != nullptr) *explain = std::move(ex);
   return result;
 }

@@ -22,6 +22,7 @@
 /// error behavior: short-circuits still surface exactly the validation
 /// errors the fixed pipeline would have hit.
 
+#include <map>
 #include <vector>
 
 #include "engine/digital_library.h"
@@ -40,9 +41,14 @@ struct LibraryView {
 /// Plans and executes `query`. `stats` (optional) receives the text-index
 /// work counters; `explain` (optional) receives the executed plan — written
 /// on success and on short-circuit, untouched when planning fails early.
-Result<std::vector<SceneHit>> SearchPlanned(const LibraryView& view,
-                                            const CombinedQuery& query,
-                                            text::SearchStats* stats,
-                                            PlanExplain* explain);
+///
+/// `text_seed` (optional) is a precomputed player→score text stage (see
+/// DigitalLibrary::TextStage); when usable it replaces the local DAAT run.
+/// The seed must come from an identical interview index + store, which the
+/// serving tier guarantees by replicating the text modality per shard.
+Result<std::vector<SceneHit>> SearchPlanned(
+    const LibraryView& view, const CombinedQuery& query,
+    text::SearchStats* stats, PlanExplain* explain,
+    const std::map<int64_t, double>* text_seed = nullptr);
 
 }  // namespace cobra::engine::planner

@@ -1,6 +1,7 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <utility>
 
@@ -137,11 +138,12 @@ Result<std::vector<SceneHit>> QueryEngine::CachedEval(const std::string& key,
   return result;
 }
 
-Result<std::vector<SceneHit>> QueryEngine::Search(const CombinedQuery& query) {
+Result<std::vector<SceneHit>> QueryEngine::Search(
+    const CombinedQuery& query, const std::map<int64_t, double>* text_seed) {
   return CachedEval(NormalizedKey(query), [&](text::SearchStats* stats) {
     planner::PlanExplain explain;
     Result<std::vector<SceneHit>> result =
-        library_->Search(query, stats, &explain);
+        library_->Search(query, stats, &explain, text_seed);
     if (result.ok() && explain.used_planner) {
       planner_plans_.fetch_add(1, std::memory_order_relaxed);
       if (explain.short_circuited) {
@@ -170,15 +172,28 @@ Result<std::vector<SceneHit>> QueryEngine::SearchKeywordOnly(
 }
 
 std::vector<Result<std::vector<SceneHit>>> QueryEngine::SearchBatch(
-    const std::vector<CombinedQuery>& queries) {
+    const std::vector<CombinedQuery>& queries, double deadline_ms) {
   // Result<T> has no default constructor; pre-fill with a placeholder that
   // every task overwrites (slot i is written only by task i).
   std::vector<Result<std::vector<SceneHit>>> results(
       queries.size(),
       Result<std::vector<SceneHit>>(Status::Internal("query not evaluated")));
+  if (deadline_ms < 0.0) deadline_ms = config_.deadline_ms;
+  const bool has_deadline = deadline_ms > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(deadline_ms));
   util::TaskGroup group(&pool_);
   for (size_t i = 0; i < queries.size(); ++i) {
-    group.Run([this, &queries, &results, i] {
+    group.Run([this, &queries, &results, i, has_deadline, deadline] {
+      // The pool cannot abort a running evaluation; shedding not-yet-started
+      // queries at the deadline is what bounds the batch's tail.
+      if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        results[i] = Status::DeadlineExceeded("batch deadline expired");
+        return;
+      }
       results[i] = Search(queries[i]);
     });
   }
@@ -197,6 +212,7 @@ QueryEngineStats QueryEngine::stats() const {
   out.planner_plans = planner_plans_.load(std::memory_order_relaxed);
   out.planner_short_circuits =
       planner_short_circuits_.load(std::memory_order_relaxed);
+  out.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -45,6 +45,12 @@ struct QueryEngineConfig {
   size_t cache_capacity_per_shard = 128;
   /// Master switch; false makes every query evaluate against the library.
   bool enable_cache = true;
+  /// Default per-batch deadline for SearchBatch in milliseconds; <= 0
+  /// disables. The pool cannot abort a running evaluation, so the deadline
+  /// is checked when each task starts: queries that have not begun by then
+  /// are shed with Status::DeadlineExceeded instead of evaluating, bounding
+  /// how long a batch can grow behind one slow query.
+  double deadline_ms = 0.0;
 };
 
 /// Aggregate counters across all queries answered by one engine.
@@ -57,6 +63,7 @@ struct QueryEngineStats {
   int64_t blocks_skipped = 0;    ///< text-index skip-block jumps
   int64_t planner_plans = 0;  ///< combined queries answered by the planner
   int64_t planner_short_circuits = 0;  ///< plans ended by a provably-empty stage
+  int64_t deadline_exceeded = 0;  ///< batch queries shed at their deadline
 
   double CacheHitRate() const {
     int64_t lookups = cache_hits + cache_misses;
@@ -70,8 +77,13 @@ class QueryEngine {
   /// are in flight.
   QueryEngine(const DigitalLibrary* library, QueryEngineConfig config);
 
-  /// One combined query through the cache.
-  Result<std::vector<SceneHit>> Search(const CombinedQuery& query);
+  /// One combined query through the cache. `text_seed` (optional) is a
+  /// precomputed text stage forwarded to DigitalLibrary::Search — results
+  /// are identical with or without it, so seeded and unseeded evaluations
+  /// share cache entries under the same normalized key.
+  Result<std::vector<SceneHit>> Search(
+      const CombinedQuery& query,
+      const std::map<int64_t, double>* text_seed = nullptr);
 
   /// Plans and executes `query` (bypassing the cache), returning the
   /// rendered plan: chosen stage order and estimated vs actual
@@ -84,8 +96,11 @@ class QueryEngine {
 
   /// Evaluates all queries concurrently on the pool; result i answers
   /// query i. Order is deterministic regardless of thread count.
+  /// `deadline_ms` overrides the config deadline for this batch (< 0 =
+  /// take the config value; 0 disables): queries not started by the
+  /// deadline return Status::DeadlineExceeded.
   std::vector<Result<std::vector<SceneHit>>> SearchBatch(
-      const std::vector<CombinedQuery>& queries);
+      const std::vector<CombinedQuery>& queries, double deadline_ms = -1.0);
 
   /// Snapshot of the aggregate counters.
   QueryEngineStats stats() const;
@@ -135,6 +150,7 @@ class QueryEngine {
   std::atomic<int64_t> blocks_skipped_{0};
   std::atomic<int64_t> planner_plans_{0};
   std::atomic<int64_t> planner_short_circuits_{0};
+  std::atomic<int64_t> deadline_exceeded_{0};
 };
 
 }  // namespace cobra::engine

@@ -1,0 +1,110 @@
+#include "engine/serving/partition.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "util/strings.h"
+
+namespace cobra::engine::serving {
+namespace {
+
+/// Contiguous-range assignment: distinct video ids sorted ascending and cut
+/// into `num_shards` near-equal slices; returns the (exclusive) upper id
+/// bound of each shard's range in shard order.
+std::vector<int64_t> RangeBoundaries(
+    const std::vector<core::VideoDescription>& videos, size_t num_shards) {
+  std::set<int64_t> distinct;
+  for (const core::VideoDescription& v : videos) distinct.insert(v.video_id());
+  std::vector<int64_t> sorted(distinct.begin(), distinct.end());
+  std::vector<int64_t> upper(num_shards, INT64_MAX);
+  const size_t m = sorted.size();
+  for (size_t s = 0; s + 1 < num_shards; ++s) {
+    const size_t cut = ((s + 1) * m) / num_shards;
+    // Upper bound of shard s = first id of the next slice (or +inf when the
+    // remaining slices are empty).
+    upper[s] = cut < m ? sorted[cut] : INT64_MAX;
+  }
+  return upper;
+}
+
+size_t ShardOf(int64_t video_id, const std::vector<int64_t>& upper) {
+  return static_cast<size_t>(
+      std::upper_bound(upper.begin(), upper.end(), video_id) -
+      upper.begin());
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DigitalLibrary>> BuildLibrary(const CorpusParts& parts) {
+  COBRA_ASSIGN_OR_RETURN(std::unique_ptr<DigitalLibrary> library,
+                         DigitalLibrary::Create(parts.store));
+  for (const auto& [oid, text] : parts.interviews) {
+    COBRA_RETURN_NOT_OK(library->AddInterview(oid, text));
+  }
+  COBRA_RETURN_NOT_OK(library->FinalizeText());
+  for (const core::VideoDescription& desc : parts.videos) {
+    COBRA_RETURN_NOT_OK(library->AddVideoDescription(desc));
+  }
+  return library;
+}
+
+Result<std::vector<std::unique_ptr<DigitalLibrary>>> BuildShardLibraries(
+    const CorpusParts& parts, size_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  const std::vector<int64_t> upper = RangeBoundaries(parts.videos, num_shards);
+  std::vector<std::unique_ptr<DigitalLibrary>> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    COBRA_ASSIGN_OR_RETURN(std::unique_ptr<DigitalLibrary> shard,
+                           DigitalLibrary::Create(parts.store));
+    for (const auto& [oid, text] : parts.interviews) {
+      COBRA_RETURN_NOT_OK(shard->AddInterview(oid, text));
+    }
+    COBRA_RETURN_NOT_OK(shard->FinalizeText());
+    for (const core::VideoDescription& desc : parts.videos) {
+      if (ShardOf(desc.video_id(), upper) != s) continue;
+      COBRA_RETURN_NOT_OK(shard->AddVideoDescription(desc));
+    }
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+Result<std::vector<std::unique_ptr<DurableLibrary>>> BuildDurableShards(
+    const CorpusParts& parts, size_t num_shards, const std::string& base_dir) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(base_dir, ec);
+  if (ec) {
+    return Status::Internal(
+        StringFormat("cannot create '%s': %s", base_dir.c_str(),
+                     ec.message().c_str()));
+  }
+  const std::vector<int64_t> upper = RangeBoundaries(parts.videos, num_shards);
+  std::vector<std::unique_ptr<DurableLibrary>> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const std::string dir =
+        base_dir + "/" + StringFormat("shard-%04zu", s);
+    COBRA_ASSIGN_OR_RETURN(std::unique_ptr<DurableLibrary> shard,
+                           DurableLibrary::Create(dir, parts.store));
+    for (const auto& [oid, text] : parts.interviews) {
+      COBRA_RETURN_NOT_OK(shard->AddInterview(oid, text));
+    }
+    COBRA_RETURN_NOT_OK(shard->FinalizeText());
+    for (const core::VideoDescription& desc : parts.videos) {
+      if (ShardOf(desc.video_id(), upper) != s) continue;
+      COBRA_RETURN_NOT_OK(shard->AddVideoDescription(desc));
+    }
+    COBRA_RETURN_NOT_OK(shard->Flush());
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+}  // namespace cobra::engine::serving

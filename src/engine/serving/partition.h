@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file partition.h
+/// Corpus partitioning for the serving tier (DESIGN.md §4i).
+///
+/// A shard is a complete DigitalLibrary over a *slice* of the video corpus:
+///   * the webspace concept store and the interview text index are
+///     REPLICATED into every shard — they are player-scoped, and tf-idf
+///     scores depend on the whole interview collection, so replication is
+///     what keeps per-shard results bit-identical to the unsharded oracle;
+///   * the video descriptions (meta-index) are RANGE-PARTITIONED by video
+///     id into contiguous slices, so each shard's minimum video id is a
+///     lower bound on every scene hit it can produce — the bound the
+///     scatter-gather merge terminates on.
+///
+/// Shards are built from the same raw parts the full library is built
+/// from, not by splitting a built library: replaying the identical insert
+/// sequence per shard is what guarantees identical dictionaries, postings
+/// and statistics on the replicated modalities.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/video_description.h"
+#include "engine/digital_library.h"
+#include "engine/durable_library.h"
+#include "webspace/store.h"
+
+namespace cobra::engine::serving {
+
+/// The raw inputs a library (sharded or not) is built from.
+struct CorpusParts {
+  webspace::WebspaceStore store;
+  /// (interview oid, text), in AddInterview order.
+  std::vector<std::pair<int64_t, std::string>> interviews;
+  /// Indexed videos, in AddVideoDescription order.
+  std::vector<core::VideoDescription> videos;
+};
+
+/// Builds the unsharded library — the oracle the serving tier is validated
+/// against: all interviews, all videos, text finalized.
+Result<std::unique_ptr<DigitalLibrary>> BuildLibrary(const CorpusParts& parts);
+
+/// Builds `num_shards` in-memory shard libraries: every shard gets a copy
+/// of the store and all interviews (finalized); the distinct video ids are
+/// sorted and split into `num_shards` contiguous ranges, and each shard
+/// indexes only the descriptions in its range (preserving the original
+/// insert order within the shard). Shards may be empty of videos when
+/// there are fewer videos than shards.
+Result<std::vector<std::unique_ptr<DigitalLibrary>>> BuildShardLibraries(
+    const CorpusParts& parts, size_t num_shards);
+
+/// Durable variant: shard i persists under `<base_dir>/shard-NNNN` (its own
+/// segment directory, created via DurableLibrary::Create and flushed), so a
+/// shard's segments are the unit a replica loads.
+Result<std::vector<std::unique_ptr<DurableLibrary>>> BuildDurableShards(
+    const CorpusParts& parts, size_t num_shards, const std::string& base_dir);
+
+}  // namespace cobra::engine::serving

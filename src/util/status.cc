@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Parse error";
     case StatusCode::kDetectorError:
       return "Detector error";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

@@ -26,6 +26,8 @@ enum class StatusCode : int {
   kInternal = 7,
   kParseError = 8,
   kDetectorError = 9,
+  kUnavailable = 10,        ///< transient overload — retry later (load shed)
+  kDeadlineExceeded = 11,   ///< the caller's deadline expired before completion
 };
 
 /// Human-readable name for a `StatusCode` ("OK", "Invalid argument", ...).
@@ -75,6 +77,12 @@ class Status {
   static Status DetectorError(std::string msg) {
     return Status(StatusCode::kDetectorError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
 
@@ -89,6 +97,10 @@ class Status {
   bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

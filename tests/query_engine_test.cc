@@ -242,6 +242,39 @@ TEST(QueryEngineConcurrencyTest, BatchResultsIndependentOfThreadCount) {
   EXPECT_GT(parallel.stats().cache_hits, 0);
 }
 
+TEST(QueryEngineDeadlineTest, ExpiredDeadlineShedsEveryBatchTask) {
+  auto library = MakeLibrary();
+  QueryEngineConfig config;
+  config.num_threads = 2;
+  config.deadline_ms = 1e-6;  // expires before any task can start
+  QueryEngine engine(library.get(), config);
+  std::vector<CombinedQuery> queries = MixedQueries();
+  auto results = engine.SearchBatch(queries);
+  ASSERT_EQ(results.size(), queries.size());
+  for (const auto& r : results) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsDeadlineExceeded()) << r.status().ToString();
+  }
+  EXPECT_EQ(engine.stats().deadline_exceeded,
+            static_cast<int64_t>(queries.size()));
+}
+
+TEST(QueryEngineDeadlineTest, GenerousDeadlineChangesNothing) {
+  auto library = MakeLibrary();
+  QueryEngineConfig config;
+  config.num_threads = 2;
+  QueryEngine engine(library.get(), config);
+  std::vector<CombinedQuery> queries = MixedQueries();
+  auto expected = engine.SearchBatch(queries);
+  auto got = engine.SearchBatch(queries, /*deadline_ms=*/1e9);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t q = 0; q < got.size(); ++q) {
+    ASSERT_TRUE(got[q].ok()) << got[q].status().ToString();
+    EXPECT_EQ(got[q].value().size(), expected[q].value().size());
+  }
+  EXPECT_EQ(engine.stats().deadline_exceeded, 0);
+}
+
 TEST(QueryEngineConcurrencyTest, ManyClientThreadsShareOneEngine) {
   auto library = MakeLibrary();
   QueryEngineConfig config;

@@ -31,9 +31,20 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(StatusTest, EveryCodeHasName) {
-  for (int c = 0; c <= 9; ++c) {
+  for (int c = 0; c <= 11; ++c) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
   }
+}
+
+TEST(StatusTest, ServingCodes) {
+  Status shed = Status::Unavailable("queues full");
+  EXPECT_TRUE(shed.IsUnavailable());
+  EXPECT_FALSE(shed.IsDeadlineExceeded());
+  EXPECT_EQ(shed.ToString(), "Unavailable: queues full");
+  Status late = Status::DeadlineExceeded("past due");
+  EXPECT_TRUE(late.IsDeadlineExceeded());
+  EXPECT_FALSE(late.IsUnavailable());
+  EXPECT_EQ(late.ToString(), "Deadline exceeded: past due");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
