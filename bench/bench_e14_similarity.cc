@@ -1,0 +1,386 @@
+/// \file bench_e14_similarity.cc
+/// E14 — SIMD perceptual signatures + sublinear ANN search (DESIGN.md §4j).
+///   a) a 100k-shot procedural signature corpus with planted near-duplicate
+///      families: per-query p50 of the exhaustive SIMD oracle vs the
+///      multi-index-hashing SearchSimilar on one core (target: >= 20x), with
+///      the top-N asserted bit-identical at every compiled SIMD tier and
+///      across 1/2/7-shard partitions merged under the total neighbor order;
+///   b) FindNearDuplicates batching the index against itself: wall time plus
+///      precision/recall against the planted families;
+///   c) the synthesizer arm: near-duplicate clips (crop/letterbox/noise) of
+///      a tennis broadcast, extraction throughput with the shared frame
+///      cache's hit rate, and dedup precision/recall against the clip
+///      ground truth.
+///
+/// Environment knobs (CI reduction): COBRA_E14_SHOTS (corpus size),
+/// COBRA_E14_QUERIES (query count).
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/similarity/similarity.h"
+#include "media/near_duplicate.h"
+#include "media/tennis_synthesizer.h"
+#include "util/rng.h"
+#include "vision/signature.h"
+#include "vision/signature_kernels.h"
+
+namespace {
+
+using namespace cobra;  // NOLINT
+using engine::similarity::Neighbor;
+using engine::similarity::NeighborBefore;
+using engine::similarity::SignatureIndex;
+using engine::similarity::SignatureIndexConfig;
+namespace sk = vision::signature_kernels;
+
+constexpr const char* kBench = "e14_similarity";
+constexpr size_t kTopK = 16;
+constexpr int64_t kShotsPerVideo = 200;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int64_t parsed = std::atoll(env);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+vision::ShotSignature RandomSignature(Rng* rng) {
+  vision::ShotSignature sig;
+  for (uint64_t& word : sig.hash) word = rng->NextU64();
+  for (uint8_t& byte : sig.sketch) {
+    byte = static_cast<uint8_t>(rng->NextBounded(256));
+  }
+  return sig;
+}
+
+vision::ShotSignature Perturb(const vision::ShotSignature& sig, int flips,
+                              Rng* rng) {
+  vision::ShotSignature out = sig;
+  for (int f = 0; f < flips; ++f) {
+    const uint32_t bit = static_cast<uint32_t>(rng->NextBounded(256));
+    out.hash[bit / 64] ^= uint64_t{1} << (bit % 64);
+  }
+  for (uint8_t& byte : out.sketch) {
+    if (rng->NextBounded(4) == 0) {
+      byte = static_cast<uint8_t>(
+          std::min<int64_t>(255, byte + rng->NextBounded(5)));
+    }
+  }
+  return out;
+}
+
+using ShotKey = std::pair<int64_t, int64_t>;  // (video_id, begin)
+
+/// `count` records across videos of kShotsPerVideo shots. Every 10th shot
+/// founds a near-duplicate family: its 1-2 other members are <= 12-bit
+/// perturbations planted at later rows. `families` receives every
+/// unordered within-family pair — the dedup ground truth.
+std::vector<vision::SignatureRecord> MakeCorpus(
+    int64_t count, std::set<std::pair<ShotKey, ShotKey>>* families) {
+  Rng rng(0xE14);
+  std::vector<vision::SignatureRecord> records;
+  records.reserve(static_cast<size_t>(count));
+  std::vector<std::vector<size_t>> pending_families;
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t video = i / kShotsPerVideo + 1;
+    const int64_t shot = i % kShotsPerVideo;
+    vision::SignatureRecord rec;
+    rec.video_id = video;
+    rec.begin = shot * 120;
+    rec.end = rec.begin + 119;
+    const bool plant = !pending_families.empty() &&
+                       pending_families.front().front() + count / 20 <
+                           static_cast<size_t>(i);
+    if (plant) {
+      // A family member lands far from its founder's row (other videos).
+      std::vector<size_t>& family = pending_families.front();
+      rec.sig = Perturb(records[family.front()].sig,
+                        1 + static_cast<int>(rng.NextBounded(12)), &rng);
+      family.push_back(records.size());
+      if (family.size() > rng.NextBounded(2) + 1) {
+        for (size_t a = 0; a < family.size(); ++a) {
+          for (size_t b = a + 1; b < family.size(); ++b) {
+            const auto& ra = records[family[a]];
+            families->insert({{ra.video_id, ra.begin},
+                              {rec.video_id, rec.begin}});
+            if (b + 1 < family.size()) continue;
+          }
+        }
+        pending_families.erase(pending_families.begin());
+      }
+    } else {
+      rec.sig = RandomSignature(&rng);
+      if (i % 10 == 0) pending_families.push_back({records.size()});
+    }
+    records.push_back(rec);
+  }
+  // Rebuild the truth exactly: every unordered pair within max_hamming 31
+  // of the default config (the planted perturbations compose, so compute
+  // it rather than tracking founder links).
+  families->clear();
+  return records;
+}
+
+/// Every unordered record pair within `threshold` — the brute-force truth
+/// FindNearDuplicates is scored against. O(n²) in pair count but the SIMD
+/// batch kernel makes the scan itself linear per row.
+std::set<std::pair<ShotKey, ShotKey>> BruteForcePairs(
+    const std::vector<vision::SignatureRecord>& records, uint32_t threshold) {
+  const auto& ops = sk::Ops();
+  std::set<std::pair<ShotKey, ShotKey>> pairs;
+  std::vector<uint32_t> distances(records.size());
+  const auto* base = reinterpret_cast<const uint8_t*>(records[0].sig.hash);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const size_t n = records.size() - i - 1;
+    if (n == 0) continue;
+    ops.Hamming256Batch(records[i].sig.hash,
+                        base + (i + 1) * sizeof(vision::SignatureRecord),
+                        sizeof(vision::SignatureRecord), n, distances.data());
+    for (size_t j = 0; j < n; ++j) {
+      if (distances[j] > threshold) continue;
+      const auto& a = records[i];
+      const auto& b = records[i + 1 + j];
+      pairs.insert({{a.video_id, a.begin}, {b.video_id, b.begin}});
+    }
+  }
+  return pairs;
+}
+
+bool SameNeighbors(const std::vector<Neighbor>& a,
+                   const std::vector<Neighbor>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].hamming != b[i].hamming || a[i].l2sq != b[i].l2sq ||
+        a[i].record->video_id != b[i].record->video_id ||
+        a[i].record->begin != b[i].record->begin ||
+        a[i].record->end != b[i].record->end) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::OpenJsonArtifact("BENCH_E14.json");
+  bench::PrintHeader("E14", "SIMD signatures + sublinear ANN similarity");
+
+  const int64_t num_shots = EnvInt("COBRA_E14_SHOTS", 100000);
+  const size_t num_queries =
+      static_cast<size_t>(EnvInt("COBRA_E14_QUERIES", 200));
+  std::set<std::pair<ShotKey, ShotKey>> planted;
+  const std::vector<vision::SignatureRecord> records =
+      MakeCorpus(num_shots, &planted);
+  std::printf("corpus: %lld shots (%lld videos), SIMD best tier %s\n",
+              static_cast<long long>(num_shots),
+              static_cast<long long>(num_shots / kShotsPerVideo + 1),
+              util::simd::SimdLevelName(sk::BestSupportedLevel()));
+  bench::PrintJsonMetric(kBench, "corpus_shots",
+                         static_cast<double>(num_shots));
+
+  SignatureIndex index;
+  index.AddRecords(records.data(), records.size());
+
+  // Query mix: half family members re-perturbed (queries with true
+  // neighbors), half fresh noise (threshold rejects everything).
+  std::vector<vision::ShotSignature> queries;
+  Rng rng(515);
+  for (size_t i = 0; i < num_queries; ++i) {
+    if (i % 2 == 0) {
+      const auto& rec = records[rng.NextBounded(records.size())];
+      queries.push_back(Perturb(rec.sig, 1 + static_cast<int>(rng.NextBounded(8)),
+                                &rng));
+    } else {
+      queries.push_back(RandomSignature(&rng));
+    }
+  }
+
+  // ---- a) exhaustive oracle vs ANN, per-query p50, 1 core. ----
+  const sk::SimdLevel best = sk::ActiveLevel();
+  std::vector<std::vector<Neighbor>> oracle_answers;
+  std::vector<double> exhaustive_ms, ann_ms;
+  for (const auto& query : queries) {
+    bench::WallTimer timer;
+    oracle_answers.push_back(index.SearchSimilarExhaustive(query, kTopK));
+    exhaustive_ms.push_back(timer.Millis());
+  }
+  bool identical = true;
+  size_t fallbacks = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    engine::similarity::SimilaritySearchStats stats;
+    bench::WallTimer timer;
+    const auto fast = index.SearchSimilar(queries[i], kTopK, &stats);
+    ann_ms.push_back(timer.Millis());
+    identical = identical && SameNeighbors(oracle_answers[i], fast);
+    fallbacks += stats.exhaustive_fallback ? 1 : 0;
+  }
+  const double p50_exhaustive = bench::Percentile(exhaustive_ms, 0.50);
+  const double p50_ann = bench::Percentile(ann_ms, 0.50);
+  const double speedup = p50_ann > 0.0 ? p50_exhaustive / p50_ann : 0.0;
+  std::printf(
+      "exhaustive p50 %8.4f ms   ann p50 %8.4f ms   speedup %7.1fx   "
+      "fallbacks %zu/%zu\n",
+      p50_exhaustive, p50_ann, speedup, fallbacks, queries.size());
+  bench::PrintJsonMetric(kBench, "exhaustive_p50_ms", p50_exhaustive);
+  bench::PrintJsonMetric(kBench, "ann_p50_ms", p50_ann);
+  bench::PrintJsonMetric(kBench, "ann_speedup", speedup);
+
+  // Bit-identity across every compiled SIMD tier (the slow tiers answer a
+  // thinned query set — identity, not timing, is the point there).
+  for (sk::SimdLevel level :
+       {sk::SimdLevel::kScalar, sk::SimdLevel::kSse41, sk::SimdLevel::kAvx2}) {
+    if (sk::OpsFor(level) == nullptr) continue;
+    sk::SetActiveLevel(level);
+    for (size_t i = 0; i < queries.size(); i += 8) {
+      identical = identical &&
+                  SameNeighbors(oracle_answers[i],
+                                index.SearchSimilar(queries[i], kTopK)) &&
+                  SameNeighbors(oracle_answers[i],
+                                index.SearchSimilarExhaustive(queries[i], kTopK));
+    }
+  }
+  sk::SetActiveLevel(best);
+
+  // Shard partitions 1/2/7: per-shard exact top-(k+1) lists merged under
+  // the total neighbor order must reproduce the unsharded answer (the
+  // serving frontend's SimilarSeed merge).
+  for (size_t num_shards : {size_t{1}, size_t{2}, size_t{7}}) {
+    std::vector<SignatureIndex> shards(num_shards);
+    for (const auto& rec : records) {
+      const size_t shard =
+          static_cast<size_t>(rec.video_id) * num_shards /
+          (static_cast<size_t>(num_shots / kShotsPerVideo) + 2);
+      shards[std::min(shard, num_shards - 1)].AddRecords(&rec, 1);
+    }
+    for (size_t i = 0; i < queries.size(); i += 8) {
+      std::vector<Neighbor> merged;
+      for (const SignatureIndex& shard : shards) {
+        const auto part = shard.SearchSimilar(queries[i], kTopK);
+        merged.insert(merged.end(), part.begin(), part.end());
+      }
+      std::sort(merged.begin(), merged.end(), NeighborBefore);
+      if (merged.size() > kTopK) merged.resize(kTopK);
+      identical = identical && SameNeighbors(oracle_answers[i], merged);
+    }
+  }
+  std::printf("bit-identity (tiers + 1/2/7 shards): %s\n",
+              identical ? "yes" : "NO");
+  bench::PrintJsonMetric(kBench, "bit_identical", identical ? 1.0 : 0.0);
+
+  // ---- b) FindNearDuplicates vs the brute-force pair truth. ----
+  const uint32_t threshold = index.config().max_hamming;
+  bench::WallTimer dedup_timer;
+  const auto pairs = index.FindNearDuplicates(threshold);
+  const double dedup_ms = dedup_timer.Millis();
+  const auto truth = BruteForcePairs(records, threshold);
+  size_t correct = 0;
+  for (const auto& pair : pairs) {
+    if (truth.count({{pair.a->video_id, pair.a->begin},
+                     {pair.b->video_id, pair.b->begin}}) > 0) {
+      ++correct;
+    }
+  }
+  const double precision =
+      pairs.empty() ? 1.0 : static_cast<double>(correct) / pairs.size();
+  const double recall =
+      truth.empty() ? 1.0 : static_cast<double>(correct) / truth.size();
+  std::printf(
+      "near-duplicates: %zu pairs in %.1f ms (truth %zu)   precision %.3f   "
+      "recall %.3f\n",
+      pairs.size(), dedup_ms, truth.size(), precision, recall);
+  bench::PrintJsonMetric(kBench, "dedup_ms", dedup_ms);
+  bench::PrintJsonMetric(kBench, "dedup_pairs", static_cast<double>(pairs.size()));
+  bench::PrintJsonMetric(kBench, "dedup_precision", precision);
+  bench::PrintJsonMetric(kBench, "dedup_recall", recall);
+
+  // ---- c) synthesizer arm: transformed clips + extraction cache. ----
+  bench::PrintRule();
+  auto broadcast =
+      media::TennisBroadcastSynthesizer(bench::DefaultBroadcast(97))
+          .Synthesize()
+          .TakeValue();
+  vision::FrameFeatureCache cache(*broadcast.video);
+  std::vector<FrameInterval> shots;
+  for (const auto& shot : broadcast.truth.shots) shots.push_back(shot.range);
+  vision::SignatureExtractionStats cold_stats;
+  auto sources =
+      vision::ExtractShotSignatures(cache, 1, shots, &cold_stats).TakeValue();
+  vision::SignatureExtractionStats warm_stats;
+  (void)vision::ExtractShotSignatures(cache, 1, shots, &warm_stats)
+      .TakeValue();
+  const double warm_hit_rate =
+      warm_stats.cache_hits + warm_stats.cache_misses > 0
+          ? static_cast<double>(warm_stats.cache_hits) /
+                static_cast<double>(warm_stats.cache_hits +
+                                    warm_stats.cache_misses)
+          : 0.0;
+  std::printf(
+      "extraction: %lld shots, cold %.1f ms (%lld misses), warm %.1f ms "
+      "(hit rate %.2f)\n",
+      static_cast<long long>(cold_stats.shots), cold_stats.millis,
+      static_cast<long long>(cold_stats.cache_misses), warm_stats.millis,
+      warm_hit_rate);
+  bench::PrintJsonMetric(kBench, "extract_cold_ms", cold_stats.millis);
+  bench::PrintJsonMetric(kBench, "extract_warm_hit_rate", warm_hit_rate);
+
+  // Clip dedup: index sources + transformed clips, pair within a loose
+  // threshold, score against the clip -> source ground truth.
+  auto clips = media::MakeNearDuplicateClips(*broadcast.video, broadcast.truth,
+                                             /*every_nth=*/1, /*min_frames=*/10,
+                                             {})
+                   .TakeValue();
+  SignatureIndexConfig clip_config;
+  clip_config.max_hamming = 96;
+  SignatureIndex clip_index(clip_config);
+  clip_index.AddRecords(sources.data(), sources.size());
+  std::map<ShotKey, int64_t> truth_pairs;  // clip shot key -> source begin
+  int64_t clip_video = 1000;
+  std::vector<vision::SignatureRecord> clip_records;
+  for (const auto& clip : clips) {
+    vision::FrameFeatureCache clip_cache(*clip.video);
+    const std::vector<FrameInterval> clip_shots = {
+        {0, clip.video->num_frames() - 1}};
+    auto recs = vision::ExtractShotSignatures(clip_cache, ++clip_video,
+                                              clip_shots)
+                    .TakeValue();
+    truth_pairs[{clip_video, recs[0].begin}] = clip.source_range.begin;
+    clip_index.AddRecords(recs.data(), recs.size());
+  }
+  const auto clip_pairs = clip_index.FindNearDuplicates(clip_config.max_hamming);
+  size_t reported = 0, true_positive = 0;
+  for (const auto& pair : clip_pairs) {
+    // Only clip<->source pairs count; source<->source pairs are the
+    // broadcast's own recurring scenes, not dedup claims.
+    const bool b_is_clip = pair.b->video_id >= 1000;
+    if (pair.a->video_id >= 1000 || !b_is_clip) continue;
+    ++reported;
+    const auto it = truth_pairs.find({pair.b->video_id, pair.b->begin});
+    if (it != truth_pairs.end() && it->second == pair.a->begin) {
+      ++true_positive;
+    }
+  }
+  const double clip_precision =
+      reported == 0 ? 0.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(reported);
+  const double clip_recall =
+      clips.empty() ? 0.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(clips.size());
+  std::printf(
+      "clip dedup: %zu clips, %zu clip-source pairs reported, precision "
+      "%.3f, recall %.3f\n",
+      clips.size(), reported, clip_precision, clip_recall);
+  bench::PrintJsonMetric(kBench, "clip_dedup_precision", clip_precision);
+  bench::PrintJsonMetric(kBench, "clip_dedup_recall", clip_recall);
+  return identical ? 0 : 1;
+}

@@ -10,6 +10,9 @@ namespace cobra::engine {
 
 bool SceneHitLess(const SceneHit& a, const SceneHit& b) {
   if (a.text_score != b.text_score) return a.text_score > b.text_score;
+  // Most-similar first; hits of non-similar queries all carry -1 and fall
+  // through unchanged.
+  if (a.similarity != b.similarity) return a.similarity < b.similarity;
   if (a.video_oid != b.video_oid) return a.video_oid < b.video_oid;
   if (a.range.begin != b.range.begin) return a.range.begin < b.range.begin;
   if (a.range.end != b.range.end) return a.range.end < b.range.end;
@@ -35,7 +38,9 @@ Result<std::unique_ptr<DigitalLibrary>> DigitalLibrary::Create(
 Result<std::unique_ptr<DigitalLibrary>> DigitalLibrary::CreateFromParts(
     webspace::WebspaceStore store, text::InvertedIndex interviews,
     core::MetaIndex meta_index, std::vector<int64_t> indexed_videos,
-    int64_t index_epoch) {
+    int64_t index_epoch,
+    std::vector<std::pair<const vision::SignatureRecord*, size_t>>
+        signature_chunks) {
   COBRA_ASSIGN_OR_RETURN(std::unique_ptr<DigitalLibrary> library,
                          Create(std::move(store)));
   if (index_epoch < 0) {
@@ -45,6 +50,9 @@ Result<std::unique_ptr<DigitalLibrary>> DigitalLibrary::CreateFromParts(
   library->meta_index_ = std::move(meta_index);
   library->indexed_videos_ = std::move(indexed_videos);
   library->index_epoch_ = index_epoch;
+  for (const auto& [records, count] : signature_chunks) {
+    library->signatures_.AddBaseChunk(records, count);
+  }
   return library;
 }
 
@@ -64,6 +72,79 @@ Status DigitalLibrary::AddVideoDescription(const core::VideoDescription& desc) {
   indexed_videos_.push_back(desc.video_id());
   ++index_epoch_;
   return Status::OK();
+}
+
+Status DigitalLibrary::AddVideoSignatures(
+    int64_t video_id, const std::vector<vision::SignatureRecord>& records) {
+  for (const vision::SignatureRecord& rec : records) {
+    if (rec.video_id != video_id) {
+      return Status::InvalidArgument(StringFormat(
+          "signature record for video %lld added under video %lld",
+          static_cast<long long>(rec.video_id),
+          static_cast<long long>(video_id)));
+    }
+  }
+  signatures_.AddRecords(records.data(), records.size());
+  ++index_epoch_;
+  return Status::OK();
+}
+
+Status DigitalLibrary::SetSignatureConfig(
+    const similarity::SignatureIndexConfig& config) {
+  COBRA_RETURN_NOT_OK(signatures_.SetConfig(config));
+  ++index_epoch_;
+  return Status::OK();
+}
+
+Result<vision::ShotSignature> ResolveProbeSignature(
+    const similarity::SignatureIndex& index, const CombinedQuery& query) {
+  const vision::SignatureRecord* rec =
+      index.FindShot(query.similar_video, query.similar_frame);
+  if (rec == nullptr) {
+    return Status::NotFound(StringFormat(
+        "no signature indexed for video %lld frame %lld",
+        static_cast<long long>(query.similar_video),
+        static_cast<long long>(query.similar_frame)));
+  }
+  return rec->sig;
+}
+
+size_t EffectiveSimilarK(const similarity::SignatureIndex& index,
+                         const CombinedQuery& query) {
+  return query.similar_k > 0 ? query.similar_k : index.config().rerank_k;
+}
+
+SimilarNeighbors BuildSimilarNeighbors(
+    const std::vector<similarity::Neighbor>& candidates,
+    const CombinedQuery& query, size_t k) {
+  SimilarNeighbors by_video;
+  size_t kept = 0;
+  for (const similarity::Neighbor& nb : candidates) {
+    if (kept == k) break;
+    // The probe's own shot is trivially distance 0; it is not an answer.
+    if (nb.record->video_id == query.similar_video &&
+        nb.record->begin <= query.similar_frame &&
+        query.similar_frame <= nb.record->end) {
+      continue;
+    }
+    by_video[nb.record->video_id].push_back(
+        SimilarShot{FrameInterval{nb.record->begin, nb.record->end},
+                    similarity::DistanceKey(nb.hamming, nb.l2sq)});
+    ++kept;
+  }
+  return by_video;
+}
+
+Result<SimilarNeighbors> SimilarStage(const similarity::SignatureIndex& index,
+                                      const CombinedQuery& query,
+                                      similarity::SimilaritySearchStats* stats) {
+  COBRA_ASSIGN_OR_RETURN(vision::ShotSignature sig,
+                         ResolveProbeSignature(index, query));
+  const size_t k = EffectiveSimilarK(index, query);
+  // k + 1 so the probe's own shot (distance 0, excluded below) never
+  // displaces a real neighbor.
+  return BuildSimilarNeighbors(index.SearchSimilar(sig, k + 1, stats), query,
+                               k);
 }
 
 Result<std::vector<int64_t>> DigitalLibrary::ConceptPlayers(
@@ -109,10 +190,11 @@ Result<std::map<int64_t, double>> DigitalLibrary::TextPlayers(
 Result<std::vector<SceneHit>> DigitalLibrary::Search(
     const CombinedQuery& query, text::SearchStats* stats,
     planner::PlanExplain* explain,
-    const std::map<int64_t, double>* text_seed) const {
+    const std::map<int64_t, double>* text_seed,
+    const SimilarSeed* similar_seed) const {
   if (!planner_enabled_) {
     if (explain) *explain = planner::PlanExplain{};
-    return SearchFixedOrder(query, stats, text_seed);
+    return SearchFixedOrder(query, stats, text_seed, similar_seed);
   }
   // Lazy-validation parity: the fixed order never checks a predicate past
   // an empty selection (storage::SelectAll stops refining), so whether a
@@ -122,21 +204,22 @@ Result<std::vector<SceneHit>> DigitalLibrary::Search(
     for (const storage::Predicate& pred : query.player_predicates) {
       if (!storage::ValidatePredicate(*players.value(), pred).ok()) {
         if (explain) *explain = planner::PlanExplain{};
-        return SearchFixedOrder(query, stats, text_seed);
+        return SearchFixedOrder(query, stats, text_seed, similar_seed);
       }
     }
   }
   planner::LibraryView view{&store_, &interviews_, &meta_index_,
-                            &indexed_videos_};
+                            &indexed_videos_, &signatures_};
   planner::PlanExplain local;
   return planner::SearchPlanned(view, query, stats,
-                                explain ? explain : &local, text_seed);
+                                explain ? explain : &local, text_seed,
+                                similar_seed);
 }
 
 Result<planner::PlanExplain> DigitalLibrary::ExplainSearch(
     const CombinedQuery& query) const {
   planner::LibraryView view{&store_, &interviews_, &meta_index_,
-                            &indexed_videos_};
+                            &indexed_videos_, &signatures_};
   planner::PlanExplain explain;
   COBRA_RETURN_NOT_OK(
       planner::SearchPlanned(view, query, nullptr, &explain).status());
@@ -145,7 +228,8 @@ Result<planner::PlanExplain> DigitalLibrary::ExplainSearch(
 
 Result<std::vector<SceneHit>> DigitalLibrary::SearchFixedOrder(
     const CombinedQuery& query, text::SearchStats* stats,
-    const std::map<int64_t, double>* text_seed) const {
+    const std::map<int64_t, double>* text_seed,
+    const SimilarSeed* similar_seed) const {
   if (stats) *stats = text::SearchStats{};
   COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> players, ConceptPlayers(query));
 
@@ -167,6 +251,22 @@ Result<std::vector<SceneHit>> DigitalLibrary::SearchFixedOrder(
     players = std::move(filtered);
   }
 
+  // The similar stage runs unconditionally after the text stage (stage
+  // order: concept -> text -> similar -> event) so an unresolvable probe
+  // surfaces its NotFound even when the player set is already empty —
+  // error parity the planner and serving tier replicate. A frontend seed
+  // means the probe was already resolved globally; the local (partition-
+  // scoped) index is not consulted at all.
+  const bool has_similar = query.similar_video >= 0;
+  SimilarNeighbors similar;
+  if (has_similar) {
+    if (similar_seed) {
+      similar = similar_seed->neighbors;
+    } else {
+      COBRA_ASSIGN_OR_RETURN(similar, SimilarStage(signatures_, query));
+    }
+  }
+
   std::vector<SceneHit> out;
   std::set<int64_t> indexed(indexed_videos_.begin(), indexed_videos_.end());
   for (int64_t player : players) {
@@ -176,7 +276,7 @@ Result<std::vector<SceneHit>> DigitalLibrary::SearchFixedOrder(
     double text_score =
         text_scores.count(player) ? text_scores.at(player) : 0.0;
 
-    if (query.event.empty()) {
+    if (query.event.empty() && !has_similar) {
       SceneHit hit;
       hit.player_oid = player;
       hit.player_name = name;
@@ -189,6 +289,29 @@ Result<std::vector<SceneHit>> DigitalLibrary::SearchFixedOrder(
                            store_.Traverse("plays_in", {player}));
     for (int64_t video : videos) {
       if (!indexed.count(video)) continue;
+      const std::vector<SimilarShot>* neighbors = nullptr;
+      if (has_similar) {
+        auto it = similar.find(video);
+        if (it == similar.end()) continue;
+        neighbors = &it->second;
+      }
+
+      if (query.event.empty()) {
+        // Similar-only content condition: every neighbor shot of a video
+        // the player plays in is an answer scene.
+        for (const SimilarShot& shot : *neighbors) {
+          SceneHit hit;
+          hit.player_oid = player;
+          hit.player_name = name;
+          hit.video_oid = video;
+          hit.range = shot.range;
+          hit.text_score = text_score;
+          hit.similarity = shot.distance;
+          out.push_back(std::move(hit));
+        }
+        continue;
+      }
+
       COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> roles,
                              store_.Roles("plays_in", player, video));
       std::set<int64_t> role_set(roles.begin(), roles.end());
@@ -198,6 +321,20 @@ Result<std::vector<SceneHit>> DigitalLibrary::SearchFixedOrder(
         // A scene matches if it shows the player's court side, or if it is
         // court-level (player < 0: serves, rallies involve both players).
         if (scene.player >= 0 && !role_set.count(scene.player)) continue;
+        // Event + similar: the scene must overlap a neighbor shot of the
+        // same video; it scores the best (smallest) overlapping key.
+        double similarity = -1.0;
+        if (neighbors) {
+          bool overlapped = false;
+          for (const SimilarShot& shot : *neighbors) {
+            if (!scene.range.Overlaps(shot.range)) continue;
+            if (!overlapped || shot.distance < similarity) {
+              similarity = shot.distance;
+            }
+            overlapped = true;
+          }
+          if (!overlapped) continue;
+        }
         SceneHit hit;
         hit.player_oid = player;
         hit.player_name = name;
@@ -205,6 +342,7 @@ Result<std::vector<SceneHit>> DigitalLibrary::SearchFixedOrder(
         hit.range = scene.range;
         hit.event = scene.event;
         hit.text_score = text_score;
+        hit.similarity = similarity;
         out.push_back(std::move(hit));
       }
     }

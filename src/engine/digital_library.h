@@ -22,6 +22,7 @@
 #include "core/meta_index.h"
 #include "core/video_description.h"
 #include "engine/planner/plan.h"
+#include "engine/similarity/similarity.h"
 #include "text/inverted_index.h"
 #include "webspace/query.h"
 #include "webspace/store.h"
@@ -36,6 +37,11 @@ struct SceneHit {
   FrameInterval range;         ///< empty when the query had no content part
   std::string event;
   double text_score = 0.0;     ///< best interview score when text was queried
+  /// similarity::DistanceKey to the probe shot when the query had a
+  /// similar_to condition (smaller = more similar); -1 otherwise. For event
+  /// + similar queries this is the best key among neighbor shots the scene
+  /// overlaps.
+  double similarity = -1.0;
 };
 
 /// The combined concept + content + text query.
@@ -52,7 +58,61 @@ struct CombinedQuery {
   size_t text_top_k = 10;
   /// Content-based condition: only scenes showing this event (empty = none).
   std::string event;
+  /// Query-by-example condition (similar_video >= 0 = present): scenes
+  /// perceptually similar to the shot of `similar_video` containing frame
+  /// `similar_frame`. Top `similar_k` neighbor shots are considered (0 =
+  /// the index's rerank_k default), excluding the probe shot itself.
+  int64_t similar_video = -1;
+  int64_t similar_frame = -1;
+  size_t similar_k = 0;
 };
+
+/// One neighbor shot of the similar stage: its interval and its
+/// similarity::DistanceKey to the probe.
+struct SimilarShot {
+  FrameInterval range;
+  double distance = 0.0;
+};
+
+/// The similar stage's result: neighbor shots grouped by video oid (the
+/// shape both search paths and the planner consume).
+using SimilarNeighbors = std::map<int64_t, std::vector<SimilarShot>>;
+
+/// Resolved similar stage fanned out shard-wide by the serving frontend —
+/// the partitioned-modality analog of `text_seed`. The signature modality
+/// is partitioned (each shard indexes only its videos), so the frontend
+/// resolves the probe signature and the *global* top-k neighbor set once
+/// (merging per-shard candidate lists under the total neighbor order) and
+/// every shard consumes the same set; a shard contributes exactly the
+/// hits of its own videos and the union reproduces the unsharded answer.
+struct SimilarSeed {
+  vision::ShotSignature signature;
+  SimilarNeighbors neighbors;
+};
+
+/// Resolves the probe signature of `query` from `index` (NotFound when the
+/// probe scene has no indexed signature).
+Result<vision::ShotSignature> ResolveProbeSignature(
+    const similarity::SignatureIndex& index, const CombinedQuery& query);
+
+/// Groups a *sorted* candidate list (SearchSimilar order) into
+/// SimilarNeighbors: drops the probe shot itself, truncates to `k`
+/// neighbors, groups by video. Shared by the library paths and the
+/// serving frontend's cross-shard merge.
+SimilarNeighbors BuildSimilarNeighbors(
+    const std::vector<similarity::Neighbor>& candidates,
+    const CombinedQuery& query, size_t k);
+
+/// The full similar stage against one index: resolve, search (k + 1
+/// candidates so the probe's own shot never displaces a neighbor), group.
+Result<SimilarNeighbors> SimilarStage(
+    const similarity::SignatureIndex& index, const CombinedQuery& query,
+    similarity::SimilaritySearchStats* stats = nullptr);
+
+/// Effective neighbor count of `query` against `index` (similar_k, or the
+/// index's rerank_k default when unset).
+size_t EffectiveSimilarK(const similarity::SignatureIndex& index,
+                         const CombinedQuery& query);
 
 class DigitalLibrary {
  public:
@@ -66,10 +126,15 @@ class DigitalLibrary {
   /// replayed through AddInterview by the caller. The epoch is restored so
   /// epoch-tagged query caches built against the persisted library stay
   /// coherent across restarts.
+  /// `signature_chunks` are zero-copy views into persisted signature
+  /// sections (the caller keeps the backing segments mapped for the
+  /// library's lifetime).
   static Result<std::unique_ptr<DigitalLibrary>> CreateFromParts(
       webspace::WebspaceStore store, text::InvertedIndex interviews,
       core::MetaIndex meta_index, std::vector<int64_t> indexed_videos,
-      int64_t index_epoch);
+      int64_t index_epoch,
+      std::vector<std::pair<const vision::SignatureRecord*, size_t>>
+          signature_chunks = {});
 
   const webspace::WebspaceStore& store() const { return store_; }
   const core::MetaIndex& meta_index() const { return meta_index_; }
@@ -87,6 +152,21 @@ class DigitalLibrary {
   /// Adds an indexed video. desc.video_id() must equal the Video object's
   /// oid in the webspace store.
   Status AddVideoDescription(const core::VideoDescription& desc);
+
+  /// Adds per-shot perceptual signatures for `video_id` (the similar_to
+  /// modality; DESIGN.md §4j). Every record must carry that video id.
+  Status AddVideoSignatures(int64_t video_id,
+                            const std::vector<vision::SignatureRecord>& records);
+
+  /// The signature ANN index (similar_to evaluation + serialization
+  /// surface).
+  const similarity::SignatureIndex& signatures() const { return signatures_; }
+
+  /// Reconfigures the signature index (band count, bits, threshold),
+  /// rebuilding its tables over the records already added. Results of
+  /// similar_to queries may legitimately change (the threshold is part of
+  /// the query semantics), so the epoch is bumped.
+  Status SetSignatureConfig(const similarity::SignatureIndexConfig& config);
 
   /// Monotonic counter bumped whenever a successful mutation changes what
   /// Search can return (FinalizeText, AddVideoDescription). Query-result
@@ -111,10 +191,16 @@ class DigitalLibrary {
   /// out). When non-null and the query has a text condition, the text
   /// stage is taken verbatim from the seed instead of re-running the DAAT
   /// — results are bit-identical by construction.
+  ///
+  /// `similar_seed` is the same hook for the similar_to modality, which is
+  /// *partitioned* rather than replicated: the frontend resolves the probe
+  /// signature and global neighbor set once and every shard consumes it
+  /// verbatim (see SimilarSeed).
   Result<std::vector<SceneHit>> Search(
       const CombinedQuery& query, text::SearchStats* stats = nullptr,
       planner::PlanExplain* explain = nullptr,
-      const std::map<int64_t, double>* text_seed = nullptr) const;
+      const std::map<int64_t, double>* text_seed = nullptr,
+      const SimilarSeed* similar_seed = nullptr) const;
 
   /// The original fixed-order pipeline (concept scan -> text -> events),
   /// kept verbatim as the reference oracle the planner is validated
@@ -122,7 +208,8 @@ class DigitalLibrary {
   /// `text_seed` hook as Search.
   Result<std::vector<SceneHit>> SearchFixedOrder(
       const CombinedQuery& query, text::SearchStats* stats = nullptr,
-      const std::map<int64_t, double>* text_seed = nullptr) const;
+      const std::map<int64_t, double>* text_seed = nullptr,
+      const SimilarSeed* similar_seed = nullptr) const;
 
   /// The text stage in isolation: players scored by their best interview
   /// for `text` (top_k interviews ranked, walked back through
@@ -172,14 +259,15 @@ class DigitalLibrary {
   text::InvertedIndex interviews_;
   core::MetaIndex meta_index_;
   std::vector<int64_t> indexed_videos_;
+  similarity::SignatureIndex signatures_;
   int64_t index_epoch_ = 0;
   bool planner_enabled_ = true;
 };
 
 /// The total order both Search paths sort hits by (text score descending,
-/// then video, scene start, scene end, player oid, event name). Shared so
-/// the planner is bit-identical to the fixed-order pipeline by
-/// construction once the hit multisets agree.
+/// then similarity distance ascending, then video, scene start, scene end,
+/// player oid, event name). Shared so the planner is bit-identical to the
+/// fixed-order pipeline by construction once the hit multisets agree.
 bool SceneHitLess(const SceneHit& a, const SceneHit& b);
 
 }  // namespace cobra::engine

@@ -103,6 +103,8 @@ storage::segment::LibraryDelta DurableLibrary::BuildDeltaLocked(
   delta.compressed_text = compressed;
   // A snapshot contains every interview, so pending would be redundant.
   if (text == nullptr) delta.pending_interviews = pending_;
+  delta.signature_chunks =
+      library_->signatures().OwnedFrom(signatures_flushed_rows_);
   return delta;
 }
 
@@ -159,6 +161,7 @@ Status DurableLibrary::FlushLocked(bool /*flush_on_open*/) {
   objects_flushed_rows_ = meta.objects().num_rows();
   events_flushed_rows_ = meta.events().num_rows();
   videos_flushed_ = library_->indexed_videos().size();
+  signatures_flushed_rows_ = library_->signatures().num_records();
   if (include_text) text_persisted_ = true;
   pending_.clear();
   return Status::OK();
@@ -223,7 +226,8 @@ Result<std::unique_ptr<DurableLibrary>> DurableLibrary::Open(
       std::unique_ptr<DigitalLibrary> library,
       DigitalLibrary::CreateFromParts(std::move(store), std::move(text),
                                       std::move(meta), parts.indexed_videos,
-                                      parts.index_epoch));
+                                      parts.index_epoch,
+                                      std::move(parts.signature_chunks)));
   if (!have_text) {
     // Persisted but not yet finalized interviews: re-add so a later
     // FinalizeText sees them. They are already durable — not pending.
@@ -259,6 +263,7 @@ Result<std::unique_ptr<DurableLibrary>> DurableLibrary::Open(
     out->objects_flushed_rows_ = restored_meta.objects().num_rows();
     out->events_flushed_rows_ = restored_meta.events().num_rows();
     out->videos_flushed_ = out->library_->indexed_videos().size();
+    out->signatures_flushed_rows_ = out->library_->signatures().num_records();
   }
 
   // Replay the WAL's intact prefix through the regular mutation paths.
@@ -277,6 +282,10 @@ Result<std::unique_ptr<DurableLibrary>> DurableLibrary::Open(
         break;
       case seg::WalRecordType::kAddVideo:
         COBRA_RETURN_NOT_OK(out->library_->AddVideoDescription(record.video));
+        break;
+      case seg::WalRecordType::kAddSignatures:
+        COBRA_RETURN_NOT_OK(out->library_->AddVideoSignatures(
+            record.signature_video, record.signatures));
         break;
     }
   }
@@ -326,6 +335,12 @@ Status DurableLibrary::FinalizeText() {
 Status DurableLibrary::AddVideoDescription(const core::VideoDescription& desc) {
   COBRA_RETURN_NOT_OK(library_->AddVideoDescription(desc));
   return wal_.AppendVideo(desc);
+}
+
+Status DurableLibrary::AddVideoSignatures(
+    int64_t video_id, const std::vector<vision::SignatureRecord>& records) {
+  COBRA_RETURN_NOT_OK(library_->AddVideoSignatures(video_id, records));
+  return wal_.AppendSignatures(video_id, records);
 }
 
 Status DurableLibrary::Flush() {
@@ -382,6 +397,8 @@ Status DurableLibrary::Compact() {
   if (!parts.text.has_value()) {
     delta.pending_interviews = std::move(parts.pending_interviews);
   }
+  // Chunks borrow from `inputs`, which stay alive through WriteSegment.
+  delta.signature_chunks = parts.signature_chunks;
 
   std::string seg_name;
   {

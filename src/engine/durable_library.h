@@ -74,6 +74,8 @@ class DurableLibrary {
   Status AddInterview(int64_t interview_oid, const std::string& text);
   Status FinalizeText();
   Status AddVideoDescription(const core::VideoDescription& desc);
+  Status AddVideoSignatures(int64_t video_id,
+                            const std::vector<vision::SignatureRecord>& records);
 
   /// Folds everything since the last flush into a new segment and starts
   /// a fresh WAL. After Flush returns, the window is durable without the
@@ -135,6 +137,7 @@ class DurableLibrary {
   int64_t objects_flushed_rows_ = 0;
   int64_t events_flushed_rows_ = 0;
   size_t videos_flushed_ = 0;
+  size_t signatures_flushed_rows_ = 0;
   bool text_persisted_ = false;
   /// Interviews added (pre-finalize) since the last flush.
   std::vector<std::pair<int64_t, std::string>> pending_;

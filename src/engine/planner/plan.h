@@ -42,6 +42,12 @@ struct PlanExplain {
   /// The text stage was taken from a frontend-provided seed (serving tier,
   /// DESIGN.md §4i) instead of running the DAAT locally.
   bool text_seeded = false;
+  /// The similar stage was taken from a frontend-provided SimilarSeed
+  /// (serving tier, DESIGN.md §4j) instead of probing the ANN index.
+  bool similar_seeded = false;
+  /// The similar stage's neighbor video set was pushed into the event scan
+  /// as a video filter (only videos holding a neighbor shot are scanned).
+  bool similar_filter_pushed = false;
   /// The event stage ran one events-table scan grouped by video instead of
   /// one FindScenes call per (player, video) pair.
   bool event_single_scan = false;

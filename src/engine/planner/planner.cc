@@ -56,11 +56,18 @@ std::vector<int64_t> RowsToOids(const Table& players, const std::vector<int64_t>
 Result<std::vector<SceneHit>> SearchPlannedImpl(
     const LibraryView& view, const CombinedQuery& query,
     text::SearchStats* stats, PlanExplain& ex,
-    const std::map<int64_t, double>* text_seed) {
+    const std::map<int64_t, double>* text_seed,
+    const SimilarSeed* similar_seed) {
   const WebspaceStore& store = *view.store;
   const text::InvertedIndex& interviews = *view.interviews;
   const core::MetaIndex& meta = *view.meta_index;
   const std::vector<int64_t>& indexed_videos = *view.indexed_videos;
+  // Views built without a signature index behave like one with no records
+  // (every probe resolves to NotFound) — the fixed order's behavior on an
+  // empty index.
+  static const similarity::SignatureIndex kEmptySignatures;
+  const similarity::SignatureIndex& sig_index =
+      view.signatures != nullptr ? *view.signatures : kEmptySignatures;
 
   if (stats) *stats = text::SearchStats{};
   ex.used_planner = true;
@@ -68,6 +75,11 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(
   const bool has_champ = query.require_champion || query.won_year >= 0;
   const bool has_text = !query.text.empty();
   const bool has_event = !query.event.empty();
+  const bool has_similar = query.similar_video >= 0;
+  // A frontend seed replaces the whole similar stage (it touches nothing
+  // but the signature index, so unlike the text seed it is usable
+  // unconditionally).
+  const bool similar_seeded = similar_seed != nullptr && has_similar;
 
   // --- Upfront validation, in the fixed pipeline's error order ------------
   // The fixed order hits these errors unconditionally (before any stage can
@@ -97,6 +109,14 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(
     return interviews.SearchTopN(query.text, 0).status();
   };
 
+  // The fixed order resolves the similar probe unconditionally after the
+  // text stage, so every short-circuit past that point must surface its
+  // NotFound too (probe resolution is the stage's only fallible step).
+  auto similar_status = [&]() -> Status {
+    if (!has_similar || similar_seeded) return Status::OK();
+    return ResolveProbeSignature(sig_index, query).status();
+  };
+
   // The fixed order only touches "interviewed_in" when a text hit exists,
   // and "plays_in"/the name attribute only when a player survives — so a
   // short-circuit that skips those stages is error-identical only when the
@@ -115,6 +135,7 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(
   auto finish_empty =
       [&](const std::string& why) -> Result<std::vector<SceneHit>> {
     COBRA_RETURN_NOT_OK(text_status());
+    COBRA_RETURN_NOT_OK(similar_status());
     ex.short_circuited = true;
     ex.steps.push_back({"short_circuit: " + why, 0.0, 0});
     return std::vector<SceneHit>{};
@@ -424,6 +445,37 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(
     }
   }
 
+  // --- Similar stage -------------------------------------------------------
+  // Runs before the empty-players early return below: the fixed order
+  // resolves the probe even when no player survived, and its NotFound must
+  // win over an empty result.
+  SimilarNeighbors similar;
+  if (has_similar) {
+    const double est_k =
+        static_cast<double>(EffectiveSimilarK(sig_index, query));
+    if (similar_seeded) {
+      similar = similar_seed->neighbors;
+      ex.similar_seeded = true;
+      int64_t n_neighbors = 0;
+      for (const auto& [video, shots] : similar) {
+        n_neighbors += static_cast<int64_t>(shots.size());
+      }
+      ex.steps.push_back({"similar:frontend_seed", est_k, n_neighbors});
+    } else {
+      similarity::SimilaritySearchStats sstats;
+      COBRA_ASSIGN_OR_RETURN(similar, SimilarStage(sig_index, query, &sstats));
+      int64_t n_neighbors = 0;
+      for (const auto& [video, shots] : similar) {
+        n_neighbors += static_cast<int64_t>(shots.size());
+      }
+      ex.steps.push_back(
+          {StringFormat("similar:%s(probes=%zu)",
+                        sstats.exhaustive_fallback ? "exhaustive" : "ann",
+                        sstats.probes),
+           est_k, n_neighbors});
+    }
+  }
+
   ex.steps.push_back({"players", est_concept,
                       static_cast<int64_t>(players.size())});
   if (players.empty()) {
@@ -444,8 +496,20 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(
     auto it = text_scores.find(player);
     return it == text_scores.end() ? 0.0 : it->second;
   };
+  // Best (smallest) distance key among neighbor shots overlapping `range`;
+  // false when none overlaps (the scene is not an answer).
+  auto best_overlap = [](const std::vector<SimilarShot>& shots,
+                         const FrameInterval& range, double* best) {
+    bool overlapped = false;
+    for (const SimilarShot& shot : shots) {
+      if (!range.Overlaps(shot.range)) continue;
+      if (!overlapped || shot.distance < *best) *best = shot.distance;
+      overlapped = true;
+    }
+    return overlapped;
+  };
 
-  if (!has_event) {
+  if (!has_event && !has_similar) {
     for (int64_t player : players) {
       COBRA_ASSIGN_OR_RETURN(std::string name, player_name(player));
       SceneHit hit;
@@ -453,6 +517,30 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(
       hit.player_name = std::move(name);
       hit.text_score = score_of(player);
       out.push_back(std::move(hit));
+    }
+  } else if (!has_event) {
+    // Similar-only content condition: every neighbor shot of an indexed
+    // video the player plays in is an answer scene.
+    for (int64_t player : players) {
+      COBRA_ASSIGN_OR_RETURN(std::string name, player_name(player));
+      const double score = score_of(player);
+      COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> videos,
+                             store.Traverse("plays_in", {player}));
+      for (int64_t video : videos) {
+        if (!indexed.count(video)) continue;
+        auto it = similar.find(video);
+        if (it == similar.end()) continue;
+        for (const SimilarShot& shot : it->second) {
+          SceneHit hit;
+          hit.player_oid = player;
+          hit.player_name = name;
+          hit.video_oid = video;
+          hit.range = shot.range;
+          hit.text_score = score;
+          hit.similarity = shot.distance;
+          out.push_back(std::move(hit));
+        }
+      }
     }
   } else if (event_provably_empty && event_skip_safe) {
     ex.steps.push_back({"events: provably empty, skipped", 0.0, 0});
@@ -474,11 +562,15 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(
       COBRA_ASSIGN_OR_RETURN(std::vector<core::Scene> scenes,
                              meta.FindScenes(query.event));
       // Group by video, preserving events-table row order within each
-      // group — the order FindScenes(event, video) would return.
+      // group — the order FindScenes(event, video) would return. With a
+      // similar condition, the neighbor video set is pushed down here:
+      // scenes of videos without a neighbor shot can never be answers.
       std::map<int64_t, std::vector<const core::Scene*>> by_video;
       for (const core::Scene& scene : scenes) {
+        if (has_similar && !similar.count(scene.video_id)) continue;
         by_video[scene.video_id].push_back(&scene);
       }
+      ex.similar_filter_pushed = has_similar;
       ex.steps.push_back({"events:single_scan", est_pairs,
                           static_cast<int64_t>(scenes.size())});
       for (int64_t player : players) {
@@ -490,11 +582,18 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(
           if (!indexed.count(video)) continue;
           auto group = by_video.find(video);
           if (group == by_video.end()) continue;
+          const std::vector<SimilarShot>* neighbors = nullptr;
+          if (has_similar) neighbors = &similar.at(video);
           COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> roles,
                                  store.Roles("plays_in", player, video));
           const std::set<int64_t> role_set(roles.begin(), roles.end());
           for (const core::Scene* scene : group->second) {
             if (scene->player >= 0 && !role_set.count(scene->player)) continue;
+            double similarity = -1.0;
+            if (neighbors != nullptr &&
+                !best_overlap(*neighbors, scene->range, &similarity)) {
+              continue;
+            }
             SceneHit hit;
             hit.player_oid = player;
             hit.player_name = name;
@@ -502,6 +601,7 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(
             hit.range = scene->range;
             hit.event = scene->event;
             hit.text_score = score;
+            hit.similarity = similarity;
             out.push_back(std::move(hit));
           }
         }
@@ -515,6 +615,12 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(
                                store.Traverse("plays_in", {player}));
         for (int64_t video : videos) {
           if (!indexed.count(video)) continue;
+          const std::vector<SimilarShot>* neighbors = nullptr;
+          if (has_similar) {
+            auto it = similar.find(video);
+            if (it == similar.end()) continue;
+            neighbors = &it->second;
+          }
           COBRA_ASSIGN_OR_RETURN(std::vector<int64_t> roles,
                                  store.Roles("plays_in", player, video));
           const std::set<int64_t> role_set(roles.begin(), roles.end());
@@ -522,6 +628,11 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(
                                  meta.FindScenes(query.event, video));
           for (const core::Scene& scene : scenes) {
             if (scene.player >= 0 && !role_set.count(scene.player)) continue;
+            double similarity = -1.0;
+            if (neighbors != nullptr &&
+                !best_overlap(*neighbors, scene.range, &similarity)) {
+              continue;
+            }
             SceneHit hit;
             hit.player_oid = player;
             hit.player_name = name;
@@ -529,6 +640,7 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(
             hit.range = scene.range;
             hit.event = scene.event;
             hit.text_score = score;
+            hit.similarity = similarity;
             out.push_back(std::move(hit));
           }
         }
@@ -549,10 +661,11 @@ Result<std::vector<SceneHit>> SearchPlannedImpl(
 Result<std::vector<SceneHit>> SearchPlanned(
     const LibraryView& view, const CombinedQuery& query,
     text::SearchStats* stats, PlanExplain* explain,
-    const std::map<int64_t, double>* text_seed) {
+    const std::map<int64_t, double>* text_seed,
+    const SimilarSeed* similar_seed) {
   PlanExplain ex;
   Result<std::vector<SceneHit>> result =
-      SearchPlannedImpl(view, query, stats, ex, text_seed);
+      SearchPlannedImpl(view, query, stats, ex, text_seed, similar_seed);
   if (explain != nullptr) *explain = std::move(ex);
   return result;
 }

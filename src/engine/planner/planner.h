@@ -36,6 +36,7 @@ struct LibraryView {
   const text::InvertedIndex* interviews = nullptr;
   const core::MetaIndex* meta_index = nullptr;
   const std::vector<int64_t>* indexed_videos = nullptr;
+  const similarity::SignatureIndex* signatures = nullptr;
 };
 
 /// Plans and executes `query`. `stats` (optional) receives the text-index
@@ -46,9 +47,15 @@ struct LibraryView {
 /// DigitalLibrary::TextStage); when usable it replaces the local DAAT run.
 /// The seed must come from an identical interview index + store, which the
 /// serving tier guarantees by replicating the text modality per shard.
+///
+/// `similar_seed` (optional) is the frontend-resolved similar stage (see
+/// DigitalLibrary::SimilarSeed); when present and the query has a
+/// similar_to condition, the neighbor set is taken verbatim instead of
+/// probing the local (partition-scoped) ANN index.
 Result<std::vector<SceneHit>> SearchPlanned(
     const LibraryView& view, const CombinedQuery& query,
     text::SearchStats* stats, PlanExplain* explain,
-    const std::map<int64_t, double>* text_seed = nullptr);
+    const std::map<int64_t, double>* text_seed = nullptr,
+    const SimilarSeed* similar_seed = nullptr);
 
 }  // namespace cobra::engine::planner

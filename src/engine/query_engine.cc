@@ -58,6 +58,9 @@ std::string QueryEngine::NormalizedKey(const CombinedQuery& query) {
   AppendField(query.text, &key);
   AppendInt(static_cast<int64_t>(query.text_top_k), &key);
   AppendField(query.event, &key);
+  AppendInt(query.similar_video, &key);
+  AppendInt(query.similar_frame, &key);
+  AppendInt(static_cast<int64_t>(query.similar_k), &key);
   return key;
 }
 
@@ -139,11 +142,12 @@ Result<std::vector<SceneHit>> QueryEngine::CachedEval(const std::string& key,
 }
 
 Result<std::vector<SceneHit>> QueryEngine::Search(
-    const CombinedQuery& query, const std::map<int64_t, double>* text_seed) {
+    const CombinedQuery& query, const std::map<int64_t, double>* text_seed,
+    const SimilarSeed* similar_seed) {
   return CachedEval(NormalizedKey(query), [&](text::SearchStats* stats) {
     planner::PlanExplain explain;
     Result<std::vector<SceneHit>> result =
-        library_->Search(query, stats, &explain, text_seed);
+        library_->Search(query, stats, &explain, text_seed, similar_seed);
     if (result.ok() && explain.used_planner) {
       planner_plans_.fetch_add(1, std::memory_order_relaxed);
       if (explain.short_circuited) {

@@ -80,10 +80,16 @@ class QueryEngine {
   /// One combined query through the cache. `text_seed` (optional) is a
   /// precomputed text stage forwarded to DigitalLibrary::Search — results
   /// are identical with or without it, so seeded and unseeded evaluations
-  /// share cache entries under the same normalized key.
+  /// share cache entries under the same normalized key. `similar_seed` is
+  /// the analogous frontend-resolved similar stage (see SimilarSeed); note
+  /// that unlike the text seed it is *partition-dependent*: on a sharded
+  /// library, seeded and unseeded evaluations of a similar query answer
+  /// different questions (global vs local neighbors), which is fine for the
+  /// serving tier because shard engines are only ever queried seeded.
   Result<std::vector<SceneHit>> Search(
       const CombinedQuery& query,
-      const std::map<int64_t, double>* text_seed = nullptr);
+      const std::map<int64_t, double>* text_seed = nullptr,
+      const SimilarSeed* similar_seed = nullptr);
 
   /// Plans and executes `query` (bypassing the cache), returning the
   /// rendered plan: chosen stage order and estimated vs actual

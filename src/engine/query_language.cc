@@ -133,6 +133,33 @@ Result<CombinedQuery> ParseQuery(const std::string& input) {
       query.won_year = std::atoll(rhs.c_str());
       continue;
     }
+    if (lhs_lower == "similar_to") {
+      if (op != "=" && op != "==") {
+        return Status::ParseError("similar_to condition requires '='");
+      }
+      const size_t colon = rhs.find(':');
+      std::string video = colon == std::string::npos ? rhs : rhs.substr(0, colon);
+      std::string frame = colon == std::string::npos ? "" : rhs.substr(colon + 1);
+      if (colon == std::string::npos || !IsInteger(video) ||
+          !IsInteger(frame)) {
+        return Status::ParseError(StringFormat(
+            "similar_to needs '<video>:<frame>', got '%s'", rhs.c_str()));
+      }
+      query.similar_video = std::atoll(video.c_str());
+      query.similar_frame = std::atoll(frame.c_str());
+      if (query.similar_video < 0 || query.similar_frame < 0) {
+        return Status::ParseError("similar_to video and frame must be >= 0");
+      }
+      continue;
+    }
+    if (lhs_lower == "similar_to.k") {
+      if (!IsInteger(rhs) || std::atoll(rhs.c_str()) <= 0) {
+        return Status::ParseError(StringFormat(
+            "similar_to.k needs a positive integer, got '%s'", rhs.c_str()));
+      }
+      query.similar_k = static_cast<size_t>(std::atoll(rhs.c_str()));
+      continue;
+    }
     if (StartsWith(lhs_lower, "player.")) {
       COBRA_ASSIGN_OR_RETURN(storage::CompareOp compare_op, ParseOp(op));
       if (compare_op == storage::CompareOp::kContains) {
@@ -151,6 +178,9 @@ Result<CombinedQuery> ParseQuery(const std::string& input) {
     }
     return Status::ParseError(
         StringFormat("unknown condition subject '%s'", lhs.c_str()));
+  }
+  if (query.similar_k > 0 && query.similar_video < 0) {
+    return Status::ParseError("similar_to.k requires a similar_to condition");
   }
   return query;
 }
@@ -193,6 +223,14 @@ std::string FormatQuery(const CombinedQuery& query) {
   }
   if (!query.event.empty()) {
     parts.push_back(StringFormat("event = %s", query.event.c_str()));
+  }
+  if (query.similar_video >= 0) {
+    parts.push_back(StringFormat("similar_to = %lld:%lld",
+                                 static_cast<long long>(query.similar_video),
+                                 static_cast<long long>(query.similar_frame)));
+    if (query.similar_k > 0) {
+      parts.push_back(StringFormat("similar_to.k = %zu", query.similar_k));
+    }
   }
   if (!query.text.empty()) {
     parts.push_back(StringFormat("text ~ \"%s\"", query.text.c_str()));

@@ -15,6 +15,11 @@
 ///   won.year = <N>               the player won the tournament of year N
 ///   event = <name>               content condition on the video meta-index
 ///   text ~ "<words>" | <word>    interview full-text condition
+///   similar_to = <video>:<frame> query-by-example: scenes perceptually
+///                                similar to the shot of video <video>
+///                                containing frame <frame> (DESIGN.md §4j)
+///   similar_to.k = <N>           neighbor count for similar_to (default:
+///                                the signature index's rerank_k)
 
 #include <string>
 

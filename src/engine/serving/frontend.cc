@@ -41,6 +41,7 @@ struct ServingFrontend::ScatterState {
   CombinedQuery query;
   size_t top_n = 0;
   std::shared_ptr<const std::map<int64_t, double>> seed;
+  std::shared_ptr<const SimilarSeed> similar_seed;
   size_t pending = 0;
   bool cancelled = false;
   bool has_error = false;
@@ -121,6 +122,7 @@ std::shared_ptr<const ServingFrontend::Snapshot> ServingFrontend::BuildSnapshot(
   if (snap->has_videos) {
     snap->min_video = *std::min_element(videos.begin(), videos.end());
   }
+  snap->video_set.insert(videos.begin(), videos.end());
   Result<std::vector<int64_t>> present =
       library->store().TraverseReverse("plays_in", videos);
   if (present.ok()) {
@@ -129,6 +131,63 @@ std::shared_ptr<const ServingFrontend::Snapshot> ServingFrontend::BuildSnapshot(
                                  present.value().end());
   }
   return snap;
+}
+
+std::shared_ptr<const SimilarSeed> ServingFrontend::SimilarSeedFor(
+    const CombinedQuery& query,
+    const std::vector<std::shared_ptr<const Snapshot>>& snaps,
+    size_t* probes_skipped) {
+  // The signature modality is partitioned: the probe shot is indexed in
+  // exactly one shard. Resolve it there.
+  const similarity::SignatureIndex* home = nullptr;
+  vision::ShotSignature probe{};
+  for (const auto& snap : snaps) {
+    Result<vision::ShotSignature> resolved =
+        ResolveProbeSignature(snap->library->signatures(), query);
+    if (resolved.ok()) {
+      probe = resolved.value();
+      home = &snap->library->signatures();
+      break;
+    }
+  }
+  if (home == nullptr) return nullptr;
+  const size_t k = EffectiveSimilarK(*home, query);
+
+  // Candidate merge in Hamming-lower-bound order: per-shard exact
+  // top-(k+1) lists union to the global top-(k+1) (each shard's list is
+  // exact over its records), and a shard whose every record provably ranks
+  // after the (k+1)-th kept candidate is never searched at all.
+  std::vector<std::pair<uint32_t, const similarity::SignatureIndex*>> order;
+  order.reserve(snaps.size());
+  for (const auto& snap : snaps) {
+    const similarity::SignatureIndex& index = snap->library->signatures();
+    order.emplace_back(index.HammingLowerBound(probe), &index);
+  }
+  std::stable_sort(
+      order.begin(), order.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<similarity::Neighbor> merged;
+  for (const auto& [hlb, index] : order) {
+    if (merged.size() > k &&
+        similarity::DistanceKey(merged[k].hamming, merged[k].l2sq) <
+            similarity::DistanceKey(hlb, 0)) {
+      // Every record in the shard has Hamming >= hlb, so its key exceeds
+      // the (k+1)-th kept candidate's strictly — it can neither displace
+      // nor tie-break into the merged top-(k+1).
+      ++*probes_skipped;
+      continue;
+    }
+    // k + 1 so the probe's own record (home shard only) never displaces a
+    // real neighbor before BuildSimilarNeighbors drops it.
+    std::vector<similarity::Neighbor> cand = index->SearchSimilar(probe, k + 1);
+    merged.insert(merged.end(), cand.begin(), cand.end());
+    std::sort(merged.begin(), merged.end(), similarity::NeighborBefore);
+    if (merged.size() > k + 1) merged.resize(k + 1);
+  }
+  auto seed = std::make_shared<SimilarSeed>();
+  seed->signature = probe;
+  seed->neighbors = BuildSimilarNeighbors(merged, query, k);
+  return seed;
 }
 
 std::shared_ptr<const ServingFrontend::Snapshot> ServingFrontend::Acquire(
@@ -292,6 +351,7 @@ Result<std::vector<SceneHit>> ServingFrontend::Search(
 
   const bool has_event = !query.event.empty();
   const bool has_text = !query.text.empty();
+  const bool has_similar = query.similar_video >= 0;
   constexpr int64_t kLow = std::numeric_limits<int64_t>::min();
 
   auto st = std::make_shared<ScatterState>();
@@ -304,6 +364,20 @@ Result<std::vector<SceneHit>> ServingFrontend::Search(
     qs.text_seeded = st->seed != nullptr;
     qs.text_seed_cached = cached;
   }
+  if (has_similar) {
+    std::vector<std::shared_ptr<const Snapshot>> snaps;
+    snaps.reserve(slots_.size());
+    for (size_t i = 0; i < slots_.size(); ++i) snaps.push_back(Acquire(i));
+    size_t skipped = 0;
+    st->similar_seed = SimilarSeedFor(query, snaps, &skipped);
+    qs.similar_seeded = st->similar_seed != nullptr;
+    qs.similar_probes_skipped = skipped;
+    if (qs.similar_seeded) {
+      similar_seeded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    similar_probes_skipped_.fetch_add(static_cast<int64_t>(skipped),
+                                      std::memory_order_relaxed);
+  }
 
   struct Target {
     size_t shard = 0;
@@ -313,7 +387,7 @@ Result<std::vector<SceneHit>> ServingFrontend::Search(
   };
   std::vector<Target> targets;
 
-  if (!has_event) {
+  if (!has_event && !has_similar) {
     // No content condition: the answer only involves the replicated
     // modalities, so any single shard produces the full result. Hashing
     // the normalized key gives cache affinity across repeats.
@@ -327,7 +401,7 @@ Result<std::vector<SceneHit>> ServingFrontend::Search(
     for (size_t i = 0; i < slots_.size(); ++i) {
       std::shared_ptr<const Snapshot> snap = Acquire(i);
       if (!snap->has_videos) {
-        ++qs.shards_pruned_upfront;  // every hit would need a scene
+        ++qs.shards_pruned_upfront;  // every hit would need a scene or shot
         continue;
       }
       Target t;
@@ -364,6 +438,28 @@ Result<std::vector<SceneHit>> ServingFrontend::Search(
           t.has_bound = false;  // text bound unknowable; never prune
         }
       }
+      if (has_similar && st->similar_seed != nullptr) {
+        // A shard contributes hits only through neighbor shots of its own
+        // videos, each carrying similarity >= the shard's closest neighbor
+        // distance — the per-shard lower bound on the similarity rank.
+        double best_distance = -1.0;
+        for (const auto& [video, shots] : st->similar_seed->neighbors) {
+          if (snap->video_set.count(video) == 0) continue;
+          for (const SimilarShot& shot : shots) {
+            if (best_distance < 0.0 || shot.distance < best_distance) {
+              best_distance = shot.distance;
+            }
+          }
+        }
+        if (best_distance < 0.0) {
+          ++qs.shards_pruned_upfront;  // no neighbor shot in this shard
+          continue;
+        }
+        t.bound.similarity = best_distance;
+      }
+      // When the similar stage is unresolvable (null seed), no similar
+      // bound or prune applies: every evaluated shard reproduces the
+      // oracle's NotFound, and at least one always evaluates.
       t.snap = std::move(snap);
       targets.push_back(std::move(t));
     }
@@ -418,7 +514,8 @@ Result<std::vector<SceneHit>> ServingFrontend::Search(
       }
       if (!skip) {
         Result<std::vector<SceneHit>> result = snap->engine->Search(
-            st->query, st->seed ? st->seed.get() : nullptr);
+            st->query, st->seed ? st->seed.get() : nullptr,
+            st->similar_seed ? st->similar_seed.get() : nullptr);
         std::lock_guard<std::mutex> lock(st->mu);
         ++st->searched;
         if (!result.ok()) {
@@ -509,6 +606,9 @@ ServingStats ServingFrontend::stats() const {
   out.text_seed_cache_hits = seed_cache_hits_.load(std::memory_order_relaxed);
   out.text_seed_cache_misses =
       seed_cache_misses_.load(std::memory_order_relaxed);
+  out.similar_seeded = similar_seeded_.load(std::memory_order_relaxed);
+  out.similar_probes_skipped =
+      similar_probes_skipped_.load(std::memory_order_relaxed);
   return out;
 }
 

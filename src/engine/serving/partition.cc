@@ -46,6 +46,9 @@ Result<std::unique_ptr<DigitalLibrary>> BuildLibrary(const CorpusParts& parts) {
   for (const core::VideoDescription& desc : parts.videos) {
     COBRA_RETURN_NOT_OK(library->AddVideoDescription(desc));
   }
+  for (const auto& [video_id, records] : parts.signatures) {
+    COBRA_RETURN_NOT_OK(library->AddVideoSignatures(video_id, records));
+  }
   return library;
 }
 
@@ -67,6 +70,10 @@ Result<std::vector<std::unique_ptr<DigitalLibrary>>> BuildShardLibraries(
     for (const core::VideoDescription& desc : parts.videos) {
       if (ShardOf(desc.video_id(), upper) != s) continue;
       COBRA_RETURN_NOT_OK(shard->AddVideoDescription(desc));
+    }
+    for (const auto& [video_id, records] : parts.signatures) {
+      if (ShardOf(video_id, upper) != s) continue;
+      COBRA_RETURN_NOT_OK(shard->AddVideoSignatures(video_id, records));
     }
     shards.push_back(std::move(shard));
   }
@@ -100,6 +107,10 @@ Result<std::vector<std::unique_ptr<DurableLibrary>>> BuildDurableShards(
     for (const core::VideoDescription& desc : parts.videos) {
       if (ShardOf(desc.video_id(), upper) != s) continue;
       COBRA_RETURN_NOT_OK(shard->AddVideoDescription(desc));
+    }
+    for (const auto& [video_id, records] : parts.signatures) {
+      if (ShardOf(video_id, upper) != s) continue;
+      COBRA_RETURN_NOT_OK(shard->AddVideoSignatures(video_id, records));
     }
     COBRA_RETURN_NOT_OK(shard->Flush());
     shards.push_back(std::move(shard));

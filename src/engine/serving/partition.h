@@ -38,6 +38,11 @@ struct CorpusParts {
   std::vector<std::pair<int64_t, std::string>> interviews;
   /// Indexed videos, in AddVideoDescription order.
   std::vector<core::VideoDescription> videos;
+  /// Per-video shot signature records, in AddVideoSignatures order. The
+  /// signature modality is PARTITIONED: each batch lands only in the shard
+  /// owning its video's range (unlike the replicated store/interviews).
+  std::vector<std::pair<int64_t, std::vector<vision::SignatureRecord>>>
+      signatures;
 };
 
 /// Builds the unsharded library — the oracle the serving tier is validated

@@ -18,6 +18,13 @@
 ///   * queries with a text condition evaluate the text stage ONCE in the
 ///     frontend (the interview index is replicated, so every shard would
 ///     compute the same map) and fan the result out as a planner seed;
+///   * queries with a similar_to condition resolve the probe signature and
+///     the GLOBAL neighbor set once in the frontend (the signature modality
+///     is partitioned, so a shard evaluating alone would answer a local,
+///     different question) and fan it out as a seed; per-shard Hamming
+///     lower bounds order the candidate merge and skip shards provably
+///     outside the top-k, and the resolved per-shard neighbor distances
+///     feed the same block-max merge bound event queries use;
 ///   * every shard has an upper bound B_i on the rank of its best possible
 ///     hit — max seed score among players present in the shard, then the
 ///     shard's minimum video id (range partitioning makes it a bound) —
@@ -79,9 +86,13 @@ struct QueryStats {
   size_t shards_pruned_upfront = 0;   ///< provably-empty before dispatch
   size_t shards_pruned_by_bound = 0;  ///< skipped by the merge bound
   size_t shards_timed_out = 0;    ///< still pending when the deadline hit
-  bool single_shard_routed = false;   ///< no-event query, one shard answered
+  bool single_shard_routed = false;   ///< no-content query, one shard answered
   bool text_seeded = false;       ///< frontend evaluated the text stage once
   bool text_seed_cached = false;  ///< ... and it came from the seed cache
+  bool similar_seeded = false;    ///< frontend resolved the global similar stage
+  /// Shard ANN probes skipped during seed resolution because the shard's
+  /// Hamming lower bound proved it outside the merged top-(k+1).
+  size_t similar_probes_skipped = 0;
   bool degraded = false;          ///< partial merge returned at the deadline
 };
 
@@ -96,6 +107,8 @@ struct ServingStats {
   int64_t single_shard_routed = 0;
   int64_t text_seed_cache_hits = 0;
   int64_t text_seed_cache_misses = 0;
+  int64_t similar_seeded = 0;
+  int64_t similar_probes_skipped = 0;
 };
 
 class ServingFrontend {
@@ -146,6 +159,9 @@ class ServingFrontend {
     /// the only players that can appear in a scene hit of this shard.
     std::unordered_set<int64_t> players_present;
     bool presence_valid = false;  ///< false = traversal failed, never prune on it
+    /// The shard's indexed video oids — membership tests for the similar
+    /// stage's neighbor-video pruning.
+    std::unordered_set<int64_t> video_set;
     int64_t min_video = 0;
     bool has_videos = false;
     int64_t built_epoch = -1;
@@ -179,6 +195,19 @@ class ServingFrontend {
   /// nullptr = stage failed; callers fall back to unseeded evaluation.
   std::shared_ptr<const std::map<int64_t, double>> TextSeed(
       const CombinedQuery& query, int64_t epoch, bool* cached);
+
+  /// Frontend-resolved global similar stage (the partitioned-modality
+  /// analog of TextSeed): resolves the probe signature in its home shard,
+  /// then merges per-shard exact top-(k+1) candidate lists under the total
+  /// neighbor order, probing shards in Hamming-lower-bound order so a
+  /// shard provably outside the merged top-(k+1) is never searched
+  /// (`probes_skipped` counts those). nullptr = probe unresolvable in any
+  /// shard; callers fan out unseeded so every shard reproduces the
+  /// oracle's NotFound.
+  std::shared_ptr<const SimilarSeed> SimilarSeedFor(
+      const CombinedQuery& query,
+      const std::vector<std::shared_ptr<const Snapshot>>& snaps,
+      size_t* probes_skipped);
 
   void WorkerLoop(Replica* replica);
   /// Enqueues onto the less loaded of two sampled replicas of `shard`;
@@ -216,6 +245,8 @@ class ServingFrontend {
   std::atomic<int64_t> single_shard_routed_{0};
   std::atomic<int64_t> seed_cache_hits_{0};
   std::atomic<int64_t> seed_cache_misses_{0};
+  std::atomic<int64_t> similar_seeded_{0};
+  std::atomic<int64_t> similar_probes_skipped_{0};
 };
 
 }  // namespace cobra::engine::serving

@@ -37,6 +37,16 @@ std::string FdeRunReport::ToString() const {
   }
   out += StringFormat("  total %.2f ms, %lld annotations\n", total_millis,
                       static_cast<long long>(TotalAnnotations()));
+  if (cache_hits + cache_misses > 0) {
+    out += StringFormat(
+        "  frame cache: %lld hits / %lld misses (%.1f%% hit rate), "
+        "%lld evictions, %zu bytes held\n",
+        static_cast<long long>(cache_hits),
+        static_cast<long long>(cache_misses),
+        100.0 * static_cast<double>(cache_hits) /
+            static_cast<double>(cache_hits + cache_misses),
+        static_cast<long long>(cache_evictions), cache_bytes);
+  }
   return out;
 }
 
@@ -186,6 +196,8 @@ Result<FdeRunReport> FeatureDetectorEngine::RunWaves(
   DetectionContext ctx(source, &blackboard_, cache_.get(), pool_.get());
 
   FdeRunReport report;
+  const vision::FrameFeatureCache::Stats cache_before =
+      cache_ != nullptr ? cache_->stats() : vision::FrameFeatureCache::Stats{};
   auto run_start = std::chrono::steady_clock::now();
   const auto& waves = grammar_.ExecutionWaves();
   for (size_t wave_idx = 0; wave_idx < waves.size(); ++wave_idx) {
@@ -258,6 +270,13 @@ Result<FdeRunReport> FeatureDetectorEngine::RunWaves(
   auto run_end = std::chrono::steady_clock::now();
   report.total_millis =
       std::chrono::duration<double, std::milli>(run_end - run_start).count();
+  if (cache_ != nullptr) {
+    const vision::FrameFeatureCache::Stats after = cache_->stats();
+    report.cache_hits = after.hits - cache_before.hits;
+    report.cache_misses = after.misses - cache_before.misses;
+    report.cache_evictions = after.evictions - cache_before.evictions;
+    report.cache_bytes = after.bytes;
+  }
   return report;
 }
 

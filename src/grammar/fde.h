@@ -146,6 +146,13 @@ struct FdeRunReport {
   std::vector<DetectorRunStats> detectors;  ///< in wave order
   std::vector<WaveRunStats> waves;          ///< one entry per grammar wave
   double total_millis = 0.0;
+  /// Frame-feature cache traffic during THIS run (deltas over the shared
+  /// cache's counters; all zero when the engine runs uncached) — how often
+  /// detectors rode on artifacts another detector already computed.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  size_t cache_bytes = 0;  ///< held by the cache at the end of the run
 
   int64_t TotalAnnotations() const;
   std::string ToString() const;

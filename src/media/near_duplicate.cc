@@ -1,0 +1,179 @@
+#include "media/near_duplicate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace cobra::media {
+namespace {
+
+uint8_t ClampByte(double v) {
+  return static_cast<uint8_t>(std::min(255.0, std::max(0.0, v)));
+}
+
+/// Nearest-neighbor resample of `src` into a width x height raster.
+Frame ResizeNearest(const Frame& src, int width, int height) {
+  Frame out(width, height);
+  for (int y = 0; y < height; ++y) {
+    const int sy = std::min(src.height() - 1,
+                            static_cast<int>(int64_t{y} * src.height() / height));
+    const Rgb* row = src.Row(sy);
+    Rgb* out_row = out.Row(y);
+    for (int x = 0; x < width; ++x) {
+      const int sx = std::min(src.width() - 1,
+                              static_cast<int>(int64_t{x} * src.width() / width));
+      out_row[x] = row[sx];
+    }
+  }
+  return out;
+}
+
+Status ValidateTransform(const Frame& probe, NearDuplicateTransform transform,
+                         const NearDuplicateConfig& config) {
+  switch (transform) {
+    case NearDuplicateTransform::kCropZoom: {
+      if (config.crop_fraction <= 0.0 || config.crop_fraction >= 0.25) {
+        return Status::InvalidArgument("crop_fraction must be in (0, 0.25)");
+      }
+      const int cx = static_cast<int>(probe.width() * config.crop_fraction);
+      const int cy = static_cast<int>(probe.height() * config.crop_fraction);
+      if (probe.width() - 2 * cx < 2 || probe.height() - 2 * cy < 2) {
+        return Status::InvalidArgument("crop_fraction leaves no interior");
+      }
+      return Status::OK();
+    }
+    case NearDuplicateTransform::kLetterbox: {
+      if (config.letterbox_fraction <= 0.0 ||
+          config.letterbox_fraction >= 0.5) {
+        return Status::InvalidArgument(
+            "letterbox_fraction must be in (0, 0.5)");
+      }
+      const int bar =
+          static_cast<int>(probe.height() * config.letterbox_fraction / 2.0);
+      if (probe.height() - 2 * bar < 2) {
+        return Status::InvalidArgument("letterbox bars leave no content");
+      }
+      return Status::OK();
+    }
+    case NearDuplicateTransform::kNoise:
+      if (config.noise_sigma <= 0.0) {
+        return Status::InvalidArgument("noise_sigma must be positive");
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown near-duplicate transform");
+}
+
+}  // namespace
+
+const char* NearDuplicateTransformToString(NearDuplicateTransform t) {
+  switch (t) {
+    case NearDuplicateTransform::kCropZoom:
+      return "crop_zoom";
+    case NearDuplicateTransform::kLetterbox:
+      return "letterbox";
+    case NearDuplicateTransform::kNoise:
+      return "noise";
+  }
+  return "?";
+}
+
+Frame TransformFrame(const Frame& frame, NearDuplicateTransform transform,
+                     const NearDuplicateConfig& config, Rng* rng) {
+  switch (transform) {
+    case NearDuplicateTransform::kCropZoom: {
+      const int cx = static_cast<int>(frame.width() * config.crop_fraction);
+      const int cy = static_cast<int>(frame.height() * config.crop_fraction);
+      const Frame cropped = frame.Crop(
+          RectI{cx, cy, frame.width() - 2 * cx, frame.height() - 2 * cy});
+      return ResizeNearest(cropped, frame.width(), frame.height());
+    }
+    case NearDuplicateTransform::kLetterbox: {
+      const int bar =
+          static_cast<int>(frame.height() * config.letterbox_fraction / 2.0);
+      const int content = frame.height() - 2 * bar;
+      const Frame squeezed = ResizeNearest(frame, frame.width(), content);
+      Frame out(frame.width(), frame.height(), Rgb{0, 0, 0});
+      for (int y = 0; y < content; ++y) {
+        std::copy(squeezed.Row(y), squeezed.Row(y) + squeezed.width(),
+                  out.Row(y + bar));
+      }
+      return out;
+    }
+    case NearDuplicateTransform::kNoise: {
+      Frame out = frame;
+      for (int y = 0; y < out.height(); ++y) {
+        Rgb* row = out.Row(y);
+        for (int x = 0; x < out.width(); ++x) {
+          row[x].r = ClampByte(row[x].r +
+                               rng->NextGaussian(0.0, config.noise_sigma));
+          row[x].g = ClampByte(row[x].g +
+                               rng->NextGaussian(0.0, config.noise_sigma));
+          row[x].b = ClampByte(row[x].b +
+                               rng->NextGaussian(0.0, config.noise_sigma));
+        }
+      }
+      return out;
+    }
+  }
+  return frame;
+}
+
+Result<NearDuplicateClip> MakeNearDuplicateClip(
+    const VideoSource& source, FrameInterval range,
+    NearDuplicateTransform transform, const NearDuplicateConfig& config) {
+  if (range.begin < 0 || range.end < range.begin ||
+      range.end >= source.num_frames()) {
+    return Status::OutOfRange(
+        StringFormat("clip range [%lld, %lld] outside video of %lld frames",
+                     static_cast<long long>(range.begin),
+                     static_cast<long long>(range.end),
+                     static_cast<long long>(source.num_frames())));
+  }
+  COBRA_ASSIGN_OR_RETURN(Frame probe, source.GetFrame(range.begin));
+  COBRA_RETURN_NOT_OK(ValidateTransform(probe, transform, config));
+
+  // One deterministic noise stream per clip, seeded off (seed, range), so
+  // regenerating a corpus subset reproduces identical pixels.
+  Rng rng(config.seed ^ MixHash(static_cast<uint64_t>(range.begin) * 31 +
+                                static_cast<uint64_t>(range.end)));
+  std::vector<Frame> frames;
+  frames.reserve(static_cast<size_t>(range.end - range.begin + 1));
+  for (int64_t f = range.begin; f <= range.end; ++f) {
+    COBRA_ASSIGN_OR_RETURN(Frame frame, source.GetFrame(f));
+    frames.push_back(TransformFrame(frame, transform, config, &rng));
+  }
+  NearDuplicateClip clip;
+  clip.video = std::make_shared<MemoryVideo>(std::move(frames), source.fps());
+  clip.transform = transform;
+  clip.source_range = range;
+  return clip;
+}
+
+Result<std::vector<NearDuplicateClip>> MakeNearDuplicateClips(
+    const VideoSource& source, const GroundTruth& truth, size_t every_nth,
+    int64_t min_frames, const NearDuplicateConfig& config) {
+  if (every_nth == 0) {
+    return Status::InvalidArgument("every_nth must be >= 1");
+  }
+  std::vector<NearDuplicateClip> clips;
+  size_t selected = 0;
+  for (size_t i = 0; i < truth.shots.size(); ++i) {
+    const ShotTruth& shot = truth.shots[i];
+    if (shot.range.end - shot.range.begin + 1 < min_frames) continue;
+    if (selected++ % every_nth != 0) continue;
+    // Cycle the grades so every transform appears across the corpus.
+    const auto transform =
+        static_cast<NearDuplicateTransform>(clips.size() % 3);
+    COBRA_ASSIGN_OR_RETURN(
+        NearDuplicateClip clip,
+        MakeNearDuplicateClip(source, shot.range, transform, config));
+    clip.source_shot = static_cast<int>(i);
+    clips.push_back(std::move(clip));
+  }
+  return clips;
+}
+
+}  // namespace cobra::media

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file near_duplicate.h
+/// Transformed near-duplicate clip generation (DESIGN.md §4j).
+///
+/// The E14 dedup experiment needs clips that are perceptually the *same
+/// footage* as some source shot while differing pixel-wise — the edits real
+/// rebroadcasts apply. Three transform grades are modeled:
+///   * kCropZoom: crop a border fraction off every edge and scale back up
+///     (nearest-neighbor) — reframing/zoom of the same take;
+///   * kLetterbox: scale the frame down vertically and matte black bars
+///     top and bottom — aspect-ratio conversion;
+///   * kNoise: additive Gaussian pixel noise — generation loss / analog
+///     re-digitization.
+/// Every clip carries its ground-truth pairing (source video id + frame
+/// range), so dedup precision/recall is computable exactly: a reported
+/// pair is a true positive iff the truth lists it.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "media/ground_truth.h"
+#include "media/video.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cobra::media {
+
+enum class NearDuplicateTransform : int {
+  kCropZoom = 0,
+  kLetterbox = 1,
+  kNoise = 2,
+};
+
+const char* NearDuplicateTransformToString(NearDuplicateTransform t);
+
+/// Transform strengths. Defaults are "recognizably the same shot":
+/// perceptual block hashes move a few bits, not half the grid.
+struct NearDuplicateConfig {
+  /// kCropZoom: fraction of width/height cropped off each edge (0, 0.25).
+  double crop_fraction = 0.08;
+  /// kLetterbox: fraction of the height matted to black, split between the
+  /// top and bottom bars (0, 0.5).
+  double letterbox_fraction = 0.2;
+  /// kNoise: additive Gaussian sigma in pixel-value units (> 0).
+  double noise_sigma = 6.0;
+  uint64_t seed = 0x5EED;
+};
+
+/// One transformed clip plus its pairing back to the source.
+struct NearDuplicateClip {
+  std::shared_ptr<MemoryVideo> video;
+  NearDuplicateTransform transform = NearDuplicateTransform::kCropZoom;
+  /// The source frames the clip duplicates (clip frame i <-> source frame
+  /// source_range.begin + i).
+  FrameInterval source_range{0, -1};
+  /// Index of the source shot in the GroundTruth the clip was cut from
+  /// (-1 when the clip was made from an explicit range).
+  int source_shot = -1;
+};
+
+/// Applies `transform` to one frame. Deterministic given (config, rng
+/// state); pure geometric transforms ignore `rng`.
+Frame TransformFrame(const Frame& frame, NearDuplicateTransform transform,
+                     const NearDuplicateConfig& config, Rng* rng);
+
+/// Cuts frames [range.begin, range.end] out of `source` and renders them
+/// through `transform`. OutOfRange on an empty or out-of-bounds range;
+/// InvalidArgument on a degenerate transform config.
+Result<NearDuplicateClip> MakeNearDuplicateClip(
+    const VideoSource& source, FrameInterval range,
+    NearDuplicateTransform transform, const NearDuplicateConfig& config);
+
+/// Emits one transformed clip per selected source shot of `truth`, cycling
+/// through the three transforms in shot order. `every_nth` selects every
+/// n-th shot (1 = all); shots shorter than `min_frames` are skipped. Each
+/// clip's `source_shot`/`source_range` is the exact dedup ground truth.
+Result<std::vector<NearDuplicateClip>> MakeNearDuplicateClips(
+    const VideoSource& source, const GroundTruth& truth, size_t every_nth,
+    int64_t min_frames, const NearDuplicateConfig& config);
+
+}  // namespace cobra::media

@@ -55,6 +55,11 @@ enum class SectionId : uint32_t {
   /// Interviews added but not yet finalized: replayed on restore when no
   /// newer segment carries a kTextIndex snapshot.
   kPendingInterviews = 8,
+  /// Per-shot perceptual signature records added in this segment's window
+  /// (vision::SignatureRecord[], 64-aligned): u64 count, pad, raw array —
+  /// mapped back as a zero-copy base chunk of the similarity index
+  /// (DESIGN.md §4j).
+  kSignatures = 9,
 };
 
 /// 64-byte file header. `header_crc` covers the header bytes with the

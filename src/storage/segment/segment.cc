@@ -340,6 +340,18 @@ void BuildPending(const LibraryDelta& delta, ByteWriter* out) {
   }
 }
 
+void BuildSignatures(const LibraryDelta& delta, ByteWriter* out) {
+  uint64_t total = 0;
+  for (const auto& [records, count] : delta.signature_chunks) total += count;
+  out->PutU64(total);
+  // 64-align the record array (the section itself is page-aligned) so the
+  // mapped view is cache-line aligned for the SIMD batch kernels.
+  out->Align(64);
+  for (const auto& [records, count] : delta.signature_chunks) {
+    out->PutRaw(records, count * sizeof(vision::SignatureRecord));
+  }
+}
+
 }  // namespace
 
 Status WriteSegment(const LibraryDelta& delta, const std::string& path) {
@@ -398,6 +410,17 @@ Status WriteSegment(const LibraryDelta& delta, const std::string& path) {
     ByteWriter w;
     BuildPending(delta, &w);
     sections.emplace_back(SectionId::kPendingInterviews, std::move(w));
+  }
+  {
+    bool any = false;
+    for (const auto& [records, count] : delta.signature_chunks) {
+      any = any || count > 0;
+    }
+    if (any) {
+      ByteWriter w;
+      BuildSignatures(delta, &w);
+      sections.emplace_back(SectionId::kSignatures, std::move(w));
+    }
   }
 
   // Assemble: header, section table, page-aligned payloads.
@@ -763,6 +786,37 @@ SegmentReader::PendingInterviews() const {
   return out;
 }
 
+Result<std::pair<const vision::SignatureRecord*, size_t>>
+SegmentReader::SignatureChunk() const {
+  if (!has_section(SectionId::kSignatures)) {
+    return std::pair<const vision::SignatureRecord*, size_t>{nullptr, 0};
+  }
+  COBRA_ASSIGN_OR_RETURN(ByteReader in, Section(SectionId::kSignatures));
+  uint64_t count = 0;
+  if (!in.GetU64(&count) || !in.SkipAlign(64)) {
+    return Corrupt("signature section header");
+  }
+  if (count > in.remaining() / sizeof(vision::SignatureRecord)) {
+    return Corrupt("signature record count");
+  }
+  const uint8_t* base = nullptr;
+  if (!in.GetView(count * sizeof(vision::SignatureRecord), &base)) {
+    return Corrupt("signature record bytes");
+  }
+  const auto* records = reinterpret_cast<const vision::SignatureRecord*>(base);
+  // The views go straight into an ANN index; reject records a correct
+  // writer can never produce so a flipped bit cannot smuggle in a
+  // nonsense shot interval or id.
+  for (uint64_t i = 0; i < count; ++i) {
+    if (records[i].video_id < 0 || records[i].begin < 0 ||
+        records[i].end < records[i].begin) {
+      return Corrupt("signature record fields");
+    }
+  }
+  return std::pair<const vision::SignatureRecord*, size_t>{records,
+                                                           static_cast<size_t>(count)};
+}
+
 Status CreateMetaTables(Table* shots, Table* objects, Table* events) {
   // Mirrors MetaIndex::Create(); MetaIndex::FromTables re-validates, so a
   // drift between the two is caught at restore time.
@@ -823,6 +877,8 @@ Result<RestoredParts> RestoreFromSegments(
           std::make_move_iterator(pending.begin()),
           std::make_move_iterator(pending.end()));
     }
+    COBRA_ASSIGN_OR_RETURN(auto signatures, seg->SignatureChunk());
+    if (signatures.second > 0) parts.signature_chunks.push_back(signatures);
   }
   if (text_segment != nullptr) {
     COBRA_ASSIGN_OR_RETURN(InvertedIndex text,

@@ -32,6 +32,7 @@
 #include "storage/table.h"
 #include "text/compressed_index.h"
 #include "text/inverted_index.h"
+#include "vision/signature.h"
 #include "webspace/schema.h"
 #include "webspace/store.h"
 
@@ -76,6 +77,11 @@ struct LibraryDelta {
   const text::CompressedInvertedIndex* compressed_text = nullptr;
   /// Interviews added in this window while the index was still open.
   std::vector<std::pair<int64_t, std::string>> pending_interviews;
+  /// Shot signature records added in this window, as the chunk spans the
+  /// similarity index hands out (similarity::SignatureIndex::OwnedFrom);
+  /// concatenated into one kSignatures section.
+  std::vector<std::pair<const vision::SignatureRecord*, size_t>>
+      signature_chunks;
 };
 
 /// Serializes `delta` into a segment file at `path` (atomic write).
@@ -125,6 +131,12 @@ class SegmentReader {
   Result<std::vector<std::pair<int64_t, std::string>>> PendingInterviews()
       const;
 
+  /// Zero-copy view of this segment's kSignatures section ({nullptr, 0}
+  /// when absent). The records live in the mapping — the reader must
+  /// outlive every index built on the view.
+  Result<std::pair<const vision::SignatureRecord*, size_t>> SignatureChunk()
+      const;
+
   size_t file_size() const { return map_.size(); }
 
  private:
@@ -156,6 +168,11 @@ struct RestoredParts {
   /// Un-finalized interviews to replay, in add order (only populated when
   /// `text` is absent — a snapshot already contains every interview).
   std::vector<std::pair<int64_t, std::string>> pending_interviews;
+  /// One zero-copy signature chunk per segment that carried a kSignatures
+  /// section, in chain order. The chunks borrow from the readers
+  /// regardless of copy_text — the readers must outlive the library.
+  std::vector<std::pair<const vision::SignatureRecord*, size_t>>
+      signature_chunks;
 };
 
 /// Folds a manifest-ordered segment chain into library parts. With

@@ -48,6 +48,16 @@ Status WalWriter::AppendVideo(const VideoDescription& desc) {
   return AppendRecord(WalRecordType::kAddVideo, payload);
 }
 
+Status WalWriter::AppendSignatures(
+    int64_t video_id, const std::vector<vision::SignatureRecord>& records) {
+  ByteWriter payload;
+  payload.PutI64(video_id);
+  payload.PutU64(records.size());
+  payload.PutRaw(records.data(),
+                 records.size() * sizeof(vision::SignatureRecord));
+  return AppendRecord(WalRecordType::kAddSignatures, payload);
+}
+
 Status WalWriter::Sync() { return file_.Sync(); }
 
 void EncodeVideoDescription(const VideoDescription& desc, ByteWriter* out) {
@@ -177,6 +187,21 @@ Result<std::vector<WalRecord>> ReplayWal(const std::string& path) {
           record.video = video.TakeValue();
         } else {
           parsed = false;
+        }
+        break;
+      }
+      case static_cast<uint8_t>(WalRecordType::kAddSignatures): {
+        record.type = WalRecordType::kAddSignatures;
+        uint64_t count = 0;
+        parsed = payload.GetI64(&record.signature_video) &&
+                 payload.GetU64(&count) &&
+                 count <= payload.remaining() /
+                              sizeof(vision::SignatureRecord);
+        if (parsed) {
+          record.signatures.resize(count);
+          parsed = payload.GetRaw(
+              record.signatures.data(),
+              count * sizeof(vision::SignatureRecord));
         }
         break;
       }

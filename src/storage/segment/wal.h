@@ -22,13 +22,15 @@
 #include "storage/segment/format.h"
 #include "storage/segment/io.h"
 #include "util/status.h"
+#include "vision/signature.h"
 
 namespace cobra::storage::segment {
 
 enum class WalRecordType : uint8_t {
-  kAddInterview = 1,  ///< i64 oid, string text
-  kFinalizeText = 2,  ///< empty payload
-  kAddVideo = 3,      ///< serialized core::VideoDescription
+  kAddInterview = 1,   ///< i64 oid, string text
+  kFinalizeText = 2,   ///< empty payload
+  kAddVideo = 3,       ///< serialized core::VideoDescription
+  kAddSignatures = 4,  ///< i64 video_id, u64 count, SignatureRecord[count]
 };
 
 /// One decoded WAL record; the fields of the other types are default.
@@ -37,6 +39,8 @@ struct WalRecord {
   int64_t interview_oid = 0;
   std::string interview_text;
   core::VideoDescription video;
+  int64_t signature_video = -1;
+  std::vector<vision::SignatureRecord> signatures;
 };
 
 /// Appends framed records to one log file. When `sync_each` is set every
@@ -53,6 +57,8 @@ class WalWriter {
   Status AppendInterview(int64_t oid, const std::string& text);
   Status AppendFinalizeText();
   Status AppendVideo(const core::VideoDescription& desc);
+  Status AppendSignatures(int64_t video_id,
+                          const std::vector<vision::SignatureRecord>& records);
   Status Sync();
 
  private:

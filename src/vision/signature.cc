@@ -1,0 +1,98 @@
+#include "vision/signature.h"
+
+#include <chrono>
+
+#include "vision/kernels.h"
+
+namespace cobra::vision {
+
+namespace {
+
+constexpr int kGrid = 16;  // 16×16 luma cells -> 256 hash bits
+
+}  // namespace
+
+ShotSignature SignatureFromFrame(const media::Frame& frame) {
+  ShotSignature sig;
+  const int w = frame.width();
+  const int h = frame.height();
+  const int64_t total = frame.PixelCount();
+  if (total == 0) return sig;
+
+  // One pass over the pixels: per-cell luma sums + counts for the block
+  // hash, coarse RGB and luma histograms for the sketch. All integer.
+  uint64_t cell_sum[kGrid * kGrid] = {};
+  uint32_t cell_count[kGrid * kGrid] = {};
+  uint64_t total_sum = 0;
+  uint32_t rgb_hist[8] = {};
+  uint32_t luma_hist[24] = {};
+  for (int y = 0; y < h; ++y) {
+    const media::Rgb* row = frame.Row(y);
+    const int cy = y * kGrid / h;
+    for (int x = 0; x < w; ++x) {
+      const media::Rgb p = row[x];
+      const uint32_t lm = kernels::LumaMilli(p);
+      cell_sum[cy * kGrid + x * kGrid / w] += lm;
+      ++cell_count[cy * kGrid + x * kGrid / w];
+      total_sum += lm;
+      ++rgb_hist[((p.r >> 7) << 2) | ((p.g >> 7) << 1) | (p.b >> 7)];
+      ++luma_hist[(lm / 1000) * 24 >> 8];
+    }
+  }
+
+  // bit i set iff cell mean > frame mean: cell_sum/cell_count >
+  // total_sum/total, cross-multiplied to stay in integers. Empty cells
+  // (frames narrower than the grid) compare 0 > 0 and stay clear.
+  for (int i = 0; i < kGrid * kGrid; ++i) {
+    const bool set =
+        static_cast<unsigned __int128>(cell_sum[i]) *
+            static_cast<unsigned __int128>(total) >
+        static_cast<unsigned __int128>(total_sum) *
+            static_cast<unsigned __int128>(cell_count[i]);
+    if (set) sig.hash[i / 64] |= uint64_t{1} << (i % 64);
+  }
+
+  // Sketch bytes: round(255 * count / total), exact in 64-bit integers.
+  const auto quantize = [total](uint32_t count) {
+    return static_cast<uint8_t>(
+        (uint64_t{count} * 255 + static_cast<uint64_t>(total) / 2) /
+        static_cast<uint64_t>(total));
+  };
+  for (int i = 0; i < 8; ++i) sig.sketch[i] = quantize(rgb_hist[i]);
+  for (int i = 0; i < 24; ++i) sig.sketch[8 + i] = quantize(luma_hist[i]);
+  return sig;
+}
+
+Result<std::vector<SignatureRecord>> ExtractShotSignatures(
+    FrameFeatureCache& cache, int64_t video_id,
+    const std::vector<FrameInterval>& shots, SignatureExtractionStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  const FrameFeatureCache::Stats before = cache.stats();
+  std::vector<SignatureRecord> records;
+  records.reserve(shots.size());
+  for (const FrameInterval& shot : shots) {
+    if (shot.Empty()) {
+      return Status::OutOfRange("empty shot interval for signature");
+    }
+    const int64_t keyframe = shot.begin + (shot.end - shot.begin) / 2;
+    COBRA_ASSIGN_OR_RETURN(auto frame, cache.GetFrame(keyframe, 1));
+    SignatureRecord rec;
+    rec.sig = SignatureFromFrame(*frame);
+    rec.video_id = video_id;
+    rec.begin = shot.begin;
+    rec.end = shot.end;
+    records.push_back(rec);
+  }
+  if (stats != nullptr) {
+    const FrameFeatureCache::Stats after = cache.stats();
+    stats->shots += static_cast<int64_t>(shots.size());
+    stats->cache_hits += after.hits - before.hits;
+    stats->cache_misses += after.misses - before.misses;
+    stats->millis += std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  }
+  return records;
+}
+
+}  // namespace cobra::vision

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file signature.h
+/// Compact perceptual shot signatures for query-by-example and
+/// near-duplicate search (DESIGN.md §4j).
+///
+/// Each shot is summarized by its keyframe (the middle frame of the shot
+/// interval) as:
+///   * a 256-bit binary block hash — a 16×16 grid of luma cells, bit set
+///     iff the cell's mean luma exceeds the frame's global mean. All
+///     comparisons are integer cross-multiplications on the same LumaMilli
+///     sums the gray-stats kernels accumulate, so extraction is exact and
+///     platform-independent;
+///   * a 32-dim quantized color sketch — 8 coarse RGB histogram bins
+///     (2 per channel) plus a 24-bin luma histogram, each count quantized
+///     to a byte as round(255·count/total).
+///
+/// The hash is robust to noise grades and mild photometric drift (cell
+/// means move little); the sketch breaks ties among hash-close shots and
+/// separates crops/letterboxes of *different* sources that happen to agree
+/// on coarse structure. Distances (Hamming on the hash, squared L2 on the
+/// sketch) live in vision/signature_kernels.h; the sublinear index over
+/// them lives in engine/similarity.
+///
+/// SignatureRecord is the persistence unit: a trivially-copyable POD that
+/// the segment format serializes verbatim and the ANN index reads in place
+/// from mmap'd sections (zero-copy), so its layout is part of the on-disk
+/// format — append new fields to the reserved tail only.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/geometry.h"
+#include "util/status.h"
+#include "vision/frame_feature_cache.h"
+
+namespace cobra::vision {
+
+/// A shot's compact perceptual signature: 256-bit block hash (4×64-bit
+/// words, bit (row·16+col) of the grid = word (i/64), bit (i%64)) plus the
+/// 32-byte quantized color sketch.
+struct ShotSignature {
+  uint64_t hash[4] = {0, 0, 0, 0};
+  uint8_t sketch[32] = {};
+};
+
+inline bool operator==(const ShotSignature& a, const ShotSignature& b) {
+  return std::memcmp(&a, &b, sizeof(ShotSignature)) == 0;
+}
+
+/// One indexed shot: signature + identity. 96 bytes, trivially copyable;
+/// serialized verbatim into the segment kSignatures section.
+struct SignatureRecord {
+  ShotSignature sig;
+  int64_t video_id = -1;
+  int64_t begin = 0;  ///< shot interval, inclusive (FrameInterval semantics)
+  int64_t end = 0;
+  int64_t reserved = 0;  ///< format headroom; must round-trip as written
+};
+
+static_assert(sizeof(ShotSignature) == 64, "signature layout is on-disk");
+static_assert(sizeof(SignatureRecord) == 96, "record layout is on-disk");
+static_assert(std::is_trivially_copyable_v<SignatureRecord>,
+              "records are serialized/mmap'd verbatim");
+
+/// Computes the signature of one frame. Pure and integer-exact: the same
+/// pixels always produce the same signature on every platform and tier.
+ShotSignature SignatureFromFrame(const media::Frame& frame);
+
+/// Counters from one extraction pass. The cache hit/miss fields are the
+/// *delta* observed on the shared FrameFeatureCache during this pass, so
+/// benches can report how often signature extraction rode on frames other
+/// detectors already decoded.
+struct SignatureExtractionStats {
+  int64_t shots = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  double millis = 0.0;
+};
+
+/// Extracts one SignatureRecord per shot interval of `video_id`, reading
+/// keyframes through `cache` (shared with the FDE detectors, so repeated
+/// extraction and detection share decodes). Shots with an empty interval
+/// or an out-of-range keyframe fail with OutOfRange.
+Result<std::vector<SignatureRecord>> ExtractShotSignatures(
+    FrameFeatureCache& cache, int64_t video_id,
+    const std::vector<FrameInterval>& shots,
+    SignatureExtractionStats* stats = nullptr);
+
+}  // namespace cobra::vision

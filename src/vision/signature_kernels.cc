@@ -1,0 +1,288 @@
+#include "vision/signature_kernels.h"
+
+#include <bit>
+
+// SIMD tiers exist only on x86-64 GCC/Clang builds with the COBRA_SIMD CMake
+// option ON; everywhere else only the scalar tier is compiled and dispatch
+// degenerates to it.
+#if defined(COBRA_SIMD) && COBRA_SIMD && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define COBRA_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define COBRA_SIMD_X86 0
+#endif
+
+namespace cobra::vision::signature_kernels {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference tier. All-integer, so every tier is exact.
+// ---------------------------------------------------------------------------
+
+namespace scalar {
+
+uint32_t Hamming256(const uint64_t* a, const uint64_t* b) {
+  uint32_t d = 0;
+  for (int w = 0; w < 4; ++w) {
+    d += static_cast<uint32_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return d;
+}
+
+void Hamming256Batch(const uint64_t* q, const uint8_t* base,
+                     size_t stride_bytes, size_t n, uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t words[4];
+    __builtin_memcpy(words, base + i * stride_bytes, sizeof(words));
+    out[i] = Hamming256(q, words);
+  }
+}
+
+uint32_t L2Sq32(const uint8_t* a, const uint8_t* b) {
+  uint32_t s = 0;
+  for (int i = 0; i < 32; ++i) {
+    const int32_t d = static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]);
+    s += static_cast<uint32_t>(d * d);
+  }
+  return s;
+}
+
+void L2Sq32Batch(const uint8_t* q, const uint8_t* base, size_t stride_bytes,
+                 size_t n, uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = L2Sq32(q, base + i * stride_bytes);
+}
+
+}  // namespace scalar
+
+constexpr SignatureKernelOps kScalarOps = {
+    scalar::Hamming256,
+    scalar::Hamming256Batch,
+    scalar::L2Sq32,
+    scalar::L2Sq32Batch,
+};
+
+#if COBRA_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// SSE4.1 (+POPCNT) tier: two 128-bit XOR lanes per hash, hardware popcount
+// on the four 64-bit words; sketch distance via unpack-to-16-bit + pmaddwd.
+// ---------------------------------------------------------------------------
+
+#pragma GCC push_options
+#pragma GCC target("sse4.1,popcnt")
+
+namespace sse41 {
+
+uint32_t Hamming256(const uint64_t* a, const uint64_t* b) {
+  const __m128i x0 = _mm_xor_si128(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(a)),
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(b)));
+  const __m128i x1 = _mm_xor_si128(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + 2)),
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + 2)));
+  const uint64_t c = static_cast<uint64_t>(_mm_popcnt_u64(
+                         static_cast<uint64_t>(_mm_extract_epi64(x0, 0)))) +
+                     static_cast<uint64_t>(_mm_popcnt_u64(
+                         static_cast<uint64_t>(_mm_extract_epi64(x0, 1)))) +
+                     static_cast<uint64_t>(_mm_popcnt_u64(
+                         static_cast<uint64_t>(_mm_extract_epi64(x1, 0)))) +
+                     static_cast<uint64_t>(_mm_popcnt_u64(
+                         static_cast<uint64_t>(_mm_extract_epi64(x1, 1))));
+  return static_cast<uint32_t>(c);
+}
+
+void Hamming256Batch(const uint64_t* q, const uint8_t* base,
+                     size_t stride_bytes, size_t n, uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Hamming256(q, reinterpret_cast<const uint64_t*>(
+                               base + i * stride_bytes));
+  }
+}
+
+// Sum of squared byte differences over one 16-byte lane, as a vector of
+// four 32-bit partials: |a-b| via max-min (exact for unsigned bytes), widen
+// to 16 bit, square-and-pair-sum with pmaddwd.
+inline __m128i SqDiffLane(__m128i a, __m128i b) {
+  const __m128i d = _mm_sub_epi8(_mm_max_epu8(a, b), _mm_min_epu8(a, b));
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i lo = _mm_unpacklo_epi8(d, zero);
+  const __m128i hi = _mm_unpackhi_epi8(d, zero);
+  return _mm_add_epi32(_mm_madd_epi16(lo, lo), _mm_madd_epi16(hi, hi));
+}
+
+uint32_t L2Sq32(const uint8_t* a, const uint8_t* b) {
+  const __m128i s = _mm_add_epi32(
+      SqDiffLane(_mm_loadu_si128(reinterpret_cast<const __m128i*>(a)),
+                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(b))),
+      SqDiffLane(_mm_loadu_si128(reinterpret_cast<const __m128i*>(a + 16)),
+                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + 16))));
+  const __m128i t = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+  return static_cast<uint32_t>(
+      _mm_cvtsi128_si32(_mm_add_epi32(t, _mm_srli_si128(t, 4))));
+}
+
+void L2Sq32Batch(const uint8_t* q, const uint8_t* base, size_t stride_bytes,
+                 size_t n, uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = L2Sq32(q, base + i * stride_bytes);
+}
+
+}  // namespace sse41
+
+#pragma GCC pop_options
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: a whole 256-bit hash is one ymm register. Popcount is the
+// pshufb nibble-LUT + psadbw reduction (AVX2 has no vector popcount), so
+// this tier does not touch the POPCNT flag at all.
+// ---------------------------------------------------------------------------
+
+#pragma GCC push_options
+#pragma GCC target("avx2")
+
+namespace avx2 {
+
+// Per-byte popcount of v via two nibble table lookups.
+inline __m256i PopcountBytes(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+uint32_t Hamming256(const uint64_t* a, const uint64_t* b) {
+  const __m256i x = _mm256_xor_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a)),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b)));
+  // psadbw against zero sums each 8-byte group of byte counts into a u64.
+  const __m256i sums =
+      _mm256_sad_epu8(PopcountBytes(x), _mm256_setzero_si256());
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), sums);
+  return static_cast<uint32_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+}
+
+void Hamming256Batch(const uint64_t* q, const uint8_t* base,
+                     size_t stride_bytes, size_t n, uint32_t* out) {
+  const __m256i qv =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q));
+  const __m256i zero = _mm256_setzero_si256();
+  for (size_t i = 0; i < n; ++i) {
+    const __m256i x = _mm256_xor_si256(
+        qv, _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(base + i * stride_bytes)));
+    const __m256i sums = _mm256_sad_epu8(PopcountBytes(x), zero);
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), sums);
+    out[i] = static_cast<uint32_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  }
+}
+
+uint32_t L2Sq32(const uint8_t* a, const uint8_t* b) {
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  const __m256i d =
+      _mm256_sub_epi8(_mm256_max_epu8(va, vb), _mm256_min_epu8(va, vb));
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i lo = _mm256_unpacklo_epi8(d, zero);
+  const __m256i hi = _mm256_unpackhi_epi8(d, zero);
+  const __m256i s =
+      _mm256_add_epi32(_mm256_madd_epi16(lo, lo), _mm256_madd_epi16(hi, hi));
+  const __m128i q =
+      _mm_add_epi32(_mm256_castsi256_si128(s), _mm256_extracti128_si256(s, 1));
+  const __m128i t = _mm_add_epi32(q, _mm_srli_si128(q, 8));
+  return static_cast<uint32_t>(
+      _mm_cvtsi128_si32(_mm_add_epi32(t, _mm_srli_si128(t, 4))));
+}
+
+void L2Sq32Batch(const uint8_t* q, const uint8_t* base, size_t stride_bytes,
+                 size_t n, uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = L2Sq32(q, base + i * stride_bytes);
+}
+
+}  // namespace avx2
+
+#pragma GCC pop_options
+
+constexpr SignatureKernelOps kSse41Ops = {
+    sse41::Hamming256,
+    sse41::Hamming256Batch,
+    sse41::L2Sq32,
+    sse41::L2Sq32Batch,
+};
+
+constexpr SignatureKernelOps kAvx2Ops = {
+    avx2::Hamming256,
+    avx2::Hamming256Batch,
+    avx2::L2Sq32,
+    avx2::L2Sq32Batch,
+};
+
+// True once the POPCNT CPUID flag has been probed (the SSE4.1 tier emits the
+// popcnt instruction; the flag is not implied by SSE4.1 itself).
+bool CpuHasPopcnt() {
+  static const bool has = __builtin_cpu_supports("popcnt");
+  return has;
+}
+
+#endif  // COBRA_SIMD_X86
+
+}  // namespace
+
+const SignatureKernelOps& ScalarOps() { return kScalarOps; }
+
+SimdLevel BestSupportedLevel() {
+#if COBRA_SIMD_X86
+  const SimdLevel cpu = util::simd::CpuBestLevel();
+  // AVX2 counts bits without POPCNT; the SSE4.1 tier needs the flag.
+  if (cpu == SimdLevel::kSse41 && !CpuHasPopcnt()) return SimdLevel::kScalar;
+  return cpu;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+const SignatureKernelOps* OpsFor(SimdLevel level) {
+  if (level == SimdLevel::kScalar) return &kScalarOps;
+#if COBRA_SIMD_X86
+  if (static_cast<int>(level) > static_cast<int>(util::simd::CpuBestLevel())) {
+    return nullptr;
+  }
+  if (level == SimdLevel::kSse41) {
+    return CpuHasPopcnt() ? &kSse41Ops : nullptr;
+  }
+  if (level == SimdLevel::kAvx2) return &kAvx2Ops;
+#endif
+  return nullptr;
+}
+
+SimdLevel ActiveLevel() {
+  const int forced = util::simd::ForcedLevel();
+  if (forced < 0) return BestSupportedLevel();
+  // The shared cap may name a tier this library did not compile (or that
+  // this CPU cannot popcount); clamp down.
+  int clamped = forced;
+  while (clamped > 0 && OpsFor(static_cast<SimdLevel>(clamped)) == nullptr) {
+    --clamped;
+  }
+  return static_cast<SimdLevel>(clamped);
+}
+
+SimdLevel SetActiveLevel(SimdLevel level) {
+  int clamped = static_cast<int>(level);
+  while (clamped > 0 && OpsFor(static_cast<SimdLevel>(clamped)) == nullptr) {
+    --clamped;
+  }
+  const SimdLevel previous = ActiveLevel();
+  util::simd::SetForcedLevel(clamped);
+  return previous;
+}
+
+const SignatureKernelOps& Ops() { return *OpsFor(ActiveLevel()); }
+
+}  // namespace cobra::vision::signature_kernels

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file signature_kernels.h
+/// SIMD distance kernels for compact perceptual shot signatures
+/// (vision/signature.h): 256-bit Hamming distance on 4×64-bit hash words
+/// and squared L2 on the 32-byte quantized color sketch, in the same
+/// scalar/SSE4.1/AVX2 runtime-dispatch shape as vision/kernels.
+///
+/// Every tier computes exact integer results, so all tiers are trivially
+/// bit-identical — the property tests still sweep them because the batch
+/// kernels do their own striding and tail handling.
+///
+/// One wrinkle vs the pixel kernels: the POPCNT instruction is *not*
+/// implied by SSE4.1 (it arrived with SSE4.2-era CPUs and has its own
+/// CPUID flag), so the SSE4.1 tier additionally probes `popcnt` support
+/// and BestSupportedLevel() reports scalar on machines without it. The
+/// AVX2 tier needs no POPCNT at all: it counts bits with the classic
+/// pshufb nibble-LUT + psadbw reduction.
+///
+/// Dispatch state is the shared util/simd cap: forcing a level there caps
+/// this layer too, clamped to the tiers this translation unit compiled.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/simd.h"
+
+namespace cobra::vision::signature_kernels {
+
+using util::simd::SimdLevel;
+
+/// The distance kernel table for one tier. Batch kernels read one
+/// signature component per record from `base + i * stride_bytes`
+/// (stride-aware so they can walk arrays of whole SignatureRecords,
+/// including zero-copy mmap'd segment sections, without a gather pass).
+struct SignatureKernelOps {
+  /// Hamming distance between two 256-bit hashes (4 u64 words each).
+  uint32_t (*Hamming256)(const uint64_t* a, const uint64_t* b);
+  /// out[i] = Hamming256(q, base + i * stride_bytes) for i in [0, n).
+  void (*Hamming256Batch)(const uint64_t* q, const uint8_t* base,
+                          size_t stride_bytes, size_t n, uint32_t* out);
+  /// Squared L2 distance between two 32-byte sketches (max 32·255² < 2³²).
+  uint32_t (*L2Sq32)(const uint8_t* a, const uint8_t* b);
+  /// out[i] = L2Sq32(q, base + i * stride_bytes) for i in [0, n).
+  void (*L2Sq32Batch)(const uint8_t* q, const uint8_t* base,
+                      size_t stride_bytes, size_t n, uint32_t* out);
+};
+
+/// The scalar reference tier (always available).
+const SignatureKernelOps& ScalarOps();
+
+/// Best tier both compiled in and supported by this CPU (the SSE4.1 row
+/// additionally requires the POPCNT CPUID flag, see file comment).
+SimdLevel BestSupportedLevel();
+
+/// Ops for `level`, or nullptr if that tier is unavailable here.
+const SignatureKernelOps* OpsFor(SimdLevel level);
+
+/// The tier Ops() dispatches to: the shared util/simd cap clamped to
+/// what this layer supports.
+SimdLevel ActiveLevel();
+
+/// Sets the shared cap (clamped to a supported tier); returns the
+/// previous active level. Test/bench helper, like kernels::SetActiveLevel.
+SimdLevel SetActiveLevel(SimdLevel level);
+
+/// The active tier's kernel table.
+const SignatureKernelOps& Ops();
+
+}  // namespace cobra::vision::signature_kernels

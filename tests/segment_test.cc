@@ -31,6 +31,7 @@
 #include "text/compressed_index.h"
 #include "text/inverted_index.h"
 #include "util/rng.h"
+#include "vision/signature.h"
 #include "webspace/site_synthesizer.h"
 #include "webspace/store.h"
 
@@ -138,7 +139,28 @@ struct Fixture {
   text::InvertedIndex text;
   std::vector<int64_t> video_oids;
   std::map<int64_t, std::string> interviews;
+  std::vector<vision::SignatureRecord> signatures;
 };
+
+std::vector<vision::SignatureRecord> MakeSignatures(
+    const std::vector<int64_t>& video_oids) {
+  std::vector<vision::SignatureRecord> records;
+  Rng rng(17);
+  for (int64_t oid : video_oids) {
+    for (int64_t shot = 0; shot < 4; ++shot) {
+      vision::SignatureRecord rec;
+      for (uint64_t& word : rec.sig.hash) word = rng.NextU64();
+      for (uint8_t& byte : rec.sig.sketch) {
+        byte = static_cast<uint8_t>(rng.NextBounded(256));
+      }
+      rec.video_id = oid;
+      rec.begin = shot * 100;
+      rec.end = shot * 100 + 99;
+      records.push_back(rec);
+    }
+  }
+  return records;
+}
 
 core::VideoDescription MakeVideo(int64_t oid, uint64_t seed) {
   const char* events[] = {"net_play", "rally", "service", "smash"};
@@ -174,7 +196,7 @@ Fixture MakeFixture() {
 
   Fixture out{std::move(site.store), core::MetaIndex::Create().TakeValue(),
               text::InvertedIndex(), std::move(site.video_oids),
-              std::move(site.interview_texts)};
+              std::move(site.interview_texts), {}};
   Rng rng(11);
   for (const auto& [oid, body] : out.interviews) {
     (void)body;
@@ -185,6 +207,7 @@ Fixture MakeFixture() {
     EXPECT_TRUE(
         out.meta.AddVideo(MakeVideo(oid, static_cast<uint64_t>(oid))).ok());
   }
+  out.signatures = MakeSignatures(out.video_oids);
   return out;
 }
 
@@ -200,6 +223,10 @@ LibraryDelta FullDelta(const Fixture& fixture,
   delta.new_video_oids = fixture.video_oids;
   delta.text = &fixture.text;
   delta.compressed_text = compressed;
+  if (!fixture.signatures.empty()) {
+    delta.signature_chunks = {
+        {fixture.signatures.data(), fixture.signatures.size()}};
+  }
   return delta;
 }
 
@@ -235,8 +262,20 @@ TEST(SegmentTest, SingleSegmentRoundtrip) {
   EXPECT_EQ(reader->new_video_oids(), fixture.video_oids);
   ASSERT_TRUE(reader->has_section(SectionId::kTextCompressed));
 
+  // The signature section maps back zero-copy and bit-identical.
+  ASSERT_TRUE(reader->has_section(SectionId::kSignatures));
+  auto chunk = reader->SignatureChunk().TakeValue();
+  ASSERT_EQ(chunk.second, fixture.signatures.size());
+  EXPECT_EQ(std::memcmp(chunk.first, fixture.signatures.data(),
+                        chunk.second * sizeof(vision::SignatureRecord)),
+            0);
+  // The raw records are 64-aligned in the map, ready for SIMD loads.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(chunk.first) % 64, 0u);
+
   auto parts = RestoreFromSegments({reader.get()}, false).TakeValue();
   EXPECT_EQ(parts.index_epoch, 5);
+  ASSERT_EQ(parts.signature_chunks.size(), 1u);
+  EXPECT_EQ(parts.signature_chunks[0].second, fixture.signatures.size());
   EXPECT_EQ(parts.indexed_videos, fixture.video_oids);
   ASSERT_TRUE(parts.text.has_value());
   EXPECT_TRUE(parts.pending_interviews.empty());
@@ -407,6 +446,7 @@ void ExpectCleanOpen(const std::string& path) {
   (void)(*reader)->LoadTextIndex(true);
   (void)(*reader)->LoadCompressedText(true);
   (void)(*reader)->PendingInterviews();
+  (void)(*reader)->SignatureChunk();
 }
 
 TEST(SegmentCorruptionTest, MutatedBytesFailCleanly) {
@@ -461,6 +501,36 @@ TEST(SegmentCorruptionTest, TargetedHeaderAndSectionCorruptionFails) {
                       pristine.size() - 1}) {
     expect_open_fails(
         std::vector<uint8_t>(pristine.begin(), pristine.begin() + keep));
+  }
+}
+
+TEST(SegmentCorruptionTest, SignatureRecordValidationRejectsBadFields) {
+  // The signature section is handed out as a zero-copy view, so the loader
+  // must reject field values a correct writer can never produce — a CRC
+  // pass alone does not make the records meaningful.
+  Fixture fixture = MakeFixture();
+  const std::string path = TempPath("seg_sig_bad.cseg");
+  const std::vector<vision::SignatureRecord> pristine = fixture.signatures;
+  for (int which = 0; which < 3; ++which) {
+    fixture.signatures = pristine;
+    vision::SignatureRecord& rec = fixture.signatures[2];
+    switch (which) {
+      case 0:
+        rec.video_id = -7;
+        break;
+      case 1:
+        rec.begin = -1;
+        break;
+      case 2:
+        rec.begin = 50;
+        rec.end = 10;
+        break;
+    }
+    ASSERT_TRUE(WriteSegment(FullDelta(fixture, nullptr), path).ok());
+    auto reader = SegmentReader::Open(path).TakeValue();
+    EXPECT_FALSE(reader->SignatureChunk().ok()) << "variant " << which;
+    EXPECT_FALSE(RestoreFromSegments({reader.get()}, false).ok())
+        << "variant " << which;
   }
 }
 
@@ -543,6 +613,34 @@ TEST(WalTest, RoundtripAndTornTail) {
   EXPECT_TRUE(ReplayWal(torn_path)->empty());
 
   EXPECT_TRUE(ReplayWal(TempPath("wal_missing.wal"))->empty());
+}
+
+TEST(WalTest, SignatureRecordsRoundtrip) {
+  const std::string path = TempPath("wal_signatures.wal");
+  const std::vector<vision::SignatureRecord> records = MakeSignatures({42, 43});
+  {
+    auto wal = WalWriter::Open(path, /*sync_each=*/false).TakeValue();
+    ASSERT_TRUE(wal.AppendSignatures(42, records).ok());
+    ASSERT_TRUE(wal.AppendSignatures(7, {}).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  auto replayed = ReplayWal(path).TakeValue();
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].type, WalRecordType::kAddSignatures);
+  EXPECT_EQ(replayed[0].signature_video, 42);
+  ASSERT_EQ(replayed[0].signatures.size(), records.size());
+  EXPECT_EQ(std::memcmp(replayed[0].signatures.data(), records.data(),
+                        records.size() * sizeof(vision::SignatureRecord)),
+            0);
+  EXPECT_EQ(replayed[1].type, WalRecordType::kAddSignatures);
+  EXPECT_EQ(replayed[1].signature_video, 7);
+  EXPECT_TRUE(replayed[1].signatures.empty());
+
+  // A torn tail drops the last record cleanly, never errors.
+  const std::vector<uint8_t> full = ReadAll(path);
+  const std::string torn = TempPath("wal_signatures_torn.wal");
+  ASSERT_TRUE(WriteFileAtomic(torn, full.data(), full.size() - 1).ok());
+  EXPECT_EQ(ReplayWal(torn)->size(), 1u);
 }
 
 TEST(WalTest, VideoDescriptionCodecRoundtrip) {
