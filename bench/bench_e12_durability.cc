@@ -246,7 +246,9 @@ void RunIngest(const std::vector<std::string>& vocabulary) {
 
   auto run_durable = [&](bool wal_sync) {
     engine::DurableLibrary::Options options;
-    options.wal_sync = wal_sync;
+    options.wal_mode = wal_sync
+                           ? storage::segment::WalMode::kSyncEachRecord
+                           : storage::segment::WalMode::kBuffered;
     const std::string dir =
         FreshDir(wal_sync ? "e12_ingest_sync" : "e12_ingest_nosync");
     auto durable = engine::DurableLibrary::Create(

@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -141,7 +143,10 @@ void RunMetaIndexScale() {
                                    {begin, begin + rng.NextInt(10, 900)})
                    .Set("player", rng.NextInt(-1, 3)));
     }
-    (void)meta.AddVideo(desc);
+    if (Status status = meta.AddVideo(desc); !status.ok()) {
+      std::fprintf(stderr, "E8 AddVideo: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
   }
   std::printf("events table: %lld rows over %lld videos\n\n",
               static_cast<long long>(meta.events().num_rows()),
@@ -256,7 +261,11 @@ void RunEventPlannerScale() {
                                    {begin, begin + rng.NextInt(10, 900)})
                    .Set("player", rng.NextInt(-1, 1)));
     }
-    (void)library->AddVideoDescription(desc);
+    if (Status status = library->AddVideoDescription(desc); !status.ok()) {
+      std::fprintf(stderr, "E8 AddVideoDescription: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
   }
 
   engine::CombinedQuery query;

@@ -18,8 +18,10 @@
 #include "core/tennis_fde.h"
 #include "engine/digital_library.h"
 #include "engine/durable_library.h"
+#include "engine/ingest/ingest.h"
 #include "engine/query_language.h"
 #include "media/tennis_synthesizer.h"
+#include "util/thread_pool.h"
 #include "webspace/site_synthesizer.h"
 
 using namespace cobra;  // NOLINT
@@ -68,43 +70,66 @@ int main() {
   }
   const engine::DigitalLibrary& library =
       durable ? durable->library() : *memory_library;
-  auto add_interview = [&](int64_t oid, const std::string& text) {
-    return durable ? durable->AddInterview(oid, text)
-                   : memory_library->AddInterview(oid, text);
-  };
 
   if (!restored) {
-  // --- 2. full-text index over the interviews ---
+  // --- 2 & 3. pipelined corpus ingest (engine/ingest): interviews, then
+  // the match videos analyzed through the tennis FDE on a worker pool,
+  // committed in submission order — bit-identical to the serial loop.
+  util::ThreadPool ingest_pool(util::ThreadPool::DefaultThreads());
+  std::unique_ptr<engine::ingest::IngestSink> sink;
+  if (durable) {
+    sink = std::make_unique<engine::ingest::DurableLibrarySink>(durable.get());
+  } else {
+    sink = std::make_unique<engine::ingest::LibrarySink>(memory_library.get());
+  }
+  engine::ingest::CorpusIngestPipeline::Options pipeline_options;
+  pipeline_options.pool = &ingest_pool;
+  engine::ingest::CorpusIngestPipeline pipeline(sink.get(), pipeline_options);
+
+  auto fail = [](const Status& status) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  };
   for (const auto& [oid, text] : interview_texts) {
-    if (auto status = add_interview(oid, text); !status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
+    if (auto status = pipeline.SubmitInterview(oid, text); !status.ok()) {
+      return fail(status);
     }
   }
-  (void)(durable ? durable->FinalizeText() : memory_library->FinalizeText());
+  if (auto status = pipeline.SubmitFinalizeText(); !status.ok()) {
+    return fail(status);
+  }
   std::printf("indexed %zu interviews\n", interview_texts.size());
 
-  // --- 3. content-based video indexing through the tennis FDE ---
-  auto indexer = core::TennisVideoIndexer::Create(indexer_config).TakeValue();
   for (const auto& [video_oid, seed] : video_seeds) {
-    media::TennisSynthConfig config;
-    config.width = 128;
-    config.height = 96;
-    config.num_points = 2;
-    config.min_court_frames = 100;
-    config.max_court_frames = 130;
-    config.min_cutaway_frames = 12;
-    config.max_cutaway_frames = 18;
-    config.net_approach_prob = 1.0;
-    config.seed = seed;
-    auto broadcast =
-        media::TennisBroadcastSynthesizer(config).Synthesize().TakeValue();
-    auto desc = indexer->Index(*broadcast.video, video_oid, "match video");
-    if (desc.ok()) {
-      (void)(durable ? durable->AddVideoDescription(*desc)
-                     : memory_library->AddVideoDescription(*desc));
-    }
+    const int64_t oid = video_oid;
+    const uint64_t video_seed = seed;
+    auto status = pipeline.SubmitVideo(
+        [oid, video_seed, indexer_config]()
+            -> Result<engine::ingest::IngestDelta> {
+          media::TennisSynthConfig config;
+          config.width = 128;
+          config.height = 96;
+          config.num_points = 2;
+          config.min_court_frames = 100;
+          config.max_court_frames = 130;
+          config.min_cutaway_frames = 12;
+          config.max_cutaway_frames = 18;
+          config.net_approach_prob = 1.0;
+          config.seed = video_seed;
+          COBRA_ASSIGN_OR_RETURN(
+              media::Broadcast broadcast,
+              media::TennisBroadcastSynthesizer(config).Synthesize());
+          COBRA_ASSIGN_OR_RETURN(
+              std::unique_ptr<core::TennisVideoIndexer> indexer,
+              core::TennisVideoIndexer::Create(indexer_config));
+          COBRA_ASSIGN_OR_RETURN(
+              core::VideoDescription desc,
+              indexer->Index(*broadcast.video, oid, "match video"));
+          return engine::ingest::IngestDelta::Video(std::move(desc), {});
+        });
+    if (!status.ok()) return fail(status);
   }
+  if (auto status = pipeline.Finish(); !status.ok()) return fail(status);
   std::printf("indexed %zu match videos through the FDE\n", video_seeds.size());
   if (durable) {
     if (auto status = durable->Flush(); !status.ok()) {

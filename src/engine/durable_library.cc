@@ -121,7 +121,8 @@ Status DurableLibrary::FlushLocked(bool /*flush_on_open*/) {
       compressed.has_value() ? &*compressed : nullptr);
 
   const std::string seg_name = SegmentFileName(manifest_.next_file_number++);
-  COBRA_RETURN_NOT_OK(seg::WriteSegment(delta, JoinPath(dir_, seg_name)));
+  COBRA_RETURN_NOT_OK(
+      seg::WriteSegment(delta, JoinPath(dir_, seg_name), options_.flush_pool));
   COBRA_ASSIGN_OR_RETURN(
       std::unique_ptr<seg::SegmentReader> reader,
       seg::SegmentReader::Open(JoinPath(dir_, seg_name), options_.verify));
@@ -129,13 +130,16 @@ Status DurableLibrary::FlushLocked(bool /*flush_on_open*/) {
   const std::string old_wal = manifest_.wal;
   const std::string wal_name = WalFileName(manifest_.next_file_number++);
   COBRA_ASSIGN_OR_RETURN(
-      seg::WalWriter wal,
-      seg::WalWriter::Open(JoinPath(dir_, wal_name), options_.wal_sync));
+      std::shared_ptr<seg::GroupCommitWal> wal,
+      seg::GroupCommitWal::Open(JoinPath(dir_, wal_name), options_.wal_mode));
 
   manifest_.segments.push_back(seg_name);
   manifest_.wal = wal_name;
   COBRA_RETURN_NOT_OK(WriteManifestLocked());
   readers_.push_back(std::move(reader));
+  // Rotate. Tickets staged into the old WAL keep it alive through their
+  // shared_ptr; waiting on them after the rotation completes harmlessly
+  // (the fsynced segment already made those records durable).
   wal_ = std::move(wal);
   if (!old_wal.empty()) {
     (void)seg::RemoveFile(JoinPath(dir_, old_wal));
@@ -314,37 +318,79 @@ Result<std::unique_ptr<DurableLibrary>> DurableLibrary::Open(
   } else {
     // Nothing replayed: restart the (empty or torn-garbage-only) log.
     COBRA_ASSIGN_OR_RETURN(
-        out->wal_, seg::WalWriter::Open(JoinPath(dir, out->manifest_.wal),
-                                        options.wal_sync));
+        out->wal_, seg::GroupCommitWal::Open(JoinPath(dir, out->manifest_.wal),
+                                             options.wal_mode));
   }
   return out;
 }
 
-Status DurableLibrary::AddInterview(int64_t interview_oid,
-                                    const std::string& text) {
+Result<DurableLibrary::StageTicket> DurableLibrary::StageInterview(
+    int64_t interview_oid, const std::string& text) {
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
   COBRA_RETURN_NOT_OK(library_->AddInterview(interview_oid, text));
   pending_.emplace_back(interview_oid, text);
-  return wal_.AppendInterview(interview_oid, text);
+  COBRA_ASSIGN_OR_RETURN(uint64_t seq,
+                         wal_->StageInterview(interview_oid, text));
+  return StageTicket{wal_, seq};
+}
+
+Result<DurableLibrary::StageTicket> DurableLibrary::StageFinalizeText() {
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
+  COBRA_RETURN_NOT_OK(library_->FinalizeText());
+  COBRA_ASSIGN_OR_RETURN(uint64_t seq, wal_->StageFinalizeText());
+  return StageTicket{wal_, seq};
+}
+
+Result<DurableLibrary::StageTicket> DurableLibrary::StageVideoDescription(
+    const core::VideoDescription& desc) {
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
+  COBRA_RETURN_NOT_OK(library_->AddVideoDescription(desc));
+  COBRA_ASSIGN_OR_RETURN(uint64_t seq, wal_->StageVideo(desc));
+  return StageTicket{wal_, seq};
+}
+
+Result<DurableLibrary::StageTicket> DurableLibrary::StageVideoSignatures(
+    int64_t video_id, const std::vector<vision::SignatureRecord>& records) {
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
+  COBRA_RETURN_NOT_OK(library_->AddVideoSignatures(video_id, records));
+  COBRA_ASSIGN_OR_RETURN(uint64_t seq, wal_->StageSignatures(video_id, records));
+  return StageTicket{wal_, seq};
+}
+
+Status DurableLibrary::WaitDurable(const StageTicket& ticket) {
+  if (ticket.wal == nullptr) return Status::OK();
+  return ticket.wal->WaitDurable(ticket.seq);
+}
+
+Status DurableLibrary::AddInterview(int64_t interview_oid,
+                                    const std::string& text) {
+  COBRA_ASSIGN_OR_RETURN(StageTicket ticket,
+                         StageInterview(interview_oid, text));
+  return WaitDurable(ticket);
 }
 
 Status DurableLibrary::FinalizeText() {
-  COBRA_RETURN_NOT_OK(library_->FinalizeText());
-  return wal_.AppendFinalizeText();
+  COBRA_ASSIGN_OR_RETURN(StageTicket ticket, StageFinalizeText());
+  return WaitDurable(ticket);
 }
 
 Status DurableLibrary::AddVideoDescription(const core::VideoDescription& desc) {
-  COBRA_RETURN_NOT_OK(library_->AddVideoDescription(desc));
-  return wal_.AppendVideo(desc);
+  COBRA_ASSIGN_OR_RETURN(StageTicket ticket, StageVideoDescription(desc));
+  return WaitDurable(ticket);
 }
 
 Status DurableLibrary::AddVideoSignatures(
     int64_t video_id, const std::vector<vision::SignatureRecord>& records) {
-  COBRA_RETURN_NOT_OK(library_->AddVideoSignatures(video_id, records));
-  return wal_.AppendSignatures(video_id, records);
+  COBRA_ASSIGN_OR_RETURN(StageTicket ticket,
+                         StageVideoSignatures(video_id, records));
+  return WaitDurable(ticket);
 }
 
 Status DurableLibrary::Flush() {
-  std::lock_guard<std::mutex> lock(manifest_mutex_);
+  // Exclude writers for the whole fold: every record the delta covers is
+  // in memory, and no record can land in the WAL between the segment
+  // build and the rotation.
+  std::scoped_lock lock(mutate_mutex_, manifest_mutex_);
   return FlushLocked(false);
 }
 
@@ -405,7 +451,8 @@ Status DurableLibrary::Compact() {
     std::lock_guard<std::mutex> lock(manifest_mutex_);
     seg_name = SegmentFileName(manifest_.next_file_number++);
   }
-  COBRA_RETURN_NOT_OK(seg::WriteSegment(delta, JoinPath(dir_, seg_name)));
+  COBRA_RETURN_NOT_OK(
+      seg::WriteSegment(delta, JoinPath(dir_, seg_name), options_.flush_pool));
   COBRA_ASSIGN_OR_RETURN(
       std::unique_ptr<seg::SegmentReader> merged,
       seg::SegmentReader::Open(JoinPath(dir_, seg_name), options_.verify));
@@ -461,6 +508,16 @@ Status DurableLibrary::WaitForCompaction() {
   compact_group_.reset();
   std::lock_guard<std::mutex> lock(compact_status_mutex_);
   return compact_status_;
+}
+
+int64_t DurableLibrary::wal_sync_calls() const {
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
+  return wal_->sync_calls();
+}
+
+int64_t DurableLibrary::wal_records_committed() const {
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
+  return wal_->records_committed();
 }
 
 size_t DurableLibrary::num_segments() const {

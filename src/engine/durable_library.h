@@ -20,8 +20,14 @@
 /// still point into them.
 ///
 /// Concurrency: queries (through library()) may run concurrently with
-/// CompactAsync(); mutations and Flush require external ordering against
-/// each other, same as DigitalLibrary itself.
+/// CompactAsync(). Mutations and Flush are internally thread-safe (any
+/// number of writer threads; DESIGN.md §4k): the in-memory apply and the
+/// WAL staging happen atomically under one mutation mutex, and the
+/// durability wait happens outside it, so concurrent writers' records
+/// share WAL group commits (one fdatasync per group, each call still
+/// durable on return). Queries concurrent with *mutations* follow the
+/// DigitalLibrary contract (not safe) — the serving tier's ingest path
+/// double-buffers and publishes through ReloadShard instead.
 
 #include <memory>
 #include <mutex>
@@ -40,10 +46,17 @@ namespace cobra::engine {
 class DurableLibrary {
  public:
   struct Options {
-    /// fdatasync every WAL record (durable against power loss). Off,
-    /// records survive process crashes but not power loss until the next
-    /// flush — the E12 ingest benchmark measures both.
-    bool wal_sync = true;
+    /// How WAL appends reach stable storage. kGroupCommit (default) keeps
+    /// the durable-on-return contract of kSyncEachRecord while batching
+    /// concurrent writers into one fdatasync per group; kBuffered trades
+    /// power-loss durability for throughput — the E12/E15 benchmarks
+    /// measure all three.
+    storage::segment::WalMode wal_mode =
+        storage::segment::WalMode::kGroupCommit;
+    /// When set, Flush builds the segment's independent sections
+    /// (webspace delta, meta-index deltas, text snapshot, signatures) in
+    /// parallel on this pool. Output bytes are identical either way.
+    util::ThreadPool* flush_pool = nullptr;
     /// Restore the text index by copying postings onto the heap instead of
     /// viewing the mapped segment (the benchmark's control arm).
     bool copy_text = false;
@@ -71,11 +84,36 @@ class DurableLibrary {
   /// durable wrappers below so they hit the WAL.
   const DigitalLibrary& library() const { return *library_; }
 
+  /// Durable mutations (thread-safe; durable on return under the open
+  /// WAL mode). Each is Stage…() + WaitDurable().
   Status AddInterview(int64_t interview_oid, const std::string& text);
   Status FinalizeText();
   Status AddVideoDescription(const core::VideoDescription& desc);
   Status AddVideoSignatures(int64_t video_id,
                             const std::vector<vision::SignatureRecord>& records);
+
+  /// A staged (applied + WAL-framed, not yet durable) mutation. Tickets
+  /// keep the WAL generation they were staged into alive, so waiting on a
+  /// ticket across a concurrent Flush is safe: the rotation only happens
+  /// after the flushed segment made the record durable by other means.
+  struct StageTicket {
+    std::shared_ptr<storage::segment::GroupCommitWal> wal;
+    uint64_t seq = 0;
+  };
+
+  /// Two-phase mutation surface for pipelined ingest (engine/ingest,
+  /// DESIGN.md §4k): Stage…() applies the mutation in memory and frames
+  /// it into the WAL (fast, serialized internally); WaitDurable() blocks
+  /// until the record is on stable storage. Overlapping many staged
+  /// mutations before waiting is what lets the WAL batch them into one
+  /// group commit.
+  Result<StageTicket> StageInterview(int64_t interview_oid,
+                                     const std::string& text);
+  Result<StageTicket> StageFinalizeText();
+  Result<StageTicket> StageVideoDescription(const core::VideoDescription& desc);
+  Result<StageTicket> StageVideoSignatures(
+      int64_t video_id, const std::vector<vision::SignatureRecord>& records);
+  Status WaitDurable(const StageTicket& ticket);
 
   /// Folds everything since the last flush into a new segment and starts
   /// a fresh WAL. After Flush returns, the window is durable without the
@@ -94,6 +132,11 @@ class DurableLibrary {
   Status WaitForCompaction();
 
   size_t num_segments() const;
+  /// WAL telemetry since the last rotation: fdatasync calls and records
+  /// committed — the group-size signal the E15 bench reports
+  /// (records/sync ≈ achieved commit-group size).
+  int64_t wal_sync_calls() const;
+  int64_t wal_records_committed() const;
   /// The compressed text snapshot of the newest segment carrying one, in
   /// the open mode's flavor (zero-copy views unless copy_text). Absent
   /// until a flush persisted the finalized index.
@@ -128,7 +171,11 @@ class DurableLibrary {
   /// index's zero-copy spans; freed only on destruction.
   std::vector<std::unique_ptr<storage::segment::SegmentReader>> retired_;
 
-  storage::segment::WalWriter wal_;
+  /// Serializes the in-memory apply + WAL staging of every mutation (and
+  /// excludes them during Flush). Ordered before manifest_mutex_ when both
+  /// are taken.
+  mutable std::mutex mutate_mutex_;
+  std::shared_ptr<storage::segment::GroupCommitWal> wal_;
 
   // Flush watermarks: rows already persisted by the segment chain.
   std::vector<int64_t> class_flushed_rows_;

@@ -86,7 +86,7 @@ ServingFrontend::ServingFrontend(std::vector<const DigitalLibrary*> shards,
   slots_.reserve(shards.size());
   for (const DigitalLibrary* shard : shards) {
     auto slot = std::make_unique<ShardSlot>();
-    slot->snap = BuildSnapshot(shard, nullptr);
+    slot->snap = BuildSnapshot(shard, nullptr, std::make_shared<int>(0));
     slots_.push_back(std::move(slot));
   }
   replicas_.resize(slots_.size() * static_cast<size_t>(config_.replicas));
@@ -111,9 +111,11 @@ ServingFrontend::~ServingFrontend() {
 }
 
 std::shared_ptr<const ServingFrontend::Snapshot> ServingFrontend::BuildSnapshot(
-    const DigitalLibrary* library, std::shared_ptr<QueryEngine> engine) {
+    const DigitalLibrary* library, std::shared_ptr<QueryEngine> engine,
+    std::shared_ptr<const void> lease) {
   auto snap = std::make_shared<Snapshot>();
   snap->library = library;
+  snap->lease = std::move(lease);
   snap->engine = engine ? std::move(engine)
                         : std::make_shared<QueryEngine>(library, config_.engine);
   snap->built_epoch = library->index_epoch();
@@ -199,7 +201,10 @@ std::shared_ptr<const ServingFrontend::Snapshot> ServingFrontend::Acquire(
     // (presence set, video range) are stale and must be rebuilt before any
     // prune decision trusts them. The engine survives — its cache entries
     // are epoch-tagged and self-evict.
-    slot.snap = BuildSnapshot(slot.snap->library, slot.snap->engine);
+    // Same data generation (same library, same lease) — only the derived
+    // pruning stats are rebuilt.
+    slot.snap =
+        BuildSnapshot(slot.snap->library, slot.snap->engine, slot.snap->lease);
   }
   return slot.snap;
 }
@@ -583,10 +588,29 @@ Status ServingFrontend::ReloadShard(size_t shard,
   if (library == nullptr) {
     return Status::InvalidArgument("null shard library");
   }
+  return ReloadShardRetiring(shard, library, nullptr);
+}
+
+Status ServingFrontend::ReloadShardRetiring(
+    size_t shard, const DigitalLibrary* library,
+    std::shared_ptr<const void>* retired_lease) {
+  if (shard >= slots_.size()) {
+    return Status::OutOfRange("no such shard");
+  }
+  if (library == nullptr) {
+    return Status::InvalidArgument("null shard library");
+  }
   // Fresh engine + cache: a reload is a new data generation, not an epoch
   // bump of the old one.
-  std::shared_ptr<const Snapshot> snap = BuildSnapshot(library, nullptr);
+  std::shared_ptr<const Snapshot> snap =
+      BuildSnapshot(library, nullptr, std::make_shared<int>(0));
   std::lock_guard<std::mutex> lock(slots_[shard]->mu);
+  if (retired_lease != nullptr) {
+    // Every snapshot of the outgoing generation shares this lease, so the
+    // returned copy is unique exactly when no in-flight query still reads
+    // the old library.
+    *retired_lease = slots_[shard]->snap->lease;
+  }
   slots_[shard]->snap = std::move(snap);
   return Status::OK();
 }

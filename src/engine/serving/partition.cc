@@ -7,34 +7,34 @@
 #include "util/strings.h"
 
 namespace cobra::engine::serving {
-namespace {
 
-/// Contiguous-range assignment: distinct video ids sorted ascending and cut
-/// into `num_shards` near-equal slices; returns the (exclusive) upper id
-/// bound of each shard's range in shard order.
-std::vector<int64_t> RangeBoundaries(
-    const std::vector<core::VideoDescription>& videos, size_t num_shards) {
-  std::set<int64_t> distinct;
-  for (const core::VideoDescription& v : videos) distinct.insert(v.video_id());
+ShardRouter::ShardRouter(const std::vector<core::VideoDescription>& videos,
+                         size_t num_shards) {
+  std::vector<int64_t> ids;
+  ids.reserve(videos.size());
+  for (const core::VideoDescription& v : videos) ids.push_back(v.video_id());
+  *this = ShardRouter(std::move(ids), num_shards);
+}
+
+ShardRouter::ShardRouter(std::vector<int64_t> video_ids, size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  std::set<int64_t> distinct(video_ids.begin(), video_ids.end());
   std::vector<int64_t> sorted(distinct.begin(), distinct.end());
-  std::vector<int64_t> upper(num_shards, INT64_MAX);
+  upper_.assign(num_shards, INT64_MAX);
   const size_t m = sorted.size();
   for (size_t s = 0; s + 1 < num_shards; ++s) {
     const size_t cut = ((s + 1) * m) / num_shards;
     // Upper bound of shard s = first id of the next slice (or +inf when the
     // remaining slices are empty).
-    upper[s] = cut < m ? sorted[cut] : INT64_MAX;
+    upper_[s] = cut < m ? sorted[cut] : INT64_MAX;
   }
-  return upper;
 }
 
-size_t ShardOf(int64_t video_id, const std::vector<int64_t>& upper) {
+size_t ShardRouter::ShardOf(int64_t video_id) const {
   return static_cast<size_t>(
-      std::upper_bound(upper.begin(), upper.end(), video_id) -
-      upper.begin());
+      std::upper_bound(upper_.begin(), upper_.end(), video_id) -
+      upper_.begin());
 }
-
-}  // namespace
 
 Result<std::unique_ptr<DigitalLibrary>> BuildLibrary(const CorpusParts& parts) {
   COBRA_ASSIGN_OR_RETURN(std::unique_ptr<DigitalLibrary> library,
@@ -53,11 +53,11 @@ Result<std::unique_ptr<DigitalLibrary>> BuildLibrary(const CorpusParts& parts) {
 }
 
 Result<std::vector<std::unique_ptr<DigitalLibrary>>> BuildShardLibraries(
-    const CorpusParts& parts, size_t num_shards) {
+    const CorpusParts& parts, size_t num_shards, bool finalize_text) {
   if (num_shards == 0) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
-  const std::vector<int64_t> upper = RangeBoundaries(parts.videos, num_shards);
+  const ShardRouter router(parts.videos, num_shards);
   std::vector<std::unique_ptr<DigitalLibrary>> shards;
   shards.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
@@ -66,13 +66,13 @@ Result<std::vector<std::unique_ptr<DigitalLibrary>>> BuildShardLibraries(
     for (const auto& [oid, text] : parts.interviews) {
       COBRA_RETURN_NOT_OK(shard->AddInterview(oid, text));
     }
-    COBRA_RETURN_NOT_OK(shard->FinalizeText());
+    if (finalize_text) COBRA_RETURN_NOT_OK(shard->FinalizeText());
     for (const core::VideoDescription& desc : parts.videos) {
-      if (ShardOf(desc.video_id(), upper) != s) continue;
+      if (router.ShardOf(desc.video_id()) != s) continue;
       COBRA_RETURN_NOT_OK(shard->AddVideoDescription(desc));
     }
     for (const auto& [video_id, records] : parts.signatures) {
-      if (ShardOf(video_id, upper) != s) continue;
+      if (router.ShardOf(video_id) != s) continue;
       COBRA_RETURN_NOT_OK(shard->AddVideoSignatures(video_id, records));
     }
     shards.push_back(std::move(shard));
@@ -92,7 +92,7 @@ Result<std::vector<std::unique_ptr<DurableLibrary>>> BuildDurableShards(
         StringFormat("cannot create '%s': %s", base_dir.c_str(),
                      ec.message().c_str()));
   }
-  const std::vector<int64_t> upper = RangeBoundaries(parts.videos, num_shards);
+  const ShardRouter router(parts.videos, num_shards);
   std::vector<std::unique_ptr<DurableLibrary>> shards;
   shards.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
@@ -105,11 +105,11 @@ Result<std::vector<std::unique_ptr<DurableLibrary>>> BuildDurableShards(
     }
     COBRA_RETURN_NOT_OK(shard->FinalizeText());
     for (const core::VideoDescription& desc : parts.videos) {
-      if (ShardOf(desc.video_id(), upper) != s) continue;
+      if (router.ShardOf(desc.video_id()) != s) continue;
       COBRA_RETURN_NOT_OK(shard->AddVideoDescription(desc));
     }
     for (const auto& [video_id, records] : parts.signatures) {
-      if (ShardOf(video_id, upper) != s) continue;
+      if (router.ShardOf(video_id) != s) continue;
       COBRA_RETURN_NOT_OK(shard->AddVideoSignatures(video_id, records));
     }
     COBRA_RETURN_NOT_OK(shard->Flush());

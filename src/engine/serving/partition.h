@@ -45,6 +45,32 @@ struct CorpusParts {
       signatures;
 };
 
+/// The contiguous-range video→shard assignment, as a value the ingest path
+/// can hold on to: distinct video ids sorted ascending and cut into
+/// `num_shards` near-equal slices; a video belongs to the shard whose
+/// (exclusive) upper id bound is the first one above it. Ids never seen at
+/// build time still route deterministically — anything past the last cut
+/// lands in the final shard, which is how live ingest of fresh (monotonic)
+/// video ids extends a running deployment without resharding.
+class ShardRouter {
+ public:
+  /// A single-shard router (everything maps to shard 0).
+  ShardRouter() : upper_(1, INT64_MAX) {}
+  /// Router over the ids present in `videos`, in shard order.
+  ShardRouter(const std::vector<core::VideoDescription>& videos,
+              size_t num_shards);
+  /// Router over explicit distinct ids (need not be sorted).
+  ShardRouter(std::vector<int64_t> video_ids, size_t num_shards);
+
+  size_t num_shards() const { return upper_.size(); }
+  size_t ShardOf(int64_t video_id) const;
+  /// Exclusive upper id bound per shard (INT64_MAX tail).
+  const std::vector<int64_t>& upper_bounds() const { return upper_; }
+
+ private:
+  std::vector<int64_t> upper_;
+};
+
 /// Builds the unsharded library — the oracle the serving tier is validated
 /// against: all interviews, all videos, text finalized.
 Result<std::unique_ptr<DigitalLibrary>> BuildLibrary(const CorpusParts& parts);
@@ -54,9 +80,12 @@ Result<std::unique_ptr<DigitalLibrary>> BuildLibrary(const CorpusParts& parts);
 /// sorted and split into `num_shards` contiguous ranges, and each shard
 /// indexes only the descriptions in its range (preserving the original
 /// insert order within the shard). Shards may be empty of videos when
-/// there are fewer videos than shards.
+/// there are fewer videos than shards. With `finalize_text` false the
+/// interview index is left open so live ingest can replicate further
+/// interviews (and the eventual FinalizeText) into every shard — the
+/// ShardedIngestSink seed path; text queries fail until finalized.
 Result<std::vector<std::unique_ptr<DigitalLibrary>>> BuildShardLibraries(
-    const CorpusParts& parts, size_t num_shards);
+    const CorpusParts& parts, size_t num_shards, bool finalize_text = true);
 
 /// Durable variant: shard i persists under `<base_dir>/shard-NNNN` (its own
 /// segment directory, created via DurableLibrary::Create and flushed), so a

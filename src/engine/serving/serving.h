@@ -138,6 +138,14 @@ class ServingFrontend {
   /// in-flight queries finish against the snapshot they acquired.
   Status ReloadShard(size_t shard, const DigitalLibrary* library);
 
+  /// ReloadShard, plus the retired generation's lease: a token held
+  /// (through their snapshots) by every in-flight query still reading the
+  /// shard's *previous* library. Once the returned pointer is unique the
+  /// old library has no readers and the caller may mutate or destroy it —
+  /// the double-buffered ingest publish seam (engine/ingest).
+  Status ReloadShardRetiring(size_t shard, const DigitalLibrary* library,
+                             std::shared_ptr<const void>* retired_lease);
+
   size_t num_shards() const { return slots_.size(); }
   ServingStats stats() const;
 
@@ -165,6 +173,10 @@ class ServingFrontend {
     int64_t min_video = 0;
     bool has_videos = false;
     int64_t built_epoch = -1;
+    /// Liveness token of the library generation this snapshot reads
+    /// (shared by every snapshot of the generation; see
+    /// ReloadShardRetiring).
+    std::shared_ptr<const void> lease;
   };
 
   struct ShardSlot {
@@ -187,8 +199,9 @@ class ServingFrontend {
   ServingFrontend(std::vector<const DigitalLibrary*> shards,
                   ServingConfig config);
 
-  std::shared_ptr<const Snapshot> BuildSnapshot(const DigitalLibrary* library,
-                                                std::shared_ptr<QueryEngine> engine);
+  std::shared_ptr<const Snapshot> BuildSnapshot(
+      const DigitalLibrary* library, std::shared_ptr<QueryEngine> engine,
+      std::shared_ptr<const void> lease);
   std::shared_ptr<const Snapshot> Acquire(size_t shard);
 
   /// Frontend-evaluated text stage, LRU-cached on (text, top_k, epoch).

@@ -120,6 +120,7 @@ AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    bytes_appended_ = std::exchange(other.bytes_appended_, 0);
   }
   return *this;
 }
@@ -139,6 +140,7 @@ Status AppendFile::Append(const void* data, size_t size) {
       return IoError("write", "<wal>");
     }
     written += static_cast<size_t>(n);
+    bytes_appended_ += n;
   }
   return Status::OK();
 }

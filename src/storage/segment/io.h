@@ -59,8 +59,14 @@ class AppendFile {
   Status Append(const void* data, size_t size);
   Status Sync();
 
+  /// Bytes successfully appended since Open (the group-commit durability
+  /// watermark: after a Sync, every byte counted here is on stable
+  /// storage).
+  int64_t bytes_appended() const { return bytes_appended_; }
+
  private:
   int fd_ = -1;
+  int64_t bytes_appended_ = 0;
 };
 
 /// Regular-file names in `dir` (no dot entries, no subdirectories),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 #include <iterator>
 #include <limits>
 
@@ -354,7 +355,8 @@ void BuildSignatures(const LibraryDelta& delta, ByteWriter* out) {
 
 }  // namespace
 
-Status WriteSegment(const LibraryDelta& delta, const std::string& path) {
+Status WriteSegment(const LibraryDelta& delta, const std::string& path,
+                    util::ThreadPool* pool) {
   if (delta.store == nullptr || delta.meta == nullptr) {
     return Status::InvalidArgument("segment delta lacks store or meta-index");
   }
@@ -363,53 +365,57 @@ Status WriteSegment(const LibraryDelta& delta, const std::string& path) {
           delta.store->schema().associations().size()) {
     return Status::InvalidArgument("segment delta from-row arity mismatch");
   }
-  std::vector<std::pair<SectionId, ByteWriter>> sections;
-  {
-    ByteWriter w;
-    BuildLibraryMeta(delta, &w);
-    sections.emplace_back(SectionId::kLibraryMeta, std::move(w));
+  if (delta.text != nullptr && !delta.text->finalized()) {
+    return Status::InvalidArgument("text snapshots require a finalized index");
   }
-  {
-    ByteWriter w;
-    COBRA_RETURN_NOT_OK(BuildWebspace(delta, &w));
-    sections.emplace_back(SectionId::kWebspace, std::move(w));
-  }
-  {
-    ByteWriter w;
-    COBRA_RETURN_NOT_OK(
-        TableSerde::WriteDelta(delta.meta->shots(), delta.shots_from_row, &w));
-    sections.emplace_back(SectionId::kShotsDelta, std::move(w));
-  }
-  {
-    ByteWriter w;
-    COBRA_RETURN_NOT_OK(TableSerde::WriteDelta(delta.meta->objects(),
-                                               delta.objects_from_row, &w));
-    sections.emplace_back(SectionId::kObjectsDelta, std::move(w));
-  }
-  {
-    ByteWriter w;
-    COBRA_RETURN_NOT_OK(TableSerde::WriteDelta(delta.meta->events(),
-                                               delta.events_from_row, &w));
-    sections.emplace_back(SectionId::kEventsDelta, std::move(w));
-  }
+
+  // The sections are independent serializations of disjoint state, so
+  // each becomes one task; section *order* (and so the file bytes) is
+  // fixed by this list, not by completion order.
+  struct SectionBuild {
+    SectionId id;
+    std::function<Status(ByteWriter*)> build;
+    ByteWriter out;
+    Status status;
+  };
+  std::vector<SectionBuild> sections;
+  auto add = [&sections](SectionId id,
+                         std::function<Status(ByteWriter*)> build) {
+    sections.push_back(SectionBuild{id, std::move(build), {}, Status::OK()});
+  };
+  add(SectionId::kLibraryMeta, [&delta](ByteWriter* w) {
+    BuildLibraryMeta(delta, w);
+    return Status::OK();
+  });
+  add(SectionId::kWebspace,
+      [&delta](ByteWriter* w) { return BuildWebspace(delta, w); });
+  add(SectionId::kShotsDelta, [&delta](ByteWriter* w) {
+    return TableSerde::WriteDelta(delta.meta->shots(), delta.shots_from_row,
+                                  w);
+  });
+  add(SectionId::kObjectsDelta, [&delta](ByteWriter* w) {
+    return TableSerde::WriteDelta(delta.meta->objects(),
+                                  delta.objects_from_row, w);
+  });
+  add(SectionId::kEventsDelta, [&delta](ByteWriter* w) {
+    return TableSerde::WriteDelta(delta.meta->events(), delta.events_from_row,
+                                  w);
+  });
   if (delta.text != nullptr) {
-    if (!delta.text->finalized()) {
-      return Status::InvalidArgument(
-          "text snapshots require a finalized index");
-    }
-    ByteWriter w;
-    COBRA_RETURN_NOT_OK(BuildTextIndex(*delta.text, &w));
-    sections.emplace_back(SectionId::kTextIndex, std::move(w));
+    add(SectionId::kTextIndex,
+        [&delta](ByteWriter* w) { return BuildTextIndex(*delta.text, w); });
     if (delta.compressed_text != nullptr) {
-      ByteWriter cw;
-      BuildCompressedText(*delta.compressed_text, &cw);
-      sections.emplace_back(SectionId::kTextCompressed, std::move(cw));
+      add(SectionId::kTextCompressed, [&delta](ByteWriter* w) {
+        BuildCompressedText(*delta.compressed_text, w);
+        return Status::OK();
+      });
     }
   }
   if (!delta.pending_interviews.empty()) {
-    ByteWriter w;
-    BuildPending(delta, &w);
-    sections.emplace_back(SectionId::kPendingInterviews, std::move(w));
+    add(SectionId::kPendingInterviews, [&delta](ByteWriter* w) {
+      BuildPending(delta, w);
+      return Status::OK();
+    });
   }
   {
     bool any = false;
@@ -417,10 +423,26 @@ Status WriteSegment(const LibraryDelta& delta, const std::string& path) {
       any = any || count > 0;
     }
     if (any) {
-      ByteWriter w;
-      BuildSignatures(delta, &w);
-      sections.emplace_back(SectionId::kSignatures, std::move(w));
+      add(SectionId::kSignatures, [&delta](ByteWriter* w) {
+        BuildSignatures(delta, w);
+        return Status::OK();
+      });
     }
+  }
+
+  if (pool != nullptr && sections.size() > 1) {
+    util::TaskGroup group(pool);
+    for (SectionBuild& section : sections) {
+      group.Run([&section] { section.status = section.build(&section.out); });
+    }
+    group.Wait();
+  } else {
+    for (SectionBuild& section : sections) {
+      section.status = section.build(&section.out);
+    }
+  }
+  for (const SectionBuild& section : sections) {
+    COBRA_RETURN_NOT_OK(section.status);
   }
 
   // Assemble: header, section table, page-aligned payloads.
@@ -431,11 +453,11 @@ Status WriteSegment(const LibraryDelta& delta, const std::string& path) {
   uint64_t offset = AlignUp(
       sizeof(FileHeader) + sections.size() * sizeof(SectionEntry), kPageSize);
   for (size_t i = 0; i < sections.size(); ++i) {
-    entries[i].id = static_cast<uint32_t>(sections[i].first);
+    entries[i].id = static_cast<uint32_t>(sections[i].id);
     entries[i].offset = offset;
-    entries[i].size = sections[i].second.size();
-    entries[i].crc32 = util::Crc32(sections[i].second.buffer().data(),
-                                   sections[i].second.size());
+    entries[i].size = sections[i].out.size();
+    entries[i].crc32 =
+        util::Crc32(sections[i].out.buffer().data(), sections[i].out.size());
     offset = AlignUp(offset + entries[i].size, kPageSize);
   }
   header.file_size = offset;
@@ -450,7 +472,7 @@ Status WriteSegment(const LibraryDelta& delta, const std::string& path) {
               entries.size() * sizeof(SectionEntry));
   for (size_t i = 0; i < sections.size(); ++i) {
     std::memcpy(file.data() + entries[i].offset,
-                sections[i].second.buffer().data(), entries[i].size);
+                sections[i].out.buffer().data(), entries[i].size);
   }
   return WriteFileAtomic(path, file.data(), file.size());
 }

@@ -32,6 +32,7 @@
 #include "storage/table.h"
 #include "text/compressed_index.h"
 #include "text/inverted_index.h"
+#include "util/thread_pool.h"
 #include "vision/signature.h"
 #include "webspace/schema.h"
 #include "webspace/store.h"
@@ -84,8 +85,13 @@ struct LibraryDelta {
       signature_chunks;
 };
 
-/// Serializes `delta` into a segment file at `path` (atomic write).
-Status WriteSegment(const LibraryDelta& delta, const std::string& path);
+/// Serializes `delta` into a segment file at `path` (atomic write). With a
+/// pool, the independent section payloads (webspace delta, meta-index
+/// deltas, text snapshot, signatures) are built concurrently; the output
+/// bytes are identical either way — sections land in a fixed order and
+/// each build writes only its own buffer.
+Status WriteSegment(const LibraryDelta& delta, const std::string& path,
+                    util::ThreadPool* pool = nullptr);
 
 /// An opened, validated segment. Owns the memory mapping; every view the
 /// reader hands out (restored text spans, compressed cursors) borrows from

@@ -12,6 +12,23 @@ using core::VideoDescription;
 using grammar::Annotation;
 using grammar::MetaValue;
 
+namespace {
+
+/// Frames one record ([u32 len][u32 crc][u8 type][payload]) onto `out` —
+/// the single encoding both WalWriter and GroupCommitWal write and
+/// ReplayWal reads.
+void FrameRecord(WalRecordType type, const ByteWriter& payload,
+                 ByteWriter* out) {
+  out->PutU32(static_cast<uint32_t>(payload.size()));
+  uint32_t crc = util::Crc32(&type, sizeof(uint8_t));
+  crc = util::Crc32(payload.buffer().data(), payload.size(), crc);
+  out->PutU32(crc);
+  out->PutU8(static_cast<uint8_t>(type));
+  out->PutRaw(payload.buffer().data(), payload.size());
+}
+
+}  // namespace
+
 Result<WalWriter> WalWriter::Open(const std::string& path, bool sync_each) {
   WalWriter out;
   COBRA_ASSIGN_OR_RETURN(out.file_, AppendFile::Open(path));
@@ -21,14 +38,178 @@ Result<WalWriter> WalWriter::Open(const std::string& path, bool sync_each) {
 
 Status WalWriter::AppendRecord(WalRecordType type, const ByteWriter& payload) {
   ByteWriter frame;
-  frame.PutU32(static_cast<uint32_t>(payload.size()));
-  uint32_t crc = util::Crc32(&type, sizeof(uint8_t));
-  crc = util::Crc32(payload.buffer().data(), payload.size(), crc);
-  frame.PutU32(crc);
-  frame.PutU8(static_cast<uint8_t>(type));
-  frame.PutRaw(payload.buffer().data(), payload.size());
+  FrameRecord(type, payload, &frame);
   COBRA_RETURN_NOT_OK(file_.Append(frame.buffer().data(), frame.size()));
   return sync_each_ ? file_.Sync() : Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// GroupCommitWal
+
+Result<std::unique_ptr<GroupCommitWal>> GroupCommitWal::Open(
+    const std::string& path, WalMode mode) {
+  std::unique_ptr<GroupCommitWal> out(new GroupCommitWal());
+  COBRA_ASSIGN_OR_RETURN(out->file_, AppendFile::Open(path));
+  out->mode_ = mode;
+  return out;
+}
+
+Result<uint64_t> GroupCommitWal::StageRecord(WalRecordType type,
+                                             const ByteWriter& payload) {
+  ByteWriter frame;
+  FrameRecord(type, payload, &frame);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!io_error_.ok()) return io_error_;
+  const uint64_t seq = ++staged_seq_;
+  if (mode_ == WalMode::kGroupCommit) {
+    staged_.insert(staged_.end(), frame.buffer().begin(),
+                   frame.buffer().end());
+    return seq;
+  }
+  // Sync-each and buffered modes write through immediately; staging order
+  // and file order coincide because the lock is held across the write.
+  Status status = file_.Append(frame.buffer().data(), frame.size());
+  if (status.ok() && mode_ == WalMode::kSyncEachRecord) {
+    status = file_.Sync();
+    ++sync_calls_;
+  }
+  if (!status.ok()) {
+    io_error_ = status;
+    return status;
+  }
+  durable_seq_ = seq;
+  durable_bytes_ = file_.bytes_appended();
+  return seq;
+}
+
+Status GroupCommitWal::CommitLocked(std::unique_lock<std::mutex>& lock,
+                                    uint64_t seq) {
+  while (durable_seq_ < seq) {
+    if (!io_error_.ok()) return io_error_;
+    if (leader_active_) {
+      // A leader is syncing an earlier group; our record rides in the
+      // batch it (or a successor) picks up.
+      group_cv_.wait(lock);
+      continue;
+    }
+    // Become the leader: take everything staged so far as one group.
+    leader_active_ = true;
+    std::vector<uint8_t> batch;
+    batch.swap(staged_);
+    const uint64_t batch_seq = staged_seq_;
+    lock.unlock();
+    Status status = file_.Append(batch.data(), batch.size());
+    if (status.ok()) {
+      status = file_.Sync();
+    }
+    lock.lock();
+    ++sync_calls_;
+    leader_active_ = false;
+    if (!status.ok()) {
+      // Wake everyone with the sticky error — acknowledged records stay
+      // acknowledged, but nothing behind the hole ever will be.
+      io_error_ = status;
+      group_cv_.notify_all();
+      return status;
+    }
+    durable_seq_ = batch_seq;
+    durable_bytes_ = file_.bytes_appended();
+    group_cv_.notify_all();
+  }
+  return io_error_;
+}
+
+Status GroupCommitWal::WaitDurable(uint64_t seq) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (mode_ != WalMode::kGroupCommit) {
+    // Write-through modes are durable (per their contract) at Stage time.
+    return durable_seq_ >= seq ? io_error_
+                               : Status::FailedPrecondition(
+                                     "WaitDurable on an unstaged record");
+  }
+  return CommitLocked(lock, seq);
+}
+
+Status GroupCommitWal::FlushAll() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (mode_ == WalMode::kGroupCommit) {
+    COBRA_RETURN_NOT_OK(CommitLocked(lock, staged_seq_));
+  }
+  if (!io_error_.ok()) return io_error_;
+  if (mode_ == WalMode::kBuffered) {
+    Status status = file_.Sync();
+    ++sync_calls_;
+    if (!status.ok()) {
+      io_error_ = status;
+      return status;
+    }
+    durable_bytes_ = file_.bytes_appended();
+  }
+  return Status::OK();
+}
+
+int64_t GroupCommitWal::durable_bytes() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return durable_bytes_;
+}
+
+int64_t GroupCommitWal::sync_calls() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sync_calls_;
+}
+
+int64_t GroupCommitWal::records_committed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(durable_seq_);
+}
+
+Result<uint64_t> GroupCommitWal::StageInterview(int64_t oid,
+                                                const std::string& text) {
+  ByteWriter payload;
+  payload.PutI64(oid);
+  payload.PutString(text);
+  return StageRecord(WalRecordType::kAddInterview, payload);
+}
+
+Result<uint64_t> GroupCommitWal::StageFinalizeText() {
+  return StageRecord(WalRecordType::kFinalizeText, ByteWriter());
+}
+
+Result<uint64_t> GroupCommitWal::StageVideo(const VideoDescription& desc) {
+  ByteWriter payload;
+  EncodeVideoDescription(desc, &payload);
+  return StageRecord(WalRecordType::kAddVideo, payload);
+}
+
+Result<uint64_t> GroupCommitWal::StageSignatures(
+    int64_t video_id, const std::vector<vision::SignatureRecord>& records) {
+  ByteWriter payload;
+  payload.PutI64(video_id);
+  payload.PutU64(records.size());
+  payload.PutRaw(records.data(),
+                 records.size() * sizeof(vision::SignatureRecord));
+  return StageRecord(WalRecordType::kAddSignatures, payload);
+}
+
+Status GroupCommitWal::AppendInterview(int64_t oid, const std::string& text) {
+  COBRA_ASSIGN_OR_RETURN(uint64_t seq, StageInterview(oid, text));
+  return WaitDurable(seq);
+}
+
+Status GroupCommitWal::AppendFinalizeText() {
+  COBRA_ASSIGN_OR_RETURN(uint64_t seq, StageFinalizeText());
+  return WaitDurable(seq);
+}
+
+Status GroupCommitWal::AppendVideo(const VideoDescription& desc) {
+  COBRA_ASSIGN_OR_RETURN(uint64_t seq, StageVideo(desc));
+  return WaitDurable(seq);
+}
+
+Status GroupCommitWal::AppendSignatures(
+    int64_t video_id, const std::vector<vision::SignatureRecord>& records) {
+  COBRA_ASSIGN_OR_RETURN(uint64_t seq, StageSignatures(video_id, records));
+  return WaitDurable(seq);
 }
 
 Status WalWriter::AppendInterview(int64_t oid, const std::string& text) {

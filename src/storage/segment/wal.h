@@ -14,7 +14,10 @@
 /// happened. A Flush writes a segment covering everything the WAL held and
 /// starts a fresh log, so recovery cost is bounded by one flush window.
 
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,6 +69,100 @@ class WalWriter {
 
   AppendFile file_;
   bool sync_each_ = true;
+};
+
+/// How WAL appends reach stable storage (DESIGN.md §4k).
+enum class WalMode : uint8_t {
+  /// fdatasync after every record, serialized — the E12/E15 durability
+  /// baseline. Durable on return.
+  kSyncEachRecord,
+  /// RocksDB-style group commit: writers stage framed records under the
+  /// log mutex and one of them becomes the leader, writing the whole
+  /// staged batch with a single write + fdatasync; the others wait on the
+  /// group's completion. Durable on return (WaitDurable), one fdatasync
+  /// per *group* instead of per record.
+  kGroupCommit,
+  /// Records are written to the file immediately but never synced; they
+  /// survive a process crash, not power loss, until the next segment
+  /// flush. The throughput ceiling the group-commit mode is measured
+  /// against.
+  kBuffered,
+};
+
+/// A concurrent write-ahead log with group commit. Unlike WalWriter (one
+/// writer, one frame at a time), any number of threads may stage records
+/// concurrently; the on-file frame format and torn-tail replay semantics
+/// are identical (ReplayWal reads both).
+///
+/// The two-phase surface is what lets callers overlap durability waits:
+///   seq = Stage...(...)   // frames + orders the record; returns at once
+///   WaitDurable(seq)      // blocks until the record is on stable storage
+/// Stage order IS file order (staging appends to the shared group buffer
+/// under the log mutex), so callers that need replay order to match an
+/// in-memory apply order stage under the same lock that applies.
+///
+/// Error handling is sticky: once an append or sync fails, the error is
+/// returned from every subsequent Stage/WaitDurable — a WAL that lost a
+/// write cannot accept acknowledged records behind the hole.
+class GroupCommitWal {
+ public:
+  static Result<std::unique_ptr<GroupCommitWal>> Open(const std::string& path,
+                                                      WalMode mode);
+
+  /// Stages one framed record; returns its 1-based sequence number.
+  Result<uint64_t> StageInterview(int64_t oid, const std::string& text);
+  Result<uint64_t> StageFinalizeText();
+  Result<uint64_t> StageVideo(const core::VideoDescription& desc);
+  Result<uint64_t> StageSignatures(
+      int64_t video_id, const std::vector<vision::SignatureRecord>& records);
+
+  /// Blocks until record `seq` is durable under the open mode: synced
+  /// (kSyncEachRecord, kGroupCommit) or written (kBuffered). The calling
+  /// thread may be elected group leader and perform the batched
+  /// write + fdatasync itself.
+  Status WaitDurable(uint64_t seq);
+
+  /// Stage + WaitDurable conveniences (the serial writer surface).
+  Status AppendInterview(int64_t oid, const std::string& text);
+  Status AppendFinalizeText();
+  Status AppendVideo(const core::VideoDescription& desc);
+  Status AppendSignatures(int64_t video_id,
+                          const std::vector<vision::SignatureRecord>& records);
+
+  /// Drains the staging buffer and syncs the file (all modes). After
+  /// FlushAll returns OK every staged record is durable — the pre-rotation
+  /// barrier Flush() uses.
+  Status FlushAll();
+
+  WalMode mode() const { return mode_; }
+  /// Bytes known durable (synced in sync/group modes, written in buffered
+  /// mode) — the crash-test truncation watermark: a file truncated at or
+  /// past this offset replays every acknowledged record.
+  int64_t durable_bytes();
+  /// fdatasync calls and records committed so far (group-size telemetry).
+  int64_t sync_calls();
+  int64_t records_committed();
+
+ private:
+  GroupCommitWal() = default;
+
+  Result<uint64_t> StageRecord(WalRecordType type, const ByteWriter& payload);
+  /// With `lock` held: writes + syncs the staged batch as leader, or waits
+  /// for a leader to cover `seq`. Returns when durable_seq_ >= seq.
+  Status CommitLocked(std::unique_lock<std::mutex>& lock, uint64_t seq);
+
+  AppendFile file_;
+  WalMode mode_ = WalMode::kGroupCommit;
+
+  std::mutex mutex_;
+  std::condition_variable group_cv_;
+  std::vector<uint8_t> staged_;    ///< framed records awaiting the leader
+  uint64_t staged_seq_ = 0;        ///< records staged so far
+  uint64_t durable_seq_ = 0;       ///< records durable so far
+  bool leader_active_ = false;
+  int64_t durable_bytes_ = 0;
+  int64_t sync_calls_ = 0;
+  Status io_error_;                ///< sticky first IO failure
 };
 
 /// Serializes a VideoDescription (shared by the WAL and tests).
